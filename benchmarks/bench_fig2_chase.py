@@ -1,0 +1,69 @@
+"""Figure 2 / Example 4: chasing a graph, valid and invalid sequences.
+
+Regenerates the figure's two chase runs (Σ1 valid with the v1/v2
+merge; Σ2 invalid with the w1/w2 label conflict) and scales the same
+structure to wider graphs: m source nodes sharing an attribute value,
+each pointing at a distinctly-labeled sink — φ1 merges all sources,
+then φ2 tries to merge the sinks and fails.
+"""
+
+import pytest
+
+from repro import paper
+from repro.chase import chase
+from repro.deps import GED, IdLiteral, VariableLiteral
+from repro.graph import Graph
+from repro.patterns import WILDCARD, Pattern
+
+
+def wide_example4(m: int) -> Graph:
+    g = Graph()
+    for i in range(m):
+        g.add_node(f"v{i}", "a", A=1)
+        g.add_node(f"w{i}", f"sink{i}")  # pairwise distinct labels
+        g.add_edge(f"v{i}", "r", f"w{i}")
+    return g
+
+
+def test_example4_sigma1_valid(benchmark):
+    g = paper.example4_graph()
+    sigma = [paper.example4_phi1()]
+
+    result = benchmark(lambda: chase(g.copy(), sigma))
+    assert result.consistent and result.graph.num_nodes == 3
+
+
+def test_example4_sigma2_invalid(benchmark):
+    g = paper.example4_graph()
+    sigma = [paper.example4_phi1(), paper.example4_phi2()]
+
+    result = benchmark(lambda: chase(g.copy(), sigma))
+    assert not result.consistent and "label conflict" in result.reason
+
+
+@pytest.mark.parametrize("m", [4, 8, 16])
+def test_scaled_example4(benchmark, m):
+    """The Example 4 structure at width m: m-1 merges, then ⊥."""
+    g = wide_example4(m)
+    sigma = [paper.example4_phi1(), paper.example4_phi2()]
+
+    result = benchmark(lambda: chase(g.copy(), sigma))
+    assert not result.consistent
+    benchmark.extra_info["width"] = m
+    benchmark.extra_info["steps"] = len(result.steps)
+
+
+@pytest.mark.parametrize("m", [4, 8, 16])
+def test_scaled_entity_merge_valid(benchmark, m):
+    """The valid side at width m: all same-keyed wildcard entities merge
+    into one (m-1 id steps), no conflicts."""
+    g = Graph()
+    for i in range(m):
+        g.add_node(f"e{i}", "entity", key="K")
+    pattern = Pattern({"x": "entity", "y": "entity"})
+    key_rule = GED(pattern, [VariableLiteral("x", "key", "y", "key")],
+                   [IdLiteral("x", "y")])
+
+    result = benchmark(lambda: chase(g.copy(), [key_rule]))
+    assert result.consistent and result.graph.num_nodes == 1
+    benchmark.extra_info["merges"] = len(result.steps)

@@ -1,0 +1,58 @@
+"""Figure 3 / Examples 5-6: the satisfiability interaction of patterns.
+
+Regenerates the figure's Σ1 (patterns homomorphic, unsatisfiable) and
+Σ2 (patterns *not* homomorphic either way, still unsatisfiable), plus
+a scaled family where the Q2-side consists of m wildcard copies — the
+homomorphism space the chase must cover grows with m.
+"""
+
+import pytest
+
+from repro import paper
+from repro.deps import GED, IdLiteral, VariableLiteral
+from repro.patterns import WILDCARD, Pattern
+from repro.reasoning import check_satisfiability
+
+
+def scaled_sigma(m: int) -> list[GED]:
+    """φ1 as in Example 5; φ2's pattern has m wildcard copies of Q1's
+    shape (the paper's Q2 is the m = 2 case)."""
+    nodes = {}
+    edges = []
+    for c in range(m):
+        nodes[f"x{c}"] = WILDCARD
+        nodes[f"y{c}"] = WILDCARD
+        nodes[f"z{c}"] = WILDCARD
+        edges.append((f"x{c}", "r", f"y{c}"))
+        edges.append((f"x{c}", "r", f"z{c}"))
+    phi2 = GED(Pattern(nodes, edges), [], [VariableLiteral("x0", "A", "x0", "B")])
+    return [paper.example5_phi1(), phi2]
+
+
+def test_example5_sigma1(benchmark):
+    outcome = benchmark(lambda: check_satisfiability(paper.example5_sigma1()))
+    assert not outcome.satisfiable
+
+
+def test_example5_sigma2_non_homomorphic(benchmark):
+    outcome = benchmark(lambda: check_satisfiability(paper.example5_sigma2()))
+    assert not outcome.satisfiable
+
+
+def test_components_alone_satisfiable(benchmark):
+    outcome = benchmark(
+        lambda: (
+            check_satisfiability([paper.example5_phi1()]).satisfiable,
+            check_satisfiability([paper.example5_phi2()]).satisfiable,
+        )
+    )
+    assert outcome == (True, True)
+
+
+@pytest.mark.parametrize("m", [2, 3, 4])
+def test_scaled_interaction(benchmark, m):
+    sigma = scaled_sigma(m)
+
+    outcome = benchmark(lambda: check_satisfiability(sigma, use_shortcut=False))
+    assert not outcome.satisfiable
+    benchmark.extra_info["copies"] = m

@@ -1,0 +1,54 @@
+"""Figure 4 / Example 7: implication via chase(G_Q, Eq_X, Σ).
+
+Regenerates the figure's derivation (Σ1 |= ϕ through the A/B attribute
+bridge and wildcard/label merges) and scales it: a chain of k
+attribute-bridging rules whose composition the chase must discover.
+"""
+
+import pytest
+
+from repro import paper
+from repro.deps import GED, IdLiteral, VariableLiteral
+from repro.patterns import WILDCARD, Pattern
+from repro.reasoning import check_implication
+
+
+def chained_instance(k: int):
+    """Σ: Ai-agreement implies A(i+1)-agreement for i < k; A(k)
+    agreement implies identity.  ϕ: A0-agreement implies identity."""
+    q = Pattern({"x1": WILDCARD, "x2": WILDCARD})
+    sigma = [
+        GED(q, [VariableLiteral("x1", f"A{i}", "x2", f"A{i}")],
+            [VariableLiteral("x1", f"A{i+1}", "x2", f"A{i+1}")])
+        for i in range(k)
+    ]
+    sigma.append(
+        GED(q, [VariableLiteral("x1", f"A{k}", "x2", f"A{k}")], [IdLiteral("x1", "x2")])
+    )
+    phi = GED(q, [VariableLiteral("x1", "A0", "x2", "A0")], [IdLiteral("x1", "x2")])
+    return sigma, phi
+
+
+def test_example7_implication(benchmark):
+    sigma, phi = paper.example7_sigma(), paper.example7_phi()
+
+    outcome = benchmark(lambda: check_implication(sigma, phi))
+    assert outcome.implied and outcome.mode == "deduced"
+    benchmark.extra_info["chase_steps"] = len(outcome.chase_result.steps)
+
+
+def test_example7_weakened_sigma(benchmark):
+    sigma = paper.example7_sigma()[:1]
+
+    outcome = benchmark(lambda: check_implication(sigma, paper.example7_phi()))
+    assert not outcome.implied
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_chained_bridges(benchmark, k):
+    sigma, phi = chained_instance(k)
+
+    outcome = benchmark(lambda: check_implication(sigma, phi))
+    assert outcome.implied
+    benchmark.extra_info["chain"] = k
+    benchmark.extra_info["chase_steps"] = len(outcome.chase_result.steps)

@@ -1,0 +1,72 @@
+"""Parallel validation (the Section 9 future-work claim).
+
+The paper's conclusion asks for "parallel scalable algorithms for
+reasoning about GEDs, to warrant speedup with the increase of
+processors".  Sharded validation (``repro.parallel``) partitions the
+match space exactly, so the relevant shape claims are:
+
+* per-shard maximum work (matches enumerated by the busiest worker)
+  falls as worker count grows — the algorithmic speedup bound, which
+  is machine- and GIL-independent;
+* shard balance stays near 1.0 on uniform workloads (the round-robin
+  pivot split is even);
+* total matches across shards equals the unsharded count (no work
+  inflation from sharding).
+
+Wall time for the serial backend is attached for reference; process
+pools on a pure-Python matcher at this instance size are dominated by
+pickling, which is the known caveat documented in the module.
+"""
+
+import pytest
+
+from repro.parallel import parallel_find_violations, plan_shards
+from repro.reasoning import find_violations
+from repro.workloads import bounded_rule_set, validation_workload
+
+WORKERS = [1, 2, 4, 8]
+DATA_NODES = 400
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = validation_workload(DATA_NODES, rng=13)
+    sigma = bounded_rule_set()
+    return graph, sigma
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+def test_sharded_validation_scaling(benchmark, workload, workers):
+    """Max-shard work shrinks as the worker count grows."""
+    graph, sigma = workload
+
+    report = benchmark(
+        lambda: parallel_find_violations(graph, sigma, workers=workers, backend="serial")
+    )
+    max_shard = max((s.matches for s in report.stats), default=0)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["total_matches"] = report.total_matches()
+    benchmark.extra_info["max_shard_matches"] = max_shard
+    benchmark.extra_info["balance"] = round(report.balance(), 3)
+
+
+def test_shape_speedup_with_workers(workload):
+    """The scalability claim, machine-independently: the busiest shard's
+    match count drops roughly linearly in the worker count, while total
+    work stays constant (exact sharding)."""
+    graph, sigma = workload
+    reference = len(find_violations(graph, sigma))
+
+    totals = {}
+    max_shards = {}
+    for workers in WORKERS:
+        report = parallel_find_violations(graph, sigma, workers=workers)
+        assert len(report.violations) == reference
+        totals[workers] = report.total_matches()
+        max_shards[workers] = max((s.matches for s in report.stats), default=0)
+
+    assert len(set(totals.values())) == 1, "sharding must not change total work"
+    assert max_shards[8] * 4 <= max_shards[1] * 1.5, (
+        f"busiest shard should shrink ~linearly: {max_shards}"
+    )
+    assert max_shards[4] < max_shards[1]

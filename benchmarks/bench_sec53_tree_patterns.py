@@ -1,0 +1,83 @@
+"""Section 5.3: tree patterns do NOT make GED reasoning tractable.
+
+The paper: "even for GEDs defined in terms of tree patterns, the
+satisfiability, implication and validation problems remain intractable
+... because the analyses require to enumerate and examine all matches
+of a pattern Q in a graph G in the worst case, not just to check
+whether there exists a match."
+
+The witness family is elementary: a path pattern P_n (a tree) over an
+attributed triangle K3 has 3·2ⁿ homomorphisms — finding *one* match is
+trivial, but a GFDx whose Y fails on specific colorings forces the
+validator through the whole match set.  Bounded pattern size, not
+acyclicity, is what buys tractability (the same module's bounded-k
+facade stays polynomial; see bench_table1_validation).
+"""
+
+import pytest
+
+from repro.deps.ged import GED
+from repro.deps.literals import VariableLiteral
+from repro.graph.graph import Graph
+from repro.matching.homomorphism import count_matches, has_match
+from repro.patterns.pattern import Pattern
+from repro.reasoning.validation import validates
+
+DEPTHS = [6, 9, 12]
+
+
+def attributed_triangle() -> Graph:
+    g = Graph()
+    for i, value in enumerate([0, 1, 2]):
+        g.add_node(f"v{i}", "v", {"c": value})
+    for i in range(3):
+        for j in range(3):
+            if i != j:
+                g.add_edge(f"v{i}", "adj", f"v{j}")
+    return g
+
+
+def path_pattern(n: int) -> Pattern:
+    nodes = {f"x{i}": "v" for i in range(n + 1)}
+    edges = [(f"x{i}", "adj", f"x{i+1}") for i in range(n)]
+    return Pattern(nodes, edges)
+
+
+def ends_agree_rule(n: int) -> GED:
+    """A GFDx over the tree pattern: the path's endpoints agree on c.
+    Fails on most walks of the triangle -> the validator must search."""
+    return GED(
+        path_pattern(n), [], [VariableLiteral("x0", "c", f"x{n}", "c")]
+    )
+
+
+@pytest.mark.parametrize("n", DEPTHS)
+def test_tree_pattern_validation_hard(benchmark, n):
+    g = attributed_triangle()
+    sigma = [ends_agree_rule(n)]
+
+    ok = benchmark(lambda: validates(g, sigma))
+    assert not ok
+    benchmark.extra_info["pattern_size"] = sigma[0].pattern.size()
+    benchmark.extra_info["matches"] = count_matches(sigma[0].pattern, g)
+
+
+@pytest.mark.parametrize("n", DEPTHS)
+def test_tree_pattern_existence_easy(benchmark, n):
+    """The contrast: *existence* of a match is instantaneous."""
+    g = attributed_triangle()
+    q = path_pattern(n)
+
+    found = benchmark(lambda: has_match(q, g))
+    assert found
+    benchmark.extra_info["pattern_size"] = q.size()
+
+
+def test_shape_match_count_exponential_in_tree_depth():
+    """3·2ⁿ homomorphisms: the match space doubles per added edge even
+    though the pattern is a tree — the paper's stated reason."""
+    g = attributed_triangle()
+    counts = [count_matches(path_pattern(n), g) for n in DEPTHS]
+    for n, count in zip(DEPTHS, counts):
+        assert count == 3 * 2 ** n
+    assert counts[1] / counts[0] == 2 ** (DEPTHS[1] - DEPTHS[0])

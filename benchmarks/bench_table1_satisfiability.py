@@ -1,0 +1,76 @@
+"""Table 1, satisfiability column.
+
+Paper's claims:
+  GEDs / GFDs / GKeys / GEDxs — coNP-complete;
+  GFDxs — O(1).
+
+Reproduced shape: on the Theorem 3 reduction families the chase-based
+check grows super-polynomially with the instance size (the canonical
+graph's match enumeration is the exponential engine), while GFDx sets
+are answered in constant time regardless of size.
+"""
+
+import pytest
+
+from benchmarks.conftest import odd_wheel
+from repro.deps import GED, VariableLiteral
+from repro.patterns import Pattern
+from repro.reasoning import check_satisfiability, is_satisfiable
+from repro.reductions import gfd_satisfiability_instance, gkey_satisfiability_instance
+
+WHEEL_RIMS = [3, 5, 7]
+
+
+@pytest.mark.parametrize("rim", WHEEL_RIMS)
+def test_gfd_satisfiability_hard_family(benchmark, rim):
+    """coNP row (GFDs): chase G_Σ for the 3-colorability reduction."""
+    h = odd_wheel(rim)
+    sigma = gfd_satisfiability_instance(h)
+
+    result = benchmark(lambda: check_satisfiability(sigma, use_shortcut=False))
+    assert result.satisfiable  # odd wheels are not 3-colorable
+    benchmark.extra_info["instance_nodes"] = h.num_nodes
+    benchmark.extra_info["chase_steps"] = len(result.chase_result.steps)
+
+
+@pytest.mark.parametrize("rim", WHEEL_RIMS)
+def test_gkey_satisfiability_hard_family(benchmark, rim):
+    """coNP row (GKeys, no constants): id-literal driven conflicts."""
+    h = odd_wheel(rim)
+    sigma = gkey_satisfiability_instance(h)
+
+    result = benchmark(lambda: check_satisfiability(sigma, use_shortcut=False))
+    assert result.satisfiable
+    benchmark.extra_info["instance_nodes"] = h.num_nodes
+    benchmark.extra_info["chase_steps"] = len(result.chase_result.steps)
+
+
+@pytest.mark.parametrize("n_rules", [10, 40, 160])
+def test_gfdx_satisfiability_constant_time(benchmark, n_rules):
+    """O(1) row (GFDxs): the shortcut answers without any chase."""
+    pattern = Pattern({"x": "a", "y": "a"}, [("x", "r", "y")])
+    sigma = [
+        GED(pattern, [], [VariableLiteral("x", f"A{i}", "y", f"A{i}")])
+        for i in range(n_rules)
+    ]
+
+    outcome = benchmark(lambda: check_satisfiability(sigma))
+    assert outcome.satisfiable and outcome.chase_result is None
+    benchmark.extra_info["n_rules"] = n_rules
+
+
+def test_shape_hard_vs_easy():
+    """The structural claim behind the row: reduction instances cost
+    chase work that grows with the instance, GFDx sets cost none."""
+    steps = []
+    for rim in WHEEL_RIMS:
+        outcome = check_satisfiability(
+            gfd_satisfiability_instance(odd_wheel(rim)), use_shortcut=False
+        )
+        steps.append(len(outcome.chase_result.steps))
+    assert steps == sorted(steps) and steps[-1] > steps[0], steps
+    # GFDx: literally no chase performed.
+    pattern = Pattern({"x": "a"})
+    easy = [GED(pattern, [], [VariableLiteral("x", "A", "x", "A")])]
+    assert check_satisfiability(easy).chase_result is None
+    assert is_satisfiable(easy)

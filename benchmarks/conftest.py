@@ -1,0 +1,68 @@
+"""Shared fixtures and instance families for the benchmark harness.
+
+Table 1 of the paper is a complexity landscape, not a timing table, so
+each benchmark measures the *shape* of the cost curve on a scaling
+family of instances:
+
+* hardness families come from the Section 5/7 reductions (odd wheels
+  are not 3-colorable, odd cycles are — both scale cleanly);
+* tractable families come from the paper's own tractability claims
+  (GFDx satisfiability, bounded-pattern-size validation).
+
+Wall-clock numbers land in the pytest-benchmark table; structural work
+counters (matches enumerated, chase steps, search candidates, branch
+counts) are attached as ``extra_info`` so the EXPERIMENTS.md shape
+claims do not depend on machine speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph
+
+
+def odd_wheel(rim: int) -> Graph:
+    """W_rim: an odd cycle plus a hub — not 3-colorable for odd rim ≥ 3.
+
+    These are the satisfiable instances of the Theorem 3 reductions
+    (satisfiable iff NOT 3-colorable), so the chase runs to a full
+    fixpoint instead of aborting at the first conflict.
+    """
+    if rim % 2 == 0:
+        raise ValueError("wheel rim must be odd for non-3-colorability")
+    g = Graph()
+    g.add_node("hub", "v")
+    for i in range(rim):
+        g.add_node(f"r{i}", "v")
+    for i in range(rim):
+        j = (i + 1) % rim
+        g.add_edge(f"r{i}", "adj", f"r{j}")
+        g.add_edge(f"r{j}", "adj", f"r{i}")
+        g.add_edge("hub", "adj", f"r{i}")
+        g.add_edge(f"r{i}", "adj", "hub")
+    return g
+
+
+def odd_cycle(n: int) -> Graph:
+    """C_n for odd n — 3-colorable with ~2^n proper colorings, the
+    expensive YES-instances of the implication/validation reductions."""
+    from repro.graph.generators import cycle_graph
+
+    if n % 2 == 0:
+        raise ValueError("use odd cycles")
+    return cycle_graph(n)
+
+
+@pytest.fixture(scope="session")
+def kb_workload():
+    from repro.workloads import synthetic_knowledge_base
+
+    return synthetic_knowledge_base(error_rate=0.25, rng=42)
+
+
+@pytest.fixture(scope="session")
+def social_workload():
+    from repro.workloads import synthetic_social_network
+
+    return synthetic_social_network(n_rings=5, n_benign_pairs=8, rng=7)

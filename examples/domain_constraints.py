@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""GDCs and GED∨s: domain constraints and denial rules (Section 7).
+
+Reproduces Examples 9 and 10 — enforcing that an attribute exists and
+takes values in a finite domain, which plain GEDs cannot express — and
+exercises the Σp2 reasoning: satisfiability by small-model search and
+the disjunctive chase, implication with counterexamples.
+
+Run:  python examples/domain_constraints.py
+"""
+
+from repro.deps import ConstantLiteral, FALSE
+from repro.extensions import (
+    ComparisonLiteral,
+    GDC,
+    GEDVee,
+    disjunctive_chase_satisfiable,
+    domain_constraint_gdc,
+    domain_constraint_vee,
+    gdc_find_violations,
+    gdc_implies,
+    gdc_satisfiable,
+    vee_implies,
+    vee_validates,
+)
+from repro.graph import GraphBuilder
+from repro.patterns import Pattern
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Example 9: Boolean domain as two GDCs.
+    # ------------------------------------------------------------------
+    sigma9 = domain_constraint_gdc("item", "A", [0, 1])
+    print("Example 9 (GDC domain constraint):")
+    for gdc in sigma9:
+        print(f"  {gdc}")
+    good = GraphBuilder().node("i1", "item", A=0).node("i2", "item", A=1).build()
+    bad = GraphBuilder().node("i1", "item", A=7).node("i2", "item").build()
+    print(f"  valid data passes: {not gdc_find_violations(good, sigma9)}")
+    bad_violations = gdc_find_violations(bad, sigma9)
+    print(f"  violations on bad data: {len(bad_violations)} "
+          "(one out-of-domain value, one missing attribute)")
+
+    # ------------------------------------------------------------------
+    # Example 10: the same constraint as ONE GED∨.
+    # ------------------------------------------------------------------
+    psi10 = domain_constraint_vee("item", "A", [0, 1])
+    print(f"\nExample 10 (GED∨ version):\n  {psi10}")
+    print(f"  valid data passes: {vee_validates(good, [psi10])}")
+    print(f"  bad data passes:   {vee_validates(bad, [psi10])}")
+
+    # ------------------------------------------------------------------
+    # Σp2 satisfiability: small-model search vs disjunctive chase.
+    # ------------------------------------------------------------------
+    ok, witness = gdc_satisfiable(sigma9)
+    print(f"\nGDC set satisfiable: {ok}; witness value "
+          f"A={witness.node(witness.node_ids[0]).get('A')}")
+    ok_vee, witness_vee = disjunctive_chase_satisfiable([psi10])
+    print(f"GED∨ satisfiable (disjunctive chase): {ok_vee}; witness value "
+          f"A={witness_vee.node(witness_vee.node_ids[0]).get('A')}")
+
+    # An unsatisfiable denial pair: price < 3 and price > 4 at once.
+    q = Pattern({"x": "offer"})
+    window = [
+        GDC(q, [], [ComparisonLiteral("x", "price", "<", 3)]),
+        GDC(q, [], [ComparisonLiteral("x", "price", ">", 4)]),
+    ]
+    ok, _ = gdc_satisfiable(window)
+    print(f"\n'price < 3 ∧ price > 4' satisfiable: {ok}")
+
+    # ------------------------------------------------------------------
+    # Implication with built-in predicates.
+    # ------------------------------------------------------------------
+    eq1 = GDC(q, [], [ComparisonLiteral("x", "price", "=", 1)])
+    lt2 = GDC(q, [], [ComparisonLiteral("x", "price", "<", 2)])
+    implied, _ = gdc_implies([eq1], lt2)
+    print(f"\n(price = 1) implies (price < 2): {implied}")
+    implied, counterexample = gdc_implies([lt2], eq1)
+    print(f"(price < 2) implies (price = 1): {implied}")
+    node = counterexample.node(counterexample.node_ids[0])
+    print(f"  counterexample offer with price={node.get('price')}")
+
+    # GED∨ implication: A=0 strengthens A∈{0,1}, not conversely.
+    strong = GEDVee(Pattern({"x": "item"}), [], [ConstantLiteral("x", "A", 0)])
+    print(f"\n(A = 0) implies (A ∈ {{0,1}}): {vee_implies([strong], psi10)[0]}")
+    print(f"(A ∈ {{0,1}}) implies (A = 0): {vee_implies([psi10], strong)[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Knowledge-base consistency checking (Example 1 (1) of the paper).
+
+Generates a synthetic knowledge base with planted versions of the
+paper's real-world inconsistencies (Ghetto Blaster's creator, Finland's
+two capitals, the flightless moa, Philip Sclater's impossible family
+tree), runs the cleaning rules ϕ1–ϕ4, and scores detection against the
+planted ground truth.
+
+Run:  python examples/knowledge_base_cleaning.py
+"""
+
+from repro.quality import check_consistency, dirty_entities, example1_rules
+from repro.workloads import synthetic_knowledge_base
+
+
+def main() -> None:
+    kb, planted = synthetic_knowledge_base(
+        n_products=30,
+        n_countries=15,
+        n_species=15,
+        n_families=15,
+        n_albums=10,
+        error_rate=0.25,
+        rng=42,
+    )
+    print(f"knowledge base: {kb.num_nodes} nodes, {kb.num_edges} edges")
+    print(f"planted errors: {planted.total()}")
+
+    print("\ncleaning rules (the paper's ϕ1–ϕ4):")
+    for rule in example1_rules():
+        print(f"  {rule}")
+
+    report = check_consistency(kb)
+    print(f"\n{report.summary()}")
+
+    # Score each rule against its planted ground truth.
+    expectations = {
+        "phi1": set(planted.wrong_creator),
+        "phi2": set(planted.double_capital),
+        "phi3": set(planted.broken_inheritance),
+        "phi4": set(planted.child_and_parent),
+    }
+    print("\nper-rule detection (expected entities found / planted):")
+    for rule, expected in expectations.items():
+        found = report.entities(rule)
+        hits = len(expected & found)
+        print(f"  {rule}: {hits}/{len(expected)}")
+        assert hits == len(expected), f"{rule} missed planted errors"
+
+    dirty = dirty_entities(kb)
+    print(f"\ndirty entities overall: {len(dirty)}")
+    sample = ", ".join(sorted(dirty)[:6])
+    print(f"  e.g. {sample} ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Fake-account detection in a social network (Example 1 (2)).
+
+Builds a synthetic social graph with planted spam rings following the
+paper's Q5 pattern (shared likes + posts with a peculiar keyword,
+seeded by a confirmed-fake account), then runs rule ϕ5 to a fixpoint
+and scores precision/recall.  Benign look-alike pairs (same structure,
+innocent keywords) check that the rule does not over-fire.
+
+Run:  python examples/spam_detection.py
+"""
+
+from repro import paper
+from repro.quality import detect_fake_accounts, score_detection
+from repro.workloads import synthetic_social_network
+
+
+def main() -> None:
+    graph, truth = synthetic_social_network(
+        n_rings=6,
+        n_benign_pairs=8,
+        n_background_accounts=40,
+        k=2,
+        rng=7,
+    )
+    print(f"social graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    print(f"confirmed fake seeds: {len(truth.seeds)}")
+    print(f"undetected partners (to find): {len(truth.undetected_fakes)}")
+    print(f"benign look-alike pairs (to spare): {len(truth.benign_lookalikes)}")
+
+    print(f"\nthe rule (ϕ5 with k=2):\n  {paper.phi5(k=2)}")
+
+    result = detect_fake_accounts(graph, k=2)
+    print(f"\nflagged {len(result.flagged)} account(s) "
+          f"in {result.iterations} round(s): {sorted(result.flagged)}")
+
+    scores = score_detection(result.flagged, truth)
+    print(f"precision: {scores['precision']:.2f}   recall: {scores['recall']:.2f}")
+    assert scores["precision"] == 1.0 and scores["recall"] == 1.0
+
+    flagged_benign = result.flagged & set(truth.benign_lookalikes)
+    print(f"benign accounts flagged: {len(flagged_benign)} (expected 0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — Graph Entity Dependencies (GEDs).
+
+A complete Python implementation of Fan & Lu, *Dependencies for
+Graphs*, PODS 2017: the GED dependency language over property graphs,
+the revised chase with the Church–Rosser property, decision procedures
+for satisfiability / implication / validation, the finite axiom system
+A_GED with machine-checkable proofs, and the GDC / GED∨ extensions —
+plus the hardness reductions behind Table 1 and the data-quality
+applications of Example 1.
+
+Quickstart::
+
+    from repro import Graph, Pattern, GED, VariableLiteral
+    from repro.reasoning import find_violations
+
+    g = Graph()
+    g.add_node("fin", "country")
+    g.add_node("hel", "city", {"name": "Helsinki"})
+    g.add_node("spb", "city", {"name": "Saint Petersburg"})
+    g.add_edge("fin", "capital", "hel")
+    g.add_edge("fin", "capital", "spb")
+
+    q = Pattern(
+        {"x": "country", "y": "city", "z": "city"},
+        [("x", "capital", "y"), ("x", "capital", "z")],
+    )
+    one_capital_name = GED(q, [], [VariableLiteral("y", "name", "z", "name")])
+    print(find_violations(g, [one_capital_name]))
+
+Subpackages: :mod:`repro.graph` (property graphs), :mod:`repro.patterns`
+(graph patterns), :mod:`repro.matching` (homomorphism matching),
+:mod:`repro.deps` (GEDs and relational encodings), :mod:`repro.chase`
+(the revised chase), :mod:`repro.reasoning` (Theorems 2/4/6),
+:mod:`repro.axioms` (Theorem 7), :mod:`repro.extensions` (Theorems 8/9),
+:mod:`repro.reductions` (Table 1 lower bounds), :mod:`repro.quality`
+and :mod:`repro.workloads` (applications), :mod:`repro.paper` (the
+paper's running examples as code) — plus the follow-on systems the
+paper motivates: :mod:`repro.repair` (violation-driven data cleaning),
+:mod:`repro.optimization` (pattern-query and rule-set optimization),
+:mod:`repro.parallel` (sharded parallel validation, the Section 9
+future-work direction), :mod:`repro.discovery` (GFD mining) and
+:mod:`repro.extensions.tgd` (graph TGDs).
+"""
+
+from repro.chase import ChaseResult, chase
+from repro.deps import (
+    FALSE,
+    ConstantLiteral,
+    GED,
+    GKey,
+    IdLiteral,
+    VariableLiteral,
+    make_gkey,
+)
+from repro.graph import Graph, GraphBuilder
+from repro.patterns import WILDCARD, Pattern, PatternBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChaseResult",
+    "ConstantLiteral",
+    "FALSE",
+    "GED",
+    "GKey",
+    "Graph",
+    "GraphBuilder",
+    "IdLiteral",
+    "Pattern",
+    "PatternBuilder",
+    "VariableLiteral",
+    "WILDCARD",
+    "chase",
+    "make_gkey",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""The finite axiom system A_GED (Section 6, Table 2)."""
+
+from repro.axioms.derived import augmentation, conjoin, subset, transitivity
+from repro.axioms.independence import IndependenceWitness, witnesses
+from repro.axioms.proof import (
+    Justification,
+    Proof,
+    ProofChecker,
+    ProofLine,
+    flip_literal,
+    xid_literals,
+)
+from repro.axioms.synthesis import prove
+from repro.axioms.system import RULES, ged1, ged2, ged3, ged4, ged5, ged6, premise
+
+__all__ = [
+    "IndependenceWitness",
+    "Justification",
+    "Proof",
+    "ProofChecker",
+    "ProofLine",
+    "RULES",
+    "augmentation",
+    "conjoin",
+    "flip_literal",
+    "ged1",
+    "ged2",
+    "ged3",
+    "ged4",
+    "ged5",
+    "ged6",
+    "premise",
+    "prove",
+    "subset",
+    "transitivity",
+    "witnesses",
+    "xid_literals",
+]

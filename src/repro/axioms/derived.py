@@ -1,0 +1,96 @@
+"""Derived rules built from GED1–GED6 (Example 8).
+
+The paper shows three derivations and we implement each as a macro that
+emits only *primitive* rule applications (so checked proofs never cite
+a derived rule):
+
+* **GED7 (subset)** — from Q(X → Y) and Y1 ⊆ Y, derive Q(X → Y1):
+  extract each literal with GED3 (twice, to restore orientation), then
+  conjoin the singletons with GED6 using the identity match.
+* **Augmentation** — from Q(X → Y), derive Q(XZ → YZ).
+* **Transitivity** — from Q(X → Y) and Q(Y → Z), derive Q(X → Z).
+
+Each macro mirrors the paper's case split: when the relevant Eq is
+inconsistent the derivation short-circuits through GED5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.axioms.proof import Proof, eq_of_xy
+from repro.axioms.system import ged1, ged3, ged5, ged6
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, Literal
+from repro.errors import ProofError
+
+
+def _identity_match(ged: GED) -> dict[str, str]:
+    return {v: v for v in ged.pattern.variables}
+
+
+def conjoin(proof: Proof, line_a: int, line_b: int) -> int:
+    """Q(X → Y_a), Q(X → Y_b) ⊢ Q(X → Y_a ∪ Y_b) — GED6 with the
+    identity match of Q into its own coercion."""
+    a = proof.lines[line_a].ged
+    return ged6(proof, line_a, line_b, _identity_match(a))
+
+
+def subset(proof: Proof, source: int, target_y: Iterable[Literal]) -> int:
+    """GED7: from Q(X → Y) with Y1 ⊆ Y, derive exactly Q(X → Y1).
+
+    ``target_y`` must be non-empty and a subset of the source line's Y.
+    """
+    src = proof.lines[source].ged
+    target = list(dict.fromkeys(target_y))
+    if not target:
+        raise ProofError("subset extraction needs a non-empty target")
+    missing = [l for l in target if l not in src.Y]
+    if missing:
+        raise ProofError(f"subset target not contained in Y: {missing}")
+    if not eq_of_xy(src).is_consistent:
+        # Inconsistent case of Example 8(a): GED5 concludes any Y1.
+        return ged5(proof, source, target)
+
+    singles: list[int] = []
+    for literal in target:
+        flipped_line = ged3(proof, source, literal)
+        if proof.lines[flipped_line].ged.Y == frozenset({literal}):
+            # Flip was the identity (constant literals): done in one step.
+            singles.append(flipped_line)
+        else:
+            singles.append(ged3(proof, flipped_line, next(iter(proof.lines[flipped_line].ged.Y))))
+    current = singles[0]
+    for line in singles[1:]:
+        current = conjoin(proof, current, line)
+    return current
+
+
+def augmentation(proof: Proof, source: int, Z: Iterable[Literal]) -> int:
+    """From Q(X → Y) derive Q(XZ → YZ) (Example 8(b))."""
+    src = proof.lines[source].ged
+    Z = frozenset(Z)
+    XZ = src.X | Z
+    start = ged1(proof, src.pattern, XZ)  # Q(XZ → XZ ∧ X_id)
+    base = subset(proof, start, XZ)  # Q(XZ → XZ)
+    if not eq_of_xy(proof.lines[base].ged).is_consistent:
+        return ged5(proof, base, src.Y | Z)
+    # Import Q(X → Y) via GED6: X ⊆ XZ is deducible from Eq_{XZ ∪ XZ}.
+    merged = ged6(proof, base, source, _identity_match(src))  # Q(XZ → XZ ∪ Y)
+    return subset(proof, merged, src.Y | Z)
+
+
+def transitivity(proof: Proof, line_xy: int, line_yz: int) -> int:
+    """From Q(X → Y) and Q(Y → Z) derive Q(X → Z) (Example 8(c))."""
+    ged_xy = proof.lines[line_xy].ged
+    ged_yz = proof.lines[line_yz].ged
+    if ged_xy.Y != ged_yz.X or ged_xy.pattern != ged_yz.pattern:
+        raise ProofError("transitivity needs Q(X → Y) and Q(Y → Z)")
+    start = ged1(proof, ged_xy.pattern, ged_xy.X)  # Q(X → X ∧ X_id)
+    if not eq_of_xy(proof.lines[start].ged).is_consistent:
+        return ged5(proof, start, ged_yz.Y)
+    with_y = ged6(proof, start, line_xy, _identity_match(ged_xy))  # Q(X → X ∪ X_id ∪ Y)
+    if not eq_of_xy(proof.lines[with_y].ged).is_consistent:
+        return ged5(proof, with_y, ged_yz.Y)
+    with_z = ged6(proof, with_y, line_yz, _identity_match(ged_yz))  # ... ∪ Z
+    return subset(proof, with_z, ged_yz.Y)

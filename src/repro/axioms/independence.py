@@ -1,0 +1,106 @@
+"""Independence of the A_GED rules (Theorem 7, part 3).
+
+For each rule the paper argues there are Σ and φ with Σ ⊢ φ whose every
+proof uses that rule.  This module packages one witness per rule:
+
+* the (Σ, φ) pair,
+* the paper-style argument for why the rule is unavoidable, and
+* a synthesized proof that demonstrably *uses* the rule,
+
+which the tests verify (Σ |= φ holds, the proof checks, and the rule
+appears in it).  Machine-checking the *non-existence* of rule-avoiding
+proofs would require exhaustive proof search; like the paper, we state
+the argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, IdLiteral, VariableLiteral
+from repro.patterns.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class IndependenceWitness:
+    rule: str
+    sigma: tuple[GED, ...]
+    phi: GED
+    argument: str
+
+
+def witnesses() -> list[IndependenceWitness]:
+    """One (Σ, φ, argument) witness per rule of A_GED."""
+    one = Pattern({"x": "a"})
+    two = Pattern({"x": "a", "y": "a"})
+    three = Pattern({"x": "a", "y": "a", "z": "a"})
+
+    w1 = IndependenceWitness(
+        "GED1",
+        (),
+        GED(one, [ConstantLiteral("x", "A", 1)], [ConstantLiteral("x", "A", 1)]),
+        "Only GED1 introduces a line about a pattern/premise pair (Q, X) "
+        "from nothing; every other rule consumes an existing line with "
+        "the same Q and X, so with Σ = ∅ no proof can start without it.",
+    )
+    w2 = IndependenceWitness(
+        "GED2",
+        (
+            GED(
+                two,
+                [],
+                [IdLiteral("x", "y"), VariableLiteral("x", "A", "x", "A")],
+            ),
+        ),
+        GED(two, [], [VariableLiteral("x", "A", "y", "A")]),
+        "x.A = y.A relates two *different* attribute terms that are never "
+        "syntactically equated: only the id-semantics rule GED2 can turn "
+        "x.id = y.id into an attribute equality.",
+    )
+    w3 = IndependenceWitness(
+        "GED3",
+        (GED(two, [], [VariableLiteral("x", "A", "y", "B")]),),
+        GED(two, [], [VariableLiteral("y", "B", "x", "A")]),
+        "The target is the mirror image of the only available literal; "
+        "GED4 composing l with itself yields reflexive literals only, so "
+        "symmetry (GED3) is the sole way to reverse an equality.",
+    )
+    w4 = IndependenceWitness(
+        "GED4",
+        (
+            GED(
+                three,
+                [],
+                [
+                    VariableLiteral("x", "A", "y", "B"),
+                    VariableLiteral("y", "B", "z", "C"),
+                ],
+            ),
+        ),
+        GED(three, [], [VariableLiteral("x", "A", "z", "C")]),
+        "x.A = z.C shares no literal with Σ; only transitivity (GED4) "
+        "can bridge the two premises through the shared term y.B.",
+    )
+    w5 = IndependenceWitness(
+        "GED5",
+        (),
+        GED(
+            one,
+            [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "A", 2)],
+            [ConstantLiteral("x", "A", 3)],
+        ),
+        "The paper's own witness: no other rule can deduce Q(X → Y) when "
+        "Y contains a constant appearing in neither X nor Σ; only the "
+        "inconsistency rule GED5 can conclude it.",
+    )
+    w6 = IndependenceWitness(
+        "GED6",
+        (GED(one, [], [ConstantLiteral("x", "A", 1)]),),
+        GED(two, [], [ConstantLiteral("x", "A", 1), ConstantLiteral("y", "A", 1)]),
+        "φ's pattern differs from Σ's, so premise citation alone cannot "
+        "conclude it; GED1 yields only reflexive literals and GED5 needs "
+        "an inconsistency — only the embedding rule GED6 can transport "
+        "Σ's FD into φ's pattern (twice, once per embedding).",
+    )
+    return [w1, w2, w3, w4, w5, w6]

@@ -1,0 +1,326 @@
+"""Machine-checkable proof objects for the axiom system A_GED (Section 6).
+
+A proof of φ from Σ is a sequence of GEDs φ1, ..., φn = φ where each φi
+is either a member of Σ (a *premise*) or follows from earlier lines by
+one of the six inference rules GED1–GED6 of Table 2.  Each
+:class:`ProofLine` records its justification with enough detail for
+:class:`ProofChecker` to *re-derive* the line independently — the
+checker recomputes every rule application, including the semantic side
+conditions of GED5 (inconsistency of Eq_X ∪ Eq_Y) and GED6 (a match of
+Q1 into the coercion (G_Q)_{Eq_X ∪ Eq_Y} whose X1-image is deducible).
+
+Representation notes
+--------------------
+* Proof-level literals are the ordinary dependency literals.  The paper
+  allows ``c = x.A`` as an intermediate form; our representation keeps
+  constant literals normalized as ``x.A = c``, so GED3 (symmetry) is
+  the identity on constant literals and GED4 (transitivity) accepts the
+  shared term in any position.  Variable and id literals are *not*
+  normalized — ``x.A = y.B`` and ``y.B = x.A`` are distinct objects —
+  so GED3 does real work for them (and is demonstrably independent).
+* GED1's X_id is the set of reflexive id literals ``x.id = x.id``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.chase.canonical import canonical_graph, eq_from_literals, literal_entailed
+from repro.chase.coercion import coerce, representative_map
+from repro.chase.eqrel import EquivalenceRelation
+from repro.deps.ged import GED
+from repro.deps.literals import FALSE, IdLiteral, Literal, substitute
+from repro.errors import ProofError
+from repro.matching.homomorphism import is_homomorphism
+
+
+@dataclass(frozen=True)
+class Justification:
+    """Why a proof line holds.
+
+    ``rule`` is one of ``premise``, ``GED1``..``GED6``.  The remaining
+    fields are rule-specific:
+
+    * premise — no extra data (the line's GED must be in Σ);
+    * GED1 — the line's GED must be Q(X → X ∪ X_id);
+    * GED2 — ``sources = (line,)``, ``literal`` the id literal used,
+      ``attr`` the attribute name;
+    * GED3 — ``sources = (line,)``, ``literal`` the literal flipped;
+    * GED4 — ``sources = (line,)``, ``literals = (l1, l2)`` composed;
+    * GED5 — ``sources = (line,)`` whose Eq_X ∪ Eq_Y is inconsistent;
+    * GED6 — ``sources = (line_of_Q, line_of_Q1)``, ``match`` the
+      homomorphism h of Q1 into (G_Q)_{Eq_X∪Eq_Y}.
+    """
+
+    rule: str
+    sources: tuple[int, ...] = ()
+    literal: Literal | None = None
+    literals: tuple[Literal, ...] = ()
+    attr: str | None = None
+    match: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class ProofLine:
+    ged: GED
+    justification: Justification
+
+    def __str__(self) -> str:
+        j = self.justification
+        extra = f" via {j.sources}" if j.sources else ""
+        return f"[{j.rule}{extra}] {self.ged}"
+
+
+@dataclass
+class Proof:
+    """A proof of ``conclusion`` from ``premises`` using A_GED."""
+
+    premises: list[GED]
+    lines: list[ProofLine] = field(default_factory=list)
+
+    @property
+    def conclusion(self) -> GED:
+        if not self.lines:
+            raise ProofError("empty proof has no conclusion")
+        return self.lines[-1].ged
+
+    def add(self, ged: GED, justification: Justification) -> int:
+        """Append a line; returns its index."""
+        self.lines.append(ProofLine(ged, justification))
+        return len(self.lines) - 1
+
+    def rules_used(self) -> set[str]:
+        return {line.justification.rule for line in self.lines}
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __str__(self) -> str:
+        return "\n".join(f"({i + 1}) {line}" for i, line in enumerate(self.lines))
+
+
+# ----------------------------------------------------------------------
+# Shared helpers (used by both the rule implementations and the checker)
+# ----------------------------------------------------------------------
+
+
+def xid_literals(ged_pattern_variables: Sequence[str]) -> frozenset[Literal]:
+    """X_id of GED1: the reflexive id literals of the pattern variables."""
+    return frozenset(IdLiteral(v, v) for v in ged_pattern_variables)
+
+
+def eq_of_xy(ged: GED, extra_y: frozenset[Literal] | None = None) -> EquivalenceRelation:
+    """Eq_X ∪ Eq_Y of a proof line, over the canonical graph G_Q."""
+    g_q = canonical_graph(ged.pattern)
+    identity = {v: v for v in ged.pattern.variables}
+    literals = sorted(ged.X | (extra_y if extra_y is not None else ged.Y), key=str)
+    return eq_from_literals(g_q, literals, identity)
+
+
+def term_pair(literal: Literal):
+    """A literal as an ordered pair of proof terms.
+
+    Terms: ``("node", v)`` for id literals, ``("attr", v, A)`` and
+    ``("const", c)`` for attribute literals.  Returns None for FALSE.
+    """
+    from repro.deps.literals import ConstantLiteral, VariableLiteral
+
+    if isinstance(literal, IdLiteral):
+        return ("node", literal.var1), ("node", literal.var2)
+    if isinstance(literal, VariableLiteral):
+        return ("attr", literal.var1, literal.attr1), ("attr", literal.var2, literal.attr2)
+    if isinstance(literal, ConstantLiteral):
+        return ("attr", literal.var, literal.attr), ("const", literal.const)
+    return None
+
+
+def literal_from_terms(t1, t2) -> Literal | None:
+    """Rebuild a literal from two proof terms, or None if the pair is
+    not representable (const = const, node = attr, ...)."""
+    from repro.deps.literals import ConstantLiteral, VariableLiteral
+
+    if t1[0] == "node" and t2[0] == "node":
+        return IdLiteral(t1[1], t2[1])
+    if t1[0] == "attr" and t2[0] == "attr":
+        return VariableLiteral(t1[1], t1[2], t2[1], t2[2])
+    if t1[0] == "attr" and t2[0] == "const":
+        return ConstantLiteral(t1[1], t1[2], t2[1])
+    if t1[0] == "const" and t2[0] == "attr":
+        return ConstantLiteral(t2[1], t2[2], t1[1])
+    return None
+
+
+def flip_literal(literal: Literal) -> Literal:
+    """GED3's symmetric form (identity on constant literals / FALSE)."""
+    from repro.deps.literals import ConstantLiteral, VariableLiteral
+
+    if isinstance(literal, IdLiteral):
+        return literal.flipped()
+    if isinstance(literal, VariableLiteral):
+        return literal.flipped()
+    if isinstance(literal, ConstantLiteral) or literal is FALSE:
+        return literal
+    raise ProofError(f"cannot flip {literal!r}")
+
+
+def canonicalize_match(
+    eq: EquivalenceRelation, match: Mapping[str, str]
+) -> dict[str, str]:
+    """Map a match through the current class representatives.
+
+    A GED6 match names one *member* per class (the paper's coercion
+    nodes are classes [x]_Eq; any member denotes its class); projecting
+    through the representatives yields the map that must be an actual
+    homomorphism into the coercion graph.  The *substitution* h(Y1)
+    keeps the member names verbatim, so conclusions may mention
+    non-representative variables.
+    """
+    reps = representative_map(eq)
+    return {var: reps.get(node, node) for var, node in match.items()}
+
+
+# ----------------------------------------------------------------------
+# The checker
+# ----------------------------------------------------------------------
+
+
+class ProofChecker:
+    """Re-derives every line of a proof; raises :class:`ProofError` on
+    the first line that does not follow."""
+
+    def __init__(self, premises: Sequence[GED]):
+        self.premises = list(premises)
+
+    def check(self, proof: Proof) -> bool:
+        for index, line in enumerate(proof.lines):
+            try:
+                self._check_line(proof, index, line)
+            except ProofError:
+                raise
+            except Exception as exc:  # broken side-condition machinery
+                raise ProofError(f"line {index + 1} failed to check: {exc}") from exc
+        return True
+
+    def check_concludes(self, proof: Proof, phi: GED) -> bool:
+        self.check(proof)
+        if proof.conclusion != phi:
+            raise ProofError(
+                f"proof concludes {proof.conclusion}, expected {phi}"
+            )
+        return True
+
+    # -- per-rule verification ------------------------------------------------
+
+    def _line(self, proof: Proof, index: int, source: int) -> ProofLine:
+        if not 0 <= source < index:
+            raise ProofError(f"line {index + 1} cites line {source + 1}, not earlier")
+        return proof.lines[source]
+
+    def _check_line(self, proof: Proof, index: int, line: ProofLine) -> None:
+        j = line.justification
+        ged = line.ged
+        if j.rule == "premise":
+            if ged not in self.premises:
+                raise ProofError(f"line {index + 1}: {ged} is not a premise")
+            return
+        if j.rule == "GED1":
+            expected = ged.X | xid_literals(ged.pattern.variables)
+            if ged.Y != expected:
+                raise ProofError(f"line {index + 1}: GED1 must conclude X ∪ X_id")
+            return
+        if j.rule == "GED2":
+            src = self._line(proof, index, j.sources[0])
+            if src.ged.pattern != ged.pattern or src.ged.X != ged.X:
+                raise ProofError(f"line {index + 1}: GED2 must preserve Q and X")
+            id_lit = j.literal
+            if not isinstance(id_lit, IdLiteral) or id_lit not in src.ged.Y:
+                raise ProofError(f"line {index + 1}: GED2 needs an id literal in Y")
+            attr = j.attr
+            if attr is None or not _attr_appears(src.ged.Y, id_lit, attr):
+                raise ProofError(
+                    f"line {index + 1}: GED2 attribute {attr!r} does not appear in Y"
+                )
+            from repro.deps.literals import VariableLiteral
+
+            expected_lit = VariableLiteral(id_lit.var1, attr, id_lit.var2, attr)
+            if ged.Y != frozenset({expected_lit}):
+                raise ProofError(f"line {index + 1}: GED2 must conclude u.A = v.A")
+            return
+        if j.rule == "GED3":
+            src = self._line(proof, index, j.sources[0])
+            if src.ged.pattern != ged.pattern or src.ged.X != ged.X:
+                raise ProofError(f"line {index + 1}: GED3 must preserve Q and X")
+            if j.literal not in src.ged.Y:
+                raise ProofError(f"line {index + 1}: GED3 literal not in source Y")
+            if ged.Y != frozenset({flip_literal(j.literal)}):
+                raise ProofError(f"line {index + 1}: GED3 must conclude the flip")
+            return
+        if j.rule == "GED4":
+            src = self._line(proof, index, j.sources[0])
+            if src.ged.pattern != ged.pattern or src.ged.X != ged.X:
+                raise ProofError(f"line {index + 1}: GED4 must preserve Q and X")
+            l1, l2 = j.literals
+            if l1 not in src.ged.Y or l2 not in src.ged.Y:
+                raise ProofError(f"line {index + 1}: GED4 literals not in source Y")
+            composed = _compose(l1, l2)
+            if composed is None or ged.Y != frozenset({composed}):
+                raise ProofError(f"line {index + 1}: GED4 composition mismatch")
+            return
+        if j.rule == "GED5":
+            src = self._line(proof, index, j.sources[0])
+            if src.ged.pattern != ged.pattern or src.ged.X != ged.X:
+                raise ProofError(f"line {index + 1}: GED5 must preserve Q and X")
+            if eq_of_xy(src.ged).is_consistent:
+                raise ProofError(f"line {index + 1}: GED5 needs inconsistent Eq_X ∪ Eq_Y")
+            return  # any Y is a valid conclusion
+        if j.rule == "GED6":
+            main = self._line(proof, index, j.sources[0])
+            other = self._line(proof, index, j.sources[1])
+            if main.ged.pattern != ged.pattern or main.ged.X != ged.X:
+                raise ProofError(f"line {index + 1}: GED6 must preserve Q and X")
+            eq = eq_of_xy(main.ged)
+            if not eq.is_consistent:
+                raise ProofError(f"line {index + 1}: GED6 needs consistent Eq_X ∪ Eq_Y")
+            raw_match = dict(j.match)
+            projected = canonicalize_match(eq, raw_match)
+            coerced = coerce(eq)
+            if not is_homomorphism(other.ged.pattern, coerced, projected):
+                raise ProofError(f"line {index + 1}: GED6 match is not a homomorphism")
+            for lit in other.ged.X:
+                if lit is FALSE or not literal_entailed(eq, lit, raw_match):
+                    raise ProofError(
+                        f"line {index + 1}: GED6 premise literal {lit} not deducible"
+                    )
+            mapped = frozenset(substitute(l, raw_match) for l in other.ged.Y)
+            if ged.Y != main.ged.Y | mapped:
+                raise ProofError(f"line {index + 1}: GED6 must conclude Y ∪ h(Y1)")
+            return
+        raise ProofError(f"line {index + 1}: unknown rule {j.rule!r}")
+
+
+def _attr_appears(Y: frozenset[Literal], id_lit: IdLiteral, attr: str) -> bool:
+    """Whether attribute ``u.A`` (or ``v.A``) appears in Y."""
+    relevant = {id_lit.var1, id_lit.var2}
+    for literal in Y:
+        pair = term_pair(literal)
+        if pair is None:
+            continue
+        for term in pair:
+            if term[0] == "attr" and term[1] in relevant and term[2] == attr:
+                return True
+    return False
+
+
+def _compose(l1: Literal, l2: Literal) -> Literal | None:
+    """GED4: compose two literals sharing a term (symmetry-tolerant)."""
+    p1, p2 = term_pair(l1), term_pair(l2)
+    if p1 is None or p2 is None:
+        return None
+    for a, b in ((p1[0], p1[1]), (p1[1], p1[0])):
+        for c, d in ((p2[0], p2[1]), (p2[1], p2[0])):
+            if b == c:
+                result = literal_from_terms(a, d)
+                if result is not None:
+                    return result
+    return None

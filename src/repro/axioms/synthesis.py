@@ -1,0 +1,201 @@
+"""Proof synthesis: from a chase trace to an A_GED proof (Theorem 7).
+
+The completeness proof of Theorem 7 turns a terminal chasing sequence of
+G_Q by Σ (starting from Eq_X) into a derivation:
+
+* Claim 1 — every intermediate Eq_i is derivable: start from GED1
+  (Q(X → X ∧ X_id)) and replay each chase step Eq_i ⇒_(φ,h) Eq_{i+1} as
+  a GED6 application (φ ∈ Σ is cited as a premise; h is the recorded
+  match, canonicalized by the checker against the current coercion);
+* Claim 2 — if the chase ends inconsistent, the final GED6 application
+  makes Eq_X ∪ Eq_Y inconsistent and GED5 concludes anything — in
+  particular the target Y;
+* otherwise Y is deducible from the final relation, and a *saturation*
+  of the accumulated literal set under GED2 (id literals induce
+  attribute equalities), GED3 (symmetry) and GED4 (transitivity,
+  including through shared constants — the paper's rule (b)) derives
+  each literal of Y, after which GED7-style subset extraction produces
+  exactly Q(X → Y).
+
+:func:`prove` therefore *constructs* a checkable proof whenever
+Σ |= φ, and raises :class:`ProofError` when Σ ⊭ φ — together with
+:class:`repro.axioms.proof.ProofChecker` (soundness direction) this is
+the executable content of Theorem 7.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.axioms.derived import conjoin, subset
+from repro.axioms.proof import Proof, eq_of_xy, term_pair
+from repro.axioms.system import ged1, ged2, ged3, ged4, ged5, ged6, premise
+from repro.chase.canonical import canonical_graph, eq_from_literals
+from repro.chase.engine import chase
+from repro.deps.ged import GED
+from repro.deps.literals import (
+    FALSE,
+    ConstantLiteral,
+    IdLiteral,
+    Literal,
+    VariableLiteral,
+)
+from repro.errors import ProofError
+
+
+def prove(sigma: Sequence[GED], phi: GED) -> Proof:
+    """Synthesize an A_GED proof of φ from Σ, or raise if Σ ⊭ φ.
+
+    φ must have a non-empty Y (an empty Y is a tautology carrying no
+    content to derive).
+    """
+    sigma = list(sigma)
+    if not phi.Y:
+        raise ProofError("nothing to prove: φ has an empty Y")
+    proof = Proof(premises=sigma)
+
+    g_q = canonical_graph(phi.pattern)
+    identity = {v: v for v in phi.pattern.variables}
+    eq_x = eq_from_literals(g_q, sorted(phi.X, key=str), identity)
+
+    start = ged1(proof, phi.pattern, phi.X)
+    current = start
+
+    if not eq_x.is_consistent:
+        # Eq_X itself is inconsistent; GED1's conclusion X ∪ X_id already
+        # has inconsistent Eq_{X∪Y}, so GED5 closes immediately.
+        return _finish_via_ged5(proof, current, phi)
+
+    result = chase(g_q, sigma, initial_eq=eq_x)
+
+    premise_lines: dict[int, int] = {}
+
+    def premise_line(ged: GED) -> int:
+        key = id(ged)
+        if key not in premise_lines:
+            # The chase cites GED objects from sigma; find the equal one.
+            member = next(g for g in sigma if g == ged)
+            premise_lines[key] = premise(proof, member)
+        return premise_lines[key]
+
+    for step in result.steps:
+        source = premise_line(step.ged)
+        current = ged6(proof, current, source, step.assignment)
+        if not eq_of_xy(proof.lines[current].ged).is_consistent:
+            if result.consistent:
+                raise ProofError(
+                    "internal: replay became inconsistent but the chase was valid"
+                )
+            return _finish_via_ged5(proof, current, phi)
+
+    if not result.consistent:
+        # The chase was invalidated (e.g. by Eq-closure effects) without
+        # the replayed Y becoming syntactically inconsistent; saturating
+        # the literal set must surface the conflict.
+        current = _saturate(proof, current, target=None)
+        if eq_of_xy(proof.lines[current].ged).is_consistent:
+            raise ProofError("internal: could not replay the chase inconsistency")
+        return _finish_via_ged5(proof, current, phi)
+
+    # Consistent chase: derive each literal of Y by saturation.
+    target = frozenset(phi.Y)
+    current = _saturate(proof, current, target)
+    missing = target - proof.lines[current].ged.Y
+    if missing:
+        raise ProofError(
+            f"Σ does not imply φ: cannot derive {sorted(map(str, missing))}"
+        )
+    return _conclude(proof, current, phi)
+
+
+def _finish_via_ged5(proof: Proof, current: int, phi: GED) -> Proof:
+    final = ged5(proof, current, phi.Y)
+    assert proof.lines[final].ged == phi
+    return proof
+
+
+def _conclude(proof: Proof, current: int, phi: GED) -> Proof:
+    final = subset(proof, current, sorted(phi.Y, key=str))
+    if proof.lines[final].ged != phi:
+        raise ProofError("internal: subset extraction missed the target")
+    return proof
+
+
+def _saturate(proof: Proof, current: int, target: frozenset[Literal] | None) -> int:
+    """Close the current line's Y under GED2/GED3/GED4.
+
+    Each newly derived literal is produced on its own line and folded
+    into the running conjunction with GED6 (identity match).  Stops as
+    soon as ``target`` (if given) is covered, or at a fixpoint.
+    """
+    changed = True
+    while changed:
+        ged_now = proof.lines[current].ged
+        if target is not None and target <= ged_now.Y:
+            return current
+        if not eq_of_xy(ged_now).is_consistent:
+            return current
+        changed = False
+        derivation = _next_derivation(ged_now.Y)
+        if derivation is not None:
+            kind, payload = derivation
+            if kind == "sym":
+                line = ged3(proof, current, payload)
+            elif kind == "trans":
+                line = ged4(proof, current, payload[0], payload[1])
+            else:  # "id-attr"
+                line = ged2(proof, current, payload[0], payload[1])
+            current = conjoin(proof, current, line)
+            changed = True
+    return current
+
+
+def _next_derivation(Y: frozenset[Literal]):
+    """One missing GED2/GED3/GED4 consequence of Y, or None at fixpoint."""
+    literals = [l for l in sorted(Y, key=str) if l is not FALSE]
+    known = set(literals)
+
+    # GED3: symmetry for variable / id literals.
+    for literal in literals:
+        if isinstance(literal, (VariableLiteral, IdLiteral)):
+            flipped = literal.flipped()
+            if flipped not in known:
+                return ("sym", literal)
+
+    # GED2: id literals induce attribute equalities for attributes that
+    # appear (on either endpoint) in Y.
+    attrs_of: dict[str, set[str]] = {}
+    for literal in literals:
+        pair = term_pair(literal)
+        if pair is None:
+            continue
+        for term in pair:
+            if term[0] == "attr":
+                attrs_of.setdefault(term[1], set()).add(term[2])
+    for literal in literals:
+        if isinstance(literal, IdLiteral) and literal.var1 != literal.var2:
+            for attr in sorted(attrs_of.get(literal.var1, set()) | attrs_of.get(literal.var2, set())):
+                induced = VariableLiteral(literal.var1, attr, literal.var2, attr)
+                if induced not in known and induced.flipped() not in known:
+                    return ("id-attr", (literal, attr))
+
+    # GED4: transitive composition through a shared term.
+    from repro.axioms.proof import _compose
+
+    for i, l1 in enumerate(literals):
+        for l2 in literals[i:]:
+            composed = _compose(l1, l2)
+            if composed is None or composed in known:
+                continue
+            if isinstance(composed, (VariableLiteral, IdLiteral)):
+                if composed.flipped() in known:
+                    continue
+                pair = term_pair(composed)
+                if pair[0] == pair[1]:
+                    # Reflexive attr equality adds nothing new... unless
+                    # it is an existence literal not yet present.
+                    if composed not in known:
+                        return ("trans", (l1, l2))
+                    continue
+            return ("trans", (l1, l2))
+    return None

@@ -1,0 +1,129 @@
+"""Forward application of the A_GED rules (Table 2).
+
+Each function applies one inference rule to a :class:`Proof` under
+construction, appends the justified line, and returns its index.  The
+side conditions are validated eagerly (the checker re-validates them
+later), so a rule application that would be unsound raises
+:class:`ProofError` immediately.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.axioms.proof import (
+    Justification,
+    Proof,
+    canonicalize_match,
+    eq_of_xy,
+    flip_literal,
+    xid_literals,
+    _compose,
+)
+from repro.chase.canonical import literal_entailed
+from repro.chase.coercion import coerce
+from repro.deps.ged import GED
+from repro.deps.literals import FALSE, IdLiteral, Literal, VariableLiteral, substitute
+from repro.errors import ProofError
+from repro.matching.homomorphism import is_homomorphism
+
+
+def premise(proof: Proof, ged: GED) -> int:
+    """Cite a member of Σ."""
+    if ged not in proof.premises:
+        raise ProofError(f"{ged} is not among the premises")
+    return proof.add(ged, Justification("premise"))
+
+
+def ged1(proof: Proof, pattern, X) -> int:
+    """GED1: ⊢ Q[x̄](X → X ∧ X_id)."""
+    X = frozenset(X)
+    conclusion = GED(pattern, X, X | xid_literals(pattern.variables))
+    return proof.add(conclusion, Justification("GED1"))
+
+
+def ged2(proof: Proof, source: int, id_literal: IdLiteral, attr: str) -> int:
+    """GED2: from Q(X → Y) with (u.id = v.id) ∈ Y, ⊢ Q(X → u.A = v.A)
+    for an attribute u.A / v.A appearing in Y."""
+    src = proof.lines[source].ged
+    if id_literal not in src.Y:
+        raise ProofError(f"GED2: {id_literal} not in the source Y")
+    conclusion = GED(
+        src.pattern,
+        src.X,
+        [VariableLiteral(id_literal.var1, attr, id_literal.var2, attr)],
+    )
+    return proof.add(
+        conclusion,
+        Justification("GED2", (source,), literal=id_literal, attr=attr),
+    )
+
+
+def ged3(proof: Proof, source: int, literal: Literal) -> int:
+    """GED3: from Q(X → Y) with (u = v) ∈ Y, ⊢ Q(X → v = u)."""
+    src = proof.lines[source].ged
+    if literal not in src.Y:
+        raise ProofError(f"GED3: {literal} not in the source Y")
+    conclusion = GED(src.pattern, src.X, [flip_literal(literal)])
+    return proof.add(conclusion, Justification("GED3", (source,), literal=literal))
+
+
+def ged4(proof: Proof, source: int, l1: Literal, l2: Literal) -> int:
+    """GED4: from (u1 = v), (v = u2) ∈ Y, ⊢ Q(X → u1 = u2)."""
+    src = proof.lines[source].ged
+    if l1 not in src.Y or l2 not in src.Y:
+        raise ProofError("GED4: literals not in the source Y")
+    composed = _compose(l1, l2)
+    if composed is None:
+        raise ProofError(f"GED4: {l1} and {l2} share no term")
+    conclusion = GED(src.pattern, src.X, [composed])
+    return proof.add(conclusion, Justification("GED4", (source,), literals=(l1, l2)))
+
+
+def ged5(proof: Proof, source: int, Y1) -> int:
+    """GED5: from Q(X → Y) with Eq_X ∪ Eq_Y inconsistent, ⊢ Q(X → Y1)."""
+    src = proof.lines[source].ged
+    if eq_of_xy(src).is_consistent:
+        raise ProofError("GED5: Eq_X ∪ Eq_Y is consistent")
+    conclusion = GED(src.pattern, src.X, Y1)
+    return proof.add(conclusion, Justification("GED5", (source,)))
+
+
+def ged6(
+    proof: Proof,
+    source: int,
+    other: int,
+    match: Mapping[str, str],
+) -> int:
+    """GED6: from Q(X → Y) (consistent), Q1(X1 → Y1), and a match h of
+    Q1 in (G_Q)_{Eq_X ∪ Eq_Y} with h(x̄1) |= X1, ⊢ Q(X → Y ∧ h(Y1))."""
+    main = proof.lines[source].ged
+    other_ged = proof.lines[other].ged
+    eq = eq_of_xy(main)
+    if not eq.is_consistent:
+        raise ProofError("GED6: Eq_X ∪ Eq_Y is inconsistent (use GED5)")
+    raw = dict(match)
+    projected = canonicalize_match(eq, raw)
+    coerced = coerce(eq)
+    if not is_homomorphism(other_ged.pattern, coerced, projected):
+        raise ProofError("GED6: match is not a homomorphism into the coercion")
+    for lit in other_ged.X:
+        if lit is FALSE or not literal_entailed(eq, lit, raw):
+            raise ProofError(f"GED6: premise literal {lit} is not deducible")
+    mapped = frozenset(substitute(l, raw) for l in other_ged.Y)
+    conclusion = GED(main.pattern, main.X, main.Y | mapped)
+    return proof.add(
+        conclusion,
+        Justification("GED6", (source, other), match=tuple(sorted(match.items()))),
+    )
+
+
+#: Human-readable rule index, mirroring Table 2 of the paper.
+RULES = {
+    "GED1": "Σ ⊢ Q[x̄](X → X ∧ X_id)",
+    "GED2": "(u.id = v.id) ∈ Y ⊢ Q[x̄](X → u.A = v.A) for u.A appearing in Y",
+    "GED3": "(u = v) ∈ Y ⊢ Q[x̄](X → v = u)",
+    "GED4": "(u1 = v), (v = u2) ∈ Y ⊢ Q[x̄](X → u1 = u2)",
+    "GED5": "Eq_X ∪ Eq_Y inconsistent ⊢ Q[x̄](X → Y1) for any Y1",
+    "GED6": "match h of Q1 in (G_Q)_{Eq_X∪Eq_Y}, h(x̄1) |= X1 ⊢ Q[x̄](X → Y ∧ h(Y1))",
+}

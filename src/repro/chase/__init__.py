@@ -1,0 +1,30 @@
+"""The revised chase for GEDs (Section 4) and canonical graphs (Section 5)."""
+
+from repro.chase.canonical import (
+    apply_literal,
+    canonical_graph,
+    canonical_graph_of_sigma,
+    eq_from_literals,
+    literal_entailed,
+)
+from repro.chase.coercion import coerce, representative_map
+from repro.chase.engine import ChaseResult, ChaseStep, chase
+from repro.chase.eqrel import EquivalenceRelation, attr_term, const_term
+from repro.chase.unionfind import UnionFind
+
+__all__ = [
+    "ChaseResult",
+    "ChaseStep",
+    "EquivalenceRelation",
+    "UnionFind",
+    "apply_literal",
+    "attr_term",
+    "canonical_graph",
+    "canonical_graph_of_sigma",
+    "chase",
+    "coerce",
+    "const_term",
+    "eq_from_literals",
+    "literal_entailed",
+    "representative_map",
+]

@@ -1,0 +1,137 @@
+"""Canonical graphs G_Q and G_Σ, and initial relations Eq_X (Section 5).
+
+* The **canonical graph of a pattern** Q treats Q itself as a graph:
+  one node per variable carrying the variable's label (possibly the
+  special label ``_``), the pattern's edges, and an empty F_A.
+* The **canonical graph of a set Σ** is the disjoint union of the
+  canonical graphs of the patterns of Σ (node ids are prefixed per
+  dependency to enforce disjointness).
+* **Eq_X** extends the initial equivalence relation of a canonical
+  graph with the literals of a set X (Section 5.2); Eq_X may already be
+  inconsistent (e.g. X contains x.A = 1 and x.A = 2), in which case the
+  chase starting from it is inconsistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.chase.eqrel import EquivalenceRelation
+from repro.deps.ged import GED
+from repro.deps.literals import (
+    FALSE,
+    ConstantLiteral,
+    IdLiteral,
+    Literal,
+    VariableLiteral,
+)
+from repro.errors import ChaseError
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+
+def canonical_graph(pattern: Pattern, prefix: str = "") -> Graph:
+    """G_Q: the pattern viewed as a graph with empty F_A.
+
+    ``prefix`` is prepended to node ids (used for disjoint unions).
+    """
+    g = Graph()
+    for variable in pattern.variables:
+        g.add_node(prefix + variable, pattern.label_of(variable))
+    for source, label, target in pattern.edges:
+        g.add_edge(prefix + source, label, prefix + target)
+    return g
+
+
+def canonical_graph_of_sigma(
+    sigma: Iterable[GED],
+) -> tuple[Graph, list[dict[str, str]]]:
+    """G_Σ: the disjoint union of the patterns of Σ.
+
+    Returns the graph and, per dependency (in input order), the mapping
+    ``pattern variable -> node id of G_Σ``.
+    """
+    g = Graph()
+    var_maps: list[dict[str, str]] = []
+    for index, ged in enumerate(sigma):
+        prefix = f"g{index}:"
+        pattern = ged.pattern
+        for variable in pattern.variables:
+            g.add_node(prefix + variable, pattern.label_of(variable))
+        for source, label, target in pattern.edges:
+            g.add_edge(prefix + source, label, prefix + target)
+        var_maps.append({v: prefix + v for v in pattern.variables})
+    return g, var_maps
+
+
+def apply_literal(
+    eq: EquivalenceRelation,
+    literal: Literal,
+    assignment: Mapping[str, str],
+) -> bool:
+    """Enforce one literal on Eq under a variable-to-node assignment.
+
+    Implements the three chase-step cases of Section 4.1 (including
+    attribute generation).  Returns True if Eq changed.  ``FALSE`` is
+    not enforceable — the caller must treat it as an immediate
+    inconsistency; passing it here raises.
+    """
+    if isinstance(literal, ConstantLiteral):
+        return eq.set_attr_constant(assignment[literal.var], literal.attr, literal.const)
+    if isinstance(literal, VariableLiteral):
+        return eq.merge_attrs(
+            assignment[literal.var1], literal.attr1,
+            assignment[literal.var2], literal.attr2,
+        )
+    if isinstance(literal, IdLiteral):
+        return eq.merge_nodes(assignment[literal.var1], assignment[literal.var2])
+    if literal is FALSE:
+        raise ChaseError("false cannot be enforced on Eq; handle it as an invalid step")
+    raise ChaseError(f"unknown literal {literal!r}")
+
+
+def literal_entailed(
+    eq: EquivalenceRelation,
+    literal: Literal,
+    assignment: Mapping[str, str],
+) -> bool:
+    """Whether Eq already entails ``h(literal)`` (Section 3 semantics).
+
+    A constant/variable literal requires the attribute classes to exist
+    (attribute existence is part of satisfaction); ``FALSE`` is never
+    entailed.
+    """
+    if isinstance(literal, ConstantLiteral):
+        return eq.attr_has_constant(assignment[literal.var], literal.attr, literal.const)
+    if isinstance(literal, VariableLiteral):
+        return eq.attrs_equal(
+            assignment[literal.var1], literal.attr1,
+            assignment[literal.var2], literal.attr2,
+        )
+    if isinstance(literal, IdLiteral):
+        return eq.nodes_equal(assignment[literal.var1], assignment[literal.var2])
+    if literal is FALSE:
+        return False
+    raise ChaseError(f"unknown literal {literal!r}")
+
+
+def eq_from_literals(
+    graph: Graph,
+    literals: Iterable[Literal],
+    assignment: Mapping[str, str] | None = None,
+) -> EquivalenceRelation:
+    """Eq_X: the initial relation of ``graph`` extended with literals.
+
+    ``assignment`` maps the literals' variables to node ids; by default
+    variables are assumed to *be* node ids (the canonical-graph case
+    with an empty prefix).  The result may be inconsistent.
+    """
+    eq = EquivalenceRelation(graph)
+    if assignment is None:
+        assignment = {v: v for v in graph.node_ids}
+    for literal in literals:
+        if literal is FALSE:
+            eq.inconsistent_reason = "X contains false"
+            continue
+        apply_literal(eq, literal, assignment)
+    return eq

@@ -1,0 +1,64 @@
+"""Coercion: enforcing a consistent Eq on a graph (Section 4.1).
+
+The coercion ``G_Eq`` of a consistent equivalence relation Eq on G
+merges every node class into one node, carrying
+
+* every edge of every member (redirected to class representatives),
+* the class's merged label — ``_`` only if *all* members are wildcard,
+  otherwise the unique non-wildcard label (rule (c)), and
+* the union of the members' attributes (rule (d)); an attribute whose
+  class carries a constant gets that constant, an attribute whose class
+  was *generated* by the chase but never bound to a constant is present
+  with value ``None`` ("exists, value not yet known" — graphs are
+  schemaless, so presence itself is information).
+
+Class representatives are the minimum member id, so the coercion is
+independent of the order in which merges happened — this is what lets
+the test suite literally compare the results of differently-ordered
+chase sequences (Church-Rosser, Theorem 1).
+"""
+
+from __future__ import annotations
+
+from repro.chase.eqrel import EquivalenceRelation
+from repro.errors import ChaseError
+from repro.graph.graph import Graph
+from repro.patterns.labels import WILDCARD
+
+
+def coerce(eq: EquivalenceRelation) -> Graph:
+    """Build the coercion G_Eq of ``eq`` on its underlying graph.
+
+    Raises :class:`ChaseError` if Eq is inconsistent (G_Eq is undefined,
+    Section 4.1).
+    """
+    if not eq.is_consistent:
+        raise ChaseError(f"coercion of an inconsistent Eq is undefined: {eq.inconsistent_reason}")
+    graph = eq.graph
+    result = Graph()
+
+    representative: dict[str, str] = {}
+    for node_class in eq.node_classes():
+        rep = min(node_class)
+        for member in node_class:
+            representative[member] = rep
+        labels = eq.class_labels(rep)
+        label = next(iter(labels)) if labels else WILDCARD
+        attrs = {}
+        for attr_name in sorted(eq.class_attr_names(rep)):
+            attrs[attr_name] = eq.attr_constant(rep, attr_name)
+        result.add_node(rep, label, attrs)
+
+    for source, edge_label, target in graph.edges:
+        result.add_edge(representative[source], edge_label, representative[target])
+    return result
+
+
+def representative_map(eq: EquivalenceRelation) -> dict[str, str]:
+    """``original node id -> coerced node id`` for a consistent Eq."""
+    mapping: dict[str, str] = {}
+    for node_class in eq.node_classes():
+        rep = min(node_class)
+        for member in node_class:
+            mapping[member] = rep
+    return mapping

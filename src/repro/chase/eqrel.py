@@ -1,0 +1,309 @@
+"""Equivalence relations Eq over nodes and attribute terms (Section 4.1).
+
+The chase maintains an equivalence relation with two kinds of classes:
+
+* ``[x]`` — nodes identified with x (by id literals), and
+* ``[x.A]`` — attribute terms ``y.B`` and constants ``c`` identified
+  with ``x.A`` (by variable / constant literals).
+
+The relation satisfies the paper's closure rules (a)-(d); in particular
+rule (d): *if node y ∈ [x], then for every attribute B present on either,
+[x.B] = [y.B]* — merging two nodes merges all their attribute classes.
+This is what gives id literals their strong semantics ("same node, hence
+same attributes").
+
+**Consistency** (Section 4.1): Eq is inconsistent in G iff
+
+* some node class contains two nodes with incompatible labels — two
+  distinct non-wildcard labels (*label conflict*; ``≼`` is used in both
+  directions, so the wildcard ``_`` of a canonical graph is compatible
+  with anything), or
+* some attribute class contains two distinct constants (*attribute
+  conflict*).
+
+Inconsistency is monotone: once detected the relation stays inconsistent
+(the chase result is then ⊥).  The class records the first reason for
+error reporting.
+
+Implementation notes: node classes carry a payload (their non-wildcard
+labels and an attribute registry ``name -> attribute-term``); attribute
+classes carry their set of constants.  Payloads are keyed by the current
+union-find root and merged on union.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.chase.unionfind import UnionFind
+from repro.graph.graph import Graph, Value
+from repro.patterns.labels import WILDCARD
+
+#: Attribute terms are ("attr", node, attribute); constants ("const", value).
+AttrTerm = tuple[str, str, str]
+ConstTerm = tuple[str, Value]
+
+
+def attr_term(node_id: str, attr: str) -> AttrTerm:
+    return ("attr", node_id, attr)
+
+
+def const_term(value: Value) -> ConstTerm:
+    return ("const", value)
+
+
+class _NodePayload:
+    __slots__ = ("labels", "attrs")
+
+    def __init__(self) -> None:
+        self.labels: set[str] = set()  # distinct non-wildcard labels seen
+        self.attrs: dict[str, AttrTerm] = {}  # attr name -> registered term
+
+
+class _AttrPayload:
+    __slots__ = ("constants",)
+
+    def __init__(self) -> None:
+        self.constants: set[Value] = set()
+
+
+class EquivalenceRelation:
+    """The chase's Eq: coupled node and attribute-term equivalences."""
+
+    def __init__(self, graph: Graph):
+        self._graph = graph
+        self._nodes = UnionFind()
+        self._attrs = UnionFind()
+        self._node_payload: dict[Hashable, _NodePayload] = {}
+        self._attr_payload: dict[Hashable, _AttrPayload] = {}
+        self.inconsistent_reason: str | None = None
+        # Eq0: [x] = {x} for every node; [x.A] = {x.A, a} per attribute.
+        for node in graph.nodes:
+            self._register_node(node.id, node.label)
+        for node in graph.nodes:
+            for attr, value in node.attributes.items():
+                self.set_attr_constant(node.id, attr, value)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register_node(self, node_id: str, label: str) -> None:
+        if self._nodes.add(node_id):
+            payload = _NodePayload()
+            if label != WILDCARD:
+                payload.labels.add(label)
+            self._node_payload[node_id] = payload
+
+    def _node_data(self, node_id: str) -> _NodePayload:
+        return self._node_payload[self._nodes.find(node_id)]
+
+    def _attr_data(self, term: AttrTerm | ConstTerm) -> _AttrPayload:
+        root = self._attrs.find(term)
+        payload = self._attr_payload.get(root)
+        if payload is None:
+            payload = _AttrPayload()
+            if term[0] == "const":
+                payload.constants.add(term[1])
+            self._attr_payload[root] = payload
+        return payload
+
+    def register_attr(self, node_id: str, attr: str) -> AttrTerm:
+        """Ensure ``node_id.A`` has an attribute class ("attribute
+        generation", cases (1)/(2) of the chase step definition).
+
+        Returns a term in the class.  If any node equivalent to
+        ``node_id`` already has an A-class, the new term joins it
+        (closure rule (d)).
+        """
+        term = attr_term(node_id, attr)
+        data = self._node_data(node_id)
+        existing = data.attrs.get(attr)
+        if existing is None:
+            self._attrs.add(term)
+            self._attr_data(term)
+            data.attrs[attr] = term
+        elif existing != term and not self._attrs.same(existing, term):
+            self._merge_attr_terms(existing, term)
+        return term
+
+    # ------------------------------------------------------------------
+    # Mutation (chase-step primitives)
+    # ------------------------------------------------------------------
+    def set_attr_constant(self, node_id: str, attr: str, value: Value) -> bool:
+        """Enforce ``node.A = c``; True if Eq changed."""
+        term = self.register_attr(node_id, attr)
+        c = const_term(value)
+        self._attrs.add(c)
+        self._attr_data(c)
+        return self._merge_attr_terms(term, c)
+
+    def merge_attrs(self, node1: str, attr1: str, node2: str, attr2: str) -> bool:
+        """Enforce ``node1.A = node2.B``; True if Eq changed."""
+        t1 = self.register_attr(node1, attr1)
+        t2 = self.register_attr(node2, attr2)
+        return self._merge_attr_terms(t1, t2)
+
+    def _merge_attr_terms(self, t1, t2) -> bool:
+        d1, d2 = self._attr_data(t1), self._attr_data(t2)
+        merged = self._attrs.union(t1, t2)
+        if merged is None:
+            return False
+        winner, loser = merged
+        payload = self._attr_payload.pop(loser, _AttrPayload())
+        target = self._attr_payload.setdefault(winner, _AttrPayload())
+        if target is not payload:
+            target.constants |= payload.constants
+        # Re-attach payloads computed before the union (d1/d2 roots may
+        # both differ from `winner` after path compression).
+        for stale in (d1, d2):
+            if stale is not target:
+                target.constants |= stale.constants
+        if len(target.constants) > 1 and self.inconsistent_reason is None:
+            values = sorted(map(repr, target.constants))
+            self.inconsistent_reason = f"attribute conflict: constants {values} identified"
+        return True
+
+    def merge_nodes(self, node1: str, node2: str) -> bool:
+        """Enforce ``node1.id = node2.id``; True if Eq changed.
+
+        Applies closure rule (d): the attribute registries of the two
+        classes are merged, unioning per-name attribute classes.
+        """
+        r1, r2 = self._nodes.find(node1), self._nodes.find(node2)
+        if r1 == r2:
+            return False
+        p1, p2 = self._node_payload[r1], self._node_payload[r2]
+        merged = self._nodes.union(r1, r2)
+        assert merged is not None
+        winner, loser = merged
+        keep = self._node_payload[winner]
+        drop = self._node_payload.pop(loser)
+        keep.labels |= drop.labels
+        if len(keep.labels) > 1 and self.inconsistent_reason is None:
+            self.inconsistent_reason = (
+                f"label conflict: labels {sorted(keep.labels)} identified"
+            )
+        # Rule (d): union attribute classes name-by-name.
+        for attr, term in drop.attrs.items():
+            existing = keep.attrs.get(attr)
+            if existing is None:
+                keep.attrs[attr] = term
+            else:
+                self._merge_attr_terms(existing, term)
+        # Guard against stale payload refs (p1/p2 may alias keep/drop).
+        for stale in (p1, p2):
+            if stale is not keep and stale is not drop:  # pragma: no cover
+                keep.labels |= stale.labels
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def is_consistent(self) -> bool:
+        return self.inconsistent_reason is None
+
+    def nodes_equal(self, node1: str, node2: str) -> bool:
+        return self._nodes.same(node1, node2)
+
+    def attr_exists(self, node_id: str, attr: str) -> bool:
+        """Whether ``node.A`` has a class (original or generated)."""
+        return attr in self._node_data(node_id).attrs
+
+    def attrs_equal(self, node1: str, attr1: str, node2: str, attr2: str) -> bool:
+        d1, d2 = self._node_data(node1), self._node_data(node2)
+        t1, t2 = d1.attrs.get(attr1), d2.attrs.get(attr2)
+        if t1 is None or t2 is None:
+            return False
+        return self._attrs.same(t1, t2)
+
+    def attr_constant(self, node_id: str, attr: str) -> Value | None:
+        """The constant of ``[node.A]`` if one exists (None otherwise)."""
+        term = self._node_data(node_id).attrs.get(attr)
+        if term is None:
+            return None
+        constants = self._attr_data(term).constants
+        if not constants:
+            return None
+        if len(constants) == 1:
+            return next(iter(constants))
+        return sorted(map(repr, constants))[0]  # inconsistent state: stable pick
+
+    def attr_has_constant(self, node_id: str, attr: str, value: Value) -> bool:
+        term = self._node_data(node_id).attrs.get(attr)
+        if term is None:
+            return False
+        return value in self._attr_data(term).constants
+
+    def node_class(self, node_id: str) -> set[str]:
+        return {n for n in self._nodes.class_of(node_id)}
+
+    def node_representative(self, node_id: str) -> str:
+        """Deterministic class representative: the smallest member id.
+
+        Using the minimum (not the union-find root) makes coercion
+        graphs independent of the merge order — needed to *observe* the
+        Church-Rosser property in tests.
+        """
+        return min(self._nodes.class_of(node_id))
+
+    def node_classes(self) -> list[set[str]]:
+        return sorted((set(c) for c in self._nodes.classes()), key=lambda c: min(c))
+
+    def class_labels(self, node_id: str) -> set[str]:
+        """The non-wildcard labels present in the node's class."""
+        return set(self._node_data(node_id).labels)
+
+    def class_attr_names(self, node_id: str) -> set[str]:
+        return set(self._node_data(node_id).attrs)
+
+    def attr_class_id(self, node_id: str, attr: str) -> Hashable | None:
+        """An opaque, stable identifier of ``[node.A]`` (or None).
+
+        Stable across queries but not across mutations; used to group
+        attribute terms when building models.
+        """
+        term = self._node_data(node_id).attrs.get(attr)
+        if term is None:
+            return None
+        return self._attrs.find(term)
+
+    def element_count(self) -> int:
+        """Total elements in all classes — the |Eq| of Theorem 1."""
+        return self._nodes.num_elements + self._attrs.num_elements
+
+    # ------------------------------------------------------------------
+    # Literal views (used by implication and proof synthesis)
+    # ------------------------------------------------------------------
+    def as_literals(self) -> list[tuple]:
+        """Eq as a list of primitive equalities, deterministically ordered.
+
+        Each entry is ``("id", u, v)``, ``("attr", (u, A), (v, B))`` or
+        ``("const", (u, A), c)`` relating class members to their class's
+        representative element.  Together the entries axiomatize Eq.
+        """
+        literals: list[tuple] = []
+        for cls in self.node_classes():
+            rep = min(cls)
+            for member in sorted(cls):
+                if member != rep:
+                    literals.append(("id", rep, member))
+        attr_classes: dict[Hashable, list] = {}
+        for cls in self._attrs.classes():
+            members = sorted(cls, key=repr)
+            attr_classes[id(cls)] = members
+        for members in sorted(attr_classes.values(), key=repr):
+            attr_members = [m for m in members if m[0] == "attr"]
+            const_members = [m for m in members if m[0] == "const"]
+            if not attr_members:
+                continue
+            rep = attr_members[0]
+            for member in attr_members[1:]:
+                literals.append(("attr", (rep[1], rep[2]), (member[1], member[2])))
+            for member in const_members:
+                literals.append(("const", (rep[1], rep[2]), member[1]))
+        return literals

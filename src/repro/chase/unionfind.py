@@ -1,0 +1,90 @@
+"""A union-find (disjoint-set) structure with lazy element creation.
+
+The chase's equivalence relations Eq are built from two coupled
+union-finds (one over nodes, one over attribute terms and constants);
+this module provides the shared machinery: path compression, union by
+size, deterministic class enumeration, and an element count used for
+the Theorem 1 size bound |Eq| ≤ 4·|G|·|Σ|.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable elements."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+
+    def add(self, element: Hashable) -> bool:
+        """Register an element as a singleton class; False if known."""
+        if element in self._parent:
+            return False
+        self._parent[element] = element
+        self._size[element] = 1
+        return True
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def find(self, element: Hashable) -> Hashable:
+        """The class representative (with path compression).
+
+        The element is registered on first use.
+        """
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> tuple[Hashable, Hashable] | None:
+        """Merge the classes of ``a`` and ``b``.
+
+        Returns ``(winner_root, loser_root)`` if a merge happened (so
+        callers can merge class payloads), or ``None`` if the elements
+        were already equivalent.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return None
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra, rb
+
+    def same(self, a: Hashable, b: Hashable) -> bool:
+        """Whether two elements are in one class (registers both)."""
+        return self.find(a) == self.find(b)
+
+    def class_of(self, element: Hashable) -> set[Hashable]:
+        """All members of the element's class (O(n) — for inspection)."""
+        root = self.find(element)
+        return {e for e in self._parent if self.find(e) == root}
+
+    def classes(self) -> Iterator[set[Hashable]]:
+        """All classes, each as a set of members."""
+        by_root: dict[Hashable, set[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        yield from by_root.values()
+
+    @property
+    def num_elements(self) -> int:
+        return len(self._parent)
+
+    @property
+    def num_classes(self) -> int:
+        return sum(1 for e, p in self._parent.items() if self.find(e) == e)
+
+    def copy(self) -> "UnionFind":
+        clone = UnionFind()
+        clone._parent = dict(self._parent)
+        clone._size = dict(self._size)
+        return clone

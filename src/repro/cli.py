@@ -1,0 +1,258 @@
+"""Command-line interface for the GED toolchain.
+
+Operates on JSON files in the formats of :mod:`repro.graph.io` and
+:mod:`repro.deps.io`::
+
+    python -m repro.cli validate --graph kb.json --rules rules.json
+    python -m repro.cli satisfiable --rules rules.json
+    python -m repro.cli implies --rules rules.json --phi target.json
+    python -m repro.cli chase --graph kb.json --rules keys.json -o out.json
+    python -m repro.cli repair --graph kb.json --rules rules.json -o clean.json
+    python -m repro.cli discover --graph kb.json --min-support 3 -o rules.json
+    python -m repro.cli cover --rules rules.json -o cover.json
+    python -m repro.cli pvalidate --graph kb.json --rules rules.json --workers 4
+
+Rule files contain either a single GED dictionary or a list of them.
+Exit status: 0 for "yes/clean", 1 for "no/violations", 2 for usage or
+input errors — scriptable in data-quality pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.chase.engine import chase
+from repro.deps.io import ged_from_dict
+from repro.errors import ReproError
+from repro.graph.io import graph_from_json, graph_to_json
+from repro.reasoning.implication import check_implication
+from repro.reasoning.satisfiability import check_satisfiability
+from repro.reasoning.validation import find_violations
+
+
+def load_rules(path: str):
+    """Load a JSON rule file (one GED dict or a list of them)."""
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        data = [data]
+    return [ged_from_dict(entry) for entry in data]
+
+
+def load_graph(path: str):
+    """Load a JSON graph file (repro.graph.io format)."""
+    return graph_from_json(Path(path).read_text())
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """`validate`: list violations of Σ in G; exit 1 when dirty."""
+    graph = load_graph(args.graph)
+    rules = load_rules(args.rules)
+    violations = find_violations(graph, rules, limit=args.limit)
+    print(f"{len(violations)} violation(s)")
+    for violation in violations:
+        print(f"  {violation}")
+    return 0 if not violations else 1
+
+
+def cmd_satisfiable(args: argparse.Namespace) -> int:
+    """`satisfiable`: the Theorem 2 check; exit 1 when unsatisfiable."""
+    rules = load_rules(args.rules)
+    outcome = check_satisfiability(rules)
+    print("satisfiable" if outcome.satisfiable else f"unsatisfiable: {outcome.reason}")
+    return 0 if outcome.satisfiable else 1
+
+
+def cmd_implies(args: argparse.Namespace) -> int:
+    """`implies`: the Theorem 4 check; exit 1 when not implied."""
+    rules = load_rules(args.rules)
+    (phi,) = load_rules(args.phi)
+    outcome = check_implication(rules, phi)
+    if outcome.implied:
+        print(f"implied ({outcome.mode})")
+        return 0
+    missing = ", ".join(str(l) for l in outcome.missing)
+    print(f"not implied; underivable literals: {missing}")
+    return 1
+
+
+def cmd_chase(args: argparse.Namespace) -> int:
+    """`chase`: chase G by Σ, optionally writing the coercion."""
+    graph = load_graph(args.graph)
+    rules = load_rules(args.rules)
+    result = chase(graph, rules)
+    if not result.consistent:
+        print(f"chase inconsistent: {result.reason}")
+        return 1
+    merged = sum(1 for c in result.eq.node_classes() if len(c) > 1)
+    print(f"chase valid: {len(result.steps)} step(s), {merged} merged class(es)")
+    if args.output:
+        Path(args.output).write_text(graph_to_json(result.graph, indent=2))
+        print(f"coerced graph written to {args.output}")
+    return 0
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    """`repair`: greedy violation-driven repair; exit 1 when dirty."""
+    from repro.repair import CostModel, repair
+
+    graph = load_graph(args.graph)
+    rules = load_rules(args.rules)
+    model = CostModel()
+    report = repair(
+        graph,
+        rules,
+        cost_model=model,
+        max_operations=args.max_operations,
+        allow_backward=not args.forward_only,
+    )
+    print(report.summary())
+    if args.output:
+        Path(args.output).write_text(graph_to_json(report.graph, indent=2))
+        print(f"repaired graph written to {args.output}")
+    return 0 if report.clean else 1
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    """`discover`: mine GFDs from a graph; exit 1 when none found."""
+    from repro.deps.io import ged_to_dict
+    from repro.discovery import discover_gfds
+
+    graph = load_graph(args.graph)
+    rules = discover_gfds(
+        graph,
+        max_lhs=args.max_lhs,
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        include_paths=args.paths,
+        include_forks=args.forks,
+    )
+    print(f"{len(rules)} rule(s) discovered")
+    for rule in rules:
+        print(f"  {rule}")
+    if args.output:
+        payload = [ged_to_dict(rule.ged) for rule in rules]
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+        print(f"rules written to {args.output}")
+    return 0 if rules else 1
+
+
+def cmd_cover(args: argparse.Namespace) -> int:
+    """`cover`: minimize a rule set (structural dedup + implication)."""
+    from repro.deps.io import ged_to_dict
+    from repro.optimization import compute_cover
+
+    rules = load_rules(args.rules)
+    report = compute_cover(rules)
+    print(
+        f"cover: {len(rules)} -> {len(report.cover)} "
+        f"({len(report.structural_duplicates)} duplicate(s), "
+        f"{len(report.implied)} implied)"
+    )
+    if args.output:
+        payload = [ged_to_dict(ged) for ged in report.cover]
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+        print(f"cover written to {args.output}")
+    return 0
+
+
+def cmd_pvalidate(args: argparse.Namespace) -> int:
+    """`pvalidate`: sharded validation; exit 1 when dirty."""
+    from repro.parallel import parallel_find_violations
+
+    graph = load_graph(args.graph)
+    rules = load_rules(args.rules)
+    report = parallel_find_violations(
+        graph, rules, workers=args.workers, backend=args.backend
+    )
+    print(
+        f"{len(report.violations)} violation(s) "
+        f"[{report.backend}, {report.workers} worker(s), "
+        f"{report.total_matches()} matches, balance {report.balance():.2f}]"
+    )
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.valid else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (one sub-command per pipeline stage)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Graph entity dependencies (Fan & Lu, PODS 2017)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="check G |= Σ, list violations")
+    validate.add_argument("--graph", required=True)
+    validate.add_argument("--rules", required=True)
+    validate.add_argument("--limit", type=int, default=None)
+    validate.set_defaults(func=cmd_validate)
+
+    satisfiable = sub.add_parser("satisfiable", help="Theorem 2 satisfiability check")
+    satisfiable.add_argument("--rules", required=True)
+    satisfiable.set_defaults(func=cmd_satisfiable)
+
+    implies_cmd = sub.add_parser("implies", help="Theorem 4 implication check")
+    implies_cmd.add_argument("--rules", required=True)
+    implies_cmd.add_argument("--phi", required=True, help="file with the single target GED")
+    implies_cmd.set_defaults(func=cmd_implies)
+
+    chase_cmd = sub.add_parser("chase", help="chase a graph (entity resolution)")
+    chase_cmd.add_argument("--graph", required=True)
+    chase_cmd.add_argument("--rules", required=True)
+    chase_cmd.add_argument("-o", "--output", default=None)
+    chase_cmd.set_defaults(func=cmd_chase)
+
+    repair_cmd = sub.add_parser("repair", help="greedy violation-driven repair")
+    repair_cmd.add_argument("--graph", required=True)
+    repair_cmd.add_argument("--rules", required=True)
+    repair_cmd.add_argument("--max-operations", type=int, default=1000)
+    repair_cmd.add_argument(
+        "--forward-only",
+        action="store_true",
+        help="never retract attributes or delete edges/nodes",
+    )
+    repair_cmd.add_argument("-o", "--output", default=None)
+    repair_cmd.set_defaults(func=cmd_repair)
+
+    discover_cmd = sub.add_parser("discover", help="mine GFDs from a data graph")
+    discover_cmd.add_argument("--graph", required=True)
+    discover_cmd.add_argument("--max-lhs", type=int, default=1)
+    discover_cmd.add_argument("--min-support", type=int, default=2)
+    discover_cmd.add_argument("--min-confidence", type=float, default=1.0)
+    discover_cmd.add_argument("--paths", action="store_true", help="also profile 2-edge chains")
+    discover_cmd.add_argument("--forks", action="store_true", help="also profile 2-edge forks")
+    discover_cmd.add_argument("-o", "--output", default=None)
+    discover_cmd.set_defaults(func=cmd_discover)
+
+    cover_cmd = sub.add_parser("cover", help="minimize a rule set (drop implied rules)")
+    cover_cmd.add_argument("--rules", required=True)
+    cover_cmd.add_argument("-o", "--output", default=None)
+    cover_cmd.set_defaults(func=cmd_cover)
+
+    pvalidate_cmd = sub.add_parser("pvalidate", help="sharded/parallel validation")
+    pvalidate_cmd.add_argument("--graph", required=True)
+    pvalidate_cmd.add_argument("--rules", required=True)
+    pvalidate_cmd.add_argument("--workers", type=int, default=2)
+    pvalidate_cmd.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default="serial"
+    )
+    pvalidate_cmd.set_defaults(func=cmd_pvalidate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse, dispatch, map library errors to exit 2."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

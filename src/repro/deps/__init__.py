@@ -1,0 +1,48 @@
+"""Dependencies for graphs: literals, GEDs and sub-classes (Section 3)."""
+
+from repro.deps.ged import GED, GKey, make_gkey, sigma_size
+from repro.deps.io import (
+    ged_from_dict,
+    ged_from_json,
+    ged_to_dict,
+    ged_to_json,
+    literal_from_dict,
+    literal_to_dict,
+)
+from repro.deps.literals import (
+    FALSE,
+    ConstantLiteral,
+    IdLiteral,
+    Literal,
+    VariableLiteral,
+    check_literal,
+    desugar_false,
+    literal_variables,
+    substitute,
+)
+from repro.deps.relational import CFD, EGD, FD
+
+__all__ = [
+    "CFD",
+    "EGD",
+    "FALSE",
+    "FD",
+    "GED",
+    "GKey",
+    "ConstantLiteral",
+    "IdLiteral",
+    "Literal",
+    "VariableLiteral",
+    "check_literal",
+    "desugar_false",
+    "ged_from_dict",
+    "ged_from_json",
+    "ged_to_dict",
+    "ged_to_json",
+    "literal_from_dict",
+    "literal_to_dict",
+    "literal_variables",
+    "make_gkey",
+    "sigma_size",
+    "substitute",
+]

@@ -1,0 +1,211 @@
+"""Graph entity dependencies — GEDs and their sub-classes (Section 3).
+
+A GED φ = Q[x̄](X → Y) combines a graph pattern Q (the topological scope)
+with an attribute dependency X → Y over literal sets X and Y.  The
+paper's sub-classes, all represented by the same :class:`GED` type and
+recognized structurally:
+
+========  ===========================================================
+GFD       no id literals (the GFDs of [23], under homomorphism)
+GKey      Q = Q1 composed with a copy of Q1, Y = x0.id = y0.id
+GEDx      no constant literals ("variable GEDs")
+GFDx      neither id nor constant literals (extend relational FDs)
+forbidding  Y = false
+========  ===========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.deps.literals import (
+    FALSE,
+    ConstantLiteral,
+    IdLiteral,
+    Literal,
+    VariableLiteral,
+    check_literal,
+)
+from repro.errors import DependencyError
+from repro.patterns.pattern import Pattern
+
+
+class GED:
+    """A graph entity dependency Q[x̄](X → Y).
+
+    ``X`` and ``Y`` are sets of literals over the pattern's variables
+    (either may be empty; ``Y`` may be ``[FALSE]`` for forbidding
+    constraints).  Instances are immutable and hashable.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        X: Iterable[Literal] = (),
+        Y: Iterable[Literal] = (),
+        name: str | None = None,
+    ):
+        self.pattern = pattern
+        self.X: frozenset[Literal] = frozenset(X)
+        self.Y: frozenset[Literal] = frozenset(Y)
+        self.name = name
+        for literal in self.X | self.Y:
+            check_literal(literal, pattern.variables)
+        if FALSE in self.X:
+            raise DependencyError("'false' may only appear in Y (forbidding constraints)")
+
+    # ------------------------------------------------------------------
+    # Classification (Section 3, "Special cases")
+    # ------------------------------------------------------------------
+    @property
+    def has_id_literals(self) -> bool:
+        return any(isinstance(l, IdLiteral) for l in self.X | self.Y)
+
+    @property
+    def has_constant_literals(self) -> bool:
+        """Constant literals; ``false`` counts (it desugars to constants)."""
+        return any(
+            isinstance(l, ConstantLiteral) or l is FALSE for l in self.X | self.Y
+        )
+
+    @property
+    def is_gfd(self) -> bool:
+        """GFDs of [23]: GEDs without id literals."""
+        return not self.has_id_literals
+
+    @property
+    def is_gedx(self) -> bool:
+        """Variable GEDs: no constant literals."""
+        return not self.has_constant_literals
+
+    @property
+    def is_gfdx(self) -> bool:
+        """Variable GFDs: neither constant nor id literals."""
+        return self.is_gfd and self.is_gedx
+
+    @property
+    def is_forbidding(self) -> bool:
+        """Forbidding constraints Q[x̄](X → false)."""
+        return FALSE in self.Y
+
+    def classify(self) -> set[str]:
+        """All sub-class names this dependency belongs to."""
+        classes = {"GED"}
+        if self.is_gfd:
+            classes.add("GFD")
+        if self.is_gedx:
+            classes.add("GEDx")
+        if self.is_gfdx:
+            classes.add("GFDx")
+        if isinstance(self, GKey):
+            classes.add("GKey")
+        if self.is_forbidding:
+            classes.add("forbidding")
+        return classes
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GED):
+            return NotImplemented
+        return self.pattern == other.pattern and self.X == other.X and self.Y == other.Y
+
+    def __hash__(self) -> int:
+        return hash((self.pattern, self.X, self.Y))
+
+    def __str__(self) -> str:
+        x = " ∧ ".join(sorted(str(l) for l in self.X)) or "∅"
+        y = " ∧ ".join(sorted(str(l) for l in self.Y)) or "∅"
+        head = self.name or "GED"
+        return f"{head}: Q[{', '.join(self.pattern.variables)}]({x} → {y})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self}>"
+
+
+class GKey(GED):
+    """A key for graphs (Section 3 (2)).
+
+    ``Q[z̄](X → x0.id = y0.id)`` where Q is ``Q1[x̄]`` composed with a
+    copy ``Q2[ȳ]`` of Q1 via a bijection f, and ``y0 = f(x0)``.  Use
+    :func:`make_gkey` to build one from Q1 and the comparison spec.
+    """
+
+    def __init__(
+        self,
+        q1: Pattern,
+        bijection: Mapping[str, str],
+        x0: str,
+        X: Iterable[Literal] = (),
+        name: str | None = None,
+    ):
+        if x0 not in q1.variables:
+            raise DependencyError(f"designated node {x0!r} is not a variable of Q1")
+        q2 = q1.copy_with_bijection(bijection)
+        pattern = q1.compose(q2)
+        y0 = bijection[x0]
+        super().__init__(pattern, X, [IdLiteral(x0, y0)], name=name)
+        self.q1 = q1
+        self.bijection = dict(bijection)
+        self.x0 = x0
+        self.y0 = y0
+
+
+def make_gkey(
+    q1: Pattern,
+    x0: str,
+    value_attrs: Mapping[str, Iterable[str]] | None = None,
+    id_vars: Iterable[str] = (),
+    constant_conditions: Iterable[ConstantLiteral] = (),
+    suffix: str = "'",
+    name: str | None = None,
+) -> GKey:
+    """Build a GKey from a single pattern Q1 and a comparison spec.
+
+    Parameters
+    ----------
+    q1:
+        the entity pattern Q1[x̄] (e.g. album --primary_artist--> artist).
+    x0:
+        the designated variable identified by the key.
+    value_attrs:
+        ``variable -> attributes`` compared by value between the pattern
+        and its copy, producing variable literals ``v.A = f(v).A``.
+    id_vars:
+        variables whose images must already be identified, producing id
+        literals ``v.id = f(v).id`` in X — this is what makes keys
+        *recursive* (Example 1: to identify an album, first identify its
+        artist, and vice versa).
+    constant_conditions:
+        extra constant literals for X (conditions on Q1's variables; each
+        is mirrored onto the copy).
+    """
+    bijection = {v: v + suffix for v in q1.variables}
+    X: list[Literal] = []
+    for variable, attrs in (value_attrs or {}).items():
+        if variable not in q1.variables:
+            raise DependencyError(f"value-compared variable {variable!r} not in Q1")
+        for attr in attrs:
+            X.append(VariableLiteral(variable, attr, bijection[variable], attr))
+    for variable in id_vars:
+        if variable not in q1.variables:
+            raise DependencyError(f"id-compared variable {variable!r} not in Q1")
+        X.append(IdLiteral(variable, bijection[variable]))
+    for condition in constant_conditions:
+        if condition.var not in q1.variables:
+            raise DependencyError(f"condition variable {condition.var!r} not in Q1")
+        X.append(condition)
+        X.append(ConstantLiteral(bijection[condition.var], condition.attr, condition.const))
+    return GKey(q1, bijection, x0, X, name=name)
+
+
+def sigma_size(dependencies: Iterable[GED]) -> int:
+    """|Σ| = total size of patterns plus literal counts.
+
+    Used by the Theorem 1 bound |Eq| ≤ 4·|G|·|Σ|.
+    """
+    total = 0
+    for ged in dependencies:
+        total += ged.pattern.size() + len(ged.X) + len(ged.Y)
+    return total

@@ -1,0 +1,74 @@
+"""JSON (de)serialization for literals and dependencies."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.deps.ged import GED
+from repro.deps.literals import (
+    FALSE,
+    ConstantLiteral,
+    IdLiteral,
+    Literal,
+    VariableLiteral,
+)
+from repro.errors import DependencyError
+from repro.patterns.io import pattern_from_dict, pattern_to_dict
+
+
+def literal_to_dict(literal: Literal) -> dict[str, Any]:
+    if isinstance(literal, ConstantLiteral):
+        return {"kind": "const", "var": literal.var, "attr": literal.attr, "value": literal.const}
+    if isinstance(literal, VariableLiteral):
+        return {
+            "kind": "var",
+            "var1": literal.var1,
+            "attr1": literal.attr1,
+            "var2": literal.var2,
+            "attr2": literal.attr2,
+        }
+    if isinstance(literal, IdLiteral):
+        return {"kind": "id", "var1": literal.var1, "var2": literal.var2}
+    if literal is FALSE:
+        return {"kind": "false"}
+    raise DependencyError(f"cannot serialize literal {literal!r}")
+
+
+def literal_from_dict(data: dict[str, Any]) -> Literal:
+    kind = data.get("kind")
+    if kind == "const":
+        return ConstantLiteral(data["var"], data["attr"], data["value"])
+    if kind == "var":
+        return VariableLiteral(data["var1"], data["attr1"], data["var2"], data["attr2"])
+    if kind == "id":
+        return IdLiteral(data["var1"], data["var2"])
+    if kind == "false":
+        return FALSE
+    raise DependencyError(f"unknown literal kind {kind!r}")
+
+
+def ged_to_dict(ged: GED) -> dict[str, Any]:
+    return {
+        "pattern": pattern_to_dict(ged.pattern),
+        "X": sorted((literal_to_dict(l) for l in ged.X), key=str),
+        "Y": sorted((literal_to_dict(l) for l in ged.Y), key=str),
+        "name": ged.name,
+    }
+
+
+def ged_from_dict(data: dict[str, Any]) -> GED:
+    return GED(
+        pattern_from_dict(data["pattern"]),
+        [literal_from_dict(l) for l in data.get("X", [])],
+        [literal_from_dict(l) for l in data.get("Y", [])],
+        name=data.get("name"),
+    )
+
+
+def ged_to_json(ged: GED, indent: int | None = None) -> str:
+    return json.dumps(ged_to_dict(ged), indent=indent, sort_keys=True)
+
+
+def ged_from_json(text: str) -> GED:
+    return ged_from_dict(json.loads(text))

@@ -1,0 +1,188 @@
+"""Dependency literals (Section 3).
+
+A literal of x̄ is one of
+
+* a **constant literal** ``x.A = c`` — attribute A of x equals constant c
+  (A may not be ``id``);
+* a **variable literal** ``x.A = y.B`` — attributes of two (not
+  necessarily distinct) variables agree (neither may be ``id``);
+* an **id literal** ``x.id = y.id`` — x and y denote the same node, hence
+  share all attributes and edges.
+
+``FALSE`` is the paper's syntactic sugar for an unsatisfiable Y (e.g.
+``y.A = c ∧ y.A = d`` for distinct c, d); GEDs with ``Y = [FALSE]`` are
+the *forbidding constraints* of Section 3 (4).  We keep ``FALSE`` as a
+first-class literal (cleaner than forcing callers to invent the two
+constants) and provide :func:`desugar_false` for code paths that want
+the two-constant encoding.
+
+Literals are immutable and hashable so they can live in sets — the FD
+part of a GED is a pair of literal *sets* X → Y.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import LiteralError
+from repro.graph.graph import ID_ATTRIBUTE, Value
+
+
+@dataclass(frozen=True)
+class ConstantLiteral:
+    """``x.A = c``."""
+
+    var: str
+    attr: str
+    const: Value
+
+    def __post_init__(self) -> None:
+        if self.attr == ID_ATTRIBUTE:
+            raise LiteralError("constant literals may not use the 'id' attribute")
+        if not self.var or not self.attr:
+            raise LiteralError("constant literal needs a variable and an attribute")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.var})
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.attr} = {self.const!r}"
+
+
+@dataclass(frozen=True)
+class VariableLiteral:
+    """``x.A = y.B``."""
+
+    var1: str
+    attr1: str
+    var2: str
+    attr2: str
+
+    def __post_init__(self) -> None:
+        if ID_ATTRIBUTE in (self.attr1, self.attr2):
+            raise LiteralError(
+                "variable literals may not use the 'id' attribute; use IdLiteral"
+            )
+        if not (self.var1 and self.attr1 and self.var2 and self.attr2):
+            raise LiteralError("variable literal needs two variable.attribute terms")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.var1, self.var2})
+
+    def flipped(self) -> "VariableLiteral":
+        return VariableLiteral(self.var2, self.attr2, self.var1, self.attr1)
+
+    def __str__(self) -> str:
+        return f"{self.var1}.{self.attr1} = {self.var2}.{self.attr2}"
+
+
+@dataclass(frozen=True)
+class IdLiteral:
+    """``x.id = y.id``."""
+
+    var1: str
+    var2: str
+
+    def __post_init__(self) -> None:
+        if not (self.var1 and self.var2):
+            raise LiteralError("id literal needs two variables")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.var1, self.var2})
+
+    def flipped(self) -> "IdLiteral":
+        return IdLiteral(self.var2, self.var1)
+
+    def __str__(self) -> str:
+        return f"{self.var1}.id = {self.var2}.id"
+
+
+class _FalseLiteral:
+    """The Boolean constant ``false`` (a singleton)."""
+
+    _instance: "_FalseLiteral | None" = None
+
+    def __new__(cls) -> "_FalseLiteral":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "false"
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+    def __hash__(self) -> int:
+        return hash("__false__")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _FalseLiteral)
+
+
+#: The unique ``false`` literal.
+FALSE = _FalseLiteral()
+
+Literal = Union[ConstantLiteral, VariableLiteral, IdLiteral, _FalseLiteral]
+
+#: Internal marker constants for desugaring ``false``.
+_FALSE_ATTR = "__false__"
+_FALSE_C0: Value = "__false_c0__"
+_FALSE_C1: Value = "__false_c1__"
+
+
+def desugar_false(variable: str) -> tuple[ConstantLiteral, ConstantLiteral]:
+    """The paper's encoding of ``false``: ``y.A = c ∧ y.A = d``, c ≠ d."""
+    return (
+        ConstantLiteral(variable, _FALSE_ATTR, _FALSE_C0),
+        ConstantLiteral(variable, _FALSE_ATTR, _FALSE_C1),
+    )
+
+
+def literal_variables(literals) -> set[str]:
+    """All variables mentioned by a collection of literals."""
+    result: set[str] = set()
+    for literal in literals:
+        result |= literal.variables
+    return result
+
+
+def check_literal(literal: Literal, variables) -> None:
+    """Raise :class:`LiteralError` unless the literal only uses ``variables``."""
+    if not isinstance(
+        literal, (ConstantLiteral, VariableLiteral, IdLiteral, _FalseLiteral)
+    ):
+        raise LiteralError(f"not a literal: {literal!r}")
+    unknown = literal.variables - set(variables)
+    if unknown:
+        raise LiteralError(
+            f"literal {literal} uses variables {sorted(unknown)} not in the pattern"
+        )
+
+
+def substitute(literal: Literal, mapping) -> Literal:
+    """Apply a variable substitution h to a literal: the paper's h(l).
+
+    ``mapping`` sends variables to variables (proof-level use) or to node
+    ids (match-level use); unmapped variables are kept.
+    """
+    if isinstance(literal, ConstantLiteral):
+        return ConstantLiteral(mapping.get(literal.var, literal.var), literal.attr, literal.const)
+    if isinstance(literal, VariableLiteral):
+        return VariableLiteral(
+            mapping.get(literal.var1, literal.var1),
+            literal.attr1,
+            mapping.get(literal.var2, literal.var2),
+            literal.attr2,
+        )
+    if isinstance(literal, IdLiteral):
+        return IdLiteral(mapping.get(literal.var1, literal.var1), mapping.get(literal.var2, literal.var2))
+    return literal  # FALSE has no variables

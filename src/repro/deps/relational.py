@@ -1,0 +1,220 @@
+"""Relational dependencies and their GED encodings (Section 3 (5)).
+
+The paper shows that when relation tuples are represented as nodes of a
+graph (see :mod:`repro.graph.relational`), traditional FDs, CFDs [21]
+and EGDs [7] are all expressible as GEDs.  This module implements the
+three relational dependency classes, direct relational satisfaction
+checks (used as oracles in tests), and the encodings:
+
+* an **FD** ``R(X → Y)`` becomes a two-node pattern (two R-tuples) with
+  variable literals equating the X attributes in the premise and the Y
+  attributes in the conclusion, plus the attribute-existence GED
+  ``Q[t](∅ → t.A = t.A)`` for the mentioned attributes;
+* a **CFD** adds constant literals for the pattern-tableau constants;
+* an **EGD** ``∀z̄ (φ(z̄) → y1 = y2)`` becomes the pair (φ_R, φ_E) of the
+  paper: an edgeless pattern Q_E with one node per relation atom,
+  φ_R enforcing attribute existence, φ_E enforcing the implied equality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, Literal, VariableLiteral
+from repro.errors import DependencyError
+from repro.graph.graph import Value
+from repro.graph.relational import Relation
+from repro.patterns.pattern import Pattern
+
+
+class FD:
+    """A relational functional dependency ``R: X → Y``."""
+
+    def __init__(self, relation: str, lhs: Sequence[str], rhs: Sequence[str]):
+        if not relation:
+            raise DependencyError("FD needs a relation name")
+        if not rhs:
+            raise DependencyError("FD needs a non-empty right-hand side")
+        self.relation = relation
+        self.lhs = list(lhs)
+        self.rhs = list(rhs)
+
+    def holds_on(self, relation: Relation) -> bool:
+        """Direct relational semantics (testing oracle)."""
+        for i, t1 in enumerate(relation.tuples):
+            for t2 in relation.tuples[i:]:
+                if all(t1[a] == t2[a] for a in self.lhs):
+                    if not all(t1[b] == t2[b] for b in self.rhs):
+                        return False
+        return True
+
+    def encode(self) -> list[GED]:
+        """The GED encoding: attribute existence + the FD itself."""
+        existence = _existence_ged(self.relation, self.lhs + self.rhs)
+        pattern = Pattern({"t1": self.relation, "t2": self.relation})
+        X: list[Literal] = [VariableLiteral("t1", a, "t2", a) for a in self.lhs]
+        Y: list[Literal] = [VariableLiteral("t1", b, "t2", b) for b in self.rhs]
+        fd = GED(pattern, X, Y, name=f"FD {self.relation}({self.lhs} -> {self.rhs})")
+        return [existence, fd]
+
+    def __str__(self) -> str:
+        return f"{self.relation}: {', '.join(self.lhs)} -> {', '.join(self.rhs)}"
+
+
+class CFD:
+    """A conditional functional dependency [21].
+
+    ``lhs`` / ``rhs`` map attributes to either a constant or ``None``
+    (the CFD wildcard '_', meaning "any value, but equal across the two
+    tuples" on the left and "equal across the two tuples" on the right).
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        lhs: Mapping[str, Value | None],
+        rhs: Mapping[str, Value | None],
+    ):
+        if not rhs:
+            raise DependencyError("CFD needs a non-empty right-hand side")
+        self.relation = relation
+        self.lhs = dict(lhs)
+        self.rhs = dict(rhs)
+
+    def holds_on(self, relation: Relation) -> bool:
+        """Direct relational semantics (testing oracle)."""
+        def lhs_matches(t: dict) -> bool:
+            return all(c is None or t[a] == c for a, c in self.lhs.items())
+
+        for t1 in relation.tuples:
+            if not lhs_matches(t1):
+                continue
+            for c_attr, c in self.rhs.items():
+                if c is not None and t1[c_attr] != c:
+                    return False
+            for t2 in relation.tuples:
+                if not lhs_matches(t2):
+                    continue
+                if all(t1[a] == t2[a] for a in self.lhs):
+                    for c_attr, c in self.rhs.items():
+                        if c is None and t1[c_attr] != t2[c_attr]:
+                            return False
+        return True
+
+    def encode(self) -> list[GED]:
+        """The GED encoding over the tuple-as-node representation."""
+        attrs = list(self.lhs) + list(self.rhs)
+        existence = _existence_ged(self.relation, attrs)
+        pattern = Pattern({"t1": self.relation, "t2": self.relation})
+        X: list[Literal] = []
+        for attr, const in self.lhs.items():
+            X.append(VariableLiteral("t1", attr, "t2", attr))
+            if const is not None:
+                X.append(ConstantLiteral("t1", attr, const))
+                X.append(ConstantLiteral("t2", attr, const))
+        Y: list[Literal] = []
+        for attr, const in self.rhs.items():
+            if const is None:
+                Y.append(VariableLiteral("t1", attr, "t2", attr))
+            else:
+                Y.append(ConstantLiteral("t1", attr, const))
+                Y.append(ConstantLiteral("t2", attr, const))
+        cfd = GED(pattern, X, Y, name=f"CFD {self.relation}")
+        return [existence, cfd]
+
+
+class EGD:
+    """An equality-generating dependency ``∀z̄ (φ(z̄) → y1 = y2)``.
+
+    ``atoms`` is a list of ``(relation_name, {attribute: logic_var})``
+    pairs; a logic variable occurring in several positions expresses the
+    equality atoms of φ.  ``conclusion`` names the two logic variables
+    y1, y2 equated by the EGD.
+    """
+
+    def __init__(
+        self,
+        atoms: Sequence[tuple[str, Mapping[str, str]]],
+        conclusion: tuple[str, str],
+    ):
+        if not atoms:
+            raise DependencyError("EGD needs at least one relation atom")
+        self.atoms = [(rel, dict(pos)) for rel, pos in atoms]
+        self.conclusion = conclusion
+        positions = self._positions()
+        for y in conclusion:
+            if y not in positions:
+                raise DependencyError(f"conclusion variable {y!r} does not occur in any atom")
+
+    def _positions(self) -> dict[str, list[tuple[str, str]]]:
+        """logic var -> [(pattern node, attribute)] occurrences."""
+        occurrences: dict[str, list[tuple[str, str]]] = {}
+        for index, (_, mapping) in enumerate(self.atoms):
+            node = f"t{index}"
+            for attr, logic_var in mapping.items():
+                occurrences.setdefault(logic_var, []).append((node, attr))
+        return occurrences
+
+    def holds_on(self, relations: Mapping[str, Relation]) -> bool:
+        """Direct relational semantics by exhaustive enumeration (oracle)."""
+        from itertools import product
+
+        pools = []
+        for rel_name, _ in self.atoms:
+            relation = relations.get(rel_name)
+            pools.append(relation.tuples if relation is not None else [])
+        positions = self._positions()
+        for combo in product(*pools):
+            binding: dict[str, Value] = {}
+            consistent = True
+            for index, (_, mapping) in enumerate(self.atoms):
+                for attr, logic_var in mapping.items():
+                    value = combo[index][attr]
+                    if logic_var in binding and binding[logic_var] != value:
+                        consistent = False
+                        break
+                    binding[logic_var] = value
+                if not consistent:
+                    break
+            if consistent:
+                y1, y2 = self.conclusion
+                if binding[y1] != binding[y2]:
+                    return False
+        return True
+
+    def encode(self) -> list[GED]:
+        """The paper's (φ_R, φ_E) pair of GFDs."""
+        nodes = {f"t{i}": rel for i, (rel, _) in enumerate(self.atoms)}
+        pattern = Pattern(nodes)  # Q_E has no edges.
+        # φ_R: every mentioned attribute exists.
+        YR: list[Literal] = []
+        for index, (_, mapping) in enumerate(self.atoms):
+            node = f"t{index}"
+            for attr in mapping:
+                YR.append(VariableLiteral(node, attr, node, attr))
+        phi_r = GED(pattern, [], YR, name="EGD existence")
+        # φ_E: shared logic variables → premise equalities; conclusion.
+        positions = self._positions()
+        XE: list[Literal] = []
+        for occurrences in positions.values():
+            first_node, first_attr = occurrences[0]
+            for node, attr in occurrences[1:]:
+                XE.append(VariableLiteral(first_node, first_attr, node, attr))
+        y1, y2 = self.conclusion
+        n1, a1 = positions[y1][0]
+        n2, a2 = positions[y2][0]
+        phi_e = GED(pattern, XE, [VariableLiteral(n1, a1, n2, a2)], name="EGD equality")
+        return [phi_r, phi_e]
+
+
+def _existence_ged(relation: str, attributes: Sequence[str]) -> GED:
+    """``Q[t](∅ → t.A = t.A)``: every R-tuple has the listed attributes.
+
+    This is the paper's attribute-existence device (Section 3,
+    "Existence of attributes"), in the flavor of TGDs limited to
+    attributes — not expressible by relational EGDs/FDs.
+    """
+    pattern = Pattern({"t": relation})
+    Y = [VariableLiteral("t", a, "t", a) for a in dict.fromkeys(attributes)]
+    return GED(pattern, [], Y, name=f"existence {relation}{list(attributes)}")

@@ -1,0 +1,45 @@
+"""Discovery (mining) of GFDs from a data graph.
+
+The paper assumes the rules of Example 1 are *given*; in practice they
+are profiled from data, which is the heavily-studied follow-on problem
+(GFD discovery).  This package implements the laptop-scale version:
+
+* :mod:`repro.discovery.patterns` enumerates small candidate patterns
+  from the graph's observed schema — one single-node pattern per label
+  and one single-edge pattern per (source label, edge label, target
+  label) triple, the shapes that dominate real query logs (Section
+  5.3's bounded-size observation);
+* :mod:`repro.discovery.tableize` materializes the matches of a
+  pattern as a row table over (variable, attribute) columns, reducing
+  literal evaluation to column lookups;
+* :mod:`repro.discovery.fds` runs a levelwise (Apriori/TANE-style)
+  search over literal sets: for each candidate right-hand-side literal
+  it grows left-hand sides until confidence reaches 1.0 (exact rules)
+  or the size budget is hit, reporting **support** (matches satisfying
+  X) and **confidence** (fraction also satisfying Y) for each rule.
+
+Discovered rules with confidence 1.0 *hold* on the input graph — the
+test suite asserts ``validates(G, rule)`` for every one — and feed
+directly into the cover computation (:mod:`repro.optimization.cover`)
+to remove the redundancy that enumeration inevitably produces.
+"""
+
+from repro.discovery.domains import DomainConstraint, discover_domain_constraints
+from repro.discovery.fds import DiscoveredGED, discover_gfds, discover_for_pattern
+from repro.discovery.keys import DiscoveredKey, discover_gkeys
+from repro.discovery.patterns import CandidatePattern, enumerate_candidate_patterns
+from repro.discovery.tableize import MatchTable, build_match_table
+
+__all__ = [
+    "CandidatePattern",
+    "DiscoveredGED",
+    "DomainConstraint",
+    "discover_domain_constraints",
+    "DiscoveredKey",
+    "discover_gkeys",
+    "MatchTable",
+    "build_match_table",
+    "discover_for_pattern",
+    "discover_gfds",
+    "enumerate_candidate_patterns",
+]

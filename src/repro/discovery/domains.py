@@ -1,0 +1,153 @@
+"""Discovery of domain constraints (the paper's Examples 9 and 10).
+
+Section 7 introduces both extension classes through the same running
+example: enforcing that an attribute has a restricted domain —
+
+* Example 9 writes it as GDCs: φ1 makes ``x.A`` exist, φ2 forbids
+  values outside the domain with built-in predicates;
+* Example 10 writes the enumerated form as a GED∨:
+  ``Q_e[x](∅ → x.A = 0 ∨ x.A = 1)``.
+
+This module mines those constraints from data, per (label, attribute)
+column:
+
+* **range constraints** (numeric columns → GDCs): the observed
+  interval [lo, hi] becomes the pair of forbidding GDCs
+  ``Q_e[x](x.A < lo → false)`` and ``Q_e[x](x.A > hi → false)``,
+  exactly the Example 9 shape;
+* **enumerated domains** (small categorical columns → GED∨s): the
+  observed value set {v1..vk} becomes
+  ``Q_e[x](x.A = x.A → x.A = v1 ∨ ... ∨ x.A = vk)`` — the premise
+  ``x.A = x.A`` scopes the rule to nodes carrying the attribute, so
+  the mined rule does not impose existence (that stays a deliberate,
+  separate Example 9 φ1 choice).
+
+Coverage (fraction of label-nodes carrying the attribute) and support
+are reported so callers can decide whether to *also* enforce existence.
+All mined constraints hold on the profiled graph by construction; the
+tests assert it through the real GDC/GED∨ validators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Number
+
+from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.errors import DiscoveryError
+from repro.extensions.gdc import GDC, ComparisonLiteral
+from repro.deps.literals import FALSE
+from repro.extensions.gedvee import GEDVee
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class DomainConstraint:
+    """A mined domain constraint for one (label, attribute) column."""
+
+    label: str
+    attr: str
+    #: "range" (numeric, mined as GDCs) or "enum" (mined as a GED∨).
+    kind: str
+    #: The two forbidding GDCs for ranges; empty for enums.
+    gdcs: tuple[GDC, ...]
+    #: The enumerated-domain GED∨ for enums; None for ranges.
+    gedvee: GEDVee | None
+    #: Nodes of the label carrying the attribute.
+    support: int
+    #: support / all nodes of the label.
+    coverage: float
+    #: (lo, hi) for ranges, the sorted value tuple for enums.
+    domain: tuple
+
+    def __str__(self) -> str:
+        if self.kind == "range":
+            lo, hi = self.domain
+            body = f"{lo} <= {self.label}.{self.attr} <= {hi}"
+        else:
+            body = f"{self.label}.{self.attr} ∈ {set(self.domain)!r}"
+        return f"{body} [support={self.support}, coverage={self.coverage:.2f}]"
+
+
+def discover_domain_constraints(
+    graph: Graph,
+    min_support: int = 2,
+    max_enum: int = 6,
+) -> list[DomainConstraint]:
+    """Mine per-(label, attribute) domain constraints.
+
+    Columns whose values are all numeric (and not Booleans) yield
+    *range* constraints; columns with at most ``max_enum`` distinct
+    values yield *enumerated* constraints (numeric columns that are
+    also small prefer the enum form, like Example 10's Boolean).
+    Columns with many distinct non-numeric values (identifiers) yield
+    nothing.
+    """
+    if min_support < 1:
+        raise DiscoveryError(f"min_support must be >= 1, got {min_support}")
+    if max_enum < 1:
+        raise DiscoveryError(f"max_enum must be >= 1, got {max_enum}")
+
+    columns: dict[tuple[str, str], list] = {}
+    label_counts: dict[str, int] = {}
+    for node in graph.nodes:
+        label_counts[node.label] = label_counts.get(node.label, 0) + 1
+        for attr, value in node.attributes.items():
+            columns.setdefault((node.label, attr), []).append(value)
+
+    constraints: list[DomainConstraint] = []
+    for (label, attr), values in sorted(columns.items()):
+        support = len(values)
+        if support < min_support:
+            continue
+        coverage = support / label_counts[label]
+        distinct = set(values)
+        if len(distinct) <= max_enum:
+            constraints.append(
+                _enum_constraint(label, attr, distinct, support, coverage)
+            )
+        elif all(isinstance(v, Number) and not isinstance(v, bool) for v in distinct):
+            constraints.append(
+                _range_constraint(label, attr, distinct, support, coverage)
+            )
+    return constraints
+
+
+def _enum_constraint(
+    label: str, attr: str, distinct: set, support: int, coverage: float
+) -> DomainConstraint:
+    pattern = Pattern({"x": label})
+    domain = tuple(sorted(distinct, key=repr))
+    vee = GEDVee(
+        pattern,
+        [VariableLiteral("x", attr, "x", attr)],
+        [ConstantLiteral("x", attr, value) for value in domain],
+        name=f"domain-{label}.{attr}",
+    )
+    return DomainConstraint(label, attr, "enum", (), vee, support, coverage, domain)
+
+
+def _range_constraint(
+    label: str, attr: str, distinct: set, support: int, coverage: float
+) -> DomainConstraint:
+    pattern = Pattern({"x": label})
+    lo, hi = min(distinct), max(distinct)
+    low = GDC(
+        pattern,
+        [ComparisonLiteral("x", attr, "<", lo)],
+        [FALSE],
+        name=f"min-{label}.{attr}",
+    )
+    high = GDC(
+        pattern,
+        [ComparisonLiteral("x", attr, ">", hi)],
+        [FALSE],
+        name=f"max-{label}.{attr}",
+    )
+    return DomainConstraint(
+        label, attr, "range", (low, high), None, support, coverage, (lo, hi)
+    )
+
+
+__all__ = ["DomainConstraint", "discover_domain_constraints"]

@@ -1,0 +1,185 @@
+"""Levelwise GFD discovery over a match table.
+
+For a candidate pattern Q, the search space is literal sets over Q's
+variables.  We mine rules Q[x̄](X → l) with a single right-hand-side
+literal (GED∨-free normal form — a multi-literal Y is equivalent to
+several single-literal rules):
+
+* **RHS candidates**: constant literals ``x.A = c`` for every value c
+  that ``x.A`` takes (skipped when the column has more than
+  ``max_distinct`` values — those are identifiers, not categories), and
+  variable literals ``x.A = y.B`` over present column pairs;
+* **LHS candidates**: levelwise subsets of the same literal pool, of
+  size 0, 1, ..., ``max_lhs``, Apriori-pruned: a level-k LHS is only
+  explored if none of its level-(k-1) subsets already yields the rule
+  (minimality), and only if its support clears ``min_support``.
+
+**support**(X → l) = number of matches satisfying X;
+**confidence** = fraction of those also satisfying l.  Rules reaching
+``min_confidence`` are reported; exact rules (confidence 1.0) hold on
+the graph by construction.
+
+The id-literal analogue (GKey discovery) is intentionally out of scope:
+keys need the pattern-copy construction of Section 3 and a notion of
+duplicate ground truth; see ``repro.quality.entity_resolution`` for the
+consumption side.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, Literal, VariableLiteral
+from repro.discovery.patterns import enumerate_candidate_patterns
+from repro.discovery.tableize import MatchTable, build_match_table
+from repro.errors import DiscoveryError
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class DiscoveredGED:
+    """A mined rule with its quality measures on the profiled graph."""
+
+    ged: GED
+    support: int
+    confidence: float
+
+    @property
+    def exact(self) -> bool:
+        return self.confidence >= 1.0
+
+    def __str__(self) -> str:
+        return f"{self.ged} [support={self.support}, confidence={self.confidence:.2f}]"
+
+
+def discover_for_pattern(
+    graph: Graph,
+    pattern: Pattern,
+    max_lhs: int = 2,
+    min_support: int = 2,
+    min_confidence: float = 1.0,
+    max_distinct: int = 8,
+) -> list[DiscoveredGED]:
+    """Mine GFDs Q[x̄](X → l) for one pattern Q.
+
+    Parameters mirror classical FD/CFD discovery: ``min_support`` keeps
+    rules witnessed by enough matches to be believable, and
+    ``min_confidence`` < 1.0 admits approximate rules (useful when the
+    data is dirty — the violations of an almost-exact rule are exactly
+    the suspects a cleaning pipeline wants).
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise DiscoveryError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    if min_support < 1:
+        raise DiscoveryError(f"min_support must be >= 1, got {min_support}")
+    if max_lhs < 0:
+        raise DiscoveryError(f"max_lhs must be >= 0, got {max_lhs}")
+
+    table = build_match_table(pattern, graph)
+    if table.num_rows < min_support:
+        return []
+
+    pool = _literal_pool(table, max_distinct)
+    discovered: list[DiscoveredGED] = []
+    #: RHS literal -> list of minimal LHS sets already found for it.
+    minimal_lhs: dict[Literal, list[frozenset[Literal]]] = {l: [] for l in pool}
+
+    for size in range(max_lhs + 1):
+        for lhs in itertools.combinations(pool, size):
+            lhs_set = frozenset(lhs)
+            supporting = table.satisfying(list(lhs))
+            if len(supporting) < min_support:
+                continue
+            for rhs in pool:
+                if rhs in lhs_set:
+                    continue
+                if any(found <= lhs_set for found in minimal_lhs[rhs]):
+                    continue  # a smaller LHS already yields this RHS
+                if _trivial(lhs_set, rhs):
+                    continue
+                satisfied = table.satisfying([rhs], within=supporting)
+                confidence = len(satisfied) / len(supporting)
+                if confidence >= min_confidence:
+                    minimal_lhs[rhs].append(lhs_set)
+                    ged = GED(pattern, sorted(lhs_set, key=str), [rhs])
+                    discovered.append(
+                        DiscoveredGED(ged, len(supporting), confidence)
+                    )
+    discovered.sort(key=lambda d: (-d.confidence, -d.support, str(d.ged)))
+    return discovered
+
+
+def _literal_pool(table: MatchTable, max_distinct: int) -> list[Literal]:
+    """Candidate literals over the table's populated columns."""
+    pool: list[Literal] = []
+    for var, attr in table.columns:
+        values = table.distinct_values(var, attr)
+        if 0 < len(values) <= max_distinct:
+            for value in sorted(values, key=repr):
+                pool.append(ConstantLiteral(var, attr, value))
+    for (v1, a1), (v2, a2) in itertools.combinations(table.columns, 2):
+        if (v1, a1) < (v2, a2):
+            pool.append(VariableLiteral(v1, a1, v2, a2))
+    return pool
+
+
+def _trivial(lhs: frozenset[Literal], rhs: Literal) -> bool:
+    """Syntactic triviality: the RHS is a constant literal whose column
+    is already pinned to the same constant by the LHS."""
+    if isinstance(rhs, ConstantLiteral):
+        for literal in lhs:
+            if (
+                isinstance(literal, ConstantLiteral)
+                and literal.var == rhs.var
+                and literal.attr == rhs.attr
+            ):
+                return True
+    return False
+
+
+def discover_gfds(
+    graph: Graph,
+    max_lhs: int = 1,
+    min_support: int = 2,
+    min_confidence: float = 1.0,
+    max_distinct: int = 8,
+    include_paths: bool = False,
+    include_forks: bool = False,
+    max_patterns: int | None = None,
+) -> list[DiscoveredGED]:
+    """Mine GFDs across all candidate patterns of the graph's schema.
+
+    Enumerates patterns (:func:`enumerate_candidate_patterns`), mines
+    each, and concatenates — sorted by confidence, support, then rule
+    text.  ``max_patterns`` caps the profiled patterns (largest support
+    first) for big schemas.
+    """
+    candidates = enumerate_candidate_patterns(
+        graph,
+        min_support=min_support,
+        include_paths=include_paths,
+        include_forks=include_forks,
+    )
+    candidates.sort(key=lambda c: -c.support)
+    if max_patterns is not None:
+        candidates = candidates[:max_patterns]
+    discovered: list[DiscoveredGED] = []
+    for candidate in candidates:
+        discovered.extend(
+            discover_for_pattern(
+                graph,
+                candidate.pattern,
+                max_lhs=max_lhs,
+                min_support=min_support,
+                min_confidence=min_confidence,
+                max_distinct=max_distinct,
+            )
+        )
+    discovered.sort(key=lambda d: (-d.confidence, -d.support, str(d.ged)))
+    return discovered
+
+
+__all__ = ["DiscoveredGED", "discover_for_pattern", "discover_gfds"]

@@ -1,0 +1,152 @@
+"""Discovery of GKeys (keys for graphs) from data.
+
+A GKey ``Q[z̄](X → x0.id = y0.id)`` (Section 3 (2)) holds on G when any
+two matches of Q1 agreeing on the compared attributes bind the
+designated variable to the same node.  Over a match table that is a
+grouping check:
+
+    group the matches of Q1 by the value tuple of the candidate
+    attribute set;  the candidate is a key for x0 iff no group binds
+    x0 to two distinct nodes.
+
+We search candidate attribute sets levelwise, smallest first, and keep
+only **minimal** keys (no discovered key's attribute set is a subset of
+another's).  Each hit is materialized as a proper
+:class:`~repro.deps.ged.GKey` via :func:`~repro.deps.ged.make_gkey` —
+pattern composed with its renamed copy — and verified to validate on
+the profiled graph, so the output plugs directly into entity resolution
+(:mod:`repro.quality.entity_resolution`).
+
+The recursive keys of Example 1 (identify an album via its artist's
+*id*) are out of levelwise reach by design: id-based conditions refer
+to entities resolved by other keys, a fixpoint the chase computes, not
+a grouping the data exhibits.  What discovery *can* find is the
+value-based base case (ψ2-style keys), which is what bootstraps the
+recursion in practice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.deps.ged import GKey, make_gkey
+from repro.discovery.tableize import MISSING, build_match_table
+from repro.errors import DiscoveryError
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class DiscoveredKey:
+    """A mined key with its evidence on the profiled graph."""
+
+    gkey: GKey
+    #: (variable, attribute) pairs compared by value.
+    attributes: tuple[tuple[str, str], ...]
+    #: Matches of Q1 that carried all compared attributes.
+    support: int
+    #: Distinct entities the key distinguishes (value-tuple groups).
+    groups: int
+
+    def __str__(self) -> str:
+        attrs = ", ".join(f"{v}.{a}" for v, a in self.attributes)
+        return (
+            f"key for {self.gkey.x0} by ({attrs}) "
+            f"[support={self.support}, entities={self.groups}]"
+        )
+
+
+def discover_gkeys(
+    graph: Graph,
+    pattern: Pattern,
+    x0: str,
+    max_attrs: int = 2,
+    min_support: int = 2,
+    candidate_attrs: Sequence[tuple[str, str]] | None = None,
+) -> list[DiscoveredKey]:
+    """Minimal value-based GKeys for ``x0`` over pattern ``Q1``.
+
+    Parameters
+    ----------
+    pattern:
+        the entity pattern Q1[x̄] (NOT the doubled GKey pattern — the
+        composition with a copy is built per hit).
+    x0:
+        the designated variable the key identifies.
+    max_attrs:
+        largest attribute-set size searched.
+    min_support:
+        minimum number of matches carrying all candidate attributes.
+    candidate_attrs:
+        restrict the searched (variable, attribute) pool; defaults to
+        every attribute observed on matched nodes.
+    """
+    if x0 not in pattern.variables:
+        raise DiscoveryError(f"designated variable {x0!r} is not in the pattern")
+    if max_attrs < 1:
+        raise DiscoveryError(f"max_attrs must be >= 1, got {max_attrs}")
+    if min_support < 1:
+        raise DiscoveryError(f"min_support must be >= 1, got {min_support}")
+
+    table = build_match_table(pattern, graph)
+    pool = list(candidate_attrs) if candidate_attrs is not None else table.columns
+    unknown = [col for col in pool if col not in set(table.columns)]
+    if candidate_attrs is not None and unknown and table.num_rows:
+        raise DiscoveryError(f"candidate attributes never observed: {unknown}")
+
+    discovered: list[DiscoveredKey] = []
+    minimal: list[frozenset[tuple[str, str]]] = []
+    for size in range(1, max_attrs + 1):
+        for combo in itertools.combinations(pool, size):
+            combo_set = frozenset(combo)
+            if any(found <= combo_set for found in minimal):
+                continue  # a smaller key exists: not minimal
+            verdict = _key_holds(table, combo, x0, min_support)
+            if verdict is None:
+                continue
+            support, groups = verdict
+            gkey = make_gkey(
+                pattern,
+                x0,
+                value_attrs=_group_by_variable(combo),
+                name=f"key-{x0}-" + "-".join(f"{v}.{a}" for v, a in combo),
+            )
+            minimal.append(combo_set)
+            discovered.append(DiscoveredKey(gkey, tuple(combo), support, groups))
+    discovered.sort(key=lambda k: (len(k.attributes), str(k)))
+    return discovered
+
+
+def _key_holds(
+    table, combo: Sequence[tuple[str, str]], x0: str, min_support: int
+) -> tuple[int, int] | None:
+    """(support, groups) when `combo` functionally determines x0's node,
+    over the matches carrying every combo attribute; None otherwise."""
+    groups: dict[tuple, str] = {}
+    support = 0
+    for row in range(table.num_rows):
+        values = tuple(table.values[row].get(col, MISSING) for col in combo)
+        if any(value is MISSING for value in values):
+            continue  # Section 3 semantics: missing attributes never satisfy X
+        support += 1
+        node = table.rows[row][x0]
+        if values in groups:
+            if groups[values] != node:
+                return None  # two entities share the value tuple: not a key
+        else:
+            groups[values] = node
+    if support < min_support:
+        return None
+    return support, len(groups)
+
+
+def _group_by_variable(combo: Sequence[tuple[str, str]]) -> dict[str, list[str]]:
+    grouped: dict[str, list[str]] = {}
+    for variable, attr in combo:
+        grouped.setdefault(variable, []).append(attr)
+    return grouped
+
+
+__all__ = ["DiscoveredKey", "discover_gkeys"]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the GED reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Malformed graph construction or access (unknown node, bad edge...)."""
+
+
+class PatternError(ReproError):
+    """Malformed graph pattern (unknown variable, bad label...)."""
+
+
+class LiteralError(ReproError):
+    """Malformed dependency literal (e.g. an ``id`` attribute in a
+    constant literal, or a literal mentioning a variable that is not in
+    the pattern)."""
+
+
+class DependencyError(ReproError):
+    """Malformed dependency (GED / GDC / GED-or) definition."""
+
+
+class ChaseError(ReproError):
+    """Internal chase failure.
+
+    Note that an *inconsistent* chase is not an error: it is reported
+    through :class:`repro.chase.engine.ChaseResult`.  This exception is
+    reserved for misuse of the chase API (e.g. chasing with dependencies
+    whose patterns reference unknown labels in a way the engine cannot
+    interpret) and for violated internal invariants.
+    """
+
+
+class ProofError(ReproError):
+    """An axiom-system proof step failed to check."""
+
+
+class ConstraintError(ReproError):
+    """Malformed order constraint passed to the point-algebra solver."""
+
+
+class ReductionError(ReproError):
+    """Malformed input to a hardness reduction (e.g. a graph with
+    self-loops passed to the 3-colorability reductions)."""
+
+
+class RepairError(ReproError):
+    """A repair operation could not be applied (unknown node/edge, or a
+    merge with conflicting labels/attributes)."""
+
+
+class DiscoveryError(ReproError):
+    """Malformed input to dependency discovery (bad support threshold,
+    pattern too large...)."""

@@ -1,0 +1,114 @@
+"""Extensions of GEDs: built-in predicates (GDCs) and disjunction (GED∨s).
+
+Section 7 of the paper; Theorems 8 and 9.
+"""
+
+from repro.extensions.gdc import (
+    GDC,
+    ComparisonLiteral,
+    VariableComparisonLiteral,
+    from_ged_literal,
+    gdc_literal_holds,
+    ged_as_gdc,
+)
+from repro.extensions.gdc_reasoning import (
+    GDCViolation,
+    domain_constraint_gdc,
+    gdc_find_violations,
+    gdc_implies,
+    gdc_satisfiable,
+    gdc_validates,
+)
+from repro.extensions.gedvee import GEDVee, ged_to_gedvees
+from repro.extensions.gedvee_reasoning import (
+    DisjunctiveChaseStats,
+    VeeViolation,
+    disjunctive_chase_satisfiable,
+    domain_constraint_vee,
+    vee_find_violations,
+    vee_implies,
+    vee_satisfiable_smallmodel,
+    vee_validates,
+)
+from repro.extensions.orderconstraints import (
+    Const,
+    Constraint,
+    OrderSolver,
+    solve_constraints,
+)
+from repro.extensions.predicates import FLIP, NEGATE, OPERATORS, evaluate
+from repro.extensions.io import (
+    dependencies_from_json,
+    dependencies_to_json,
+    dependency_from_dict,
+    dependency_to_dict,
+)
+from repro.extensions.tgd import (
+    GraphTGD,
+    TgdChaseResult,
+    UnsatisfiedBody,
+    attribute_existence_as_tgd,
+    chase_with_tgds,
+    tgd_find_unsatisfied,
+    tgd_validates,
+    weakly_acyclic,
+)
+from repro.extensions.smallmodel import (
+    GroundRules,
+    SearchSpace,
+    SearchStats,
+    gdc_literal_eval,
+    ged_literal_eval,
+    search_small_model,
+)
+
+__all__ = [
+    "dependencies_from_json",
+    "dependencies_to_json",
+    "dependency_from_dict",
+    "dependency_to_dict",
+    "GraphTGD",
+    "TgdChaseResult",
+    "UnsatisfiedBody",
+    "attribute_existence_as_tgd",
+    "chase_with_tgds",
+    "tgd_find_unsatisfied",
+    "tgd_validates",
+    "weakly_acyclic",
+    "Const",
+    "Constraint",
+    "ComparisonLiteral",
+    "DisjunctiveChaseStats",
+    "FLIP",
+    "GDC",
+    "GDCViolation",
+    "GEDVee",
+    "GroundRules",
+    "gdc_literal_eval",
+    "ged_literal_eval",
+    "NEGATE",
+    "OPERATORS",
+    "OrderSolver",
+    "SearchSpace",
+    "SearchStats",
+    "VariableComparisonLiteral",
+    "VeeViolation",
+    "disjunctive_chase_satisfiable",
+    "domain_constraint_gdc",
+    "domain_constraint_vee",
+    "evaluate",
+    "from_ged_literal",
+    "gdc_find_violations",
+    "gdc_implies",
+    "gdc_literal_holds",
+    "gdc_satisfiable",
+    "gdc_validates",
+    "ged_as_gdc",
+    "ged_to_gedvees",
+    "search_small_model",
+    "solve_constraints",
+    "vee_find_violations",
+    "vee_implies",
+    "vee_satisfiable_smallmodel",
+    "vee_validates",
+]

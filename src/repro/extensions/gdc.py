@@ -1,0 +1,187 @@
+"""Graph denial constraints — GDCs (Section 7.1).
+
+A GDC φ = Q[x̄](X → Y) generalizes a GED by allowing literals
+
+* ``x.A ⊕ c``  and  ``x.A ⊕ y.B``  for ⊕ ∈ {=, ≠, <, >, ≤, ≥}, plus
+* ``x.id = y.id``  (ids still compare only by equality), plus
+* ``false`` in Y (so denial constraints of [3] are expressible).
+
+GEDs are the special case where every ⊕ is ``=``.  Validation semantics
+extends Section 3 pointwise: a comparison literal holds iff both
+attributes exist and the predicate evaluates to true.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Union
+
+from repro.deps.ged import GED
+from repro.deps.literals import (
+    FALSE,
+    ConstantLiteral,
+    IdLiteral,
+    Literal,
+    VariableLiteral,
+)
+from repro.errors import DependencyError, LiteralError
+from repro.extensions.predicates import NEGATE, check_operator, evaluate
+from repro.graph.graph import ID_ATTRIBUTE, Graph, Value
+from repro.patterns.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class ComparisonLiteral:
+    """``x.A ⊕ c`` — a constant comparison with a built-in predicate."""
+
+    var: str
+    attr: str
+    op: str
+    const: Value
+
+    def __post_init__(self) -> None:
+        check_operator(self.op)
+        if self.attr == ID_ATTRIBUTE:
+            raise LiteralError("comparison literals may not use the 'id' attribute")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.var})
+
+    def negated(self) -> "ComparisonLiteral":
+        return ComparisonLiteral(self.var, self.attr, NEGATE[self.op], self.const)
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.attr} {self.op} {self.const!r}"
+
+
+@dataclass(frozen=True)
+class VariableComparisonLiteral:
+    """``x.A ⊕ y.B`` — an attribute comparison with a built-in predicate."""
+
+    var1: str
+    attr1: str
+    op: str
+    var2: str
+    attr2: str
+
+    def __post_init__(self) -> None:
+        check_operator(self.op)
+        if ID_ATTRIBUTE in (self.attr1, self.attr2):
+            raise LiteralError("comparison literals may not use the 'id' attribute")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.var1, self.var2})
+
+    def negated(self) -> "VariableComparisonLiteral":
+        return VariableComparisonLiteral(
+            self.var1, self.attr1, NEGATE[self.op], self.var2, self.attr2
+        )
+
+    def __str__(self) -> str:
+        return f"{self.var1}.{self.attr1} {self.op} {self.var2}.{self.attr2}"
+
+
+GDCLiteral = Union[
+    ComparisonLiteral, VariableComparisonLiteral, ConstantLiteral,
+    VariableLiteral, IdLiteral, type(FALSE),
+]
+
+
+def from_ged_literal(literal: Literal):
+    """View a GED literal as a GDC comparison literal (⊕ = '=')."""
+    if isinstance(literal, ConstantLiteral):
+        return ComparisonLiteral(literal.var, literal.attr, "=", literal.const)
+    if isinstance(literal, VariableLiteral):
+        return VariableComparisonLiteral(
+            literal.var1, literal.attr1, "=", literal.var2, literal.attr2
+        )
+    return literal  # id literals and FALSE are shared
+
+
+class GDC:
+    """A graph denial constraint Q[x̄](X → Y) with built-in predicates."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        X: Iterable = (),
+        Y: Iterable = (),
+        name: str | None = None,
+    ):
+        self.pattern = pattern
+        self.X = frozenset(from_ged_literal(l) for l in X)
+        self.Y = frozenset(from_ged_literal(l) for l in Y)
+        self.name = name
+        for literal in self.X | self.Y:
+            self._check(literal)
+        if FALSE in self.X:
+            raise DependencyError("'false' may only appear in Y")
+
+    def _check(self, literal) -> None:
+        if literal is FALSE:
+            return
+        if not isinstance(
+            literal, (ComparisonLiteral, VariableComparisonLiteral, IdLiteral)
+        ):
+            raise LiteralError(f"not a GDC literal: {literal!r}")
+        unknown = literal.variables - set(self.pattern.variables)
+        if unknown:
+            raise LiteralError(
+                f"literal {literal} uses variables {sorted(unknown)} not in the pattern"
+            )
+
+    @property
+    def is_forbidding(self) -> bool:
+        return FALSE in self.Y
+
+    @property
+    def uses_order_predicates(self) -> bool:
+        """Whether any literal uses a non-equality predicate."""
+        for literal in self.X | self.Y:
+            op = getattr(literal, "op", "=")
+            if op != "=":
+                return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GDC):
+            return NotImplemented
+        return self.pattern == other.pattern and self.X == other.X and self.Y == other.Y
+
+    def __hash__(self) -> int:
+        return hash((self.pattern, self.X, self.Y))
+
+    def __str__(self) -> str:
+        x = " ∧ ".join(sorted(str(l) for l in self.X)) or "∅"
+        y = " ∧ ".join(sorted(str(l) for l in self.Y)) or "∅"
+        return f"{self.name or 'GDC'}: Q[{', '.join(self.pattern.variables)}]({x} → {y})"
+
+
+def ged_as_gdc(ged: GED) -> GDC:
+    """Every GED is a GDC (⊕ restricted to '=')."""
+    return GDC(ged.pattern, ged.X, ged.Y, name=ged.name)
+
+
+def gdc_literal_holds(graph: Graph, literal, match: Mapping[str, str]) -> bool:
+    """h(x̄) |= l for GDC literals on a concrete graph."""
+    if literal is FALSE:
+        return False
+    if isinstance(literal, IdLiteral):
+        return match[literal.var1] == match[literal.var2]
+    if isinstance(literal, ComparisonLiteral):
+        node = graph.node(match[literal.var])
+        if not node.has_attribute(literal.attr):
+            return False
+        return evaluate(node.get(literal.attr), literal.op, literal.const)
+    if isinstance(literal, VariableComparisonLiteral):
+        node1 = graph.node(match[literal.var1])
+        node2 = graph.node(match[literal.var2])
+        if not node1.has_attribute(literal.attr1) or not node2.has_attribute(literal.attr2):
+            return False
+        return evaluate(
+            node1.get(literal.attr1), literal.op, node2.get(literal.attr2)
+        )
+    raise LiteralError(f"unknown GDC literal {literal!r}")

@@ -1,0 +1,181 @@
+"""Reasoning about GDCs (Theorem 8).
+
+* **Validation** is coNP-complete, same as GEDs: enumerate matches,
+  evaluate the built-in predicates — :func:`gdc_find_violations`.
+* **Satisfiability** is Σp2-complete; :func:`gdc_satisfiable` runs the
+  small-model search of :mod:`repro.extensions.smallmodel` over the
+  quotients of G_Σ (models of size ≤ 4·|Σ|³ suffice; quotients of G_Σ
+  with normalized values realize them — see the module docstrings).
+  Strong satisfiability's "every pattern matches" half holds for every
+  quotient by construction, so the acceptance test is validation alone.
+* **Implication** is Πp2-complete; :func:`gdc_implies` searches for a
+  small counterexample: a quotient of G_Q satisfying Σ in which φ's
+  projection match satisfies X but violates Y.
+
+The searches also power the Theorem 8 benchmarks: ``SearchStats``
+counts candidates, making the Σp2 blowup measurable against the
+flat-cost validation column of Table 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.chase.canonical import canonical_graph, canonical_graph_of_sigma
+from repro.extensions.gdc import GDC, ComparisonLiteral, VariableComparisonLiteral, gdc_literal_holds
+from repro.extensions.smallmodel import (
+    GroundRules,
+    SearchSpace,
+    SearchStats,
+    gdc_literal_eval,
+    search_small_model,
+)
+from repro.deps.literals import FALSE, IdLiteral
+from repro.graph.graph import Graph
+from repro.matching.homomorphism import find_homomorphisms
+
+
+@dataclass(frozen=True)
+class GDCViolation:
+    gdc: GDC
+    match: tuple[tuple[str, str], ...]
+    failed: tuple
+
+    @property
+    def assignment(self) -> dict[str, str]:
+        return dict(self.match)
+
+
+def gdc_find_violations(
+    graph: Graph, sigma: Iterable[GDC], limit: int | None = None
+) -> list[GDCViolation]:
+    """All (up to ``limit``) violations of a GDC set in a graph."""
+    violations: list[GDCViolation] = []
+    for gdc in sigma:
+        for match in find_homomorphisms(gdc.pattern, graph):
+            if not all(gdc_literal_holds(graph, l, match) for l in gdc.X):
+                continue
+            failed = tuple(
+                l for l in sorted(gdc.Y, key=str) if not gdc_literal_holds(graph, l, match)
+            )
+            if failed:
+                violations.append(GDCViolation(gdc, tuple(sorted(match.items())), failed))
+                if limit is not None and len(violations) >= limit:
+                    return violations
+    return violations
+
+
+def gdc_validates(graph: Graph, sigma: Iterable[GDC]) -> bool:
+    """G |= Σ for GDCs — the (coNP) validation problem of Theorem 8."""
+    return not gdc_find_violations(graph, sigma, limit=1)
+
+
+def _search_space(sigma: Sequence[GDC], extra: Sequence[GDC] = ()) -> SearchSpace:
+    attributes: set[str] = set()
+    constants: set[object] = set()
+    for gdc in list(sigma) + list(extra):
+        for literal in gdc.X | gdc.Y:
+            if isinstance(literal, ComparisonLiteral):
+                attributes.add(literal.attr)
+                constants.add(literal.const)
+            elif isinstance(literal, VariableComparisonLiteral):
+                attributes.add(literal.attr1)
+                attributes.add(literal.attr2)
+    return SearchSpace(sorted(attributes), sorted(constants, key=repr))
+
+
+def gdc_satisfiable(
+    sigma: Sequence[GDC],
+    max_nodes: int = 7,
+    max_candidates: int | None = None,
+    stats: SearchStats | None = None,
+) -> tuple[bool, Graph | None]:
+    """Σp2 satisfiability by small-model search.
+
+    Returns ``(satisfiable, witness_model_or_None)``.
+    """
+    sigma = list(sigma)
+    if not sigma:
+        g = Graph()
+        g.add_node("n0", "anything")
+        return True, g
+    canonical, _ = canonical_graph_of_sigma(_as_geds_for_canonical(sigma))
+    space = _search_space(sigma)
+    witness = search_small_model(
+        canonical,
+        space,
+        accept=lambda candidate, _proj: gdc_validates(candidate, sigma),
+        max_nodes=max_nodes,
+        max_candidates=max_candidates,
+        stats=stats,
+        pruner=GroundRules(sigma, gdc_literal_eval, disjunctive=False),
+    )
+    return witness is not None, witness
+
+
+def gdc_implies(
+    sigma: Sequence[GDC],
+    phi: GDC,
+    max_nodes: int = 7,
+    max_candidates: int | None = None,
+    stats: SearchStats | None = None,
+) -> tuple[bool, Graph | None]:
+    """Πp2 implication by counterexample search.
+
+    Returns ``(implied, counterexample_or_None)`` — the counterexample
+    satisfies Σ but violates φ.
+    """
+    sigma = list(sigma)
+    canonical = canonical_graph(phi.pattern)
+    space = _search_space(sigma, extra=[phi])
+
+    def is_counterexample(candidate: Graph, _projection) -> bool:
+        if not gdc_validates(candidate, sigma):
+            return False
+        return not gdc_validates(candidate, [phi])
+
+    counterexample = search_small_model(
+        canonical,
+        space,
+        accept=is_counterexample,
+        max_nodes=max_nodes,
+        max_candidates=max_candidates,
+        stats=stats,
+        pruner=GroundRules(sigma, gdc_literal_eval, disjunctive=False),
+    )
+    return counterexample is None, counterexample
+
+
+def _as_geds_for_canonical(sigma: Sequence[GDC]):
+    """Adapter: canonical_graph_of_sigma only reads ``.pattern``."""
+
+    class _PatternOnly:
+        def __init__(self, pattern):
+            self.pattern = pattern
+
+    return [_PatternOnly(gdc.pattern) for gdc in sigma]
+
+
+def domain_constraint_gdc(label: str, attr: str, values: Sequence[object]) -> list[GDC]:
+    """Example 9: enforce ``attr ∈ values`` on every ``label`` node.
+
+    φ1 (a GED): every node has the attribute; φ2: any other value is
+    forbidden.
+    """
+    from repro.patterns.pattern import Pattern
+
+    pattern = Pattern({"x": label})
+    phi1 = GDC(
+        pattern,
+        [],
+        [VariableComparisonLiteral("x", attr, "=", "x", attr)],
+        name=f"{label}.{attr} exists",
+    )
+    phi2 = GDC(
+        pattern,
+        [ComparisonLiteral("x", attr, "!=", v) for v in values],
+        [FALSE],
+        name=f"{label}.{attr} in {list(values)}",
+    )
+    return [phi1, phi2]

@@ -1,0 +1,83 @@
+"""GEDs with disjunction — GED∨s (Section 7.2).
+
+A GED∨ ψ has the same syntactic form Q[x̄](X → Y) as a GED, but Y is
+interpreted *disjunctively*: a match satisfying X must satisfy at least
+one literal of Y.  An empty Y is the empty disjunction, i.e. ``false``
+(so forbidding constraints need no sugar here).
+
+Every GED Q(X → Y) is expressible as the set {Q(X → {l}) | l ∈ Y} of
+GED∨s; the converse fails — e.g. the Example 10 domain constraint
+``Q_e[x](∅ → x.A = 0 ∨ x.A = 1)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.deps.ged import GED
+from repro.deps.literals import FALSE, Literal, check_literal
+from repro.errors import DependencyError
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+from repro.reasoning.validation import literal_holds
+
+
+class GEDVee:
+    """A GED with disjunctive Y: Q[x̄](⋀X → ⋁Y)."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        X: Iterable[Literal] = (),
+        Y: Iterable[Literal] = (),
+        name: str | None = None,
+    ):
+        self.pattern = pattern
+        self.X = frozenset(X)
+        self.Y = frozenset(Y)
+        self.name = name
+        for literal in self.X | self.Y:
+            check_literal(literal, pattern.variables)
+        if FALSE in self.X:
+            raise DependencyError("'false' may only appear in Y")
+        if FALSE in self.Y and len(self.Y) > 1:
+            # false is absorbed by any disjunction; normalize it away.
+            self.Y = self.Y - {FALSE}
+
+    @property
+    def is_forbidding(self) -> bool:
+        """Empty Y (or Y = {false}): the empty disjunction."""
+        return not self.Y or self.Y == frozenset({FALSE})
+
+    def satisfied_by(self, graph: Graph, match: Mapping[str, str]) -> bool:
+        """h(x̄) |= X → ⋁Y on a concrete graph."""
+        if not all(literal_holds(graph, l, match) for l in self.X):
+            return True
+        return any(literal_holds(graph, l, match) for l in self.Y)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GEDVee):
+            return NotImplemented
+        return self.pattern == other.pattern and self.X == other.X and self.Y == other.Y
+
+    def __hash__(self) -> int:
+        return hash(("vee", self.pattern, self.X, self.Y))
+
+    def __str__(self) -> str:
+        x = " ∧ ".join(sorted(str(l) for l in self.X)) or "∅"
+        y = " ∨ ".join(sorted(str(l) for l in self.Y)) or "false"
+        return f"{self.name or 'GED∨'}: Q[{', '.join(self.pattern.variables)}]({x} → {y})"
+
+
+def ged_to_gedvees(ged: GED) -> list[GEDVee]:
+    """The GED Q(X → Y) as the equivalent set {Q(X → {l})}.
+
+    A forbidding GED maps to the single empty-disjunction GED∨.
+    """
+    if not ged.Y or ged.is_forbidding:
+        return [GEDVee(ged.pattern, ged.X, [], name=ged.name)]
+    return [
+        GEDVee(ged.pattern, ged.X, [l], name=ged.name)
+        for l in sorted(ged.Y, key=str)
+        if l is not FALSE
+    ]

@@ -1,0 +1,279 @@
+"""Reasoning about GED∨s (Theorem 9).
+
+* **Validation** — coNP, pointwise disjunctive check
+  (:func:`vee_find_violations`).
+* **Satisfiability** — Σp2.  Two procedures are provided and
+  cross-checked in the tests:
+
+  1. the **disjunctive chase** (:func:`disjunctive_chase_satisfiable`):
+     a chase state owes, for every match whose X is entailed, at least
+     one entailed Y-disjunct; the engine branches over the choice.
+     Σ is satisfiable iff some branch reaches a consistent fixpoint
+     (a model guides the choices, and a consistent fixpoint concretizes
+     to a model exactly as in Theorem 2);
+  2. the **small-model search** (:func:`vee_satisfiable_smallmodel`)
+     over quotients of G_Σ — slower but directly mirrors the Theorem 9
+     proof, and shares its work counters with the benchmarks.
+
+* **Implication** — Πp2, by small-model counterexample search
+  (:func:`vee_implies`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.chase.canonical import (
+    apply_literal,
+    canonical_graph,
+    canonical_graph_of_sigma,
+    literal_entailed,
+)
+from repro.chase.coercion import coerce
+from repro.chase.eqrel import EquivalenceRelation
+from repro.deps.literals import ConstantLiteral, FALSE, Literal, VariableLiteral
+from repro.extensions.gedvee import GEDVee
+from repro.extensions.smallmodel import (
+    GroundRules,
+    SearchSpace,
+    SearchStats,
+    ged_literal_eval,
+    search_small_model,
+)
+from repro.graph.graph import Graph
+from repro.matching.homomorphism import find_homomorphisms
+from repro.reasoning.validation import literal_holds
+
+
+@dataclass(frozen=True)
+class VeeViolation:
+    dependency: GEDVee
+    match: tuple[tuple[str, str], ...]
+
+    @property
+    def assignment(self) -> dict[str, str]:
+        return dict(self.match)
+
+
+def vee_find_violations(
+    graph: Graph, sigma: Iterable[GEDVee], limit: int | None = None
+) -> list[VeeViolation]:
+    """Matches satisfying X but *no* disjunct of Y."""
+    violations: list[VeeViolation] = []
+    for dep in sigma:
+        for match in find_homomorphisms(dep.pattern, graph):
+            if not all(literal_holds(graph, l, match) for l in dep.X):
+                continue
+            if any(literal_holds(graph, l, match) for l in dep.Y if l is not FALSE):
+                continue
+            violations.append(VeeViolation(dep, tuple(sorted(match.items()))))
+            if limit is not None and len(violations) >= limit:
+                return violations
+    return violations
+
+
+def vee_validates(graph: Graph, sigma: Iterable[GEDVee]) -> bool:
+    """G |= Σ for GED∨s — the coNP validation problem of Theorem 9."""
+    return not vee_find_violations(graph, sigma, limit=1)
+
+
+# ----------------------------------------------------------------------
+# The disjunctive chase
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DisjunctiveChaseStats:
+    """Work counters: how many branches the chase explored."""
+
+    branches: int = 0
+    max_depth: int = 0
+    ground_steps: int = 0
+
+
+def disjunctive_chase_satisfiable(
+    sigma: Sequence[GEDVee],
+    max_branches: int = 100_000,
+    stats: DisjunctiveChaseStats | None = None,
+) -> tuple[bool, Graph | None]:
+    """Satisfiability of a GED∨ set by the branching chase over G_Σ.
+
+    Returns ``(satisfiable, witness)`` where the witness is the
+    concretized coercion of a valid terminal branch.
+    """
+    sigma = list(sigma)
+    if not sigma:
+        g = Graph()
+        g.add_node("n0", "anything")
+        return True, g
+    canonical, _ = canonical_graph_of_sigma(_patterns_only(sigma))
+    stats = stats if stats is not None else DisjunctiveChaseStats()
+
+    # A branch is a list of ground literal applications
+    # (literal, assignment); the relation is rebuilt per branch —
+    # branches share no mutable state, which keeps backtracking trivial.
+    def rebuild(grounds: list[tuple[Literal, dict[str, str]]]) -> EquivalenceRelation:
+        eq = EquivalenceRelation(canonical)
+        for literal, assignment in grounds:
+            apply_literal(eq, literal, assignment)
+            if not eq.is_consistent:
+                break
+        return eq
+
+    def explore(grounds, depth: int):
+        stats.branches += 1
+        stats.max_depth = max(stats.max_depth, depth)
+        if stats.branches > max_branches:
+            raise RuntimeError(f"disjunctive chase exceeded {max_branches} branches")
+        eq = rebuild(grounds)
+        if not eq.is_consistent:
+            return None
+        while True:
+            coerced = coerce(eq)
+            obligation = _first_obligation(sigma, coerced, eq)
+            if obligation is None:
+                return eq
+            dep, match = obligation
+            disjuncts = sorted((l for l in dep.Y if l is not FALSE), key=str)
+            if not disjuncts:
+                return None  # forbidding GED∨: this branch dies
+            if len(disjuncts) == 1:
+                # Deterministic obligation: apply in place, no branching.
+                stats.ground_steps += 1
+                grounds = grounds + [(disjuncts[0], dict(match))]
+                apply_literal(eq, disjuncts[0], match)
+                if not eq.is_consistent:
+                    return None
+                continue
+            for literal in disjuncts:
+                result = explore(grounds + [(literal, dict(match))], depth + 1)
+                if result is not None:
+                    return result
+            return None
+
+    eq = explore([], 0)
+    if eq is None:
+        return False, None
+    witness = _concretize_vee(eq, sigma)
+    return True, witness
+
+
+def _first_obligation(sigma, coerced, eq):
+    """The first (dependency, match) whose X is entailed but no
+    Y-disjunct is, or None at a valid fixpoint."""
+    for dep in sigma:
+        for match in find_homomorphisms(dep.pattern, coerced):
+            if not all(literal_entailed(eq, l, match) for l in dep.X):
+                continue
+            if any(
+                literal_entailed(eq, l, match) for l in dep.Y if l is not FALSE
+            ):
+                continue
+            return dep, match
+    return None
+
+
+def _concretize_vee(eq: EquivalenceRelation, sigma: Sequence[GEDVee]) -> Graph:
+    """Concretize a valid disjunctive-chase fixpoint (as in Theorem 2)."""
+    from repro.chase.engine import ChaseResult
+    from repro.deps.ged import GED
+    from repro.reasoning.satisfiability import concretize
+
+    result = ChaseResult(True, eq, coerce(eq))
+    # concretize() only reads labels/constants from Σ; adapt the GED∨s.
+    adapted = [GED(dep.pattern, dep.X, [l for l in dep.Y if l is not FALSE]) for dep in sigma]
+    return concretize(result, adapted)
+
+
+def _patterns_only(sigma):
+    class _PatternOnly:
+        def __init__(self, pattern):
+            self.pattern = pattern
+
+    return [_PatternOnly(dep.pattern) for dep in sigma]
+
+
+# ----------------------------------------------------------------------
+# Small-model search (the Theorem 9 proof shape)
+# ----------------------------------------------------------------------
+
+
+def _vee_space(sigma: Sequence[GEDVee], extra: Sequence[GEDVee] = ()) -> SearchSpace:
+    attributes: set[str] = set()
+    constants: set[object] = set()
+    for dep in list(sigma) + list(extra):
+        for literal in dep.X | dep.Y:
+            if isinstance(literal, ConstantLiteral):
+                attributes.add(literal.attr)
+                constants.add(literal.const)
+            elif isinstance(literal, VariableLiteral):
+                attributes.add(literal.attr1)
+                attributes.add(literal.attr2)
+    return SearchSpace(sorted(attributes), sorted(constants, key=repr))
+
+
+def vee_satisfiable_smallmodel(
+    sigma: Sequence[GEDVee],
+    max_nodes: int = 7,
+    max_candidates: int | None = None,
+    stats: SearchStats | None = None,
+) -> tuple[bool, Graph | None]:
+    """Σp2 satisfiability by small-model search over quotients of G_Σ."""
+    sigma = list(sigma)
+    if not sigma:
+        g = Graph()
+        g.add_node("n0", "anything")
+        return True, g
+    canonical, _ = canonical_graph_of_sigma(_patterns_only(sigma))
+    witness = search_small_model(
+        canonical,
+        _vee_space(sigma),
+        accept=lambda candidate, _proj: vee_validates(candidate, sigma),
+        max_nodes=max_nodes,
+        max_candidates=max_candidates,
+        stats=stats,
+        pruner=GroundRules(sigma, ged_literal_eval, disjunctive=True),
+    )
+    return witness is not None, witness
+
+
+def vee_implies(
+    sigma: Sequence[GEDVee],
+    phi: GEDVee,
+    max_nodes: int = 7,
+    max_candidates: int | None = None,
+    stats: SearchStats | None = None,
+) -> tuple[bool, Graph | None]:
+    """Πp2 implication by counterexample search over quotients of G_Q."""
+    sigma = list(sigma)
+    canonical = canonical_graph(phi.pattern)
+
+    def is_counterexample(candidate: Graph, _projection) -> bool:
+        if not vee_validates(candidate, sigma):
+            return False
+        return not vee_validates(candidate, [phi])
+
+    counterexample = search_small_model(
+        canonical,
+        _vee_space(sigma, extra=[phi]),
+        accept=is_counterexample,
+        max_nodes=max_nodes,
+        max_candidates=max_candidates,
+        stats=stats,
+        pruner=GroundRules(sigma, ged_literal_eval, disjunctive=True),
+    )
+    return counterexample is None, counterexample
+
+
+def domain_constraint_vee(label: str, attr: str, values: Sequence[object]) -> GEDVee:
+    """Example 10: ψ = Q_e[x](∅ → ⋁ x.A = v) — existence + finite domain
+    in a single GED∨."""
+    from repro.patterns.pattern import Pattern
+
+    return GEDVee(
+        Pattern({"x": label}),
+        [],
+        [ConstantLiteral("x", attr, v) for v in values],
+        name=f"{label}.{attr} ∈ {list(values)}",
+    )

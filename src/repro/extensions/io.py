@@ -1,0 +1,185 @@
+"""JSON (de)serialization for the extension dependency classes.
+
+Extends the :mod:`repro.deps.io` literal vocabulary with
+
+* ``{"kind": "cmp", ...}`` — GDC constant comparisons ``x.A ⊕ c``;
+* ``{"kind": "vcmp", ...}`` — GDC attribute comparisons ``x.A ⊕ y.B``;
+
+and adds document formats for :class:`~repro.extensions.gdc.GDC`,
+:class:`~repro.extensions.gedvee.GEDVee` and
+:class:`~repro.extensions.tgd.GraphTGD` (each carries a ``"type"`` tag
+so mixed rule files can be loaded with :func:`dependency_from_dict`).
+GEDs written by :mod:`repro.deps.io` remain loadable here: a missing
+``"type"`` tag means a plain GED.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.deps.ged import GED
+from repro.deps.io import ged_from_dict, ged_to_dict, literal_from_dict, literal_to_dict
+from repro.errors import DependencyError
+from repro.extensions.gdc import GDC, ComparisonLiteral, VariableComparisonLiteral
+from repro.extensions.gedvee import GEDVee
+from repro.extensions.tgd import GraphTGD
+from repro.patterns.io import pattern_from_dict, pattern_to_dict
+
+
+# ----------------------------------------------------------------------
+# GDC literals
+# ----------------------------------------------------------------------
+def gdc_literal_to_dict(literal) -> dict[str, Any]:
+    if isinstance(literal, ComparisonLiteral):
+        return {
+            "kind": "cmp",
+            "var": literal.var,
+            "attr": literal.attr,
+            "op": literal.op,
+            "value": literal.const,
+        }
+    if isinstance(literal, VariableComparisonLiteral):
+        return {
+            "kind": "vcmp",
+            "var1": literal.var1,
+            "attr1": literal.attr1,
+            "op": literal.op,
+            "var2": literal.var2,
+            "attr2": literal.attr2,
+        }
+    return literal_to_dict(literal)
+
+
+def gdc_literal_from_dict(data: dict[str, Any]):
+    kind = data.get("kind")
+    if kind == "cmp":
+        return ComparisonLiteral(data["var"], data["attr"], data["op"], data["value"])
+    if kind == "vcmp":
+        return VariableComparisonLiteral(
+            data["var1"], data["attr1"], data["op"], data["var2"], data["attr2"]
+        )
+    return literal_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Dependency documents
+# ----------------------------------------------------------------------
+def gdc_to_dict(gdc: GDC) -> dict[str, Any]:
+    return {
+        "type": "gdc",
+        "name": gdc.name,
+        "pattern": pattern_to_dict(gdc.pattern),
+        "X": [gdc_literal_to_dict(l) for l in sorted(gdc.X, key=str)],
+        "Y": [gdc_literal_to_dict(l) for l in sorted(gdc.Y, key=str)],
+    }
+
+
+def gdc_from_dict(data: dict[str, Any]) -> GDC:
+    return GDC(
+        pattern_from_dict(data["pattern"]),
+        [gdc_literal_from_dict(l) for l in data.get("X", [])],
+        [gdc_literal_from_dict(l) for l in data.get("Y", [])],
+        name=data.get("name"),
+    )
+
+
+def gedvee_to_dict(vee: GEDVee) -> dict[str, Any]:
+    return {
+        "type": "gedvee",
+        "name": vee.name,
+        "pattern": pattern_to_dict(vee.pattern),
+        "X": [literal_to_dict(l) for l in sorted(vee.X, key=str)],
+        "Y": [literal_to_dict(l) for l in sorted(vee.Y, key=str)],
+    }
+
+
+def gedvee_from_dict(data: dict[str, Any]) -> GEDVee:
+    return GEDVee(
+        pattern_from_dict(data["pattern"]),
+        [literal_from_dict(l) for l in data.get("X", [])],
+        [literal_from_dict(l) for l in data.get("Y", [])],
+        name=data.get("name"),
+    )
+
+
+def tgd_to_dict(tgd: GraphTGD) -> dict[str, Any]:
+    return {
+        "type": "tgd",
+        "name": tgd.name,
+        "body": pattern_to_dict(tgd.body),
+        "X": [literal_to_dict(l) for l in sorted(tgd.X, key=str)],
+        "head_nodes": dict(tgd.head_nodes),
+        "head_edges": [list(e) for e in tgd.head_edges],
+        "Y": [literal_to_dict(l) for l in sorted(tgd.Y, key=str)],
+    }
+
+
+def tgd_from_dict(data: dict[str, Any]) -> GraphTGD:
+    return GraphTGD(
+        pattern_from_dict(data["body"]),
+        X=[literal_from_dict(l) for l in data.get("X", [])],
+        head_nodes=data.get("head_nodes") or {},
+        head_edges=[tuple(e) for e in data.get("head_edges", [])],
+        Y=[literal_from_dict(l) for l in data.get("Y", [])],
+        name=data.get("name"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Mixed documents
+# ----------------------------------------------------------------------
+def dependency_to_dict(dep) -> dict[str, Any]:
+    """Serialize any supported dependency, tagged by type."""
+    if isinstance(dep, GDC):
+        return gdc_to_dict(dep)
+    if isinstance(dep, GEDVee):
+        return gedvee_to_dict(dep)
+    if isinstance(dep, GraphTGD):
+        return tgd_to_dict(dep)
+    if isinstance(dep, GED):
+        payload = ged_to_dict(dep)
+        payload["type"] = "ged"
+        return payload
+    raise DependencyError(f"cannot serialize dependency {dep!r}")
+
+
+def dependency_from_dict(data: dict[str, Any]):
+    """Load any supported dependency; untagged documents are GEDs."""
+    kind = data.get("type", "ged")
+    if kind == "gdc":
+        return gdc_from_dict(data)
+    if kind == "gedvee":
+        return gedvee_from_dict(data)
+    if kind == "tgd":
+        return tgd_from_dict(data)
+    if kind == "ged":
+        return ged_from_dict({k: v for k, v in data.items() if k != "type"})
+    raise DependencyError(f"unknown dependency type {kind!r}")
+
+
+def dependencies_to_json(deps, indent: int | None = None) -> str:
+    return json.dumps([dependency_to_dict(d) for d in deps], indent=indent, sort_keys=True)
+
+
+def dependencies_from_json(text: str) -> list:
+    data = json.loads(text)
+    if isinstance(data, dict):
+        data = [data]
+    return [dependency_from_dict(entry) for entry in data]
+
+
+__all__ = [
+    "dependencies_from_json",
+    "dependencies_to_json",
+    "dependency_from_dict",
+    "dependency_to_dict",
+    "gdc_from_dict",
+    "gdc_literal_from_dict",
+    "gdc_literal_to_dict",
+    "gdc_to_dict",
+    "gedvee_from_dict",
+    "gedvee_to_dict",
+    "tgd_from_dict",
+    "tgd_to_dict",
+]

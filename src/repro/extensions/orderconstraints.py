@@ -1,0 +1,404 @@
+"""A point-algebra solver for conjunctions of order constraints.
+
+The Σp2 upper bounds of Theorems 8/9 rest on *attribute value
+normalization*: whether a conjunction of constraints
+
+    t1 ⊕ t2      (⊕ ∈ {=, ≠, <, >, ≤, ≥})
+
+over variables (attribute terms) and rational constants is satisfiable
+depends only on the order type of the constants, not on their exact
+values.  This module decides such conjunctions — and produces witness
+values — over a **dense unbounded** ordered domain (the rationals;
+witness values are floats):
+
+1. normalize ``>``/``≥`` to ``<``/``≤`` and fold ``=`` into a
+   union-find; reject immediately contradictory constant facts;
+2. collapse the strongly connected components of the ≤-graph (everything
+   in a ≤-cycle is equal); a strict edge inside an SCC is UNSAT;
+3. propagate constant bounds through the condensation: each class gets
+   an interval [lo, hi] with open/closed ends; an empty interval is
+   UNSAT; a point interval pins the class to that constant (iterate,
+   since pinning can create new constant facts);
+4. finally check ≠: two pinned-equal classes, a class ≠-ing itself, or a
+   ≠ between classes forced equal are UNSAT.  Over a dense domain,
+   everything else is realizable: assign values along a topological
+   order, nudging within open intervals to keep ≠-pairs apart.
+
+This is complete for the point algebra with constants over dense orders
+(the classic result for PA + ≠; the test suite cross-checks against a
+brute-force grid search).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.chase.unionfind import UnionFind
+from repro.errors import ConstraintError
+from repro.extensions.predicates import FLIP, check_operator
+
+Term = Hashable  # variables are arbitrary hashables; constants are numbers
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``lhs ⊕ rhs`` where each side is a variable term or a constant.
+
+    Constants must be wrapped as ``Const(value)`` so that numeric-valued
+    variable names cannot collide with constants.
+    """
+
+    lhs: Term
+    op: str
+    rhs: Term
+
+
+@dataclass(frozen=True)
+class Const:
+    value: float
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool) or not isinstance(self.value, (int, float)):
+            raise ConstraintError(f"order constants must be numeric, got {self.value!r}")
+
+
+def _is_const(term: Term) -> bool:
+    return isinstance(term, Const)
+
+
+class OrderSolver:
+    """Decide a conjunction of point-algebra constraints; build a witness."""
+
+    def __init__(self, constraints: Iterable[Constraint]):
+        self.constraints = list(constraints)
+        for c in self.constraints:
+            check_operator(c.op)
+
+    # ------------------------------------------------------------------
+    def solve(self) -> dict[Term, float] | None:
+        """A satisfying assignment ``variable -> float`` or None (UNSAT).
+
+        Constants are included in the assignment (mapped to themselves)
+        for convenience.
+        """
+        uf = UnionFind()
+        le_edges: set[tuple[Term, Term]] = set()  # a ≤ b
+        lt_edges: set[tuple[Term, Term]] = set()  # a < b
+        ne_pairs: set[tuple[Term, Term]] = set()
+        terms: set[Term] = set()
+
+        for c in self.constraints:
+            lhs, op, rhs = c.lhs, c.op, c.rhs
+            if _is_const(lhs) and not _is_const(rhs):
+                lhs, rhs, op = rhs, lhs, FLIP[op]
+            terms.add(lhs)
+            terms.add(rhs)
+            if _is_const(lhs) and _is_const(rhs):
+                from repro.extensions.predicates import evaluate
+
+                if not evaluate(lhs.value, op, rhs.value):
+                    return None
+                continue
+            if op == "=":
+                uf.union(lhs, rhs)
+            elif op == "!=":
+                ne_pairs.add((lhs, rhs))
+            elif op == "<":
+                lt_edges.add((lhs, rhs))
+            elif op == "<=":
+                le_edges.add((lhs, rhs))
+            elif op == ">":
+                lt_edges.add((rhs, lhs))
+            else:  # >=
+                le_edges.add((rhs, lhs))
+
+        for term in terms:
+            uf.add(term)
+
+        # Distinct constants must stay distinct.
+        constants = [t for t in terms if _is_const(t)]
+        for a, b in itertools.combinations(constants, 2):
+            if a.value != b.value and uf.same(a, b):
+                return None
+
+        # Iterate: collapse ≤-SCCs, propagate constant bounds, pin point
+        # intervals, until fixpoint or contradiction.
+        for _ in range(len(terms) + len(self.constraints) + 2):
+            changed, ok = self._collapse_and_pin(uf, le_edges, lt_edges, terms)
+            if not ok:
+                return None
+            if not changed:
+                break
+
+        # ≠ checks on the final classes.
+        for a, b in ne_pairs:
+            if uf.same(a, b):
+                return None
+        for a, b in itertools.combinations(constants, 2):
+            if a.value != b.value and uf.same(a, b):
+                return None
+
+        return self._witness(uf, le_edges, lt_edges, ne_pairs, terms)
+
+    def satisfiable(self) -> bool:
+        return self.solve() is not None
+
+    # ------------------------------------------------------------------
+    def _collapse_and_pin(self, uf, le_edges, lt_edges, terms) -> tuple[bool, bool]:
+        """One round of SCC collapse + interval propagation.
+
+        Returns (changed, consistent).
+        """
+        changed = False
+        # Build the ≤-graph over class representatives.
+        adjacency: dict[Term, set[Term]] = {}
+        strict: set[tuple[Term, Term]] = set()
+        for a, b in le_edges | lt_edges:
+            ra, rb = uf.find(a), uf.find(b)
+            adjacency.setdefault(ra, set()).add(rb)
+            adjacency.setdefault(rb, set())
+            if (a, b) in lt_edges:
+                strict.add((ra, rb))
+        for t in terms:
+            adjacency.setdefault(uf.find(t), set())
+
+        sccs = _tarjan(adjacency)
+        comp_of: dict[Term, int] = {}
+        for index, component in enumerate(sccs):
+            for node in component:
+                comp_of[node] = index
+        # Everything in a ≤-cycle is equal; a strict edge inside: UNSAT.
+        for a, b in strict:
+            if comp_of[a] == comp_of[b]:
+                return changed, False
+        for component in sccs:
+            component = sorted(component, key=repr)
+            for other in component[1:]:
+                if uf.union(component[0], other) is not None:
+                    changed = True
+
+        # Distinct constants merged by the collapse: UNSAT.
+        const_of: dict[Term, float] = {}
+        for t in terms:
+            if _is_const(t):
+                root = uf.find(t)
+                if root in const_of and const_of[root] != t.value:
+                    return changed, False
+                const_of[root] = t.value
+
+        # Interval propagation through the (now acyclic) condensation.
+        roots = {uf.find(t) for t in terms}
+        lo: dict[Term, tuple[float, bool]] = {}  # value, strict?
+        hi: dict[Term, tuple[float, bool]] = {}
+        for root in roots:
+            if root in const_of:
+                lo[root] = (const_of[root], False)
+                hi[root] = (const_of[root], False)
+        edges = [(uf.find(a), uf.find(b), (a, b) in lt_edges) for a, b in le_edges | lt_edges]
+
+        def tighter_lo(candidate, current) -> bool:
+            # A lower bound is tighter when larger; at equal value,
+            # strict beats non-strict.
+            return current is None or candidate > current
+
+        def tighter_hi(candidate, current) -> bool:
+            # An upper bound is tighter when *smaller*; at equal value,
+            # strict beats non-strict.
+            if current is None:
+                return True
+            (cv, cs), (ov, os) = candidate, current
+            return cv < ov or (cv == ov and cs and not os)
+
+        for _ in range(len(roots) + 1):
+            moved = False
+            for a, b, is_strict in edges:
+                a, b = uf.find(a), uf.find(b)
+                if a == b:
+                    continue
+                if a in lo:
+                    v, s = lo[a]
+                    candidate = (v, s or is_strict)
+                    if tighter_lo(candidate, lo.get(b)):
+                        lo[b] = candidate
+                        moved = True
+                if b in hi:
+                    v, s = hi[b]
+                    candidate = (v, s or is_strict)
+                    if tighter_hi(candidate, hi.get(a)):
+                        hi[a] = candidate
+                        moved = True
+            if not moved:
+                break
+        for root in roots:
+            if root in lo and root in hi:
+                (lv, ls), (hv, hs) = lo[root], hi[root]
+                if lv > hv or (lv == hv and (ls or hs)):
+                    return changed, False
+                if lv == hv and root not in const_of:
+                    # Pinned to a constant: merge with that constant term.
+                    pin = Const(lv)
+                    if pin in {t for t in terms if _is_const(t)}:
+                        if uf.union(root, pin) is not None:
+                            changed = True
+        return changed, True
+
+    # ------------------------------------------------------------------
+    def _witness(self, uf, le_edges, lt_edges, ne_pairs, terms):
+        """Concrete values: topological assignment over the condensation."""
+        roots = sorted({uf.find(t) for t in terms}, key=repr)
+        successors: dict[Term, set[tuple[Term, bool]]] = {r: set() for r in roots}
+        indegree: dict[Term, int] = {r: 0 for r in roots}
+        seen_edges = set()
+        for a, b in le_edges | lt_edges:
+            ra, rb = uf.find(a), uf.find(b)
+            if ra == rb or (ra, rb) in seen_edges:
+                continue
+            seen_edges.add((ra, rb))
+            successors[ra].add((rb, (a, b) in lt_edges))
+            indegree[rb] += 1
+
+        const_of = {}
+        for t in terms:
+            if _is_const(t):
+                const_of[uf.find(t)] = float(t.value)
+
+        # Kahn topological order (the graph is acyclic after collapsing).
+        order: list[Term] = []
+        frontier = sorted((r for r in roots if indegree[r] == 0), key=repr)
+        indeg = dict(indegree)
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            for succ, _ in sorted(successors[node], key=repr):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    frontier.append(succ)
+            frontier.sort(key=repr)
+
+        values: dict[Term, float] = {}
+        ne_roots = {(uf.find(a), uf.find(b)) for a, b in ne_pairs}
+
+        def conflicts(root: Term, value: float) -> bool:
+            # ≠-partners already assigned, and *every* constant class —
+            # a free variable must never collide with a constant it is
+            # required to differ from, even if that constant class is
+            # assigned later in the topological order.
+            for a, b in ne_roots:
+                other = b if a == root else (a if b == root else None)
+                if other is None:
+                    continue
+                if other in values and values[other] == value:
+                    return True
+                if other in const_of and const_of[other] == value:
+                    return True
+            return False
+
+        # Constants are immovable: pre-assign every constant class.
+        for root, constant in const_of.items():
+            values[root] = constant
+
+        for root in order:
+            if root in const_of:
+                continue  # already assigned, never nudged
+            lower = None  # (value, strict)
+            for pred in order:
+                for succ, is_strict in successors.get(pred, ()):
+                    if succ == root and pred in values:
+                        candidate = (values[pred], is_strict)
+                        if lower is None or candidate > lower:
+                            lower = candidate
+            upper = self._upper_bound(root, successors, const_of, uf)
+            if lower is None:
+                value = 0.0 if upper is None else upper - 1.0
+            elif lower[1]:
+                # Strict lower bound: stay below any constant upper bound
+                # (the domain is dense, so the midpoint always exists).
+                value = lower[0] + 1.0 if upper is None else lower[0] + (upper - lower[0]) / 2.0
+            else:
+                value = lower[0]
+            # Keep ≠-pairs apart: nudge upward by halves toward the
+            # tightest upper bound, or by whole steps when unbounded.
+            attempts = 0
+            while conflicts(root, value) and attempts < 100:
+                attempts += 1
+                if upper is None:
+                    value += 1.0
+                else:
+                    value = value + (upper - value) / 2.0
+            values[root] = value
+
+        assignment: dict[Term, float] = {}
+        for t in terms:
+            assignment[t] = values[uf.find(t)]
+        return assignment
+
+    def _upper_bound(self, root, successors, const_of, uf):
+        """The nearest constant upper bound reachable from ``root``."""
+        best = None
+        frontier = [root]
+        seen = {root}
+        while frontier:
+            node = frontier.pop()
+            for succ, _ in successors.get(node, ()):
+                if succ in const_of:
+                    bound = const_of[succ]
+                    if best is None or bound < best:
+                        best = bound
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return best
+
+
+def _tarjan(adjacency: dict[Term, set[Term]]) -> list[list[Term]]:
+    """Tarjan's SCC algorithm (iterative, deterministic order)."""
+    index_counter = itertools.count()
+    stack: list[Term] = []
+    lowlink: dict[Term, int] = {}
+    index: dict[Term, int] = {}
+    on_stack: set[Term] = set()
+    result: list[list[Term]] = []
+
+    for start in sorted(adjacency, key=repr):
+        if start in index:
+            continue
+        work = [(start, iter(sorted(adjacency[start], key=repr)))]
+        index[start] = lowlink[start] = next(index_counter)
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = next(index_counter)
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adjacency[succ], key=repr))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def solve_constraints(constraints: Iterable[Constraint]) -> dict[Term, float] | None:
+    """Convenience wrapper: solve a conjunction, None if UNSAT."""
+    return OrderSolver(constraints).solve()

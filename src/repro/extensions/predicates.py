@@ -1,0 +1,56 @@
+"""Built-in predicates for GDCs (Section 7.1).
+
+GDC literals compare attribute terms and constants with
+``=, ≠, <, >, ≤, ≥``.  Comparisons are evaluated over a totally ordered
+dense domain; we use Python's numeric ordering for numbers and
+lexicographic ordering for strings, refusing (evaluating to False) the
+order predicates across incomparable types — equality and inequality
+are defined for every pair of values, as in SQL three-valued practice
+collapsed to two values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConstraintError
+
+#: The built-in predicates of Section 7.1.
+OPERATORS = ("=", "!=", "<", ">", "<=", ">=")
+
+#: op -> flipped op (for normalizing ``c ⊕ x.A`` to ``x.A ⊕' c``).
+FLIP = {"=": "=", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+#: op -> negated op (for branching on "this literal is violated").
+NEGATE = {"=": "!=", "!=": "=", "<": ">=", ">": "<=", "<=": ">", ">=": "<"}
+
+
+def check_operator(op: str) -> None:
+    if op not in OPERATORS:
+        raise ConstraintError(f"unknown built-in predicate {op!r}")
+
+
+def comparable(a: object, b: object) -> bool:
+    """Whether the *order* predicates are defined between two values."""
+    numeric = (int, float)
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, numeric) and isinstance(b, numeric):
+        return True
+    return type(a) is type(b) and isinstance(a, str)
+
+
+def evaluate(a: object, op: str, b: object) -> bool:
+    """``a ⊕ b`` on concrete values."""
+    check_operator(op)
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    if not comparable(a, b):
+        return False
+    if op == "<":
+        return a < b
+    if op == ">":
+        return a > b
+    if op == "<=":
+        return a <= b
+    return a >= b

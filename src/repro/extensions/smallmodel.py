@@ -1,0 +1,347 @@
+"""Bounded small-model search for GDCs and GED∨s (Theorems 8 and 9).
+
+The Σp2 upper bounds of Section 7 rest on small-model properties: a
+satisfiable GDC set has a model of size ≤ 4·|Σ|³; a non-implication has
+a counterexample of size ≤ 2·|φ|·(|φ| + |Σ| + 1)².  This module
+implements the corresponding search exactly, over the same normalized
+space as :mod:`repro.reasoning.bruteforce` (see there for the proof
+that quotients of the canonical graph suffice), extended with **order
+regions** for the built-in predicates:
+
+an attribute slot is ABSENT, a constant of Σ, a *fresh incomparable
+token* (shared tokens are equal; tokens never satisfy order predicates
+against numbers — needed to falsify e.g. ``x.A < 5 ∧ x.A > 5 ∧
+x.A ≠ 5`` simultaneously), or a **gap value** ``(i, rank)`` denoting
+the rank-th fresh value inside the i-th open interval between the
+sorted numeric constants.  Over a dense domain this realizes every
+order type that finitely many values can have relative to Σ's
+constants — the "attribute value normalization" of the Theorem 8 proof.
+
+**Pruning.**  The space is exponential by design (the problems are
+Σp2-complete), but most of it is dead: a partially assigned candidate
+is hopeless once some dependency has a match whose X is already
+definitely true while Y is already definitely violated (no unassigned
+slot can rescue it — assignments only *decide* more literals).  The
+:class:`GroundRules` pruner precomputes, per quotient, every (match,
+dependency) pair as a ground rule and kills dead branches during the
+slot-by-slot assignment.  ``SearchStats`` counts candidates and pruned
+branches — the work measures the Table 1 benchmarks report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ReductionError
+from repro.graph.graph import Graph
+from repro.matching.homomorphism import find_homomorphisms
+from repro.patterns.labels import WILDCARD
+from repro.reasoning.bruteforce import set_partitions
+
+ABSENT = ("absent",)
+
+#: Evaluation lattice for partially assigned candidates.
+TRUE, FALSE_, UNDECIDED = True, False, None
+
+Slot = tuple[str, str]
+
+
+@dataclass
+class SearchStats:
+    """Work counters for one small-model search."""
+
+    partitions: int = 0
+    candidates: int = 0
+    pruned: int = 0
+    nodes_in_witness: int | None = None
+
+
+@dataclass
+class SearchSpace:
+    """The normalized value space of a dependency set."""
+
+    attributes: list[str]
+    constants: list[object]
+    numeric_constants: list[float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        numeric = sorted(
+            {
+                float(c)
+                for c in self.constants
+                if isinstance(c, (int, float)) and not isinstance(c, bool)
+            }
+        )
+        self.numeric_constants = numeric
+
+    def slot_values(self, max_rank: int) -> list[tuple]:
+        """All normalized values one slot can take."""
+        values: list[tuple] = [ABSENT]
+        for c in self.constants:
+            values.append(("const", c))
+        gaps = len(self.numeric_constants) + 1
+        for gap in range(gaps):
+            for rank in range(max_rank):
+                values.append(("gap", gap, rank))
+        for token in range(max_rank):
+            values.append(("token", token))
+        return values
+
+    def concretize(self, value: tuple, max_rank: int):
+        """A concrete Python value realizing a normalized choice."""
+        kind = value[0]
+        if kind == "const":
+            return value[1]
+        if kind == "token":
+            return f"@token{value[1]}"
+        gap, rank = value[1], value[2]
+        consts = self.numeric_constants
+        if not consts:
+            return float(rank)
+        if gap == 0:
+            return consts[0] - 1.0 - rank
+        if gap == len(consts):
+            return consts[-1] + 1.0 + rank
+        lo, hi = consts[gap - 1], consts[gap]
+        return lo + (hi - lo) * (rank + 1) / (max_rank + 2)
+
+
+def quotient_graphs(canonical: Graph) -> Iterator[tuple[Graph, dict[str, str]]]:
+    """All label-compatible quotients of a canonical graph, with the
+    node -> representative projection."""
+    node_ids = sorted(canonical.node_ids)
+    for partition in set_partitions(node_ids):
+        projection: dict[str, str] = {}
+        quotient = Graph()
+        ok = True
+        for block in partition:
+            labels = {canonical.node(n).label for n in block}
+            concrete = {l for l in labels if l != WILDCARD}
+            if len(concrete) > 1:
+                ok = False
+                break
+            rep = min(block)
+            label = next(iter(concrete)) if concrete else WILDCARD
+            quotient.add_node(rep, label)
+            for member in block:
+                projection[member] = rep
+        if not ok:
+            continue
+        for source, label, target in canonical.edges:
+            quotient.add_edge(projection[source], label, projection[target])
+        yield quotient, projection
+
+
+# ----------------------------------------------------------------------
+# Ground-rule pruning
+# ----------------------------------------------------------------------
+
+#: A three-valued literal evaluator over partial assignments:
+#: ``eval_fn(literal, match, lookup) -> True | False | None`` where
+#: ``lookup(node_id, attr)`` returns ``(decided, concrete_value)`` with
+#: ``concrete_value is ABSENT`` for assigned-absent slots.
+LiteralEval = Callable
+
+
+class GroundRules:
+    """All (dependency, match) obligations of a fixed quotient graph."""
+
+    def __init__(self, deps: Sequence, eval_fn: LiteralEval, disjunctive: bool):
+        self._deps = list(deps)
+        self._eval = eval_fn
+        self._disjunctive = disjunctive
+        self._rules: list[tuple[list, list]] = []
+
+    def bind(self, quotient: Graph) -> "GroundRules":
+        bound = GroundRules(self._deps, self._eval, self._disjunctive)
+        for dep in self._deps:
+            for match in find_homomorphisms(dep.pattern, quotient):
+                x_items = [(l, dict(match)) for l in sorted(dep.X, key=str)]
+                y_items = [(l, dict(match)) for l in sorted(dep.Y, key=str)]
+                bound._rules.append((x_items, y_items))
+        return bound
+
+    def dead(self, lookup) -> bool:
+        """Whether some ground rule is already definitely violated."""
+        for x_items, y_items in self._rules:
+            x_values = [self._eval(l, m, lookup) for l, m in x_items]
+            if any(v is FALSE_ for v in x_values):
+                continue
+            if any(v is UNDECIDED for v in x_values):
+                continue
+            # X is definitely true.
+            y_values = [self._eval(l, m, lookup) for l, m in y_items]
+            if self._disjunctive:
+                if y_values and any(v is not FALSE_ for v in y_values):
+                    continue
+                if not y_values:
+                    return True  # empty disjunction under a true X
+                return True  # all disjuncts definitely false
+            if any(v is FALSE_ for v in y_values):
+                return True
+        return False
+
+
+def search_small_model(
+    canonical: Graph,
+    space: SearchSpace,
+    accept: Callable[[Graph, dict[str, str]], bool],
+    max_nodes: int = 7,
+    max_candidates: int | None = None,
+    stats: SearchStats | None = None,
+    pruner: GroundRules | None = None,
+) -> Graph | None:
+    """Search quotient × assignment space for a graph accepted by
+    ``accept(candidate, projection)``.
+
+    ``max_rank`` (the number of distinguishable fresh values per gap /
+    token group) is the number of attribute slots — enough to realize
+    any order type the slots can exhibit.  ``pruner`` (see
+    :class:`GroundRules`) cuts branches whose partial assignment
+    already violates a dependency.  Raises :class:`ReductionError` if
+    the canonical graph exceeds ``max_nodes``, or if ``max_candidates``
+    leaves are examined without covering the space.
+    """
+    if canonical.num_nodes > max_nodes:
+        raise ReductionError(
+            f"small-model search limited to {max_nodes} canonical nodes, "
+            f"got {canonical.num_nodes}"
+        )
+    stats = stats if stats is not None else SearchStats()
+    for quotient, projection in quotient_graphs(canonical):
+        stats.partitions += 1
+        slots: list[Slot] = [
+            (node_id, attr)
+            for node_id in sorted(quotient.node_ids)
+            for attr in space.attributes
+        ]
+        max_rank = max(1, len(slots))
+        values = space.slot_values(max_rank)
+        ground = pruner.bind(quotient) if pruner is not None else None
+
+        assignment: dict[Slot, object] = {}  # slot -> concrete value / ABSENT
+
+        def lookup(node_id: str, attr: str):
+            slot = (node_id, attr)
+            if slot in assignment:
+                return True, assignment[slot]
+            if attr not in space.attributes or not quotient.has_node(node_id):
+                # Attributes outside the space never exist on candidates.
+                return True, ABSENT
+            return False, None
+
+        def recurse(index: int) -> Graph | None:
+            if index == len(slots):
+                stats.candidates += 1
+                if max_candidates is not None and stats.candidates > max_candidates:
+                    raise ReductionError(
+                        f"small-model search exceeded {max_candidates} candidates"
+                    )
+                candidate = _materialize(quotient, assignment)
+                if accept(candidate, projection):
+                    stats.nodes_in_witness = candidate.num_nodes
+                    return candidate
+                return None
+            slot = slots[index]
+            tokens_used = max(
+                (
+                    v[1] + 1  # type: ignore[index]
+                    for v in raw_assignment.values()
+                    if isinstance(v, tuple) and v and v[0] == "token"
+                ),
+                default=0,
+            )
+            for value in values:
+                if value[0] == "token" and value[1] > tokens_used:
+                    continue  # restricted growth: kill token symmetry
+                raw_assignment[slot] = value
+                assignment[slot] = (
+                    ABSENT if value == ABSENT else space.concretize(value, max_rank)
+                )
+                if ground is not None and ground.dead(lookup):
+                    stats.pruned += 1
+                else:
+                    found = recurse(index + 1)
+                    if found is not None:
+                        return found
+                del assignment[slot]
+                del raw_assignment[slot]
+            return None
+
+        raw_assignment: dict[Slot, tuple] = {}
+        witness = recurse(0)
+        if witness is not None:
+            return witness
+    return None
+
+
+def _materialize(quotient: Graph, assignment: dict[Slot, object]) -> Graph:
+    graph = Graph()
+    for node in quotient.nodes:
+        attrs = {}
+        for (node_id, attr), value in assignment.items():
+            if node_id != node.id or value is ABSENT:
+                continue
+            attrs[attr] = value
+        graph.add_node(node.id, node.label, attrs)
+    for edge in quotient.edges:
+        graph.add_edge(*edge)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Three-valued literal evaluators (shared by the GDC / GED∨ pruners)
+# ----------------------------------------------------------------------
+
+
+def ged_literal_eval(literal, match, lookup):
+    """GED literals over a partial assignment (True/False/None)."""
+    from repro.deps.literals import ConstantLiteral, FALSE, IdLiteral, VariableLiteral
+
+    if literal is FALSE:
+        return FALSE_
+    if isinstance(literal, IdLiteral):
+        return match[literal.var1] == match[literal.var2]
+    if isinstance(literal, ConstantLiteral):
+        decided, value = lookup(match[literal.var], literal.attr)
+        if not decided:
+            return UNDECIDED
+        return value is not ABSENT and value == literal.const
+    if isinstance(literal, VariableLiteral):
+        d1, v1 = lookup(match[literal.var1], literal.attr1)
+        d2, v2 = lookup(match[literal.var2], literal.attr2)
+        if not d1 or not d2:
+            return UNDECIDED
+        if v1 is ABSENT or v2 is ABSENT:
+            return FALSE_
+        return v1 == v2
+    raise TypeError(f"unknown GED literal {literal!r}")
+
+
+def gdc_literal_eval(literal, match, lookup):
+    """GDC literals over a partial assignment (True/False/None)."""
+    from repro.deps.literals import FALSE, IdLiteral
+    from repro.extensions.gdc import ComparisonLiteral, VariableComparisonLiteral
+    from repro.extensions.predicates import evaluate
+
+    if literal is FALSE:
+        return FALSE_
+    if isinstance(literal, IdLiteral):
+        return match[literal.var1] == match[literal.var2]
+    if isinstance(literal, ComparisonLiteral):
+        decided, value = lookup(match[literal.var], literal.attr)
+        if not decided:
+            return UNDECIDED
+        if value is ABSENT:
+            return FALSE_
+        return evaluate(value, literal.op, literal.const)
+    if isinstance(literal, VariableComparisonLiteral):
+        d1, v1 = lookup(match[literal.var1], literal.attr1)
+        d2, v2 = lookup(match[literal.var2], literal.attr2)
+        if not d1 or not d2:
+            return UNDECIDED
+        if v1 is ABSENT or v2 is ABSENT:
+            return FALSE_
+        return evaluate(v1, literal.op, v2)
+    raise TypeError(f"unknown GDC literal {literal!r}")

@@ -1,0 +1,395 @@
+"""Graph tuple-generating dependencies (GTGDs).
+
+Section 9 of the paper names TGDs as the next practical form of graph
+dependency to study; Section 3 already notes that GEDs express a
+*limited* TGD flavor (attribute generation via ``Q[x](∅ → x.A = x.A)``).
+This module implements the full edge/node-generating form:
+
+    σ = Q[x̄], X  ⟶  ∃ z̄ (H[x̄, z̄], Y)
+
+* **body**: a pattern Q[x̄] plus a condition X (literals of x̄ — the same
+  shape as a GED body);
+* **head**: fresh existential variables z̄ with labels, head edges over
+  x̄ ∪ z̄, and head literals Y over x̄ ∪ z̄.
+
+G |= σ iff every match h of Q with h |= X extends to a homomorphism h'
+on x̄ ∪ z̄ such that every head edge is in G and h' |= Y.
+
+Reasoning about unrestricted TGDs is undecidable (the paper cites
+[8, 26]); what *is* implementable and useful is
+
+* :func:`tgd_validates` — the validation check (model checking is
+  decidable; for relational TGDs it is Πp2-complete [36], and the same
+  certificate structure — a body match plus a head-extension search —
+  drives our implementation);
+* :func:`weakly_acyclic` — the classical syntactic termination
+  condition, adapted to graph labels as positions: the restricted
+  chase with a weakly acyclic set terminates on every input;
+* :func:`chase_with_tgds` — the restricted chase interleaving TGD
+  steps (create missing head structure, inventing labeled-null nodes)
+  with the Section 4 GED chase (merge/equalize), the standard
+  EGD+TGD interaction from data exchange [17].
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.chase.engine import chase
+from repro.deps.ged import GED
+from repro.deps.literals import (
+    ConstantLiteral,
+    IdLiteral,
+    Literal,
+    VariableLiteral,
+    check_literal,
+)
+from repro.errors import DependencyError
+from repro.graph.graph import Graph
+from repro.matching.homomorphism import find_homomorphisms
+from repro.patterns.labels import WILDCARD
+from repro.patterns.pattern import Pattern
+from repro.reasoning.validation import literal_holds
+
+
+class GraphTGD:
+    """A graph tuple-generating dependency.
+
+    Parameters
+    ----------
+    body:
+        the pattern Q[x̄] (topological scope, as for GEDs).
+    X:
+        body condition literals over x̄.
+    head_nodes:
+        ``fresh variable -> label`` for the existential variables z̄
+        (labels may not be wildcard: a created node needs a concrete
+        label).  Must be disjoint from x̄.
+    head_edges:
+        edges over x̄ ∪ z̄ that the head asserts (labels may not be
+        wildcard — the chase must know what to create).
+    Y:
+        head literals over x̄ ∪ z̄ (id literals over z̄ are disallowed:
+        equating an invented node with anything is the GED chase's
+        job, not the head's).
+    """
+
+    def __init__(
+        self,
+        body: Pattern,
+        X: Iterable[Literal] = (),
+        head_nodes: Mapping[str, str] | None = None,
+        head_edges: Iterable[tuple[str, str, str]] = (),
+        Y: Iterable[Literal] = (),
+        name: str | None = None,
+    ):
+        self.body = body
+        self.X: frozenset[Literal] = frozenset(X)
+        self.head_nodes: dict[str, str] = dict(head_nodes or {})
+        self.head_edges: tuple[tuple[str, str, str], ...] = tuple(head_edges)
+        self.Y: frozenset[Literal] = frozenset(Y)
+        self.name = name
+
+        for literal in self.X:
+            check_literal(literal, body.variables)
+        overlap = set(self.head_nodes) & set(body.variables)
+        if overlap:
+            raise DependencyError(
+                f"existential variables must be fresh; {sorted(overlap)} are body variables"
+            )
+        for variable, label in self.head_nodes.items():
+            if label == WILDCARD:
+                raise DependencyError(
+                    f"existential variable {variable!r} needs a concrete label"
+                )
+        scope = set(body.variables) | set(self.head_nodes)
+        for source, label, target in self.head_edges:
+            if source not in scope or target not in scope:
+                raise DependencyError(
+                    f"head edge ({source}, {label}, {target}) uses unknown variables"
+                )
+            if label == WILDCARD:
+                raise DependencyError("head edge labels may not be wildcard")
+        for literal in self.Y:
+            check_literal(literal, scope)
+            if isinstance(literal, IdLiteral):
+                raise DependencyError(
+                    "id literals are not allowed in TGD heads; use a GED"
+                )
+        if not self.head_nodes and not self.head_edges and not self.Y:
+            raise DependencyError("a TGD must have a non-empty head")
+
+    @property
+    def existential_variables(self) -> tuple[str, ...]:
+        return tuple(self.head_nodes)
+
+    @property
+    def is_full(self) -> bool:
+        """A *full* TGD has no existential variables (always terminating)."""
+        return not self.head_nodes
+
+    def head_pattern(self) -> Pattern:
+        """The head as a pattern over x̄ ∪ z̄ (body labels on body
+        variables, head labels on fresh ones; body edges are *not*
+        included — the head asserts only its own structure)."""
+        nodes = {v: self.body.label_of(v) for v in self.body.variables}
+        nodes.update(self.head_nodes)
+        return Pattern(nodes, self.head_edges, variables=list(nodes))
+
+    def __str__(self) -> str:
+        x = " ∧ ".join(sorted(str(l) for l in self.X)) or "∅"
+        parts = [f"({s})-[{l}]->({t})" for s, l, t in self.head_edges]
+        parts += sorted(str(l) for l in self.Y)
+        z = ", ".join(self.head_nodes)
+        head = (f"∃{z} " if z else "") + (" ∧ ".join(parts) or "∅")
+        return f"{self.name or 'GTGD'}: Q[{', '.join(self.body.variables)}]({x} → {head})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self}>"
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UnsatisfiedBody:
+    """A body match with no head extension — a TGD violation witness."""
+
+    tgd: GraphTGD
+    match: tuple[tuple[str, str], ...]
+
+    @property
+    def assignment(self) -> dict[str, str]:
+        return dict(self.match)
+
+
+def _head_extension(
+    graph: Graph, tgd: GraphTGD, body_match: Mapping[str, str]
+) -> dict[str, str] | None:
+    """An extension of ``body_match`` witnessing the head, or None."""
+    head = tgd.head_pattern()
+    fixed = {v: body_match[v] for v in tgd.body.variables}
+    for match in find_homomorphisms(head, graph, fixed=fixed):
+        if all(literal_holds(graph, literal, match) for literal in tgd.Y):
+            return dict(match)
+    return None
+
+
+def tgd_find_unsatisfied(
+    graph: Graph, tgds: Sequence[GraphTGD], limit: int | None = None
+) -> list[UnsatisfiedBody]:
+    """All (up to ``limit``) body matches lacking a head extension."""
+    witnesses: list[UnsatisfiedBody] = []
+    for tgd in tgds:
+        for match in find_homomorphisms(tgd.body, graph):
+            if not all(literal_holds(graph, l, match) for l in tgd.X):
+                continue
+            if _head_extension(graph, tgd, match) is None:
+                witnesses.append(UnsatisfiedBody(tgd, tuple(sorted(match.items()))))
+                if limit is not None and len(witnesses) >= limit:
+                    return witnesses
+    return witnesses
+
+
+def tgd_validates(graph: Graph, tgds: Sequence[GraphTGD]) -> bool:
+    """G |= every TGD in the set."""
+    return not tgd_find_unsatisfied(graph, tgds, limit=1)
+
+
+# ----------------------------------------------------------------------
+# Weak acyclicity (termination of the restricted chase)
+# ----------------------------------------------------------------------
+def weakly_acyclic(tgds: Sequence[GraphTGD]) -> bool:
+    """The classical weak-acyclicity test with node labels as positions.
+
+    Build a graph on labels: for every TGD, for every body variable x
+    (position = its label) that also appears in the head,
+
+    * add a normal edge from x's label to the label of every head
+      position where x occurs (here: x keeps its own label — identity
+      edge, irrelevant), and
+    * add a **special** edge from x's label to the label of every
+      existential variable in the same head.
+
+    The set is weakly acyclic iff no cycle goes through a special edge;
+    then every restricted-chase sequence terminates on every input.
+    Wildcard body labels depend on every label, so they conservatively
+    count as predecessors of all labels appearing in the rule set.
+    """
+    labels: set[str] = set()
+    for tgd in tgds:
+        labels |= set(tgd.body.labels.values())
+        labels |= set(tgd.head_nodes.values())
+    labels.discard(WILDCARD)
+
+    normal: set[tuple[str, str]] = set()
+    special: set[tuple[str, str]] = set()
+    for tgd in tgds:
+        body_labels = set(tgd.body.labels.values())
+        sources = labels if WILDCARD in body_labels else body_labels
+        head_labels = set(tgd.head_nodes.values())
+        for source in sources:
+            for target in body_labels - {WILDCARD}:
+                normal.add((source, target))
+            for target in head_labels:
+                special.add((source, target))
+
+    # A cycle through a special edge exists iff some special edge (u, v)
+    # has a path v ->* u in the combined graph.
+    combined: dict[str, set[str]] = {label: set() for label in labels}
+    for source, target in normal | special:
+        combined.setdefault(source, set()).add(target)
+
+    def reachable(start: str, goal: str) -> bool:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            if current == goal:
+                return True
+            for nxt in combined.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    return not any(reachable(target, source) for source, target in special)
+
+
+# ----------------------------------------------------------------------
+# The restricted chase with TGDs (+ optional GEDs)
+# ----------------------------------------------------------------------
+@dataclass
+class TgdChaseResult:
+    """Result of the TGD (+GED) chase.
+
+    ``terminated`` — a fixpoint was reached within the round budget.
+    ``consistent`` — the interleaved GED chase never hit a conflict
+    (vacuously true without GEDs).  ``graph`` — the final instance,
+    containing labeled-null nodes named ``_null<N>`` for invented
+    entities.
+    """
+
+    terminated: bool
+    consistent: bool
+    graph: Graph
+    invented_nodes: list[str] = field(default_factory=list)
+    rounds: int = 0
+    reason: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.terminated and self.consistent
+
+
+def chase_with_tgds(
+    graph: Graph,
+    tgds: Sequence[GraphTGD],
+    geds: Sequence[GED] = (),
+    max_rounds: int = 100,
+) -> TgdChaseResult:
+    """The restricted chase: repair unsatisfied TGD bodies by creating
+    head structure, then enforce GEDs (Section 4 chase), until fixpoint.
+
+    The chase is *restricted*: a TGD fires only for body matches with
+    no existing head extension, so satisfied bodies never generate
+    duplicates.  With ``weakly_acyclic(tgds)`` the loop provably
+    reaches a fixpoint; otherwise ``max_rounds`` bounds it and a
+    non-terminating run is reported with ``terminated=False``.
+    """
+    current = graph.copy()
+    invented: list[str] = []
+    null_counter = itertools.count(
+        sum(1 for n in graph.node_ids if n.startswith("_null"))
+    )
+
+    for round_index in range(1, max_rounds + 1):
+        unsatisfied = tgd_find_unsatisfied(current, tgds)
+        if not unsatisfied:
+            return TgdChaseResult(True, True, current, invented, round_index - 1)
+        for witness in unsatisfied:
+            match = witness.assignment
+            # Re-check: earlier firings this round may have satisfied it.
+            if _head_extension(current, witness.tgd, match) is not None:
+                continue
+            _fire(current, witness.tgd, match, invented, null_counter)
+        if geds:
+            result = chase(current, list(geds))
+            if not result.consistent:
+                return TgdChaseResult(
+                    False, False, current, invented, round_index, result.reason
+                )
+            current = result.graph
+    still_unsatisfied = bool(tgd_find_unsatisfied(current, tgds, limit=1))
+    return TgdChaseResult(
+        not still_unsatisfied, True, current, invented, max_rounds,
+        "round budget exhausted" if still_unsatisfied else None,
+    )
+
+
+def _fire(
+    graph: Graph,
+    tgd: GraphTGD,
+    match: dict[str, str],
+    invented: list[str],
+    null_counter,
+) -> None:
+    """One TGD firing: invent nulls for z̄, add head edges, enforce Y."""
+    extension = dict(match)
+    for variable, label in tgd.head_nodes.items():
+        node_id = f"_null{next(null_counter)}"
+        graph.add_node(node_id, label)
+        extension[variable] = node_id
+        invented.append(node_id)
+    for source, label, target in tgd.head_edges:
+        graph.add_edge(extension[source], label, extension[target])
+    for literal in sorted(tgd.Y, key=str):
+        _enforce_head_literal(graph, literal, extension)
+
+
+def _enforce_head_literal(
+    graph: Graph, literal: Literal, extension: Mapping[str, str]
+) -> None:
+    if isinstance(literal, ConstantLiteral):
+        graph.set_attribute(extension[literal.var], literal.attr, literal.const)
+        return
+    if isinstance(literal, VariableLiteral):
+        node1, node2 = extension[literal.var1], extension[literal.var2]
+        n1, n2 = graph.node(node1), graph.node(node2)
+        if n1.has_attribute(literal.attr1):
+            graph.set_attribute(node2, literal.attr2, n1.get(literal.attr1))
+        elif n2.has_attribute(literal.attr2):
+            graph.set_attribute(node1, literal.attr1, n2.get(literal.attr2))
+        else:
+            # Labeled null value: both attributes exist and agree.
+            placeholder = f"_nullv_{literal.attr1}_{node1}"
+            graph.set_attribute(node1, literal.attr1, placeholder)
+            graph.set_attribute(node2, literal.attr2, placeholder)
+        return
+    raise DependencyError(f"unsupported head literal {literal!r}")
+
+
+def attribute_existence_as_tgd(label: str, attr: str, variable: str = "x") -> GraphTGD:
+    """The Section 3 observation as an explicit TGD: every ``label``
+    node has an ``attr`` attribute (GEDs express this as
+    ``Q[x](∅ → x.A = x.A)``; as a TGD the head literal is the same
+    self-equality)."""
+    body = Pattern({variable: label})
+    return GraphTGD(
+        body,
+        Y=[VariableLiteral(variable, attr, variable, attr)],
+        name=f"exists-{label}.{attr}",
+    )
+
+
+__all__ = [
+    "GraphTGD",
+    "TgdChaseResult",
+    "UnsatisfiedBody",
+    "attribute_existence_as_tgd",
+    "chase_with_tgds",
+    "tgd_find_unsatisfied",
+    "tgd_validates",
+    "weakly_acyclic",
+]

@@ -1,0 +1,38 @@
+"""Property graphs (Section 2): nodes with labels + attributes, labeled edges."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_connected_undirected_graph,
+    random_labeled_graph,
+    star_graph,
+    undirected_edge_set,
+)
+from repro.graph.graph import ID_ATTRIBUTE, Edge, Graph, Node, Value
+from repro.graph.io import graph_from_dict, graph_from_json, graph_to_dict, graph_to_json
+from repro.graph.relational import Relation, graph_to_relation, relations_to_graph
+
+__all__ = [
+    "ID_ATTRIBUTE",
+    "Edge",
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "Relation",
+    "Value",
+    "complete_graph",
+    "cycle_graph",
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_to_dict",
+    "graph_to_json",
+    "graph_to_relation",
+    "path_graph",
+    "random_connected_undirected_graph",
+    "random_labeled_graph",
+    "relations_to_graph",
+    "star_graph",
+    "undirected_edge_set",
+]

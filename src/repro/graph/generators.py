@@ -1,0 +1,139 @@
+"""Deterministic graph generators used by tests, reductions and benchmarks.
+
+All generators take explicit sizes and (where randomized) an explicit
+``random.Random`` instance or seed, so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.graph.graph import Graph
+
+
+def complete_graph(n: int, label: str = "v", edge_label: str = "adj") -> Graph:
+    """K_n with both orientations of every edge (undirected encoding)."""
+    g = Graph()
+    for i in range(n):
+        g.add_node(f"n{i}", label)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                g.add_edge(f"n{i}", edge_label, f"n{j}")
+    return g
+
+
+def cycle_graph(n: int, label: str = "v", edge_label: str = "adj", directed: bool = False) -> Graph:
+    """C_n; undirected encoding unless ``directed``."""
+    g = Graph()
+    for i in range(n):
+        g.add_node(f"n{i}", label)
+    for i in range(n):
+        j = (i + 1) % n
+        g.add_edge(f"n{i}", edge_label, f"n{j}")
+        if not directed:
+            g.add_edge(f"n{j}", edge_label, f"n{i}")
+    return g
+
+
+def path_graph(n: int, label: str = "v", edge_label: str = "adj", directed: bool = False) -> Graph:
+    """P_n; undirected encoding unless ``directed``."""
+    g = Graph()
+    for i in range(n):
+        g.add_node(f"n{i}", label)
+    for i in range(n - 1):
+        g.add_edge(f"n{i}", edge_label, f"n{i + 1}")
+        if not directed:
+            g.add_edge(f"n{i + 1}", edge_label, f"n{i}")
+    return g
+
+
+def star_graph(n_leaves: int, label: str = "v", edge_label: str = "adj") -> Graph:
+    """A center node with ``n_leaves`` undirected spokes."""
+    g = Graph()
+    g.add_node("c", label)
+    for i in range(n_leaves):
+        g.add_node(f"l{i}", label)
+        g.add_edge("c", edge_label, f"l{i}")
+        g.add_edge(f"l{i}", edge_label, "c")
+    return g
+
+
+def random_labeled_graph(
+    n: int,
+    edge_probability: float,
+    node_labels: Iterable[str] = ("a", "b", "c"),
+    edge_labels: Iterable[str] = ("r", "s"),
+    rng: random.Random | int | None = None,
+    attribute_names: Iterable[str] = (),
+    attribute_values: Iterable[object] = (0, 1, 2),
+    attribute_probability: float = 0.5,
+) -> Graph:
+    """An Erdős–Rényi-style directed graph with random labels/attributes."""
+    rng = _as_rng(rng)
+    node_labels = list(node_labels)
+    edge_labels = list(edge_labels)
+    attribute_names = list(attribute_names)
+    attribute_values = list(attribute_values)
+    g = Graph()
+    for i in range(n):
+        attrs = {
+            name: rng.choice(attribute_values)
+            for name in attribute_names
+            if rng.random() < attribute_probability
+        }
+        g.add_node(f"n{i}", rng.choice(node_labels), attrs)
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < edge_probability:
+                g.add_edge(f"n{i}", rng.choice(edge_labels), f"n{j}")
+    return g
+
+
+def random_connected_undirected_graph(
+    n: int,
+    extra_edge_probability: float = 0.3,
+    rng: random.Random | int | None = None,
+    label: str = "v",
+    edge_label: str = "adj",
+) -> Graph:
+    """A connected, loop-free undirected graph (both-orientation encoding).
+
+    Used to generate 3-colorability instances (the problem stays
+    NP-complete on connected graphs, as the paper notes).  A random
+    spanning tree guarantees connectivity; extra edges are sprinkled on
+    top.
+    """
+    rng = _as_rng(rng)
+    g = Graph()
+    for i in range(n):
+        g.add_node(f"n{i}", label)
+    # Random spanning tree: attach each node to a random earlier node.
+    for i in range(1, n):
+        j = rng.randrange(i)
+        g.add_edge(f"n{i}", edge_label, f"n{j}")
+        g.add_edge(f"n{j}", edge_label, f"n{i}")
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not g.has_edge(f"n{i}", edge_label, f"n{j}"):
+                if rng.random() < extra_edge_probability:
+                    g.add_edge(f"n{i}", edge_label, f"n{j}")
+                    g.add_edge(f"n{j}", edge_label, f"n{i}")
+    return g
+
+
+def undirected_edge_set(g: Graph, edge_label: str = "adj") -> set[tuple[str, str]]:
+    """The undirected edges of a both-orientation-encoded graph, as
+    canonically ordered pairs."""
+    pairs: set[tuple[str, str]] = set()
+    for s, l, t in g.edges:
+        if l == edge_label and s != t:
+            pairs.add((min(s, t), max(s, t)))
+    return pairs
+
+
+def _as_rng(rng: random.Random | int | None) -> random.Random:
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng if rng is not None else 0)

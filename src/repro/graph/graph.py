@@ -1,0 +1,291 @@
+"""The property-graph substrate (Section 2 of the paper).
+
+A graph ``G = (V, E, L, F_A)`` has
+
+* a finite set ``V`` of nodes, each with a unique identity (``node.id``),
+* a finite set ``E ⊆ V × Γ × V`` of directed labeled edges,
+* a label ``L(v)`` from Γ on every node, and
+* a finite attribute tuple ``F_A(v) = (A1 = a1, ..., An = an)`` on every
+  node; attributes are schemaless — any node may carry any attributes.
+
+``id`` is the node identity and is *not* an ordinary attribute: literals
+may compare ``x.id = y.id`` but may not assign constants to it, and
+:meth:`Node.attributes` never contains an ``id`` key.
+
+The class keeps adjacency indexes (by direction and by edge label) and a
+node-label index so the homomorphism matcher can compute candidate sets
+without scanning the whole graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import GraphError
+
+#: Reserved attribute name for node identity (Section 2: "each node v has
+#: a special attribute id denoting its node identity").
+ID_ATTRIBUTE = "id"
+
+Value = Hashable
+Edge = tuple[str, str, str]
+
+
+class Node:
+    """A graph node: identity, label, and a schemaless attribute tuple."""
+
+    __slots__ = ("id", "label", "_attrs")
+
+    def __init__(self, node_id: str, label: str, attrs: Mapping[str, Value] | None = None):
+        if not isinstance(node_id, str) or not node_id:
+            raise GraphError(f"node id must be a non-empty string, got {node_id!r}")
+        if not isinstance(label, str) or not label:
+            raise GraphError(f"node label must be a non-empty string, got {label!r}")
+        self.id = node_id
+        self.label = label
+        self._attrs: dict[str, Value] = {}
+        if attrs:
+            for name, value in attrs.items():
+                self._set_attr(name, value)
+
+    def _set_attr(self, name: str, value: Value) -> None:
+        if name == ID_ATTRIBUTE:
+            raise GraphError("'id' is the reserved node identity, not a settable attribute")
+        if not isinstance(name, str) or not name:
+            raise GraphError(f"attribute name must be a non-empty string, got {name!r}")
+        self._attrs[name] = value
+
+    @property
+    def attributes(self) -> Mapping[str, Value]:
+        """Read-only view of the node's attribute tuple (without ``id``)."""
+        return dict(self._attrs)
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._attrs
+
+    def get(self, name: str, default: Value | None = None) -> Value | None:
+        return self._attrs.get(name, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.id!r}, label={self.label!r}, attrs={self._attrs!r})"
+
+
+class Graph:
+    """A finite directed labeled graph with node attributes.
+
+    Nodes are addressed by their string identity.  Edges are triples
+    ``(source_id, label, target_id)``; parallel edges with distinct
+    labels are allowed, duplicate triples are idempotent (``E`` is a
+    set, exactly as in the paper).
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, Node] = {}
+        self._edges: set[Edge] = set()
+        # Adjacency indexes:  src -> label -> {dst}  and  dst -> label -> {src}
+        self._out: dict[str, dict[str, set[str]]] = {}
+        self._in: dict[str, dict[str, set[str]]] = {}
+        # Node-label index: label -> {node ids}
+        self._by_label: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: str,
+        label: str,
+        attrs: Mapping[str, Value] | None = None,
+        **kw_attrs: Value,
+    ) -> Node:
+        """Add a node.  ``attrs`` and keyword attributes are merged.
+
+        Re-adding an existing id is an error: node identity is immutable
+        (merging nodes is the chase's job, via coercion, never done in
+        place on a graph).
+        """
+        if node_id in self._nodes:
+            raise GraphError(f"node {node_id!r} already exists")
+        merged: dict[str, Value] = dict(attrs) if attrs else {}
+        merged.update(kw_attrs)
+        node = Node(node_id, label, merged)
+        self._nodes[node_id] = node
+        self._out[node_id] = {}
+        self._in[node_id] = {}
+        self._by_label.setdefault(label, set()).add(node_id)
+        return node
+
+    def add_edge(self, source: str, label: str, target: str) -> Edge:
+        """Add the edge ``(source, label, target)``; idempotent."""
+        if source not in self._nodes:
+            raise GraphError(f"edge source {source!r} is not a node")
+        if target not in self._nodes:
+            raise GraphError(f"edge target {target!r} is not a node")
+        if not isinstance(label, str) or not label:
+            raise GraphError(f"edge label must be a non-empty string, got {label!r}")
+        edge = (source, label, target)
+        if edge not in self._edges:
+            self._edges.add(edge)
+            self._out[source].setdefault(label, set()).add(target)
+            self._in[target].setdefault(label, set()).add(source)
+        return edge
+
+    def set_attribute(self, node_id: str, name: str, value: Value) -> None:
+        """Set (or overwrite) one attribute on an existing node."""
+        self.node(node_id)._set_attr(name, value)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def has_edge(self, source: str, label: str, target: str) -> bool:
+        return (source, label, target) in self._edges
+
+    @property
+    def node_ids(self) -> list[str]:
+        """Node ids in deterministic (insertion) order."""
+        return list(self._nodes)
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def edges(self) -> set[Edge]:
+        return set(self._edges)
+
+    def nodes_with_label(self, label: str) -> set[str]:
+        """All node ids carrying exactly ``label``."""
+        return set(self._by_label.get(label, ()))
+
+    @property
+    def labels(self) -> set[str]:
+        """All node labels present in the graph."""
+        return {label for label, ids in self._by_label.items() if ids}
+
+    @property
+    def edge_labels(self) -> set[str]:
+        return {label for (_, label, _) in self._edges}
+
+    def successors(self, node_id: str, label: str | None = None) -> set[str]:
+        """Targets of out-edges of ``node_id`` (optionally of one label)."""
+        index = self._out.get(node_id)
+        if index is None:
+            raise GraphError(f"unknown node {node_id!r}")
+        if label is not None:
+            return set(index.get(label, ()))
+        result: set[str] = set()
+        for targets in index.values():
+            result |= targets
+        return result
+
+    def predecessors(self, node_id: str, label: str | None = None) -> set[str]:
+        """Sources of in-edges of ``node_id`` (optionally of one label)."""
+        index = self._in.get(node_id)
+        if index is None:
+            raise GraphError(f"unknown node {node_id!r}")
+        if label is not None:
+            return set(index.get(label, ()))
+        result: set[str] = set()
+        for sources in index.values():
+            result |= sources
+        return result
+
+    def out_edges(self, node_id: str) -> Iterator[Edge]:
+        for label, targets in self._out.get(node_id, {}).items():
+            for target in targets:
+                yield (node_id, label, target)
+
+    def in_edges(self, node_id: str) -> Iterator[Edge]:
+        for label, sources in self._in.get(node_id, {}).items():
+            for source in sources:
+                yield (source, label, node_id)
+
+    def out_degree(self, node_id: str) -> int:
+        return sum(len(t) for t in self._out.get(node_id, {}).values())
+
+    def in_degree(self, node_id: str) -> int:
+        return sum(len(s) for s in self._in.get(node_id, {}).values())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def size(self) -> int:
+        """|G| = number of nodes + edges + attribute entries.
+
+        Used by the Theorem 1 chase bounds (|Eq| ≤ 4·|G|·|Σ|).
+        """
+        attr_entries = sum(len(n._attrs) for n in self._nodes.values())
+        return len(self._nodes) + len(self._edges) + attr_entries
+
+    # ------------------------------------------------------------------
+    # Whole-graph operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """An independent deep copy."""
+        clone = Graph()
+        for node in self._nodes.values():
+            clone.add_node(node.id, node.label, node.attributes)
+        for source, label, target in self._edges:
+            clone.add_edge(source, label, target)
+        return clone
+
+    def disjoint_union(self, other: "Graph", prefix_self: str = "", prefix_other: str = "") -> "Graph":
+        """Disjoint union, renaming ids with the given prefixes.
+
+        With empty prefixes the id sets must already be disjoint.
+        """
+        result = Graph()
+        for node in self._nodes.values():
+            result.add_node(prefix_self + node.id, node.label, node.attributes)
+        for node in other._nodes.values():
+            result.add_node(prefix_other + node.id, node.label, node.attributes)
+        for s, l, t in self._edges:
+            result.add_edge(prefix_self + s, l, prefix_self + t)
+        for s, l, t in other._edges:
+            result.add_edge(prefix_other + s, l, prefix_other + t)
+        return result
+
+    def induced_subgraph(self, node_ids: Iterable[str]) -> "Graph":
+        """The substructure induced on ``node_ids`` (nodes, their
+        attributes, and every edge with both endpoints retained)."""
+        keep = set(node_ids)
+        result = Graph()
+        for node_id in keep:
+            node = self.node(node_id)
+            result.add_node(node.id, node.label, node.attributes)
+        for s, l, t in self._edges:
+            if s in keep and t in keep:
+                result.add_edge(s, l, t)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same ids, labels, attributes and edges."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if set(self._nodes) != set(other._nodes):
+            return False
+        for node_id, node in self._nodes.items():
+            other_node = other._nodes[node_id]
+            if node.label != other_node.label or node._attrs != other_node._attrs:
+                return False
+        return self._edges == other._edges
+
+    def __hash__(self) -> int:  # Graphs are mutable; identity hashing only.
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(nodes={len(self._nodes)}, edges={len(self._edges)})"

@@ -1,0 +1,52 @@
+"""JSON (de)serialization for graphs.
+
+The format is a plain dictionary so graphs can be stored in files,
+shipped over APIs, or embedded in experiment manifests:
+
+.. code-block:: json
+
+    {
+      "nodes": [{"id": "a1", "label": "album", "attrs": {"title": "Bleach"}}],
+      "edges": [["a1", "primary_artist", "p1"]]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def graph_to_dict(g: Graph) -> dict[str, Any]:
+    """A JSON-ready dictionary representation of ``g``."""
+    return {
+        "nodes": [
+            {"id": n.id, "label": n.label, "attrs": dict(n.attributes)}
+            for n in g.nodes
+        ],
+        "edges": sorted([s, l, t] for (s, l, t) in g.edges),
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    if not isinstance(data, dict) or "nodes" not in data:
+        raise GraphError("graph dictionary must contain a 'nodes' list")
+    g = Graph()
+    for entry in data["nodes"]:
+        g.add_node(entry["id"], entry["label"], entry.get("attrs") or {})
+    for edge in data.get("edges", []):
+        source, label, target = edge
+        g.add_edge(source, label, target)
+    return g
+
+
+def graph_to_json(g: Graph, indent: int | None = None) -> str:
+    return json.dumps(graph_to_dict(g), indent=indent, sort_keys=True)
+
+
+def graph_from_json(text: str) -> Graph:
+    return graph_from_dict(json.loads(text))

@@ -1,0 +1,84 @@
+"""Relations represented as graphs (Section 3, "Special cases" (5)).
+
+The paper observes that relational FDs, CFDs and EGDs can be expressed as
+GEDs once relation tuples are represented as nodes in a graph: a tuple of
+relation ``R`` becomes a node labeled ``R`` whose attributes are the
+tuple's attribute values.  This module provides the relational side of
+that encoding; :mod:`repro.deps.relational` provides the dependency side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, Value
+
+
+class Relation:
+    """A named relation with a fixed attribute list and a set of tuples."""
+
+    def __init__(self, name: str, attributes: Sequence[str]):
+        if not name:
+            raise GraphError("relation name must be non-empty")
+        if len(set(attributes)) != len(attributes):
+            raise GraphError(f"duplicate attribute names in relation {name!r}")
+        self.name = name
+        self.attributes = list(attributes)
+        self._tuples: list[dict[str, Value]] = []
+
+    def insert(self, values: Mapping[str, Value] | Sequence[Value]) -> None:
+        """Insert a tuple, given as a mapping or positionally."""
+        if isinstance(values, Mapping):
+            row = dict(values)
+        else:
+            values = list(values)
+            if len(values) != len(self.attributes):
+                raise GraphError(
+                    f"relation {self.name!r} has {len(self.attributes)} attributes, "
+                    f"got {len(values)} values"
+                )
+            row = dict(zip(self.attributes, values))
+        unknown = set(row) - set(self.attributes)
+        if unknown:
+            raise GraphError(f"unknown attributes {sorted(unknown)} for relation {self.name!r}")
+        missing = set(self.attributes) - set(row)
+        if missing:
+            raise GraphError(f"missing attributes {sorted(missing)} for relation {self.name!r}")
+        self._tuples.append(row)
+
+    @property
+    def tuples(self) -> list[dict[str, Value]]:
+        return [dict(t) for t in self._tuples]
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+
+def relations_to_graph(relations: Iterable[Relation]) -> Graph:
+    """Encode relation instances as a graph.
+
+    Each tuple becomes a node labeled with its relation's name, carrying
+    the tuple's values as attributes.  The encoding has no edges, exactly
+    like the canonical patterns Q_E the paper uses to express EGDs
+    (Section 3 (5): "Q_E has no edges").
+    """
+    g = Graph()
+    for relation in relations:
+        for index, row in enumerate(relation.tuples):
+            g.add_node(f"{relation.name}#{index}", relation.name, row)
+    return g
+
+
+def graph_to_relation(g: Graph, name: str, attributes: Sequence[str]) -> Relation:
+    """Decode the nodes labeled ``name`` back into a relation.
+
+    Nodes missing any of ``attributes`` are skipped (graphs are
+    schemaless; only complete tuples are relational).
+    """
+    relation = Relation(name, attributes)
+    for node_id in sorted(g.nodes_with_label(name)):
+        node = g.node(node_id)
+        if all(node.has_attribute(a) for a in attributes):
+            relation.insert({a: node.get(a) for a in attributes})
+    return relation

@@ -1,0 +1,30 @@
+"""Pattern matching: homomorphism semantics (Section 2/3) + injective variant."""
+
+from repro.matching.candidates import candidate_sets, variable_order
+from repro.matching.homomorphism import (
+    Match,
+    count_matches,
+    find_homomorphisms,
+    find_match,
+    has_match,
+    is_homomorphism,
+)
+from repro.matching.isomorphism import (
+    count_injective_matches,
+    find_injective_matches,
+    has_injective_match,
+)
+
+__all__ = [
+    "Match",
+    "candidate_sets",
+    "count_injective_matches",
+    "count_matches",
+    "find_homomorphisms",
+    "find_injective_matches",
+    "find_match",
+    "has_injective_match",
+    "has_match",
+    "is_homomorphism",
+    "variable_order",
+]

@@ -1,0 +1,85 @@
+"""Candidate computation for pattern matching.
+
+For each pattern variable we precompute the set of graph nodes it could
+possibly map to, filtering by
+
+* label compatibility under ``≼`` (wildcard pattern labels accept any
+  node), and
+* degree: a node must have at least as many out/in edges as the pattern
+  variable requires (a necessary condition for homomorphisms, since a
+  single graph edge can serve several parallel pattern edges only when
+  they agree on label and endpoint images — degree pruning here is the
+  cheaper per-label form).
+
+This is the standard filtering step of backtracking subgraph matchers;
+it makes matching on large data graphs practical without changing the
+semantics.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.patterns.labels import WILDCARD, matches
+from repro.patterns.pattern import Pattern
+
+
+def candidate_sets(pattern: Pattern, graph: Graph) -> dict[str, set[str]]:
+    """``variable -> {plausible node ids}`` for every pattern variable."""
+    result: dict[str, set[str]] = {}
+    for variable in pattern.variables:
+        label = pattern.label_of(variable)
+        if label == WILDCARD:
+            pool = set(graph.node_ids)
+        else:
+            pool = graph.nodes_with_label(label)
+        result[variable] = {
+            node_id for node_id in pool if _degree_ok(pattern, variable, graph, node_id)
+        }
+    return result
+
+
+def _degree_ok(pattern: Pattern, variable: str, graph: Graph, node_id: str) -> bool:
+    """Necessary per-label degree conditions for ``variable -> node_id``."""
+    for edge_label, _ in pattern.out_edges(variable):
+        required = 1
+        if edge_label == WILDCARD:
+            available = graph.out_degree(node_id)
+        else:
+            available = len(graph.successors(node_id, edge_label))
+        if available < required:
+            return False
+    for edge_label, _ in pattern.in_edges(variable):
+        if edge_label == WILDCARD:
+            available = graph.in_degree(node_id)
+        else:
+            available = len(graph.predecessors(node_id, edge_label))
+        if available < 1:
+            return False
+    return True
+
+
+def variable_order(pattern: Pattern, candidates: dict[str, set[str]]) -> list[str]:
+    """A search order: fewest candidates first, then highest degree.
+
+    Connectivity-aware refinement: after the first variable, prefer
+    variables adjacent to already-ordered ones so edge constraints prune
+    early.
+    """
+    remaining = set(pattern.variables)
+    ordered: list[str] = []
+
+    def cost(v: str) -> tuple[int, int]:
+        return (len(candidates[v]), -pattern.degree(v))
+
+    while remaining:
+        adjacent = {
+            v
+            for v in remaining
+            if any(t in set(ordered) for _, t in pattern.out_edges(v))
+            or any(s in set(ordered) for _, s in pattern.in_edges(v))
+        }
+        pool = adjacent if adjacent else remaining
+        best = min(sorted(pool), key=cost)
+        ordered.append(best)
+        remaining.remove(best)
+    return ordered

@@ -1,0 +1,58 @@
+"""Query and rule-set optimization with GEDs.
+
+The paper motivates GEDs not only for cleaning but for *optimization*:
+
+* "FDs and keys help us optimize queries that are costly on large
+  graphs" (Section 1), and chasing "a graph representing Q" optimizes
+  graph pattern queries (Section 4's use case (b));
+* "The implication analysis serves as an optimization strategy to get
+  rid of redundant rules" (Section 1, contribution 3).
+
+This package implements both directions:
+
+* :mod:`repro.optimization.containment` — homomorphism-based pattern
+  containment and equivalence (the classic CQ-style check, adapted to
+  the paper's ``≼`` wildcard semantics);
+* :mod:`repro.optimization.minimize` — pattern **cores** (fold a
+  pattern onto a smallest equivalent sub-pattern) and **chase-based
+  minimization**: chase the canonical graph G_Q by Σ and merge the
+  variables Σ forces equal, yielding a smaller pattern that has the
+  same matches on every graph satisfying Σ;
+* :mod:`repro.optimization.rewrite` — predicate pruning: drop literals
+  of a query condition X that Σ (plus the rest of X) already implies,
+  and surface constants Σ pins on the query's variables (useful as
+  candidate filters during matching);
+* :mod:`repro.optimization.cover` — rule-set minimization built on
+  :func:`repro.reasoning.implication.minimal_cover`, plus structural
+  deduplication and a report type.
+"""
+
+from repro.optimization.containment import (
+    contained_in,
+    equivalent_patterns,
+    subsumes,
+)
+from repro.optimization.cover import CoverReport, compute_cover, structural_dedup
+from repro.optimization.minimize import (
+    MinimizationResult,
+    core,
+    is_core,
+    minimize_pattern,
+)
+from repro.optimization.rewrite import RewriteResult, implied_constants, prune_condition
+
+__all__ = [
+    "CoverReport",
+    "MinimizationResult",
+    "RewriteResult",
+    "compute_cover",
+    "contained_in",
+    "core",
+    "equivalent_patterns",
+    "implied_constants",
+    "is_core",
+    "minimize_pattern",
+    "prune_condition",
+    "structural_dedup",
+    "subsumes",
+]

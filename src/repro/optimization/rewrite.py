@@ -1,0 +1,114 @@
+"""Predicate pruning and constant propagation for pattern queries.
+
+A "query" here is a pattern Q[x̄] plus a condition X (a set of literals)
+— the same shape as a GED body, and the unit a rule engine or a match
+enumerator evaluates.  Two optimizations fall straight out of the
+Theorem 4 machinery:
+
+* **predicate pruning** (:func:`prune_condition`): a literal l ∈ X is
+  redundant when Σ |= Q[x̄](X \\ {l} → l) — evaluating it at match time
+  is wasted work on any graph satisfying Σ.  We drop redundant literals
+  greedily (order-stable), re-checking against the shrinking set so the
+  result is a *non-redundant* equivalent condition.
+
+* **constant propagation** (:func:`implied_constants`): chase G_Q from
+  Eq_X by Σ; every constant the chase pins on a variable's attribute is
+  a filter the matcher can apply while enumerating candidates — e.g.
+  with ϕ1 in Σ, a query for creators of video games can restrict x to
+  nodes with ``type = "programmer"`` *before* joining edges.
+
+Both are sound only over graphs satisfying Σ, which is the contract of
+dependency-based query optimization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.chase.canonical import canonical_graph, eq_from_literals
+from repro.chase.engine import chase
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, Literal
+from repro.patterns.pattern import Pattern
+from repro.reasoning.implication import implies
+
+
+@dataclass
+class RewriteResult:
+    """A rewritten query condition and what was removed/learned."""
+
+    pattern: Pattern
+    condition: list[Literal]
+    pruned: list[Literal] = field(default_factory=list)
+    #: Constant filters Σ + X imply, usable during candidate generation.
+    filters: list[ConstantLiteral] = field(default_factory=list)
+    #: The chase found X unsatisfiable over models of Σ: the query
+    #: returns no X-satisfying matches on any graph G |= Σ.
+    empty: bool = False
+
+
+def prune_condition(
+    pattern: Pattern,
+    condition: Sequence[Literal],
+    sigma: Sequence[GED],
+) -> RewriteResult:
+    """Remove literals of ``condition`` implied by Σ and the rest.
+
+    Scans literals in the given order; a literal is dropped when the
+    remaining kept + unscanned ones imply it under Σ.  The surviving
+    set is equivalent to the input on every graph satisfying Σ and
+    contains no redundant literal.
+    """
+    sigma = list(sigma)
+    literals = list(condition)
+    kept: list[Literal] = []
+    pruned: list[Literal] = []
+    for index, literal in enumerate(literals):
+        rest = kept + literals[index + 1 :]
+        probe = GED(pattern, rest, [literal])
+        if implies(sigma, probe):
+            pruned.append(literal)
+        else:
+            kept.append(literal)
+    result = implied_constants(pattern, kept, sigma)
+    result.pruned = pruned
+    return result
+
+
+def implied_constants(
+    pattern: Pattern,
+    condition: Sequence[Literal],
+    sigma: Sequence[GED],
+) -> RewriteResult:
+    """Chase G_Q from Eq_X and report the constants pinned on variables.
+
+    When the chase is inconsistent, the query's condition cannot be met
+    on any graph satisfying Σ (Theorem 4 condition (1)) — ``empty`` is
+    set and callers can skip evaluation altogether.
+    """
+    sigma = list(sigma)
+    condition = list(condition)
+    g_q = canonical_graph(pattern)
+    identity = {v: v for v in pattern.variables}
+    eq_x = eq_from_literals(g_q, sorted(condition, key=str), identity)
+    if not eq_x.is_consistent:
+        return RewriteResult(pattern, condition, empty=True)
+    result = chase(g_q, sigma, initial_eq=eq_x)
+    if not result.consistent:
+        return RewriteResult(pattern, condition, empty=True)
+
+    filters: list[ConstantLiteral] = []
+    already = {
+        (l.var, l.attr, l.const) for l in condition if isinstance(l, ConstantLiteral)
+    }
+    for variable in pattern.variables:
+        rep = result.eq.node_representative(variable)
+        for attr in sorted(result.eq.class_attr_names(rep)):
+            value = result.eq.attr_constant(rep, attr)
+            if value is not None and (variable, attr, value) not in already:
+                filters.append(ConstantLiteral(variable, attr, value))
+    return RewriteResult(pattern, condition, filters=filters)
+
+
+__all__ = ["RewriteResult", "implied_constants", "prune_condition"]

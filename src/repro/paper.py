@@ -1,0 +1,316 @@
+"""The paper's running examples (Figures 1–4, Examples 1–10), as code.
+
+Figures in the source text are partially reconstructed: where the PDF
+figure is not fully legible, the structures below follow the prose of
+the examples exactly (e.g. Example 4's chase steps, Example 5's
+homomorphism f from Q2 to Q1, Example 7's note that x3 and x4 carry
+distinct labels and merge with wildcard-labeled nodes).  Every property
+the paper states about these objects is asserted by the golden tests in
+``tests/``, so the reconstructions are behaviourally faithful.
+
+This module is used by the test suite (golden tests), the runnable
+examples, and the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.deps.ged import GED, GKey, make_gkey
+from repro.deps.literals import FALSE, ConstantLiteral, IdLiteral, VariableLiteral
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.patterns.labels import WILDCARD
+from repro.patterns.pattern import Pattern
+
+# ----------------------------------------------------------------------
+# Figure 1 — patterns Q1..Q7
+# ----------------------------------------------------------------------
+
+
+def q1() -> Pattern:
+    """Q1[x, y]: product x created by person y."""
+    return Pattern({"x": "product", "y": "person"}, [("y", "create", "x")])
+
+
+def q2() -> Pattern:
+    """Q2[x, y, z]: country x with capitals y and z."""
+    return Pattern(
+        {"x": "country", "y": "city", "z": "city"},
+        [("x", "capital", "y"), ("x", "capital", "z")],
+    )
+
+
+def q3() -> Pattern:
+    """Q3[x, y]: generic ``y is_a x`` between wildcard entities."""
+    return Pattern({"x": WILDCARD, "y": WILDCARD}, [("y", "is_a", "x")])
+
+
+def q4() -> Pattern:
+    """Q4[x, y]: x both child and parent of y."""
+    return Pattern(
+        {"x": "person", "y": "person"},
+        [("x", "child", "y"), ("x", "parent", "y")],
+    )
+
+
+def q5(k: int = 2) -> Pattern:
+    """Q5[x, x', z1, z2, y1..yk]: the spam-detection pattern.
+
+    Accounts x and x' both like blogs y1..yk; x posts blog z1, x' posts
+    blog z2.
+    """
+    nodes = {"x": "account", "xp": "account", "z1": "blog", "z2": "blog"}
+    edges = [("x", "post", "z1"), ("xp", "post", "z2")]
+    for i in range(1, k + 1):
+        nodes[f"y{i}"] = "blog"
+        edges.append(("x", "like", f"y{i}"))
+        edges.append(("xp", "like", f"y{i}"))
+    return Pattern(nodes, edges)
+
+
+def q6_half() -> Pattern:
+    """Q6's first half Q16[x, x']: album x with primary artist x'."""
+    return Pattern({"x": "album", "xp": "artist"}, [("x", "primary_artist", "xp")])
+
+
+def q7_half() -> Pattern:
+    """Q7's first half: a single album entity."""
+    return Pattern({"x": "album"})
+
+
+# ----------------------------------------------------------------------
+# Example 3 — GEDs ϕ1..ϕ5 and GKeys ψ1..ψ3
+# ----------------------------------------------------------------------
+
+
+def phi1() -> GED:
+    """ϕ1: a video game can only be created by programmers."""
+    return GED(
+        q1(),
+        [ConstantLiteral("x", "type", "video game")],
+        [ConstantLiteral("y", "type", "programmer")],
+        name="phi1",
+    )
+
+
+def phi2() -> GED:
+    """ϕ2: two capitals of one country have the same name."""
+    return GED(q2(), [], [VariableLiteral("y", "name", "z", "name")], name="phi2")
+
+
+def phi3(attr: str = "can_fly") -> GED:
+    """ϕ3: if y is_a x and x has attribute A, then y.A = x.A."""
+    return GED(
+        q3(),
+        [VariableLiteral("x", attr, "x", attr)],
+        [VariableLiteral("y", attr, "x", attr)],
+        name="phi3",
+    )
+
+
+def phi4() -> GED:
+    """ϕ4: nobody is both a child and a parent of the same person."""
+    return GED(q4(), [], [FALSE], name="phi4")
+
+
+def phi5(k: int = 2, keyword: str = "peculiar") -> GED:
+    """ϕ5: the spam rule of Example 1(2)."""
+    return GED(
+        q5(k),
+        [
+            ConstantLiteral("xp", "is_fake", 1),
+            ConstantLiteral("z1", "keyword", keyword),
+            ConstantLiteral("z2", "keyword", keyword),
+        ],
+        [ConstantLiteral("x", "is_fake", 1)],
+        name="phi5",
+    )
+
+
+def psi1() -> GKey:
+    """ψ1: album key — same title + identified primary artists."""
+    return make_gkey(
+        q6_half(), "x", value_attrs={"x": ["title"]}, id_vars=["xp"], name="psi1"
+    )
+
+
+def psi2() -> GKey:
+    """ψ2: album key — same title + same release year."""
+    return make_gkey(q7_half(), "x", value_attrs={"x": ["title", "release"]}, name="psi2")
+
+
+def psi3() -> GKey:
+    """ψ3: artist key — same name + an identified recorded album."""
+    return make_gkey(
+        q6_half(), "xp", value_attrs={"xp": ["name"]}, id_vars=["x"], name="psi3"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 / Example 4 — the chase, valid and invalid sequences
+# ----------------------------------------------------------------------
+
+
+def example4_graph() -> Graph:
+    """G of Example 4: v1, v2 (label a, A = 1) pointing at v1', v2'
+    which carry *distinct* labels b and c — so identifying v1' and v2'
+    is a label conflict."""
+    return (
+        GraphBuilder()
+        .node("v1", "a", A=1)
+        .node("v2", "a", A=1)
+        .node("w1", "b")
+        .node("w2", "c")
+        .edge("v1", "r", "w1")
+        .edge("v2", "r", "w2")
+        .build()
+    )
+
+
+def example4_phi1() -> GED:
+    """φ1 = Q1[x, y](x.A = y.A → x.id = y.id), Q1 = two a-nodes."""
+    return GED(
+        Pattern({"x": "a", "y": "a"}),
+        [VariableLiteral("x", "A", "y", "A")],
+        [IdLiteral("x", "y")],
+        name="ex4-phi1",
+    )
+
+
+def example4_phi2() -> GED:
+    """φ2 = Q2[x, y, z](∅ → y.id = z.id), Q2 = a-node with two r-edges."""
+    return GED(
+        Pattern(
+            {"x": "a", "y": WILDCARD, "z": WILDCARD},
+            [("x", "r", "y"), ("x", "r", "z")],
+        ),
+        [],
+        [IdLiteral("y", "z")],
+        name="ex4-phi2",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 / Examples 5-6 — satisfiability interaction
+# ----------------------------------------------------------------------
+
+
+def example5_q1() -> Pattern:
+    """Q1[x, y, z]: a-node x with r-edges to b-node y and c-node z."""
+    return Pattern(
+        {"x": "a", "y": "b", "z": "c"},
+        [("x", "r", "y"), ("x", "r", "z")],
+    )
+
+
+def example5_q2() -> Pattern:
+    """Q2[x1, y1, z1, x2, y2, z2]: two wildcard copies of Q1's shape.
+
+    All-wildcard labels make f : Q2 → Q1 a homomorphism while Q1 is not
+    homomorphic to Q2 (concrete labels do not match ``_``).
+    """
+    return Pattern(
+        {v: WILDCARD for v in ("x1", "y1", "z1", "x2", "y2", "z2")},
+        [
+            ("x1", "r", "y1"),
+            ("x1", "r", "z1"),
+            ("x2", "r", "y2"),
+            ("x2", "r", "z2"),
+        ],
+    )
+
+
+def example5_q2_prime() -> Pattern:
+    """Q2' = Q2 plus a connected component C2 with private labels d, e —
+    now Q1 is not homomorphic to Q2' *and vice versa*, yet Σ2 is still
+    unsatisfiable (Example 5 (2))."""
+    q2p = example5_q2()
+    nodes = dict(q2p.labels)
+    nodes.update({"w1": "d", "w2": "e"})
+    edges = list(q2p.edges) + [("w1", "r", "w2")]
+    return Pattern(nodes, edges)
+
+
+def example5_phi1() -> GED:
+    """φ1 = Q1[x, y, z](x.A = x.B → y.id = z.id)."""
+    return GED(
+        example5_q1(),
+        [VariableLiteral("x", "A", "x", "B")],
+        [IdLiteral("y", "z")],
+        name="ex5-phi1",
+    )
+
+
+def example5_phi2() -> GED:
+    """φ2 = Q2[...](∅ → x1.A = x1.B)."""
+    return GED(example5_q2(), [], [VariableLiteral("x1", "A", "x1", "B")], name="ex5-phi2")
+
+
+def example5_phi2_prime() -> GED:
+    """φ2' = Q2'[...](∅ → x1.A = x1.B)."""
+    return GED(
+        example5_q2_prime(), [], [VariableLiteral("x1", "A", "x1", "B")], name="ex5-phi2p"
+    )
+
+
+def example5_sigma1() -> list[GED]:
+    return [example5_phi1(), example5_phi2()]
+
+
+def example5_sigma2() -> list[GED]:
+    return [example5_phi1(), example5_phi2_prime()]
+
+
+# ----------------------------------------------------------------------
+# Figure 4 / Example 7 — implication
+# ----------------------------------------------------------------------
+
+
+def example7_sigma() -> list[GED]:
+    """Σ1 = {φ1, φ2} over two-wildcard-node patterns."""
+    two_nodes = Pattern({"x1": WILDCARD, "x2": WILDCARD})
+    phi_1 = GED(
+        two_nodes,
+        [VariableLiteral("x1", "A", "x2", "A")],
+        [IdLiteral("x1", "x2")],
+        name="ex7-phi1",
+    )
+    phi_2 = GED(
+        two_nodes,
+        [VariableLiteral("x1", "B", "x2", "B")],
+        [VariableLiteral("x1", "A", "x1", "B")],
+        name="ex7-phi2",
+    )
+    return [phi_1, phi_2]
+
+
+def example7_phi() -> GED:
+    """ϕ = Q[x1..x4](x1.A = x3.A ∧ x2.B = x4.B → x1.id = x3.id ∧ x2.id = x4.id).
+
+    x1, x2 carry ``_``; x3, x4 carry distinct concrete labels — the
+    chase merges each concrete-labeled node with a wildcard one, which
+    is exactly why label comparison uses ``≼`` (Example 7's closing
+    remark).
+    """
+    q = Pattern({"x1": WILDCARD, "x2": WILDCARD, "x3": "a", "x4": "b"})
+    X = [
+        VariableLiteral("x1", "A", "x3", "A"),
+        VariableLiteral("x2", "B", "x4", "B"),
+    ]
+    Y = [IdLiteral("x1", "x3"), IdLiteral("x2", "x4")]
+    return GED(q, X, Y, name="ex7-phi")
+
+
+# ----------------------------------------------------------------------
+# Examples 9/10 — domain constraints (GDC / GED∨ versions in
+# repro.extensions build on these patterns)
+# ----------------------------------------------------------------------
+
+
+def qe(label: str = "item") -> Pattern:
+    """Q_e: a single node of "type" τ (Examples 9 and 10)."""
+    return Pattern({"x": label})
+
+
+def existence_ged(label: str = "item", attr: str = "A") -> GED:
+    """φ1 of Example 9: every τ-node has an A attribute (a GED)."""
+    return GED(qe(label), [], [VariableLiteral("x", attr, "x", attr)], name="ex9-phi1")

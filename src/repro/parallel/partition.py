@@ -1,0 +1,70 @@
+"""Sharding the match space of a pattern.
+
+A match of Q[x̄] assigns the *pivot* variable one concrete node, so
+partitioning the pivot's candidate set into k disjoint blocks partitions
+the match set itself: every match lands in exactly one block (the one
+holding its pivot image).  Enumerating each block independently with the
+pivot pinned (the matcher's ``fixed`` parameter restricted to a shard's
+candidates) and unioning results is therefore exact.
+
+Pivot choice matters for balance: we pick the variable with the largest
+candidate set, which yields the most granular partition (a pivot with 3
+candidates cannot feed more than 3 workers).  Candidates are sorted and
+dealt round-robin so shard sizes differ by at most one node; actual
+match work per shard can still be skewed by the data — the per-shard
+counters in :mod:`repro.parallel.validate` expose that skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+from repro.matching.candidates import candidate_sets
+from repro.patterns.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one pattern's match space is split across workers.
+
+    ``pivot`` — the sharded variable; ``shards`` — disjoint candidate
+    blocks whose union is the pivot's full candidate set.  Empty shards
+    are dropped, so ``len(shards)`` ≤ the requested worker count.
+    """
+
+    pattern: Pattern
+    pivot: str
+    shards: tuple[tuple[str, ...], ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def total_candidates(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+
+def plan_shards(pattern: Pattern, graph: Graph, workers: int) -> ShardPlan:
+    """Split ``pattern``'s match space in ``graph`` into ≤ ``workers`` shards.
+
+    With an empty candidate set for the pivot (the pattern cannot match)
+    the plan has zero shards and validation is trivially clean for this
+    pattern.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    candidates = candidate_sets(pattern, graph)
+    # Any variable with an empty candidate set kills all matches.
+    if any(not pool for pool in candidates.values()):
+        pivot = min(candidates, key=lambda v: len(candidates[v]))
+        return ShardPlan(pattern, pivot, ())
+    pivot = max(pattern.variables, key=lambda v: len(candidates[v]))
+    ordered = sorted(candidates[pivot])
+    blocks: list[list[str]] = [[] for _ in range(min(workers, len(ordered)))]
+    for index, node_id in enumerate(ordered):
+        blocks[index % len(blocks)].append(node_id)
+    return ShardPlan(pattern, pivot, tuple(tuple(block) for block in blocks))
+
+
+__all__ = ["ShardPlan", "plan_shards"]

@@ -1,0 +1,175 @@
+"""Sharded (parallel) validation of GEDs on a data graph.
+
+``parallel_find_violations`` distributes the work of
+:func:`repro.reasoning.validation.find_violations` across shards of the
+match space (see :mod:`repro.parallel.partition`) and merges the
+results.  Three backends:
+
+* ``"serial"`` — runs shards in-process, one after the other.  Zero
+  overhead; the deterministic reference and the 1-worker baseline.
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Python's GIL serializes the pure-Python matcher, so this measures
+  pool overhead rather than speedup; kept because it exercises the
+  same code path with true concurrency (thread-safety check) and
+  because backends with C-level matchers would profit.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Real CPU parallelism; the graph and rules are pickled to each worker
+  once per (dependency, shard) task.
+
+All backends return identical, deterministically ordered violations —
+a property the test suite asserts — because sharding by a pivot
+variable partitions the match set exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.deps.ged import GED
+from repro.graph.graph import Graph
+from repro.matching.homomorphism import find_homomorphisms
+from repro.reasoning.validation import Violation, literal_holds
+from repro.parallel.partition import plan_shards
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Work counters for one (dependency, shard) task."""
+
+    ged_name: str
+    shard_index: int
+    candidates: int
+    matches: int
+    violations: int
+    seconds: float
+
+
+@dataclass
+class ParallelValidationReport:
+    """Merged violations plus per-shard accounting."""
+
+    violations: list[Violation]
+    stats: list[ShardStats] = field(default_factory=list)
+    backend: str = "serial"
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def valid(self) -> bool:
+        return not self.violations
+
+    def total_matches(self) -> int:
+        return sum(s.matches for s in self.stats)
+
+    def max_shard_seconds(self) -> float:
+        return max((s.seconds for s in self.stats), default=0.0)
+
+    def balance(self) -> float:
+        """Mean shard work / max shard work in matches (1.0 = perfectly
+        balanced, → 0 = one shard did everything)."""
+        works = [s.matches for s in self.stats]
+        if not works or max(works) == 0:
+            return 1.0
+        return (sum(works) / len(works)) / max(works)
+
+
+def _run_shard(
+    graph: Graph,
+    ged: GED,
+    pivot: str,
+    shard: tuple[str, ...],
+    shard_index: int,
+) -> tuple[list[Violation], ShardStats]:
+    """Validate one dependency on one shard (top-level: picklable)."""
+    started = time.perf_counter()
+    violations: list[Violation] = []
+    matches = 0
+    for node_id in shard:
+        for match in find_homomorphisms(ged.pattern, graph, fixed={pivot: node_id}):
+            matches += 1
+            if not all(literal_holds(graph, l, match) for l in ged.X):
+                continue
+            failed = tuple(
+                l for l in sorted(ged.Y, key=str) if not literal_holds(graph, l, match)
+            )
+            if failed:
+                violations.append(Violation(ged, tuple(sorted(match.items())), failed))
+    elapsed = time.perf_counter() - started
+    stats = ShardStats(
+        ged.name or "GED", shard_index, len(shard), matches, len(violations), elapsed
+    )
+    return violations, stats
+
+
+def parallel_find_violations(
+    graph: Graph,
+    sigma: Sequence[GED],
+    workers: int = 2,
+    backend: str = "serial",
+) -> ParallelValidationReport:
+    """Find all violations of Σ in G with sharded evaluation.
+
+    The returned violations are sorted (by dependency name, then match)
+    so every backend and worker count yields the identical report.
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    sigma = list(sigma)
+    started = time.perf_counter()
+
+    tasks: list[tuple[GED, str, tuple[str, ...], int]] = []
+    for ged in sigma:
+        plan = plan_shards(ged.pattern, graph, workers)
+        for index, shard in enumerate(plan.shards):
+            tasks.append((ged, plan.pivot, shard, index))
+
+    results: list[tuple[list[Violation], ShardStats]] = []
+    if backend == "serial" or workers == 1 or not tasks:
+        for ged, pivot, shard, index in tasks:
+            results.append(_run_shard(graph, ged, pivot, shard, index))
+    else:
+        executor: Executor
+        if backend == "thread":
+            executor = ThreadPoolExecutor(max_workers=workers)
+        else:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        with executor:
+            futures = [
+                executor.submit(_run_shard, graph, ged, pivot, shard, index)
+                for ged, pivot, shard, index in tasks
+            ]
+            results = [future.result() for future in futures]
+
+    violations: list[Violation] = []
+    stats: list[ShardStats] = []
+    for shard_violations, shard_stats in results:
+        violations.extend(shard_violations)
+        stats.append(shard_stats)
+    violations.sort(key=lambda v: (v.ged.name or "", str(v.ged), v.match))
+    stats.sort(key=lambda s: (s.ged_name, s.shard_index))
+    return ParallelValidationReport(
+        violations, stats, backend, workers, time.perf_counter() - started
+    )
+
+
+def parallel_validates(
+    graph: Graph,
+    sigma: Sequence[GED],
+    workers: int = 2,
+    backend: str = "serial",
+) -> bool:
+    """G |= Σ via sharded evaluation (Theorem 6's decision problem)."""
+    return parallel_find_violations(graph, sigma, workers, backend).valid
+
+
+__all__ = [
+    "ParallelValidationReport",
+    "ShardStats",
+    "parallel_find_violations",
+    "parallel_validates",
+]

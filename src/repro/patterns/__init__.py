@@ -1,0 +1,26 @@
+"""Graph patterns Q[x̄] with wildcard labels (Section 2)."""
+
+from repro.patterns.builder import PatternBuilder
+from repro.patterns.io import (
+    pattern_from_dict,
+    pattern_from_json,
+    pattern_to_dict,
+    pattern_to_json,
+)
+from repro.patterns.labels import WILDCARD, compatible, matches, merged
+from repro.patterns.pattern import Pattern, PatternEdge, single_node_pattern
+
+__all__ = [
+    "WILDCARD",
+    "Pattern",
+    "PatternBuilder",
+    "PatternEdge",
+    "compatible",
+    "matches",
+    "merged",
+    "pattern_from_dict",
+    "pattern_from_json",
+    "pattern_to_dict",
+    "pattern_to_json",
+    "single_node_pattern",
+]

@@ -1,0 +1,45 @@
+"""Fluent construction of patterns.
+
+>>> q = (PatternBuilder()
+...      .var("x", "person").var("y", "product")
+...      .edge("x", "create", "y")
+...      .build())
+>>> q.variables
+('x', 'y')
+"""
+
+from __future__ import annotations
+
+from repro.patterns.labels import WILDCARD
+from repro.patterns.pattern import Pattern, PatternEdge
+
+
+class PatternBuilder:
+    """Chainable pattern construction; ``build()`` returns the pattern."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, str] = {}
+        self._edges: list[PatternEdge] = []
+
+    def var(self, variable: str, label: str = WILDCARD) -> "PatternBuilder":
+        self._nodes[variable] = label
+        return self
+
+    def vars(self, label: str, *variables: str) -> "PatternBuilder":
+        """Declare several variables sharing one label."""
+        for variable in variables:
+            self._nodes[variable] = label
+        return self
+
+    def edge(self, source: str, label: str, target: str) -> "PatternBuilder":
+        self._edges.append((source, label, target))
+        return self
+
+    def undirected_edge(self, a: str, label: str, b: str) -> "PatternBuilder":
+        """Both orientations — for patterns over undirected encodings."""
+        self._edges.append((a, label, b))
+        self._edges.append((b, label, a))
+        return self
+
+    def build(self) -> Pattern:
+        return Pattern(self._nodes, self._edges)

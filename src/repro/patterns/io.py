@@ -1,0 +1,36 @@
+"""JSON (de)serialization for patterns."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import PatternError
+from repro.patterns.pattern import Pattern
+
+
+def pattern_to_dict(q: Pattern) -> dict[str, Any]:
+    """The pattern as a JSON-ready dictionary."""
+    return {
+        "variables": list(q.variables),
+        "labels": q.labels,
+        "edges": [list(e) for e in q.edges],
+    }
+
+
+def pattern_from_dict(data: dict[str, Any]) -> Pattern:
+    """Rebuild a pattern from its dictionary form."""
+    if not isinstance(data, dict) or "labels" not in data:
+        raise PatternError("pattern dictionary must contain a 'labels' mapping")
+    edges = [tuple(e) for e in data.get("edges", [])]
+    return Pattern(data["labels"], edges, variables=data.get("variables"))
+
+
+def pattern_to_json(q: Pattern, indent: int | None = None) -> str:
+    """The pattern as a JSON string (sorted keys: stable diffs)."""
+    return json.dumps(pattern_to_dict(q), indent=indent, sort_keys=True)
+
+
+def pattern_from_json(text: str) -> Pattern:
+    """Parse a pattern from its JSON string form."""
+    return pattern_from_dict(json.loads(text))

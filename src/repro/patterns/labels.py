@@ -1,0 +1,56 @@
+"""Label matching: the paper's ``≼`` relation and its uses.
+
+Section 2 defines label matching asymmetrically:
+
+    ι ≼ ι′  iff  (a) ι, ι′ ∈ Γ and ι = ι′,  or  (b) ι′ ∈ Γ and ι = '_'.
+
+That is, the wildcard ``_`` (only ever written in *patterns*) matches any
+label, while a concrete label matches only itself.  Section 4 reuses ``≼``
+inside the chase, where canonical graphs G_Σ may themselves carry ``_`` as
+a *special label*: there a class of merged nodes has a **label conflict**
+iff it contains nodes x, y with L(x) ⋠ L(y) and L(y) ⋠ L(x) — i.e. two
+distinct non-wildcard labels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+#: The wildcard label ``_`` (usable on pattern nodes and pattern edges).
+WILDCARD = "_"
+
+
+def matches(pattern_label: str, target_label: str) -> bool:
+    """The paper's ``ι ≼ ι′``: wildcard matches anything, else equality.
+
+    Note the asymmetry: ``matches(WILDCARD, "x")`` is true but
+    ``matches("x", WILDCARD)`` is false — a concrete pattern label does
+    *not* match a wildcard-labeled node of a canonical graph.
+    """
+    return pattern_label == WILDCARD or pattern_label == target_label
+
+
+def compatible(label_a: str, label_b: str) -> bool:
+    """Whether two labels may coexist in one equivalence class.
+
+    This is the negation of the Section 4 label-conflict condition:
+    compatible iff ``a ≼ b`` or ``b ≼ a``, i.e. equal or at least one is
+    the wildcard.
+    """
+    return label_a == label_b or label_a == WILDCARD or label_b == WILDCARD
+
+
+def merged(labels: Iterable[str]) -> str:
+    """The label of a coerced (merged) node: Section 4's rule (c).
+
+    ``_`` if every label in the class is ``_``; otherwise the unique
+    non-wildcard label.  The caller must have checked consistency; if two
+    distinct non-wildcard labels are present a ``ValueError`` is raised
+    to surface the broken invariant.
+    """
+    concrete: set[str] = {label for label in labels if label != WILDCARD}
+    if not concrete:
+        return WILDCARD
+    if len(concrete) > 1:
+        raise ValueError(f"label conflict in class: {sorted(concrete)}")
+    return next(iter(concrete))

@@ -1,0 +1,39 @@
+"""Data-quality applications of GEDs (the Example 1 use cases)."""
+
+from repro.quality.entity_resolution import (
+    ResolutionResult,
+    album_keys,
+    duplicate_pairs,
+    resolve_entities,
+)
+from repro.quality.expansion import (
+    CandidateEntity,
+    ExpansionDecision,
+    check_duplicate,
+    expand,
+)
+from repro.quality.inconsistencies import (
+    ConsistencyReport,
+    check_consistency,
+    dirty_entities,
+    example1_rules,
+)
+from repro.quality.spam import SpamDetectionResult, detect_fake_accounts, score_detection
+
+__all__ = [
+    "CandidateEntity",
+    "ConsistencyReport",
+    "ExpansionDecision",
+    "ResolutionResult",
+    "SpamDetectionResult",
+    "album_keys",
+    "check_consistency",
+    "check_duplicate",
+    "detect_fake_accounts",
+    "dirty_entities",
+    "duplicate_pairs",
+    "example1_rules",
+    "expand",
+    "resolve_entities",
+    "score_detection",
+]

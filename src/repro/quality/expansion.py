@@ -1,0 +1,80 @@
+"""Knowledge-base expansion (Example 1 (3), [19]).
+
+Before adding a newly extracted entity to a knowledge base G, decide
+whether it duplicates an existing entity: insert the candidate into a
+scratch copy of G, chase with the entity keys, and see whether the
+candidate's node merged with an existing one.  This is the paper's
+"to avoid duplicates, we need keys to identify an album entity in G".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.chase.engine import chase
+from repro.deps.ged import GED
+from repro.graph.graph import Graph, Value
+from repro.quality.entity_resolution import album_keys
+
+
+@dataclass(frozen=True)
+class CandidateEntity:
+    """A freshly extracted entity: label, attributes, outgoing edges to
+    existing nodes (e.g. the album's primary_artist)."""
+
+    label: str
+    attrs: Mapping[str, Value]
+    edges: Sequence[tuple[str, str]] = ()  # (edge_label, target node id)
+
+
+@dataclass
+class ExpansionDecision:
+    is_duplicate: bool
+    matched_node: str | None
+    reason: str
+
+
+def check_duplicate(
+    graph: Graph,
+    candidate: CandidateEntity,
+    keys: Sequence[GED] | None = None,
+    candidate_id: str = "__candidate__",
+) -> ExpansionDecision:
+    """Decide whether ``candidate`` duplicates an entity of ``graph``."""
+    keys = list(keys) if keys is not None else album_keys()
+    scratch = graph.copy()
+    scratch.add_node(candidate_id, candidate.label, dict(candidate.attrs))
+    for edge_label, target in candidate.edges:
+        scratch.add_edge(candidate_id, edge_label, target)
+    result = chase(scratch, keys)
+    if not result.consistent:
+        return ExpansionDecision(
+            True,
+            None,
+            f"keys become inconsistent when the candidate is added: {result.reason}",
+        )
+    group = result.eq.node_class(candidate_id)
+    others = sorted(group - {candidate_id})
+    if others:
+        return ExpansionDecision(True, others[0], "keys identify the candidate with an existing entity")
+    return ExpansionDecision(False, None, "no key identifies the candidate with an existing entity")
+
+
+def expand(
+    graph: Graph,
+    candidate: CandidateEntity,
+    keys: Sequence[GED] | None = None,
+    candidate_id: str | None = None,
+) -> tuple[Graph, ExpansionDecision]:
+    """Add the candidate unless it is a duplicate; returns the
+    (possibly extended) graph and the decision."""
+    node_id = candidate_id or f"new{graph.num_nodes}"
+    decision = check_duplicate(graph, candidate, keys, candidate_id=node_id)
+    if decision.is_duplicate:
+        return graph, decision
+    extended = graph.copy()
+    extended.add_node(node_id, candidate.label, dict(candidate.attrs))
+    for edge_label, target in candidate.edges:
+        extended.add_edge(node_id, edge_label, target)
+    return extended, decision

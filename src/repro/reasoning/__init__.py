@@ -1,0 +1,68 @@
+"""Reasoning about GEDs: satisfiability, implication, validation (Section 5)."""
+
+from repro.reasoning.bounded import (
+    DEFAULT_BOUND,
+    check_bound,
+    implies_bounded,
+    satisfiable_bounded,
+    validate_bounded,
+)
+from repro.reasoning.bruteforce import satisfiable_bruteforce, set_partitions
+from repro.reasoning.counterexample import (
+    Counterexample,
+    find_counterexample,
+    implication_with_witness,
+)
+from repro.reasoning.implication import (
+    ImplicationResult,
+    check_implication,
+    implies,
+    minimal_cover,
+    redundant_dependencies,
+)
+from repro.reasoning.satisfiability import (
+    SatisfiabilityResult,
+    build_model,
+    check_satisfiability,
+    concretize,
+    is_satisfiable,
+)
+from repro.reasoning.validation import (
+    Violation,
+    find_violations,
+    is_model,
+    literal_holds,
+    matches_all_patterns,
+    satisfies_ged,
+    validates,
+)
+
+__all__ = [
+    "Counterexample",
+    "find_counterexample",
+    "implication_with_witness",
+    "DEFAULT_BOUND",
+    "ImplicationResult",
+    "SatisfiabilityResult",
+    "Violation",
+    "build_model",
+    "check_bound",
+    "check_implication",
+    "check_satisfiability",
+    "concretize",
+    "find_violations",
+    "implies",
+    "implies_bounded",
+    "is_model",
+    "is_satisfiable",
+    "literal_holds",
+    "matches_all_patterns",
+    "minimal_cover",
+    "redundant_dependencies",
+    "satisfiable_bounded",
+    "satisfiable_bruteforce",
+    "satisfies_ged",
+    "set_partitions",
+    "validate_bounded",
+    "validates",
+]

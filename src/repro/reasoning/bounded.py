@@ -1,0 +1,58 @@
+"""The bounded-pattern-size tractable case (Section 5.3).
+
+The satisfiability / implication / validation problems are intractable
+in general, but become PTIME when every pattern has size at most a
+predefined bound k: enumerating the matches of a k-bounded pattern in a
+graph G costs O(|G|^k), polynomial for fixed k.  The paper motivates
+the restriction empirically — 98% of real-life SPARQL patterns have ≤ 4
+nodes and ≤ 5 edges.
+
+This module is a thin, *checked* facade: each function verifies the
+bound before delegating to the general procedure, so callers get a
+typed guarantee that they are on the tractable fragment, and the
+benchmarks (`bench_table1_validation`) can demonstrate the polynomial
+scaling in |G| that Table 1 predicts for this case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.deps.ged import GED
+from repro.errors import DependencyError
+from repro.graph.graph import Graph
+from repro.reasoning.implication import check_implication
+from repro.reasoning.satisfiability import check_satisfiability
+from repro.reasoning.validation import Violation, find_violations
+
+#: The paper's empirically-motivated default bound (Section 5.3).
+DEFAULT_BOUND = 4
+
+
+def check_bound(sigma: Iterable[GED], k: int) -> None:
+    """Raise unless every pattern of Σ has size ≤ k."""
+    for ged in sigma:
+        if ged.pattern.size() > k:
+            raise DependencyError(
+                f"pattern of {ged.name or ged} has size {ged.pattern.size()} > bound {k}"
+            )
+
+
+def validate_bounded(
+    graph: Graph, sigma: Sequence[GED], k: int = DEFAULT_BOUND, limit: int | None = None
+) -> list[Violation]:
+    """PTIME validation for k-bounded Σ (raises if the bound is violated)."""
+    check_bound(sigma, k)
+    return find_violations(graph, sigma, limit=limit)
+
+
+def satisfiable_bounded(sigma: Sequence[GED], k: int = DEFAULT_BOUND) -> bool:
+    """PTIME satisfiability for k-bounded Σ."""
+    check_bound(sigma, k)
+    return check_satisfiability(sigma).satisfiable
+
+
+def implies_bounded(sigma: Sequence[GED], phi: GED, k: int = DEFAULT_BOUND) -> bool:
+    """PTIME implication for k-bounded Σ and φ."""
+    check_bound(list(sigma) + [phi], k)
+    return check_implication(sigma, phi).implied

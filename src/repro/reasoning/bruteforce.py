@@ -1,0 +1,174 @@
+"""An exact, exponential satisfiability oracle by quotient enumeration.
+
+Used as ground truth in tests (cross-checking the Theorem 2 chase
+procedure) and as the reference semantics for the GDC / GED∨ search in
+:mod:`repro.extensions.smallmodel`.
+
+Why quotients suffice
+---------------------
+If Σ has a model M, fix one match h_i per pattern Q_i of Σ and restrict
+M to the union of the images of the h_i, keeping only the *projected
+pattern edges* ``(h_i(u), ι, h_i(u′))``.  Every h_i survives, and every
+match of the restricted structure composes (via "class → common image")
+into a match of M, so the restriction still satisfies Σ and still
+matches every pattern — i.e. it is a model that is exactly a *quotient
+of G_Σ*: a label-compatible partition of G_Σ's nodes with the pattern
+edges projected onto class representatives, plus an attribute-value
+assignment.  Attribute values can further be normalized: each value
+either equals a constant of Σ or is "fresh", and only the equality
+pattern among slots matters — so assignments range over
+``ABSENT | constant-of-Σ | fresh-group-id``.
+
+The search enumerates set partitions × normalized assignments and
+validates each candidate with the ordinary validation procedure.  It is
+doubly exponential-ish and intended for *tiny* inputs only (tests cap
+|G_Σ| at ~5 nodes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.chase.canonical import canonical_graph_of_sigma
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.errors import ReductionError
+from repro.graph.graph import Graph
+from repro.patterns.labels import WILDCARD, compatible
+from repro.reasoning.validation import validates
+
+#: Marker for "this attribute slot is absent".
+ABSENT = object()
+
+
+def set_partitions(items: list) -> Iterator[list[list]]:
+    """All set partitions of ``items`` (Bell-number many)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        for index in range(len(partition)):
+            yield partition[:index] + [[first] + partition[index]] + partition[index + 1 :]
+        yield [[first]] + partition
+
+
+def _labels_compatible(labels: list[str]) -> bool:
+    concrete = {l for l in labels if l != WILDCARD}
+    return len(concrete) <= 1
+
+
+def _quotient(canonical: Graph, partition: list[list[str]]) -> Graph | None:
+    """The quotient graph of a partition, or None if labels conflict."""
+    representative: dict[str, str] = {}
+    quotient = Graph()
+    for block in partition:
+        labels = [canonical.node(n).label for n in block]
+        if not _labels_compatible(labels):
+            return None
+        rep = min(block)
+        concrete = {l for l in labels if l != WILDCARD}
+        label = next(iter(concrete)) if concrete else WILDCARD
+        quotient.add_node(rep, label)
+        for member in block:
+            representative[member] = rep
+    for source, label, target in canonical.edges:
+        quotient.add_edge(representative[source], label, representative[target])
+    return quotient
+
+
+def relevant_attributes(sigma: Sequence[GED]) -> list[str]:
+    """Attribute names mentioned by any literal of Σ."""
+    names: set[str] = set()
+    for ged in sigma:
+        for literal in ged.X | ged.Y:
+            if isinstance(literal, ConstantLiteral):
+                names.add(literal.attr)
+            elif isinstance(literal, VariableLiteral):
+                names.add(literal.attr1)
+                names.add(literal.attr2)
+    return sorted(names)
+
+
+def sigma_constants(sigma: Sequence[GED]) -> list:
+    values = set()
+    for ged in sigma:
+        for literal in ged.X | ged.Y:
+            if isinstance(literal, ConstantLiteral):
+                values.add(literal.const)
+    return sorted(values, key=repr)
+
+
+def _assignments(slots: list, constants: list) -> Iterator[dict]:
+    """Normalized value assignments: ABSENT, a Σ-constant, or a fresh
+    group id in restricted-growth form (group j may be used at slot i
+    only if group j-1 was used before — kills symmetric duplicates)."""
+
+    def recurse(index: int, current: dict, groups_used: int) -> Iterator[dict]:
+        if index == len(slots):
+            yield dict(current)
+            return
+        slot = slots[index]
+        current[slot] = ABSENT
+        yield from recurse(index + 1, current, groups_used)
+        for value in constants:
+            current[slot] = ("const", value)
+            yield from recurse(index + 1, current, groups_used)
+        for group in range(groups_used + 1):
+            current[slot] = ("fresh", group)
+            yield from recurse(index + 1, current, max(groups_used, group + 1))
+        del current[slot]
+
+    yield from recurse(0, {}, 0)
+
+
+def _materialize(quotient: Graph, assignment: dict) -> Graph:
+    """Attach the assigned values to a copy of the quotient graph."""
+    graph = Graph()
+    for node in quotient.nodes:
+        attrs = {}
+        for (node_id, attr), value in assignment.items():
+            if node_id != node.id or value is ABSENT:
+                continue
+            kind, payload = value
+            attrs[attr] = payload if kind == "const" else f"@fresh{payload}"
+        graph.add_node(node.id, node.label, attrs)
+    for edge in quotient.edges:
+        graph.add_edge(*edge)
+    return graph
+
+
+def satisfiable_bruteforce(
+    sigma: Sequence[GED], max_nodes: int = 6
+) -> tuple[bool, Graph | None]:
+    """Exact satisfiability by exhaustive quotient search.
+
+    Returns ``(satisfiable, witness-model-or-None)``.  Raises
+    :class:`ReductionError` if |G_Σ| exceeds ``max_nodes`` (the search
+    is exponential; the cap prevents accidental blowups in tests).
+    """
+    sigma = list(sigma)
+    if not sigma:
+        g = Graph()
+        g.add_node("n0", "anything")
+        return True, g
+    canonical, _ = canonical_graph_of_sigma(sigma)
+    if canonical.num_nodes > max_nodes:
+        raise ReductionError(
+            f"brute-force oracle limited to {max_nodes} canonical nodes, "
+            f"got {canonical.num_nodes}"
+        )
+    attrs = relevant_attributes(sigma)
+    constants = sigma_constants(sigma)
+    for partition in set_partitions(sorted(canonical.node_ids)):
+        quotient = _quotient(canonical, partition)
+        if quotient is None:
+            continue
+        slots = [(node_id, attr) for node_id in sorted(quotient.node_ids) for attr in attrs]
+        for assignment in _assignments(slots, constants):
+            candidate = _materialize(quotient, assignment)
+            if validates(candidate, sigma):
+                # Every pattern matches its own projection, so the model
+                # condition (Section 5.1) holds by construction.
+                return True, candidate
+    return False, None

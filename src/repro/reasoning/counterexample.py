@@ -1,0 +1,112 @@
+"""Counterexample construction for failed implications.
+
+Theorem 4's proof is constructive in both directions.  When
+``chase(G_Q, Eq_X, Σ)`` is consistent but some literal of Y cannot be
+deduced, the terminal chase state *is* a counterexample in the making:
+concretizing its coercion graph (fresh label for wildcards, fresh
+distinct values for constant-free attribute classes — exactly the
+Theorem 2 model construction of
+:func:`repro.reasoning.satisfiability.concretize`) yields a finite
+graph G_h with
+
+* G_h |= Σ — the chase ran to a fixpoint, so every GED of Σ holds
+  (Theorem 1), and concretization cannot create new rule firings:
+  fresh values are distinct from every constant of Σ and distinct
+  across classes;
+* G_h ̸|= φ — the identity match (pattern variable ↦ its Eq-class
+  representative) satisfies X (loaded into Eq_X) but fails the
+  underivable literals of Y: distinct attribute classes receive
+  distinct values, and distinct node classes are distinct nodes.
+
+This is the small-model witness behind the NP upper bound of Theorem 5
+(the paper's Σp2 analogue for GDCs explicitly bounds |G_h| ≤
+2·|φ|·(|φ|+|Σ|+1)²).  The construction is verified, not trusted:
+:func:`find_counterexample` re-validates both bullets before returning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.deps.ged import GED
+from repro.deps.literals import FALSE, Literal
+from repro.errors import ChaseError
+from repro.graph.graph import Graph
+from repro.reasoning.implication import ImplicationResult, check_implication
+from repro.reasoning.satisfiability import concretize
+from repro.reasoning.validation import literal_holds, validates
+
+
+@dataclass
+class Counterexample:
+    """A verified witness that Σ does not imply φ.
+
+    ``graph`` satisfies Σ but not φ; ``match`` is the violating match
+    (pattern variable → node id) that satisfies X and fails ``failed``.
+    """
+
+    graph: Graph
+    match: dict[str, str]
+    failed: list[Literal]
+    implication: ImplicationResult
+
+    def size(self) -> int:
+        return self.graph.size()
+
+
+def find_counterexample(sigma: Sequence[GED], phi: GED) -> Counterexample | None:
+    """A finite graph G with G |= Σ and G ̸|= φ, or None if Σ |= φ.
+
+    The witness is built from the Theorem 4 chase and re-verified
+    against the actual validation semantics; a verification failure
+    (which would mean the chase and the semantics disagree) raises
+    :class:`ChaseError` rather than returning a wrong answer.
+    """
+    sigma = list(sigma)
+    outcome = check_implication(sigma, phi)
+    if outcome.implied:
+        return None
+    assert outcome.chase_result is not None  # not-deduced implies a chase ran
+
+    graph = concretize(outcome.chase_result, sigma + [phi])
+    eq = outcome.chase_result.eq
+    match = {v: eq.node_representative(v) for v in phi.pattern.variables}
+
+    # -- verify: the witness match satisfies X and fails exactly the
+    #    underivable literals --------------------------------------------
+    for literal in phi.X:
+        if not literal_holds(graph, literal, match):
+            raise ChaseError(
+                f"counterexample verification failed: X-literal {literal} "
+                "does not hold on the concretized witness"
+            )
+    failed = [
+        literal
+        for literal in sorted(phi.Y, key=str)
+        if literal is FALSE or not literal_holds(graph, literal, match)
+    ]
+    if not failed:
+        raise ChaseError(
+            "counterexample verification failed: every Y-literal holds "
+            "on the concretized witness"
+        )
+
+    # -- verify: the witness is a model of Σ -----------------------------
+    if not validates(graph, sigma):
+        raise ChaseError(
+            "counterexample verification failed: the witness violates Σ"
+        )
+
+    return Counterexample(graph, match, failed, outcome)
+
+
+def implication_with_witness(
+    sigma: Sequence[GED], phi: GED
+) -> tuple[bool, Counterexample | None]:
+    """Σ |= φ together with the disproving witness when it fails."""
+    witness = find_counterexample(sigma, phi)
+    return witness is None, witness
+
+
+__all__ = ["Counterexample", "find_counterexample", "implication_with_witness"]

@@ -1,0 +1,102 @@
+"""The implication problem: Σ |= φ? (Section 5.2, Theorem 4).
+
+Σ |= φ (for φ = Q[x̄](X → Y)) iff every finite graph satisfying Σ
+satisfies φ.  Theorem 4 characterizes it via the chase of the canonical
+graph G_Q of φ's pattern, started from Eq_X:
+
+1. if ``chase(G_Q, Eq_X, Σ)`` is **inconsistent**, Σ |= φ — no match of
+   Q in any graph satisfying Σ can satisfy X; or
+2. if consistent, Σ |= φ iff every literal of **Y can be deduced** from
+   the final relation: ``u = v`` is deduced when v ∈ [u] (including the
+   id-literal semantics — merged nodes share attribute classes).
+
+Implication is NP-complete for all five GED sub-classes (Theorem 5) —
+even GFDxs, because checking deducibility requires enumerating
+homomorphisms of Σ's patterns into G_Q.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.chase.canonical import canonical_graph, eq_from_literals, literal_entailed
+from repro.chase.engine import ChaseResult, chase
+from repro.deps.ged import GED
+from repro.deps.literals import FALSE, Literal
+
+
+@dataclass
+class ImplicationResult:
+    """Outcome of the Theorem 4 check, with the evidence."""
+
+    implied: bool
+    #: "inconsistent-X" (condition 1), "deduced" (condition 2), or
+    #: "not-deduced".
+    mode: str
+    chase_result: ChaseResult | None = None
+    missing: list[Literal] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.implied
+
+
+def check_implication(sigma: Sequence[GED], phi: GED) -> ImplicationResult:
+    """Theorem 4: chase G_Q from Eq_X by Σ, then deduce Y."""
+    sigma = list(sigma)
+    g_q = canonical_graph(phi.pattern)
+    identity = {v: v for v in phi.pattern.variables}
+    eq_x = eq_from_literals(g_q, sorted(phi.X, key=str), identity)
+    if not eq_x.is_consistent:
+        # Condition (1) with an inconsistent Eq_X to start with: no match
+        # can satisfy X, so the implication holds vacuously.
+        return ImplicationResult(True, "inconsistent-X")
+    result = chase(g_q, sigma, initial_eq=eq_x)
+    if not result.consistent:
+        return ImplicationResult(True, "inconsistent-X", result)
+    missing = [
+        literal
+        for literal in sorted(phi.Y, key=str)
+        if not _deduced(result, literal, identity)
+    ]
+    if missing:
+        return ImplicationResult(False, "not-deduced", result, missing)
+    return ImplicationResult(True, "deduced", result)
+
+
+def _deduced(result: ChaseResult, literal: Literal, identity) -> bool:
+    if literal is FALSE:
+        # false is deducible only from an inconsistent chase, handled above.
+        return False
+    return literal_entailed(result.eq, literal, identity)
+
+
+def implies(sigma: Sequence[GED], phi: GED) -> bool:
+    """Σ |= φ — the Theorem 5 decision problem."""
+    return check_implication(sigma, phi).implied
+
+
+def redundant_dependencies(sigma: Sequence[GED]) -> list[GED]:
+    """Dependencies implied by the others — the paper's rule-optimization
+    use case ("the implication analysis serves as an optimization
+    strategy to get rid of redundant rules").
+
+    Greedy: scan in order, keep a dependency only if not implied by the
+    kept ones plus the not-yet-scanned ones.
+    """
+    sigma = list(sigma)
+    redundant: list[GED] = []
+    kept: list[GED] = []
+    for index, ged in enumerate(sigma):
+        context = kept + sigma[index + 1 :]
+        if context and implies(context, ged):
+            redundant.append(ged)
+        else:
+            kept.append(ged)
+    return redundant
+
+
+def minimal_cover(sigma: Sequence[GED]) -> list[GED]:
+    """Σ minus its redundant dependencies (equivalent to Σ)."""
+    drop = set(map(id, redundant_dependencies(sigma)))
+    return [ged for ged in sigma if id(ged) not in drop]

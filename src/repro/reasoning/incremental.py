@@ -1,0 +1,157 @@
+"""Incremental validation under graph updates.
+
+Validation is the workhorse of GED-based cleaning, and production
+graphs change continuously.  Re-validating from scratch after every
+update wastes the coNP-ish match enumeration on the unchanged part of
+the graph; but a GED violation introduced by an update must involve a
+*changed element* — a new/updated node or an endpoint of a new edge —
+in the image of its match (matches that existed before and avoided the
+changed elements evaluated exactly the same before the update, and the
+update cannot change their literal values).
+
+:func:`apply_update` applies a batch of node/edge/attribute additions;
+:func:`incremental_violations` then enumerates, per dependency, only
+the matches that touch the changed nodes (by pinning each pattern
+variable to each changed node in turn), deduplicates, and evaluates
+X → Y on those.  The result equals "new violations introduced by the
+update" (violations already present before may of course also touch
+changed nodes and be re-reported; callers diff against their ledger).
+
+This realizes the "practical special cases" direction of the paper's
+conclusion in the engineering sense: same semantics, work proportional
+to the update's neighborhood.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.deps.ged import GED
+from repro.graph.graph import Graph, Value
+from repro.matching.homomorphism import find_homomorphisms
+from repro.reasoning.validation import Violation, literal_holds
+
+
+@dataclass
+class GraphUpdate:
+    """A batch of additions/overwrites to apply to a graph.
+
+    * ``nodes`` — (id, label, attrs) for new nodes;
+    * ``edges`` — (source, label, target) for new edges;
+    * ``attrs`` — (node id, attribute, value) for attribute writes.
+    """
+
+    nodes: Sequence[tuple[str, str, Mapping[str, Value]]] = ()
+    edges: Sequence[tuple[str, str, str]] = ()
+    attrs: Sequence[tuple[str, str, Value]] = ()
+
+    def touched_nodes(self) -> set[str]:
+        """Every node id whose presence, attributes or incident edges
+        are affected by the update."""
+        touched = {node_id for node_id, _, _ in self.nodes}
+        touched |= {node_id for node_id, _, _ in self.attrs}
+        for source, _, target in self.edges:
+            touched.add(source)
+            touched.add(target)
+        return touched
+
+
+def apply_update(graph: Graph, update: GraphUpdate) -> Graph:
+    """Apply the update in place (returns the same graph for chaining)."""
+    for node_id, label, attrs in update.nodes:
+        graph.add_node(node_id, label, attrs)
+    for node_id, attr, value in update.attrs:
+        graph.set_attribute(node_id, attr, value)
+    for source, label, target in update.edges:
+        graph.add_edge(source, label, target)
+    return graph
+
+
+def incremental_violations(
+    graph: Graph,
+    sigma: Iterable[GED],
+    update: GraphUpdate,
+    limit: int | None = None,
+) -> list[Violation]:
+    """Violations whose match touches the update (post-application).
+
+    ``graph`` must already have the update applied.  Sound and complete
+    for *newly introduced* violations: any match that avoids all
+    touched nodes existed, with identical literal values, before the
+    update.
+    """
+    touched = update.touched_nodes()
+    violations: list[Violation] = []
+    seen: set[tuple[int, tuple[tuple[str, str], ...]]] = set()
+    for index, ged in enumerate(sigma):
+        for variable in ged.pattern.variables:
+            for node_id in touched:
+                if not graph.has_node(node_id):
+                    continue
+                for match in find_homomorphisms(ged.pattern, graph, fixed={variable: node_id}):
+                    key = (index, tuple(sorted(match.items())))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if not all(literal_holds(graph, l, match) for l in ged.X):
+                        continue
+                    failed = tuple(
+                        l for l in sorted(ged.Y, key=str)
+                        if not literal_holds(graph, l, match)
+                    )
+                    if failed:
+                        violations.append(
+                            Violation(ged, tuple(sorted(match.items())), failed)
+                        )
+                        if limit is not None and len(violations) >= limit:
+                            return violations
+    return violations
+
+
+@dataclass
+class ViolationLedger:
+    """Tracks known violations across updates.
+
+    ``refresh`` ingests newly detected violations and reports which are
+    genuinely new; violations whose matches disappeared (e.g. an
+    attribute overwrite fixed them) are retired lazily by re-checking
+    their matches.
+    """
+
+    graph: Graph
+    sigma: list[GED]
+    known: set[Violation] = field(default_factory=set)
+
+    def bootstrap(self) -> list[Violation]:
+        from repro.reasoning.validation import find_violations
+
+        initial = find_violations(self.graph, self.sigma)
+        self.known = set(initial)
+        return initial
+
+    def refresh(self, update: GraphUpdate) -> list[Violation]:
+        """Apply an update; return violations new since the last call."""
+        apply_update(self.graph, update)
+        self._retire_stale()
+        fresh = incremental_violations(self.graph, self.sigma, update)
+        new = [v for v in fresh if v not in self.known]
+        self.known.update(new)
+        return new
+
+    def _retire_stale(self) -> None:
+        still_valid: set[Violation] = set()
+        for violation in self.known:
+            match = violation.assignment
+            if not all(self.graph.has_node(n) for n in match.values()):
+                continue
+            x_holds = all(literal_holds(self.graph, l, match) for l in violation.ged.X)
+            failed = any(
+                not literal_holds(self.graph, l, match)
+                for l in violation.ged.Y
+            )
+            from repro.matching.homomorphism import is_homomorphism
+
+            if x_holds and failed and is_homomorphism(violation.ged.pattern, self.graph, match):
+                still_valid.add(violation)
+        self.known = still_valid

@@ -1,0 +1,139 @@
+"""The satisfiability problem (Section 5.1, Theorem 2).
+
+A *model* of Σ is a graph G with (a) G |= Σ and (b) a match for the
+pattern of every dependency of Σ — the strong notion that ensures the
+dependencies are jointly sensible before they are used as cleaning
+rules.
+
+Theorem 2: Σ is satisfiable iff ``chase(G_Σ, Σ)`` is consistent, where
+G_Σ is the disjoint union of Σ's patterns.  Beyond the decision
+procedure this module implements the model *construction* from the
+theorem's proof: take the final coercion, replace the special label
+``_`` with a label not occurring in Σ, give every constant-bearing
+attribute class its constant, and give every remaining attribute class
+a globally fresh value (distinct classes, distinct values, none equal
+to any constant of Σ).  The resulting concrete graph is a model, which
+the test suite verifies with the validation procedure.
+
+Satisfiability is coNP-complete for GEDs / GFDs / GKeys / GEDxs and
+O(1) for GFDxs (Theorem 3): without constant and id literals no chase
+step can conflict, so :func:`is_satisfiable` short-circuits to True.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.chase.canonical import canonical_graph_of_sigma
+from repro.chase.engine import ChaseResult, chase
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral
+from repro.graph.graph import Graph
+from repro.patterns.labels import WILDCARD
+from repro.utils.naming import NameSupply, fresh_value
+
+
+@dataclass
+class SatisfiabilityResult:
+    """Outcome of the Theorem 2 check, with the evidence."""
+
+    satisfiable: bool
+    chase_result: ChaseResult | None
+    canonical: Graph | None
+    reason: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+def gfdx_shortcut_applies(sigma: Sequence[GED]) -> bool:
+    """Whether Σ is a set of GFDxs (satisfiability is O(1), Theorem 3)."""
+    return all(ged.is_gfdx for ged in sigma)
+
+
+def check_satisfiability(sigma: Sequence[GED], use_shortcut: bool = True) -> SatisfiabilityResult:
+    """Theorem 2: chase the canonical graph G_Σ by Σ.
+
+    ``use_shortcut=False`` disables the O(1) GFDx fast path (the
+    benchmarks exercise both).
+    """
+    sigma = list(sigma)
+    if not sigma:
+        return SatisfiabilityResult(True, None, None, reason="empty Σ: any single node is a model")
+    if use_shortcut and gfdx_shortcut_applies(sigma):
+        return SatisfiabilityResult(True, None, None, reason="GFDx set: O(1) (Theorem 3)")
+    canonical, _ = canonical_graph_of_sigma(sigma)
+    result = chase(canonical, sigma)
+    if result.consistent:
+        return SatisfiabilityResult(True, result, canonical)
+    return SatisfiabilityResult(False, result, canonical, reason=result.reason)
+
+
+def is_satisfiable(sigma: Sequence[GED], use_shortcut: bool = True) -> bool:
+    return check_satisfiability(sigma, use_shortcut=use_shortcut).satisfiable
+
+
+def build_model(sigma: Sequence[GED]) -> Graph | None:
+    """A concrete model of Σ, or None if Σ is unsatisfiable.
+
+    Implements the model construction of the Theorem 2 proof (see the
+    module docstring).  The returned graph satisfies Σ and matches every
+    pattern of Σ — asserted by ``tests/reasoning/test_satisfiability``.
+    """
+    sigma = list(sigma)
+    if not sigma:
+        g = Graph()
+        g.add_node("n0", "anything")
+        return g
+    outcome = check_satisfiability(sigma, use_shortcut=False)
+    if not outcome.satisfiable:
+        return None
+    assert outcome.chase_result is not None
+    return concretize(outcome.chase_result, sigma)
+
+
+def concretize(chase_result: ChaseResult, sigma: Sequence[GED]) -> Graph:
+    """Turn a valid chase result into a concrete graph.
+
+    * ``_`` labels become one fresh label not occurring in Σ (pattern
+      wildcards still match it; concrete pattern labels still do not);
+    * every attribute class carrying a constant keeps the constant;
+    * every generated attribute class without a constant receives a
+      fresh value — one per class, distinct across classes, distinct
+      from every constant of Σ (so no X-literal accidentally fires).
+    """
+    eq = chase_result.eq
+    coerced = chase_result.graph
+    labels_in_sigma: set[str] = set()
+    constants_in_sigma: set[object] = set()
+    for ged in sigma:
+        labels_in_sigma.update(ged.pattern.labels.values())
+        for literal in ged.X | ged.Y:
+            if isinstance(literal, ConstantLiteral):
+                constants_in_sigma.add(literal.const)
+    fresh_label = NameSupply(labels_in_sigma, prefix="label_").fresh()
+
+    class_values: dict[object, object] = {}
+    next_index = 0
+    result = Graph()
+    for node in coerced.nodes:
+        label = fresh_label if node.label == WILDCARD else node.label
+        attrs = {}
+        for attr_name, value in node.attributes.items():
+            if value is not None:
+                attrs[attr_name] = value
+                continue
+            class_id = eq.attr_class_id(node.id, attr_name)
+            if class_id not in class_values:
+                class_values[class_id] = fresh_value(constants_in_sigma, next_index)
+                next_index += 1
+            attrs[attr_name] = class_values[class_id]
+        result.add_node(node.id, label, attrs)
+    for source, edge_label, target in coerced.edges:
+        result.add_edge(
+            source,
+            fresh_label if edge_label == WILDCARD else edge_label,
+            target,
+        )
+    return result

@@ -1,0 +1,116 @@
+"""The validation problem: does G |= Σ? (Section 5.3).
+
+``G |= Q[x̄](X → Y)`` iff every match h of Q in G with h(x̄) |= X also
+satisfies Y.  Literal satisfaction on a data graph follows Section 3:
+
+* ``x.A = c`` — attribute A *exists* at h(x) and equals c;
+* ``x.A = y.B`` — both attributes exist and their values agree;
+* ``x.id = y.id`` — h(x) and h(y) are the same node;
+* ``false`` — never satisfied.
+
+Validation is coNP-complete in general (Theorem 6) because a pattern
+can have exponentially many matches; for patterns of bounded size it is
+PTIME (Section 5.3, wrapped by :mod:`repro.reasoning.bounded`).  Beyond
+the decision problem, :func:`find_violations` returns *witnesses* —
+(dependency, match, failed literals) triples — which is what the data
+quality applications (Example 1) consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.deps.ged import GED
+from repro.deps.literals import (
+    FALSE,
+    ConstantLiteral,
+    IdLiteral,
+    Literal,
+    VariableLiteral,
+)
+from repro.graph.graph import Graph
+from repro.matching.homomorphism import Match, find_homomorphisms
+
+
+def literal_holds(graph: Graph, literal: Literal, match: Mapping[str, str]) -> bool:
+    """h(x̄) |= l on a concrete data graph."""
+    if isinstance(literal, ConstantLiteral):
+        node = graph.node(match[literal.var])
+        return node.has_attribute(literal.attr) and node.get(literal.attr) == literal.const
+    if isinstance(literal, VariableLiteral):
+        node1 = graph.node(match[literal.var1])
+        node2 = graph.node(match[literal.var2])
+        if not node1.has_attribute(literal.attr1) or not node2.has_attribute(literal.attr2):
+            return False
+        return node1.get(literal.attr1) == node2.get(literal.attr2)
+    if isinstance(literal, IdLiteral):
+        return match[literal.var1] == match[literal.var2]
+    if literal is FALSE:
+        return False
+    raise TypeError(f"unknown literal {literal!r}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A witness that G does not satisfy a dependency.
+
+    ``match`` satisfies the dependency's X but fails ``failed`` ⊆ Y.
+    """
+
+    ged: GED
+    match: tuple[tuple[str, str], ...]
+    failed: tuple[Literal, ...]
+
+    @property
+    def assignment(self) -> dict[str, str]:
+        return dict(self.match)
+
+    def __str__(self) -> str:
+        failed = ", ".join(sorted(str(l) for l in self.failed))
+        where = ", ".join(f"{v}->{n}" for v, n in self.match)
+        return f"violation of {self.ged.name or 'GED'} at [{where}]: fails {failed}"
+
+
+def find_violations(
+    graph: Graph,
+    sigma: Iterable[GED],
+    limit: int | None = None,
+) -> list[Violation]:
+    """All (up to ``limit``) violations of Σ in G."""
+    violations: list[Violation] = []
+    for ged in sigma:
+        for match in find_homomorphisms(ged.pattern, graph):
+            if not all(literal_holds(graph, l, match) for l in ged.X):
+                continue
+            failed = tuple(
+                l for l in sorted(ged.Y, key=str) if not literal_holds(graph, l, match)
+            )
+            if failed:
+                violations.append(Violation(ged, tuple(sorted(match.items())), failed))
+                if limit is not None and len(violations) >= limit:
+                    return violations
+    return violations
+
+
+def validates(graph: Graph, sigma: Iterable[GED], **_ignored) -> bool:
+    """G |= Σ — the Theorem 6 decision problem."""
+    return not find_violations(graph, sigma, limit=1)
+
+
+def satisfies_ged(graph: Graph, ged: GED) -> bool:
+    """G |= φ for a single dependency."""
+    return validates(graph, [ged])
+
+
+def matches_all_patterns(graph: Graph, sigma: Iterable[GED]) -> bool:
+    """Whether every pattern of Σ has a match in G — the second half of
+    the *model* condition of Section 5.1 (strong satisfiability)."""
+    from repro.matching.homomorphism import has_match
+
+    return all(has_match(ged.pattern, graph) for ged in sigma)
+
+
+def is_model(graph: Graph, sigma: Sequence[GED]) -> bool:
+    """Whether G is a model of Σ: G |= Σ and every pattern matches."""
+    return matches_all_patterns(graph, sigma) and validates(graph, sigma)

@@ -1,0 +1,60 @@
+"""Hardness reductions behind the Table 1 lower bounds.
+
+3-colorability instances drive Theorems 3 / 5 / 6; GGCP instances
+drive Theorems 8 / 9.  Brute-force oracles verify every reduction.
+"""
+
+from repro.reductions.coloring import (
+    check_coloring_instance,
+    find_three_coloring,
+    is_three_colorable,
+)
+from repro.reductions.ggcp import (
+    adjacency_of,
+    ggcp_satisfiable,
+    ggcp_two_coloring,
+    has_clique,
+)
+from repro.reductions.to_gdc import gdc_ggcp_instance, witness_model
+from repro.reductions.to_gedvee import gedvee_ggcp_instance
+from repro.reductions.to_implication import (
+    gfdx_implication_instance,
+    gkey_implication_instance,
+    plain_triangle_pattern,
+)
+from repro.reductions.to_satisfiability import (
+    designated_edge,
+    gfd_satisfiability_instance,
+    gkey_satisfiability_instance,
+    instance_pattern,
+    triangle_pattern,
+)
+from repro.reductions.to_validation import (
+    colored_k3,
+    gfdx_validation_instance,
+    gkey_validation_instance,
+)
+
+__all__ = [
+    "adjacency_of",
+    "check_coloring_instance",
+    "colored_k3",
+    "designated_edge",
+    "find_three_coloring",
+    "gdc_ggcp_instance",
+    "gedvee_ggcp_instance",
+    "gfd_satisfiability_instance",
+    "gfdx_implication_instance",
+    "gfdx_validation_instance",
+    "ggcp_satisfiable",
+    "ggcp_two_coloring",
+    "gkey_implication_instance",
+    "gkey_satisfiability_instance",
+    "gkey_validation_instance",
+    "has_clique",
+    "instance_pattern",
+    "is_three_colorable",
+    "plain_triangle_pattern",
+    "triangle_pattern",
+    "witness_model",
+]

@@ -1,0 +1,82 @@
+"""3-colorability: instances and a brute-force oracle.
+
+The lower bounds of Theorems 3, 5 and 6 are by reductions from
+(the complement of) the 3-colorability problem, which is NP-complete
+even for connected graphs [25].  Instances here are undirected graphs
+encoded with both edge orientations (label ``adj``), as produced by
+:func:`repro.graph.generators.random_connected_undirected_graph`.
+
+The oracle enumerates colorings with simple pruning; it is exponential
+(that is the point — benchmark baselines measure it too) but fine for
+the ≤ 12-node instances the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReductionError
+from repro.graph.generators import undirected_edge_set
+from repro.graph.graph import Graph
+
+
+def check_coloring_instance(h: Graph, edge_label: str = "adj") -> None:
+    """Validate an undirected 3-colorability instance: loop-free,
+    both-orientation encoded, at least one edge."""
+    for source, label, target in h.edges:
+        if label != edge_label:
+            raise ReductionError(f"unexpected edge label {label!r} in instance")
+        if source == target:
+            raise ReductionError("3-colorability instances must be loop-free")
+        if not h.has_edge(target, edge_label, source):
+            raise ReductionError("instance must encode both edge orientations")
+    if not undirected_edge_set(h, edge_label):
+        raise ReductionError("instance needs at least one edge")
+
+
+def is_three_colorable(h: Graph, edge_label: str = "adj") -> bool:
+    """Brute-force 3-colorability with greedy pruning (oracle)."""
+    nodes = sorted(h.node_ids)
+    edges = undirected_edge_set(h, edge_label)
+    adjacency: dict[str, set[str]] = {n: set() for n in nodes}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    coloring: dict[str, int] = {}
+
+    def assign(index: int) -> bool:
+        if index == len(nodes):
+            return True
+        node = nodes[index]
+        for color in range(3):
+            if all(coloring.get(nb) != color for nb in adjacency[node]):
+                coloring[node] = color
+                if assign(index + 1):
+                    return True
+                del coloring[node]
+        return False
+
+    return assign(0)
+
+
+def find_three_coloring(h: Graph, edge_label: str = "adj") -> dict[str, int] | None:
+    """A proper 3-coloring or None."""
+    nodes = sorted(h.node_ids)
+    edges = undirected_edge_set(h, edge_label)
+    adjacency: dict[str, set[str]] = {n: set() for n in nodes}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    coloring: dict[str, int] = {}
+
+    def assign(index: int) -> bool:
+        if index == len(nodes):
+            return True
+        node = nodes[index]
+        for color in range(3):
+            if all(coloring.get(nb) != color for nb in adjacency[node]):
+                coloring[node] = color
+                if assign(index + 1):
+                    return True
+                del coloring[node]
+        return False
+
+    return dict(coloring) if assign(0) else None

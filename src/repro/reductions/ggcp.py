@@ -1,0 +1,66 @@
+"""The generalized graph coloring problem (GGCP) [37, 40].
+
+GGCP: given undirected graphs F and G, decide whether F has a
+two-coloring under which G is *not* a monochromatic subgraph.  The
+Theorem 8/9 lower bounds reduce from GGCP with G = K_k (a complete
+graph), where the problem is Σp2-complete; we implement that special
+case: *is there a 2-coloring of F with no monochromatic K_k?*
+
+The brute-force oracle sweeps all 2^|F| colorings; clique detection is
+by subset enumeration over each color class — exponential, as suits a
+ground-truth oracle for ≤ 10-node instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import ReductionError
+from repro.graph.generators import undirected_edge_set
+from repro.graph.graph import Graph
+
+
+def has_clique(nodes: list[str], adjacency: dict[str, set[str]], k: int) -> bool:
+    """Whether the induced subgraph on ``nodes`` contains a K_k."""
+    if k <= 1:
+        return len(nodes) >= k
+    for subset in combinations(sorted(nodes), k):
+        if all(b in adjacency[a] for a, b in combinations(subset, 2)):
+            return True
+    return False
+
+
+def adjacency_of(f: Graph, edge_label: str = "adj") -> dict[str, set[str]]:
+    adjacency: dict[str, set[str]] = {n: set() for n in f.node_ids}
+    for a, b in undirected_edge_set(f, edge_label):
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return adjacency
+
+
+def ggcp_two_coloring(f: Graph, k: int) -> dict[str, int] | None:
+    """A 2-coloring of F with no monochromatic K_k, or None.
+
+    This is the brute-force GGCP oracle (the decision version of the
+    Σp2-complete problem with G = K_k).
+    """
+    if k < 2:
+        raise ReductionError("GGCP with K_k needs k >= 2")
+    nodes = sorted(f.node_ids)
+    adjacency = adjacency_of(f)
+    for mask in range(2 ** len(nodes)):
+        coloring = {node: (mask >> i) & 1 for i, node in enumerate(nodes)}
+        ok = True
+        for color in (0, 1):
+            mono = [n for n in nodes if coloring[n] == color]
+            if has_clique(mono, adjacency, k):
+                ok = False
+                break
+        if ok:
+            return coloring
+    return None
+
+
+def ggcp_satisfiable(f: Graph, k: int) -> bool:
+    """The GGCP decision: some 2-coloring avoids a monochromatic K_k."""
+    return ggcp_two_coloring(f, k) is not None

@@ -1,0 +1,111 @@
+"""GGCP → GDC satisfiability (lower bound of Theorem 8).
+
+The paper encodes 2-coloring, the monochromatic clique and the graph F
+with four GDCs using ≠ / ≤ (one a forbidding constraint).  Our
+construction (verified against the brute-force GGCP oracle):
+
+* φ_col  = Q_v[x](∅ → x.color = x.color) — every F-node carries a color
+  (attribute existence; without it φ_dom could be dodged by simply
+  omitting the attribute);
+* φ_dom  = Q_v[x](x.color ≠ 0 ∧ x.color ≠ 1 → false) — colors are
+  binary (the built-in ≠ at work);
+* φ_F    = Q_F(∅ → ∅) — a trivially-satisfied constraint whose only
+  role is *strong satisfiability*: any model must contain a
+  homomorphic image of F;
+* φ_mono = Q_{K_k}(⋀_{i<j} x_i.color = x_j.color → false) — no
+  monochromatic K_k anywhere.
+
+Σ is satisfiable iff F has a 2-coloring with no monochromatic K_k:
+
+(⇐) F itself, colored, plus a disjoint non-monochromatic K_k gadget
+(so Q_{K_k} has a match) is a model.  (⇒) A model M has no ``fnode``
+self-loops (a self-loop matches all of Q_{K_k} monochromatically), so
+pulling M's colors back along the φ_F match h : F → M yields a good
+2-coloring: a monochromatic K_k in F would map injectively (adjacent
+nodes cannot merge without a self-loop) onto a monochromatic K_k in M.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.deps.literals import FALSE
+from repro.extensions.gdc import (
+    GDC,
+    ComparisonLiteral,
+    VariableComparisonLiteral,
+)
+from repro.errors import ReductionError
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+from repro.reductions.coloring import check_coloring_instance
+
+#: Node label shared by all patterns of the reduction.
+F_LABEL = "fnode"
+
+
+def f_pattern(f: Graph) -> Pattern:
+    nodes = {node_id: F_LABEL for node_id in sorted(f.node_ids)}
+    edges = [(s, l, t) for (s, l, t) in sorted(f.edges)]
+    return Pattern(nodes, edges)
+
+
+def clique_pattern(k: int) -> Pattern:
+    if k < 2:
+        raise ReductionError("monochromatic-clique pattern needs k >= 2")
+    nodes = {f"m{i}": F_LABEL for i in range(k)}
+    edges = []
+    for i in range(k):
+        for j in range(k):
+            if i != j:
+                edges.append((f"m{i}", "adj", f"m{j}"))
+    return Pattern(nodes, edges)
+
+
+def gdc_ggcp_instance(f: Graph, k: int) -> list[GDC]:
+    """The four GDCs: satisfiable iff GGCP(F, K_k) answers yes."""
+    check_coloring_instance(f)
+    single = Pattern({"x": F_LABEL})
+    phi_col = GDC(
+        single,
+        [],
+        [VariableComparisonLiteral("x", "color", "=", "x", "color")],
+        name="phi-col",
+    )
+    phi_dom = GDC(
+        single,
+        [
+            ComparisonLiteral("x", "color", "!=", 0),
+            ComparisonLiteral("x", "color", "!=", 1),
+        ],
+        [FALSE],
+        name="phi-dom",
+    )
+    phi_f = GDC(f_pattern(f), [], [], name="phi-F")
+    mono = clique_pattern(k)
+    phi_mono = GDC(
+        mono,
+        [
+            VariableComparisonLiteral(f"m{i}", "color", "=", f"m{j}", "color")
+            for i, j in combinations(range(k), 2)
+        ],
+        [FALSE],
+        name="phi-mono",
+    )
+    return [phi_col, phi_dom, phi_f, phi_mono]
+
+
+def witness_model(f: Graph, k: int, coloring: dict[str, int]) -> Graph:
+    """The (⇐)-direction witness: F colored + a non-mono K_k gadget."""
+    model = Graph()
+    for node_id in sorted(f.node_ids):
+        model.add_node(node_id, F_LABEL, color=coloring[node_id])
+    for edge in f.edges:
+        model.add_edge(*edge)
+    for i in range(k):
+        model.add_node(f"gadget{i}", F_LABEL, color=0 if i == 0 else 1)
+    for i in range(k):
+        for j in range(k):
+            if i != j:
+                model.add_edge(f"gadget{i}", "adj", f"gadget{j}")
+    return model

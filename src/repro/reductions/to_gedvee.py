@@ -1,0 +1,58 @@
+"""GGCP → GED∨ satisfiability (lower bound of Theorem 9).
+
+The paper uses three GED∨s with constant and variable literals only;
+ours mirror the GDC construction with the binary-domain constraint
+folded into a single disjunction (Example 10's device):
+
+* ψ_col  = Q_v[x](∅ → x.color = 0 ∨ x.color = 1) — existence and
+  binary domain in one disjunctive rule;
+* ψ_F    = Q_F(∅ → v.color = v.color) — forces a homomorphic image of
+  F into any model (the Y is satisfied whenever the designated node
+  has a color, which ψ_col guarantees);
+* ψ_mono = Q_{K_k}(⋀_{i<j} m_i.color = m_j.color → ∅) — the empty
+  disjunction forbids monochromatic K_k.
+
+Satisfiable iff GGCP(F, K_k) answers yes, by the same two directions
+as :mod:`repro.reductions.to_gdc`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.extensions.gedvee import GEDVee
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+from repro.reductions.coloring import check_coloring_instance
+from repro.reductions.to_gdc import F_LABEL, clique_pattern, f_pattern
+
+
+def gedvee_ggcp_instance(f: Graph, k: int) -> list[GEDVee]:
+    """The three GED∨s: satisfiable iff GGCP(F, K_k) answers yes."""
+    check_coloring_instance(f)
+    single = Pattern({"x": F_LABEL})
+    psi_col = GEDVee(
+        single,
+        [],
+        [ConstantLiteral("x", "color", 0), ConstantLiteral("x", "color", 1)],
+        name="psi-col",
+    )
+    anchor = min(f.node_ids)
+    psi_f = GEDVee(
+        f_pattern(f),
+        [],
+        [VariableLiteral(anchor, "color", anchor, "color")],
+        name="psi-F",
+    )
+    mono = clique_pattern(k)
+    psi_mono = GEDVee(
+        mono,
+        [
+            VariableLiteral(f"m{i}", "color", f"m{j}", "color")
+            for i, j in combinations(range(k), 2)
+        ],
+        [],
+        name="psi-mono",
+    )
+    return [psi_col, psi_f, psi_mono]

@@ -1,0 +1,75 @@
+"""3-colorability → GED implication (lower bounds of Theorem 5).
+
+The paper's reductions use a single GFDx (resp. a single GKey) with
+Σ |= φ iff the instance H is 3-colorable; ours follow those shapes.
+
+**GFDx reduction.**  Σ = {φ_H} where φ_H = Q_H[z̄](∅ → z_u.c = z_v.c)
+for a designated edge (u, v) of H, over H as a pattern with a single
+concrete node label.  φ = Q_T(∅ → t_i.c = t_j.c) where Q_T is the
+triangle K3 (same label).  Chasing G_{Q_T} by φ_H applies one step per
+homomorphism H → K3 — per proper 3-coloring.  If H is 3-colorable then
+for *every* corner pair (t_i, t_j) some coloring sends u ↦ t_i, v ↦ t_j
+(u, v are adjacent so they get distinct colors, and colors can be
+permuted), so every corner-pair equality is deduced and Σ |= φ; if H is
+not 3-colorable no step applies and nothing is deduced.
+
+**GKey reduction.**  Σ = {ψ_H}, the GKey pairing H with its copy and
+identifying the images of a designated node u; φ = ψ_T, the analogous
+GKey over the triangle.  Chasing φ's canonical graph (two disjoint
+triangles) by ψ_H merges t_i in the first triangle with t_i′ in the
+second iff some pair of colorings sends u there — again possible for
+all corner pairs iff H is 3-colorable.
+"""
+
+from __future__ import annotations
+
+from repro.deps.ged import GED, GKey, make_gkey
+from repro.deps.literals import VariableLiteral
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+from repro.reductions.coloring import check_coloring_instance
+from repro.reductions.to_satisfiability import designated_edge, instance_pattern
+
+#: The single node label shared by patterns in the GFDx reduction.
+NODE_LABEL = "v"
+
+
+def plain_triangle_pattern(label: str = NODE_LABEL) -> Pattern:
+    """K3 with uniformly labeled corners (both edge orientations)."""
+    nodes = {f"t{i}": label for i in range(3)}
+    edges = []
+    for i in range(3):
+        for j in range(3):
+            if i != j:
+                edges.append((f"t{i}", "adj", f"t{j}"))
+    return Pattern(nodes, edges)
+
+
+def gfdx_implication_instance(h: Graph) -> tuple[list[GED], GED]:
+    """(Σ, φ) with a single GFDx each: Σ |= φ iff H is 3-colorable."""
+    check_coloring_instance(h)
+    u, v = designated_edge(h)
+    sigma = [
+        GED(
+            instance_pattern(h, label=NODE_LABEL),
+            [],
+            [VariableLiteral(u, "c", v, "c")],
+            name="phi-H",
+        )
+    ]
+    phi = GED(
+        plain_triangle_pattern(),
+        [],
+        [VariableLiteral("t0", "c", "t1", "c")],
+        name="phi-target",
+    )
+    return sigma, phi
+
+
+def gkey_implication_instance(h: Graph) -> tuple[list[GKey], GKey]:
+    """(Σ, ψ) with a single GKey each: Σ |= ψ iff H is 3-colorable."""
+    check_coloring_instance(h)
+    u, _ = designated_edge(h)
+    sigma = [make_gkey(instance_pattern(h, label=NODE_LABEL), u, name="psi-H")]
+    phi = make_gkey(plain_triangle_pattern(), "t0", name="psi-target")
+    return sigma, phi

@@ -1,0 +1,104 @@
+"""3-colorability → GED satisfiability (lower bounds of Theorem 3).
+
+The paper proves coNP-hardness of satisfiability (a) for GFDs and (b)
+for GKeys without constant literals, by reductions from the complement
+of 3-colorability; the constructions are deferred to the full version,
+so the reductions below are our own, in the stated shapes, and are
+verified against the brute-force coloring oracle by exhaustive tests.
+
+**GFD reduction** (two GFDs of the form Q[x̄](∅ → Y) with constant and
+variable literals).  Given a connected, loop-free instance H:
+
+* φ_tri has pattern T = a triangle with *distinctly labeled* corners
+  R, G, B (``adj`` edges both ways) and Y assigning a distinct constant
+  ``col`` to each corner;
+* φ_H has pattern H with all-wildcard nodes and Y = (u.col = v.col)
+  for one designated edge (u, v) of H.
+
+In the canonical graph G_Σ, matches of the H-pattern into the triangle
+component are exactly homomorphisms H → K3, i.e. proper 3-colorings;
+any such match forces ``col`` constants of two *different* corners to
+merge (u, v are adjacent, so their images differ) — an attribute
+conflict.  Matches of the H-pattern elsewhere only merge constant-free
+classes.  Hence Σ_H is satisfiable iff H is **not** 3-colorable.
+
+**GKey reduction** (GKeys with no constant literals).  Conflicts must
+come from id literals:
+
+* ψ_tri: the distinctly-labeled triangle composed with its copy,
+  identifying corresponding R-corners (harmless, but it places the
+  triangle gadget in G_Σ and keeps every dependency a GKey);
+* ψ_H: the all-wildcard H-pattern composed with its copy, X = ∅, and
+  key literal u.id = u′.id for a designated node u.
+
+A match of ψ_H's pattern sends the two H-copies into the triangle by
+two independent colorings; choosing colorings that differ at u merges
+two distinctly-labeled corners — a label conflict.  Such a pair exists
+iff H is 3-colorable (permute colors), so Σ is satisfiable iff H is
+**not** 3-colorable.
+"""
+
+from __future__ import annotations
+
+from repro.deps.ged import GED, GKey
+from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.graph.generators import undirected_edge_set
+from repro.graph.graph import Graph
+from repro.patterns.labels import WILDCARD
+from repro.patterns.pattern import Pattern
+from repro.reductions.coloring import check_coloring_instance
+
+TRIANGLE_LABELS = ("R", "G", "B")
+
+
+def triangle_pattern() -> Pattern:
+    """K3 with distinctly labeled corners and both-way ``adj`` edges."""
+    nodes = {f"c{i}": TRIANGLE_LABELS[i] for i in range(3)}
+    edges = []
+    for i in range(3):
+        for j in range(3):
+            if i != j:
+                edges.append((f"c{i}", "adj", f"c{j}"))
+    return Pattern(nodes, edges)
+
+
+def instance_pattern(h: Graph, label: str = WILDCARD) -> Pattern:
+    """The instance graph H as a pattern (wildcard nodes by default)."""
+    nodes = {node_id: label for node_id in sorted(h.node_ids)}
+    edges = [(s, l, t) for (s, l, t) in sorted(h.edges)]
+    return Pattern(nodes, edges)
+
+
+def designated_edge(h: Graph) -> tuple[str, str]:
+    """A fixed edge of H (the lexicographically first)."""
+    return min(undirected_edge_set(h))
+
+
+def gfd_satisfiability_instance(h: Graph) -> list[GED]:
+    """Σ_H (two GFDs): satisfiable iff H is NOT 3-colorable."""
+    check_coloring_instance(h)
+    phi_tri = GED(
+        triangle_pattern(),
+        [],
+        [ConstantLiteral(f"c{i}", "col", i) for i in range(3)],
+        name="phi-triangle",
+    )
+    u, v = designated_edge(h)
+    phi_h = GED(
+        instance_pattern(h),
+        [],
+        [VariableLiteral(u, "col", v, "col")],
+        name="phi-H",
+    )
+    return [phi_tri, phi_h]
+
+
+def gkey_satisfiability_instance(h: Graph) -> list[GKey]:
+    """Σ_H (two GKeys, no constants): satisfiable iff H NOT 3-colorable."""
+    check_coloring_instance(h)
+    from repro.deps.ged import make_gkey
+
+    psi_tri = make_gkey(triangle_pattern(), "c0", name="psi-triangle")
+    u, _ = designated_edge(h)
+    psi_h = make_gkey(instance_pattern(h), u, name="psi-H")
+    return [psi_tri, psi_h]

@@ -1,0 +1,62 @@
+"""3-colorability → GED validation (lower bounds of Theorem 6).
+
+The paper uses a single GFDx with X = ∅ and a single variable literal
+in Y (resp. a single GKey with an id literal); ours follow the shapes.
+
+**GFDx reduction.**  The data graph G is K3 whose corners carry
+pairwise distinct ``val`` attributes; Σ = {φ_H} with φ_H =
+Q_H(∅ → u.val = v.val) for a designated edge (u, v).  Matches of Q_H
+in G are exactly proper 3-colorings of H; every match violates Y
+because u and v are adjacent, hence differently colored, hence carry
+different ``val``.  So G |= Σ iff H is **not** 3-colorable.
+
+**GKey reduction.**  Same G (attributes unused); Σ = {ψ_H}, the
+H-with-copy GKey identifying the designated node's images.  If H is
+3-colorable, pick two colorings differing at u — a match violating the
+key; otherwise Q_H has no match at all.  Again G |= Σ iff H is **not**
+3-colorable.
+"""
+
+from __future__ import annotations
+
+from repro.deps.ged import GED, GKey, make_gkey
+from repro.deps.literals import VariableLiteral
+from repro.graph.graph import Graph
+from repro.reductions.coloring import check_coloring_instance
+from repro.reductions.to_implication import NODE_LABEL
+from repro.reductions.to_satisfiability import designated_edge, instance_pattern
+
+
+def colored_k3(label: str = NODE_LABEL) -> Graph:
+    """K3 with distinct ``val`` attributes (the validation data graph)."""
+    g = Graph()
+    for i in range(3):
+        g.add_node(f"k{i}", label, val=i)
+    for i in range(3):
+        for j in range(3):
+            if i != j:
+                g.add_edge(f"k{i}", "adj", f"k{j}")
+    return g
+
+
+def gfdx_validation_instance(h: Graph) -> tuple[Graph, list[GED]]:
+    """(G, Σ) with a single GFDx: G |= Σ iff H is NOT 3-colorable."""
+    check_coloring_instance(h)
+    u, v = designated_edge(h)
+    sigma = [
+        GED(
+            instance_pattern(h, label=NODE_LABEL),
+            [],
+            [VariableLiteral(u, "val", v, "val")],
+            name="phi-H-val",
+        )
+    ]
+    return colored_k3(), sigma
+
+
+def gkey_validation_instance(h: Graph) -> tuple[Graph, list[GKey]]:
+    """(G, Σ) with a single GKey: G |= Σ iff H is NOT 3-colorable."""
+    check_coloring_instance(h)
+    u, _ = designated_edge(h)
+    sigma = [make_gkey(instance_pattern(h, label=NODE_LABEL), u, name="psi-H-key")]
+    return colored_k3(), sigma

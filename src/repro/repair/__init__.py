@@ -1,0 +1,59 @@
+"""Violation-driven graph repair (data cleaning with GEDs).
+
+The paper's Example 1 motivates GEDs as rules to "detect semantic
+inconsistencies and repair data"; the detection half is
+:mod:`repro.reasoning.validation` / :mod:`repro.quality`, and this
+package supplies the repair half.  It follows the classical
+dependency-repair recipe adapted to graphs:
+
+1. :func:`~repro.reasoning.validation.find_violations` produces
+   witnesses (dependency, match, failed literals);
+2. :mod:`repro.repair.suggest` turns each witness into candidate
+   **repair operations** — *forward* repairs enforce the failed literal
+   (exactly what a chase step would do: set an attribute, equalize two
+   attributes, merge two nodes), *backward* repairs break the premise
+   (retract an X-attribute or delete a match edge);
+3. :mod:`repro.repair.cost` prices operations (protected attributes /
+   nodes are infinitely expensive);
+4. :mod:`repro.repair.engine` greedily applies the cheapest suggestion,
+   re-validates, and iterates to a fixpoint or budget.
+
+Forward repairs mirror the chase, so on a set Σ whose chase of the data
+graph is *consistent*, the engine converges to a graph with G |= Σ.
+When the chase is inconsistent (e.g. a forbidding constraint fires),
+only backward repairs can clean the graph — the engine falls back to
+them automatically.
+"""
+
+from repro.repair.cost import CostModel, UNREPAIRABLE
+from repro.repair.engine import RepairReport, repair
+from repro.repair.operations import (
+    DeleteEdge,
+    DeleteNode,
+    MergeNodes,
+    RemoveAttribute,
+    RepairOperation,
+    SetAttribute,
+    apply_operation,
+    apply_operations,
+)
+from repro.repair.suggest import suggest_repairs
+from repro.repair.vee import repair_vee, suggest_vee_repairs
+
+__all__ = [
+    "CostModel",
+    "DeleteEdge",
+    "DeleteNode",
+    "MergeNodes",
+    "RemoveAttribute",
+    "RepairOperation",
+    "RepairReport",
+    "SetAttribute",
+    "UNREPAIRABLE",
+    "apply_operation",
+    "apply_operations",
+    "repair",
+    "repair_vee",
+    "suggest_vee_repairs",
+    "suggest_repairs",
+]

@@ -1,0 +1,94 @@
+"""Cost model for repair operations.
+
+Repairs are not free, and not all repairs are equally trustworthy: a
+value correction is cheap, merging two entities is a bigger commitment,
+and deleting data is a last resort.  The default weights encode that
+preference order; applications tune them, and can mark attributes,
+nodes or edges as **protected** (cost :data:`UNREPAIRABLE`), e.g. for
+values confirmed by a curator — the engine then never touches them.
+
+The cost of a *repair plan* is the sum of its operations' costs, so the
+greedy engine's choice of the cheapest suggestion per violation is the
+usual minimum-cost-repair heuristic from relational data cleaning.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.repair.operations import (
+    DeleteEdge,
+    DeleteNode,
+    MergeNodes,
+    RemoveAttribute,
+    RepairOperation,
+    SetAttribute,
+)
+
+#: Cost marking an operation the engine must never apply.
+UNREPAIRABLE = math.inf
+
+
+@dataclass
+class CostModel:
+    """Weights per operation kind plus protection sets.
+
+    ``protected_attributes`` holds ``(node_id, attr)`` pairs whose value
+    may not be changed or removed; ``protected_nodes`` may not be merged
+    away or deleted; ``protected_edges`` may not be deleted.
+    """
+
+    set_attribute: float = 1.0
+    remove_attribute: float = 2.0
+    merge_nodes: float = 3.0
+    delete_edge: float = 4.0
+    delete_node: float = 10.0
+    protected_attributes: set[tuple[str, str]] = field(default_factory=set)
+    protected_nodes: set[str] = field(default_factory=set)
+    protected_edges: set[tuple[str, str, str]] = field(default_factory=set)
+
+    def protect_attribute(self, node: str, attr: str) -> None:
+        self.protected_attributes.add((node, attr))
+
+    def protect_node(self, node: str) -> None:
+        self.protected_nodes.add(node)
+
+    def protect_edge(self, source: str, label: str, target: str) -> None:
+        self.protected_edges.add((source, label, target))
+
+    def cost(self, operation: RepairOperation) -> float:
+        """The price of one operation under this model."""
+        if isinstance(operation, SetAttribute):
+            if (operation.node, operation.attr) in self.protected_attributes:
+                return UNREPAIRABLE
+            return self.set_attribute
+        if isinstance(operation, RemoveAttribute):
+            if (operation.node, operation.attr) in self.protected_attributes:
+                return UNREPAIRABLE
+            return self.remove_attribute
+        if isinstance(operation, MergeNodes):
+            if operation.loser in self.protected_nodes:
+                return UNREPAIRABLE
+            return self.merge_nodes
+        if isinstance(operation, DeleteEdge):
+            edge = (operation.source, operation.label, operation.target)
+            if edge in self.protected_edges:
+                return UNREPAIRABLE
+            return self.delete_edge
+        if isinstance(operation, DeleteNode):
+            if operation.node in self.protected_nodes:
+                return UNREPAIRABLE
+            return self.delete_node
+        raise TypeError(f"unknown repair operation {operation!r}")
+
+    def plan_cost(self, operations: Iterable[RepairOperation]) -> float:
+        """Total cost of a sequence of operations."""
+        return sum(self.cost(op) for op in operations)
+
+    def affordable(self, operations: Iterable[RepairOperation]) -> bool:
+        return self.plan_cost(operations) < UNREPAIRABLE
+
+
+__all__ = ["CostModel", "UNREPAIRABLE"]

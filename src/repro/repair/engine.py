@@ -1,0 +1,182 @@
+"""The greedy repair engine.
+
+``repair(graph, sigma)`` drives detection → suggestion → application to
+a fixpoint:
+
+1. find the violations of Σ in the current graph (optionally capped);
+2. pick the violation with the cheapest affordable plan, apply it;
+3. repeat until no violations remain, no affordable plan exists, or the
+   operation budget is exhausted.
+
+Greedy minimum-cost repair is the standard heuristic (optimal repair is
+already NP-hard for relational FDs, and GED validation itself is
+coNP-complete, Theorem 6); what we guarantee is *soundness* — the
+returned graph is only reported clean when a final validation pass
+finds no violations — and **termination**, via the explicit budget plus
+a no-progress check.
+
+Forward repairs may cascade (satisfying one rule can create a new match
+of another — exactly like chase steps); that is expected and handled by
+re-validation each round.  A cycle of forward value repairs (rule A
+wants x.A = 1, rule B wants x.A = 2) cannot loop forever: each round
+applies the cheapest plan, and the engine detects graph recurrence and
+switches that violation to backward repairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.deps.ged import GED
+from repro.graph.graph import Graph
+from repro.reasoning.validation import Violation, find_violations
+from repro.repair.cost import UNREPAIRABLE, CostModel
+from repro.repair.operations import RepairOperation, apply_operations
+from repro.repair.suggest import RepairPlan, suggest_repairs
+
+
+@dataclass
+class RepairReport:
+    """Outcome of a repair run.
+
+    ``clean`` — the final graph satisfies Σ (verified, not assumed).
+    ``applied`` — the operations in application order (replayable via
+    :func:`~repro.repair.operations.apply_operations` on the original
+    graph).  ``remaining`` — violations left when not clean.
+    """
+
+    clean: bool
+    graph: Graph
+    applied: list[RepairOperation] = field(default_factory=list)
+    remaining: list[Violation] = field(default_factory=list)
+    rounds: int = 0
+    total_cost: float = 0.0
+    stopped_reason: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.clean
+
+    def summary(self) -> str:
+        state = "clean" if self.clean else f"{len(self.remaining)} violations left"
+        ops = "; ".join(str(op) for op in self.applied) or "no edits"
+        return f"{state} after {self.rounds} rounds (cost {self.total_cost:g}): {ops}"
+
+
+def repair(
+    graph: Graph,
+    sigma: Sequence[GED],
+    cost_model: CostModel | None = None,
+    max_operations: int = 1000,
+    allow_backward: bool = True,
+) -> RepairReport:
+    """Greedily repair ``graph`` until it satisfies ``sigma``.
+
+    Parameters
+    ----------
+    cost_model:
+        prices and protections; defaults to :class:`CostModel()`.
+    max_operations:
+        hard budget on applied operations (termination guarantee).
+    allow_backward:
+        permit premise-destroying repairs.  With ``False`` the engine is
+        a pure chase-like forward cleaner and may stop dirty (e.g. on
+        forbidding constraints, which have no forward repair).
+    """
+    model = cost_model or CostModel()
+    sigma = list(sigma)
+    current = graph.copy()
+    applied: list[RepairOperation] = []
+    total_cost = 0.0
+    rounds = 0
+    seen_states: set[int] = {_fingerprint(current)}
+
+    while len(applied) < max_operations:
+        rounds += 1
+        violations = find_violations(current, sigma)
+        if not violations:
+            return RepairReport(True, current, applied, [], rounds, total_cost)
+
+        plan, cost = _cheapest_plan(current, violations, model, allow_backward)
+        if plan is None:
+            return RepairReport(
+                False, current, applied, violations, rounds, total_cost,
+                stopped_reason="no affordable repair plan",
+            )
+        candidate = apply_operations(current, plan)
+        fingerprint = _fingerprint(candidate)
+        if fingerprint in seen_states:
+            # The cheapest plan oscillates (e.g. two rules fighting over
+            # one value).  Retry with forward-only plans excluded for
+            # the offending violation by falling back to the next
+            # cheapest *novel* plan; if none, stop dirty.
+            plan, cost, candidate = _cheapest_novel_plan(
+                current, violations, model, allow_backward, seen_states
+            )
+            if plan is None:
+                return RepairReport(
+                    False, current, applied, violations, rounds, total_cost,
+                    stopped_reason="repair plans oscillate",
+                )
+            fingerprint = _fingerprint(candidate)
+        seen_states.add(fingerprint)
+        current = candidate
+        applied.extend(plan)
+        total_cost += cost
+
+    violations = find_violations(current, sigma)
+    return RepairReport(
+        not violations, current, applied, violations, rounds, total_cost,
+        stopped_reason=None if not violations else "operation budget exhausted",
+    )
+
+
+def _cheapest_plan(
+    graph: Graph,
+    violations: Sequence[Violation],
+    model: CostModel,
+    allow_backward: bool,
+) -> tuple[RepairPlan | None, float]:
+    """The globally cheapest plan across all current violations."""
+    best: RepairPlan | None = None
+    best_cost = UNREPAIRABLE
+    for violation in violations:
+        for plan in suggest_repairs(graph, violation, allow_backward):
+            cost = model.plan_cost(plan)
+            if cost < best_cost:
+                best, best_cost = plan, cost
+    return best, best_cost
+
+
+def _cheapest_novel_plan(
+    graph: Graph,
+    violations: Sequence[Violation],
+    model: CostModel,
+    allow_backward: bool,
+    seen_states: set[int],
+) -> tuple[RepairPlan | None, float, Graph | None]:
+    """The cheapest plan whose result is a graph not seen before."""
+    candidates: list[tuple[float, int, RepairPlan]] = []
+    for violation in violations:
+        for plan in suggest_repairs(graph, violation, allow_backward):
+            cost = model.plan_cost(plan)
+            if cost < UNREPAIRABLE:
+                candidates.append((cost, len(candidates), plan))
+    candidates.sort(key=lambda item: (item[0], item[1]))
+    for cost, _, plan in candidates:
+        candidate = apply_operations(graph, plan)
+        if _fingerprint(candidate) not in seen_states:
+            return plan, cost, candidate
+    return None, UNREPAIRABLE, None
+
+
+def _fingerprint(graph: Graph) -> int:
+    """A structural hash for recurrence detection."""
+    nodes = tuple(
+        (node.id, node.label, tuple(sorted(node.attributes.items(), key=repr)))
+        for node in sorted(graph.nodes, key=lambda n: n.id)
+    )
+    return hash((nodes, frozenset(graph.edges)))
+
+
+__all__ = ["RepairReport", "repair"]

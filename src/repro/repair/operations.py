@@ -1,0 +1,220 @@
+"""Primitive graph repair operations.
+
+Each operation is an immutable, hashable edit on a property graph.
+Operations never mutate their input: :func:`apply_operation` returns a
+new graph, so the engine can evaluate alternatives side-effect-free and
+a :class:`~repro.repair.engine.RepairReport` can replay its trace.
+
+The vocabulary matches what GED semantics can demand:
+
+* :class:`SetAttribute` / :class:`RemoveAttribute` — repair constant and
+  variable literals (forward: enforce the value; backward: retract the
+  premise attribute);
+* :class:`MergeNodes` — repair id literals.  Merging is the data-graph
+  analogue of the chase's coercion: the surviving node takes the union
+  of attributes and all incident edges.  A merge is only well defined
+  when the two nodes' labels are compatible and shared attributes agree
+  — the same label/attribute-conflict conditions as Section 4;
+* :class:`DeleteEdge` / :class:`DeleteNode` — backward repairs that
+  destroy matches (the only way to satisfy a forbidding constraint).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import RepairError
+from repro.graph.graph import Graph, Value
+from repro.patterns.labels import compatible as labels_compatible
+from repro.patterns.labels import merged as merged_label
+
+
+class RepairOperation:
+    """Base class for graph repair operations."""
+
+    def apply(self, graph: Graph) -> Graph:
+        raise NotImplementedError
+
+    def touches(self) -> frozenset[str]:
+        """Node ids this operation reads or writes (for conflict checks)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SetAttribute(RepairOperation):
+    """Set ``node.attr = value`` (creating the attribute if absent)."""
+
+    node: str
+    attr: str
+    value: Value
+
+    def apply(self, graph: Graph) -> Graph:
+        if not graph.has_node(self.node):
+            raise RepairError(f"SetAttribute on unknown node {self.node!r}")
+        result = graph.copy()
+        result.set_attribute(self.node, self.attr, self.value)
+        return result
+
+    def touches(self) -> frozenset[str]:
+        return frozenset({self.node})
+
+    def __str__(self) -> str:
+        return f"set {self.node}.{self.attr} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class RemoveAttribute(RepairOperation):
+    """Drop attribute ``attr`` from ``node`` (a backward repair)."""
+
+    node: str
+    attr: str
+
+    def apply(self, graph: Graph) -> Graph:
+        source = graph.node(self.node)
+        if not source.has_attribute(self.attr):
+            raise RepairError(f"{self.node!r} has no attribute {self.attr!r} to remove")
+        result = Graph()
+        for node in graph.nodes:
+            attrs = {a: v for a, v in node.attributes.items() if not (node.id == self.node and a == self.attr)}
+            result.add_node(node.id, node.label, attrs)
+        for s, l, t in graph.edges:
+            result.add_edge(s, l, t)
+        return result
+
+    def touches(self) -> frozenset[str]:
+        return frozenset({self.node})
+
+    def __str__(self) -> str:
+        return f"remove {self.node}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class DeleteEdge(RepairOperation):
+    """Delete the edge ``(source, label, target)``."""
+
+    source: str
+    label: str
+    target: str
+
+    def apply(self, graph: Graph) -> Graph:
+        if not graph.has_edge(self.source, self.label, self.target):
+            raise RepairError(f"no edge ({self.source}, {self.label}, {self.target}) to delete")
+        result = Graph()
+        for node in graph.nodes:
+            result.add_node(node.id, node.label, node.attributes)
+        doomed = (self.source, self.label, self.target)
+        for edge in graph.edges:
+            if edge != doomed:
+                result.add_edge(*edge)
+        return result
+
+    def touches(self) -> frozenset[str]:
+        return frozenset({self.source, self.target})
+
+    def __str__(self) -> str:
+        return f"delete edge ({self.source})-[{self.label}]->({self.target})"
+
+
+@dataclass(frozen=True)
+class DeleteNode(RepairOperation):
+    """Delete a node and all its incident edges."""
+
+    node: str
+
+    def apply(self, graph: Graph) -> Graph:
+        if not graph.has_node(self.node):
+            raise RepairError(f"no node {self.node!r} to delete")
+        return graph.induced_subgraph(n for n in graph.node_ids if n != self.node)
+
+    def touches(self) -> frozenset[str]:
+        return frozenset({self.node})
+
+    def __str__(self) -> str:
+        return f"delete node {self.node}"
+
+
+@dataclass(frozen=True)
+class MergeNodes(RepairOperation):
+    """Merge ``loser`` into ``survivor`` (repairing an id literal).
+
+    The survivor keeps its id, takes the union of the two attribute
+    tuples, and inherits every edge of the loser (self-edges between the
+    pair become loops, as in coercion).  Label compatibility follows the
+    paper's ``≼``: a wildcard-labeled node (only possible when repairing
+    a chased pattern graph) defers to the concrete label.
+    """
+
+    survivor: str
+    loser: str
+
+    def apply(self, graph: Graph) -> Graph:
+        if self.survivor == self.loser:
+            raise RepairError("cannot merge a node with itself")
+        keep = graph.node(self.survivor)
+        gone = graph.node(self.loser)
+        if not labels_compatible(keep.label, gone.label):
+            raise RepairError(
+                f"label conflict merging {self.loser!r} ({gone.label}) into "
+                f"{self.survivor!r} ({keep.label})"
+            )
+        attrs = dict(keep.attributes)
+        for attr, value in gone.attributes.items():
+            if attr in attrs and attrs[attr] != value:
+                raise RepairError(
+                    f"attribute conflict merging {self.loser!r} into {self.survivor!r}: "
+                    f"{attr} = {attrs[attr]!r} vs {value!r}"
+                )
+            attrs[attr] = value
+        label = merged_label([keep.label, gone.label])
+
+        def redirect(node_id: str) -> str:
+            return self.survivor if node_id == self.loser else node_id
+
+        result = Graph()
+        for node in graph.nodes:
+            if node.id == self.loser:
+                continue
+            if node.id == self.survivor:
+                result.add_node(self.survivor, label, attrs)
+            else:
+                result.add_node(node.id, node.label, node.attributes)
+        for s, l, t in graph.edges:
+            result.add_edge(redirect(s), l, redirect(t))
+        return result
+
+    def touches(self) -> frozenset[str]:
+        return frozenset({self.survivor, self.loser})
+
+    def __str__(self) -> str:
+        return f"merge {self.loser} into {self.survivor}"
+
+
+def apply_operation(graph: Graph, operation: RepairOperation) -> Graph:
+    """Apply one operation, returning a new graph."""
+    return operation.apply(graph)
+
+
+def apply_operations(graph: Graph, operations: Iterable[RepairOperation]) -> Graph:
+    """Apply operations left to right.
+
+    Note that operations are positional: a merge renames its loser, so a
+    later operation referring to the loser id fails.  The engine always
+    re-derives suggestions from the current graph, so it never trips on
+    this; callers replaying a report trace are safe for the same reason.
+    """
+    for operation in operations:
+        graph = operation.apply(graph)
+    return graph
+
+
+__all__ = [
+    "DeleteEdge",
+    "DeleteNode",
+    "MergeNodes",
+    "RemoveAttribute",
+    "RepairOperation",
+    "SetAttribute",
+    "apply_operation",
+    "apply_operations",
+]

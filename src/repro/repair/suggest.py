@@ -1,0 +1,181 @@
+"""Turning violations into candidate repair plans.
+
+A :class:`~repro.reasoning.validation.Violation` records a match h of a
+dependency Q[x̄](X → Y) with h |= X but h ̸|= Y.  There are exactly two
+ways to fix it, mirroring the two sides of the implication:
+
+* **forward** — make h satisfy the failed literals of Y, i.e. do what a
+  chase step would do.  For ``x.A = c`` set the attribute; for
+  ``x.A = y.B`` copy one side's value to the other (two alternatives,
+  or materialize the attribute when only one side has it); for
+  ``x.id = y.id`` merge the two matched nodes (when their labels and
+  attributes permit).  ``false`` has no forward repair.
+* **backward** — break ``h |= X`` or the match itself.  For each
+  constant/variable literal in X, retract one of the attributes it
+  reads; independently, delete one of the graph edges the match uses.
+  Backward repairs are the only option for forbidding constraints.
+
+Each alternative is a *plan*: a tuple of operations that jointly
+eliminate this violation.  The engine prices plans with a
+:class:`~repro.repair.cost.CostModel` and picks the cheapest applicable
+one.  Plans are deduplicated and deterministically ordered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.deps.literals import (
+    FALSE,
+    ConstantLiteral,
+    IdLiteral,
+    Literal,
+    VariableLiteral,
+)
+from repro.graph.graph import Graph
+from repro.patterns.labels import compatible as labels_compatible
+from repro.reasoning.validation import Violation
+from repro.repair.operations import (
+    DeleteEdge,
+    MergeNodes,
+    RemoveAttribute,
+    RepairOperation,
+    SetAttribute,
+)
+
+RepairPlan = tuple[RepairOperation, ...]
+
+
+def suggest_repairs(
+    graph: Graph,
+    violation: Violation,
+    allow_backward: bool = True,
+) -> list[RepairPlan]:
+    """All candidate plans for one violation, deterministically ordered.
+
+    Forward plans come first (they preserve data); backward plans are
+    appended when ``allow_backward``.  Every returned plan is applicable
+    to ``graph`` as-is.
+    """
+    match = violation.assignment
+    plans: list[RepairPlan] = []
+    seen: set[RepairPlan] = set()
+
+    def emit(*operations: RepairOperation) -> None:
+        plan = tuple(operations)
+        if plan and plan not in seen:
+            seen.add(plan)
+            plans.append(plan)
+
+    for literal in violation.failed:
+        for plan in _forward_plans(graph, literal, match):
+            emit(*plan)
+
+    if allow_backward:
+        for plan in _backward_plans(graph, violation):
+            emit(*plan)
+
+    return plans
+
+
+def _forward_plans(
+    graph: Graph, literal: Literal, match: dict[str, str]
+) -> Iterator[RepairPlan]:
+    """Plans that enforce one failed literal of Y."""
+    if literal is FALSE:
+        return  # no forward repair can satisfy `false`
+    if isinstance(literal, ConstantLiteral):
+        yield (SetAttribute(match[literal.var], literal.attr, literal.const),)
+        return
+    if isinstance(literal, VariableLiteral):
+        node1, node2 = match[literal.var1], match[literal.var2]
+        n1, n2 = graph.node(node1), graph.node(node2)
+        has1, has2 = n1.has_attribute(literal.attr1), n2.has_attribute(literal.attr2)
+        if has1:
+            yield (SetAttribute(node2, literal.attr2, n1.get(literal.attr1)),)
+        if has2:
+            yield (SetAttribute(node1, literal.attr1, n2.get(literal.attr2)),)
+        # When neither side has the attribute the literal demands both
+        # exist and agree — materialize a fresh shared placeholder value,
+        # the data-graph analogue of the chase's attribute generation.
+        if not has1 and not has2:
+            placeholder = f"__generated__{literal.attr1}"
+            yield (
+                SetAttribute(node1, literal.attr1, placeholder),
+                SetAttribute(node2, literal.attr2, placeholder),
+            )
+        return
+    if isinstance(literal, IdLiteral):
+        node1, node2 = match[literal.var1], match[literal.var2]
+        if node1 == node2:
+            return
+        if _mergeable(graph, node1, node2):
+            survivor, loser = sorted((node1, node2))
+            yield (MergeNodes(survivor, loser),)
+        return
+    raise TypeError(f"unknown literal {literal!r}")
+
+
+def _mergeable(graph: Graph, node1: str, node2: str) -> bool:
+    """Whether MergeNodes(node1, node2) would succeed (Section 4's
+    label/attribute consistency, evaluated on the data graph)."""
+    n1, n2 = graph.node(node1), graph.node(node2)
+    if not labels_compatible(n1.label, n2.label):
+        return False
+    a1 = n1.attributes
+    for attr, value in n2.attributes.items():
+        if attr in a1 and a1[attr] != value:
+            return False
+    return True
+
+
+def _backward_plans(graph: Graph, violation: Violation) -> Iterator[RepairPlan]:
+    """Plans that destroy the premise h |= X or the match itself."""
+    match = violation.assignment
+    # (1) Retract an attribute some X-literal reads.
+    retractable: list[tuple[str, str]] = []
+    for literal in sorted(violation.ged.X, key=str):
+        if isinstance(literal, ConstantLiteral):
+            retractable.append((match[literal.var], literal.attr))
+        elif isinstance(literal, VariableLiteral):
+            retractable.append((match[literal.var1], literal.attr1))
+            retractable.append((match[literal.var2], literal.attr2))
+        # id literals in X cannot be retracted attribute-wise; breaking
+        # them would require splitting a node, which we do not support.
+    for node, attr in dict.fromkeys(retractable):
+        if graph.node(node).has_attribute(attr):
+            yield (RemoveAttribute(node, attr),)
+    # (2) Delete one edge the match maps a pattern edge onto.
+    for edge in sorted(_match_edges(graph, violation)):
+        yield (DeleteEdge(*edge),)
+
+
+def _match_edges(graph: Graph, violation: Violation) -> set[tuple[str, str, str]]:
+    """The data edges witnessing the pattern edges under the match.
+
+    For a wildcard-labeled pattern edge every parallel data edge between
+    the matched endpoints witnesses it, and deleting any one of them may
+    not break the match — the engine re-validates after applying, so
+    over-suggesting is harmless; under-suggesting would lose repairs.
+    """
+    from repro.patterns.labels import WILDCARD
+
+    match = violation.assignment
+    edges: set[tuple[str, str, str]] = set()
+    for source_var, label, target_var in violation.ged.pattern.edges:
+        source, target = match[source_var], match[target_var]
+        if label == WILDCARD:
+            for data_label in sorted(graph.edge_labels):
+                if graph.has_edge(source, data_label, target):
+                    edges.add((source, data_label, target))
+        elif graph.has_edge(source, label, target):
+            edges.add((source, label, target))
+    return edges
+
+
+def plan_preview(plans: Sequence[RepairPlan]) -> list[str]:
+    """Human-readable rendering of candidate plans (CLI / examples)."""
+    return [" + ".join(str(op) for op in plan) for plan in plans]
+
+
+__all__ = ["RepairPlan", "plan_preview", "suggest_repairs"]

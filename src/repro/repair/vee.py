@@ -1,0 +1,129 @@
+"""Repairing violations of disjunctive rules (GED∨s, Section 7.2).
+
+A GED∨ violation is a match satisfying X and *no* disjunct of Y.  The
+forward options are therefore per-disjunct: enforcing **any one**
+literal of Y fixes the violation, so the plan pool is the union over
+disjuncts of the GED forward plans — and the engine's cost model picks
+the cheapest disjunct to realize.  This captures, e.g., the Example 10
+domain constraint ``x.A = 0 ∨ x.A = 1``: a node with ``x.A = 7`` is
+repaired to whichever boundary value the model prefers.
+
+Backward options are the GED ones unchanged (retract an X attribute or
+break the match) — these are also the only options for the empty
+disjunction, which is the GED∨ form of a forbidding constraint.
+
+``repair_vee`` runs the same greedy verified-clean loop as
+:func:`repro.repair.engine.repair`, over GED∨ semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from repro.extensions.gedvee import GEDVee
+from repro.extensions.gedvee_reasoning import VeeViolation, vee_find_violations
+from repro.deps.ged import GED
+from repro.graph.graph import Graph
+from repro.reasoning.validation import Violation
+from repro.repair.cost import UNREPAIRABLE, CostModel
+from repro.repair.engine import RepairReport, _fingerprint
+from repro.repair.operations import RepairOperation, apply_operations
+from repro.repair.suggest import RepairPlan, _backward_plans, _forward_plans
+
+
+def suggest_vee_repairs(
+    graph: Graph,
+    violation: VeeViolation,
+    allow_backward: bool = True,
+) -> list[RepairPlan]:
+    """Candidate plans for one GED∨ violation.
+
+    One forward family per disjunct of Y (any succeeds), then the
+    backward plans.  Deterministic order: disjuncts sorted by text.
+    """
+    match = violation.assignment
+    dep = violation.dependency
+    plans: list[RepairPlan] = []
+    seen: set[RepairPlan] = set()
+
+    for literal in sorted(dep.Y, key=str):
+        for plan in _forward_plans(graph, literal, match):
+            if plan not in seen:
+                seen.add(plan)
+                plans.append(plan)
+
+    if allow_backward:
+        # Reuse the GED backward generator via a shim violation: it only
+        # reads .ged.X, .ged.pattern and .assignment.
+        shim = Violation(
+            GED(dep.pattern, dep.X, [], name=dep.name), violation.match, ()
+        )
+        for plan in _backward_plans(graph, shim):
+            if plan not in seen:
+                seen.add(plan)
+                plans.append(plan)
+    return plans
+
+
+def repair_vee(
+    graph: Graph,
+    sigma: Sequence[GEDVee],
+    cost_model: CostModel | None = None,
+    max_operations: int = 1000,
+    allow_backward: bool = True,
+) -> RepairReport:
+    """Greedy verified-clean repair under GED∨ semantics.
+
+    Mirrors :func:`repro.repair.engine.repair`; the report's
+    ``remaining`` field holds :class:`VeeViolation` witnesses when the
+    run stops dirty.
+    """
+    model = cost_model or CostModel()
+    sigma = list(sigma)
+    current = graph.copy()
+    applied: list[RepairOperation] = []
+    total_cost = 0.0
+    rounds = 0
+    seen_states: set[int] = {_fingerprint(current)}
+
+    while len(applied) < max_operations:
+        rounds += 1
+        violations = vee_find_violations(current, sigma)
+        if not violations:
+            return RepairReport(True, current, applied, [], rounds, total_cost)
+
+        best_plan: RepairPlan | None = None
+        best_cost = UNREPAIRABLE
+        best_graph: Graph | None = None
+        candidates: list[tuple[float, int, RepairPlan]] = []
+        for violation in violations:
+            for plan in suggest_vee_repairs(current, violation, allow_backward):
+                cost = model.plan_cost(plan)
+                if cost < UNREPAIRABLE:
+                    candidates.append((cost, len(candidates), plan))
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        for cost, _, plan in candidates:
+            candidate = apply_operations(current, plan)
+            if _fingerprint(candidate) not in seen_states:
+                best_plan, best_cost, best_graph = plan, cost, candidate
+                break
+        if best_plan is None or best_graph is None:
+            reason = (
+                "no affordable repair plan" if not candidates else "repair plans oscillate"
+            )
+            return RepairReport(
+                False, current, applied, violations, rounds, total_cost,
+                stopped_reason=reason,
+            )
+        seen_states.add(_fingerprint(best_graph))
+        current = best_graph
+        applied.extend(best_plan)
+        total_cost += best_cost
+
+    violations = vee_find_violations(current, sigma)
+    return RepairReport(
+        not violations, current, applied, violations, rounds, total_cost,
+        stopped_reason=None if not violations else "operation budget exhausted",
+    )
+
+
+__all__ = ["repair_vee", "suggest_vee_repairs"]

@@ -1,0 +1,5 @@
+"""Small shared utilities: fresh-name generation and deterministic orders."""
+
+from repro.utils.naming import NameSupply, fresh_label, fresh_value
+
+__all__ = ["NameSupply", "fresh_label", "fresh_value"]

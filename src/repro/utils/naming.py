@@ -1,0 +1,71 @@
+"""Fresh-name supplies.
+
+Several constructions in the paper require names that are guaranteed not
+to collide with anything already present:
+
+* model construction (Theorem 2) replaces the wildcard label ``_`` with a
+  label *not occurring in Σ*, and fills attribute classes that carry no
+  constant with pairwise-distinct fresh constants;
+* pattern copies (for GKeys) rename variables via a bijection into a
+  disjoint variable set.
+
+:class:`NameSupply` provides deterministic, collision-free names: it is
+seeded with the set of names to avoid and hands out ``prefix0``,
+``prefix1``, ... skipping anything reserved.  Determinism matters for the
+Church-Rosser tests (the same inputs must yield the same model).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class NameSupply:
+    """Deterministic supply of fresh names avoiding a reserved set."""
+
+    def __init__(self, reserved: Iterable[str] = (), prefix: str = "fresh_"):
+        self._reserved = set(reserved)
+        self._prefix = prefix
+        self._counter = 0
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken so it will never be handed out."""
+        self._reserved.add(name)
+
+    def fresh(self, hint: str | None = None) -> str:
+        """Return a new name, optionally based on ``hint``.
+
+        The returned name is recorded as reserved, so repeated calls
+        never collide with each other or with the initial reserved set.
+        """
+        base = hint if hint is not None else self._prefix
+        candidate = base
+        if candidate in self._reserved or hint is None:
+            while True:
+                candidate = f"{base}{self._counter}"
+                self._counter += 1
+                if candidate not in self._reserved:
+                    break
+        self._reserved.add(candidate)
+        return candidate
+
+
+def fresh_label(avoid: Iterable[str]) -> str:
+    """A label guaranteed to differ from every label in ``avoid``."""
+    return NameSupply(avoid, prefix="label_").fresh()
+
+
+def fresh_value(avoid: Iterable[object], index: int) -> str:
+    """A constant guaranteed to differ from every constant in ``avoid``.
+
+    ``index`` keeps distinct calls distinct: model construction assigns
+    ``fresh_value(consts, i)`` to the i-th attribute class without a
+    constant, and distinct classes must receive distinct values.
+    """
+    taken = {str(v) for v in avoid}
+    candidate = f"@v{index}"
+    bump = 0
+    while candidate in taken:
+        bump += 1
+        candidate = f"@v{index}_{bump}"
+    return candidate

@@ -1,0 +1,14 @@
+"""Synthetic workload generators (stand-ins for Yago3/DBPedia/social data)."""
+
+from repro.workloads.kb import PlantedErrors, synthetic_knowledge_base
+from repro.workloads.random_graphs import bounded_rule_set, validation_workload
+from repro.workloads.social import SpamGroundTruth, synthetic_social_network
+
+__all__ = [
+    "PlantedErrors",
+    "SpamGroundTruth",
+    "bounded_rule_set",
+    "synthetic_knowledge_base",
+    "synthetic_social_network",
+    "validation_workload",
+]

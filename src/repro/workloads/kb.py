@@ -1,0 +1,120 @@
+"""Synthetic knowledge base with planted Example 1 inconsistencies.
+
+Real knowledge bases (Yago3, DBPedia) cannot ship with the repository,
+so this generator produces property graphs with the same entity types
+and relationship shapes the paper's Example 1 draws on — products and
+their creators, countries and capitals, taxonomies with inherited
+attributes, family relations, and the album/artist world of the key
+examples — and plants each inconsistency class at a controlled rate.
+Every planting is recorded so detection quality can be scored exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class PlantedErrors:
+    """Ground truth: ids of the nodes involved in each planted error."""
+
+    wrong_creator: list[str] = field(default_factory=list)
+    double_capital: list[str] = field(default_factory=list)
+    broken_inheritance: list[str] = field(default_factory=list)
+    child_and_parent: list[str] = field(default_factory=list)
+    duplicate_albums: list[tuple[str, str]] = field(default_factory=list)
+
+    def total(self) -> int:
+        return (
+            len(self.wrong_creator)
+            + len(self.double_capital)
+            + len(self.broken_inheritance)
+            + len(self.child_and_parent)
+            + len(self.duplicate_albums)
+        )
+
+
+def synthetic_knowledge_base(
+    n_products: int = 20,
+    n_countries: int = 10,
+    n_species: int = 10,
+    n_families: int = 10,
+    n_albums: int = 10,
+    error_rate: float = 0.2,
+    rng: random.Random | int | None = None,
+) -> tuple[Graph, PlantedErrors]:
+    """Generate a KB graph and the ground-truth planted errors.
+
+    ``error_rate`` is the per-entity probability of planting the
+    corresponding inconsistency.
+    """
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng or 0)
+    g = Graph()
+    errors = PlantedErrors()
+
+    # -- products and creators (ϕ1 territory) --------------------------
+    for i in range(n_products):
+        product = f"prod{i}"
+        creator = f"maker{i}"
+        g.add_node(product, "product", type="video game", title=f"Game {i}")
+        if rng.random() < error_rate:
+            g.add_node(creator, "person", type="psychologist", name=f"Maker {i}")
+            errors.wrong_creator.append(product)
+        else:
+            g.add_node(creator, "person", type="programmer", name=f"Maker {i}")
+        g.add_edge(creator, "create", product)
+
+    # -- countries and capitals (ϕ2) ------------------------------------
+    for i in range(n_countries):
+        country = f"country{i}"
+        g.add_node(country, "country", name=f"Country {i}")
+        capital = f"cap{i}"
+        g.add_node(capital, "city", name=f"Capital {i}")
+        g.add_edge(country, "capital", capital)
+        if rng.random() < error_rate:
+            extra = f"cap{i}x"
+            g.add_node(extra, "city", name=f"Other Capital {i}")
+            g.add_edge(country, "capital", extra)
+            errors.double_capital.append(country)
+
+    # -- taxonomy with attribute inheritance (ϕ3) -----------------------
+    for i in range(n_species):
+        parent = f"class{i}"
+        child = f"species{i}"
+        g.add_node(parent, "class", can_fly="yes")
+        if rng.random() < error_rate:
+            g.add_node(child, "species", can_fly="no")
+            errors.broken_inheritance.append(child)
+        else:
+            g.add_node(child, "species", can_fly="yes")
+        g.add_edge(child, "is_a", parent)
+
+    # -- family relations (ϕ4) ------------------------------------------
+    for i in range(n_families):
+        junior = f"junior{i}"
+        senior = f"senior{i}"
+        g.add_node(junior, "person", name=f"Junior {i}")
+        g.add_node(senior, "person", name=f"Senior {i}")
+        g.add_edge(junior, "child", senior)
+        if rng.random() < error_rate:
+            g.add_edge(junior, "parent", senior)
+            errors.child_and_parent.append(junior)
+
+    # -- albums and artists (ψ1/ψ2 entity resolution) --------------------
+    for i in range(n_albums):
+        album = f"album{i}"
+        artist = f"artist{i}"
+        g.add_node(album, "album", title=f"Album {i}", release=1980 + i)
+        g.add_node(artist, "artist", name=f"Artist {i}")
+        g.add_edge(album, "primary_artist", artist)
+        if rng.random() < error_rate:
+            # A duplicate entity: same title/release, same artist node.
+            duplicate = f"album{i}dup"
+            g.add_node(duplicate, "album", title=f"Album {i}", release=1980 + i)
+            g.add_edge(duplicate, "primary_artist", artist)
+            errors.duplicate_albums.append((album, duplicate))
+
+    return g, errors

@@ -1,0 +1,70 @@
+"""Random graph workloads for the validation benchmarks.
+
+The bounded-pattern-size validation benchmark (Section 5.3) needs data
+graphs of growing size whose pattern-match counts stay controlled;
+this module wraps the generators of :mod:`repro.graph.generators` with
+workload-level parameters (size sweeps, fixed label vocabularies) and
+provides a small GED rule set whose patterns all have size ≤ 4.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.graph.generators import random_labeled_graph
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+
+def validation_workload(
+    n_nodes: int,
+    rng: random.Random | int | None = None,
+    edge_probability: float | None = None,
+) -> Graph:
+    """A labeled data graph for validation sweeps.
+
+    Edge probability defaults to 4/n so the expected degree stays
+    constant as n grows — validation cost then scales with the number
+    of pattern matches, not the raw edge count.
+    """
+    if edge_probability is None:
+        edge_probability = min(0.5, 4.0 / max(1, n_nodes))
+    return random_labeled_graph(
+        n_nodes,
+        edge_probability,
+        node_labels=["user", "item", "shop"],
+        edge_labels=["buys", "sells", "rates"],
+        rng=rng,
+        attribute_names=["score", "region"],
+        attribute_values=[1, 2, 3],
+        attribute_probability=0.8,
+    )
+
+
+def bounded_rule_set() -> list[GED]:
+    """GEDs whose patterns have size ≤ 4 (the Section 5.3 regime)."""
+    buys = Pattern({"u": "user", "i": "item"}, [("u", "buys", "i")])
+    sells = Pattern({"s": "shop", "i": "item"}, [("s", "sells", "i")])
+    item = Pattern({"i": "item"})
+    return [
+        GED(
+            buys,
+            [ConstantLiteral("i", "score", 3)],
+            [VariableLiteral("u", "region", "i", "region")],
+            name="same-region-for-top-items",
+        ),
+        GED(
+            sells,
+            [ConstantLiteral("s", "region", 1)],
+            [ConstantLiteral("i", "region", 1)],
+            name="region-1-shops-sell-region-1-items",
+        ),
+        GED(
+            item,
+            [ConstantLiteral("i", "score", 1)],
+            [VariableLiteral("i", "region", "i", "region")],
+            name="low-score-items-have-region",
+        ),
+    ]

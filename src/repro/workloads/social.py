@@ -1,0 +1,98 @@
+"""Synthetic social network with planted spam rings (Example 1 (2)).
+
+Accounts post and like blogs; a configurable number of *spam rings*
+replicate the paper's Q5 structure: a confirmed-fake seed account x′
+and an undetected partner x that like the same k blogs and post blogs
+sharing a peculiar keyword.  The generator also produces benign
+look-alikes (shared likes but no keyword overlap, or keyword overlap
+without enough shared likes) so detection precision is measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class SpamGroundTruth:
+    """Accounts the detector should flag (and those it should not)."""
+
+    seeds: list[str] = field(default_factory=list)
+    undetected_fakes: list[str] = field(default_factory=list)
+    benign_lookalikes: list[str] = field(default_factory=list)
+
+
+def synthetic_social_network(
+    n_rings: int = 5,
+    n_benign_pairs: int = 10,
+    n_background_accounts: int = 30,
+    k: int = 2,
+    keyword: str = "peculiar",
+    rng: random.Random | int | None = None,
+) -> tuple[Graph, SpamGroundTruth]:
+    """Generate a social graph and spam ground truth.
+
+    The Q5 pattern needs: accounts x, x′; blogs z1 (posted by x),
+    z2 (posted by x′), and y1..yk liked by both.
+    """
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng or 0)
+    g = Graph()
+    truth = SpamGroundTruth()
+
+    def add_account(node_id: str, is_fake: int | None) -> None:
+        attrs = {} if is_fake is None else {"is_fake": is_fake}
+        g.add_node(node_id, "account", attrs)
+
+    def add_blog(node_id: str, kw: str | None) -> None:
+        attrs = {} if kw is None else {"keyword": kw}
+        g.add_node(node_id, "blog", attrs)
+
+    # -- spam rings: the full Q5 structure ------------------------------
+    for r in range(n_rings):
+        seed, partner = f"fake{r}", f"mule{r}"
+        add_account(seed, is_fake=1)
+        add_account(partner, is_fake=0)  # mislabeled; ϕ5 should flag it
+        truth.seeds.append(seed)
+        truth.undetected_fakes.append(partner)
+        z1, z2 = f"post_m{r}", f"post_f{r}"
+        add_blog(z1, keyword)
+        add_blog(z2, keyword)
+        g.add_edge(partner, "post", z1)
+        g.add_edge(seed, "post", z2)
+        for i in range(k):
+            shared = f"shared{r}_{i}"
+            add_blog(shared, None)
+            g.add_edge(partner, "like", shared)
+            g.add_edge(seed, "like", shared)
+
+    # -- benign look-alikes: shared likes, innocent keywords -------------
+    for b in range(n_benign_pairs):
+        a1, a2 = f"pal{b}a", f"pal{b}b"
+        add_account(a1, is_fake=0)
+        add_account(a2, is_fake=0)
+        truth.benign_lookalikes.append(a1)
+        z1, z2 = f"palpost{b}a", f"palpost{b}b"
+        add_blog(z1, f"topic{b}")
+        add_blog(z2, f"topic{b}")
+        g.add_edge(a1, "post", z1)
+        g.add_edge(a2, "post", z2)
+        for i in range(k):
+            shared = f"palshared{b}_{i}"
+            add_blog(shared, None)
+            g.add_edge(a1, "like", shared)
+            g.add_edge(a2, "like", shared)
+
+    # -- background noise -------------------------------------------------
+    blogs = [f"noise_blog{i}" for i in range(n_background_accounts)]
+    for blog in blogs:
+        add_blog(blog, None)
+    for i in range(n_background_accounts):
+        account = f"user{i}"
+        add_account(account, is_fake=0)
+        for blog in rng.sample(blogs, k=min(3, len(blogs))):
+            g.add_edge(account, rng.choice(["like", "post"]), blog)
+
+    return g, truth

@@ -1,0 +1,241 @@
+"""Derived rules (Example 8), proof synthesis (Theorem 7), independence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.axioms import (
+    Proof,
+    ProofChecker,
+    augmentation,
+    ged1,
+    premise,
+    prove,
+    subset,
+    transitivity,
+    witnesses,
+)
+from repro.deps import ConstantLiteral, GED, IdLiteral, VariableLiteral
+from repro.errors import ProofError
+from repro.patterns import WILDCARD, Pattern
+from repro.reasoning import implies
+
+
+class TestDerivedRules:
+    def test_subset_extraction(self):
+        """Example 8(a): Q(X → Y), Y1 ⊆ Y ⊢ Q(X → Y1)."""
+        q = Pattern({"x": "a", "y": "a"})
+        phi = GED(
+            q,
+            [ConstantLiteral("x", "C", 0)],
+            [VariableLiteral("x", "A", "y", "A"), IdLiteral("x", "y")],
+        )
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = subset(proof, src, [IdLiteral("x", "y")])
+        assert proof.lines[line].ged == GED(q, phi.X, [IdLiteral("x", "y")])
+        ProofChecker([phi]).check(proof)
+
+    def test_subset_requires_containment(self):
+        q = Pattern({"x": "a"})
+        phi = GED(q, [], [ConstantLiteral("x", "A", 1)])
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        with pytest.raises(ProofError):
+            subset(proof, src, [ConstantLiteral("x", "A", 2)])
+        with pytest.raises(ProofError):
+            subset(proof, src, [])
+
+    def test_augmentation(self):
+        """Example 8(b): Q(X → Y) ⊢ Q(XZ → YZ)."""
+        q = Pattern({"x": "a", "y": "a"})
+        phi = GED(q, [ConstantLiteral("x", "A", 1)], [VariableLiteral("x", "B", "y", "B")])
+        Z = [ConstantLiteral("y", "C", 2)]
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = augmentation(proof, src, Z)
+        expected = GED(q, set(phi.X) | set(Z), set(phi.Y) | set(Z))
+        assert proof.lines[line].ged == expected
+        ProofChecker([phi]).check(proof)
+
+    def test_augmentation_inconsistent_case(self):
+        """Example 8(b)'s second case: Eq_X ∪ Eq_Z inconsistent → GED5."""
+        q = Pattern({"x": "a"})
+        phi = GED(q, [ConstantLiteral("x", "A", 1)], [ConstantLiteral("x", "B", 5)])
+        Z = [ConstantLiteral("x", "A", 2)]  # conflicts with X
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = augmentation(proof, src, Z)
+        assert proof.lines[line].ged.Y == frozenset(set(phi.Y) | set(Z))
+        assert "GED5" in proof.rules_used()
+        ProofChecker([phi]).check(proof)
+
+    def test_transitivity(self):
+        """Example 8(c): Q(X → Y), Q(Y → Z) ⊢ Q(X → Z)."""
+        q = Pattern({"x": "a"})
+        xy = GED(q, [ConstantLiteral("x", "A", 1)], [ConstantLiteral("x", "B", 2)])
+        yz = GED(q, [ConstantLiteral("x", "B", 2)], [ConstantLiteral("x", "C", 3)])
+        proof = Proof(premises=[xy, yz])
+        l1 = premise(proof, xy)
+        l2 = premise(proof, yz)
+        line = transitivity(proof, l1, l2)
+        assert proof.lines[line].ged == GED(q, xy.X, yz.Y)
+        ProofChecker([xy, yz]).check(proof)
+
+    def test_transitivity_validates_shapes(self):
+        q = Pattern({"x": "a"})
+        xy = GED(q, [], [ConstantLiteral("x", "B", 2)])
+        zz = GED(q, [ConstantLiteral("x", "OTHER", 9)], [ConstantLiteral("x", "C", 3)])
+        proof = Proof(premises=[xy, zz])
+        l1 = premise(proof, xy)
+        l2 = premise(proof, zz)
+        with pytest.raises(ProofError):
+            transitivity(proof, l1, l2)
+
+
+class TestSynthesis:
+    def check_round_trip(self, sigma, phi):
+        """Σ |= φ ⟹ prove() returns a checkable proof of exactly φ."""
+        proof = prove(sigma, phi)
+        assert ProofChecker(sigma).check_concludes(proof, phi)
+        return proof
+
+    def test_example7_proof(self):
+        proof = self.check_round_trip(paper.example7_sigma(), paper.example7_phi())
+        assert "GED6" in proof.rules_used()
+
+    def test_constant_chain(self):
+        q = Pattern({"x": "a"})
+        sigma = [
+            GED(q, [ConstantLiteral("x", "A", 1)], [ConstantLiteral("x", "B", 2)]),
+            GED(q, [ConstantLiteral("x", "B", 2)], [ConstantLiteral("x", "C", 3)]),
+        ]
+        phi = GED(q, [ConstantLiteral("x", "A", 1)], [ConstantLiteral("x", "C", 3)])
+        self.check_round_trip(sigma, phi)
+
+    def test_inconsistent_x_path(self):
+        q = Pattern({"x": "a"})
+        phi = GED(
+            q,
+            [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "A", 2)],
+            [ConstantLiteral("x", "A", 3)],
+        )
+        proof = self.check_round_trip([], phi)
+        assert "GED5" in proof.rules_used()
+
+    def test_chase_conflict_path(self):
+        """Σ drives the chase into a label conflict under X."""
+        q = Pattern({"x": "a", "y": "b"})
+        sigma = [
+            GED(q, [VariableLiteral("x", "K", "y", "K")], [IdLiteral("x", "y")]),
+        ]
+        phi = GED(q, [VariableLiteral("x", "K", "y", "K")], [ConstantLiteral("x", "Z", 0)])
+        assert implies(sigma, phi)
+        proof = self.check_round_trip(sigma, phi)
+        assert "GED5" in proof.rules_used()
+
+    def test_forbidding_constraint_path(self):
+        q = Pattern({"x": "a"})
+        sigma = [GED(q, [ConstantLiteral("x", "bad", 1)], [paper.FALSE])]
+        phi = GED(q, [ConstantLiteral("x", "bad", 1)], [ConstantLiteral("x", "fine", 0)])
+        assert implies(sigma, phi)
+        proof = self.check_round_trip(sigma, phi)
+        assert "GED5" in proof.rules_used()
+
+    def test_id_semantics_proof_uses_ged2(self):
+        q = Pattern({"x": "a", "y": "a"})
+        sigma = [GED(q, [VariableLiteral("x", "K", "y", "K")], [IdLiteral("x", "y")])]
+        phi = GED(
+            q,
+            [VariableLiteral("x", "K", "y", "K"), VariableLiteral("x", "V", "x", "V")],
+            [VariableLiteral("x", "V", "y", "V")],
+        )
+        proof = self.check_round_trip(sigma, phi)
+        assert "GED2" in proof.rules_used()
+
+    def test_not_implied_raises(self):
+        q = Pattern({"x": "a"})
+        phi = GED(q, [], [ConstantLiteral("x", "A", 1)])
+        with pytest.raises(ProofError):
+            prove([], phi)
+
+    def test_empty_y_raises(self):
+        q = Pattern({"x": "a"})
+        with pytest.raises(ProofError):
+            prove([], GED(q, [], []))
+
+    def test_gkey_implication_proof(self):
+        """A GKey plus value equalities proves an id identification."""
+        sigma = [paper.psi2()]
+        q = paper.psi2().pattern
+        phi = GED(
+            q,
+            set(paper.psi2().X),
+            [IdLiteral("x'", "x")],  # flipped orientation of ψ2's Y
+        )
+        assert implies(sigma, phi)
+        proof = self.check_round_trip(sigma, phi)
+        assert "GED3" in proof.rules_used()
+
+
+def _random_implication_instance(seed: int):
+    rng = random.Random(seed)
+    labels = ["a", "b", WILDCARD]
+    q = Pattern({f"x{i}": rng.choice(labels) for i in range(rng.randint(1, 3))})
+    variables = list(q.variables)
+    def random_literal():
+        roll = rng.random()
+        v1, v2 = rng.choice(variables), rng.choice(variables)
+        if roll < 0.4:
+            return ConstantLiteral(v1, rng.choice(["A", "B"]), rng.choice([1, 2]))
+        if roll < 0.75:
+            return VariableLiteral(v1, rng.choice(["A", "B"]), v2, rng.choice(["A", "B"]))
+        return IdLiteral(v1, v2)
+
+    sigma = []
+    for _ in range(rng.randint(1, 2)):
+        lits = [random_literal() for _ in range(rng.randint(1, 2))]
+        split = rng.randint(0, len(lits) - 1)
+        sigma.append(GED(q, lits[:split], lits[split:]))
+    lits = [random_literal() for _ in range(rng.randint(1, 2))]
+    phi = GED(q, lits[:1], lits[1:] or [random_literal()])
+    return sigma, phi
+
+
+class TestSynthesisProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_prove_iff_implies(self, seed):
+        """Soundness + completeness, empirically: prove() succeeds and
+        checks exactly when the Theorem 4 procedure says Σ |= φ."""
+        sigma, phi = _random_implication_instance(seed)
+        if not phi.Y:
+            return
+        implied = implies(sigma, phi)
+        if implied:
+            proof = prove(sigma, phi)
+            assert ProofChecker(sigma).check_concludes(proof, phi)
+        else:
+            with pytest.raises(ProofError):
+                prove(sigma, phi)
+
+
+class TestIndependence:
+    def test_six_witnesses(self):
+        ws = witnesses()
+        assert [w.rule for w in ws] == ["GED1", "GED2", "GED3", "GED4", "GED5", "GED6"]
+
+    def test_each_witness_is_a_real_implication(self):
+        for w in witnesses():
+            assert implies(list(w.sigma), w.phi), w.rule
+
+    def test_each_witness_proof_uses_its_rule(self):
+        for w in witnesses():
+            proof = prove(list(w.sigma), w.phi)
+            ProofChecker(list(w.sigma)).check_concludes(proof, w.phi)
+            assert w.rule in proof.rules_used(), (
+                f"synthesized proof for the {w.rule} witness avoided {w.rule}"
+            )

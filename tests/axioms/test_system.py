@@ -1,0 +1,241 @@
+"""Unit tests for the A_GED rules and the proof checker."""
+
+import pytest
+
+from repro.axioms import (
+    Proof,
+    ProofChecker,
+    ged1,
+    ged2,
+    ged3,
+    ged4,
+    ged5,
+    ged6,
+    premise,
+    xid_literals,
+)
+from repro.deps import ConstantLiteral, GED, IdLiteral, VariableLiteral
+from repro.errors import ProofError
+from repro.patterns import Pattern
+
+
+def two_node_pattern() -> Pattern:
+    return Pattern({"x": "a", "y": "a"})
+
+
+class TestGED1:
+    def test_concludes_x_and_xid(self):
+        proof = Proof(premises=[])
+        q = two_node_pattern()
+        X = [ConstantLiteral("x", "A", 1)]
+        line = ged1(proof, q, X)
+        conclusion = proof.lines[line].ged
+        assert conclusion.X == frozenset(X)
+        assert conclusion.Y == frozenset(X) | xid_literals(["x", "y"])
+        ProofChecker([]).check(proof)
+
+    def test_checker_rejects_wrong_ged1(self):
+        proof = Proof(premises=[])
+        q = two_node_pattern()
+        from repro.axioms import Justification
+
+        proof.add(GED(q, [], [ConstantLiteral("x", "A", 1)]), Justification("GED1"))
+        with pytest.raises(ProofError):
+            ProofChecker([]).check(proof)
+
+
+class TestPremise:
+    def test_premise_must_be_in_sigma(self):
+        q = two_node_pattern()
+        phi = GED(q, [], [ConstantLiteral("x", "A", 1)])
+        proof = Proof(premises=[phi])
+        premise(proof, phi)
+        ProofChecker([phi]).check(proof)
+        with pytest.raises(ProofError):
+            premise(proof, GED(q, [], [ConstantLiteral("x", "A", 2)]))
+
+    def test_checker_rejects_foreign_premise(self):
+        q = two_node_pattern()
+        phi = GED(q, [], [ConstantLiteral("x", "A", 1)])
+        proof = Proof(premises=[phi])
+        premise(proof, phi)
+        with pytest.raises(ProofError):
+            ProofChecker([]).check(proof)  # different Σ
+
+
+class TestGED2:
+    def test_id_literal_induces_attribute_equality(self):
+        q = two_node_pattern()
+        phi = GED(q, [], [IdLiteral("x", "y"), VariableLiteral("x", "A", "x", "A")])
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = ged2(proof, src, IdLiteral("x", "y"), "A")
+        assert proof.lines[line].ged.Y == frozenset({VariableLiteral("x", "A", "y", "A")})
+        ProofChecker([phi]).check(proof)
+
+    def test_attribute_must_appear_in_y(self):
+        q = two_node_pattern()
+        phi = GED(q, [], [IdLiteral("x", "y")])
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = ged2(proof, src, IdLiteral("x", "y"), "ghost")
+        with pytest.raises(ProofError):
+            ProofChecker([phi]).check(proof)
+
+    def test_id_literal_must_be_in_y(self):
+        q = two_node_pattern()
+        phi = GED(q, [], [VariableLiteral("x", "A", "y", "A")])
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        with pytest.raises(ProofError):
+            ged2(proof, src, IdLiteral("x", "y"), "A")
+
+
+class TestGED3:
+    def test_flips_variable_literal(self):
+        q = two_node_pattern()
+        phi = GED(q, [], [VariableLiteral("x", "A", "y", "B")])
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = ged3(proof, src, VariableLiteral("x", "A", "y", "B"))
+        assert proof.lines[line].ged.Y == frozenset({VariableLiteral("y", "B", "x", "A")})
+        ProofChecker([phi]).check(proof)
+
+    def test_constant_literal_flip_is_identity(self):
+        q = two_node_pattern()
+        phi = GED(q, [], [ConstantLiteral("x", "A", 1)])
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = ged3(proof, src, ConstantLiteral("x", "A", 1))
+        assert proof.lines[line].ged.Y == frozenset({ConstantLiteral("x", "A", 1)})
+        ProofChecker([phi]).check(proof)
+
+
+class TestGED4:
+    def test_transitivity_through_attribute(self):
+        q = Pattern({"x": "a", "y": "a", "z": "a"})
+        phi = GED(
+            q,
+            [],
+            [VariableLiteral("x", "A", "y", "B"), VariableLiteral("y", "B", "z", "C")],
+        )
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = ged4(
+            proof, src,
+            VariableLiteral("x", "A", "y", "B"),
+            VariableLiteral("y", "B", "z", "C"),
+        )
+        assert proof.lines[line].ged.Y == frozenset({VariableLiteral("x", "A", "z", "C")})
+        ProofChecker([phi]).check(proof)
+
+    def test_transitivity_through_constant(self):
+        """Rule (b): x.A = c and z.C = c give x.A = z.C."""
+        q = two_node_pattern()
+        phi = GED(q, [], [ConstantLiteral("x", "A", 7), ConstantLiteral("y", "B", 7)])
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = ged4(proof, src, ConstantLiteral("x", "A", 7), ConstantLiteral("y", "B", 7))
+        assert proof.lines[line].ged.Y == frozenset({VariableLiteral("x", "A", "y", "B")})
+        ProofChecker([phi]).check(proof)
+
+    def test_id_literal_transitivity(self):
+        q = Pattern({"x": "a", "y": "a", "z": "a"})
+        phi = GED(q, [], [IdLiteral("x", "y"), IdLiteral("y", "z")])
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        line = ged4(proof, src, IdLiteral("x", "y"), IdLiteral("y", "z"))
+        assert proof.lines[line].ged.Y == frozenset({IdLiteral("x", "z")})
+
+    def test_rejects_disjoint_literals(self):
+        q = Pattern({"x": "a", "y": "a", "z": "a"})
+        phi = GED(
+            q, [], [VariableLiteral("x", "A", "x", "A"), VariableLiteral("y", "B", "y", "B")]
+        )
+        proof = Proof(premises=[phi])
+        src = premise(proof, phi)
+        with pytest.raises(ProofError):
+            ged4(proof, src, *sorted(phi.Y, key=str))
+
+
+class TestGED5:
+    def test_inconsistent_xy_concludes_anything(self):
+        q = Pattern({"x": "a"})
+        proof = Proof(premises=[])
+        start = ged1(
+            proof, q, [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "A", 2)]
+        )
+        line = ged5(proof, start, [ConstantLiteral("x", "A", 3)])
+        assert proof.lines[line].ged.Y == frozenset({ConstantLiteral("x", "A", 3)})
+        ProofChecker([]).check(proof)
+
+    def test_rejects_consistent_source(self):
+        q = Pattern({"x": "a"})
+        proof = Proof(premises=[])
+        start = ged1(proof, q, [ConstantLiteral("x", "A", 1)])
+        with pytest.raises(ProofError):
+            ged5(proof, start, [ConstantLiteral("x", "A", 3)])
+
+    def test_label_conflict_counts_as_inconsistent(self):
+        q = Pattern({"x": "a", "y": "b"})
+        proof = Proof(premises=[])
+        start = ged1(proof, q, [IdLiteral("x", "y")])
+        line = ged5(proof, start, [ConstantLiteral("x", "Z", 0)])
+        ProofChecker([]).check(proof)
+        assert proof.lines[line].ged.Y == frozenset({ConstantLiteral("x", "Z", 0)})
+
+
+class TestGED6:
+    def test_imports_premise_through_embedding(self):
+        small = Pattern({"u": "a"})
+        big = two_node_pattern()
+        rule = GED(small, [], [ConstantLiteral("u", "A", 1)])
+        proof = Proof(premises=[rule])
+        start = ged1(proof, big, [])
+        src = premise(proof, rule)
+        line = ged6(proof, start, src, {"u": "x"})
+        assert ConstantLiteral("x", "A", 1) in proof.lines[line].ged.Y
+        ProofChecker([rule]).check(proof)
+
+    def test_premise_x_must_be_deducible(self):
+        small = Pattern({"u": "a"})
+        big = two_node_pattern()
+        rule = GED(small, [ConstantLiteral("u", "B", 9)], [ConstantLiteral("u", "A", 1)])
+        proof = Proof(premises=[rule])
+        start = ged1(proof, big, [])
+        src = premise(proof, rule)
+        with pytest.raises(ProofError):
+            ged6(proof, start, src, {"u": "x"})
+
+    def test_match_must_respect_labels(self):
+        small = Pattern({"u": "b"})
+        big = two_node_pattern()  # all labels a
+        rule = GED(small, [], [ConstantLiteral("u", "A", 1)])
+        proof = Proof(premises=[rule])
+        start = ged1(proof, big, [])
+        src = premise(proof, rule)
+        with pytest.raises(ProofError):
+            ged6(proof, start, src, {"u": "x"})
+
+    def test_match_must_respect_edges(self):
+        small = Pattern({"u": "a", "v": "a"}, [("u", "r", "v")])
+        big = two_node_pattern()  # no edges
+        rule = GED(small, [], [ConstantLiteral("u", "A", 1)])
+        proof = Proof(premises=[rule])
+        start = ged1(proof, big, [])
+        src = premise(proof, rule)
+        with pytest.raises(ProofError):
+            ged6(proof, start, src, {"u": "x", "v": "y"})
+
+    def test_match_into_coerced_graph_after_id_merge(self):
+        """X's id literal merges x and y; the edge pattern then matches
+        the coercion's self-loop."""
+        big = Pattern({"x": "a", "y": "a"}, [("x", "r", "y")])
+        looped = Pattern({"u": "a"}, [("u", "r", "u")])
+        rule = GED(looped, [], [ConstantLiteral("u", "A", 1)])
+        proof = Proof(premises=[rule])
+        start = ged1(proof, big, [IdLiteral("x", "y")])
+        src = premise(proof, rule)
+        line = ged6(proof, start, src, {"u": "x"})
+        assert ConstantLiteral("x", "A", 1) in proof.lines[line].ged.Y
+        ProofChecker([rule]).check(proof)

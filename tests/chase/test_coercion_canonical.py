@@ -1,0 +1,146 @@
+"""Tests for coercion graphs and canonical graphs."""
+
+import pytest
+
+from repro.chase import (
+    EquivalenceRelation,
+    canonical_graph,
+    canonical_graph_of_sigma,
+    coerce,
+    eq_from_literals,
+    representative_map,
+)
+from repro.deps import FALSE, ConstantLiteral, GED, IdLiteral, VariableLiteral
+from repro.errors import ChaseError
+from repro.graph import GraphBuilder
+from repro.patterns import WILDCARD, Pattern
+from repro.paper import example4_graph
+
+
+class TestCoercion:
+    def test_identity_coercion(self):
+        g = example4_graph()
+        eq = EquivalenceRelation(g)
+        coerced = coerce(eq)
+        assert coerced.num_nodes == g.num_nodes
+        assert coerced.edges == g.edges
+
+    def test_merging_nodes_merges_edges(self):
+        g = example4_graph()
+        eq = EquivalenceRelation(g)
+        eq.merge_nodes("v1", "v2")
+        coerced = coerce(eq)
+        assert coerced.num_nodes == 3
+        # The merged node v1 keeps both outgoing edges.
+        assert coerced.has_edge("v1", "r", "w1")
+        assert coerced.has_edge("v1", "r", "w2")
+
+    def test_merged_attributes_and_label(self):
+        g = (
+            GraphBuilder()
+            .node("a", WILDCARD, p=1)
+            .node("b", "thing", q=2)
+            .build()
+        )
+        eq = EquivalenceRelation(g)
+        eq.merge_nodes("a", "b")
+        coerced = coerce(eq)
+        node = coerced.node("a")
+        assert node.label == "thing"  # non-wildcard label wins (rule (c))
+        assert node.get("p") == 1 and node.get("q") == 2  # union (rule (d))
+
+    def test_all_wildcard_class_stays_wildcard(self):
+        g = GraphBuilder().node("a", WILDCARD).node("b", WILDCARD).build()
+        eq = EquivalenceRelation(g)
+        eq.merge_nodes("a", "b")
+        assert coerce(eq).node("a").label == WILDCARD
+
+    def test_generated_attribute_without_constant_is_none(self):
+        g = GraphBuilder().node("a", "v").build()
+        eq = EquivalenceRelation(g)
+        eq.register_attr("a", "gen")
+        node = coerce(eq).node("a")
+        assert node.has_attribute("gen")
+        assert node.get("gen") is None
+
+    def test_inconsistent_coercion_undefined(self):
+        g = example4_graph()
+        eq = EquivalenceRelation(g)
+        eq.merge_nodes("w1", "w2")  # labels b vs c
+        with pytest.raises(ChaseError):
+            coerce(eq)
+
+    def test_representative_map(self):
+        g = example4_graph()
+        eq = EquivalenceRelation(g)
+        eq.merge_nodes("v2", "v1")
+        mapping = representative_map(eq)
+        assert mapping["v1"] == mapping["v2"] == "v1"
+        assert mapping["w1"] == "w1"
+
+    def test_self_loop_from_merged_edge(self):
+        g = GraphBuilder().nodes("v", "a", "b").edge("a", "r", "b").build()
+        eq = EquivalenceRelation(g)
+        eq.merge_nodes("a", "b")
+        assert coerce(eq).has_edge("a", "r", "a")
+
+
+class TestCanonicalGraphs:
+    def test_canonical_graph_of_pattern(self):
+        q = Pattern({"x": "album", "y": WILDCARD}, [("x", "r", "y")])
+        g = canonical_graph(q)
+        assert g.nodes_with_label("album") == {"x"}
+        assert g.node("y").label == WILDCARD
+        assert g.has_edge("x", "r", "y")
+        assert g.node("x").attributes == {}
+
+    def test_canonical_graph_prefix(self):
+        q = Pattern({"x": "a"}, [])
+        g = canonical_graph(q, prefix="p:")
+        assert g.has_node("p:x")
+
+    def test_canonical_graph_of_sigma_disjoint(self):
+        q = Pattern({"x": "a", "y": "b"}, [("x", "r", "y")])
+        ged1 = GED(q, [], [VariableLiteral("x", "A", "y", "A")])
+        ged2 = GED(q, [], [IdLiteral("x", "y")])
+        g, var_maps = canonical_graph_of_sigma([ged1, ged2])
+        assert g.num_nodes == 4
+        assert var_maps[0]["x"] == "g0:x"
+        assert var_maps[1]["x"] == "g1:x"
+        assert g.has_edge("g0:x", "r", "g0:y")
+        assert g.has_edge("g1:x", "r", "g1:y")
+
+
+class TestEqFromLiterals:
+    def graph(self):
+        return GraphBuilder().node("x", "a").node("y", "b").build()
+
+    def test_constant_literal(self):
+        eq = eq_from_literals(self.graph(), [ConstantLiteral("x", "A", 1)])
+        assert eq.attr_has_constant("x", "A", 1)
+
+    def test_variable_literal(self):
+        eq = eq_from_literals(self.graph(), [VariableLiteral("x", "A", "y", "B")])
+        assert eq.attrs_equal("x", "A", "y", "B")
+
+    def test_id_literal(self):
+        eq = eq_from_literals(self.graph(), [IdLiteral("x", "y")])
+        assert eq.nodes_equal("x", "y")
+        assert not eq.is_consistent  # labels a vs b conflict
+
+    def test_inconsistent_x(self):
+        eq = eq_from_literals(
+            self.graph(),
+            [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "A", 2)],
+        )
+        assert not eq.is_consistent
+
+    def test_false_in_x_marks_inconsistent(self):
+        eq = eq_from_literals(self.graph(), [FALSE])
+        assert not eq.is_consistent
+
+    def test_explicit_assignment(self):
+        eq = eq_from_literals(
+            self.graph(), [ConstantLiteral("v", "A", 3)], assignment={"v": "y"}
+        )
+        assert eq.attr_has_constant("y", "A", 3)

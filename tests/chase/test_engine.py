@@ -1,0 +1,206 @@
+"""Chase engine tests: Example 4 golden tests, Theorem 1 properties."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.chase import EquivalenceRelation, chase, eq_from_literals
+from repro.deps import FALSE, ConstantLiteral, GED, IdLiteral, VariableLiteral, sigma_size
+from repro.graph import GraphBuilder, graph_to_dict, random_labeled_graph
+from repro.patterns import WILDCARD, Pattern
+
+
+class TestExample4:
+    """The paper's Example 4, step by step."""
+
+    def test_sigma1_chase_is_valid_and_merges_v1_v2(self):
+        g = paper.example4_graph()
+        result = chase(g, [paper.example4_phi1()])
+        assert result.consistent
+        # v1 and v2 are identified; the coercion G1 has 3 nodes.
+        assert result.eq.nodes_equal("v1", "v2")
+        assert result.graph.num_nodes == 3
+        assert result.graph.has_edge("v1", "r", "w1")
+        assert result.graph.has_edge("v1", "r", "w2")
+
+    def test_sigma2_chase_is_invalid(self):
+        """Adding φ2 forces w1 and w2 (distinct labels) to merge: ⊥."""
+        g = paper.example4_graph()
+        result = chase(g, [paper.example4_phi1(), paper.example4_phi2()])
+        assert not result.consistent
+        assert "label conflict" in result.reason
+
+    def test_sigma2_invalid_in_any_order(self):
+        g = paper.example4_graph()
+        sigma = [paper.example4_phi2(), paper.example4_phi1()]
+        result = chase(g, sigma)
+        assert not result.consistent
+
+    def test_phi2_alone_is_valid_on_g(self):
+        """Before v1/v2 merge, Q2 has no match (v1, v2 have one r-edge
+        each), so φ2 alone does nothing."""
+        g = paper.example4_graph()
+        result = chase(g, [paper.example4_phi2()])
+        assert result.consistent
+        assert result.steps == []
+
+
+class TestBasicChasing:
+    def test_empty_sigma_returns_input(self):
+        g = paper.example4_graph()
+        result = chase(g, [])
+        assert result.consistent
+        assert result.graph.num_nodes == g.num_nodes
+        assert result.steps == []
+
+    def test_constant_literal_generation(self):
+        g = GraphBuilder().node("n", "item").build()
+        ged = GED(Pattern({"x": "item"}), [], [ConstantLiteral("x", "grade", "A")])
+        result = chase(g, [ged])
+        assert result.consistent
+        assert result.eq.attr_has_constant("n", "grade", "A")
+        assert result.graph.node("n").get("grade") == "A"
+
+    def test_attribute_existence_generation(self):
+        """Q[x](∅ → x.A = x.A) generates the attribute (TGD flavor)."""
+        g = GraphBuilder().node("n", "item").build()
+        ged = GED(Pattern({"x": "item"}), [], [VariableLiteral("x", "A", "x", "A")])
+        result = chase(g, [ged])
+        assert result.consistent
+        assert result.eq.attr_exists("n", "A")
+        assert result.graph.node("n").has_attribute("A")
+
+    def test_unmatched_x_means_no_step(self):
+        g = GraphBuilder().node("n", "item").build()
+        ged = GED(
+            Pattern({"x": "item"}),
+            [ConstantLiteral("x", "color", "red")],  # n has no color
+            [ConstantLiteral("x", "grade", "A")],
+        )
+        result = chase(g, [ged])
+        assert result.consistent
+        assert result.steps == []
+
+    def test_generated_attribute_enables_later_step(self):
+        """Attribute generation feeds later X-checks (cascading)."""
+        g = GraphBuilder().node("n", "item").build()
+        first = GED(Pattern({"x": "item"}), [], [ConstantLiteral("x", "color", "red")])
+        second = GED(
+            Pattern({"x": "item"}),
+            [ConstantLiteral("x", "color", "red")],
+            [ConstantLiteral("x", "grade", "A")],
+        )
+        result = chase(g, [second, first])  # order should not matter
+        assert result.consistent
+        assert result.eq.attr_has_constant("n", "grade", "A")
+
+    def test_forbidding_constraint_invalidates(self):
+        g = GraphBuilder().node("n", "item", bad=1).build()
+        ged = GED(Pattern({"x": "item"}), [ConstantLiteral("x", "bad", 1)], [FALSE])
+        result = chase(g, [ged])
+        assert not result.consistent
+        assert "forbidding" in result.reason
+
+    def test_forbidding_constraint_with_unmatched_x_is_fine(self):
+        g = GraphBuilder().node("n", "item").build()
+        ged = GED(Pattern({"x": "item"}), [ConstantLiteral("x", "bad", 1)], [FALSE])
+        assert chase(g, [ged]).consistent
+
+    def test_inconsistent_initial_eq(self):
+        g = GraphBuilder().node("n", "item", A=1).build()
+        eq = eq_from_literals(g, [ConstantLiteral("n", "A", 2)])
+        result = chase(g, [], initial_eq=eq)
+        assert not result.consistent
+
+    def test_id_merge_cascades_new_matches(self):
+        """Merging nodes can create matches that did not exist before
+        (Example 4's φ2 firing only after φ1 merged v1, v2)."""
+        g = paper.example4_graph()
+        sigma = [paper.example4_phi1(), paper.example4_phi2()]
+        result = chase(g, sigma)
+        # φ2's pattern matches only in the coercion after φ1's merge.
+        assert any(step.ged.name == "ex4-phi2" for step in result.steps)
+
+    def test_steps_record_match_and_literal(self):
+        g = paper.example4_graph()
+        result = chase(g, [paper.example4_phi1()])
+        step = result.steps[0]
+        assert step.ged.name == "ex4-phi1"
+        assert step.literal == IdLiteral("x", "y")
+        assert set(step.assignment.values()) <= {"v1", "v2"}
+
+
+class TestChurchRosserAndBounds:
+    """Theorem 1: finiteness, size bounds, Church-Rosser."""
+
+    def _random_instance(self, seed: int):
+        rng = random.Random(seed)
+        g = random_labeled_graph(
+            rng.randint(2, 5),
+            0.4,
+            node_labels=["a", "b"],
+            edge_labels=["r"],
+            rng=rng.randint(0, 999),
+            attribute_names=["A", "B"],
+            attribute_values=[1, 2],
+        )
+        sigma = []
+        for _ in range(rng.randint(1, 3)):
+            k = rng.randint(1, 2)
+            labels = {f"x{i}": rng.choice(["a", "b", WILDCARD]) for i in range(k)}
+            variables = list(labels)
+            edges = []
+            if k == 2 and rng.random() < 0.7:
+                edges.append(("x0", "r", "x1"))
+            pattern = Pattern(labels, edges)
+            lits = []
+            for _ in range(rng.randint(1, 2)):
+                choice = rng.random()
+                v1, v2 = rng.choice(variables), rng.choice(variables)
+                if choice < 0.4:
+                    lits.append(ConstantLiteral(v1, rng.choice(["A", "B"]), rng.choice([1, 2])))
+                elif choice < 0.7:
+                    lits.append(VariableLiteral(v1, "A", v2, rng.choice(["A", "B"])))
+                else:
+                    lits.append(IdLiteral(v1, v2))
+            split = rng.randint(0, len(lits))
+            sigma.append(GED(pattern, lits[:split], lits[split:]))
+        return g, sigma
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_church_rosser_random_orders(self, seed):
+        """All application orders agree on validity and on the result."""
+        g, sigma = self._random_instance(seed)
+        baseline = chase(g.copy(), sigma)
+        for order_seed in (1, 2):
+            other = chase(g.copy(), sigma, rng=order_seed)
+            assert other.consistent == baseline.consistent
+            if baseline.consistent:
+                assert graph_to_dict(other.graph) == graph_to_dict(baseline.graph)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_theorem1_bounds(self, seed):
+        """|Eq| ≤ 4·|G|·|Σ| and chase length ≤ 8·|G|·|Σ|."""
+        g, sigma = self._random_instance(seed)
+        result = chase(g.copy(), sigma)
+        bound = max(1, g.size()) * max(1, sigma_size(sigma))
+        assert result.eq.element_count() <= 4 * bound
+        assert len(result.steps) <= 8 * bound
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_valid_result_satisfies_sigma(self, seed):
+        """Theorem 1: if the chase is valid then G_Eq |= Σ (checked on
+        the concretized coercion, where generated attribute classes get
+        fresh distinct values)."""
+        from repro.reasoning.satisfiability import concretize
+        from repro.reasoning.validation import validates
+
+        g, sigma = self._random_instance(seed)
+        result = chase(g.copy(), sigma)
+        if result.consistent:
+            assert validates(concretize(result, sigma), sigma)

@@ -1,0 +1,155 @@
+"""Tests for equivalence relations Eq: closure rules (a)-(d), consistency."""
+
+from repro.chase import EquivalenceRelation
+from repro.graph import GraphBuilder
+from repro.patterns import WILDCARD
+
+
+def small_graph():
+    return (
+        GraphBuilder()
+        .node("u", "a", A=1)
+        .node("v", "a", A=1)
+        .node("w", "b", B=2)
+        .node("t", WILDCARD)
+        .build()
+    )
+
+
+class TestInitialRelation:
+    def test_eq0_loads_attribute_constants(self):
+        eq = EquivalenceRelation(small_graph())
+        assert eq.attr_has_constant("u", "A", 1)
+        assert eq.attr_constant("w", "B") == 2
+        assert eq.is_consistent
+
+    def test_eq0_singleton_node_classes(self):
+        eq = EquivalenceRelation(small_graph())
+        assert eq.node_class("u") == {"u"}
+        assert not eq.nodes_equal("u", "v")
+
+    def test_missing_attribute(self):
+        eq = EquivalenceRelation(small_graph())
+        assert not eq.attr_exists("u", "B")
+        assert eq.attr_constant("u", "B") is None
+        assert not eq.attr_has_constant("u", "B", 2)
+
+
+class TestAttributeClasses:
+    def test_constant_sharing_merges_classes(self):
+        """Rule (b): c ∈ [x.A] and c ∈ [z.C] force [x.A] = [z.C] —
+        u.A and v.A both hold constant 1, so they are one class."""
+        eq = EquivalenceRelation(small_graph())
+        assert eq.attrs_equal("u", "A", "v", "A")
+        # Distinct constants stay in distinct classes.
+        assert not eq.attrs_equal("u", "A", "w", "B")
+        eq.merge_attrs("u", "A", "v", "A")  # no-op, already equal
+        assert eq.is_consistent
+
+    def test_attribute_generation(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.register_attr("u", "C")  # generated, no constant
+        assert eq.attr_exists("u", "C")
+        assert eq.attr_constant("u", "C") is None
+
+    def test_generated_attr_then_constant(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.merge_attrs("u", "C", "v", "C")
+        eq.set_attr_constant("u", "C", 9)
+        assert eq.attr_has_constant("v", "C", 9)
+
+    def test_attribute_conflict(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.set_attr_constant("u", "A", 5)  # u.A already holds 1
+        assert not eq.is_consistent
+        assert "attribute conflict" in eq.inconsistent_reason
+
+    def test_conflict_via_transitivity(self):
+        eq = EquivalenceRelation(small_graph())
+        # [u.A] has 1, [w.B] has 2; merging them is a conflict (rule (b)).
+        eq.merge_attrs("u", "A", "w", "B")
+        assert not eq.is_consistent
+
+    def test_idempotent_merges_report_no_change(self):
+        eq = EquivalenceRelation(small_graph())
+        assert eq.merge_attrs("u", "A", "w", "C")  # C generated on w
+        assert not eq.merge_attrs("u", "A", "w", "C")
+        assert not eq.set_attr_constant("u", "A", 1)
+
+
+class TestNodeClasses:
+    def test_merge_nodes(self):
+        eq = EquivalenceRelation(small_graph())
+        assert eq.merge_nodes("u", "v")
+        assert eq.nodes_equal("u", "v")
+        assert eq.node_class("u") == {"u", "v"}
+        assert not eq.merge_nodes("u", "v")
+
+    def test_rule_d_merges_attribute_classes(self):
+        """If y ∈ [x] then [x.B] = [y.B] for every shared attribute."""
+        eq = EquivalenceRelation(small_graph())
+        eq.merge_nodes("u", "v")
+        assert eq.attrs_equal("u", "A", "v", "A")
+
+    def test_rule_d_applies_to_later_attributes(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.merge_nodes("u", "v")
+        eq.register_attr("u", "fresh")
+        # v is the same node, so v.fresh is the same class.
+        assert eq.attrs_equal("u", "fresh", "v", "fresh")
+
+    def test_label_conflict(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.merge_nodes("u", "w")  # labels a vs b
+        assert not eq.is_consistent
+        assert "label conflict" in eq.inconsistent_reason
+
+    def test_wildcard_label_is_compatible(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.merge_nodes("u", "t")  # a vs _
+        assert eq.is_consistent
+        assert eq.class_labels("t") == {"a"}
+
+    def test_transitive_node_merge_conflict(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.merge_nodes("t", "u")  # _ + a : fine
+        eq.merge_nodes("t", "w")  # now a + b : conflict
+        assert not eq.is_consistent
+
+    def test_rule_d_conflict_through_node_merge(self):
+        """Merging nodes whose same-name attributes hold distinct
+        constants is an attribute conflict."""
+        g = GraphBuilder().node("x", "a", A=1).node("y", "a", A=2).build()
+        eq = EquivalenceRelation(g)
+        eq.merge_nodes("x", "y")
+        assert not eq.is_consistent
+        assert "attribute conflict" in eq.inconsistent_reason
+
+    def test_representative_is_min_member(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.merge_nodes("v", "u")
+        assert eq.node_representative("v") == "u"
+
+    def test_node_classes_listing(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.merge_nodes("u", "v")
+        classes = eq.node_classes()
+        assert {"u", "v"} in classes
+        assert {"w"} in classes
+
+
+class TestLiteralView:
+    def test_as_literals_round_trip(self):
+        eq = EquivalenceRelation(small_graph())
+        eq.merge_nodes("u", "v")
+        eq.merge_attrs("u", "A", "w", "B")
+        literals = eq.as_literals()
+        kinds = {l[0] for l in literals}
+        assert "id" in kinds and "const" in kinds
+        assert ("id", "u", "v") in literals
+
+    def test_element_count_grows(self):
+        eq = EquivalenceRelation(small_graph())
+        before = eq.element_count()
+        eq.register_attr("u", "new_attr")
+        assert eq.element_count() == before + 1

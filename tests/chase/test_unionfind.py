@@ -1,0 +1,81 @@
+"""Unit + property tests for the union-find substrate."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chase import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind()
+        uf.add("a")
+        assert uf.find("a") == "a"
+        assert uf.num_classes == 1
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        assert uf.add("a")
+        assert not uf.add("a")
+        assert uf.num_elements == 1
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is not None
+        assert uf.same("a", "b")
+        assert uf.union("a", "b") is None
+
+    def test_union_reports_winner_loser(self):
+        uf = UnionFind()
+        result = uf.union("a", "b")
+        winner, loser = result
+        assert {winner, loser} == {"a", "b"}
+
+    def test_find_registers_lazily(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_class_of(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        uf.add("d")
+        assert uf.class_of("a") == {"a", "b", "c"}
+        assert uf.class_of("d") == {"d"}
+
+    def test_classes(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.add("c")
+        classes = sorted(sorted(c) for c in uf.classes())
+        assert classes == [["a", "b"], ["c"]]
+
+    def test_copy_is_independent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        clone = uf.copy()
+        clone.union("a", "c")
+        assert not uf.same("a", "c")
+        assert clone.same("a", "c")
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40))
+    def test_equivalence_closure_matches_reference(self, pairs):
+        """Union-find equals a naive transitive-closure reference."""
+        uf = UnionFind()
+        groups: list[set[int]] = []
+        for a, b in pairs:
+            uf.union(a, b)
+            ga = next((g for g in groups if a in g), None) or {a}
+            gb = next((g for g in groups if b in g), None) or {b}
+            if ga is not gb:
+                if ga in groups:
+                    groups.remove(ga)
+                if gb in groups:
+                    groups.remove(gb)
+                groups.append(ga | gb)
+            elif ga not in groups:
+                groups.append(ga)
+        for a, b in pairs:
+            expected = any(a in g and b in g for g in groups)
+            assert uf.same(a, b) == expected

@@ -1,0 +1,153 @@
+"""Tests for GED construction, classification, and GKeys."""
+
+import pytest
+
+from repro import paper
+from repro.deps import (
+    FALSE,
+    ConstantLiteral,
+    GED,
+    GKey,
+    IdLiteral,
+    VariableLiteral,
+    ged_from_json,
+    ged_to_json,
+    make_gkey,
+    sigma_size,
+)
+from repro.errors import DependencyError, LiteralError
+from repro.patterns import Pattern
+
+
+class TestGEDConstruction:
+    def test_literals_must_use_pattern_variables(self):
+        q = Pattern({"x": "a"}, [])
+        with pytest.raises(LiteralError):
+            GED(q, [ConstantLiteral("y", "A", 1)], [])
+        with pytest.raises(LiteralError):
+            GED(q, [], [IdLiteral("x", "y")])
+
+    def test_false_not_allowed_in_x(self):
+        q = Pattern({"x": "a"}, [])
+        with pytest.raises(DependencyError):
+            GED(q, [FALSE], [])
+
+    def test_empty_x_and_y_allowed(self):
+        q = Pattern({"x": "a"}, [])
+        ged = GED(q)
+        assert ged.X == frozenset() and ged.Y == frozenset()
+
+    def test_equality_and_hash(self):
+        assert paper.phi1() == paper.phi1()
+        assert hash(paper.phi1()) == hash(paper.phi1())
+        assert paper.phi1() != paper.phi2()
+
+    def test_str_is_readable(self):
+        text = str(paper.phi2())
+        assert "phi2" in text and "y.name = z.name" in text
+
+    def test_sigma_size(self):
+        assert sigma_size([paper.phi2()]) == paper.q2().size() + 1
+
+
+class TestClassification:
+    def test_phi1_is_gfd_with_constants(self):
+        phi1 = paper.phi1()
+        assert phi1.is_gfd
+        assert phi1.has_constant_literals
+        assert not phi1.is_gedx
+        assert "GFD" in phi1.classify() and "GFDx" not in phi1.classify()
+
+    def test_phi2_phi3_are_gfdx(self):
+        for ged in (paper.phi2(), paper.phi3()):
+            assert ged.is_gfdx
+            assert ged.is_gedx and ged.is_gfd
+            assert {"GED", "GFD", "GEDx", "GFDx"} <= ged.classify()
+
+    def test_phi4_forbidding_counts_as_constant(self):
+        phi4 = paper.phi4()
+        assert phi4.is_forbidding
+        assert phi4.has_constant_literals
+        assert phi4.is_gfd
+        assert "forbidding" in phi4.classify()
+
+    def test_phi5_is_gfd(self):
+        assert paper.phi5().is_gfd
+        assert not paper.phi5().is_gedx
+
+    def test_psi_keys_are_gedx_not_gfdx(self):
+        """Example 3: ψ1–ψ3 are GEDxs but not GFDxs."""
+        for psi in (paper.psi1(), paper.psi2(), paper.psi3()):
+            assert psi.is_gedx
+            assert not psi.is_gfd
+            assert not psi.is_gfdx
+            assert "GKey" in psi.classify()
+
+
+class TestGKeys:
+    def test_gkey_pattern_is_two_copies(self):
+        psi1 = paper.psi1()
+        assert isinstance(psi1, GKey)
+        assert set(psi1.pattern.variables) == {"x", "xp", "x'", "xp'"}
+        assert psi1.pattern.num_edges == 2
+
+    def test_gkey_y_is_single_id_literal(self):
+        psi1 = paper.psi1()
+        assert psi1.Y == frozenset({IdLiteral("x", "x'")})
+        assert psi1.x0 == "x" and psi1.y0 == "x'"
+
+    def test_psi1_x_content(self):
+        """ψ1: same title + identified artists."""
+        psi1 = paper.psi1()
+        assert VariableLiteral("x", "title", "x'", "title") in psi1.X
+        assert IdLiteral("xp", "xp'") in psi1.X
+
+    def test_psi3_is_recursive_with_psi1(self):
+        """ψ3 requires identified albums — the recursion of Example 1."""
+        psi3 = paper.psi3()
+        assert IdLiteral("x", "x'") in psi3.X
+        assert psi3.Y == frozenset({IdLiteral("xp", "xp'")})
+
+    def test_make_gkey_validates_variables(self):
+        q = Pattern({"x": "album"})
+        with pytest.raises(DependencyError):
+            make_gkey(q, "nope")
+        with pytest.raises(DependencyError):
+            make_gkey(q, "x", value_attrs={"nope": ["a"]})
+        with pytest.raises(DependencyError):
+            make_gkey(q, "x", id_vars=["nope"])
+
+    def test_make_gkey_constant_conditions_mirrored(self):
+        q = Pattern({"x": "album"})
+        key = make_gkey(
+            q, "x", constant_conditions=[ConstantLiteral("x", "lang", "en")]
+        )
+        assert ConstantLiteral("x", "lang", "en") in key.X
+        assert ConstantLiteral("x'", "lang", "en") in key.X
+
+    def test_make_gkey_rejects_bad_condition_var(self):
+        q = Pattern({"x": "album"})
+        with pytest.raises(DependencyError):
+            make_gkey(q, "x", constant_conditions=[ConstantLiteral("z", "lang", "en")])
+
+
+class TestSerialization:
+    def test_round_trip_all_paper_geds(self):
+        for ged in (
+            paper.phi1(),
+            paper.phi2(),
+            paper.phi3(),
+            paper.phi4(),
+            paper.phi5(),
+            paper.example5_phi1(),
+            paper.example7_phi(),
+        ):
+            back = ged_from_json(ged_to_json(ged))
+            assert back == ged
+
+    def test_round_trip_gkey_as_plain_ged(self):
+        """GKeys serialize as their underlying GED (pattern + FD)."""
+        psi1 = paper.psi1()
+        back = ged_from_json(ged_to_json(psi1))
+        assert back.pattern == psi1.pattern
+        assert back.X == psi1.X and back.Y == psi1.Y

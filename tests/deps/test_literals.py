@@ -1,0 +1,96 @@
+"""Unit tests for dependency literals."""
+
+import pytest
+
+from repro.deps import (
+    FALSE,
+    ConstantLiteral,
+    IdLiteral,
+    VariableLiteral,
+    check_literal,
+    desugar_false,
+    literal_variables,
+    substitute,
+)
+from repro.errors import LiteralError
+
+
+class TestConstruction:
+    def test_constant_literal(self):
+        l = ConstantLiteral("x", "type", "video game")
+        assert l.variables == {"x"}
+        assert str(l) == "x.type = 'video game'"
+
+    def test_constant_literal_rejects_id(self):
+        with pytest.raises(LiteralError):
+            ConstantLiteral("x", "id", 3)
+
+    def test_constant_literal_rejects_empty(self):
+        with pytest.raises(LiteralError):
+            ConstantLiteral("", "a", 1)
+        with pytest.raises(LiteralError):
+            ConstantLiteral("x", "", 1)
+
+    def test_variable_literal(self):
+        l = VariableLiteral("x", "name", "y", "name")
+        assert l.variables == {"x", "y"}
+        assert l.flipped() == VariableLiteral("y", "name", "x", "name")
+
+    def test_variable_literal_rejects_id(self):
+        with pytest.raises(LiteralError):
+            VariableLiteral("x", "id", "y", "name")
+        with pytest.raises(LiteralError):
+            VariableLiteral("x", "name", "y", "id")
+
+    def test_self_variable_literal_allowed(self):
+        # x.A = x.A is the paper's attribute-existence device.
+        l = VariableLiteral("x", "A", "x", "A")
+        assert l.variables == {"x"}
+
+    def test_id_literal(self):
+        l = IdLiteral("x", "y")
+        assert l.variables == {"x", "y"}
+        assert l.flipped() == IdLiteral("y", "x")
+        assert str(l) == "x.id = y.id"
+
+    def test_false_is_singleton(self):
+        from repro.deps.literals import _FalseLiteral
+
+        assert _FalseLiteral() is FALSE
+        assert FALSE.variables == frozenset()
+        assert str(FALSE) == "false"
+
+    def test_literals_are_hashable_and_comparable(self):
+        s = {ConstantLiteral("x", "a", 1), ConstantLiteral("x", "a", 1), FALSE}
+        assert len(s) == 2
+
+
+class TestHelpers:
+    def test_desugar_false(self):
+        l1, l2 = desugar_false("y")
+        assert l1.var == l2.var == "y"
+        assert l1.attr == l2.attr
+        assert l1.const != l2.const
+
+    def test_literal_variables(self):
+        lits = [ConstantLiteral("x", "a", 1), IdLiteral("y", "z"), FALSE]
+        assert literal_variables(lits) == {"x", "y", "z"}
+
+    def test_check_literal(self):
+        check_literal(IdLiteral("x", "y"), ["x", "y"])
+        with pytest.raises(LiteralError):
+            check_literal(IdLiteral("x", "z"), ["x", "y"])
+        with pytest.raises(LiteralError):
+            check_literal("not a literal", ["x"])
+
+    def test_substitute(self):
+        h = {"x": "n1", "y": "n2"}
+        assert substitute(ConstantLiteral("x", "a", 1), h) == ConstantLiteral("n1", "a", 1)
+        assert substitute(VariableLiteral("x", "a", "y", "b"), h) == VariableLiteral(
+            "n1", "a", "n2", "b"
+        )
+        assert substitute(IdLiteral("x", "y"), h) == IdLiteral("n1", "n2")
+        assert substitute(FALSE, h) is FALSE
+
+    def test_substitute_partial(self):
+        assert substitute(IdLiteral("x", "z"), {"x": "n1"}) == IdLiteral("n1", "z")

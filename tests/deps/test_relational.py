@@ -1,0 +1,147 @@
+"""Relational dependencies (FD / CFD / EGD) and their GED encodings.
+
+Cross-checks: the direct relational semantics must agree with GED
+validation over the tuples-as-nodes graph encoding (Section 3 (5)).
+"""
+
+import random
+
+import pytest
+
+from repro.deps import CFD, EGD, FD
+from repro.errors import DependencyError
+from repro.graph import Relation, relations_to_graph
+from repro.reasoning import validates
+
+
+def employee_relation(rows) -> Relation:
+    r = Relation("emp", ["name", "dept", "floor"])
+    for row in rows:
+        r.insert(row)
+    return r
+
+
+class TestFD:
+    def test_fd_holds_directly_and_encoded(self):
+        r = employee_relation([["ada", "cs", 3], ["bob", "cs", 3], ["eve", "ee", 2]])
+        fd = FD("emp", ["dept"], ["floor"])
+        assert fd.holds_on(r)
+        assert validates(relations_to_graph([r]), fd.encode())
+
+    def test_fd_violated_directly_and_encoded(self):
+        r = employee_relation([["ada", "cs", 3], ["bob", "cs", 4]])
+        fd = FD("emp", ["dept"], ["floor"])
+        assert not fd.holds_on(r)
+        assert not validates(relations_to_graph([r]), fd.encode())
+
+    def test_fd_with_empty_lhs_is_constancy(self):
+        r = employee_relation([["ada", "cs", 3], ["bob", "ee", 3]])
+        assert FD("emp", [], ["floor"]).holds_on(r)
+        assert validates(relations_to_graph([r]), FD("emp", [], ["floor"]).encode())
+
+    def test_fd_needs_rhs(self):
+        with pytest.raises(DependencyError):
+            FD("emp", ["dept"], [])
+        with pytest.raises(DependencyError):
+            FD("", ["dept"], ["floor"])
+
+    def test_random_fd_agreement(self):
+        """Property check: relational semantics == GED semantics."""
+        rng = random.Random(4)
+        for _ in range(30):
+            rows = [
+                [rng.randint(0, 2), rng.randint(0, 2), rng.randint(0, 1)]
+                for _ in range(rng.randint(1, 5))
+            ]
+            r = Relation("R", ["A", "B", "C"])
+            for row in rows:
+                r.insert(row)
+            fd = FD("R", ["A"], ["B"])
+            encoded = validates(relations_to_graph([r]), fd.encode())
+            assert encoded == fd.holds_on(r)
+
+
+class TestCFD:
+    def test_cfd_with_constants(self):
+        """CFD: within dept 'cs', dept determines floor 3."""
+        good = employee_relation([["ada", "cs", 3], ["bob", "cs", 3], ["eve", "ee", 9]])
+        bad = employee_relation([["ada", "cs", 3], ["bob", "cs", 4]])
+        cfd = CFD("emp", {"dept": "cs"}, {"floor": 3})
+        assert cfd.holds_on(good)
+        assert not cfd.holds_on(bad)
+        assert validates(relations_to_graph([good]), cfd.encode())
+        assert not validates(relations_to_graph([bad]), cfd.encode())
+
+    def test_cfd_wildcard_rhs(self):
+        """CFD with wildcard RHS behaves like a conditional FD."""
+        good = employee_relation([["ada", "cs", 3], ["bob", "cs", 3], ["eve", "ee", 1]])
+        cfd = CFD("emp", {"dept": "cs"}, {"floor": None})
+        assert cfd.holds_on(good)
+        assert validates(relations_to_graph([good]), cfd.encode())
+        bad = employee_relation([["ada", "cs", 3], ["bob", "cs", 4]])
+        assert not cfd.holds_on(bad)
+        assert not validates(relations_to_graph([bad]), cfd.encode())
+
+    def test_cfd_does_not_fire_outside_condition(self):
+        r = employee_relation([["ada", "ee", 3], ["bob", "ee", 4]])
+        cfd = CFD("emp", {"dept": "cs"}, {"floor": None})
+        assert cfd.holds_on(r)
+        assert validates(relations_to_graph([r]), cfd.encode())
+
+    def test_cfd_needs_rhs(self):
+        with pytest.raises(DependencyError):
+            CFD("emp", {"dept": "cs"}, {})
+
+
+class TestEGD:
+    def test_egd_within_one_relation(self):
+        """R(A,B), R(A,C) sharing A implies B = C (an FD as an EGD)."""
+        egd = EGD(
+            [("R", {"A": "a", "B": "b"}), ("R", {"A": "a", "B": "c"})],
+            ("b", "c"),
+        )
+        good = Relation("R", ["A", "B"])
+        good.insert([1, "x"])
+        good.insert([2, "y"])
+        assert egd.holds_on({"R": good})
+        assert validates(relations_to_graph([good]), egd.encode())
+
+        bad = Relation("R", ["A", "B"])
+        bad.insert([1, "x"])
+        bad.insert([1, "y"])
+        assert not egd.holds_on({"R": bad})
+        assert not validates(relations_to_graph([bad]), egd.encode())
+
+    def test_egd_across_relations(self):
+        """Join on a shared variable across two relations."""
+        egd = EGD(
+            [("R", {"K": "k", "V": "v1"}), ("S", {"K": "k", "V": "v2"})],
+            ("v1", "v2"),
+        )
+        r = Relation("R", ["K", "V"])
+        s = Relation("S", ["K", "V"])
+        r.insert([1, "x"])
+        s.insert([1, "x"])
+        s.insert([2, "z"])
+        assert egd.holds_on({"R": r, "S": s})
+        assert validates(relations_to_graph([r, s]), egd.encode())
+        s.insert([1, "DIFFERENT"])
+        assert not egd.holds_on({"R": r, "S": s})
+        assert not validates(relations_to_graph([r, s]), egd.encode())
+
+    def test_egd_validation(self):
+        with pytest.raises(DependencyError):
+            EGD([], ("a", "b"))
+        with pytest.raises(DependencyError):
+            EGD([("R", {"A": "a"})], ("a", "zzz"))
+
+    def test_egd_existence_part(self):
+        """φ_R fails when a tuple node lacks a mentioned attribute."""
+        egd = EGD(
+            [("R", {"A": "a", "B": "b"}), ("R", {"A": "a", "B": "c"})],
+            ("b", "c"),
+        )
+        g = relations_to_graph([])
+        g.add_node("partial", "R", {"A": 1})  # no B attribute
+        phi_r = egd.encode()[0]
+        assert not validates(g, [phi_r])

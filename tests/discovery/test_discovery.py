@@ -1,0 +1,224 @@
+"""Tests for GFD discovery: patterns, match tables, levelwise mining."""
+
+import pytest
+
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.discovery.fds import discover_for_pattern, discover_gfds
+from repro.discovery.patterns import enumerate_candidate_patterns
+from repro.discovery.tableize import MISSING, build_match_table
+from repro.errors import DiscoveryError
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+from repro.reasoning.validation import validates
+
+
+def creators_graph(n: int = 4, dirty: int = 0) -> Graph:
+    """n programmers each creating a video game; `dirty` of them are
+    mislabeled psychologists (breaking the phi1 regularity)."""
+    g = Graph()
+    for i in range(n):
+        kind = "psychologist" if i < dirty else "programmer"
+        g.add_node(f"p{i}", "person", {"type": kind})
+        g.add_node(f"g{i}", "product", {"type": "video game"})
+        g.add_edge(f"p{i}", "create", f"g{i}")
+    return g
+
+
+class TestCandidatePatterns:
+    def test_node_and_edge_patterns_found(self):
+        g = creators_graph()
+        candidates = enumerate_candidate_patterns(g)
+        shapes = {(c.shape, tuple(sorted(c.pattern.labels.values()))) for c in candidates}
+        assert ("node", ("person",)) in shapes
+        assert ("node", ("product",)) in shapes
+        assert ("edge", ("person", "product")) in shapes
+
+    def test_support_counts(self):
+        g = creators_graph(n=5)
+        candidates = enumerate_candidate_patterns(g)
+        by_shape = {c.shape: c for c in candidates if c.shape == "edge"}
+        assert by_shape["edge"].support == 5
+
+    def test_min_support_filters(self):
+        g = creators_graph(n=2)
+        assert enumerate_candidate_patterns(g, min_support=3) == []
+
+    def test_paths_require_flag(self):
+        g = Graph()
+        g.add_node("a", "x")
+        g.add_node("b", "y")
+        g.add_node("c", "z")
+        g.add_edge("a", "e", "b")
+        g.add_edge("b", "f", "c")
+        without = enumerate_candidate_patterns(g)
+        with_paths = enumerate_candidate_patterns(g, include_paths=True)
+        assert all(c.shape != "path" for c in without)
+        assert any(c.shape == "path" for c in with_paths)
+
+    def test_forks_require_flag(self):
+        g = Graph()
+        g.add_node("c", "country")
+        g.add_node("h", "city")
+        g.add_node("s", "city")
+        g.add_edge("c", "capital", "h")
+        g.add_edge("c", "capital", "s")
+        with_forks = enumerate_candidate_patterns(g, include_forks=True)
+        assert any(c.shape == "fork" for c in with_forks)
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_candidate_patterns(creators_graph(), min_support=0)
+
+
+class TestMatchTable:
+    def test_rows_are_matches(self):
+        g = creators_graph(n=3)
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        table = build_match_table(q, g)
+        assert table.num_rows == 3
+        assert all(set(row) == {"x", "y"} for row in table.rows)
+
+    def test_values_and_missing(self):
+        g = Graph()
+        g.add_node("a", "person", {"name": "Ada"})
+        g.add_node("b", "person")
+        table = build_match_table(Pattern({"x": "person"}), g)
+        by_node = {table.rows[i]["x"]: i for i in range(table.num_rows)}
+        assert table.values[by_node["a"]][("x", "name")] == "Ada"
+        assert ("x", "name") not in table.values[by_node["b"]]
+
+    def test_literal_evaluation(self):
+        g = creators_graph(n=2)
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        table = build_match_table(q, g)
+        lit = ConstantLiteral("y", "type", "video game")
+        assert table.satisfying([lit]) == list(range(table.num_rows))
+        missing = ConstantLiteral("y", "rating", 5)
+        assert table.satisfying([missing]) == []
+
+    def test_distinct_values(self):
+        g = creators_graph(n=4, dirty=1)
+        q = Pattern({"x": "person"})
+        table = build_match_table(q, g)
+        assert table.distinct_values("x", "type") == {"programmer", "psychologist"}
+
+    def test_missing_sentinel_not_equal_to_values(self):
+        assert MISSING != None  # noqa: E711 — deliberate: sentinel vs None
+        assert MISSING != ""
+        assert MISSING == MISSING
+
+
+class TestDiscoverForPattern:
+    def test_exact_rule_mined_from_clean_data(self):
+        g = creators_graph(n=4)
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        rules = discover_for_pattern(g, q, max_lhs=1, min_support=2)
+        wanted = GED(
+            q, [], [ConstantLiteral("x", "type", "programmer")]
+        )
+        assert any(r.ged == wanted for r in rules)
+
+    def test_exact_rules_validate_on_source_graph(self):
+        g = creators_graph(n=5)
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        for rule in discover_for_pattern(g, q, max_lhs=2, min_support=2):
+            if rule.exact:
+                assert validates(g, [rule.ged]), str(rule)
+
+    def test_dirty_data_lowers_confidence(self):
+        g = creators_graph(n=4, dirty=1)
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        exact = discover_for_pattern(g, q, max_lhs=0, min_support=2)
+        assert not any(
+            r.ged.Y == frozenset({ConstantLiteral("x", "type", "programmer")})
+            for r in exact
+        )
+        approx = discover_for_pattern(g, q, max_lhs=0, min_support=2, min_confidence=0.7)
+        found = [
+            r
+            for r in approx
+            if r.ged.Y == frozenset({ConstantLiteral("x", "type", "programmer")})
+        ]
+        assert found and found[0].confidence == pytest.approx(0.75)
+
+    def test_minimality_pruning(self):
+        """If ∅ → l holds, no 1-literal LHS for the same l is reported."""
+        g = creators_graph(n=4)
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        rules = discover_for_pattern(g, q, max_lhs=2, min_support=2)
+        rhs = ConstantLiteral("y", "type", "video game")
+        with_that_rhs = [r for r in rules if r.ged.Y == frozenset({rhs})]
+        assert with_that_rhs
+        assert all(len(r.ged.X) == 0 for r in with_that_rhs)
+
+    def test_min_support_respected(self):
+        g = creators_graph(n=2)
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        assert discover_for_pattern(g, q, min_support=5) == []
+
+    def test_identifier_columns_skipped_for_constants(self):
+        g = Graph()
+        for i in range(12):
+            g.add_node(f"n{i}", "item", {"serial": f"s{i}", "kind": "widget"})
+        q = Pattern({"x": "item"})
+        rules = discover_for_pattern(g, q, max_lhs=0, min_support=2, max_distinct=8)
+        assert not any(
+            isinstance(l, ConstantLiteral) and l.attr == "serial"
+            for r in rules
+            for l in r.ged.Y
+        )
+        assert any(
+            r.ged.Y == frozenset({ConstantLiteral("x", "kind", "widget")})
+            for r in rules
+        )
+
+    def test_parameter_validation(self):
+        g = creators_graph()
+        q = Pattern({"x": "person"})
+        with pytest.raises(DiscoveryError):
+            discover_for_pattern(g, q, min_confidence=0.0)
+        with pytest.raises(DiscoveryError):
+            discover_for_pattern(g, q, min_support=0)
+        with pytest.raises(DiscoveryError):
+            discover_for_pattern(g, q, max_lhs=-1)
+
+
+class TestDiscoverGfds:
+    def test_full_pipeline_on_capital_workload(self):
+        g = Graph()
+        for i, (country, capital) in enumerate(
+            [("FI", "Helsinki"), ("NO", "Oslo"), ("SE", "Stockholm")]
+        ):
+            g.add_node(f"c{i}", "country", {"code": country})
+            g.add_node(f"k{i}", "city", {"name": capital, "is_capital": 1})
+            g.add_edge(f"c{i}", "capital", f"k{i}")
+        rules = discover_gfds(g, max_lhs=0, min_support=2)
+        q_edge = Pattern({"x": "country", "y": "city"}, [("x", "capital", "y")])
+        wanted = GED(q_edge, [], [ConstantLiteral("y", "is_capital", 1)])
+        assert any(r.ged == wanted for r in rules)
+
+    def test_all_exact_rules_validate(self):
+        g = creators_graph(n=4)
+        for rule in discover_gfds(g, max_lhs=1, min_support=2):
+            assert rule.exact
+            assert validates(g, [rule.ged])
+
+    def test_max_patterns_caps_work(self):
+        g = creators_graph(n=4)
+        few = discover_gfds(g, max_patterns=1)
+        all_of_them = discover_gfds(g)
+        assert len(few) <= len(all_of_them)
+
+    def test_discovered_rules_feed_cover(self):
+        """Discovery output composes with cover computation."""
+        from repro.optimization.cover import compute_cover
+
+        g = creators_graph(n=4)
+        rules = [r.ged for r in discover_gfds(g, max_lhs=1, min_support=2)]
+        report = compute_cover(rules)
+        assert len(report.cover) <= len(rules)
+        for dropped in report.implied:
+            from repro.reasoning.implication import implies
+
+            assert implies(report.cover, dropped)

@@ -1,0 +1,124 @@
+"""Tests for domain-constraint discovery (Examples 9/10 mined from data)."""
+
+import pytest
+
+from repro.discovery.domains import discover_domain_constraints
+from repro.errors import DiscoveryError
+from repro.extensions.gdc_reasoning import gdc_validates
+from repro.extensions.gedvee_reasoning import vee_validates
+from repro.graph.graph import Graph
+
+
+def sensors_graph() -> Graph:
+    """Numeric readings in [10, 42], a Boolean-ish flag, and an id column."""
+    g = Graph()
+    readings = [10, 17, 25, 42, 30, 11, 39, 22]
+    for i, value in enumerate(readings):
+        g.add_node(
+            f"s{i}",
+            "sensor",
+            {"reading": value, "active": i % 2, "serial": f"SN-{i:04d}"},
+        )
+    return g
+
+
+class TestRangeConstraints:
+    def test_numeric_column_yields_range(self):
+        constraints = discover_domain_constraints(sensors_graph(), max_enum=4)
+        (reading,) = [c for c in constraints if c.attr == "reading"]
+        assert reading.kind == "range"
+        assert reading.domain == (10, 42)
+        assert len(reading.gdcs) == 2
+
+    def test_range_gdcs_validate_on_source(self):
+        g = sensors_graph()
+        constraints = discover_domain_constraints(g, max_enum=4)
+        (reading,) = [c for c in constraints if c.attr == "reading"]
+        assert gdc_validates(g, list(reading.gdcs))
+
+    def test_range_gdcs_catch_out_of_range(self):
+        g = sensors_graph()
+        constraints = discover_domain_constraints(g, max_enum=4)
+        (reading,) = [c for c in constraints if c.attr == "reading"]
+        g.add_node("bad", "sensor", {"reading": 99})
+        assert not gdc_validates(g, list(reading.gdcs))
+
+    def test_support_and_coverage(self):
+        g = sensors_graph()
+        g.add_node("bare", "sensor")  # label node without attributes
+        constraints = discover_domain_constraints(g, max_enum=4)
+        (reading,) = [c for c in constraints if c.attr == "reading"]
+        assert reading.support == 8
+        assert reading.coverage == pytest.approx(8 / 9)
+
+
+class TestEnumConstraints:
+    def test_small_column_yields_enum(self):
+        constraints = discover_domain_constraints(sensors_graph())
+        (active,) = [c for c in constraints if c.attr == "active"]
+        assert active.kind == "enum"
+        assert set(active.domain) == {0, 1}
+        assert active.gedvee is not None
+
+    def test_enum_gedvee_validates_on_source(self):
+        g = sensors_graph()
+        constraints = discover_domain_constraints(g)
+        (active,) = [c for c in constraints if c.attr == "active"]
+        assert vee_validates(g, [active.gedvee])
+
+    def test_enum_gedvee_catches_out_of_domain(self):
+        g = sensors_graph()
+        constraints = discover_domain_constraints(g)
+        (active,) = [c for c in constraints if c.attr == "active"]
+        g.add_node("bad", "sensor", {"active": 7})
+        assert not vee_validates(g, [active.gedvee])
+
+    def test_enum_does_not_impose_existence(self):
+        """A label node without the attribute must not violate the
+        mined rule (existence is Example 9's separate φ1)."""
+        g = sensors_graph()
+        constraints = discover_domain_constraints(g)
+        (active,) = [c for c in constraints if c.attr == "active"]
+        g.add_node("bare", "sensor")
+        assert vee_validates(g, [active.gedvee])
+
+
+class TestColumnSelection:
+    def test_identifier_columns_skipped(self):
+        constraints = discover_domain_constraints(sensors_graph(), max_enum=4)
+        assert not any(c.attr == "serial" for c in constraints)
+
+    def test_min_support_filters(self):
+        g = Graph()
+        g.add_node("only", "sensor", {"reading": 5})
+        assert discover_domain_constraints(g, min_support=2) == []
+
+    def test_numeric_small_column_prefers_enum(self):
+        """Example 10's point: a Boolean domain is an enum, not a range."""
+        constraints = discover_domain_constraints(sensors_graph(), max_enum=6)
+        (active,) = [c for c in constraints if c.attr == "active"]
+        assert active.kind == "enum"
+
+    def test_per_label_separation(self):
+        g = sensors_graph()
+        g.add_node("t0", "thermo", {"reading": -100})
+        g.add_node("t1", "thermo", {"reading": -50})
+        constraints = discover_domain_constraints(g, max_enum=1)
+        by_label = {(c.label, c.attr): c for c in constraints}
+        assert by_label[("sensor", "reading")].domain == (10, 42)
+        assert by_label[("thermo", "reading")].domain == (-100, -50)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DiscoveryError):
+            discover_domain_constraints(sensors_graph(), min_support=0)
+        with pytest.raises(DiscoveryError):
+            discover_domain_constraints(sensors_graph(), max_enum=0)
+
+    def test_booleans_do_not_count_as_numbers(self):
+        g = Graph()
+        for i in range(8):
+            g.add_node(f"n{i}", "flag", {"v": bool(i % 2)})
+        constraints = discover_domain_constraints(g, max_enum=1)
+        # only 2 distinct values but max_enum=1 forces the range path,
+        # which must NOT fire for bools -> no constraint at all
+        assert constraints == []

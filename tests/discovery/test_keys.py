@@ -1,0 +1,136 @@
+"""Tests for GKey discovery."""
+
+import pytest
+
+from repro.discovery.keys import discover_gkeys
+from repro.errors import DiscoveryError
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+from repro.quality.entity_resolution import resolve_entities
+from repro.reasoning.validation import validates
+
+
+def albums_graph(with_bleach_clash: bool = False) -> Graph:
+    """Albums with title+release; the two 'Bleach' albums (Example 1)
+    share a title, so title alone is NOT a key — title+release is."""
+    g = Graph()
+    rows = [
+        ("a1", "Bleach", 1989),
+        ("a2", "Bleach", 1990),
+        ("a3", "Nevermind", 1991),
+        ("a4", "In Utero", 1991),
+    ]
+    for node_id, title, release in rows:
+        g.add_node(node_id, "album", {"title": title, "release": release})
+    if with_bleach_clash:
+        # a duplicate entity: same title AND release as a1
+        g.add_node("a5", "album", {"title": "Bleach", "release": 1989})
+    return g
+
+
+class TestDiscoverGkeys:
+    def test_title_alone_is_not_a_key(self):
+        keys = discover_gkeys(albums_graph(), Pattern({"x": "album"}), "x", max_attrs=1)
+        assert not any(k.attributes == (("x", "title"),) for k in keys)
+
+    def test_title_release_is_a_minimal_key(self):
+        keys = discover_gkeys(albums_graph(), Pattern({"x": "album"}), "x", max_attrs=2)
+        assert any(
+            set(k.attributes) == {("x", "title"), ("x", "release")} for k in keys
+        )
+
+    def test_release_alone_is_not_a_key(self):
+        # a3 and a4 share release = 1991
+        keys = discover_gkeys(albums_graph(), Pattern({"x": "album"}), "x", max_attrs=1)
+        assert not any(k.attributes == (("x", "release"),) for k in keys)
+
+    def test_minimality_pruning(self):
+        """When a singleton key exists, no superset of it is reported."""
+        g = albums_graph()
+        g.set_attribute("a1", "serial", 1)
+        g.set_attribute("a2", "serial", 2)
+        g.set_attribute("a3", "serial", 3)
+        g.set_attribute("a4", "serial", 4)
+        keys = discover_gkeys(g, Pattern({"x": "album"}), "x", max_attrs=2)
+        attr_sets = [set(k.attributes) for k in keys]
+        assert {("x", "serial")} in attr_sets
+        assert not any(
+            {("x", "serial")} < attrs for attrs in attr_sets
+        )
+
+    def test_discovered_keys_validate(self):
+        g = albums_graph()
+        for key in discover_gkeys(g, Pattern({"x": "album"}), "x", max_attrs=2):
+            assert validates(g, [key.gkey]), str(key)
+
+    def test_clashing_duplicates_break_the_key(self):
+        g = albums_graph(with_bleach_clash=True)
+        keys = discover_gkeys(g, Pattern({"x": "album"}), "x", max_attrs=2)
+        assert not any(
+            set(k.attributes) == {("x", "title"), ("x", "release")} for k in keys
+        )
+
+    def test_support_and_groups_reported(self):
+        keys = discover_gkeys(albums_graph(), Pattern({"x": "album"}), "x", max_attrs=2)
+        (pair_key,) = [
+            k for k in keys
+            if set(k.attributes) == {("x", "title"), ("x", "release")}
+        ]
+        assert pair_key.support == 4
+        assert pair_key.groups == 4
+
+    def test_missing_attributes_do_not_count(self):
+        g = albums_graph()
+        g.add_node("a9", "album")  # no attributes at all
+        keys = discover_gkeys(g, Pattern({"x": "album"}), "x", max_attrs=2)
+        (pair_key,) = [
+            k for k in keys
+            if set(k.attributes) == {("x", "title"), ("x", "release")}
+        ]
+        assert pair_key.support == 4  # the bare album is not a witness
+
+    def test_parameter_validation(self):
+        g = albums_graph()
+        q = Pattern({"x": "album"})
+        with pytest.raises(DiscoveryError):
+            discover_gkeys(g, q, "nope")
+        with pytest.raises(DiscoveryError):
+            discover_gkeys(g, q, "x", max_attrs=0)
+        with pytest.raises(DiscoveryError):
+            discover_gkeys(g, q, "x", min_support=0)
+        with pytest.raises(DiscoveryError):
+            discover_gkeys(g, q, "x", candidate_attrs=[("x", "nonexistent")])
+
+    def test_edge_pattern_key(self):
+        """A key over a pattern with context: an album identified by its
+        title + its artist's name (the value-based cousin of ψ1)."""
+        g = Graph()
+        for i, (title, artist) in enumerate(
+            [("Bleach", "Nirvana"), ("Bleach", "BleachUK"), ("Nevermind", "Nirvana")]
+        ):
+            g.add_node(f"al{i}", "album", {"title": title})
+            g.add_node(f"ar{i}", "artist", {"name": artist})
+            g.add_edge(f"al{i}", "by", f"ar{i}")
+        q1 = Pattern({"x": "album", "z": "artist"}, [("x", "by", "z")])
+        keys = discover_gkeys(g, q1, "x", max_attrs=2)
+        assert any(
+            set(k.attributes) == {("x", "title"), ("z", "name")} for k in keys
+        )
+        for key in keys:
+            assert validates(g, [key.gkey])
+
+    def test_discovered_key_drives_entity_resolution(self):
+        """End to end: mine a key on clean data, then use it to merge a
+        duplicate planted in a second graph."""
+        clean = albums_graph()
+        keys = discover_gkeys(clean, Pattern({"x": "album"}), "x", max_attrs=2)
+        (pair_key,) = [
+            k for k in keys
+            if set(k.attributes) == {("x", "title"), ("x", "release")}
+        ]
+
+        dirty = albums_graph()
+        dirty.add_node("dup", "album", {"title": "Bleach", "release": 1989})
+        result = resolve_entities(dirty, [pair_key.gkey])
+        assert result.consistent
+        assert any({"a1", "dup"} == group for group in result.merged_groups)

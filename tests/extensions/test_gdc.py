@@ -1,0 +1,245 @@
+"""GDC tests: literals, validation, Example 9, satisfiability/implication."""
+
+import pytest
+
+from repro.deps import FALSE, ConstantLiteral, GED, IdLiteral, VariableLiteral
+from repro.errors import DependencyError, LiteralError, ReductionError
+from repro.extensions import (
+    GDC,
+    ComparisonLiteral,
+    SearchStats,
+    VariableComparisonLiteral,
+    domain_constraint_gdc,
+    gdc_find_violations,
+    gdc_implies,
+    gdc_literal_holds,
+    gdc_satisfiable,
+    gdc_validates,
+    ged_as_gdc,
+)
+from repro.graph import GraphBuilder
+from repro.patterns import Pattern
+
+
+class TestGDCLiterals:
+    def test_comparison_literal_construction(self):
+        l = ComparisonLiteral("x", "age", "<", 18)
+        assert l.variables == {"x"}
+        assert l.negated() == ComparisonLiteral("x", "age", ">=", 18)
+
+    def test_id_attribute_rejected(self):
+        with pytest.raises(LiteralError):
+            ComparisonLiteral("x", "id", "=", 1)
+        with pytest.raises(LiteralError):
+            VariableComparisonLiteral("x", "id", "<", "y", "a")
+
+    def test_bad_operator_rejected(self):
+        from repro.errors import ConstraintError
+
+        with pytest.raises(ConstraintError):
+            ComparisonLiteral("x", "age", "<>", 18)
+
+    def test_ged_literals_upgrade(self):
+        q = Pattern({"x": "a", "y": "a"})
+        gdc = GDC(
+            q,
+            [ConstantLiteral("x", "A", 1)],
+            [VariableLiteral("x", "B", "y", "B"), IdLiteral("x", "y")],
+        )
+        assert ComparisonLiteral("x", "A", "=", 1) in gdc.X
+        assert VariableComparisonLiteral("x", "B", "=", "y", "B") in gdc.Y
+        assert IdLiteral("x", "y") in gdc.Y
+
+    def test_ged_as_gdc(self):
+        q = Pattern({"x": "a"})
+        ged = GED(q, [], [ConstantLiteral("x", "A", 1)])
+        gdc = ged_as_gdc(ged)
+        assert not gdc.uses_order_predicates
+
+    def test_false_only_in_y(self):
+        q = Pattern({"x": "a"})
+        with pytest.raises(DependencyError):
+            GDC(q, [FALSE], [])
+
+    def test_literal_holds_semantics(self):
+        g = GraphBuilder().node("n", "a", age=20).node("m", "a", age=30).build()
+        assert gdc_literal_holds(g, ComparisonLiteral("x", "age", ">", 18), {"x": "n"})
+        assert not gdc_literal_holds(g, ComparisonLiteral("x", "age", "<", 18), {"x": "n"})
+        assert gdc_literal_holds(
+            g, VariableComparisonLiteral("x", "age", "<", "y", "age"), {"x": "n", "y": "m"}
+        )
+        # Missing attribute never holds, for any predicate.
+        assert not gdc_literal_holds(g, ComparisonLiteral("x", "salary", "!=", 0), {"x": "n"})
+
+    def test_incomparable_types_fail_order_predicates(self):
+        g = GraphBuilder().node("n", "a", v="text").build()
+        assert not gdc_literal_holds(g, ComparisonLiteral("x", "v", "<", 5), {"x": "n"})
+        assert gdc_literal_holds(g, ComparisonLiteral("x", "v", "!=", 5), {"x": "n"})
+
+
+class TestGDCValidation:
+    def adult_rule(self) -> GDC:
+        """Accounts must be ≥ 13 years old (a denial constraint)."""
+        return GDC(
+            Pattern({"x": "account"}),
+            [ComparisonLiteral("x", "age", "<", 13)],
+            [FALSE],
+            name="age>=13",
+        )
+
+    def test_violation_found(self):
+        g = GraphBuilder().node("kid", "account", age=9).build()
+        violations = gdc_find_violations(g, [self.adult_rule()])
+        assert len(violations) == 1
+        assert violations[0].assignment["x"] == "kid"
+
+    def test_clean_graph_validates(self):
+        g = GraphBuilder().node("grown", "account", age=22).build()
+        assert gdc_validates(g, [self.adult_rule()])
+
+    def test_missing_attribute_does_not_fire(self):
+        g = GraphBuilder().node("anon", "account").build()
+        assert gdc_validates(g, [self.adult_rule()])
+
+    def test_order_y_literal(self):
+        """Y with a built-in predicate: discount < price."""
+        gdc = GDC(
+            Pattern({"x": "offer"}),
+            [],
+            [VariableComparisonLiteral("x", "discount", "<", "x", "price")],
+        )
+        good = GraphBuilder().node("o", "offer", discount=5, price=10).build()
+        bad = GraphBuilder().node("o", "offer", discount=15, price=10).build()
+        assert gdc_validates(good, [gdc])
+        assert not gdc_validates(bad, [gdc])
+
+    def test_limit(self):
+        g = (
+            GraphBuilder()
+            .node("k1", "account", age=1)
+            .node("k2", "account", age=2)
+            .build()
+        )
+        assert len(gdc_find_violations(g, [self.adult_rule()], limit=1)) == 1
+
+
+class TestExample9DomainConstraints:
+    def test_domain_constraint_validates(self):
+        sigma = domain_constraint_gdc("item", "A", [0, 1])
+        good = GraphBuilder().node("i", "item", A=1).build()
+        assert gdc_validates(good, sigma)
+
+    def test_missing_attribute_violates_existence(self):
+        sigma = domain_constraint_gdc("item", "A", [0, 1])
+        missing = GraphBuilder().node("i", "item").build()
+        assert not gdc_validates(missing, sigma)
+
+    def test_out_of_domain_value_violates(self):
+        sigma = domain_constraint_gdc("item", "A", [0, 1])
+        bad = GraphBuilder().node("i", "item", A=7).build()
+        assert not gdc_validates(bad, sigma)
+
+    def test_domain_constraints_satisfiable(self):
+        sigma = domain_constraint_gdc("item", "A", [0, 1])
+        ok, witness = gdc_satisfiable(sigma)
+        assert ok
+        assert witness.node_ids  # non-empty witness
+        assert gdc_validates(witness, sigma)
+
+
+class TestGDCSatisfiability:
+    def test_empty_sigma(self):
+        ok, witness = gdc_satisfiable([])
+        assert ok and witness.num_nodes == 1
+
+    def test_contradictory_bounds_unsat(self):
+        q = Pattern({"x": "item"})
+        sigma = [
+            GDC(q, [], [ComparisonLiteral("x", "v", "<", 3)]),
+            GDC(q, [], [ComparisonLiteral("x", "v", ">", 4)]),
+        ]
+        ok, witness = gdc_satisfiable(sigma)
+        assert not ok and witness is None
+
+    def test_window_satisfiable(self):
+        q = Pattern({"x": "item"})
+        sigma = [
+            GDC(q, [], [ComparisonLiteral("x", "v", ">", 3)]),
+            GDC(q, [], [ComparisonLiteral("x", "v", "<", 4)]),
+        ]
+        ok, witness = gdc_satisfiable(sigma)
+        assert ok
+        value = witness.node(witness.node_ids[0]).get("v")
+        assert value is not None and 3 < value < 4
+
+    def test_forbidding_everything_unsat(self):
+        q = Pattern({"x": "item"})
+        sigma = [GDC(q, [], [FALSE])]
+        ok, _ = gdc_satisfiable(sigma)
+        assert not ok
+
+    def test_ne_escape_hatch(self):
+        """x.v ≠ 0 is satisfiable by picking any other value."""
+        q = Pattern({"x": "item"})
+        sigma = [GDC(q, [], [ComparisonLiteral("x", "v", "!=", 0)])]
+        ok, witness = gdc_satisfiable(sigma)
+        assert ok and gdc_validates(witness, sigma)
+
+    def test_incomparable_token_needed(self):
+        """X = (v < 5 is false) ∧ (v > 5 is false) ∧ (v ≠ 5) needs a
+        non-numeric value; the token component provides one."""
+        q = Pattern({"x": "item"})
+        sigma = [
+            GDC(q, [], [ComparisonLiteral("x", "v", "!=", 5)]),
+            GDC(q, [ComparisonLiteral("x", "v", "<", 5)], [FALSE]),
+            GDC(q, [ComparisonLiteral("x", "v", ">", 5)], [FALSE]),
+            GDC(q, [], [VariableComparisonLiteral("x", "v", "=", "x", "v")]),
+        ]
+        ok, witness = gdc_satisfiable(sigma)
+        assert ok
+        value = witness.node(witness.node_ids[0]).get("v")
+        assert isinstance(value, str)
+
+    def test_stats_counting(self):
+        stats = SearchStats()
+        q = Pattern({"x": "item"})
+        gdc_satisfiable([GDC(q, [], [ComparisonLiteral("x", "v", "=", 1)])], stats=stats)
+        assert stats.candidates >= 1 and stats.partitions >= 1
+
+    def test_size_guard(self):
+        big = Pattern({f"x{i}": "a" for i in range(9)})
+        with pytest.raises(ReductionError):
+            gdc_satisfiable([GDC(big, [], [FALSE])])
+
+
+class TestGDCImplication:
+    def test_reflexive_implication(self):
+        q = Pattern({"x": "item"})
+        phi = GDC(q, [], [ComparisonLiteral("x", "v", "=", 1)])
+        implied, _ = gdc_implies([phi], phi)
+        assert implied
+
+    def test_order_weakening(self):
+        """v = 1 implies v < 2."""
+        q = Pattern({"x": "item"})
+        sigma = [GDC(q, [], [ComparisonLiteral("x", "v", "=", 1)])]
+        phi = GDC(q, [], [ComparisonLiteral("x", "v", "<", 2)])
+        implied, _ = gdc_implies(sigma, phi)
+        assert implied
+
+    def test_non_implication_with_counterexample(self):
+        q = Pattern({"x": "item"})
+        sigma = [GDC(q, [], [ComparisonLiteral("x", "v", "<", 10)])]
+        phi = GDC(q, [], [ComparisonLiteral("x", "v", "<", 2)])
+        implied, counterexample = gdc_implies(sigma, phi)
+        assert not implied
+        assert gdc_validates(counterexample, sigma)
+        assert not gdc_validates(counterexample, [phi])
+
+    def test_transitive_bounds(self):
+        """v < 2 implies v < 5 but not vice versa."""
+        q = Pattern({"x": "item"})
+        lt2 = GDC(q, [], [ComparisonLiteral("x", "v", "<", 2)])
+        lt5 = GDC(q, [], [ComparisonLiteral("x", "v", "<", 5)])
+        assert gdc_implies([lt2], lt5)[0]
+        assert not gdc_implies([lt5], lt2)[0]

@@ -1,0 +1,195 @@
+"""GED∨ tests: Example 10, disjunctive chase vs small-model search."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deps import FALSE, ConstantLiteral, GED, IdLiteral, VariableLiteral
+from repro.errors import DependencyError
+from repro.extensions import (
+    DisjunctiveChaseStats,
+    GEDVee,
+    disjunctive_chase_satisfiable,
+    domain_constraint_vee,
+    ged_to_gedvees,
+    vee_find_violations,
+    vee_implies,
+    vee_satisfiable_smallmodel,
+    vee_validates,
+)
+from repro.graph import GraphBuilder
+from repro.patterns import WILDCARD, Pattern
+from repro.reasoning import is_satisfiable
+
+
+class TestGEDVeeBasics:
+    def test_empty_y_is_forbidding(self):
+        q = Pattern({"x": "a"})
+        dep = GEDVee(q, [ConstantLiteral("x", "bad", 1)], [])
+        assert dep.is_forbidding
+
+    def test_false_absorbed_in_disjunction(self):
+        q = Pattern({"x": "a"})
+        dep = GEDVee(q, [], [FALSE, ConstantLiteral("x", "A", 1)])
+        assert dep.Y == frozenset({ConstantLiteral("x", "A", 1)})
+
+    def test_false_not_in_x(self):
+        q = Pattern({"x": "a"})
+        with pytest.raises(DependencyError):
+            GEDVee(q, [FALSE], [])
+
+    def test_ged_to_gedvees(self):
+        q = Pattern({"x": "a"})
+        ged = GED(q, [], [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "B", 2)])
+        vees = ged_to_gedvees(ged)
+        assert len(vees) == 2
+        assert all(len(v.Y) == 1 for v in vees)
+
+    def test_forbidding_ged_to_gedvee(self):
+        q = Pattern({"x": "a"})
+        ged = GED(q, [ConstantLiteral("x", "bad", 1)], [FALSE])
+        vees = ged_to_gedvees(ged)
+        assert len(vees) == 1 and vees[0].is_forbidding
+
+
+class TestExample10:
+    def test_domain_constraint_vee(self):
+        psi = domain_constraint_vee("item", "A", [0, 1])
+        ok_graph = GraphBuilder().node("i", "item", A=0).build()
+        bad_value = GraphBuilder().node("i", "item", A=5).build()
+        missing = GraphBuilder().node("i", "item").build()
+        assert vee_validates(ok_graph, [psi])
+        assert not vee_validates(bad_value, [psi])
+        # Y's disjuncts all require the attribute: absence violates.
+        assert not vee_validates(missing, [psi])
+
+    def test_domain_constraint_satisfiable_both_ways(self):
+        psi = domain_constraint_vee("item", "A", [0, 1])
+        ok_chase, witness_chase = disjunctive_chase_satisfiable([psi])
+        ok_small, witness_small = vee_satisfiable_smallmodel([psi])
+        assert ok_chase and ok_small
+        assert vee_validates(witness_chase, [psi])
+        assert vee_validates(witness_small, [psi])
+        value = witness_chase.node(witness_chase.node_ids[0]).get("A")
+        assert value in (0, 1)
+
+
+class TestDisjunctiveChase:
+    def test_branching_resolves_conflict(self):
+        """One disjunct conflicts with another rule; the chase must
+        find the other branch."""
+        q = Pattern({"x": "item"})
+        choose = GEDVee(q, [], [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "A", 2)])
+        forbid_1 = GEDVee(q, [ConstantLiteral("x", "A", 1)], [])  # A=1 forbidden
+        ok, witness = disjunctive_chase_satisfiable([choose, forbid_1])
+        assert ok
+        assert witness.node(witness.node_ids[0]).get("A") == 2
+
+    def test_all_branches_dead_unsat(self):
+        q = Pattern({"x": "item"})
+        choose = GEDVee(q, [], [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "A", 2)])
+        forbid_1 = GEDVee(q, [ConstantLiteral("x", "A", 1)], [])
+        forbid_2 = GEDVee(q, [ConstantLiteral("x", "A", 2)], [])
+        ok, witness = disjunctive_chase_satisfiable([choose, forbid_1, forbid_2])
+        assert not ok and witness is None
+
+    def test_forbidding_with_empty_x_unsat(self):
+        q = Pattern({"x": "item"})
+        ok, _ = disjunctive_chase_satisfiable([GEDVee(q, [], [])])
+        assert not ok
+
+    def test_id_disjunction(self):
+        """Choose which pair of nodes to identify; one choice conflicts."""
+        q = Pattern({"x": "a", "y": "a", "z": "b"})
+        dep = GEDVee(q, [], [IdLiteral("x", "y"), IdLiteral("x", "z")])
+        ok, witness = disjunctive_chase_satisfiable([dep])
+        assert ok  # x = y works (same label); x = z may conflict but is not needed
+        assert vee_validates(witness, [dep])
+
+    def test_stats_track_branches(self):
+        q = Pattern({"x": "item"})
+        choose = GEDVee(q, [], [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "A", 2)])
+        forbid_1 = GEDVee(q, [ConstantLiteral("x", "A", 1)], [])
+        stats = DisjunctiveChaseStats()
+        disjunctive_chase_satisfiable([choose, forbid_1], stats=stats)
+        assert stats.branches >= 2  # at least the root and one choice
+
+
+class TestGEDVeeImplication:
+    def test_reflexive(self):
+        psi = domain_constraint_vee("item", "A", [0, 1])
+        implied, _ = vee_implies([psi], psi)
+        assert implied
+
+    def test_weakening_disjunction(self):
+        """A = 0 implies A = 0 ∨ A = 1."""
+        q = Pattern({"x": "item"})
+        strong = GEDVee(q, [], [ConstantLiteral("x", "A", 0)])
+        weak = domain_constraint_vee("item", "A", [0, 1])
+        implied, _ = vee_implies([strong], weak)
+        assert implied
+
+    def test_strengthening_fails(self):
+        """A ∈ {0, 1} does not imply A = 0."""
+        q = Pattern({"x": "item"})
+        weak = domain_constraint_vee("item", "A", [0, 1])
+        strong = GEDVee(q, [], [ConstantLiteral("x", "A", 0)])
+        implied, counterexample = vee_implies([weak], strong)
+        assert not implied
+        assert vee_validates(counterexample, [weak])
+        assert not vee_validates(counterexample, [strong])
+
+
+def _random_vee_sigma(seed: int) -> list[GEDVee]:
+    rng = random.Random(seed)
+    sigma = []
+    budget = 4
+    while budget > 0 and (not sigma or rng.random() < 0.6):
+        k = rng.randint(1, min(2, budget))
+        budget -= k
+        labels = {f"x{i}": rng.choice(["a", "b", WILDCARD]) for i in range(k)}
+        variables = list(labels)
+        def lit():
+            roll = rng.random()
+            v1, v2 = rng.choice(variables), rng.choice(variables)
+            if roll < 0.5:
+                return ConstantLiteral(v1, "A", rng.choice([1, 2]))
+            if roll < 0.8:
+                return VariableLiteral(v1, "A", v2, "A")
+            return IdLiteral(v1, v2)
+        X = [lit()] if rng.random() < 0.5 else []
+        Y = [lit() for _ in range(rng.randint(0, 2))]
+        sigma.append(GEDVee(Pattern(labels), X, Y))
+    return sigma
+
+
+class TestChaseAgainstSmallModel:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_two_procedures_agree(self, seed):
+        """The disjunctive chase and the small-model search decide the
+        same satisfiability question."""
+        sigma = _random_vee_sigma(seed)
+        ok_chase, witness = disjunctive_chase_satisfiable(sigma)
+        ok_small, _ = vee_satisfiable_smallmodel(sigma)
+        assert ok_chase == ok_small
+        if ok_chase:
+            assert vee_validates(witness, sigma)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_singleton_vees_match_ged_satisfiability(self, seed):
+        """For GED∨s that are encodings of GEDs, Theorem 2's procedure
+        must agree with the disjunctive chase."""
+        rng = random.Random(seed + 7)
+        q = Pattern({"x": rng.choice(["a", "b"]), "y": rng.choice(["a", "b"])})
+        lits = [
+            ConstantLiteral("x", "A", rng.choice([1, 2])),
+            rng.choice([IdLiteral("x", "y"), VariableLiteral("x", "A", "y", "A")]),
+        ]
+        ged = GED(q, lits[:1], lits[1:])
+        vees = ged_to_gedvees(ged)
+        ok_chase, _ = disjunctive_chase_satisfiable(vees)
+        assert ok_chase == is_satisfiable([ged], use_shortcut=False)

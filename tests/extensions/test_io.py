@@ -1,0 +1,142 @@
+"""Round-trip tests for extension dependency serialization."""
+
+import pytest
+
+from repro.deps.ged import GED
+from repro.deps.literals import FALSE, ConstantLiteral, IdLiteral, VariableLiteral
+from repro.errors import DependencyError
+from repro.extensions.gdc import GDC, ComparisonLiteral, VariableComparisonLiteral
+from repro.extensions.gedvee import GEDVee
+from repro.extensions.io import (
+    dependencies_from_json,
+    dependencies_to_json,
+    dependency_from_dict,
+    dependency_to_dict,
+    gdc_from_dict,
+    gdc_to_dict,
+    gedvee_from_dict,
+    gedvee_to_dict,
+    tgd_from_dict,
+    tgd_to_dict,
+)
+from repro.extensions.tgd import GraphTGD
+from repro.patterns.pattern import Pattern
+
+
+def q() -> Pattern:
+    return Pattern({"x": "item", "y": "item"}, [("x", "next", "y")])
+
+
+class TestGdcRoundTrip:
+    def test_comparison_literals(self):
+        gdc = GDC(
+            q(),
+            [ComparisonLiteral("x", "A", "<", 10)],
+            [VariableComparisonLiteral("x", "A", "<=", "y", "A")],
+            name="ordered",
+        )
+        assert gdc_from_dict(gdc_to_dict(gdc)) == gdc
+
+    def test_mixed_literals(self):
+        gdc = GDC(
+            q(),
+            [ConstantLiteral("x", "A", 1), IdLiteral("x", "y")],
+            [FALSE],
+            name="forbid",
+        )
+        back = gdc_from_dict(gdc_to_dict(gdc))
+        assert back == gdc
+        assert back.name == "forbid"
+
+    def test_all_operators(self):
+        for op in ("=", "!=", "<", ">", "<=", ">="):
+            gdc = GDC(q(), [ComparisonLiteral("x", "A", op, 5)], [FALSE])
+            assert gdc_from_dict(gdc_to_dict(gdc)) == gdc
+
+
+class TestGedveeRoundTrip:
+    def test_domain_constraint(self):
+        vee = GEDVee(
+            Pattern({"x": "item"}),
+            [VariableLiteral("x", "A", "x", "A")],
+            [ConstantLiteral("x", "A", 0), ConstantLiteral("x", "A", 1)],
+            name="boolean-A",
+        )
+        assert gedvee_from_dict(gedvee_to_dict(vee)) == vee
+
+    def test_empty_disjunction(self):
+        vee = GEDVee(Pattern({"x": "item"}), [ConstantLiteral("x", "bad", 1)], [])
+        back = gedvee_from_dict(gedvee_to_dict(vee))
+        assert back == vee
+        assert back.is_forbidding
+
+
+class TestTgdRoundTrip:
+    def test_existential_tgd(self):
+        tgd = GraphTGD(
+            Pattern({"x": "person"}),
+            X=[ConstantLiteral("x", "active", 1)],
+            head_nodes={"a": "account"},
+            head_edges=[("x", "owns", "a")],
+            Y=[ConstantLiteral("a", "status", "open")],
+            name="active-has-account",
+        )
+        back = tgd_from_dict(tgd_to_dict(tgd))
+        assert back.body == tgd.body
+        assert back.X == tgd.X
+        assert back.head_nodes == tgd.head_nodes
+        assert back.head_edges == tgd.head_edges
+        assert back.Y == tgd.Y
+        assert back.name == tgd.name
+
+    def test_full_tgd(self):
+        tgd = GraphTGD(
+            Pattern({"x": "a", "y": "a"}, [("x", "e", "y")]),
+            head_edges=[("y", "e", "x")],
+        )
+        back = tgd_from_dict(tgd_to_dict(tgd))
+        assert back.head_edges == (("y", "e", "x"),)
+        assert back.is_full
+
+
+class TestMixedDocuments:
+    def test_heterogeneous_rule_file(self):
+        deps = [
+            GED(q(), [], [ConstantLiteral("x", "A", 1)], name="plain"),
+            GDC(q(), [ComparisonLiteral("x", "A", ">", 3)], [FALSE], name="cap"),
+            GEDVee(Pattern({"x": "item"}), [], [ConstantLiteral("x", "A", 0)], name="v"),
+            GraphTGD(
+                Pattern({"x": "person"}),
+                head_nodes={"a": "account"},
+                head_edges=[("x", "owns", "a")],
+            ),
+        ]
+        loaded = dependencies_from_json(dependencies_to_json(deps))
+        assert isinstance(loaded[0], GED)
+        assert isinstance(loaded[1], GDC)
+        assert isinstance(loaded[2], GEDVee)
+        assert isinstance(loaded[3], GraphTGD)
+        assert loaded[0] == deps[0]
+        assert loaded[1] == deps[1]
+        assert loaded[2] == deps[2]
+
+    def test_untagged_document_is_a_ged(self):
+        from repro.deps.io import ged_to_dict
+
+        ged = GED(q(), [], [ConstantLiteral("x", "A", 1)])
+        assert dependency_from_dict(ged_to_dict(ged)) == ged
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DependencyError):
+            dependency_from_dict({"type": "mystery"})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(DependencyError):
+            dependency_to_dict(object())
+
+    def test_single_dict_document(self):
+        ged = GED(q(), [], [ConstantLiteral("x", "A", 1)])
+        (loaded,) = dependencies_from_json(
+            dependencies_to_json([ged])[1:-1]  # strip list brackets
+        )
+        assert loaded == ged

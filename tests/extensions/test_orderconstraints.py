@@ -1,0 +1,139 @@
+"""Point-algebra order solver: unit tests + brute-force cross-check."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConstraintError
+from repro.extensions import Const, Constraint, OrderSolver, solve_constraints
+from repro.extensions.predicates import evaluate
+
+
+def c(lhs, op, rhs) -> Constraint:
+    wrap = lambda t: Const(t) if isinstance(t, (int, float)) else t
+    return Constraint(wrap(lhs), op, wrap(rhs))
+
+
+class TestBasics:
+    def test_empty_is_satisfiable(self):
+        assert solve_constraints([]) == {}
+
+    def test_simple_chain(self):
+        sol = solve_constraints([c("x", "<", "y"), c("y", "<", "z")])
+        assert sol["x"] < sol["y"] < sol["z"]
+
+    def test_equality_merges(self):
+        sol = solve_constraints([c("x", "=", "y"), c("y", "=", 5)])
+        assert sol["x"] == sol["y"] == 5
+
+    def test_strict_cycle_unsat(self):
+        assert solve_constraints([c("x", "<", "y"), c("y", "<", "x")]) is None
+
+    def test_nonstrict_cycle_forces_equality(self):
+        sol = solve_constraints([c("x", "<=", "y"), c("y", "<=", "x")])
+        assert sol["x"] == sol["y"]
+
+    def test_nonstrict_cycle_with_ne_unsat(self):
+        assert (
+            solve_constraints(
+                [c("x", "<=", "y"), c("y", "<=", "x"), c("x", "!=", "y")]
+            )
+            is None
+        )
+
+    def test_constants_order_respected(self):
+        sol = solve_constraints([c("x", ">", 3), c("x", "<", 4)])
+        assert 3 < sol["x"] < 4
+
+    def test_contradictory_constant_bounds(self):
+        assert solve_constraints([c("x", "<", 3), c("x", ">", 4)]) is None
+
+    def test_pinning_between_equal_bounds(self):
+        sol = solve_constraints([c("x", ">=", 3), c("x", "<=", 3)])
+        assert sol["x"] == 3
+
+    def test_pinning_then_ne_unsat(self):
+        assert (
+            solve_constraints([c("x", ">=", 3), c("x", "<=", 3), c("x", "!=", 3)])
+            is None
+        )
+
+    def test_constant_vs_constant(self):
+        assert solve_constraints([c(3, "<", 4)]) == {Const(3): 3, Const(4): 4}
+        assert solve_constraints([c(4, "<", 3)]) is None
+
+    def test_flipped_constant_side(self):
+        sol = solve_constraints([c(3, "<", "x")])
+        assert sol["x"] > 3
+
+    def test_ne_between_free_variables(self):
+        sol = solve_constraints([c("x", "!=", "y")])
+        assert sol["x"] != sol["y"]
+
+    def test_ne_with_tight_window(self):
+        sol = solve_constraints(
+            [c("x", ">", 0), c("x", "<", 1), c("y", ">", 0), c("y", "<", 1), c("x", "!=", "y")]
+        )
+        assert 0 < sol["x"] < 1 and 0 < sol["y"] < 1 and sol["x"] != sol["y"]
+
+    def test_equality_through_le_chain_with_constants(self):
+        """x ≤ y ≤ 3 and x ≥ 3 pin both to 3."""
+        sol = solve_constraints([c("x", "<=", "y"), c("y", "<=", 3), c("x", ">=", 3)])
+        assert sol["x"] == sol["y"] == 3
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ConstraintError):
+            OrderSolver([Constraint("x", "<>", "y")])
+
+    def test_non_numeric_constant_rejected(self):
+        with pytest.raises(ConstraintError):
+            Const("hello")
+
+
+def brute_force_satisfiable(constraints, variables, grid):
+    """Ground-truth satisfiability over a value grid."""
+    for values in itertools.product(grid, repeat=len(variables)):
+        binding = dict(zip(variables, values))
+
+        def val(term):
+            return term.value if isinstance(term, Const) else binding[term]
+
+        if all(evaluate(val(k.lhs), k.op, val(k.rhs)) for k in constraints):
+            return True
+    return False
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_solver_agrees_with_grid_search(self, seed):
+        """On integer-expressible instances the solver and a grid search
+        agree.  Grid granularity 0.5 over [-1, 4] suffices because all
+        constants are drawn from {0, 1, 2, 3}: any satisfiable instance
+        has a solution on the half-integer grid (dense-order argument),
+        and UNSAT instances have no solution anywhere."""
+        rng = random.Random(seed)
+        variables = ["x", "y", "z"][: rng.randint(1, 3)]
+        constraints = []
+        for _ in range(rng.randint(1, 5)):
+            lhs = rng.choice(variables)
+            op = rng.choice(["=", "!=", "<", ">", "<=", ">="])
+            if rng.random() < 0.5:
+                rhs = Const(rng.choice([0, 1, 2, 3]))
+            else:
+                rhs = rng.choice(variables)
+            constraints.append(Constraint(lhs, op, rhs))
+        solution = solve_constraints(constraints)
+        grid = [v / 2 for v in range(-2, 9)]
+        expected = brute_force_satisfiable(constraints, variables, grid)
+        assert (solution is not None) == expected
+        if solution is not None:
+            # The witness must actually satisfy every constraint.
+            def val(term):
+                return term.value if isinstance(term, Const) else solution[term]
+
+            for k in constraints:
+                assert evaluate(val(k.lhs), k.op, val(k.rhs)), (k, solution)

@@ -1,0 +1,310 @@
+"""Tests for graph TGDs: validation, weak acyclicity, restricted chase."""
+
+import pytest
+
+from repro.chase.engine import chase
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, IdLiteral, VariableLiteral
+from repro.errors import DependencyError
+from repro.extensions.tgd import (
+    GraphTGD,
+    attribute_existence_as_tgd,
+    chase_with_tgds,
+    tgd_find_unsatisfied,
+    tgd_validates,
+    weakly_acyclic,
+)
+from repro.graph.graph import Graph
+from repro.patterns.labels import WILDCARD
+from repro.patterns.pattern import Pattern
+
+
+def person_account_tgd() -> GraphTGD:
+    """Every person has an account (existential head)."""
+    return GraphTGD(
+        Pattern({"x": "person"}),
+        head_nodes={"a": "account"},
+        head_edges=[("x", "owns", "a")],
+        name="person-has-account",
+    )
+
+
+class TestConstruction:
+    def test_valid_tgd(self):
+        tgd = person_account_tgd()
+        assert tgd.existential_variables == ("a",)
+        assert not tgd.is_full
+
+    def test_full_tgd(self):
+        tgd = GraphTGD(
+            Pattern({"x": "person", "y": "person"}, [("x", "knows", "y")]),
+            head_edges=[("y", "knows", "x")],
+            name="symmetric-knows",
+        )
+        assert tgd.is_full
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(DependencyError):
+            GraphTGD(Pattern({"x": "person"}))
+
+    def test_existential_clash_with_body_rejected(self):
+        with pytest.raises(DependencyError):
+            GraphTGD(
+                Pattern({"x": "person"}),
+                head_nodes={"x": "account"},
+                head_edges=[("x", "owns", "x")],
+            )
+
+    def test_wildcard_head_label_rejected(self):
+        with pytest.raises(DependencyError):
+            GraphTGD(
+                Pattern({"x": "person"}),
+                head_nodes={"a": WILDCARD},
+                head_edges=[("x", "owns", "a")],
+            )
+
+    def test_wildcard_head_edge_rejected(self):
+        with pytest.raises(DependencyError):
+            GraphTGD(
+                Pattern({"x": "person", "y": "person"}, [("x", "knows", "y")]),
+                head_edges=[("x", WILDCARD, "y")],
+            )
+
+    def test_id_literal_in_head_rejected(self):
+        with pytest.raises(DependencyError):
+            GraphTGD(
+                Pattern({"x": "person", "y": "person"}, [("x", "knows", "y")]),
+                Y=[IdLiteral("x", "y")],
+            )
+
+    def test_unknown_head_edge_variable_rejected(self):
+        with pytest.raises(DependencyError):
+            GraphTGD(
+                Pattern({"x": "person"}),
+                head_nodes={"a": "account"},
+                head_edges=[("x", "owns", "b")],
+            )
+
+
+class TestValidation:
+    def test_satisfied(self):
+        g = Graph()
+        g.add_node("p", "person")
+        g.add_node("acc", "account")
+        g.add_edge("p", "owns", "acc")
+        assert tgd_validates(g, [person_account_tgd()])
+
+    def test_unsatisfied(self):
+        g = Graph()
+        g.add_node("p", "person")
+        assert not tgd_validates(g, [person_account_tgd()])
+        (witness,) = tgd_find_unsatisfied(g, [person_account_tgd()])
+        assert witness.assignment == {"x": "p"}
+
+    def test_body_condition_filters(self):
+        tgd = GraphTGD(
+            Pattern({"x": "person"}),
+            X=[ConstantLiteral("x", "active", 1)],
+            head_nodes={"a": "account"},
+            head_edges=[("x", "owns", "a")],
+        )
+        g = Graph()
+        g.add_node("p", "person", {"active": 0})
+        assert tgd_validates(g, [tgd])  # premise fails, vacuous
+        g.set_attribute("p", "active", 1)
+        assert not tgd_validates(g, [tgd])
+
+    def test_head_literal_checked(self):
+        tgd = GraphTGD(
+            Pattern({"x": "person"}),
+            head_nodes={"a": "account"},
+            head_edges=[("x", "owns", "a")],
+            Y=[ConstantLiteral("a", "status", "open")],
+        )
+        g = Graph()
+        g.add_node("p", "person")
+        g.add_node("acc", "account", {"status": "closed"})
+        g.add_edge("p", "owns", "acc")
+        assert not tgd_validates(g, [tgd])
+        g.set_attribute("acc", "status", "open")
+        assert tgd_validates(g, [tgd])
+
+    def test_full_tgd_validation(self):
+        sym = GraphTGD(
+            Pattern({"x": "person", "y": "person"}, [("x", "knows", "y")]),
+            head_edges=[("y", "knows", "x")],
+        )
+        g = Graph()
+        g.add_node("a", "person")
+        g.add_node("b", "person")
+        g.add_edge("a", "knows", "b")
+        assert not tgd_validates(g, [sym])
+        g.add_edge("b", "knows", "a")
+        assert tgd_validates(g, [sym])
+
+    def test_attribute_existence_tgd_matches_ged_semantics(self):
+        """The Section 3 attribute-existence constraint: GED and TGD
+        formulations agree on every graph."""
+        tgd = attribute_existence_as_tgd("item", "A")
+        ged = GED(
+            Pattern({"x": "item"}), [], [VariableLiteral("x", "A", "x", "A")]
+        )
+        from repro.reasoning.validation import validates
+
+        g1 = Graph()
+        g1.add_node("i", "item", {"A": 7})
+        g2 = Graph()
+        g2.add_node("i", "item")
+        for g in (g1, g2):
+            assert tgd_validates(g, [tgd]) == validates(g, [ged])
+
+
+class TestWeakAcyclicity:
+    def test_single_generating_tgd_is_wa(self):
+        assert weakly_acyclic([person_account_tgd()])
+
+    def test_full_tgds_always_wa(self):
+        sym = GraphTGD(
+            Pattern({"x": "person", "y": "person"}, [("x", "knows", "y")]),
+            head_edges=[("y", "knows", "x")],
+        )
+        assert weakly_acyclic([sym])
+
+    def test_mutual_generation_not_wa(self):
+        t1 = GraphTGD(
+            Pattern({"x": "person"}),
+            head_nodes={"a": "account"},
+            head_edges=[("x", "owns", "a")],
+        )
+        t2 = GraphTGD(
+            Pattern({"a": "account"}),
+            head_nodes={"p": "person"},
+            head_edges=[("p", "owns", "a")],
+        )
+        assert not weakly_acyclic([t1, t2])
+
+    def test_self_generation_not_wa(self):
+        t = GraphTGD(
+            Pattern({"x": "person"}),
+            head_nodes={"p": "person"},
+            head_edges=[("x", "parent", "p")],
+        )
+        assert not weakly_acyclic([t])
+
+    def test_wildcard_body_conservative(self):
+        t = GraphTGD(
+            Pattern({"x": WILDCARD}),
+            head_nodes={"a": "thing"},
+            head_edges=[("x", "rel", "a")],
+        )
+        # wildcard body depends on every label incl. "thing" -> special cycle
+        assert not weakly_acyclic([t])
+
+
+class TestTgdChase:
+    def test_chase_creates_missing_structure(self):
+        g = Graph()
+        g.add_node("p", "person")
+        result = chase_with_tgds(g, [person_account_tgd()])
+        assert result.terminated
+        assert result.consistent
+        assert len(result.invented_nodes) == 1
+        assert tgd_validates(result.graph, [person_account_tgd()])
+
+    def test_restricted_chase_does_not_duplicate(self):
+        g = Graph()
+        g.add_node("p", "person")
+        g.add_node("acc", "account")
+        g.add_edge("p", "owns", "acc")
+        result = chase_with_tgds(g, [person_account_tgd()])
+        assert result.terminated
+        assert result.invented_nodes == []
+        assert result.graph == g
+
+    def test_cascading_wa_set_terminates(self):
+        t1 = GraphTGD(
+            Pattern({"x": "person"}),
+            head_nodes={"a": "account"},
+            head_edges=[("x", "owns", "a")],
+        )
+        t2 = GraphTGD(
+            Pattern({"a": "account"}),
+            head_nodes={"w": "wallet"},
+            head_edges=[("a", "holds", "w")],
+        )
+        assert weakly_acyclic([t1, t2])
+        g = Graph()
+        g.add_node("p", "person")
+        result = chase_with_tgds(g, [t1, t2])
+        assert result.terminated
+        assert len(result.invented_nodes) == 2
+        assert tgd_validates(result.graph, [t1, t2])
+
+    def test_non_terminating_set_hits_budget(self):
+        t = GraphTGD(
+            Pattern({"x": "person"}),
+            head_nodes={"p": "person"},
+            head_edges=[("x", "parent", "p")],
+        )
+        result = chase_with_tgds(_single_person(), [t], max_rounds=5)
+        assert not result.terminated
+        assert result.reason == "round budget exhausted"
+        assert len(result.invented_nodes) >= 5
+
+    def test_interleaved_ged_merges_nulls(self):
+        """TGD invents an account per person; a GED key says one account
+        per person — the invented duplicates must merge."""
+        t = person_account_tgd()
+        key = GED(
+            Pattern(
+                {"x": "person", "a": "account", "b": "account"},
+                [("x", "owns", "a"), ("x", "owns", "b")],
+            ),
+            [],
+            [IdLiteral("a", "b")],
+        )
+        g = Graph()
+        g.add_node("p", "person")
+        g.add_node("acc", "account")
+        g.add_edge("p", "owns", "acc")
+        result = chase_with_tgds(g, [t], geds=[key])
+        assert result.terminated
+        assert result.consistent
+        accounts = [n for n in result.graph.nodes if n.label == "account"]
+        assert len(accounts) == 1
+
+    def test_interleaved_ged_conflict_reported(self):
+        t = GraphTGD(
+            Pattern({"x": "person"}),
+            head_nodes={"a": "account"},
+            head_edges=[("x", "owns", "a")],
+            Y=[ConstantLiteral("a", "tier", "new")],
+        )
+        clash = GED(
+            Pattern({"x": "person", "a": "account"}, [("x", "owns", "a")]),
+            [],
+            [ConstantLiteral("a", "tier", "legacy")],
+        )
+        g = Graph()
+        g.add_node("p", "person")
+        result = chase_with_tgds(g, [t], geds=[clash])
+        assert not result.consistent
+
+    def test_head_literal_value_propagation(self):
+        t = GraphTGD(
+            Pattern({"x": "person", "y": "person"}, [("x", "spouse", "y")]),
+            Y=[VariableLiteral("x", "surname", "y", "surname")],
+        )
+        g = Graph()
+        g.add_node("a", "person", {"surname": "Curie"})
+        g.add_node("b", "person")
+        g.add_edge("a", "spouse", "b")
+        result = chase_with_tgds(g, [t])
+        assert result.terminated
+        assert result.graph.node("b").get("surname") == "Curie"
+
+
+def _single_person() -> Graph:
+    g = Graph()
+    g.add_node("p", "person")
+    return g

@@ -1,0 +1,94 @@
+"""Property-based tests for graph TGDs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.tgd import (
+    GraphTGD,
+    chase_with_tgds,
+    tgd_find_unsatisfied,
+    tgd_validates,
+    weakly_acyclic,
+)
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+
+
+def random_bipartite(seed: int, people: int = 4, accounts: int = 3) -> Graph:
+    rng = random.Random(seed)
+    g = Graph()
+    for i in range(people):
+        g.add_node(f"p{i}", "person")
+    for j in range(accounts):
+        g.add_node(f"a{j}", "account")
+    for i in range(people):
+        for j in range(accounts):
+            if rng.random() < 0.4:
+                g.add_edge(f"p{i}", "owns", f"a{j}")
+    return g
+
+
+def ownership_tgd() -> GraphTGD:
+    return GraphTGD(
+        Pattern({"x": "person"}),
+        head_nodes={"a": "account"},
+        head_edges=[("x", "owns", "a")],
+        name="person-has-account",
+    )
+
+
+class TestChaseProperties:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_chase_fixpoint_validates(self, seed):
+        """On every input, the (WA) chase terminates at a graph that
+        satisfies the TGDs."""
+        g = random_bipartite(seed)
+        tgds = [ownership_tgd()]
+        assert weakly_acyclic(tgds)
+        result = chase_with_tgds(g, tgds)
+        assert result.terminated
+        assert tgd_validates(result.graph, tgds)
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_chase_is_conservative(self, seed):
+        """The chase never deletes: all original nodes and edges survive."""
+        g = random_bipartite(seed)
+        result = chase_with_tgds(g, [ownership_tgd()])
+        for node in g.nodes:
+            assert result.graph.has_node(node.id)
+        assert g.edges <= result.graph.edges
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_restricted_chase_invents_only_for_unsatisfied(self, seed):
+        """Invented nulls are bounded by the initially unsatisfied
+        bodies (this TGD set triggers no cascades)."""
+        g = random_bipartite(seed)
+        tgds = [ownership_tgd()]
+        need = len(tgd_find_unsatisfied(g, tgds))
+        result = chase_with_tgds(g, tgds)
+        assert len(result.invented_nodes) == need
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_chase_idempotent(self, seed):
+        g = random_bipartite(seed)
+        tgds = [ownership_tgd()]
+        once = chase_with_tgds(g, tgds)
+        twice = chase_with_tgds(once.graph, tgds)
+        assert twice.invented_nodes == []
+        assert twice.graph == once.graph
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_validation_monotone_under_chase(self, seed):
+        """A graph already satisfying the TGDs is untouched."""
+        g = random_bipartite(seed)
+        tgds = [ownership_tgd()]
+        if tgd_validates(g, tgds):
+            result = chase_with_tgds(g, tgds)
+            assert result.graph == g

@@ -1,0 +1,140 @@
+"""Tests for graph generators, JSON IO, and the relational encoding."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Relation,
+    complete_graph,
+    cycle_graph,
+    graph_from_json,
+    graph_to_json,
+    graph_to_relation,
+    path_graph,
+    random_connected_undirected_graph,
+    random_labeled_graph,
+    relations_to_graph,
+    star_graph,
+    undirected_edge_set,
+)
+
+
+class TestGenerators:
+    def test_complete_graph_edge_count(self):
+        g = complete_graph(4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 12  # n(n-1) directed edges
+
+    def test_complete_graph_no_self_loops(self):
+        g = complete_graph(5)
+        assert all(s != t for (s, _, t) in g.edges)
+
+    def test_cycle_graph_undirected(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 10
+        assert undirected_edge_set(g) == {
+            ("n0", "n1"), ("n1", "n2"), ("n2", "n3"), ("n3", "n4"), ("n0", "n4"),
+        }
+
+    def test_cycle_graph_directed(self):
+        g = cycle_graph(4, directed=True)
+        assert g.num_edges == 4
+
+    def test_path_graph(self):
+        g = path_graph(3)
+        assert g.num_edges == 4
+        assert g.has_edge("n0", "adj", "n1") and g.has_edge("n1", "adj", "n0")
+
+    def test_star_graph(self):
+        g = star_graph(3)
+        assert g.num_nodes == 4
+        assert g.out_degree("c") == 3
+
+    def test_random_labeled_graph_deterministic(self):
+        a = random_labeled_graph(10, 0.3, rng=42, attribute_names=["p"])
+        b = random_labeled_graph(10, 0.3, rng=42, attribute_names=["p"])
+        assert a == b
+
+    def test_random_connected_graph_is_connected(self):
+        g = random_connected_undirected_graph(12, rng=7)
+        seen = {"n0"}
+        frontier = ["n0"]
+        while frontier:
+            current = frontier.pop()
+            for nxt in g.successors(current):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        assert seen == set(g.node_ids)
+
+    def test_random_connected_graph_no_self_loops(self):
+        g = random_connected_undirected_graph(8, rng=3)
+        assert all(s != t for (s, _, t) in g.edges)
+
+
+class TestJsonIO:
+    def test_round_trip(self):
+        g = random_labeled_graph(8, 0.4, rng=1, attribute_names=["a", "b"])
+        assert graph_from_json(graph_to_json(g)) == g
+
+    def test_round_trip_preserves_attribute_values(self):
+        g = complete_graph(2)
+        g.set_attribute("n0", "score", 3)
+        g.set_attribute("n1", "name", "x")
+        back = graph_from_json(graph_to_json(g))
+        assert back.node("n0").get("score") == 3
+        assert back.node("n1").get("name") == "x"
+
+    def test_malformed_dict_raises(self):
+        from repro.graph import graph_from_dict
+
+        with pytest.raises(GraphError):
+            graph_from_dict({"edges": []})
+
+
+class TestRelationalEncoding:
+    def test_relation_insert_positional_and_mapping(self):
+        r = Relation("R", ["A", "B"])
+        r.insert([1, 2])
+        r.insert({"A": 3, "B": 4})
+        assert len(r) == 2
+        assert r.tuples[1] == {"A": 3, "B": 4}
+
+    def test_relation_validates_arity(self):
+        r = Relation("R", ["A", "B"])
+        with pytest.raises(GraphError):
+            r.insert([1])
+        with pytest.raises(GraphError):
+            r.insert({"A": 1})
+        with pytest.raises(GraphError):
+            r.insert({"A": 1, "B": 2, "C": 3})
+
+    def test_relation_rejects_duplicate_attributes(self):
+        with pytest.raises(GraphError):
+            Relation("R", ["A", "A"])
+
+    def test_tuples_become_labeled_nodes(self):
+        r = Relation("emp", ["name", "dept"])
+        r.insert(["ada", "cs"])
+        r.insert(["bob", "ee"])
+        g = relations_to_graph([r])
+        assert g.num_nodes == 2
+        assert g.num_edges == 0
+        assert g.nodes_with_label("emp") == {"emp#0", "emp#1"}
+        assert g.node("emp#0").get("name") == "ada"
+
+    def test_round_trip_through_graph(self):
+        r = Relation("R", ["A", "B"])
+        r.insert([1, "x"])
+        r.insert([2, "y"])
+        g = relations_to_graph([r])
+        back = graph_to_relation(g, "R", ["A", "B"])
+        assert sorted(t["A"] for t in back.tuples) == [1, 2]
+
+    def test_decode_skips_incomplete_tuples(self):
+        r = Relation("R", ["A"])
+        r.insert([1])
+        g = relations_to_graph([r])
+        g.add_node("stray", "R")  # schemaless node without attribute A
+        back = graph_to_relation(g, "R", ["A"])
+        assert len(back) == 1

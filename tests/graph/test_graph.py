@@ -1,0 +1,192 @@
+"""Unit tests for the property-graph substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, GraphBuilder
+
+
+def simple_graph() -> Graph:
+    g = Graph()
+    g.add_node("a", "person", name="Ada")
+    g.add_node("b", "product", title="Game")
+    g.add_edge("a", "create", "b")
+    return g
+
+
+class TestNodeConstruction:
+    def test_node_has_label_and_attributes(self):
+        g = simple_graph()
+        node = g.node("a")
+        assert node.label == "person"
+        assert node.attributes == {"name": "Ada"}
+
+    def test_id_is_not_an_attribute(self):
+        g = simple_graph()
+        assert not g.node("a").has_attribute("id")
+
+    def test_setting_id_attribute_is_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_node("x", "person", id="boom")
+
+    def test_empty_node_id_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_node("", "person")
+
+    def test_empty_label_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_node("x", "")
+
+    def test_duplicate_node_rejected(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_node("a", "person")
+
+    def test_attrs_mapping_and_kwargs_merge(self):
+        g = Graph()
+        g.add_node("x", "v", {"a": 1}, b=2)
+        assert g.node("x").attributes == {"a": 1, "b": 2}
+
+    def test_get_with_default(self):
+        g = simple_graph()
+        assert g.node("a").get("name") == "Ada"
+        assert g.node("a").get("missing", 7) == 7
+
+
+class TestEdges:
+    def test_edge_requires_existing_endpoints(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "r", "zzz")
+        with pytest.raises(GraphError):
+            g.add_edge("zzz", "r", "a")
+
+    def test_edge_label_nonempty(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "", "b")
+
+    def test_edges_are_a_set(self):
+        g = simple_graph()
+        g.add_edge("a", "create", "b")
+        assert g.num_edges == 1
+
+    def test_parallel_edges_with_distinct_labels(self):
+        g = simple_graph()
+        g.add_edge("a", "like", "b")
+        assert g.num_edges == 2
+        assert g.successors("a", "create") == {"b"}
+        assert g.successors("a", "like") == {"b"}
+
+    def test_self_loop_allowed(self):
+        g = simple_graph()
+        g.add_edge("a", "knows", "a")
+        assert g.has_edge("a", "knows", "a")
+
+    def test_successors_predecessors(self):
+        g = simple_graph()
+        assert g.successors("a") == {"b"}
+        assert g.predecessors("b") == {"a"}
+        assert g.successors("b") == set()
+        assert g.predecessors("b", "create") == {"a"}
+        assert g.predecessors("b", "like") == set()
+
+    def test_degrees(self):
+        g = simple_graph()
+        assert g.out_degree("a") == 1
+        assert g.in_degree("a") == 0
+        assert g.in_degree("b") == 1
+
+    def test_in_out_edges_iterators(self):
+        g = simple_graph()
+        assert list(g.out_edges("a")) == [("a", "create", "b")]
+        assert list(g.in_edges("b")) == [("a", "create", "b")]
+
+    def test_unknown_node_queries_raise(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.successors("zzz")
+        with pytest.raises(GraphError):
+            g.predecessors("zzz")
+        with pytest.raises(GraphError):
+            g.node("zzz")
+
+
+class TestIndexes:
+    def test_nodes_with_label(self):
+        g = simple_graph()
+        assert g.nodes_with_label("person") == {"a"}
+        assert g.nodes_with_label("nothing") == set()
+
+    def test_labels_property(self):
+        g = simple_graph()
+        assert g.labels == {"person", "product"}
+
+    def test_edge_labels(self):
+        g = simple_graph()
+        assert g.edge_labels == {"create"}
+
+
+class TestWholeGraphOps:
+    def test_copy_is_independent(self):
+        g = simple_graph()
+        clone = g.copy()
+        assert clone == g
+        clone.set_attribute("a", "name", "Bob")
+        assert g.node("a").get("name") == "Ada"
+
+    def test_structural_equality(self):
+        assert simple_graph() == simple_graph()
+        other = simple_graph()
+        other.add_edge("b", "owns", "a")
+        assert simple_graph() != other
+
+    def test_disjoint_union_with_prefixes(self):
+        g = simple_graph()
+        u = g.disjoint_union(g, "l:", "r:")
+        assert u.num_nodes == 4
+        assert u.has_edge("l:a", "create", "l:b")
+        assert u.has_edge("r:a", "create", "r:b")
+
+    def test_induced_subgraph(self):
+        g = simple_graph()
+        g.add_node("c", "person")
+        g.add_edge("c", "create", "b")
+        sub = g.induced_subgraph(["a", "b"])
+        assert sub.num_nodes == 2
+        assert sub.has_edge("a", "create", "b")
+        assert not sub.has_node("c")
+
+    def test_size_counts_nodes_edges_attrs(self):
+        g = simple_graph()
+        # 2 nodes + 1 edge + 2 attribute entries
+        assert g.size() == 5
+
+    def test_set_attribute(self):
+        g = simple_graph()
+        g.set_attribute("b", "year", 1989)
+        assert g.node("b").get("year") == 1989
+        with pytest.raises(GraphError):
+            g.set_attribute("b", "id", 3)
+
+
+class TestBuilder:
+    def test_fluent_builder(self):
+        g = (
+            GraphBuilder()
+            .node("x", "account", is_fake=1)
+            .nodes("blog", "b1", "b2")
+            .edge("x", "post", "b1")
+            .edges("like", ("x", "b1"), ("x", "b2"))
+            .undirected_edge("b1", "rel", "b2")
+            .attr("b1", "keyword", "scam")
+            .build()
+        )
+        assert g.num_nodes == 3
+        assert g.has_edge("x", "post", "b1")
+        assert g.has_edge("b1", "rel", "b2") and g.has_edge("b2", "rel", "b1")
+        assert g.node("b1").get("keyword") == "scam"
+        assert g.node("x").get("is_fake") == 1

@@ -1,0 +1,40 @@
+"""Brute-force homomorphism enumeration, used as a testing oracle.
+
+Checks every assignment in the full cartesian product — exponential, but
+obviously correct, which is the point of an oracle.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.graph.graph import Graph
+from repro.matching.homomorphism import Match
+from repro.patterns.labels import WILDCARD, matches
+from repro.patterns.pattern import Pattern
+
+
+def brute_force_homomorphisms(pattern: Pattern, graph: Graph) -> list[Match]:
+    """All matches of ``pattern`` in ``graph`` by exhaustive enumeration."""
+    variables = list(pattern.variables)
+    node_ids = list(graph.node_ids)
+    results: list[Match] = []
+    for images in product(node_ids, repeat=len(variables)):
+        mapping = dict(zip(variables, images))
+        if _is_match(pattern, graph, mapping):
+            results.append(mapping)
+    return results
+
+
+def _is_match(pattern: Pattern, graph: Graph, mapping: Match) -> bool:
+    for variable in pattern.variables:
+        if not matches(pattern.label_of(variable), graph.node(mapping[variable]).label):
+            return False
+    for source, edge_label, target in pattern.edges:
+        h_s, h_t = mapping[source], mapping[target]
+        if edge_label == WILDCARD:
+            if h_t not in graph.successors(h_s):
+                return False
+        elif not graph.has_edge(h_s, edge_label, h_t):
+            return False
+    return True

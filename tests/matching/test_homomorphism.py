@@ -1,0 +1,198 @@
+"""Unit + property tests for the homomorphism matcher."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph import Graph, GraphBuilder, complete_graph, cycle_graph, random_labeled_graph
+from repro.matching import (
+    count_matches,
+    find_homomorphisms,
+    find_match,
+    has_match,
+    is_homomorphism,
+)
+from repro.patterns import WILDCARD, Pattern
+
+from tests.matching.brute import brute_force_homomorphisms
+
+
+def person_product_graph() -> Graph:
+    return (
+        GraphBuilder()
+        .node("p1", "person", name="tony")
+        .node("p2", "person", name="gibbo")
+        .node("g1", "product", title="blaster")
+        .edge("p1", "create", "g1")
+        .edge("p2", "create", "g1")
+        .build()
+    )
+
+
+class TestBasicMatching:
+    def test_all_matches_found(self):
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        matches = list(find_homomorphisms(q, person_product_graph()))
+        assert len(matches) == 2
+        assert {m["x"] for m in matches} == {"p1", "p2"}
+        assert all(m["y"] == "g1" for m in matches)
+
+    def test_no_match_when_label_absent(self):
+        q = Pattern({"x": "alien"}, [])
+        assert not has_match(q, person_product_graph())
+
+    def test_no_match_when_edge_absent(self):
+        q = Pattern({"x": "product", "y": "person"}, [("x", "create", "y")])
+        assert not has_match(q, person_product_graph())
+
+    def test_edge_label_must_match(self):
+        q = Pattern({"x": "person", "y": "product"}, [("x", "destroy", "y")])
+        assert not has_match(q, person_product_graph())
+
+    def test_wildcard_node_label(self):
+        q = Pattern({"x": WILDCARD}, [])
+        assert count_matches(q, person_product_graph()) == 3
+
+    def test_wildcard_edge_label(self):
+        g = person_product_graph()
+        g.add_edge("p1", "like", "g1")
+        q = Pattern({"x": "person", "y": "product"}, [("x", WILDCARD, "y")])
+        # Wildcard edges count matches, not edges: p1 and p2 each match once.
+        assert count_matches(q, g) == 2
+
+    def test_homomorphism_not_injective(self):
+        # Both pattern variables may map to the same node.
+        g = GraphBuilder().node("a", "v").edge("a", "r", "a").build()
+        q = Pattern({"x": "v", "y": "v"}, [("x", "r", "y")])
+        matches = list(find_homomorphisms(q, g))
+        assert matches == [{"x": "a", "y": "a"}]
+
+    def test_triangle_pattern_in_k3(self):
+        q = Pattern(
+            {"a": "v", "b": "v", "c": "v"},
+            [("a", "adj", "b"), ("b", "adj", "c"), ("c", "adj", "a")],
+        )
+        # In K3 all 6 cyclic assignments of distinct corners match.
+        assert count_matches(q, complete_graph(3)) == 6
+
+    def test_odd_cycle_has_no_hom_to_k2(self):
+        q = Pattern(
+            {f"v{i}": "v" for i in range(5)},
+            [(f"v{i}", "adj", f"v{(i + 1) % 5}") for i in range(5)]
+            + [(f"v{(i + 1) % 5}", "adj", f"v{i}") for i in range(5)],
+        )
+        assert not has_match(q, complete_graph(2))
+        assert has_match(q, complete_graph(3))
+
+    def test_even_cycle_has_hom_to_k2(self):
+        q = Pattern(
+            {f"v{i}": "v" for i in range(4)},
+            [(f"v{i}", "adj", f"v{(i + 1) % 4}") for i in range(4)]
+            + [(f"v{(i + 1) % 4}", "adj", f"v{i}") for i in range(4)],
+        )
+        assert has_match(q, complete_graph(2))
+
+
+class TestFixedAndLimit:
+    def test_fixed_assignment_restricts(self):
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        matches = list(find_homomorphisms(q, person_product_graph(), fixed={"x": "p1"}))
+        assert matches == [{"x": "p1", "y": "g1"}]
+
+    def test_fixed_to_impossible_node(self):
+        q = Pattern({"x": "person"}, [])
+        assert find_match(q, person_product_graph(), fixed={"x": "g1"}) is None
+
+    def test_fixed_unknown_variable_raises(self):
+        q = Pattern({"x": "person"}, [])
+        with pytest.raises(PatternError):
+            list(find_homomorphisms(q, person_product_graph(), fixed={"z": "p1"}))
+
+    def test_fixed_unknown_node_raises(self):
+        q = Pattern({"x": "person"}, [])
+        with pytest.raises(PatternError):
+            list(find_homomorphisms(q, person_product_graph(), fixed={"x": "nope"}))
+
+    def test_limit(self):
+        q = Pattern({"x": WILDCARD}, [])
+        assert len(list(find_homomorphisms(q, person_product_graph(), limit=2))) == 2
+
+    def test_deterministic_order(self):
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        a = list(find_homomorphisms(q, person_product_graph()))
+        b = list(find_homomorphisms(q, person_product_graph()))
+        assert a == b
+
+
+class TestIsHomomorphismChecker:
+    def test_accepts_valid(self):
+        q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        assert is_homomorphism(q, person_product_graph(), {"x": "p1", "y": "g1"})
+
+    def test_rejects_wrong_domain(self):
+        q = Pattern({"x": "person"}, [])
+        assert not is_homomorphism(q, person_product_graph(), {})
+        assert not is_homomorphism(q, person_product_graph(), {"x": "p1", "y": "g1"})
+
+    def test_rejects_label_violation(self):
+        q = Pattern({"x": "person"}, [])
+        assert not is_homomorphism(q, person_product_graph(), {"x": "g1"})
+
+    def test_rejects_missing_edge(self):
+        q = Pattern({"x": "person", "y": "person"}, [("x", "create", "y")])
+        assert not is_homomorphism(q, person_product_graph(), {"x": "p1", "y": "p2"})
+
+    def test_rejects_unknown_node(self):
+        q = Pattern({"x": "person"}, [])
+        assert not is_homomorphism(q, person_product_graph(), {"x": "ghost"})
+
+
+@st.composite
+def small_graph_and_pattern(draw):
+    """Random small graph + random small pattern over shared vocabulary."""
+    node_labels = ["a", "b"]
+    edge_labels = ["r", "s"]
+    n = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_labeled_graph(n, 0.4, node_labels, edge_labels, rng=seed)
+    k = draw(st.integers(min_value=1, max_value=3))
+    labels = {f"x{i}": draw(st.sampled_from(node_labels + [WILDCARD])) for i in range(k)}
+    num_edges = draw(st.integers(min_value=0, max_value=3))
+    edges = []
+    variables = list(labels)
+    for _ in range(num_edges):
+        s = draw(st.sampled_from(variables))
+        t = draw(st.sampled_from(variables))
+        l = draw(st.sampled_from(edge_labels + [WILDCARD]))
+        edges.append((s, l, t))
+    return graph, Pattern(labels, edges)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=120, deadline=None)
+    @given(small_graph_and_pattern())
+    def test_matcher_equals_brute_force(self, case):
+        graph, pattern = case
+        fast = {tuple(sorted(m.items())) for m in find_homomorphisms(pattern, graph)}
+        slow = {tuple(sorted(m.items())) for m in brute_force_homomorphisms(pattern, graph)}
+        assert fast == slow
+
+    def test_cycle_pattern_count_in_k4(self):
+        q = Pattern(
+            {"a": "v", "b": "v"},
+            [("a", "adj", "b"), ("b", "adj", "a")],
+        )
+        # Ordered pairs of distinct nodes in K4: 4*3 = 12.
+        assert count_matches(q, complete_graph(4)) == 12
+
+    def test_path_pattern_in_cycle(self):
+        q = Pattern(
+            {"a": "v", "b": "v", "c": "v"},
+            [("a", "adj", "b"), ("b", "adj", "c")],
+        )
+        g = cycle_graph(4)
+        fast = count_matches(q, g)
+        slow = len(brute_force_homomorphisms(q, g))
+        assert fast == slow

@@ -1,0 +1,57 @@
+"""Tests for the injective matcher and the Section 3 semantics comparison."""
+
+from repro.graph import GraphBuilder, complete_graph
+from repro.matching import (
+    count_injective_matches,
+    count_matches,
+    find_injective_matches,
+    has_injective_match,
+)
+from repro.patterns import Pattern
+
+
+class TestInjectiveMatching:
+    def test_injective_excludes_collapsing_matches(self):
+        g = GraphBuilder().node("a", "v").edge("a", "r", "a").build()
+        q = Pattern({"x": "v", "y": "v"}, [("x", "r", "y")])
+        assert count_matches(q, g) == 1
+        assert count_injective_matches(q, g) == 0
+
+    def test_injective_subset_of_homomorphisms(self):
+        q = Pattern({"x": "v", "y": "v"}, [("x", "adj", "y")])
+        g = complete_graph(3)
+        hom = count_matches(q, g)
+        inj = count_injective_matches(q, g)
+        assert inj <= hom
+        assert inj == 6 and hom == 6  # K3 has no self-loops: equal here
+
+    def test_limit(self):
+        q = Pattern({"x": "v"}, [])
+        g = complete_graph(4)
+        assert len(list(find_injective_matches(q, g, limit=2))) == 2
+
+    def test_section3_gkey_motivation(self):
+        """Reproduces the Section 3 argument: under injective semantics a
+        GKey pattern made of two copies can never map both copies onto
+        the *same* entity, so duplicate detection is impossible when the
+        duplicate IS the same node; homomorphism semantics allows it."""
+        # One album entity and its artist.
+        g = (
+            GraphBuilder()
+            .node("alb", "album", title="Bleach")
+            .node("art", "artist", name="Nirvana")
+            .edge("alb", "primary_artist", "art")
+            .build()
+        )
+        # Pattern: album--primary_artist-->artist composed with a copy.
+        q_one = Pattern(
+            {"x": "album", "xp": "artist"}, [("x", "primary_artist", "xp")]
+        )
+        q_copy, _ = q_one.renamed_copy("2")
+        q = q_one.compose(q_copy)
+        # Homomorphism: both copies can map onto the single album.
+        from repro.matching import has_match
+
+        assert has_match(q, g)
+        # Injective: impossible — would need two distinct albums/artists.
+        assert not has_injective_match(q, g)

@@ -1,0 +1,123 @@
+"""Tests for homomorphism-based pattern containment/equivalence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase.canonical import canonical_graph
+from repro.matching.homomorphism import has_match
+from repro.optimization.containment import (
+    contained_in,
+    equivalent_patterns,
+    subsumes,
+    witness_homomorphism,
+)
+from repro.patterns.pattern import Pattern
+from repro.patterns.labels import WILDCARD
+
+
+def triangle() -> Pattern:
+    return Pattern(
+        {"a": "v", "b": "v", "c": "v"},
+        [("a", "e", "b"), ("b", "e", "c"), ("c", "e", "a")],
+    )
+
+
+def single_edge() -> Pattern:
+    return Pattern({"x": "v", "y": "v"}, [("x", "e", "y")])
+
+
+class TestSubsumption:
+    def test_triangle_subsumes_edge(self):
+        assert subsumes(triangle(), single_edge())
+
+    def test_edge_does_not_subsume_triangle(self):
+        assert not subsumes(single_edge(), triangle())
+
+    def test_self_subsumption(self):
+        for q in (triangle(), single_edge()):
+            assert subsumes(q, q)
+
+    def test_wildcard_pattern_subsumed_by_anything_with_edge(self):
+        generic = Pattern({"x": WILDCARD, "y": WILDCARD}, [("x", WILDCARD, "y")])
+        concrete = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        # every match of the concrete pattern induces a match of the generic one
+        assert subsumes(concrete, generic)
+        # but not vice versa: concrete labels don't match wildcard nodes (≼ is asymmetric)
+        assert not subsumes(generic, concrete)
+
+    def test_label_mismatch_blocks(self):
+        q1 = Pattern({"x": "a", "y": "b"}, [("x", "e", "y")])
+        q2 = Pattern({"x": "a", "y": "c"}, [("x", "e", "y")])
+        assert not subsumes(q1, q2)
+        assert not subsumes(q2, q1)
+
+    def test_witness_composes_to_matches(self):
+        """The Example 5 mechanism: witness f : Q2 -> Q1 turns matches of
+        Q1 into matches of Q2 by composition."""
+        q1, q2 = triangle(), single_edge()
+        f = witness_homomorphism(q1, q2)
+        assert f is not None
+        g = canonical_graph(q1)  # any graph where q1 matches
+        assert has_match(q2, g)
+
+    def test_no_witness_when_not_subsumed(self):
+        assert witness_homomorphism(single_edge(), triangle()) is None
+
+
+class TestEquivalence:
+    def test_renamed_pattern_equivalent(self):
+        q1 = single_edge()
+        q2 = Pattern({"u": "v", "w": "v"}, [("u", "e", "w")])
+        assert equivalent_patterns(q1, q2)
+
+    def test_pattern_equivalent_to_padded_version(self):
+        """Adding a redundant generic limb preserves equivalence."""
+        q1 = single_edge()
+        padded = Pattern(
+            {"x": "v", "y": "v", "z": "v"},
+            [("x", "e", "y"), ("x", "e", "z")],
+        )
+        assert equivalent_patterns(q1, padded)
+
+    def test_triangle_not_equivalent_to_edge(self):
+        assert not equivalent_patterns(triangle(), single_edge())
+
+    def test_contained_in_alias(self):
+        assert contained_in(triangle(), single_edge())
+        assert not contained_in(single_edge(), triangle())
+
+
+@st.composite
+def small_patterns(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    variables = [f"v{i}" for i in range(n)]
+    labels = {v: draw(st.sampled_from(["a", "b", WILDCARD])) for v in variables}
+    n_edges = draw(st.integers(min_value=0, max_value=4))
+    edges = []
+    for _ in range(n_edges):
+        s = draw(st.sampled_from(variables))
+        t = draw(st.sampled_from(variables))
+        l = draw(st.sampled_from(["e", "f"]))
+        edges.append((s, l, t))
+    return Pattern(labels, edges)
+
+
+class TestContainmentProperties:
+    @given(small_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive(self, q):
+        assert subsumes(q, q)
+
+    @given(small_patterns(), small_patterns(), small_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_transitive(self, q1, q2, q3):
+        if subsumes(q1, q2) and subsumes(q2, q3):
+            assert subsumes(q1, q3)
+
+    @given(small_patterns(), small_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_subsumption_transfers_matches(self, q1, q2):
+        """If q1 subsumes q2, then q2 matches in q1's canonical graph —
+        and in fact in any graph where q1 matches (spot-checked on G_{q1})."""
+        if subsumes(q1, q2):
+            assert has_match(q2, canonical_graph(q1))

@@ -1,0 +1,38 @@
+"""Cover idempotence and fixpoint properties."""
+
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral
+from repro.optimization.cover import compute_cover
+from repro.patterns.pattern import Pattern
+
+
+def rules() -> list[GED]:
+    q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+    strong = GED(q, [], [ConstantLiteral("x", "type", "programmer")])
+    weak = GED(
+        q,
+        [ConstantLiteral("y", "type", "video game")],
+        [ConstantLiteral("x", "type", "programmer")],
+    )
+    dupe = GED(q, [], [ConstantLiteral("x", "type", "programmer")])
+    return [strong, weak, dupe]
+
+
+def test_cover_of_cover_is_fixpoint():
+    first = compute_cover(rules())
+    second = compute_cover(first.cover)
+    assert second.cover == first.cover
+    assert second.removed == 0
+
+
+def test_cover_order_insensitive_semantics():
+    """Different input orders may keep different representatives, but
+    the covers are mutually implying (logically equal)."""
+    from repro.reasoning.implication import implies
+
+    forward = compute_cover(rules()).cover
+    backward = compute_cover(list(reversed(rules()))).cover
+    for ged in forward:
+        assert implies(backward, ged)
+    for ged in backward:
+        assert implies(forward, ged)

@@ -1,0 +1,153 @@
+"""Tests for pattern cores and chase-based minimization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deps.ged import GED, make_gkey
+from repro.deps.literals import ConstantLiteral, IdLiteral, VariableLiteral
+from repro.optimization.containment import equivalent_patterns
+from repro.optimization.minimize import core, is_core, minimize_pattern
+from repro.patterns.labels import WILDCARD
+from repro.patterns.pattern import Pattern
+
+
+class TestCore:
+    def test_single_node_is_core(self):
+        assert is_core(Pattern({"x": "v"}))
+
+    def test_triangle_is_core(self):
+        q = Pattern(
+            {"a": "v", "b": "v", "c": "v"},
+            [("a", "e", "b"), ("b", "e", "c"), ("c", "e", "a")],
+        )
+        assert is_core(q)
+
+    def test_redundant_limb_folds_away(self):
+        q = Pattern(
+            {"x": "v", "y": "v", "z": "v"},
+            [("x", "e", "y"), ("x", "e", "z")],
+        )
+        folded, mapping = core(q)
+        assert folded.num_variables == 2
+        assert mapping["z"] in {"y", "z"}
+        assert equivalent_patterns(q, folded)
+
+    def test_generic_limb_folds_onto_concrete(self):
+        """A wildcard copy of a concrete edge is redundant."""
+        q = Pattern(
+            {"x": "person", "y": "product", "u": WILDCARD, "w": WILDCARD},
+            [("x", "create", "y"), ("u", "create", "w")],
+        )
+        folded, mapping = core(q)
+        assert folded.num_variables == 2
+        assert set(folded.variables) == {"x", "y"}
+        assert equivalent_patterns(q, folded)
+
+    def test_two_distinct_limbs_do_not_fold(self):
+        q = Pattern(
+            {"x": "a", "y": "b", "u": "a", "w": "c"},
+            [("x", "e", "y"), ("u", "e", "w")],
+        )
+        folded, _ = core(q)
+        assert folded.num_variables == 4
+
+    def test_folding_map_is_total_and_lands_in_core(self):
+        q = Pattern(
+            {"x": "v", "y": "v", "z": "v", "w": "v"},
+            [("x", "e", "y"), ("x", "e", "z"), ("x", "e", "w")],
+        )
+        folded, mapping = core(q)
+        assert set(mapping) == set(q.variables)
+        assert set(mapping.values()) <= set(folded.variables)
+
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_star_of_identical_limbs_folds_to_one_edge(self, k):
+        nodes = {"c": "hub"}
+        edges = []
+        for i in range(k):
+            nodes[f"l{i}"] = "leaf"
+            edges.append(("c", "e", f"l{i}"))
+        folded, _ = core(Pattern(nodes, edges))
+        assert folded.num_variables == 2
+        assert folded.num_edges == 1
+
+
+class TestMinimizeWithSigma:
+    def test_no_dependencies_no_change(self):
+        q = Pattern({"x": "a", "y": "b"}, [("x", "e", "y")])
+        result = minimize_pattern(q, [])
+        assert result.pattern == q
+        assert not result.merged_any
+        assert not result.unsatisfiable
+
+    def test_gkey_merges_query_variables(self):
+        """With a key 'one capital per country' in Σ, a query joining two
+        capitals of the same country collapses to a single capital."""
+        q_key = Pattern(
+            {"c": "country", "p": "city", "q": "city"},
+            [("c", "capital", "p"), ("c", "capital", "q")],
+        )
+        key = GED(q_key, [], [IdLiteral("p", "q")], name="one-capital")
+        query = Pattern(
+            {"x": "country", "y": "city", "z": "city"},
+            [("x", "capital", "y"), ("x", "capital", "z")],
+        )
+        result = minimize_pattern(query, [key])
+        assert result.merged_any
+        assert result.pattern.num_variables == 2
+        assert result.pattern.num_edges == 1
+
+    def test_constant_filters_surfaced(self):
+        q1 = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+        phi = GED(q1, [], [ConstantLiteral("x", "verified", 1)])
+        result = minimize_pattern(q1, [phi])
+        assert ConstantLiteral("x", "verified", 1) in result.implied
+
+    def test_unsatisfiable_query_detected(self):
+        q1 = Pattern({"x": "person"})
+        phi_a = GED(q1, [], [ConstantLiteral("x", "t", "a")])
+        phi_b = GED(q1, [], [ConstantLiteral("x", "t", "b")])
+        query = Pattern({"p": "person"})
+        result = minimize_pattern(query, [phi_a, phi_b])
+        assert result.unsatisfiable
+
+    def test_also_core_composes(self):
+        q_key = Pattern(
+            {"c": "country", "p": "city", "q": "city"},
+            [("c", "capital", "p"), ("c", "capital", "q")],
+        )
+        key = GED(q_key, [], [IdLiteral("p", "q")])
+        # query with a Σ-mergeable pair AND a dependency-free redundant limb
+        query = Pattern(
+            {"x": "country", "y": "city", "z": "city", "u": WILDCARD, "w": WILDCARD},
+            [("x", "capital", "y"), ("x", "capital", "z"), ("u", "capital", "w")],
+        )
+        result = minimize_pattern(query, [key], also_core=True)
+        assert result.pattern.num_variables == 2
+        assert result.pattern.num_edges == 1
+
+    def test_mapping_respects_merges(self):
+        q_key = Pattern(
+            {"c": "country", "p": "city", "q": "city"},
+            [("c", "capital", "p"), ("c", "capital", "q")],
+        )
+        key = GED(q_key, [], [IdLiteral("p", "q")])
+        query = Pattern(
+            {"x": "country", "y": "city", "z": "city"},
+            [("x", "capital", "y"), ("x", "capital", "z")],
+        )
+        result = minimize_pattern(query, [key])
+        assert result.mapping["y"] == result.mapping["z"]
+        assert result.mapping["x"] != result.mapping["y"]
+
+    def test_recursive_gkeys_minimize_album_join(self):
+        """The paper's ψ1/ψ3 recursion: a query joining two albums with
+        equal-named artists stays un-merged (no premise holds in G_Q —
+        attribute values are unknown), so minimization is conservative."""
+        from repro import paper
+
+        query = paper.psi1().pattern
+        result = minimize_pattern(query, [paper.psi1(), paper.psi3()])
+        assert not result.merged_any  # X-literals are not satisfied in G_Q
+        assert result.pattern == query

@@ -1,0 +1,181 @@
+"""Tests for predicate pruning, constant propagation, and rule covers."""
+
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.optimization.cover import compute_cover, structural_dedup
+from repro.optimization.rewrite import implied_constants, prune_condition
+from repro.patterns.pattern import Pattern
+from repro.reasoning.implication import implies
+
+
+def create_pattern() -> Pattern:
+    return Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+
+
+class TestPruneCondition:
+    def test_removes_literal_implied_by_sigma(self):
+        q = create_pattern()
+        # Σ: video games are created by programmers
+        phi = GED(
+            q,
+            [ConstantLiteral("y", "type", "video game")],
+            [ConstantLiteral("x", "type", "programmer")],
+        )
+        condition = [
+            ConstantLiteral("y", "type", "video game"),
+            ConstantLiteral("x", "type", "programmer"),  # implied by the first
+        ]
+        result = prune_condition(q, condition, [phi])
+        assert result.pruned == [ConstantLiteral("x", "type", "programmer")]
+        assert result.condition == [ConstantLiteral("y", "type", "video game")]
+
+    def test_keeps_independent_literals(self):
+        q = create_pattern()
+        condition = [
+            ConstantLiteral("y", "type", "video game"),
+            ConstantLiteral("x", "name", "Tony"),
+        ]
+        result = prune_condition(q, condition, [])
+        assert result.pruned == []
+        assert result.condition == condition
+
+    def test_duplicate_literal_pruned_without_sigma(self):
+        q = create_pattern()
+        lit = ConstantLiteral("y", "type", "video game")
+        result = prune_condition(q, [lit, ConstantLiteral("y", "type", "video game")], [])
+        assert len(result.condition) == 1
+
+    def test_pruned_condition_still_implies_original(self):
+        q = create_pattern()
+        phi = GED(
+            q,
+            [ConstantLiteral("y", "type", "video game")],
+            [ConstantLiteral("x", "type", "programmer")],
+        )
+        condition = [
+            ConstantLiteral("y", "type", "video game"),
+            ConstantLiteral("x", "type", "programmer"),
+        ]
+        result = prune_condition(q, condition, [phi])
+        for dropped in result.pruned:
+            assert implies([phi], GED(q, result.condition, [dropped]))
+
+
+class TestImpliedConstants:
+    def test_forward_propagation(self):
+        q = create_pattern()
+        phi = GED(
+            q,
+            [ConstantLiteral("y", "type", "video game")],
+            [ConstantLiteral("x", "type", "programmer")],
+        )
+        result = implied_constants(
+            q, [ConstantLiteral("y", "type", "video game")], [phi]
+        )
+        assert ConstantLiteral("x", "type", "programmer") in result.filters
+        assert not result.empty
+
+    def test_condition_constants_not_repeated(self):
+        q = create_pattern()
+        result = implied_constants(
+            q, [ConstantLiteral("y", "type", "video game")], []
+        )
+        assert result.filters == []
+
+    def test_contradictory_condition_marks_empty(self):
+        q = create_pattern()
+        condition = [
+            ConstantLiteral("y", "type", "video game"),
+            ConstantLiteral("y", "type", "board game"),
+        ]
+        result = implied_constants(q, condition, [])
+        assert result.empty
+
+    def test_sigma_contradiction_marks_empty(self):
+        q = create_pattern()
+        phi_a = GED(q, [], [ConstantLiteral("x", "t", "a")])
+        phi_b = GED(q, [], [ConstantLiteral("x", "t", "b")])
+        result = implied_constants(q, [], [phi_a, phi_b])
+        assert result.empty
+
+
+class TestStructuralDedup:
+    def test_identical_rules_deduped(self):
+        q = create_pattern()
+        phi = GED(q, [], [ConstantLiteral("x", "a", 1)])
+        phi_again = GED(q, [], [ConstantLiteral("x", "a", 1)])
+        kept, dupes = structural_dedup([phi, phi_again])
+        assert len(kept) == 1
+        assert len(dupes) == 1
+
+    def test_renamed_rule_deduped(self):
+        q1 = create_pattern()
+        q2 = Pattern({"u": "person", "w": "product"}, [("u", "create", "w")])
+        phi1 = GED(q1, [], [ConstantLiteral("x", "a", 1)])
+        phi2 = GED(q2, [], [ConstantLiteral("u", "a", 1)])
+        kept, dupes = structural_dedup([phi1, phi2])
+        assert len(kept) == 1
+        assert dupes == [phi2]
+
+    def test_different_constants_not_deduped(self):
+        q = create_pattern()
+        phi1 = GED(q, [], [ConstantLiteral("x", "a", 1)])
+        phi2 = GED(q, [], [ConstantLiteral("x", "a", 2)])
+        kept, dupes = structural_dedup([phi1, phi2])
+        assert len(kept) == 2
+
+    def test_different_topology_not_deduped(self):
+        q1 = create_pattern()
+        q2 = Pattern({"x": "person", "y": "product"}, [("y", "create", "x")])
+        phi1 = GED(q1, [], [ConstantLiteral("x", "a", 1)])
+        phi2 = GED(q2, [], [ConstantLiteral("x", "a", 1)])
+        kept, _ = structural_dedup([phi1, phi2])
+        assert len(kept) == 2
+
+
+class TestComputeCover:
+    def test_cover_drops_implied_rule(self):
+        q = create_pattern()
+        strong = GED(q, [], [ConstantLiteral("x", "type", "programmer")])
+        weak = GED(
+            q,
+            [ConstantLiteral("y", "type", "video game")],
+            [ConstantLiteral("x", "type", "programmer")],
+        )
+        report = compute_cover([strong, weak])
+        assert weak in report.implied
+        assert report.cover == [strong]
+
+    def test_cover_equivalent_to_input(self):
+        q = create_pattern()
+        strong = GED(q, [], [ConstantLiteral("x", "type", "programmer")])
+        weak = GED(
+            q,
+            [ConstantLiteral("y", "type", "video game")],
+            [ConstantLiteral("x", "type", "programmer")],
+        )
+        report = compute_cover([strong, weak])
+        for dropped in report.implied + report.structural_duplicates:
+            assert implies(report.cover, dropped)
+
+    def test_dedup_counts_in_report(self):
+        q = create_pattern()
+        phi = GED(q, [], [ConstantLiteral("x", "a", 1)])
+        again = GED(q, [], [ConstantLiteral("x", "a", 1)])
+        report = compute_cover([phi, again])
+        assert report.removed == 1
+        assert len(report.cover) == 1
+
+    def test_dedup_disabled_still_correct(self):
+        q = create_pattern()
+        phi = GED(q, [], [ConstantLiteral("x", "a", 1)])
+        again = GED(q, [], [ConstantLiteral("x", "a", 1)])
+        report = compute_cover([phi, again], dedup_first=False)
+        assert len(report.cover) == 1
+        assert report.structural_duplicates == []
+        assert len(report.implied) == 1
+
+    def test_empty_sigma(self):
+        report = compute_cover([])
+        assert report.cover == []
+        assert report.removed == 0

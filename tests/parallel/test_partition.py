@@ -1,0 +1,63 @@
+"""Tests for match-space sharding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import complete_graph, random_labeled_graph
+from repro.matching.homomorphism import find_homomorphisms
+from repro.parallel.partition import plan_shards
+from repro.patterns.pattern import Pattern
+
+
+def edge_pattern() -> Pattern:
+    return Pattern({"x": "v", "y": "v"}, [("x", "adj", "y")])
+
+
+class TestPlanShards:
+    def test_shards_partition_pivot_candidates(self):
+        g = complete_graph(6)
+        plan = plan_shards(edge_pattern(), g, workers=3)
+        all_nodes = [n for shard in plan.shards for n in shard]
+        assert sorted(all_nodes) == sorted(set(all_nodes))  # disjoint
+        assert set(all_nodes) == set(g.node_ids)  # complete
+
+    def test_balanced_sizes(self):
+        g = complete_graph(7)
+        plan = plan_shards(edge_pattern(), g, workers=3)
+        sizes = [len(s) for s in plan.shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_candidates(self):
+        g = complete_graph(2)
+        plan = plan_shards(edge_pattern(), g, workers=10)
+        assert plan.num_shards == 2
+        assert all(len(s) == 1 for s in plan.shards)
+
+    def test_unmatchable_pattern_zero_shards(self):
+        g = complete_graph(3)  # label "v"
+        q = Pattern({"x": "city"})
+        plan = plan_shards(q, g, workers=4)
+        assert plan.num_shards == 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            plan_shards(edge_pattern(), complete_graph(3), workers=0)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_sharded_matches_equal_unsharded(self, workers, seed):
+        g = random_labeled_graph(
+            10, 0.3, node_labels=["v"], edge_labels=["adj"], rng=seed
+        )
+        q = edge_pattern()
+        plan = plan_shards(q, g, workers)
+        unsharded = {tuple(sorted(m.items())) for m in find_homomorphisms(q, g)}
+        sharded = set()
+        for shard in plan.shards:
+            for node_id in shard:
+                for m in find_homomorphisms(q, g, fixed={plan.pivot: node_id}):
+                    key = tuple(sorted(m.items()))
+                    assert key not in sharded  # disjointness of blocks
+                    sharded.add(key)
+        assert sharded == unsharded

@@ -1,0 +1,169 @@
+"""Unit tests for graph patterns and label matching."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import (
+    WILDCARD,
+    Pattern,
+    PatternBuilder,
+    compatible,
+    matches,
+    merged,
+    pattern_from_json,
+    pattern_to_json,
+    single_node_pattern,
+)
+
+
+def q1() -> Pattern:
+    """Figure 1's Q1: person --create--> product."""
+    return Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+
+
+class TestLabelMatching:
+    def test_equal_labels_match(self):
+        assert matches("album", "album")
+
+    def test_distinct_labels_do_not_match(self):
+        assert not matches("album", "artist")
+
+    def test_wildcard_matches_anything(self):
+        assert matches(WILDCARD, "album")
+        assert matches(WILDCARD, WILDCARD)
+
+    def test_matching_is_asymmetric(self):
+        # A concrete pattern label does not match a wildcard-labeled node.
+        assert not matches("album", WILDCARD)
+
+    def test_compatibility_is_symmetric(self):
+        assert compatible("album", WILDCARD)
+        assert compatible(WILDCARD, "album")
+        assert compatible("a", "a")
+        assert not compatible("a", "b")
+
+    def test_merged_label(self):
+        assert merged([WILDCARD, WILDCARD]) == WILDCARD
+        assert merged([WILDCARD, "album", WILDCARD]) == "album"
+        with pytest.raises(ValueError):
+            merged(["album", "artist"])
+
+
+class TestPatternConstruction:
+    def test_variables_and_labels(self):
+        q = q1()
+        assert q.variables == ("x", "y")
+        assert q.label_of("x") == "person"
+        assert q.has_variable("y")
+        assert not q.has_variable("z")
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(PatternError):
+            q1().label_of("z")
+
+    def test_edge_endpoints_must_be_variables(self):
+        with pytest.raises(PatternError):
+            Pattern({"x": "a"}, [("x", "r", "y")])
+        with pytest.raises(PatternError):
+            Pattern({"x": "a"}, [("y", "r", "x")])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern({})
+
+    def test_duplicate_edges_deduplicated(self):
+        q = Pattern({"x": "a", "y": "b"}, [("x", "r", "y"), ("x", "r", "y")])
+        assert q.num_edges == 1
+
+    def test_explicit_variable_order(self):
+        q = Pattern({"x": "a", "y": "b"}, [], variables=["y", "x"])
+        assert q.variables == ("y", "x")
+        with pytest.raises(PatternError):
+            Pattern({"x": "a"}, [], variables=["x", "x"])
+        with pytest.raises(PatternError):
+            Pattern({"x": "a"}, [], variables=["y"])
+
+    def test_adjacency_and_degree(self):
+        q = q1()
+        assert q.out_edges("x") == [("create", "y")]
+        assert q.in_edges("y") == [("create", "x")]
+        assert q.degree("x") == 1
+        assert q.size() == 3
+
+    def test_self_loop_in_pattern(self):
+        q = Pattern({"x": "a"}, [("x", "r", "x")])
+        assert q.degree("x") == 2
+
+
+class TestPatternCopy:
+    def test_renamed_copy_is_a_copy(self):
+        q = q1()
+        copy, bijection = q.renamed_copy()
+        assert bijection == {"x": "x_copy", "y": "y_copy"}
+        assert copy.is_copy_of(q, bijection)
+        assert copy.label_of("x_copy") == "person"
+
+    def test_copy_with_bijection_validates(self):
+        q = q1()
+        with pytest.raises(PatternError):
+            q.copy_with_bijection({"x": "u"})  # not total
+        with pytest.raises(PatternError):
+            q.copy_with_bijection({"x": "u", "y": "u"})  # not injective
+        with pytest.raises(PatternError):
+            q.copy_with_bijection({"x": "y", "y": "u"})  # not disjoint
+
+    def test_is_copy_of_rejects_wrong_labels(self):
+        q = q1()
+        wrong = Pattern({"u": "person", "v": "person"}, [("u", "create", "v")])
+        assert not wrong.is_copy_of(q, {"x": "u", "y": "v"})
+
+    def test_is_copy_of_rejects_wrong_edges(self):
+        q = q1()
+        wrong = Pattern({"u": "person", "v": "product"}, [("v", "create", "u")])
+        assert not wrong.is_copy_of(q, {"x": "u", "y": "v"})
+
+    def test_compose_disjoint(self):
+        q = q1()
+        copy, _ = q.renamed_copy()
+        both = q.compose(copy)
+        assert both.variables == ("x", "y", "x_copy", "y_copy")
+        assert both.num_edges == 2
+        with pytest.raises(PatternError):
+            q.compose(q)
+
+
+class TestPatternMisc:
+    def test_connected_components(self):
+        q = Pattern(
+            {"a": "v", "b": "v", "c": "v", "d": "v"},
+            [("a", "r", "b"), ("c", "r", "d")],
+        )
+        components = q.connected_components()
+        assert sorted(sorted(c) for c in components) == [["a", "b"], ["c", "d"]]
+
+    def test_equality_and_hash(self):
+        assert q1() == q1()
+        assert hash(q1()) == hash(q1())
+        assert q1() != Pattern({"x": "person", "y": "product"})
+
+    def test_single_node_pattern(self):
+        q = single_node_pattern("x", "album")
+        assert q.variables == ("x",)
+        assert q.label_of("x") == "album"
+        assert single_node_pattern().label_of("x") == WILDCARD
+
+    def test_json_round_trip(self):
+        q = q1()
+        assert pattern_from_json(pattern_to_json(q)) == q
+
+    def test_builder(self):
+        q = (
+            PatternBuilder()
+            .var("x", "account")
+            .vars("blog", "y", "z")
+            .edge("x", "post", "y")
+            .undirected_edge("y", "rel", "z")
+            .build()
+        )
+        assert q.variables == ("x", "y", "z")
+        assert ("y", "rel", "z") in q.edges and ("z", "rel", "y") in q.edges

@@ -1,0 +1,209 @@
+"""Application-level tests: consistency, spam, entity resolution, expansion."""
+
+from repro import paper
+from repro.graph import GraphBuilder
+from repro.quality import (
+    CandidateEntity,
+    album_keys,
+    check_consistency,
+    check_duplicate,
+    detect_fake_accounts,
+    dirty_entities,
+    duplicate_pairs,
+    expand,
+    resolve_entities,
+    score_detection,
+)
+from repro.workloads import (
+    synthetic_knowledge_base,
+    synthetic_social_network,
+)
+
+
+class TestConsistencyChecking:
+    def test_planted_errors_are_found(self):
+        g, errors = synthetic_knowledge_base(error_rate=0.5, rng=3)
+        report = check_consistency(g)
+        assert not report.is_clean
+        # Every planted wrong-creator product appears in ϕ1's report.
+        assert set(errors.wrong_creator) <= report.entities("phi1")
+        assert set(errors.double_capital) <= report.entities("phi2")
+        assert set(errors.broken_inheritance) <= report.entities("phi3")
+        assert set(errors.child_and_parent) <= report.entities("phi4")
+
+    def test_clean_kb_validates(self):
+        g, errors = synthetic_knowledge_base(error_rate=0.0, rng=1)
+        assert errors.total() == 0
+        report = check_consistency(g)
+        assert report.is_clean
+        assert report.summary().startswith("0 violation")
+
+    def test_no_false_positives_on_clean_entities(self):
+        g, errors = synthetic_knowledge_base(error_rate=0.3, rng=7)
+        report = check_consistency(g)
+        flagged_products = {
+            e for e in report.entities("phi1") if e.startswith("prod")
+        }
+        assert flagged_products == set(errors.wrong_creator)
+
+    def test_dirty_entities_union(self):
+        g, errors = synthetic_knowledge_base(error_rate=0.4, rng=9)
+        dirty = dirty_entities(g)
+        assert set(errors.wrong_creator) <= dirty
+        assert set(errors.child_and_parent) <= dirty
+
+    def test_report_summary_counts(self):
+        g, _ = synthetic_knowledge_base(error_rate=0.5, rng=3)
+        report = check_consistency(g)
+        assert str(report.total) in report.summary()
+
+
+class TestSpamDetection:
+    def test_planted_rings_detected(self):
+        g, truth = synthetic_social_network(n_rings=4, rng=2)
+        result = detect_fake_accounts(g)
+        assert set(truth.undetected_fakes) <= result.flagged
+
+    def test_benign_lookalikes_not_flagged(self):
+        g, truth = synthetic_social_network(n_rings=3, n_benign_pairs=5, rng=4)
+        result = detect_fake_accounts(g)
+        assert not (result.flagged & set(truth.benign_lookalikes))
+
+    def test_scoring(self):
+        g, truth = synthetic_social_network(n_rings=3, rng=5)
+        result = detect_fake_accounts(g)
+        scores = score_detection(result.flagged, truth)
+        assert scores["precision"] == 1.0
+        assert scores["recall"] == 1.0
+
+    def test_chained_propagation(self):
+        """Flagging can cascade: mule0 flagged in round 1 seeds a second
+        ring that flags mule1 in round 2."""
+        b = GraphBuilder()
+        b.node("seed", "account", is_fake=1)
+        b.node("mule0", "account", is_fake=0)
+        b.node("mule1", "account", is_fake=0)
+        for pair_index, (a, bb) in enumerate([("seed", "mule0"), ("mule0", "mule1")]):
+            z1, z2 = f"p{pair_index}a", f"p{pair_index}b"
+            b.node(z1, "blog", keyword="peculiar").node(z2, "blog", keyword="peculiar")
+            b.edge(bb, "post", z1).edge(a, "post", z2)
+            for i in range(2):
+                shared = f"s{pair_index}_{i}"
+                b.node(shared, "blog")
+                b.edge(a, "like", shared).edge(bb, "like", shared)
+        g = b.build()
+        result = detect_fake_accounts(g)
+        assert result.flagged == {"mule0", "mule1"}
+        assert result.iterations == 2
+
+    def test_no_fakes_no_flags(self):
+        g, _ = synthetic_social_network(n_rings=0, n_benign_pairs=4, rng=6)
+        assert detect_fake_accounts(g).flagged == set()
+
+
+class TestEntityResolution:
+    def duplicated_kb(self):
+        """Two album nodes + two artist nodes that ψ1/ψ3 must merge
+        *recursively*: albums share title; artists share name; each
+        album points to its own artist copy.  ψ2 breaks the cycle via
+        title+release, after which ψ3 merges the artists."""
+        return (
+            GraphBuilder()
+            .node("a1", "album", title="Bleach", release=1989)
+            .node("a2", "album", title="Bleach", release=1989)
+            .node("n1", "artist", name="Nirvana")
+            .node("n2", "artist", name="Nirvana")
+            .edge("a1", "primary_artist", "n1")
+            .edge("a2", "primary_artist", "n2")
+            .build()
+        )
+
+    def test_recursive_resolution(self):
+        result = resolve_entities(self.duplicated_kb())
+        assert result.consistent
+        pairs = duplicate_pairs(result)
+        assert ("a1", "a2") in pairs
+        assert ("n1", "n2") in pairs
+        assert result.merges == 2
+        assert result.resolved_graph.num_nodes == 2
+
+    def test_distinct_entities_untouched(self):
+        g = (
+            GraphBuilder()
+            .node("a1", "album", title="Bleach", release=1989)
+            .node("a2", "album", title="Nevermind", release=1991)
+            .node("n1", "artist", name="Nirvana")
+            .edge("a1", "primary_artist", "n1")
+            .edge("a2", "primary_artist", "n1")
+            .build()
+        )
+        result = resolve_entities(g)
+        assert result.consistent and result.merges == 0
+
+    def test_conflicting_merge_reported(self):
+        """Keys forcing nodes with contradictory attributes together."""
+        g = (
+            GraphBuilder()
+            .node("a1", "album", title="Bleach", release=1989, certified="gold")
+            .node("a2", "album", title="Bleach", release=1989, certified="platinum")
+            .build()
+        )
+        result = resolve_entities(g, keys=[paper.psi2()])
+        assert not result.consistent
+        assert "attribute conflict" in result.reason
+
+    def test_resolution_on_synthetic_kb(self):
+        g, errors = synthetic_knowledge_base(error_rate=0.5, rng=12)
+        result = resolve_entities(g)
+        assert result.consistent
+        found = duplicate_pairs(result)
+        for a, b in errors.duplicate_albums:
+            assert (min(a, b), max(a, b)) in found
+
+
+class TestExpansion:
+    def base_kb(self):
+        return (
+            GraphBuilder()
+            .node("alb", "album", title="Bleach", release=1989)
+            .node("art", "artist", name="Nirvana")
+            .edge("alb", "primary_artist", "art")
+            .build()
+        )
+
+    def test_duplicate_rejected(self):
+        candidate = CandidateEntity(
+            "album",
+            {"title": "Bleach", "release": 1989},
+            edges=[("primary_artist", "art")],
+        )
+        decision = check_duplicate(self.base_kb(), candidate)
+        assert decision.is_duplicate
+        assert decision.matched_node == "alb"
+
+    def test_new_entity_accepted(self):
+        candidate = CandidateEntity(
+            "album",
+            {"title": "Nevermind", "release": 1991},
+            edges=[("primary_artist", "art")],
+        )
+        graph, decision = expand(self.base_kb(), candidate)
+        assert not decision.is_duplicate
+        assert graph.num_nodes == 3
+
+    def test_same_title_different_release_accepted(self):
+        """The Example 1 'Bleach' collision: title alone is not a key."""
+        candidate = CandidateEntity("album", {"title": "Bleach", "release": 1992})
+        decision = check_duplicate(self.base_kb(), candidate)
+        assert not decision.is_duplicate
+
+    def test_expand_keeps_original_on_duplicate(self):
+        base = self.base_kb()
+        candidate = CandidateEntity(
+            "album",
+            {"title": "Bleach", "release": 1989},
+            edges=[("primary_artist", "art")],
+        )
+        graph, decision = expand(base, candidate)
+        assert decision.is_duplicate
+        assert graph is base

@@ -1,0 +1,160 @@
+"""Tests for Theorem 4/5 counterexample construction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.deps.ged import GED
+from repro.deps.literals import FALSE, ConstantLiteral, IdLiteral, VariableLiteral
+from repro.patterns.pattern import Pattern
+from repro.reasoning.counterexample import find_counterexample, implication_with_witness
+from repro.reasoning.implication import implies
+from repro.reasoning.validation import find_violations, validates
+
+
+def creators() -> Pattern:
+    return Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+
+
+class TestBasicWitnesses:
+    def test_implied_returns_none(self):
+        phi = GED(creators(), [], [ConstantLiteral("x", "t", 1)])
+        assert find_counterexample([phi], phi) is None
+
+    def test_unimplied_constant_rule(self):
+        phi = GED(creators(), [], [ConstantLiteral("x", "t", 1)])
+        other = GED(creators(), [], [ConstantLiteral("x", "u", 2)])
+        witness = find_counterexample([other], phi)
+        assert witness is not None
+        assert validates(witness.graph, [other])
+        assert not validates(witness.graph, [phi])
+        assert witness.failed == [ConstantLiteral("x", "t", 1)]
+
+    def test_witness_match_satisfies_x(self):
+        phi = GED(
+            creators(),
+            [ConstantLiteral("y", "type", "video game")],
+            [ConstantLiteral("x", "type", "programmer")],
+        )
+        witness = find_counterexample([], phi)
+        assert witness is not None
+        from repro.reasoning.validation import literal_holds
+
+        for literal in phi.X:
+            assert literal_holds(witness.graph, literal, witness.match)
+
+    def test_variable_literal_witness(self):
+        phi2 = paper.phi2()
+        witness = find_counterexample([], phi2)
+        assert witness is not None
+        names = {
+            witness.graph.node(witness.match[v]).get("name") for v in ("y", "z")
+        }
+        # the two capitals got distinct fresh values
+        assert len([v for v in find_violations(witness.graph, [phi2])]) >= 1
+
+    def test_id_literal_witness(self):
+        key = GED(
+            Pattern(
+                {"x": "album", "y": "album", "z": "artist"},
+                [("x", "by", "z"), ("y", "by", "z")],
+            ),
+            [],
+            [IdLiteral("x", "y")],
+        )
+        witness = find_counterexample([], key)
+        assert witness is not None
+        assert witness.match["x"] != witness.match["y"]
+
+    def test_forbidding_constraint_witness(self):
+        phi4 = paper.phi4()
+        witness = find_counterexample([], phi4)
+        assert witness is not None
+        assert FALSE in witness.failed
+        assert not validates(witness.graph, [phi4])
+
+    def test_sigma_actually_used(self):
+        """With the helping rule in Σ the implication holds; without it a
+        witness appears."""
+        phi1 = GED(
+            creators(),
+            [ConstantLiteral("y", "type", "video game")],
+            [ConstantLiteral("x", "type", "programmer")],
+        )
+        assert find_counterexample([phi1], phi1) is None
+        witness = find_counterexample([], phi1)
+        assert witness is not None
+
+
+class TestAgreementWithImplies:
+    CASES = []
+    _q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+    CASES.append(([], GED(_q, [], [ConstantLiteral("x", "a", 1)])))
+    CASES.append(
+        (
+            [GED(_q, [], [ConstantLiteral("x", "a", 1)])],
+            GED(_q, [ConstantLiteral("y", "b", 2)], [ConstantLiteral("x", "a", 1)]),
+        )
+    )
+    CASES.append(
+        (
+            [GED(_q, [], [VariableLiteral("x", "n", "y", "n")])],
+            GED(_q, [], [ConstantLiteral("x", "n", 3)]),
+        )
+    )
+    CASES.append(([paper.phi1()], paper.phi2()))
+    CASES.append(([paper.phi2()], paper.phi2()))
+
+    @pytest.mark.parametrize("sigma,phi", CASES)
+    def test_witness_iff_not_implied(self, sigma, phi):
+        implied, witness = implication_with_witness(sigma, phi)
+        assert implied == implies(sigma, phi)
+        if implied:
+            assert witness is None
+        else:
+            assert witness is not None
+            assert validates(witness.graph, sigma)
+            assert not validates(witness.graph, [phi])
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_random_constant_rules_agree(self, seed):
+        rng = random.Random(seed)
+        q = creators()
+        attrs = ["a", "b"]
+        values = [1, 2]
+
+        def random_rule():
+            X = []
+            if rng.random() < 0.6:
+                X.append(
+                    ConstantLiteral(
+                        rng.choice(["x", "y"]), rng.choice(attrs), rng.choice(values)
+                    )
+                )
+            Y = [
+                ConstantLiteral(
+                    rng.choice(["x", "y"]), rng.choice(attrs), rng.choice(values)
+                )
+            ]
+            return GED(q, X, Y)
+
+        sigma = [random_rule() for _ in range(rng.randrange(3))]
+        phi = random_rule()
+        implied, witness = implication_with_witness(sigma, phi)
+        assert implied == implies(sigma, phi)
+        if witness is not None:
+            assert validates(witness.graph, sigma)
+            assert not validates(witness.graph, [phi])
+
+    def test_witness_size_is_small(self):
+        """The small-model flavor of the Theorem 5 upper bound: the
+        witness is polynomial in |φ| + |Σ| (here: derived from G_Q, so
+        no larger than the pattern plus generated attributes)."""
+        phi = GED(creators(), [], [ConstantLiteral("x", "t", 1)])
+        witness = find_counterexample([], phi)
+        assert witness is not None
+        assert witness.graph.num_nodes <= phi.pattern.num_variables

@@ -1,0 +1,139 @@
+"""Implication tests: Theorem 4/5, Example 7, redundancy elimination."""
+
+from repro import paper
+from repro.deps import ConstantLiteral, GED, IdLiteral, VariableLiteral
+from repro.patterns import WILDCARD, Pattern
+from repro.reasoning import (
+    check_implication,
+    implies,
+    minimal_cover,
+    redundant_dependencies,
+)
+
+
+class TestExample7:
+    """The paper's Example 7 (Figure 4)."""
+
+    def test_sigma_implies_phi(self):
+        outcome = check_implication(paper.example7_sigma(), paper.example7_phi())
+        assert outcome.implied
+        assert outcome.mode == "deduced"
+
+    def test_wildcard_merge_is_consistent(self):
+        """x3 (label a) merges with x1 (label _) — the ≼ comparison."""
+        outcome = check_implication(paper.example7_sigma(), paper.example7_phi())
+        eq = outcome.chase_result.eq
+        assert eq.nodes_equal("x1", "x3")
+        assert eq.nodes_equal("x2", "x4")
+        assert eq.is_consistent
+
+    def test_weakened_sigma_does_not_imply(self):
+        """Dropping φ2 breaks the derivation chain for x2/x4."""
+        phi_1 = paper.example7_sigma()[0]
+        outcome = check_implication([phi_1], paper.example7_phi())
+        assert not outcome.implied
+        assert outcome.mode == "not-deduced"
+        assert any(isinstance(l, IdLiteral) for l in outcome.missing)
+
+
+class TestBasicImplication:
+    def test_reflexivity(self):
+        phi = paper.phi2()
+        assert implies([phi], phi)
+
+    def test_empty_sigma_implies_trivial(self):
+        q = Pattern({"x": "a"})
+        trivial = GED(q, [ConstantLiteral("x", "A", 1)], [ConstantLiteral("x", "A", 1)])
+        assert implies([], trivial)
+
+    def test_empty_sigma_does_not_imply_nontrivial(self):
+        q = Pattern({"x": "a"})
+        assert not implies([], GED(q, [], [ConstantLiteral("x", "A", 1)]))
+
+    def test_inconsistent_x_implies_anything(self):
+        """Condition (1) of Theorem 4 with Eq_X inconsistent upfront."""
+        q = Pattern({"x": "a"})
+        phi = GED(
+            q,
+            [ConstantLiteral("x", "A", 1), ConstantLiteral("x", "A", 2)],
+            [ConstantLiteral("x", "A", 3)],
+        )
+        outcome = check_implication([], phi)
+        assert outcome.implied and outcome.mode == "inconsistent-X"
+
+    def test_chase_driven_inconsistency_implies(self):
+        """Condition (1) via the chase: Σ forces a conflict under X."""
+        q = Pattern({"x": "item"})
+        sigma = [
+            GED(q, [ConstantLiteral("x", "t", 1)], [ConstantLiteral("x", "u", "a")]),
+            GED(q, [ConstantLiteral("x", "t", 1)], [ConstantLiteral("x", "u", "b")]),
+        ]
+        phi = GED(q, [ConstantLiteral("x", "t", 1)], [ConstantLiteral("x", "zzz", 9)])
+        outcome = check_implication(sigma, phi)
+        assert outcome.implied and outcome.mode == "inconsistent-X"
+
+    def test_transitivity_of_variable_literals(self):
+        q = Pattern({"x": "a", "y": "a", "z": "a"})
+        sigma = [
+            GED(q, [VariableLiteral("x", "A", "y", "A")], [VariableLiteral("x", "B", "y", "B")]),
+        ]
+        phi = GED(
+            q,
+            [VariableLiteral("x", "A", "y", "A")],
+            [VariableLiteral("y", "B", "x", "B")],  # symmetric form
+        )
+        assert implies(sigma, phi)
+
+    def test_constant_propagation(self):
+        q = Pattern({"x": "a"})
+        sigma = [
+            GED(q, [ConstantLiteral("x", "A", 1)], [ConstantLiteral("x", "B", 2)]),
+            GED(q, [ConstantLiteral("x", "B", 2)], [ConstantLiteral("x", "C", 3)]),
+        ]
+        phi = GED(q, [ConstantLiteral("x", "A", 1)], [ConstantLiteral("x", "C", 3)])
+        assert implies(sigma, phi)
+        assert not implies(sigma, GED(q, [], [ConstantLiteral("x", "C", 3)]))
+
+    def test_id_literal_gives_attribute_equality(self):
+        """Merged nodes share attributes (id semantics in deduction)."""
+        q = Pattern({"x": "a", "y": "a"})
+        sigma = [GED(q, [VariableLiteral("x", "K", "y", "K")], [IdLiteral("x", "y")])]
+        phi = GED(
+            q,
+            [VariableLiteral("x", "K", "y", "K"), VariableLiteral("x", "V", "x", "V")],
+            [VariableLiteral("x", "V", "y", "V")],
+        )
+        assert implies(sigma, phi)
+
+    def test_pattern_embedding_matters(self):
+        """Σ's pattern must embed into G_Q for its FD to fire."""
+        edge_pattern = Pattern({"x": "a", "y": "a"}, [("x", "r", "y")])
+        no_edge = Pattern({"x": "a", "y": "a"})
+        sigma = [GED(edge_pattern, [], [VariableLiteral("x", "A", "y", "A")])]
+        phi_with_edge = GED(edge_pattern, [], [VariableLiteral("x", "A", "y", "A")])
+        phi_without = GED(no_edge, [], [VariableLiteral("x", "A", "y", "A")])
+        assert implies(sigma, phi_with_edge)
+        assert not implies(sigma, phi_without)
+
+    def test_keys_recursive_implication(self):
+        """ψ1 + ψ3 do not trivially imply ψ2 (independent keys)."""
+        assert not implies([paper.psi1(), paper.psi3()], paper.psi2())
+
+
+class TestRedundancy:
+    def test_redundant_duplicate_removed(self):
+        sigma = [paper.phi2(), paper.phi2()]
+        assert len(redundant_dependencies(sigma)) == 1
+        assert len(minimal_cover(sigma)) == 1
+
+    def test_implied_weaker_rule_removed(self):
+        q = Pattern({"x": "a"})
+        strong = GED(q, [], [ConstantLiteral("x", "A", 1)])
+        weak = GED(q, [ConstantLiteral("x", "B", 5)], [ConstantLiteral("x", "A", 1)])
+        cover = minimal_cover([strong, weak])
+        assert cover == [strong]
+
+    def test_independent_rules_kept(self):
+        sigma = [paper.phi1(), paper.phi2()]
+        assert redundant_dependencies(sigma) == []
+        assert minimal_cover(sigma) == sigma

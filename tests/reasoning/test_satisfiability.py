@@ -1,0 +1,189 @@
+"""Satisfiability tests: Theorem 2/3, Examples 5 and 6, model building."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.deps import FALSE, ConstantLiteral, GED, IdLiteral, VariableLiteral
+from repro.graph import random_labeled_graph
+from repro.patterns import WILDCARD, Pattern
+from repro.reasoning import (
+    build_model,
+    check_satisfiability,
+    is_model,
+    is_satisfiable,
+    matches_all_patterns,
+    satisfiable_bruteforce,
+    validates,
+)
+
+
+class TestExamples5And6:
+    """The paper's Examples 5 and 6 (Figure 3)."""
+
+    def test_phi1_alone_satisfiable(self):
+        assert is_satisfiable([paper.example5_phi1()])
+
+    def test_phi2_alone_satisfiable(self):
+        assert is_satisfiable([paper.example5_phi2()])
+
+    def test_sigma1_unsatisfiable(self):
+        """Σ1 = {φ1, φ2}: the homomorphism f : Q2 → Q1 forces y, z
+        (distinct labels) to merge — Example 6 confirms by the chase."""
+        outcome = check_satisfiability(paper.example5_sigma1())
+        assert not outcome.satisfiable
+        assert "label conflict" in outcome.reason
+
+    def test_sigma2_unsatisfiable_without_homomorphic_patterns(self):
+        """Example 5 (2): Q1 and Q2' are not homomorphic either way,
+        yet Σ2 is still unsatisfiable."""
+        from repro.chase import canonical_graph
+        from repro.matching import has_match
+
+        q1, q2p = paper.example5_q1(), paper.example5_q2_prime()
+        assert not has_match(q1, canonical_graph(q2p))
+        assert not has_match(q2p, canonical_graph(q1))
+        assert not is_satisfiable(paper.example5_sigma2())
+
+    def test_build_model_returns_none_when_unsat(self):
+        assert build_model(paper.example5_sigma1()) is None
+
+
+class TestBasicSatisfiability:
+    def test_empty_sigma(self):
+        assert is_satisfiable([])
+        model = build_model([])
+        assert model is not None and model.num_nodes == 1
+
+    def test_single_gfd_satisfiable(self):
+        assert is_satisfiable([paper.phi1()])
+        model = build_model([paper.phi1()])
+        assert is_model(model, [paper.phi1()])
+
+    def test_forbidding_constraint_with_empty_x_unsatisfiable(self):
+        """ϕ4 = Q4(∅ → false): a model must match Q4, and then false
+        applies — strong satisfiability fails."""
+        assert not is_satisfiable([paper.phi4()])
+
+    def test_forbidding_constraint_with_nonempty_x_satisfiable(self):
+        q = Pattern({"x": "item"})
+        ged = GED(q, [ConstantLiteral("x", "bad", 1)], [FALSE])
+        assert is_satisfiable([ged])
+        model = build_model([ged])
+        assert is_model(model, [ged])
+
+    def test_conflicting_constants_unsatisfiable(self):
+        q = Pattern({"x": "item"})
+        sigma = [
+            GED(q, [], [ConstantLiteral("x", "grade", "A")]),
+            GED(q, [], [ConstantLiteral("x", "grade", "B")]),
+        ]
+        assert not is_satisfiable(sigma)
+
+    def test_gkey_uoe_example(self):
+        """Section 3's ϕ = Q[x, y](∅ → x.id = y.id) over two UoE nodes:
+        satisfiable under homomorphism semantics (both map to one node)."""
+        q = Pattern({"x": "UoE", "y": "UoE"})
+        ged = GED(q, [], [IdLiteral("x", "y")])
+        assert is_satisfiable([ged])
+        model = build_model([ged])
+        # The model collapses the two pattern nodes into one.
+        assert model.num_nodes == 1
+        assert is_model(model, [ged])
+
+    def test_id_literal_label_conflict_unsatisfiable(self):
+        q = Pattern({"x": "a", "y": "b"})
+        assert not is_satisfiable([GED(q, [], [IdLiteral("x", "y")])])
+
+    def test_paper_keys_jointly_satisfiable(self):
+        sigma = [paper.psi1(), paper.psi2(), paper.psi3()]
+        assert is_satisfiable(sigma)
+        model = build_model(sigma)
+        assert is_model(model, sigma)
+
+
+class TestGFDxShortcut:
+    def test_gfdx_sets_always_satisfiable(self):
+        """Theorem 3: O(1) for GFDxs — no chase needed."""
+        sigma = [paper.phi2(), paper.phi3()]
+        outcome = check_satisfiability(sigma)
+        assert outcome.satisfiable
+        assert outcome.chase_result is None  # shortcut taken
+        assert "O(1)" in outcome.reason
+
+    def test_shortcut_agrees_with_chase(self):
+        sigma = [paper.phi2(), paper.phi3()]
+        assert check_satisfiability(sigma, use_shortcut=False).satisfiable
+
+    def test_shortcut_not_taken_with_constants(self):
+        outcome = check_satisfiability([paper.phi1()])
+        assert outcome.chase_result is not None
+
+
+def _random_tiny_sigma(seed: int) -> list[GED]:
+    """Tiny random GED sets for oracle cross-checking (|G_Σ| ≤ 5)."""
+    rng = random.Random(seed)
+    sigma = []
+    budget = 5
+    while budget > 0 and (not sigma or rng.random() < 0.6):
+        k = rng.randint(1, min(2, budget))
+        budget -= k
+        labels = {f"x{i}": rng.choice(["a", "b", WILDCARD]) for i in range(k)}
+        variables = list(labels)
+        edges = []
+        if k == 2 and rng.random() < 0.5:
+            edges.append(("x0", "r", "x1"))
+        lits = []
+        for _ in range(rng.randint(1, 2)):
+            roll = rng.random()
+            v1, v2 = rng.choice(variables), rng.choice(variables)
+            if roll < 0.45:
+                lits.append(ConstantLiteral(v1, "A", rng.choice([1, 2])))
+            elif roll < 0.75:
+                lits.append(VariableLiteral(v1, "A", v2, "A"))
+            else:
+                lits.append(IdLiteral(v1, v2))
+        split = rng.randint(0, len(lits) - 1)
+        sigma.append(GED(Pattern(labels, edges), lits[:split], lits[split:]))
+    return sigma
+
+
+class TestAgainstBruteForceOracle:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_chase_agrees_with_quotient_oracle(self, seed):
+        """Theorem 2's procedure == exhaustive quotient enumeration."""
+        sigma = _random_tiny_sigma(seed)
+        fast = is_satisfiable(sigma, use_shortcut=False)
+        slow, witness = satisfiable_bruteforce(sigma)
+        assert fast == slow
+        if slow:
+            assert is_model(witness, sigma)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_built_models_are_models(self, seed):
+        """Soundness of the Theorem 2 construction: whenever the chase
+        says satisfiable, the constructed graph is a genuine model."""
+        sigma = _random_tiny_sigma(seed)
+        model = build_model(sigma)
+        if model is not None:
+            assert validates(model, sigma)
+            assert matches_all_patterns(model, sigma)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_completeness_on_known_models(self, seed):
+        """If a random graph G happens to satisfy Σ and match all its
+        patterns, Σ has a model, so the chase must report satisfiable
+        (the hard direction of Theorem 2)."""
+        rng = random.Random(seed)
+        g = random_labeled_graph(
+            rng.randint(1, 4), 0.5, ["a", "b"], ["r"], rng=seed,
+            attribute_names=["A"], attribute_values=[1, 2],
+        )
+        sigma = [ged for ged in _random_tiny_sigma(seed) if ged.pattern.size() <= 6]
+        if sigma and is_model(g, sigma):
+            assert is_satisfiable(sigma, use_shortcut=False)

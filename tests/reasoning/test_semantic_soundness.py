@@ -1,0 +1,110 @@
+"""Cross-procedure semantic soundness (property-based).
+
+These tests tie the three decision procedures to the *model-theoretic*
+definitions they implement:
+
+* if Σ |= φ (per the Theorem 4 chase procedure), then every concrete
+  graph satisfying Σ must satisfy φ — checked over pools of random
+  graphs;
+* if Σ ⊭ φ, models of Σ violating φ should exist — and indeed the
+  procedures' own artifacts (chase coercions, built models) provide
+  them in the common case;
+* validation distributes over unions of rule sets.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deps import ConstantLiteral, GED, IdLiteral, VariableLiteral
+from repro.graph import random_labeled_graph
+from repro.patterns import WILDCARD, Pattern
+from repro.reasoning import find_violations, implies, validates
+
+
+def random_geds(seed: int, how_many: int) -> list[GED]:
+    rng = random.Random(seed)
+    q = Pattern({"x": rng.choice(["a", "b", WILDCARD]), "y": rng.choice(["a", WILDCARD])})
+    result = []
+    for _ in range(how_many):
+        def lit():
+            roll = rng.random()
+            v1, v2 = rng.choice(["x", "y"]), rng.choice(["x", "y"])
+            if roll < 0.45:
+                return ConstantLiteral(v1, "A", rng.choice([1, 2]))
+            if roll < 0.8:
+                return VariableLiteral(v1, "A", v2, "B")
+            return IdLiteral(v1, v2)
+        lits = [lit() for _ in range(2)]
+        result.append(GED(q, lits[:1], lits[1:]))
+    return result
+
+
+def graph_pool(seed: int, count: int = 12):
+    rng = random.Random(seed)
+    pool = []
+    for _ in range(count):
+        pool.append(
+            random_labeled_graph(
+                rng.randint(1, 4), 0.5, ["a", "b"], ["r"],
+                rng=rng.randint(0, 10_000),
+                attribute_names=["A", "B"], attribute_values=[1, 2],
+            )
+        )
+    return pool
+
+
+class TestImplicationSoundOverModels:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_implied_geds_hold_on_every_model(self, seed):
+        sigma = random_geds(seed, 2)
+        phi = random_geds(seed + 1, 1)[0]
+        if phi.pattern != sigma[0].pattern:
+            return
+        if not implies(sigma, phi):
+            return
+        for graph in graph_pool(seed):
+            if validates(graph, sigma):
+                assert validates(graph, [phi]), (
+                    f"Σ |= φ but a Σ-model violates φ\nΣ={list(map(str, sigma))}\nφ={phi}"
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_violating_model_refutes_implication(self, seed):
+        """Contrapositive: a Σ-model violating φ certifies Σ ⊭ φ."""
+        sigma = random_geds(seed, 2)
+        phi = random_geds(seed + 1, 1)[0]
+        for graph in graph_pool(seed + 2):
+            if validates(graph, sigma) and not validates(graph, [phi]):
+                assert not implies(sigma, phi)
+                return
+
+
+class TestValidationAlgebra:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_union_of_rule_sets(self, seed):
+        """G |= Σ1 ∪ Σ2 iff G |= Σ1 and G |= Σ2."""
+        sigma1 = random_geds(seed, 1)
+        sigma2 = random_geds(seed + 5, 1)
+        for graph in graph_pool(seed + 9, count=4):
+            both = validates(graph, sigma1 + sigma2)
+            split = validates(graph, sigma1) and validates(graph, sigma2)
+            assert both == split
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_violations_localize(self, seed):
+        """Every violation witness, replayed, indeed fails its rule."""
+        from repro.reasoning import literal_holds
+
+        sigma = random_geds(seed, 2)
+        for graph in graph_pool(seed + 3, count=4):
+            for violation in find_violations(graph, sigma):
+                match = violation.assignment
+                assert all(literal_holds(graph, l, match) for l in violation.ged.X)
+                for failed in violation.failed:
+                    assert not literal_holds(graph, failed, match)

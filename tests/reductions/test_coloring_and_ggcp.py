@@ -1,0 +1,101 @@
+"""Brute-force oracles: 3-colorability and GGCP."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.graph import (
+    GraphBuilder,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_connected_undirected_graph,
+)
+from repro.reductions import (
+    check_coloring_instance,
+    find_three_coloring,
+    ggcp_satisfiable,
+    ggcp_two_coloring,
+    has_clique,
+    is_three_colorable,
+)
+from repro.reductions.ggcp import adjacency_of
+
+
+class TestThreeColoring:
+    def test_triangle_is_3_colorable(self):
+        assert is_three_colorable(complete_graph(3))
+
+    def test_k4_is_not(self):
+        assert not is_three_colorable(complete_graph(4))
+
+    def test_odd_cycle(self):
+        assert is_three_colorable(cycle_graph(5))
+
+    def test_path(self):
+        assert is_three_colorable(path_graph(4))
+
+    def test_coloring_witness_is_proper(self):
+        g = random_connected_undirected_graph(8, rng=11)
+        coloring = find_three_coloring(g)
+        if coloring is not None:
+            from repro.graph import undirected_edge_set
+
+            for a, b in undirected_edge_set(g):
+                assert coloring[a] != coloring[b]
+            assert is_three_colorable(g)
+        else:
+            assert not is_three_colorable(g)
+
+    def test_instance_validation(self):
+        bad = GraphBuilder().node("a", "v").edge("a", "adj", "a").build()
+        with pytest.raises(ReductionError):
+            check_coloring_instance(bad)
+        one_way = GraphBuilder().nodes("v", "a", "b").edge("a", "adj", "b").build()
+        with pytest.raises(ReductionError):
+            check_coloring_instance(one_way)
+        empty = GraphBuilder().nodes("v", "a").build()
+        with pytest.raises(ReductionError):
+            check_coloring_instance(empty)
+        wrong_label = GraphBuilder().nodes("v", "a", "b").undirected_edge("a", "link", "b").build()
+        with pytest.raises(ReductionError):
+            check_coloring_instance(wrong_label)
+
+
+class TestGGCP:
+    def test_clique_detection(self):
+        g = complete_graph(4)
+        adjacency = adjacency_of(g)
+        assert has_clique(sorted(g.node_ids), adjacency, 4)
+        assert has_clique(sorted(g.node_ids), adjacency, 3)
+        assert not has_clique(["n0", "n1"], adjacency, 3)
+
+    def test_edge_always_monochromatic_somewhere_in_k3(self):
+        """K3 cannot be 2-colored without a monochromatic edge (K2)."""
+        assert not ggcp_satisfiable(complete_graph(3), 2)
+
+    def test_k2_instance_trivial(self):
+        """A single edge can be 2-colored with no mono edge."""
+        assert ggcp_satisfiable(path_graph(2), 2)
+
+    def test_k4_avoids_mono_triangle(self):
+        """K4 2-colored into two pairs has no monochromatic K3."""
+        assert ggcp_satisfiable(complete_graph(4), 3)
+
+    def test_k6_forces_mono_triangle(self):
+        """Ramsey: R(3,3) = 6 — every 2-coloring of K6's *vertices*...
+        vertex version: 6 nodes, some class has ≥ 3 nodes, and in K6
+        every 3 nodes form a triangle, so no good coloring exists for
+        k = 3 needs ≥ 5 in one class — actually any class of size ≥ 3
+        is a K3.  So unsatisfiable."""
+        assert not ggcp_satisfiable(complete_graph(6), 3)
+
+    def test_k4_k3_coloring_witness(self):
+        coloring = ggcp_two_coloring(complete_graph(4), 3)
+        assert coloring is not None
+        # Neither color class may have 3 mutually adjacent nodes.
+        for color in (0, 1):
+            assert sum(1 for v in coloring.values() if v == color) <= 2
+
+    def test_bad_k(self):
+        with pytest.raises(ReductionError):
+            ggcp_two_coloring(complete_graph(3), 1)

@@ -1,0 +1,137 @@
+"""Every reduction cross-checked against its brute-force oracle.
+
+These are the load-bearing tests for the Table 1 lower-bound
+reproductions: on exhaustive families of small instances, the decision
+procedure applied to the reduced instance must agree with the oracle
+on the source instance.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import complete_graph, cycle_graph, path_graph, random_connected_undirected_graph
+from repro.reasoning import implies, is_satisfiable, validates
+from repro.reductions import (
+    gdc_ggcp_instance,
+    gedvee_ggcp_instance,
+    gfd_satisfiability_instance,
+    gfdx_implication_instance,
+    gfdx_validation_instance,
+    ggcp_satisfiable,
+    gkey_implication_instance,
+    gkey_satisfiability_instance,
+    gkey_validation_instance,
+    is_three_colorable,
+    witness_model,
+)
+
+
+def small_instances():
+    """A zoo of small connected loop-free instances, both 3-colorable
+    (cycles, paths, K3) and not (K4, K5, wheel-ish)."""
+    instances = [
+        complete_graph(3),
+        complete_graph(4),
+        complete_graph(5),
+        cycle_graph(4),
+        cycle_graph(5),
+        cycle_graph(7),
+        path_graph(4),
+    ]
+    for seed in range(4):
+        instances.append(random_connected_undirected_graph(5, rng=seed))
+    return instances
+
+
+class TestSatisfiabilityReductions:
+    @pytest.mark.parametrize("index", range(11))
+    def test_gfd_reduction(self, index):
+        h = small_instances()[index]
+        sigma = gfd_satisfiability_instance(h)
+        assert all(g.is_gfd for g in sigma) and len(sigma) == 2
+        assert is_satisfiable(sigma) == (not is_three_colorable(h))
+
+    @pytest.mark.parametrize("index", range(11))
+    def test_gkey_reduction(self, index):
+        h = small_instances()[index]
+        sigma = gkey_satisfiability_instance(h)
+        assert all(not g.has_constant_literals for g in sigma)
+        assert is_satisfiable(sigma) == (not is_three_colorable(h))
+
+
+class TestImplicationReductions:
+    @pytest.mark.parametrize("index", range(11))
+    def test_gfdx_reduction(self, index):
+        h = small_instances()[index]
+        sigma, phi = gfdx_implication_instance(h)
+        assert len(sigma) == 1 and sigma[0].is_gfdx and phi.is_gfdx
+        assert implies(sigma, phi) == is_three_colorable(h)
+
+    @pytest.mark.parametrize("index", range(11))
+    def test_gkey_reduction(self, index):
+        h = small_instances()[index]
+        sigma, phi = gkey_implication_instance(h)
+        assert implies(sigma, phi) == is_three_colorable(h)
+
+
+class TestValidationReductions:
+    @pytest.mark.parametrize("index", range(11))
+    def test_gfdx_reduction(self, index):
+        h = small_instances()[index]
+        graph, sigma = gfdx_validation_instance(h)
+        assert len(sigma) == 1 and sigma[0].is_gfdx
+        assert validates(graph, sigma) == (not is_three_colorable(h))
+
+    @pytest.mark.parametrize("index", range(11))
+    def test_gkey_reduction(self, index):
+        h = small_instances()[index]
+        graph, sigma = gkey_validation_instance(h)
+        assert validates(graph, sigma) == (not is_three_colorable(h))
+
+
+def ggcp_instances():
+    """(F, k) pairs small enough for the Σp2 search."""
+    return [
+        (path_graph(2), 2),       # satisfiable: color the edge 0/1
+        (complete_graph(3), 2),   # unsat: some edge is monochromatic
+        (complete_graph(3), 3),   # satisfiable: 2+1 split has no mono K3
+        (path_graph(3), 2),       # satisfiable
+    ]
+
+
+class TestGGCPReductions:
+    @pytest.mark.parametrize("index", range(4))
+    def test_gdc_reduction(self, index):
+        from repro.extensions import gdc_satisfiable, gdc_validates
+
+        f, k = ggcp_instances()[index]
+        sigma = gdc_ggcp_instance(f, k)
+        assert len(sigma) == 4
+        expected = ggcp_satisfiable(f, k)
+        ok, witness = gdc_satisfiable(sigma, max_nodes=9)
+        assert ok == expected
+        if ok:
+            assert gdc_validates(witness, sigma)
+
+    @pytest.mark.parametrize("index", range(4))
+    def test_gedvee_reduction_via_disjunctive_chase(self, index):
+        from repro.extensions import disjunctive_chase_satisfiable, vee_validates
+
+        f, k = ggcp_instances()[index]
+        sigma = gedvee_ggcp_instance(f, k)
+        assert len(sigma) == 3
+        expected = ggcp_satisfiable(f, k)
+        ok, witness = disjunctive_chase_satisfiable(sigma)
+        assert ok == expected
+        if ok:
+            assert vee_validates(witness, sigma)
+
+    def test_witness_model_is_a_model(self):
+        from repro.extensions import gdc_validates
+        from repro.reductions import ggcp_two_coloring
+
+        f, k = complete_graph(4), 3
+        coloring = ggcp_two_coloring(f, k)
+        model = witness_model(f, k, coloring)
+        assert gdc_validates(model, gdc_ggcp_instance(f, k))

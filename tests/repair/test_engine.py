@@ -1,0 +1,199 @@
+"""Tests for the greedy repair engine."""
+
+import pytest
+
+from repro.deps.ged import GED
+from repro.deps.literals import FALSE, ConstantLiteral, IdLiteral, VariableLiteral
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+from repro.reasoning.validation import find_violations, validates
+from repro.repair.cost import CostModel
+from repro.repair.engine import repair
+from repro.repair.operations import DeleteEdge, RemoveAttribute, SetAttribute, apply_operations
+
+
+def creator_rule() -> GED:
+    q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+    return GED(
+        q,
+        [ConstantLiteral("y", "type", "video game")],
+        [ConstantLiteral("x", "type", "programmer")],
+        name="phi1",
+    )
+
+
+def dirty_creator_graph() -> Graph:
+    g = Graph()
+    g.add_node("t", "person", {"type": "psychologist"})
+    g.add_node("g", "product", {"type": "video game"})
+    g.add_edge("t", "create", "g")
+    return g
+
+
+class TestRepairBasics:
+    def test_clean_graph_untouched(self):
+        g = Graph()
+        g.add_node("p", "person", {"type": "programmer"})
+        report = repair(g, [creator_rule()])
+        assert report.clean
+        assert report.applied == []
+        assert report.graph == g
+
+    def test_single_forward_repair(self):
+        report = repair(dirty_creator_graph(), [creator_rule()])
+        assert report.clean
+        assert report.graph.node("t").get("type") == "programmer"
+        assert report.total_cost == pytest.approx(1.0)
+
+    def test_report_trace_is_replayable(self):
+        g = dirty_creator_graph()
+        report = repair(g, [creator_rule()])
+        replayed = apply_operations(g, report.applied)
+        assert replayed == report.graph
+
+    def test_input_graph_not_mutated(self):
+        g = dirty_creator_graph()
+        repair(g, [creator_rule()])
+        assert g.node("t").get("type") == "psychologist"
+
+    def test_verified_clean_flag_matches_validates(self):
+        report = repair(dirty_creator_graph(), [creator_rule()])
+        assert report.clean == validates(report.graph, [creator_rule()])
+
+
+class TestProtections:
+    def test_protected_attribute_forces_backward_repair(self):
+        model = CostModel()
+        model.protect_attribute("t", "type")
+        report = repair(dirty_creator_graph(), [creator_rule()], cost_model=model)
+        assert report.clean
+        # the curator pinned t.type, so the engine must retract the
+        # premise or break the match instead
+        assert report.graph.node("t").get("type") == "psychologist"
+        assert any(
+            isinstance(op, (RemoveAttribute, DeleteEdge)) for op in report.applied
+        )
+
+    def test_fully_protected_instance_stops_dirty(self):
+        model = CostModel()
+        model.protect_attribute("t", "type")
+        model.protect_attribute("g", "type")
+        model.protect_edge("t", "create", "g")
+        report = repair(dirty_creator_graph(), [creator_rule()], cost_model=model)
+        assert not report.clean
+        assert report.stopped_reason == "no affordable repair plan"
+        assert report.remaining
+
+    def test_forward_only_cannot_fix_forbidding(self):
+        g = Graph()
+        g.add_node("p1", "person")
+        g.add_node("p2", "person")
+        g.add_edge("p1", "child", "p2")
+        g.add_edge("p1", "parent", "p2")
+        q = Pattern(
+            {"x": "person", "y": "person"},
+            [("x", "child", "y"), ("x", "parent", "y")],
+        )
+        rule = GED(q, [], [FALSE], name="phi4")
+        report = repair(g, [rule], allow_backward=False)
+        assert not report.clean
+        report_backward = repair(g, [rule], allow_backward=True)
+        assert report_backward.clean
+        assert g.num_edges - report_backward.graph.num_edges == 1
+
+
+class TestCascades:
+    def test_forward_repairs_cascade_like_chase(self):
+        """Fixing rule A's violation creates rule B's premise; the engine
+        must keep going until both hold."""
+        g = Graph()
+        g.add_node("n", "item")
+        q = Pattern({"x": "item"})
+        rule_a = GED(q, [], [ConstantLiteral("x", "status", "checked")])
+        rule_b = GED(
+            q,
+            [ConstantLiteral("x", "status", "checked")],
+            [ConstantLiteral("x", "grade", "A")],
+        )
+        report = repair(g, [rule_a, rule_b])
+        assert report.clean
+        assert report.graph.node("n").get("status") == "checked"
+        assert report.graph.node("n").get("grade") == "A"
+        assert report.rounds >= 2
+
+    def test_conflicting_rules_terminate_via_backward(self):
+        """Two rules demand different values for the same attribute: the
+        forward repairs oscillate, so the engine must escape through a
+        backward repair and still terminate."""
+        g = Graph()
+        g.add_node("n", "item", {"kind": "widget"})
+        q = Pattern({"x": "item"})
+        rule1 = GED(
+            q, [ConstantLiteral("x", "kind", "widget")], [ConstantLiteral("x", "v", 1)]
+        )
+        rule2 = GED(
+            q, [ConstantLiteral("x", "kind", "widget")], [ConstantLiteral("x", "v", 2)]
+        )
+        report = repair(g, [rule1, rule2])
+        assert report.clean
+        # only retracting `kind` (or `v`... but v repairs oscillate) works
+        assert not report.graph.node("n").has_attribute("kind")
+
+    def test_budget_exhaustion_reported(self):
+        g = dirty_creator_graph()
+        report = repair(g, [creator_rule()], max_operations=0)
+        assert not report.clean
+        assert report.stopped_reason == "operation budget exhausted"
+
+
+class TestEntityMergeRepairs:
+    def test_gkey_violation_repaired_by_merge(self):
+        g = Graph()
+        g.add_node("a1", "album", {"title": "Bleach"})
+        g.add_node("a2", "album", {"release": 1989})
+        g.add_node("ar", "artist", {"name": "Nirvana"})
+        g.add_edge("a1", "by", "ar")
+        g.add_edge("a2", "by", "ar")
+        q = Pattern(
+            {"x": "album", "y": "album", "z": "artist"},
+            [("x", "by", "z"), ("y", "by", "z")],
+        )
+        rule = GED(q, [], [IdLiteral("x", "y")], name="one-album-per-artist")
+        report = repair(g, [rule])
+        assert report.clean
+        assert report.graph.num_nodes == 2
+        (album,) = [n for n in report.graph.nodes if n.label == "album"]
+        assert album.get("title") == "Bleach"
+        assert album.get("release") == 1989
+
+    def test_merge_conflict_falls_back_to_destructive(self):
+        g = Graph()
+        g.add_node("a1", "album", {"title": "Bleach"})
+        g.add_node("a2", "album", {"title": "Nevermind"})
+        g.add_node("ar", "artist")
+        g.add_edge("a1", "by", "ar")
+        g.add_edge("a2", "by", "ar")
+        q = Pattern(
+            {"x": "album", "y": "album", "z": "artist"},
+            [("x", "by", "z"), ("y", "by", "z")],
+        )
+        rule = GED(q, [], [IdLiteral("x", "y")])
+        report = repair(g, [rule])
+        assert report.clean
+        assert not find_violations(report.graph, [rule])
+
+
+class TestMultiRuleWorkload:
+    def test_example1_rules_on_planted_errors(self):
+        """The knowledge-base rules of Example 1 on a dirty KB: repair
+        converges and the result validates."""
+        from repro.quality.inconsistencies import example1_rules
+        from repro.workloads.kb import synthetic_knowledge_base
+
+        graph, _expected = synthetic_knowledge_base(
+            n_products=5, n_countries=3, n_species=3, n_families=3, n_albums=3, rng=7
+        )
+        rules = example1_rules()
+        report = repair(graph, rules, max_operations=500)
+        assert report.clean
+        assert validates(report.graph, rules)

@@ -1,0 +1,131 @@
+"""Unit tests for primitive repair operations."""
+
+import pytest
+
+from repro.errors import RepairError
+from repro.graph.graph import Graph
+from repro.repair.operations import (
+    DeleteEdge,
+    DeleteNode,
+    MergeNodes,
+    RemoveAttribute,
+    SetAttribute,
+    apply_operations,
+)
+
+
+def small_graph() -> Graph:
+    g = Graph()
+    g.add_node("a", "person", {"name": "Ada", "age": 36})
+    g.add_node("b", "person", {"name": "Bob"})
+    g.add_node("p", "product", {"title": "Game"})
+    g.add_edge("a", "create", "p")
+    g.add_edge("b", "create", "p")
+    return g
+
+
+class TestSetAttribute:
+    def test_sets_new_attribute(self):
+        g2 = SetAttribute("b", "age", 40).apply(small_graph())
+        assert g2.node("b").get("age") == 40
+
+    def test_overwrites_existing(self):
+        g2 = SetAttribute("a", "age", 37).apply(small_graph())
+        assert g2.node("a").get("age") == 37
+
+    def test_does_not_mutate_input(self):
+        g = small_graph()
+        SetAttribute("a", "age", 99).apply(g)
+        assert g.node("a").get("age") == 36
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(RepairError):
+            SetAttribute("zzz", "age", 1).apply(small_graph())
+
+
+class TestRemoveAttribute:
+    def test_removes(self):
+        g2 = RemoveAttribute("a", "age").apply(small_graph())
+        assert not g2.node("a").has_attribute("age")
+        assert g2.node("a").get("name") == "Ada"
+
+    def test_preserves_edges(self):
+        g2 = RemoveAttribute("a", "age").apply(small_graph())
+        assert g2.has_edge("a", "create", "p")
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(RepairError):
+            RemoveAttribute("b", "age").apply(small_graph())
+
+
+class TestDeleteEdge:
+    def test_deletes(self):
+        g2 = DeleteEdge("a", "create", "p").apply(small_graph())
+        assert not g2.has_edge("a", "create", "p")
+        assert g2.has_edge("b", "create", "p")
+
+    def test_missing_edge_raises(self):
+        with pytest.raises(RepairError):
+            DeleteEdge("a", "likes", "p").apply(small_graph())
+
+
+class TestDeleteNode:
+    def test_deletes_node_and_incident_edges(self):
+        g2 = DeleteNode("p").apply(small_graph())
+        assert not g2.has_node("p")
+        assert g2.num_edges == 0
+
+    def test_missing_node_raises(self):
+        with pytest.raises(RepairError):
+            DeleteNode("zzz").apply(small_graph())
+
+
+class TestMergeNodes:
+    def test_attribute_conflict_raises(self):
+        # name differs: Ada vs Bob
+        with pytest.raises(RepairError):
+            MergeNodes("b", "a").apply(small_graph())
+
+    def test_merge_without_conflicts(self):
+        g = Graph()
+        g.add_node("x", "city", {"name": "Oslo"})
+        g.add_node("y", "city", {"country": "NO"})
+        g.add_node("z", "country")
+        g.add_edge("z", "capital", "x")
+        g.add_edge("y", "in", "z")
+        g2 = MergeNodes("x", "y").apply(g)
+        assert g2.node("x").get("name") == "Oslo"
+        assert g2.node("x").get("country") == "NO"
+        assert g2.has_edge("z", "capital", "x")
+        assert g2.has_edge("x", "in", "z")
+
+    def test_label_conflict_raises(self):
+        g = small_graph()
+        with pytest.raises(RepairError):
+            MergeNodes("a", "p").apply(g)
+
+    def test_self_merge_raises(self):
+        with pytest.raises(RepairError):
+            MergeNodes("a", "a").apply(small_graph())
+
+    def test_merge_creates_loop_from_pair_edge(self):
+        g = Graph()
+        g.add_node("u", "n")
+        g.add_node("v", "n")
+        g.add_edge("u", "e", "v")
+        g2 = MergeNodes("u", "v").apply(g)
+        assert g2.has_edge("u", "e", "u")
+
+
+class TestApplyOperations:
+    def test_sequences_compose(self):
+        g = small_graph()
+        g2 = apply_operations(
+            g, [SetAttribute("b", "age", 36), DeleteEdge("b", "create", "p")]
+        )
+        assert g2.node("b").get("age") == 36
+        assert not g2.has_edge("b", "create", "p")
+
+    def test_empty_sequence_is_identity(self):
+        g = small_graph()
+        assert apply_operations(g, []) == g

@@ -1,0 +1,216 @@
+"""Tests for repair suggestion generation and the cost model."""
+
+import pytest
+
+from repro.deps.ged import GED
+from repro.deps.literals import FALSE, ConstantLiteral, IdLiteral, VariableLiteral
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+from repro.reasoning.validation import find_violations
+from repro.repair.cost import UNREPAIRABLE, CostModel
+from repro.repair.operations import (
+    DeleteEdge,
+    DeleteNode,
+    MergeNodes,
+    RemoveAttribute,
+    SetAttribute,
+    apply_operations,
+)
+from repro.repair.suggest import plan_preview, suggest_repairs
+
+
+def creator_graph() -> Graph:
+    """A video game created by a psychologist (Example 1's Tony Gibson)."""
+    g = Graph()
+    g.add_node("t", "person", {"type": "psychologist"})
+    g.add_node("g", "product", {"type": "video game"})
+    g.add_edge("t", "create", "g")
+    return g
+
+
+def creator_rule() -> GED:
+    """phi1: video games are created by programmers."""
+    q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+    return GED(
+        q,
+        [ConstantLiteral("y", "type", "video game")],
+        [ConstantLiteral("x", "type", "programmer")],
+        name="phi1",
+    )
+
+
+class TestForwardSuggestions:
+    def test_constant_literal_forward_repair(self):
+        g = creator_graph()
+        (violation,) = find_violations(g, [creator_rule()])
+        plans = suggest_repairs(g, violation, allow_backward=False)
+        assert (SetAttribute("t", "type", "programmer"),) in plans
+
+    def test_every_forward_plan_fixes_the_violation(self):
+        g = creator_graph()
+        rule = creator_rule()
+        (violation,) = find_violations(g, [rule])
+        for plan in suggest_repairs(g, violation, allow_backward=False):
+            repaired = apply_operations(g, plan)
+            assert not find_violations(repaired, [rule])
+
+    def test_variable_literal_two_sided_repair(self):
+        g = Graph()
+        g.add_node("c", "country")
+        g.add_node("h", "city", {"name": "Helsinki"})
+        g.add_node("s", "city", {"name": "Saint Petersburg"})
+        g.add_edge("c", "capital", "h")
+        g.add_edge("c", "capital", "s")
+        q = Pattern(
+            {"x": "country", "y": "city", "z": "city"},
+            [("x", "capital", "y"), ("x", "capital", "z")],
+        )
+        rule = GED(q, [], [VariableLiteral("y", "name", "z", "name")])
+        violations = find_violations(g, [rule])
+        assert violations
+        plans = suggest_repairs(g, violations[0], allow_backward=False)
+        values = {
+            op.value for plan in plans for op in plan if isinstance(op, SetAttribute)
+        }
+        assert {"Helsinki", "Saint Petersburg"} <= values
+
+    def test_variable_literal_generates_attribute_when_both_missing(self):
+        g = Graph()
+        g.add_node("m", "bird")
+        g.add_node("n", "bird")
+        g.add_edge("m", "same_species", "n")
+        q = Pattern({"x": "bird", "y": "bird"}, [("x", "same_species", "y")])
+        rule = GED(q, [], [VariableLiteral("x", "wingspan", "y", "wingspan")])
+        violations = find_violations(g, [rule])
+        plans = suggest_repairs(g, violations[0], allow_backward=False)
+        assert any(len(plan) == 2 for plan in plans)
+        for plan in plans:
+            repaired = apply_operations(g, plan)
+            assert not find_violations(repaired, [rule])
+
+    def test_id_literal_suggests_merge_when_compatible(self):
+        g = Graph()
+        g.add_node("a1", "album", {"title": "Bleach"})
+        g.add_node("a2", "album", {"release": 1989})
+        g.add_node("ar", "artist", {"name": "Nirvana"})
+        g.add_edge("a1", "by", "ar")
+        g.add_edge("a2", "by", "ar")
+        q = Pattern(
+            {"x": "album", "y": "album", "z": "artist"},
+            [("x", "by", "z"), ("y", "by", "z")],
+        )
+        rule = GED(q, [], [IdLiteral("x", "y")])
+        violations = find_violations(g, [rule])
+        assert violations
+        plans = suggest_repairs(g, violations[0], allow_backward=False)
+        assert (MergeNodes("a1", "a2"),) in plans
+
+    def test_id_literal_no_merge_on_attribute_conflict(self):
+        g = Graph()
+        g.add_node("a1", "album", {"title": "Bleach"})
+        g.add_node("a2", "album", {"title": "Nevermind"})
+        g.add_node("ar", "artist")
+        g.add_edge("a1", "by", "ar")
+        g.add_edge("a2", "by", "ar")
+        q = Pattern(
+            {"x": "album", "y": "album", "z": "artist"},
+            [("x", "by", "z"), ("y", "by", "z")],
+        )
+        rule = GED(q, [], [IdLiteral("x", "y")])
+        violations = find_violations(g, [rule])
+        plans = suggest_repairs(g, violations[0], allow_backward=False)
+        assert not any(isinstance(op, MergeNodes) for plan in plans for op in plan)
+
+    def test_forbidding_constraint_has_no_forward_repair(self):
+        g = Graph()
+        g.add_node("p1", "person")
+        g.add_node("p2", "person")
+        g.add_edge("p1", "child", "p2")
+        g.add_edge("p1", "parent", "p2")
+        q = Pattern(
+            {"x": "person", "y": "person"},
+            [("x", "child", "y"), ("x", "parent", "y")],
+        )
+        rule = GED(q, [], [FALSE], name="phi4")
+        (violation,) = find_violations(g, [rule])
+        assert suggest_repairs(g, violation, allow_backward=False) == []
+
+
+class TestBackwardSuggestions:
+    def test_backward_retracts_premise_attribute(self):
+        g = creator_graph()
+        (violation,) = find_violations(g, [creator_rule()])
+        plans = suggest_repairs(g, violation, allow_backward=True)
+        assert (RemoveAttribute("g", "type"),) in plans
+
+    def test_backward_deletes_match_edge(self):
+        g = creator_graph()
+        (violation,) = find_violations(g, [creator_rule()])
+        plans = suggest_repairs(g, violation, allow_backward=True)
+        assert (DeleteEdge("t", "create", "g"),) in plans
+
+    def test_forbidding_constraint_backward_repairs_work(self):
+        g = Graph()
+        g.add_node("p1", "person")
+        g.add_node("p2", "person")
+        g.add_edge("p1", "child", "p2")
+        g.add_edge("p1", "parent", "p2")
+        q = Pattern(
+            {"x": "person", "y": "person"},
+            [("x", "child", "y"), ("x", "parent", "y")],
+        )
+        rule = GED(q, [], [FALSE])
+        (violation,) = find_violations(g, [rule])
+        plans = suggest_repairs(g, violation, allow_backward=True)
+        assert plans
+        for plan in plans:
+            repaired = apply_operations(g, plan)
+            assert not find_violations(repaired, [rule])
+
+    def test_plan_preview_is_readable(self):
+        g = creator_graph()
+        (violation,) = find_violations(g, [creator_rule()])
+        previews = plan_preview(suggest_repairs(g, violation))
+        assert any("programmer" in line for line in previews)
+
+
+class TestCostModel:
+    def test_default_prefers_forward_value_repair(self):
+        model = CostModel()
+        assert model.cost(SetAttribute("n", "a", 1)) < model.cost(RemoveAttribute("n", "a"))
+        assert model.cost(RemoveAttribute("n", "a")) < model.cost(MergeNodes("n", "m"))
+        assert model.cost(MergeNodes("n", "m")) < model.cost(DeleteEdge("n", "e", "m"))
+        assert model.cost(DeleteEdge("n", "e", "m")) < model.cost(DeleteNode("n"))
+
+    def test_protected_attribute_is_unrepairable(self):
+        model = CostModel()
+        model.protect_attribute("n", "a")
+        assert model.cost(SetAttribute("n", "a", 1)) == UNREPAIRABLE
+        assert model.cost(RemoveAttribute("n", "a")) == UNREPAIRABLE
+        assert model.cost(SetAttribute("n", "b", 1)) < UNREPAIRABLE
+
+    def test_protected_node_blocks_merge_and_delete(self):
+        model = CostModel()
+        model.protect_node("n")
+        assert model.cost(MergeNodes("m", "n")) == UNREPAIRABLE
+        assert model.cost(DeleteNode("n")) == UNREPAIRABLE
+        # merging INTO a protected node keeps it: allowed
+        assert model.cost(MergeNodes("n", "m")) < UNREPAIRABLE
+
+    def test_protected_edge(self):
+        model = CostModel()
+        model.protect_edge("a", "e", "b")
+        assert model.cost(DeleteEdge("a", "e", "b")) == UNREPAIRABLE
+
+    def test_plan_cost_sums(self):
+        model = CostModel()
+        plan = [SetAttribute("n", "a", 1), SetAttribute("n", "b", 2)]
+        assert model.plan_cost(plan) == 2 * model.set_attribute
+        assert model.affordable(plan)
+
+    def test_unknown_operation_rejected(self):
+        class Bogus:
+            pass
+
+        with pytest.raises(TypeError):
+            CostModel().cost(Bogus())

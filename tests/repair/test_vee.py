@@ -1,0 +1,123 @@
+"""Tests for GED∨ (disjunctive) repair."""
+
+import pytest
+
+from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.extensions.gedvee import GEDVee
+from repro.extensions.gedvee_reasoning import vee_find_violations, vee_validates
+from repro.graph.graph import Graph
+from repro.patterns.pattern import Pattern
+from repro.repair import CostModel, repair_vee, suggest_vee_repairs
+from repro.repair.operations import RemoveAttribute, SetAttribute, apply_operations
+
+
+def boolean_domain_rule() -> GEDVee:
+    """Example 10: every item's A attribute is 0 or 1."""
+    q = Pattern({"x": "item"})
+    return GEDVee(
+        q,
+        [VariableLiteral("x", "A", "x", "A")],  # premise: A exists
+        [ConstantLiteral("x", "A", 0), ConstantLiteral("x", "A", 1)],
+        name="boolean-A",
+    )
+
+
+def out_of_domain_graph() -> Graph:
+    g = Graph()
+    g.add_node("n", "item", {"A": 7})
+    return g
+
+
+class TestSuggestVeeRepairs:
+    def test_one_forward_plan_per_disjunct(self):
+        g = out_of_domain_graph()
+        (violation,) = vee_find_violations(g, [boolean_domain_rule()])
+        plans = suggest_vee_repairs(g, violation, allow_backward=False)
+        assert (SetAttribute("n", "A", 0),) in plans
+        assert (SetAttribute("n", "A", 1),) in plans
+
+    def test_each_forward_plan_fixes_violation(self):
+        g = out_of_domain_graph()
+        rule = boolean_domain_rule()
+        (violation,) = vee_find_violations(g, [rule])
+        for plan in suggest_vee_repairs(g, violation, allow_backward=False):
+            repaired = apply_operations(g, plan)
+            assert vee_validates(repaired, [rule])
+
+    def test_backward_plans_available(self):
+        g = out_of_domain_graph()
+        (violation,) = vee_find_violations(g, [boolean_domain_rule()])
+        plans = suggest_vee_repairs(g, violation, allow_backward=True)
+        assert (RemoveAttribute("n", "A"),) in plans
+
+    def test_empty_disjunction_has_only_backward_plans(self):
+        """Empty Y = forbidding: no forward repair exists."""
+        q = Pattern({"x": "item"})
+        forbid = GEDVee(q, [ConstantLiteral("x", "A", 7)], [], name="no-sevens")
+        g = out_of_domain_graph()
+        (violation,) = vee_find_violations(g, [forbid])
+        assert suggest_vee_repairs(g, violation, allow_backward=False) == []
+        plans = suggest_vee_repairs(g, violation, allow_backward=True)
+        assert (RemoveAttribute("n", "A"),) in plans
+
+
+class TestRepairVee:
+    def test_domain_violation_repaired(self):
+        rule = boolean_domain_rule()
+        report = repair_vee(out_of_domain_graph(), [rule])
+        assert report.clean
+        assert report.graph.node("n").get("A") in {0, 1}
+        assert vee_validates(report.graph, [rule])
+
+    def test_clean_graph_untouched(self):
+        g = Graph()
+        g.add_node("n", "item", {"A": 1})
+        report = repair_vee(g, [boolean_domain_rule()])
+        assert report.clean
+        assert report.applied == []
+
+    def test_protections_force_backward(self):
+        model = CostModel()
+        model.protect_attribute("n", "A")
+        rule = boolean_domain_rule()
+        report = repair_vee(out_of_domain_graph(), [rule], cost_model=model)
+        # A is protected both ways -> only breaking the premise... but the
+        # premise *is* A's existence, also protected. Nothing affordable.
+        assert not report.clean
+        assert report.stopped_reason == "no affordable repair plan"
+
+    def test_budget_exhaustion(self):
+        report = repair_vee(
+            out_of_domain_graph(), [boolean_domain_rule()], max_operations=0
+        )
+        assert not report.clean
+        assert report.stopped_reason == "operation budget exhausted"
+
+    def test_multiple_nodes_all_repaired(self):
+        g = Graph()
+        for i, value in enumerate([5, 0, 9, 1, 3]):
+            g.add_node(f"n{i}", "item", {"A": value})
+        rule = boolean_domain_rule()
+        report = repair_vee(g, [rule])
+        assert report.clean
+        assert len(report.applied) == 3  # exactly the out-of-domain nodes
+        for node in report.graph.nodes:
+            assert node.get("A") in {0, 1}
+
+    def test_trace_replayable(self):
+        g = out_of_domain_graph()
+        report = repair_vee(g, [boolean_domain_rule()])
+        assert apply_operations(g, report.applied) == report.graph
+
+    def test_mixed_rules(self):
+        """A disjunctive domain rule plus an empty-disjunction ban."""
+        q = Pattern({"x": "item"})
+        domain = boolean_domain_rule()
+        ban = GEDVee(q, [ConstantLiteral("x", "banned", 1)], [], name="ban")
+        g = Graph()
+        g.add_node("a", "item", {"A": 7})
+        g.add_node("b", "item", {"A": 0, "banned": 1})
+        report = repair_vee(g, [domain, ban])
+        assert report.clean
+        assert vee_validates(report.graph, [domain, ban])
+        assert not report.graph.node("b").has_attribute("banned")

@@ -1,0 +1,176 @@
+"""Cross-module integration and property tests.
+
+These tie the follow-on subsystems together the way a deployment would:
+discovery feeds the cover, the cover feeds (parallel) validation, the
+violations feed repair, and the repaired graph must validate.  Each
+property is checked over randomized instances via hypothesis.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, IdLiteral, VariableLiteral
+from repro.discovery import discover_gfds
+from repro.graph.graph import Graph
+from repro.matching.homomorphism import count_matches, find_homomorphisms
+from repro.optimization import compute_cover, minimize_pattern
+from repro.parallel import parallel_find_violations
+from repro.patterns.pattern import Pattern
+from repro.reasoning.implication import implies
+from repro.reasoning.validation import find_violations, validates
+from repro.repair import repair
+
+
+def random_creator_graph(seed: int, n: int = 6) -> Graph:
+    """Creator pairs with randomly dirty person types."""
+    rng = random.Random(seed)
+    g = Graph()
+    for i in range(n):
+        kind = rng.choice(["programmer", "psychologist", "artist"])
+        g.add_node(f"p{i}", "person", {"type": kind})
+        g.add_node(f"g{i}", "product", {"type": "video game"})
+        g.add_edge(f"p{i}", "create", f"g{i}")
+    return g
+
+
+def creator_rule() -> GED:
+    q = Pattern({"x": "person", "y": "product"}, [("x", "create", "y")])
+    return GED(
+        q,
+        [ConstantLiteral("y", "type", "video game")],
+        [ConstantLiteral("x", "type", "programmer")],
+        name="phi1",
+    )
+
+
+class TestDetectRepairValidateLoop:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_repair_always_reaches_validating_graph(self, seed):
+        g = random_creator_graph(seed)
+        rules = [creator_rule()]
+        report = repair(g, rules, max_operations=100)
+        assert report.clean
+        assert validates(report.graph, rules)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_repair_is_idempotent_on_clean_graphs(self, seed):
+        g = random_creator_graph(seed)
+        rules = [creator_rule()]
+        first = repair(g, rules, max_operations=100)
+        second = repair(first.graph, rules, max_operations=100)
+        assert second.clean
+        assert second.applied == []
+        assert second.graph == first.graph
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_repair_cost_bounded_by_violations(self, seed):
+        """Each phi1 violation needs exactly one value repair, so the
+        op count equals the violation count on this rule."""
+        g = random_creator_graph(seed)
+        rules = [creator_rule()]
+        violations = find_violations(g, rules)
+        report = repair(g, rules, max_operations=100)
+        assert len(report.applied) == len(violations)
+
+
+class TestDiscoveryFeedsDownstream:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_mined_cover_validates_everywhere_the_full_set_does(self, seed):
+        g = random_creator_graph(seed, n=8)
+        mined = [r.ged for r in discover_gfds(g, max_lhs=1, min_support=3)]
+        if not mined:
+            return
+        report = compute_cover(mined)
+        # cover equivalence: every dropped rule is implied
+        for dropped in report.implied + report.structural_duplicates:
+            assert implies(report.cover, dropped)
+        # and the source graph validates the cover (it validated the set)
+        assert validates(g, report.cover)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_parallel_validation_agrees_on_mined_rules(self, seed):
+        g = random_creator_graph(seed, n=8)
+        mined = [r.ged for r in discover_gfds(g, max_lhs=0, min_support=3)]
+        reference = {v.match for v in find_violations(g, mined)}
+        for workers in (1, 3):
+            report = parallel_find_violations(g, mined, workers=workers)
+            assert {v.match for v in report.violations} == reference
+
+
+class TestMinimizationSoundness:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_minimized_query_preserves_answers_on_models(self, n, seed):
+        """On graphs satisfying the key, the minimized query's matches
+        are exactly the original query's matches projected through the
+        variable mapping."""
+        rng = random.Random(seed)
+        g = Graph()
+        for i in range(n):
+            g.add_node(f"c{i}", "country")
+            g.add_node(f"k{i}", "city", {"name": f"n{rng.randrange(3)}"})
+            g.add_edge(f"c{i}", "capital", f"k{i}")
+        key = GED(
+            Pattern(
+                {"c": "country", "p": "city", "q": "city"},
+                [("c", "capital", "p"), ("c", "capital", "q")],
+            ),
+            [],
+            [IdLiteral("p", "q")],
+        )
+        assert validates(g, [key])
+        query = Pattern(
+            {"x": "country", "y": "city", "z": "city"},
+            [("x", "capital", "y"), ("x", "capital", "z")],
+        )
+        reduced = minimize_pattern(query, [key])
+        original = {
+            tuple(sorted((reduced.mapping[v], node) for v, node in m.items()))
+            for m in find_homomorphisms(query, g)
+        }
+        minimized = {
+            tuple(sorted(m.items())) for m in find_homomorphisms(reduced.pattern, g)
+        }
+        assert {frozenset(m) for m in original} == {frozenset(m) for m in minimized}
+
+
+class TestChaseRepairConsistency:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_forward_repair_agrees_with_chase_on_variable_rules(self, seed):
+        """For value-equalizing rules, the repair engine's forward fixes
+        and the chase's coercion agree on which attribute classes end
+        up equal (spot check: repaired graph satisfies the rule and the
+        chase of the repaired graph applies zero steps)."""
+        from repro.chase.engine import chase
+
+        rng = random.Random(seed)
+        g = Graph()
+        g.add_node("c", "country")
+        for i in range(3):
+            g.add_node(f"k{i}", "city", {"name": f"n{rng.randrange(2)}"})
+            g.add_edge("c", "capital", f"k{i}")
+        rule = GED(
+            Pattern(
+                {"x": "country", "y": "city", "z": "city"},
+                [("x", "capital", "y"), ("x", "capital", "z")],
+            ),
+            [],
+            [VariableLiteral("y", "name", "z", "name")],
+        )
+        report = repair(g, [rule], max_operations=50)
+        assert report.clean
+        result = chase(report.graph, [rule])
+        assert result.consistent
+        assert result.steps == []

@@ -1,0 +1,96 @@
+"""Golden tests for repro.paper: the running examples match the paper.
+
+Checks the Table 1 "Connection with GEDs" column (which sub-class each
+running dependency belongs to) and the structural claims the prose
+makes about Figures 1–4.
+"""
+
+from repro import paper
+from repro.chase import canonical_graph
+from repro.matching import has_match
+from repro.patterns import WILDCARD
+
+
+class TestFigure1Patterns:
+    def test_q1_product_creator(self):
+        q = paper.q1()
+        assert q.label_of("x") == "product" and q.label_of("y") == "person"
+        assert ("y", "create", "x") in q.edges
+
+    def test_q2_two_capitals(self):
+        q = paper.q2()
+        assert q.label_of("y") == q.label_of("z") == "city"
+        assert q.num_edges == 2
+
+    def test_q3_generic_is_a_wildcards(self):
+        q = paper.q3()
+        assert q.label_of("x") == WILDCARD and q.label_of("y") == WILDCARD
+        assert ("y", "is_a", "x") in q.edges
+
+    def test_q4_child_and_parent(self):
+        q = paper.q4()
+        assert ("x", "child", "y") in q.edges and ("x", "parent", "y") in q.edges
+
+    def test_q5_spam_shape(self):
+        q = paper.q5(k=3)
+        # 2 accounts + 2 posted blogs + 3 liked blogs.
+        assert q.num_variables == 7
+        assert ("x", "post", "z1") in q.edges and ("xp", "post", "z2") in q.edges
+        assert sum(1 for (s, l, t) in q.edges if l == "like") == 6
+
+    def test_q6_q7_key_patterns_are_copies(self):
+        psi1 = paper.psi1()
+        assert psi1.pattern.num_variables == 4  # Q16 + its copy
+        psi2 = paper.psi2()
+        assert psi2.pattern.num_variables == 2  # two album nodes
+
+
+class TestTable1ConnectionColumn:
+    """Table 1's right column: which sub-class each dependency is."""
+
+    def test_gfds_are_geds_without_id_literals(self):
+        for phi in (paper.phi1(), paper.phi2(), paper.phi3(), paper.phi4(), paper.phi5()):
+            assert phi.is_gfd
+
+    def test_gkeys_conclude_with_id_literal(self):
+        from repro.deps import IdLiteral
+
+        for psi in (paper.psi1(), paper.psi2(), paper.psi3()):
+            (y_literal,) = psi.Y
+            assert isinstance(y_literal, IdLiteral)
+
+    def test_gedx_means_no_constants(self):
+        assert paper.psi1().is_gedx and not paper.phi1().is_gedx
+
+    def test_gfdx_means_neither(self):
+        assert paper.phi2().is_gfdx and paper.phi3().is_gfdx
+        assert not paper.psi1().is_gfdx and not paper.phi1().is_gfdx
+
+
+class TestExample5Structure:
+    def test_f_is_a_homomorphism_q2_to_q1(self):
+        """The prose: f maps Q2 into Q1 (wildcards onto concrete)."""
+        assert has_match(paper.example5_q2(), canonical_graph(paper.example5_q1()))
+
+    def test_q1_not_homomorphic_to_q2(self):
+        assert not has_match(paper.example5_q1(), canonical_graph(paper.example5_q2()))
+
+    def test_q2_prime_not_homomorphic_either_way(self):
+        q1, q2p = paper.example5_q1(), paper.example5_q2_prime()
+        assert not has_match(q1, canonical_graph(q2p))
+        assert not has_match(q2p, canonical_graph(q1))
+
+
+class TestExample7Structure:
+    def test_x3_x4_have_distinct_concrete_labels(self):
+        q = paper.example7_phi().pattern
+        assert q.label_of("x1") == q.label_of("x2") == WILDCARD
+        assert q.label_of("x3") != q.label_of("x4")
+        assert WILDCARD not in (q.label_of("x3"), q.label_of("x4"))
+
+
+class TestExample4Structure:
+    def test_graph_shape(self):
+        g = paper.example4_graph()
+        assert g.node("v1").get("A") == 1 and g.node("v2").get("A") == 1
+        assert g.node("w1").label != g.node("w2").label

@@ -1,0 +1,60 @@
+"""Unit tests for the fresh-name supplies (repro.utils.naming)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.naming import NameSupply, fresh_label, fresh_value
+
+
+class TestNameSupply:
+    def test_avoids_reserved(self):
+        supply = NameSupply({"fresh_0", "fresh_1"})
+        assert supply.fresh() == "fresh_2"
+
+    def test_never_repeats(self):
+        supply = NameSupply()
+        names = {supply.fresh() for _ in range(50)}
+        assert len(names) == 50
+
+    def test_hint_used_when_free(self):
+        supply = NameSupply({"x"})
+        assert supply.fresh("y") == "y"
+
+    def test_hint_bumped_when_taken(self):
+        supply = NameSupply({"y"})
+        fresh = supply.fresh("y")
+        assert fresh != "y" and fresh.startswith("y")
+
+    def test_reserve_blocks_future_names(self):
+        supply = NameSupply()
+        supply.reserve("fresh_0")
+        assert supply.fresh() != "fresh_0"
+
+    def test_deterministic_across_instances(self):
+        a = NameSupply({"n"}).fresh()
+        b = NameSupply({"n"}).fresh()
+        assert a == b
+
+    @given(st.sets(st.text(min_size=1, max_size=5), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_fresh_never_in_reserved(self, reserved):
+        supply = NameSupply(reserved)
+        for _ in range(5):
+            assert supply.fresh() not in reserved
+
+
+class TestFreshHelpers:
+    def test_fresh_label_avoids(self):
+        labels = {"label_0", "label_1", "person"}
+        assert fresh_label(labels) not in labels
+
+    def test_fresh_value_distinct_per_index(self):
+        taken = {"@v0"}
+        values = {fresh_value(taken, i) for i in range(10)}
+        assert len(values) == 10
+        assert not values & taken
+
+    @given(st.sets(st.text(max_size=6), max_size=30), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_fresh_value_never_collides(self, avoid, index):
+        assert fresh_value(avoid, index) not in {str(v) for v in avoid}

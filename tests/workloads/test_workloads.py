@@ -1,0 +1,76 @@
+"""Workload generator tests: determinism, ground-truth bookkeeping."""
+
+from repro.workloads import (
+    bounded_rule_set,
+    synthetic_knowledge_base,
+    synthetic_social_network,
+    validation_workload,
+)
+
+
+class TestKnowledgeBase:
+    def test_deterministic(self):
+        a, ea = synthetic_knowledge_base(rng=5)
+        b, eb = synthetic_knowledge_base(rng=5)
+        assert a == b
+        assert ea.wrong_creator == eb.wrong_creator
+
+    def test_zero_error_rate_plants_nothing(self):
+        _, errors = synthetic_knowledge_base(error_rate=0.0, rng=1)
+        assert errors.total() == 0
+
+    def test_full_error_rate_plants_everywhere(self):
+        _, errors = synthetic_knowledge_base(
+            n_products=5, n_countries=5, n_species=5, n_families=5, n_albums=5,
+            error_rate=1.0, rng=1,
+        )
+        assert len(errors.wrong_creator) == 5
+        assert len(errors.double_capital) == 5
+        assert len(errors.broken_inheritance) == 5
+        assert len(errors.child_and_parent) == 5
+        assert len(errors.duplicate_albums) == 5
+
+    def test_entity_counts(self):
+        g, _ = synthetic_knowledge_base(
+            n_products=3, n_countries=2, n_species=2, n_families=2, n_albums=2,
+            error_rate=0.0, rng=0,
+        )
+        assert len(g.nodes_with_label("product")) == 3
+        assert len(g.nodes_with_label("country")) == 2
+        assert len(g.nodes_with_label("album")) == 2
+
+
+class TestSocialNetwork:
+    def test_ground_truth_sizes(self):
+        _, truth = synthetic_social_network(n_rings=4, n_benign_pairs=3, rng=2)
+        assert len(truth.seeds) == 4
+        assert len(truth.undetected_fakes) == 4
+        assert len(truth.benign_lookalikes) == 3
+
+    def test_seeds_marked_fake(self):
+        g, truth = synthetic_social_network(n_rings=2, rng=2)
+        for seed in truth.seeds:
+            assert g.node(seed).get("is_fake") == 1
+        for mule in truth.undetected_fakes:
+            assert g.node(mule).get("is_fake") == 0
+
+    def test_ring_structure_matches_q5(self):
+        from repro import paper
+        from repro.matching import has_match
+
+        g, _ = synthetic_social_network(n_rings=1, n_benign_pairs=0,
+                                        n_background_accounts=0, rng=0)
+        assert has_match(paper.q5(k=2), g)
+
+
+class TestValidationWorkload:
+    def test_scales_and_is_deterministic(self):
+        small = validation_workload(20, rng=3)
+        again = validation_workload(20, rng=3)
+        big = validation_workload(200, rng=3)
+        assert small == again
+        assert big.num_nodes == 200
+
+    def test_bounded_rules_are_small(self):
+        for ged in bounded_rule_set():
+            assert ged.pattern.size() <= 4
