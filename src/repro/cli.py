@@ -4,6 +4,7 @@ Operates on JSON files in the formats of :mod:`repro.graph.io` and
 :mod:`repro.deps.io`::
 
     python -m repro.cli validate --graph kb.json --rules rules.json
+    python -m repro.cli validate --graph kb.json --rules rules.json --index
     python -m repro.cli satisfiable --rules rules.json
     python -m repro.cli implies --rules rules.json --phi target.json
     python -m repro.cli chase --graph kb.json --rules keys.json -o out.json
@@ -11,6 +12,7 @@ Operates on JSON files in the formats of :mod:`repro.graph.io` and
     python -m repro.cli discover --graph kb.json --min-support 3 -o rules.json
     python -m repro.cli cover --rules rules.json -o cover.json
     python -m repro.cli pvalidate --graph kb.json --rules rules.json --workers 4
+    python -m repro.cli index --graph kb.json [--rules rules.json]
 
 Rule files contain either a single GED dictionary or a list of them.
 Exit status: 0 for "yes/clean", 1 for "no/violations", 2 for usage or
@@ -50,6 +52,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
     """`validate`: list violations of Σ in G; exit 1 when dirty."""
     graph = load_graph(args.graph)
     rules = load_rules(args.rules)
+    if getattr(args, "index", False):
+        from repro.indexing import attach_index
+
+        attach_index(graph)
     violations = find_violations(graph, rules, limit=args.limit)
     print(f"{len(violations)} violation(s)")
     for violation in violations:
@@ -164,17 +170,51 @@ def cmd_pvalidate(args: argparse.Namespace) -> int:
 
     graph = load_graph(args.graph)
     rules = load_rules(args.rules)
+    if getattr(args, "index", False):
+        from repro.indexing import attach_index
+
+        attach_index(graph)
     report = parallel_find_violations(
         graph, rules, workers=args.workers, backend=args.backend
     )
     print(
         f"{len(report.violations)} violation(s) "
         f"[{report.backend}, {report.workers} worker(s), "
-        f"{report.total_matches()} matches, balance {report.balance():.2f}]"
+        f"{report.total_matches()} matches, balance {report.balance():.2f}"
+        f"{', indexed' if report.indexed else ''}]"
     )
     for violation in report.violations:
         print(f"  {violation}")
     return 0 if report.valid else 1
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    """`index`: build the repro.indexing bundle for a graph, print stats.
+
+    With ``--rules``, also reports the per-dependency candidate-pool
+    reduction the index buys on the matching hot path.
+    """
+    from repro.indexing import attach_index, index_stats
+    from repro.matching.candidates import candidate_sets
+
+    graph = load_graph(args.graph)
+    index = attach_index(graph)
+    print(index_stats(graph, index).summary())
+    if args.rules:
+        rules = load_rules(args.rules)
+        print(f"candidate pruning over {len(rules)} rule(s):")
+        for ged in rules:
+            raw = candidate_sets(ged.pattern, graph, use_index=False)
+            pruned = candidate_sets(ged.pattern, graph)
+            raw_total = sum(len(pool) for pool in raw.values())
+            pruned_total = sum(len(pool) for pool in pruned.values())
+            saved = raw_total - pruned_total
+            percent = (100.0 * saved / raw_total) if raw_total else 0.0
+            print(
+                f"  {ged.name or 'GED'}: {raw_total} -> {pruned_total} "
+                f"candidate node(s) (-{percent:.0f}%)"
+            )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--graph", required=True)
     validate.add_argument("--rules", required=True)
     validate.add_argument("--limit", type=int, default=None)
+    validate.add_argument(
+        "--index",
+        action="store_true",
+        help="attach a repro.indexing index before validating",
+    )
     validate.set_defaults(func=cmd_validate)
 
     satisfiable = sub.add_parser("satisfiable", help="Theorem 2 satisfiability check")
@@ -239,7 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
     pvalidate_cmd.add_argument(
         "--backend", choices=["serial", "thread", "process"], default="serial"
     )
+    pvalidate_cmd.add_argument(
+        "--index",
+        action="store_true",
+        help="attach a repro.indexing index shared by all in-process shards",
+    )
     pvalidate_cmd.set_defaults(func=cmd_pvalidate)
+
+    index_cmd = sub.add_parser(
+        "index", help="build graph indexes, print stats (and pruning with --rules)"
+    )
+    index_cmd.add_argument("--graph", required=True)
+    index_cmd.add_argument("--rules", default=None)
+    index_cmd.set_defaults(func=cmd_index)
     return parser
 
 

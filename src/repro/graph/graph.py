@@ -87,6 +87,11 @@ class Graph:
         self._in: dict[str, dict[str, set[str]]] = {}
         # Node-label index: label -> {node ids}
         self._by_label: dict[str, set[str]] = {}
+        # Mutation counter: bumped on every effective change through the
+        # Graph API.  External index structures (repro.indexing) record
+        # the version they were built against and treat a mismatch as
+        # "stale — fall back to unindexed behavior".
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -113,6 +118,7 @@ class Graph:
         self._out[node_id] = {}
         self._in[node_id] = {}
         self._by_label.setdefault(label, set()).add(node_id)
+        self._version += 1
         return node
 
     def add_edge(self, source: str, label: str, target: str) -> Edge:
@@ -128,11 +134,23 @@ class Graph:
             self._edges.add(edge)
             self._out[source].setdefault(label, set()).add(target)
             self._in[target].setdefault(label, set()).add(source)
+            self._version += 1
         return edge
 
     def set_attribute(self, node_id: str, name: str, value: Value) -> None:
         """Set (or overwrite) one attribute on an existing node."""
         self.node(node_id)._set_attr(name, value)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (see ``__init__``).
+
+        Any add_node / effective add_edge / set_attribute increments it;
+        :mod:`repro.indexing` uses it to detect indexes invalidated by
+        mutations that bypassed the maintenance layer.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Access

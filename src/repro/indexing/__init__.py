@@ -1,0 +1,67 @@
+"""repro.indexing — incrementally-maintained graph indexes.
+
+The persistent index layer behind the matching hot path.  Every
+workload in this reproduction (validation, discovery, repair, chase,
+parallel validation) funnels through candidate-set computation and the
+backtracking matcher; this package gives those a per-graph bundle of
+
+* an attribute-value inverted index,
+* per-label out/in degree counters, and
+* 1-hop neighborhood label signatures,
+
+built once (:func:`attach_index`), consulted transparently by
+:mod:`repro.matching.candidates` via the weak :mod:`registry
+<repro.indexing.registry>`, and patched in place under the
+:class:`~repro.reasoning.incremental.GraphUpdate` batches of the
+incremental-validation layer (:mod:`repro.indexing.maintenance`) —
+dirty-region work proportional to the batch, never a rebuild.
+
+Pruning is strictly necessary-condition: with or without an index,
+``candidate_sets`` / ``find_homomorphisms`` / ``find_violations``
+return *identical* results (the ``tests/indexing`` suite asserts it);
+the index only shrinks the search.  Mutating a graph outside the
+maintenance layer bumps its mutation counter and silently disables the
+index (exact fallback) rather than risking stale answers.
+
+Typical use::
+
+    from repro.indexing import attach_index
+    from repro.reasoning import find_violations
+
+    attach_index(graph)                  # build once
+    find_violations(graph, sigma)        # now index-accelerated
+    ledger.refresh(update)               # index patched, not rebuilt
+"""
+
+from repro.indexing.indexed_graph import GraphIndexes, build_indexes
+from repro.indexing.maintenance import (
+    IndexMaintenance,
+    MaintenanceReport,
+    apply_update_indexed,
+)
+from repro.indexing.pruning import CandidatePruner
+from repro.indexing.registry import attach_index, detach_index, get_index, has_index
+from repro.indexing.signatures import (
+    node_in_signature,
+    node_out_signature,
+    pattern_requirements,
+)
+from repro.indexing.stats import IndexStats, index_stats
+
+__all__ = [
+    "CandidatePruner",
+    "GraphIndexes",
+    "IndexMaintenance",
+    "IndexStats",
+    "MaintenanceReport",
+    "apply_update_indexed",
+    "attach_index",
+    "build_indexes",
+    "detach_index",
+    "get_index",
+    "has_index",
+    "index_stats",
+    "node_in_signature",
+    "node_out_signature",
+    "pattern_requirements",
+]

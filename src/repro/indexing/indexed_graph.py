@@ -1,0 +1,212 @@
+"""The persistent index bundle for one data graph.
+
+:class:`GraphIndexes` holds everything the matching hot path wants
+precomputed but the :class:`~repro.graph.graph.Graph` itself does not
+maintain:
+
+* an **attribute-value inverted index** ``(attr, value) -> {node ids}``
+  plus a has-attribute index ``attr -> {node ids}`` (values that are not
+  hashable are recorded as unindexable and looked up as "unknown");
+* **per-label degree counts** ``node -> edge label -> count`` for both
+  directions, plus total degrees — the counters behind degree pruning,
+  answerable without materializing successor sets;
+* **1-hop neighborhood label signatures** per node (see
+  :mod:`repro.indexing.signatures`), stored with their two projections
+  for O(1) wildcard probes.
+
+The node-label pool itself stays in the graph (``Graph._by_label`` is
+already maintained on every ``add_node``); the index only adds what the
+graph lacks.  ``synced_version`` records the graph's mutation counter at
+the last (re)build or maintenance step: a mismatch means some mutation
+bypassed :mod:`repro.indexing.maintenance` and the index must not be
+consulted (the registry enforces this).
+
+Instances are treated as immutable by readers; only the maintenance
+layer writes to them.  A shared index is therefore safe to consult from
+concurrent validation shards.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph, Node, Value
+
+from repro.indexing.signatures import NeighborPair
+
+
+class GraphIndexes:
+    """Index structures for one graph (build with :func:`build_indexes`)."""
+
+    __slots__ = (
+        "synced_version",
+        "attr_value",
+        "has_attr",
+        "unindexable_attrs",
+        "out_label_count",
+        "in_label_count",
+        "out_total",
+        "in_total",
+        "out_pairs",
+        "in_pairs",
+        "out_nbr_labels",
+        "in_nbr_labels",
+        "out_edge_labels",
+        "in_edge_labels",
+    )
+
+    def __init__(self) -> None:
+        self.synced_version: int = -1
+        # Attribute inverted index.
+        self.attr_value: dict[tuple[str, Value], set[str]] = {}
+        self.has_attr: dict[str, set[str]] = {}
+        self.unindexable_attrs: set[str] = set()
+        # Per-label degree counters.
+        self.out_label_count: dict[str, dict[str, int]] = {}
+        self.in_label_count: dict[str, dict[str, int]] = {}
+        self.out_total: dict[str, int] = {}
+        self.in_total: dict[str, int] = {}
+        # Neighborhood signatures and their projections.
+        self.out_pairs: dict[str, set[NeighborPair]] = {}
+        self.in_pairs: dict[str, set[NeighborPair]] = {}
+        self.out_nbr_labels: dict[str, set[str]] = {}
+        self.in_nbr_labels: dict[str, set[str]] = {}
+        self.out_edge_labels: dict[str, set[str]] = {}
+        self.in_edge_labels: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def nodes_with_attr_value(self, attr: str, value: Value) -> set[str] | None:
+        """Node ids with ``attr == value``, or ``None`` for "unknown".
+
+        ``None`` (rather than the empty set) is returned when the index
+        cannot answer — the attribute carried an unhashable value
+        somewhere, or ``value`` itself is unhashable — so callers fall
+        back instead of wrongly pruning to nothing.
+        """
+        if attr in self.unindexable_attrs:
+            return None
+        try:
+            return self.attr_value.get((attr, value), set())
+        except TypeError:  # unhashable probe value
+            return None
+
+    def out_degree(self, node_id: str, edge_label: str | None = None) -> int:
+        if edge_label is None:
+            return self.out_total.get(node_id, 0)
+        return self.out_label_count.get(node_id, {}).get(edge_label, 0)
+
+    def in_degree(self, node_id: str, edge_label: str | None = None) -> int:
+        if edge_label is None:
+            return self.in_total.get(node_id, 0)
+        return self.in_label_count.get(node_id, {}).get(edge_label, 0)
+
+    # ------------------------------------------------------------------
+    # Single-element writers (used by build and by maintenance)
+    # ------------------------------------------------------------------
+    def index_node(self, node: Node) -> None:
+        """Register a node: empty adjacency slots + attribute postings."""
+        node_id = node.id
+        self.out_label_count.setdefault(node_id, {})
+        self.in_label_count.setdefault(node_id, {})
+        self.out_total.setdefault(node_id, 0)
+        self.in_total.setdefault(node_id, 0)
+        self.out_pairs.setdefault(node_id, set())
+        self.in_pairs.setdefault(node_id, set())
+        self.out_nbr_labels.setdefault(node_id, set())
+        self.in_nbr_labels.setdefault(node_id, set())
+        self.out_edge_labels.setdefault(node_id, set())
+        self.in_edge_labels.setdefault(node_id, set())
+        for attr, value in node.attributes.items():
+            self.index_attr_value(node_id, attr, value)
+
+    def index_attr_value(self, node_id: str, attr: str, value: Value) -> None:
+        """Add one attribute posting (tolerates unhashable values)."""
+        self.has_attr.setdefault(attr, set()).add(node_id)
+        try:
+            self.attr_value.setdefault((attr, value), set()).add(node_id)
+        except TypeError:
+            self.unindexable_attrs.add(attr)
+
+    def unindex_attr_value(self, node_id: str, attr: str, value: Value) -> None:
+        """Drop one attribute posting (for overwrites)."""
+        try:
+            postings = self.attr_value.get((attr, value))
+        except TypeError:
+            return  # old value was never posted
+        if postings is not None:
+            postings.discard(node_id)
+            if not postings:
+                del self.attr_value[(attr, value)]
+
+    def index_edge(self, source: str, edge_label: str, target: str, *,
+                   source_label: str, target_label: str) -> None:
+        """Register one *new* edge (caller guarantees it was not present)."""
+        counts = self.out_label_count.setdefault(source, {})
+        counts[edge_label] = counts.get(edge_label, 0) + 1
+        self.out_total[source] = self.out_total.get(source, 0) + 1
+        counts = self.in_label_count.setdefault(target, {})
+        counts[edge_label] = counts.get(edge_label, 0) + 1
+        self.in_total[target] = self.in_total.get(target, 0) + 1
+
+        self.out_pairs.setdefault(source, set()).add((edge_label, target_label))
+        self.out_nbr_labels.setdefault(source, set()).add(target_label)
+        self.out_edge_labels.setdefault(source, set()).add(edge_label)
+        self.in_pairs.setdefault(target, set()).add((edge_label, source_label))
+        self.in_nbr_labels.setdefault(target, set()).add(source_label)
+        self.in_edge_labels.setdefault(target, set()).add(edge_label)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """A deep, comparable copy of every index structure.
+
+        The maintenance tests assert ``incrementally-maintained snapshot
+        == rebuilt-from-scratch snapshot`` (sans ``synced_version``).
+        """
+        return {
+            "attr_value": {k: set(v) for k, v in self.attr_value.items() if v},
+            "has_attr": {k: set(v) for k, v in self.has_attr.items() if v},
+            "unindexable_attrs": set(self.unindexable_attrs),
+            "out_label_count": {
+                n: {l: c for l, c in d.items() if c} for n, d in self.out_label_count.items()
+            },
+            "in_label_count": {
+                n: {l: c for l, c in d.items() if c} for n, d in self.in_label_count.items()
+            },
+            "out_total": dict(self.out_total),
+            "in_total": dict(self.in_total),
+            "out_pairs": {n: set(p) for n, p in self.out_pairs.items()},
+            "in_pairs": {n: set(p) for n, p in self.in_pairs.items()},
+            "out_nbr_labels": {n: set(p) for n, p in self.out_nbr_labels.items()},
+            "in_nbr_labels": {n: set(p) for n, p in self.in_nbr_labels.items()},
+            "out_edge_labels": {n: set(p) for n, p in self.out_edge_labels.items()},
+            "in_edge_labels": {n: set(p) for n, p in self.in_edge_labels.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphIndexes(nodes={len(self.out_total)}, "
+            f"attr_entries={len(self.attr_value)}, v={self.synced_version})"
+        )
+
+
+def build_indexes(graph: Graph) -> GraphIndexes:
+    """Build the full index bundle for ``graph`` from scratch (one scan
+    of the nodes plus one scan of the edges)."""
+    index = GraphIndexes()
+    for node in graph.nodes:
+        index.index_node(node)
+    for source, edge_label, target in graph.edges:
+        index.index_edge(
+            source,
+            edge_label,
+            target,
+            source_label=graph.node(source).label,
+            target_label=graph.node(target).label,
+        )
+    index.synced_version = graph.version
+    return index
+
+
+__all__ = ["GraphIndexes", "build_indexes"]

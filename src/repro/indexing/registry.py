@@ -1,0 +1,62 @@
+"""The graph -> index registry.
+
+Graphs hash by identity and the :class:`~repro.graph.graph.Graph` class
+predates the index layer, so instead of wrapping every graph we keep a
+process-wide *weak* registry: attaching an index neither changes the
+graph type flowing through the existing APIs nor keeps dead graphs
+alive.  The matching layer consults :func:`get_index` on its hot path;
+it returns the index only when it is still in sync with the graph's
+mutation counter, so a mutation that bypassed the maintenance layer
+silently degrades to the exact unindexed behavior instead of producing
+wrong matches.
+
+Within one process all shards of a parallel validation see the same
+graph object and therefore share the same immutable index through this
+registry; process-pool workers unpickle a fresh graph (never
+registered) and transparently fall back.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.graph.graph import Graph
+
+from repro.indexing.indexed_graph import GraphIndexes, build_indexes
+
+_indexes: "weakref.WeakKeyDictionary[Graph, GraphIndexes]" = weakref.WeakKeyDictionary()
+
+
+def attach_index(graph: Graph) -> GraphIndexes:
+    """Build and register an index for ``graph`` (replacing any prior,
+    possibly stale, one).  Returns the fresh index."""
+    index = build_indexes(graph)
+    _indexes[graph] = index
+    return index
+
+
+def get_index(graph: Graph) -> GraphIndexes | None:
+    """The registered index for ``graph``, or ``None``.
+
+    ``None`` is returned both when no index was attached and when the
+    attached index is stale (the graph mutated outside the maintenance
+    layer).  A stale index stays registered so callers can observe it
+    via :func:`has_index` and decide to :func:`attach_index` again.
+    """
+    index = _indexes.get(graph)
+    if index is None or index.synced_version != graph.version:
+        return None
+    return index
+
+
+def has_index(graph: Graph) -> bool:
+    """Whether an index is registered for ``graph`` (synced or stale)."""
+    return graph in _indexes
+
+
+def detach_index(graph: Graph) -> None:
+    """Drop the registered index for ``graph``, if any."""
+    _indexes.pop(graph, None)
+
+
+__all__ = ["attach_index", "detach_index", "get_index", "has_index"]

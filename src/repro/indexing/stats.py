@@ -1,0 +1,65 @@
+"""Index statistics — what the CLI ``index`` command prints.
+
+Numbers are structural (entry and posting counts), not byte sizes:
+machine-independent, and the right scale for judging whether attaching
+an index to a given graph pays for itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+
+from repro.indexing.indexed_graph import GraphIndexes
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """A structural summary of one graph's index bundle."""
+
+    nodes: int
+    edges: int
+    node_labels: int
+    edge_labels: int
+    attr_entries: int  # distinct (attribute, value) keys
+    attr_postings: int  # total node ids across those keys
+    has_attr_entries: int
+    unindexable_attrs: int
+    signature_pairs: int  # total out-signature entries (in mirrors out)
+    mean_out_signature: float
+    synced: bool
+
+    def summary(self) -> str:
+        lines = [
+            f"graph: {self.nodes} node(s), {self.edges} edge(s), "
+            f"{self.node_labels} node label(s), {self.edge_labels} edge label(s)",
+            f"attribute index: {self.attr_entries} (attr, value) entr(ies), "
+            f"{self.attr_postings} posting(s), {self.has_attr_entries} attribute name(s)"
+            + (f", {self.unindexable_attrs} unindexable" if self.unindexable_attrs else ""),
+            f"signatures: {self.signature_pairs} out-pair(s), "
+            f"mean {self.mean_out_signature:.2f} per node",
+            f"synced: {'yes' if self.synced else 'NO (stale — rebuild required)'}",
+        ]
+        return "\n".join(lines)
+
+
+def index_stats(graph: Graph, index: GraphIndexes) -> IndexStats:
+    """Compute :class:`IndexStats` for an attached index."""
+    signature_pairs = sum(len(pairs) for pairs in index.out_pairs.values())
+    return IndexStats(
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        node_labels=len(graph.labels),
+        edge_labels=len(graph.edge_labels),
+        attr_entries=len(index.attr_value),
+        attr_postings=sum(len(p) for p in index.attr_value.values()),
+        has_attr_entries=len(index.has_attr),
+        unindexable_attrs=len(index.unindexable_attrs),
+        signature_pairs=signature_pairs,
+        mean_out_signature=signature_pairs / graph.num_nodes if graph.num_nodes else 0.0,
+        synced=index.synced_version == graph.version,
+    )
+
+
+__all__ = ["IndexStats", "index_stats"]

@@ -14,17 +14,33 @@ possibly map to, filtering by
 This is the standard filtering step of backtracking subgraph matchers;
 it makes matching on large data graphs practical without changing the
 semantics.
+
+When a :mod:`repro.indexing` index is attached to the graph (and still
+in sync), candidate computation is delegated to the index's
+:class:`~repro.indexing.pruning.CandidatePruner`, which adds 1-hop
+neighborhood-signature pruning on top of the label and degree filters —
+still purely necessary conditions, so the pools shrink but the match
+sets do not change.  Pass ``use_index=False`` to force the unindexed
+computation (the equality tests compare the two).
 """
 
 from __future__ import annotations
 
 from repro.graph.graph import Graph
+from repro.indexing.pruning import CandidatePruner
+from repro.indexing.registry import get_index
 from repro.patterns.labels import WILDCARD, matches
 from repro.patterns.pattern import Pattern
 
 
-def candidate_sets(pattern: Pattern, graph: Graph) -> dict[str, set[str]]:
+def candidate_sets(
+    pattern: Pattern, graph: Graph, *, use_index: bool = True
+) -> dict[str, set[str]]:
     """``variable -> {plausible node ids}`` for every pattern variable."""
+    if use_index:
+        index = get_index(graph)
+        if index is not None:
+            return CandidatePruner(graph, index).candidate_sets(pattern)
     result: dict[str, set[str]] = {}
     for variable in pattern.variables:
         label = pattern.label_of(variable)
@@ -67,6 +83,7 @@ def variable_order(pattern: Pattern, candidates: dict[str, set[str]]) -> list[st
     """
     remaining = set(pattern.variables)
     ordered: list[str] = []
+    ordered_set: set[str] = set()
 
     def cost(v: str) -> tuple[int, int]:
         return (len(candidates[v]), -pattern.degree(v))
@@ -75,11 +92,12 @@ def variable_order(pattern: Pattern, candidates: dict[str, set[str]]) -> list[st
         adjacent = {
             v
             for v in remaining
-            if any(t in set(ordered) for _, t in pattern.out_edges(v))
-            or any(s in set(ordered) for _, s in pattern.in_edges(v))
+            if any(t in ordered_set for _, t in pattern.out_edges(v))
+            or any(s in ordered_set for _, s in pattern.in_edges(v))
         }
         pool = adjacent if adjacent else remaining
         best = min(sorted(pool), key=cost)
         ordered.append(best)
+        ordered_set.add(best)
         remaining.remove(best)
     return ordered

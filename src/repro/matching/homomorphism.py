@@ -36,6 +36,7 @@ def find_homomorphisms(
     graph: Graph,
     fixed: Mapping[str, str] | None = None,
     limit: int | None = None,
+    restrict: Mapping[str, "set[str] | frozenset[str]"] | None = None,
 ) -> Iterator[Match]:
     """Enumerate matches of ``pattern`` in ``graph``.
 
@@ -47,6 +48,13 @@ def find_homomorphisms(
         sending x to this node?").
     limit:
         stop after this many matches.
+    restrict:
+        optional ``variable -> allowed node ids`` pools intersected into
+        the candidate sets before search.  The caller guarantees the
+        pools over-approximate the matches it cares about — the
+        index-aware validation layer derives them from X-literals via
+        the attribute inverted index, which preserves the violation set
+        exactly.
     """
     fixed = dict(fixed) if fixed else {}
     for variable, node_id in fixed.items():
@@ -56,6 +64,11 @@ def find_homomorphisms(
             raise PatternError(f"fixed image {node_id!r} is not a node of the graph")
 
     candidates = candidate_sets(pattern, graph)
+    if restrict:
+        for variable, pool in restrict.items():
+            if not pattern.has_variable(variable):
+                raise PatternError(f"restricted variable {variable!r} is not in the pattern")
+            candidates[variable] = candidates[variable] & pool
     for variable, node_id in fixed.items():
         if node_id not in candidates[variable]:
             return  # The pinned node can never host this variable.

@@ -19,6 +19,16 @@ results.  Three backends:
 All backends return identical, deterministically ordered violations —
 a property the test suite asserts — because sharding by a pivot
 variable partitions the match set exactly.
+
+Index sharing: when a :mod:`repro.indexing` index is attached to the
+graph, shard planning and every in-process shard (serial and thread
+backends) consult the *same immutable* :class:`GraphIndexes` through
+the weak registry — the index is built once, never per shard.  Process
+workers unpickle a private graph copy with no registered index and
+transparently fall back to unindexed matching; either way the
+violation sets are identical because candidate pruning is purely a
+necessary condition.  ``ParallelValidationReport.indexed`` records
+whether the coordinating process had an index attached.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from dataclasses import dataclass, field
 
 from repro.deps.ged import GED
 from repro.graph.graph import Graph
+from repro.indexing.registry import get_index
 from repro.matching.homomorphism import find_homomorphisms
 from repro.reasoning.validation import Violation, literal_holds
 from repro.parallel.partition import plan_shards
@@ -58,6 +69,7 @@ class ParallelValidationReport:
     backend: str = "serial"
     workers: int = 1
     wall_seconds: float = 0.0
+    indexed: bool = False
 
     @property
     def valid(self) -> bool:
@@ -129,6 +141,7 @@ def parallel_find_violations(
             tasks.append((ged, plan.pivot, shard, index))
 
     results: list[tuple[list[Violation], ShardStats]] = []
+    in_process = backend != "process" or workers == 1 or not tasks
     if backend == "serial" or workers == 1 or not tasks:
         for ged, pivot, shard, index in tasks:
             results.append(_run_shard(graph, ged, pivot, shard, index))
@@ -153,7 +166,15 @@ def parallel_find_violations(
     violations.sort(key=lambda v: (v.ged.name or "", str(v.ged), v.match))
     stats.sort(key=lambda s: (s.ged_name, s.shard_index))
     return ParallelValidationReport(
-        violations, stats, backend, workers, time.perf_counter() - started
+        violations,
+        stats,
+        backend,
+        workers,
+        time.perf_counter() - started,
+        # Only in-process shards (serial/thread) consult the shared
+        # index; process workers unpickle private graphs and fall back,
+        # so a process-pool run must not be reported as indexed.
+        indexed=in_process and get_index(graph) is not None,
     )
 
 

@@ -58,14 +58,16 @@ class GraphUpdate:
 
 
 def apply_update(graph: Graph, update: GraphUpdate) -> Graph:
-    """Apply the update in place (returns the same graph for chaining)."""
-    for node_id, label, attrs in update.nodes:
-        graph.add_node(node_id, label, attrs)
-    for node_id, attr, value in update.attrs:
-        graph.set_attribute(node_id, attr, value)
-    for source, label, target in update.edges:
-        graph.add_edge(source, label, target)
-    return graph
+    """Apply the update in place (returns the same graph for chaining).
+
+    Index-aware: when a synced :mod:`repro.indexing` index is attached
+    to the graph, the batch is routed through the index maintenance
+    layer so the index is patched in place (dirty-region work
+    proportional to the batch) instead of going stale.
+    """
+    from repro.indexing.maintenance import apply_update_indexed
+
+    return apply_update_indexed(graph, update)
 
 
 def incremental_violations(
@@ -81,15 +83,20 @@ def incremental_violations(
     touched nodes existed, with identical literal values, before the
     update.
     """
+    from repro.reasoning.validation import x_literal_restrictions
+
     touched = update.touched_nodes()
     violations: list[Violation] = []
     seen: set[tuple[int, tuple[tuple[str, str], ...]]] = set()
     for index, ged in enumerate(sigma):
+        restrict = x_literal_restrictions(graph, ged)
         for variable in ged.pattern.variables:
             for node_id in touched:
                 if not graph.has_node(node_id):
                     continue
-                for match in find_homomorphisms(ged.pattern, graph, fixed={variable: node_id}):
+                for match in find_homomorphisms(
+                    ged.pattern, graph, fixed={variable: node_id}, restrict=restrict
+                ):
                     key = (index, tuple(sorted(match.items())))
                     if key in seen:
                         continue

@@ -30,6 +30,7 @@ from repro.deps.literals import (
     VariableLiteral,
 )
 from repro.graph.graph import Graph
+from repro.indexing.registry import get_index
 from repro.matching.homomorphism import Match, find_homomorphisms
 
 
@@ -72,15 +73,50 @@ class Violation:
         return f"violation of {self.ged.name or 'GED'} at [{where}]: fails {failed}"
 
 
+def x_literal_restrictions(graph: Graph, ged: GED) -> dict[str, set[str]] | None:
+    """Candidate pools implied by Σ's precondition, via the index.
+
+    A match is a violation only if every literal of X holds; for a
+    constant literal ``x.A = c`` that means h(x) lies in the attribute
+    inverted index's posting list for ``(A, c)``.  Restricting the
+    search to those pools skips matches where X cannot hold — matches
+    the violation scan would discard anyway — so the violation set is
+    preserved exactly.  Returns ``None`` when no index is attached or no
+    literal is indexable (unhashable-valued attributes report "unknown"
+    and impose nothing).
+    """
+    index = get_index(graph)
+    if index is None:
+        return None
+    restrict: dict[str, set[str]] = {}
+    for literal in ged.X:
+        if not isinstance(literal, ConstantLiteral):
+            continue
+        pool = index.nodes_with_attr_value(literal.attr, literal.const)
+        if pool is None:
+            continue
+        current = restrict.get(literal.var)
+        restrict[literal.var] = set(pool) if current is None else current & pool
+    return restrict or None
+
+
 def find_violations(
     graph: Graph,
     sigma: Iterable[GED],
     limit: int | None = None,
 ) -> list[Violation]:
-    """All (up to ``limit``) violations of Σ in G."""
+    """All (up to ``limit``) violations of Σ in G.
+
+    Index-aware: with a :mod:`repro.indexing` index attached the match
+    enumeration runs on pruned candidate sets and, additionally, only
+    over nodes that can satisfy X's constant literals (see
+    :func:`x_literal_restrictions`); the returned violations are
+    identical either way.
+    """
     violations: list[Violation] = []
     for ged in sigma:
-        for match in find_homomorphisms(ged.pattern, graph):
+        restrict = x_literal_restrictions(graph, ged)
+        for match in find_homomorphisms(ged.pattern, graph, restrict=restrict):
             if not all(literal_holds(graph, l, match) for l in ged.X):
                 continue
             failed = tuple(

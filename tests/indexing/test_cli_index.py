@@ -1,0 +1,80 @@
+"""CLI tests for the `index` subcommand and the `--index` flags."""
+
+import json
+
+import pytest
+
+from repro import paper
+from repro.cli import main
+from repro.deps.io import ged_to_dict
+from repro.graph import GraphBuilder
+from repro.graph.io import graph_to_json
+
+
+@pytest.fixture
+def kb_files(tmp_path):
+    dirty = (
+        GraphBuilder()
+        .node("fin", "country")
+        .node("hel", "city", name="Helsinki")
+        .node("spb", "city", name="Saint Petersburg")
+        .edge("fin", "capital", "hel")
+        .edge("fin", "capital", "spb")
+        .build()
+    )
+    graph_path = tmp_path / "kb.json"
+    graph_path.write_text(graph_to_json(dirty))
+    rules_path = tmp_path / "rules.json"
+    rules_path.write_text(json.dumps([ged_to_dict(paper.phi2())]))
+    return graph_path, rules_path
+
+
+class TestIndexCommand:
+    def test_stats_only(self, kb_files, capsys):
+        graph_path, _ = kb_files
+        code = main(["index", "--graph", str(graph_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 node(s)" in out
+        assert "attribute index" in out
+        assert "synced: yes" in out
+
+    def test_stats_with_rules_reports_pruning(self, kb_files, capsys):
+        graph_path, rules_path = kb_files
+        code = main(["index", "--graph", str(graph_path), "--rules", str(rules_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "candidate pruning" in out
+        assert "->" in out
+
+    def test_missing_graph_file_exits_2(self, tmp_path, capsys):
+        code = main(["index", "--graph", str(tmp_path / "nope.json")])
+        assert code == 2
+
+
+class TestIndexFlags:
+    def test_validate_with_index_same_verdict(self, kb_files, capsys):
+        graph_path, rules_path = kb_files
+        plain = main(["validate", "--graph", str(graph_path), "--rules", str(rules_path)])
+        plain_out = capsys.readouterr().out
+        indexed = main(
+            ["validate", "--graph", str(graph_path), "--rules", str(rules_path), "--index"]
+        )
+        indexed_out = capsys.readouterr().out
+        assert plain == indexed == 1
+        assert plain_out.splitlines()[0] == indexed_out.splitlines()[0]
+
+    def test_pvalidate_with_index_flagged(self, kb_files, capsys):
+        graph_path, rules_path = kb_files
+        code = main(
+            [
+                "pvalidate",
+                "--graph", str(graph_path),
+                "--rules", str(rules_path),
+                "--workers", "2",
+                "--index",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "indexed" in out

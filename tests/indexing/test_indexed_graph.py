@@ -1,0 +1,156 @@
+"""Unit tests for the index structures themselves (build + lookups)."""
+
+from repro.graph import Graph, GraphBuilder, random_labeled_graph
+from repro.indexing import (
+    attach_index,
+    build_indexes,
+    detach_index,
+    get_index,
+    has_index,
+    index_stats,
+    node_in_signature,
+    node_out_signature,
+)
+
+
+def small_graph() -> Graph:
+    return (
+        GraphBuilder()
+        .node("p1", "person", name="tony", city="oulu")
+        .node("p2", "person", name="gibbo")
+        .node("g1", "product", title="blaster", city="oulu")
+        .edge("p1", "create", "g1")
+        .edge("p2", "create", "g1")
+        .edge("p1", "knows", "p2")
+        .build()
+    )
+
+
+class TestBuild:
+    def test_attribute_inverted_index(self):
+        index = build_indexes(small_graph())
+        assert index.nodes_with_attr_value("name", "tony") == {"p1"}
+        assert index.nodes_with_attr_value("city", "oulu") == {"p1", "g1"}
+        assert index.nodes_with_attr_value("name", "nobody") == set()
+        assert index.has_attr["name"] == {"p1", "p2"}
+
+    def test_degree_counters_match_graph(self):
+        graph = small_graph()
+        index = build_indexes(graph)
+        for node_id in graph.node_ids:
+            assert index.out_degree(node_id) == graph.out_degree(node_id)
+            assert index.in_degree(node_id) == graph.in_degree(node_id)
+        assert index.out_degree("p1", "create") == 1
+        assert index.out_degree("p1", "knows") == 1
+        assert index.in_degree("g1", "create") == 2
+        assert index.out_degree("g1", "create") == 0
+
+    def test_neighborhood_signatures(self):
+        graph = small_graph()
+        index = build_indexes(graph)
+        assert index.out_pairs["p1"] == {("create", "product"), ("knows", "person")}
+        assert index.in_pairs["g1"] == {("create", "person")}
+        assert index.out_nbr_labels["p1"] == {"product", "person"}
+        assert index.in_pairs["p1"] == set()
+        # from-scratch helpers agree with the built structures
+        for node_id in graph.node_ids:
+            assert index.out_pairs[node_id] == node_out_signature(graph, node_id)
+            assert index.in_pairs[node_id] == node_in_signature(graph, node_id)
+
+    def test_degree_counters_on_random_graph(self):
+        graph = random_labeled_graph(60, 0.1, rng=5, attribute_names=["a"])
+        index = build_indexes(graph)
+        for node_id in graph.node_ids:
+            assert index.out_degree(node_id) == graph.out_degree(node_id)
+            assert index.in_degree(node_id) == graph.in_degree(node_id)
+            for label in graph.edge_labels:
+                assert index.out_degree(node_id, label) == len(
+                    graph.successors(node_id, label)
+                )
+                assert index.in_degree(node_id, label) == len(
+                    graph.predecessors(node_id, label)
+                )
+
+    def test_unhashable_attribute_values_degrade_to_unknown(self):
+        graph = Graph()
+        graph.add_node("n1", "thing", payload=[1, 2, 3], ok=1)  # type: ignore[arg-type]
+        graph.add_node("n2", "thing", ok=1)
+        index = build_indexes(graph)
+        assert "payload" in index.unindexable_attrs
+        assert index.nodes_with_attr_value("payload", "anything") is None
+        assert index.nodes_with_attr_value("ok", 1) == {"n1", "n2"}
+        # probing with an unhashable value is "unknown", not a crash
+        assert index.nodes_with_attr_value("ok", [1]) is None
+
+
+class TestRegistry:
+    def test_attach_get_detach(self):
+        graph = small_graph()
+        assert get_index(graph) is None
+        index = attach_index(graph)
+        assert get_index(graph) is index
+        assert has_index(graph)
+        detach_index(graph)
+        assert get_index(graph) is None
+        assert not has_index(graph)
+
+    def test_registry_is_per_object(self):
+        g1, g2 = small_graph(), small_graph()
+        attach_index(g1)
+        assert get_index(g1) is not None
+        assert get_index(g2) is None
+
+    def test_direct_mutation_invalidates(self):
+        graph = small_graph()
+        attach_index(graph)
+        graph.add_node("p3", "person")
+        assert get_index(graph) is None  # stale -> not served
+        assert has_index(graph)  # but still registered
+        attach_index(graph)  # rebuild re-certifies
+        assert get_index(graph) is not None
+
+    def test_set_attribute_invalidates(self):
+        graph = small_graph()
+        attach_index(graph)
+        graph.set_attribute("p1", "name", "toni")
+        assert get_index(graph) is None
+
+    def test_idempotent_edge_does_not_invalidate(self):
+        graph = small_graph()
+        attach_index(graph)
+        graph.add_edge("p1", "create", "g1")  # already present: no-op
+        assert get_index(graph) is not None
+
+
+class TestVersionCounter:
+    def test_version_advances_on_effective_changes_only(self):
+        graph = Graph()
+        v0 = graph.version
+        graph.add_node("a", "l")
+        graph.add_node("b", "l")
+        assert graph.version == v0 + 2
+        graph.add_edge("a", "e", "b")
+        v1 = graph.version
+        graph.add_edge("a", "e", "b")  # duplicate: set semantics, no bump
+        assert graph.version == v1
+        graph.set_attribute("a", "x", 1)
+        assert graph.version == v1 + 1
+
+
+class TestStats:
+    def test_stats_summary(self):
+        graph = small_graph()
+        index = attach_index(graph)
+        stats = index_stats(graph, index)
+        assert stats.nodes == 3
+        assert stats.edges == 3
+        assert stats.attr_postings >= 4
+        assert stats.synced
+        text = stats.summary()
+        assert "3 node(s)" in text and "synced: yes" in text
+
+    def test_stats_reports_stale(self):
+        graph = small_graph()
+        index = attach_index(graph)
+        graph.add_node("x", "person")
+        assert not index_stats(graph, index).synced

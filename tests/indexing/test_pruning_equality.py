@@ -1,0 +1,160 @@
+"""Pruning is purely necessary-condition: indexed results == unindexed.
+
+The core contract of `repro.indexing`: attaching an index may shrink
+candidate pools and skip doomed search branches, but `candidate_sets` /
+`find_homomorphisms` / `find_violations` (and the sharded validator)
+return exactly the same answers.  Property-style sweeps over the
+workload generators, wildcard patterns, and adversarial label layouts.
+"""
+
+import random
+
+import pytest
+
+from repro.deps import GED, ConstantLiteral, VariableLiteral
+from repro.graph import Graph, random_labeled_graph
+from repro.indexing import attach_index, detach_index
+from repro.matching import candidate_sets, find_homomorphisms
+from repro.parallel import parallel_find_violations
+from repro.patterns import WILDCARD, Pattern
+from repro.reasoning import find_violations
+from repro.workloads import bounded_rule_set, validation_workload
+
+
+def match_set(pattern, graph):
+    return {tuple(sorted(m.items())) for m in find_homomorphisms(pattern, graph)}
+
+
+def with_and_without_index(pattern, graph):
+    detach_index(graph)
+    raw_candidates = candidate_sets(pattern, graph)
+    raw_matches = match_set(pattern, graph)
+    attach_index(graph)
+    pruned_candidates = candidate_sets(pattern, graph)
+    pruned_matches = match_set(pattern, graph)
+    detach_index(graph)
+    return raw_candidates, raw_matches, pruned_candidates, pruned_matches
+
+
+WILDCARD_PATTERNS = [
+    Pattern({"x": WILDCARD}),
+    Pattern({"x": WILDCARD, "y": WILDCARD}, [("x", WILDCARD, "y")]),
+    Pattern({"x": "user", "y": WILDCARD}, [("x", "buys", "y")]),
+    Pattern({"x": WILDCARD, "y": "item"}, [("x", WILDCARD, "y")]),
+    Pattern({"x": "user", "y": "item", "z": "shop"}, [("x", "buys", "y"), ("z", "sells", "y")]),
+    Pattern({"x": "user"}, [("x", "buys", "x")]),  # self-loop
+]
+
+
+class TestCandidateSubsets:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_pruned_pools_are_subsets(self, seed):
+        graph = validation_workload(80, rng=seed)
+        for pattern in WILDCARD_PATTERNS + [g.pattern for g in bounded_rule_set()]:
+            raw_c, raw_m, pruned_c, pruned_m = with_and_without_index(pattern, graph)
+            for variable in pattern.variables:
+                assert pruned_c[variable] <= raw_c[variable]
+            assert raw_m == pruned_m
+
+    def test_use_index_false_bypasses(self):
+        graph = validation_workload(50, rng=9)
+        attach_index(graph)
+        pattern = bounded_rule_set()[0].pattern
+        bypassed = candidate_sets(pattern, graph, use_index=False)
+        detach_index(graph)
+        assert bypassed == candidate_sets(pattern, graph)
+
+
+class TestMatchEquality:
+    @pytest.mark.parametrize("seed", list(range(6)))
+    def test_random_graphs_random_patterns(self, seed):
+        rng = random.Random(seed)
+        graph = random_labeled_graph(
+            40,
+            0.12,
+            node_labels=["a", "b", "c"],
+            edge_labels=["r", "s"],
+            rng=rng.randrange(10**6),
+            attribute_names=["p", "q"],
+            attribute_values=[0, 1],
+            attribute_probability=0.7,
+        )
+        for _ in range(8):
+            n_vars = rng.randint(1, 3)
+            variables = [f"v{i}" for i in range(n_vars)]
+            nodes = {v: rng.choice(["a", "b", "c", WILDCARD]) for v in variables}
+            edges = []
+            for _ in range(rng.randint(0, 3)):
+                edges.append(
+                    (
+                        rng.choice(variables),
+                        rng.choice(["r", "s", WILDCARD]),
+                        rng.choice(variables),
+                    )
+                )
+            pattern = Pattern(nodes, edges)
+            _, raw_m, _, pruned_m = with_and_without_index(pattern, graph)
+            assert raw_m == pruned_m
+
+    def test_fixed_and_restrict_compose_with_index(self):
+        graph = validation_workload(60, rng=4)
+        pattern = bounded_rule_set()[0].pattern
+        some = next(iter(graph.nodes_with_label("user")), None)
+        if some is None:
+            pytest.skip("workload produced no user nodes")
+        detach_index(graph)
+        raw = {tuple(sorted(m.items()))
+               for m in find_homomorphisms(pattern, graph, fixed={"u": some})}
+        attach_index(graph)
+        pruned = {tuple(sorted(m.items()))
+                  for m in find_homomorphisms(pattern, graph, fixed={"u": some})}
+        detach_index(graph)
+        assert raw == pruned
+
+
+class TestViolationEquality:
+    @pytest.mark.parametrize("size,seed", [(100, 13), (200, 99), (400, 13)])
+    def test_find_violations_identical(self, size, seed):
+        graph = validation_workload(size, rng=seed)
+        sigma = bounded_rule_set()
+        detach_index(graph)
+        raw = find_violations(graph, sigma)
+        attach_index(graph)
+        indexed = find_violations(graph, sigma)
+        detach_index(graph)
+        assert set(raw) == set(indexed)
+        assert len(raw) == len(indexed)
+
+    def test_parallel_validation_identical_and_flagged(self):
+        graph = validation_workload(150, rng=21)
+        sigma = bounded_rule_set()
+        detach_index(graph)
+        raw = parallel_find_violations(graph, sigma, workers=3)
+        attach_index(graph)
+        indexed = parallel_find_violations(graph, sigma, workers=3)
+        detach_index(graph)
+        assert raw.violations == indexed.violations  # same deterministic order
+        assert indexed.indexed and not raw.indexed
+
+    def test_x_restriction_via_attribute_index(self):
+        # A rule whose X pins an attribute value: the indexed path must
+        # restrict candidates through the inverted index yet report the
+        # exact same violations.
+        graph = Graph()
+        for i in range(20):
+            graph.add_node(f"u{i}", "user", score=3 if i % 4 == 0 else 1)
+        graph.add_node("i0", "item", region=1)
+        for i in range(20):
+            graph.add_edge(f"u{i}", "buys", "i0")
+        rule = GED(
+            Pattern({"x": "user", "y": "item"}, [("x", "buys", "y")]),
+            [ConstantLiteral("x", "score", 3)],
+            [VariableLiteral("x", "region", "y", "region")],
+            name="top-scorers-share-region",
+        )
+        raw = find_violations(graph, [rule])
+        attach_index(graph)
+        indexed = find_violations(graph, [rule])
+        detach_index(graph)
+        assert set(raw) == set(indexed)
+        assert len(raw) == 5  # u0, u4, u8, u12, u16 lack region

@@ -4,24 +4,31 @@ The examples contain their own assertions (detection scores, merge
 expectations), so a clean exit is a real end-to-end check.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
-)
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs(script):
+    # The scripts import repro from the src layout; make it importable
+    # regardless of whether the invoking pytest exported PYTHONPATH.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), "examples must narrate what they do"
