@@ -1,0 +1,68 @@
+"""The one machine-readable benchmark format (``BENCH_<name>.json``).
+
+Every bench in this directory — and the CI perf gate — emits results
+through :func:`emit_bench`, so trajectory tooling and the perf job
+consume a single schema::
+
+    {
+      "bench": "<name>",
+      "format": 1,
+      "meta": {"python": "...", "cpu_count": N, ...},
+      "records": [{...}, ...]
+    }
+
+Records are bench-specific dictionaries (wall-clock seconds, work
+counters, backend/worker labels); ``meta`` carries the machine context
+needed to interpret them.  Files land in ``benchmarks/out/`` by default
+(git-ignored scratch output; CI uploads them as artifacts) — the perf
+gate redirects its own file to the workspace root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Any
+
+DEFAULT_DIR = Path(__file__).resolve().parent / "out"
+
+FORMAT_VERSION = 1
+
+
+def bench_payload(
+    name: str,
+    records: list[dict[str, Any]],
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The full document written for one bench."""
+    return {
+        "bench": name,
+        "format": FORMAT_VERSION,
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            **(meta or {}),
+        },
+        "records": records,
+    }
+
+
+def emit_bench(
+    name: str,
+    records: list[dict[str, Any]],
+    meta: dict[str, Any] | None = None,
+    directory: str | os.PathLike | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    out_dir = Path(directory) if directory is not None else DEFAULT_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    payload = bench_payload(name, records, meta)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    return path
+
+
+__all__ = ["DEFAULT_DIR", "FORMAT_VERSION", "bench_payload", "emit_bench"]

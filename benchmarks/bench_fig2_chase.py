@@ -13,7 +13,7 @@ from repro import paper
 from repro.chase import chase
 from repro.deps import GED, IdLiteral, VariableLiteral
 from repro.graph import Graph
-from repro.patterns import WILDCARD, Pattern
+from repro.patterns import Pattern
 
 
 def wide_example4(m: int) -> Graph:

@@ -9,7 +9,7 @@ homomorphism space the chase must cover grows with m.
 import pytest
 
 from repro import paper
-from repro.deps import GED, IdLiteral, VariableLiteral
+from repro.deps import GED, VariableLiteral
 from repro.patterns import WILDCARD, Pattern
 from repro.reasoning import check_satisfiability
 

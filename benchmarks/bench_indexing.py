@@ -20,7 +20,6 @@ Run with::
     PYTHONPATH=src python -m pytest benchmarks/bench_indexing.py -q
 """
 
-import pytest
 
 from repro.indexing import (
     IndexMaintenance,

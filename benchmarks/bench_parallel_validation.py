@@ -13,14 +13,19 @@ match space exactly, so the relevant shape claims are:
 * total matches across shards equals the unsharded count (no work
   inflation from sharding).
 
-Wall time for the serial backend is attached for reference; process
-pools on a pure-Python matcher at this instance size are dominated by
-pickling, which is the known caveat documented in the module.
+Wall time: the serial backend is the reference; the ``engine`` backend
+(persistent worker pool, one-time snapshot broadcast, warm workers
+holding graph + index + candidate caches — see :mod:`repro.engine`)
+is benchmarked against it per worker count.  The CI perf gate
+(``benchmarks/perf_gate.py``) turns the same comparison into a
+regression check against ``benchmarks/baseline.json``.
 """
 
 import pytest
 
-from repro.parallel import parallel_find_violations, plan_shards
+from repro.engine import shutdown_pools
+from repro.indexing import attach_index
+from repro.parallel import parallel_find_violations
 from repro.reasoning import find_violations
 from repro.workloads import bounded_rule_set, validation_workload
 
@@ -32,7 +37,17 @@ DATA_NODES = 400
 def workload():
     graph = validation_workload(DATA_NODES, rng=13)
     sigma = bounded_rule_set()
-    return graph, sigma
+    yield graph, sigma
+    shutdown_pools()
+
+
+@pytest.fixture(scope="module")
+def indexed_workload():
+    graph = validation_workload(DATA_NODES, rng=13)
+    attach_index(graph)
+    sigma = bounded_rule_set()
+    yield graph, sigma
+    shutdown_pools()
 
 
 @pytest.mark.parametrize("workers", WORKERS)
@@ -70,3 +85,27 @@ def test_shape_speedup_with_workers(workload):
         f"busiest shard should shrink ~linearly: {max_shards}"
     )
     assert max_shards[4] < max_shards[1]
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_engine_backend_wall_clock(benchmark, indexed_workload, workers):
+    """Warm engine-pool validation per worker count (the pool is built
+    on the first round; subsequent rounds measure the warm path)."""
+    graph, sigma = indexed_workload
+
+    report = benchmark(
+        lambda: parallel_find_violations(graph, sigma, workers=workers, backend="engine")
+    )
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["backend"] = "engine"
+    benchmark.extra_info["indexed"] = report.indexed
+    benchmark.extra_info["violations"] = len(report.violations)
+
+
+def test_engine_report_equals_serial(workload):
+    """The engine backend's report is byte-identical to serial's."""
+    graph, sigma = workload
+    serial = parallel_find_violations(graph, sigma, workers=4, backend="serial")
+    engine = parallel_find_violations(graph, sigma, workers=4, backend="engine")
+    assert engine.violations == serial.violations
+    assert engine.total_matches() == serial.total_matches()

@@ -13,7 +13,7 @@ data graphs scales with |G| like plain GED validation.
 
 import pytest
 
-from repro.deps import ConstantLiteral, GED, VariableLiteral
+from repro.deps import ConstantLiteral
 from repro.extensions import (
     DisjunctiveChaseStats,
     GEDVee,

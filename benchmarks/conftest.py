@@ -13,13 +13,66 @@ Wall-clock numbers land in the pytest-benchmark table; structural work
 counters (matches enumerated, chase steps, search candidates, branch
 counts) are attached as ``extra_info`` so the EXPERIMENTS.md shape
 claims do not depend on machine speed.
+
+Two harness-wide guarantees:
+
+* **determinism** — an autouse fixture reseeds ``random`` before every
+  bench, so instance families and any sampling inside a bench are
+  identical run to run (workload generators already take explicit
+  ``rng`` seeds; this covers incidental randomness);
+* **machine-readable output** — at session end every module's recorded
+  benchmarks are written as ``BENCH_<module>.json`` in the shared
+  :mod:`benchmarks._emit` format, the same schema the CI perf gate
+  emits and checks.
 """
 
 from __future__ import annotations
 
+import random
+from pathlib import Path
+
 import pytest
 
 from repro.graph.graph import Graph
+
+#: One fixed seed for the whole harness (the paper's PODS'17 vintage).
+BENCH_SEED = 20170513
+
+
+@pytest.fixture(autouse=True)
+def _seed_rng():
+    """Reseed the global RNG so every bench is reproducible bit-for-bit."""
+    random.seed(BENCH_SEED)
+    yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit every module's recorded benchmarks as BENCH_<module>.json."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None:
+        return
+    by_module: dict[str, list[dict]] = {}
+    for bench in benchmark_session.benchmarks:
+        stats = bench.stats
+        if stats is None:  # --benchmark-disable runs record nothing
+            continue
+        module = Path(bench.fullname.split("::", 1)[0]).stem
+        name = module.removeprefix("bench_")
+        by_module.setdefault(name, []).append(
+            {
+                "test": bench.name,
+                "group": bench.group,
+                "min_s": stats.min,
+                "mean_s": stats.mean,
+                "stddev_s": stats.stddev,
+                "rounds": stats.rounds,
+                "extra_info": dict(bench.extra_info),
+            }
+        )
+    from benchmarks._emit import emit_bench
+
+    for name, records in sorted(by_module.items()):
+        emit_bench(name, records, meta={"seed": BENCH_SEED})
 
 
 def odd_wheel(rim: int) -> Graph:

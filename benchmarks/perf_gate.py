@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""The CI perf-regression gate for the engine runtime.
+
+Measures wall-clock for every validation backend over a worker sweep on
+the committed reference workload, asserts the violation reports are
+byte-identical across backends, writes the measurements as
+``BENCH_engine.json`` (the shared :mod:`benchmarks._emit` schema), and
+**fails** (exit 1) when the warm engine's speedup over the serial
+backend drops below the thresholds committed in
+``benchmarks/baseline.json``.
+
+Run it locally exactly as CI does::
+
+    python benchmarks/perf_gate.py                # gate against baseline.json
+    python benchmarks/perf_gate.py --no-gate      # measure + emit only
+
+The thresholds are deliberately conservative: they hold on a 1-core
+container (where the engine's edge comes from the one-time broadcast,
+warm-worker candidate caching, and index-equipped workers rather than
+true parallelism) and leave the multi-core CI runners ample margin.
+See benchmarks/README.md for the refresh procedure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks._emit import emit_bench  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+
+def measure(call, repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall clock (noise-robust on shared runners)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = call()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH, help="thresholds file")
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path.cwd(),
+        help="where BENCH_engine.json lands (default: current directory)",
+    )
+    parser.add_argument("--no-gate", action="store_true", help="measure and emit, never fail")
+    args = parser.parse_args(argv)
+
+    from repro.engine import get_pool, pool_for, shutdown_pools
+    from repro.indexing import attach_index, detach_index
+    from repro.parallel import parallel_find_violations
+    from repro.workloads import bounded_rule_set, validation_workload
+
+    baseline = json.loads(args.baseline.read_text())
+    workload = baseline["workload"]
+    gate_workers = baseline["gate_workers"]
+    repeats = baseline["repeats"]
+    thresholds = baseline["thresholds"]
+
+    graph = validation_workload(workload["nodes"], rng=workload["rng"])
+    sigma = bounded_rule_set()
+
+    records: list[dict] = []
+    reports: dict[str, object] = {}
+
+    def run(backend: str, workers: int, label: str, reps: int = repeats):
+        wall, report = measure(
+            lambda: parallel_find_violations(graph, sigma, workers=workers, backend=backend),
+            reps,
+        )
+        records.append(
+            {
+                "backend": backend,
+                "label": label,
+                "workers": workers,
+                "wall_s": wall,
+                "violations": len(report.violations),
+                "matches": report.total_matches(),
+                "indexed": report.indexed,
+            }
+        )
+        reports[f"{label}@{workers}"] = report
+        print(f"  {label:<22} workers={workers}  {wall * 1000:8.2f} ms")
+        return wall
+
+    print(f"workload: validation_workload({workload['nodes']}, rng={workload['rng']})")
+    print(f"repeats:  best of {repeats}")
+
+    detach_index(graph)
+    serial_by_workers = {}
+    for workers in (1, 2, gate_workers, 8):
+        serial_by_workers[workers] = run("serial", workers, "serial (unindexed)")
+    thread_wall = run("thread", gate_workers, "thread (unindexed)")
+
+    attach_index(graph)
+    serial_indexed = run("serial", gate_workers, "serial (indexed)")
+
+    # Cold = first engine call builds + broadcasts the pool.
+    cold_wall, cold_report = measure(
+        lambda: parallel_find_violations(graph, sigma, workers=gate_workers, backend="engine"),
+        1,
+    )
+    records.append(
+        {
+            "backend": "engine",
+            "label": "engine (cold start)",
+            "workers": gate_workers,
+            "wall_s": cold_wall,
+            "violations": len(cold_report.violations),
+            "matches": cold_report.total_matches(),
+            "indexed": cold_report.indexed,
+        }
+    )
+    reports[f"engine-cold@{gate_workers}"] = cold_report
+    print(f"  {'engine (cold start)':<22} workers={gate_workers}  {cold_wall * 1000:8.2f} ms")
+
+    engine_by_workers = {}
+    for workers in (2, gate_workers, 8):
+        parallel_find_violations(graph, sigma, workers=workers, backend="engine")  # warm
+        engine_by_workers[workers] = run("engine", workers, "engine (warm)")
+    process_wall = run("process", gate_workers, "process (one-shot)", reps=3)
+
+    pool = get_pool(graph, gate_workers)
+    broadcast_bytes = pool.broadcast_bytes
+    assert pool_for(graph) is pool
+    shutdown_pools()
+
+    # ------------------------------------------------------------------
+    # Correctness: every backend's report must be identical.
+    # ------------------------------------------------------------------
+    reference = reports[f"serial (unindexed)@{gate_workers}"].violations
+    mismatched = [key for key, report in reports.items() if report.violations != reference]
+    if mismatched:
+        print(f"FAIL: backends diverged from serial: {mismatched}", file=sys.stderr)
+        return 1
+    print(f"violations: {len(reference)} — identical across all backends")
+
+    serial_wall = serial_by_workers[gate_workers]
+    engine_wall = engine_by_workers[gate_workers]
+    speedups = {
+        "engine_warm_vs_serial": serial_wall / engine_wall,
+        "engine_warm_vs_serial_indexed": serial_indexed / engine_wall,
+        "engine_warm_vs_thread": thread_wall / engine_wall,
+        "engine_warm_vs_process_cold": process_wall / engine_wall,
+    }
+    for name, value in speedups.items():
+        print(f"  {name}: {value:.2f}x")
+
+    path = emit_bench(
+        "engine",
+        records,
+        meta={
+            "workload": workload,
+            "gate_workers": gate_workers,
+            "repeats": repeats,
+            "speedups": speedups,
+            "broadcast_bytes": broadcast_bytes,
+            "thresholds": thresholds,
+        },
+        directory=args.output_dir,
+    )
+    print(f"wrote {path}")
+
+    if args.no_gate:
+        return 0
+
+    failures = []
+    if speedups["engine_warm_vs_serial"] < thresholds["min_engine_warm_speedup_vs_serial"]:
+        failures.append(
+            f"engine warm speedup over serial "
+            f"{speedups['engine_warm_vs_serial']:.2f}x < "
+            f"{thresholds['min_engine_warm_speedup_vs_serial']}x"
+        )
+    if (
+        speedups["engine_warm_vs_serial_indexed"]
+        < thresholds["min_engine_warm_speedup_vs_serial_indexed"]
+    ):
+        failures.append(
+            f"engine warm speedup over indexed serial "
+            f"{speedups['engine_warm_vs_serial_indexed']:.2f}x < "
+            f"{thresholds['min_engine_warm_speedup_vs_serial_indexed']}x"
+        )
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ the disjunctive chase, implication with counterexamples.
 Run:  python examples/domain_constraints.py
 """
 
-from repro.deps import ConstantLiteral, FALSE
+from repro.deps import ConstantLiteral
 from repro.extensions import (
     ComparisonLiteral,
     GDC,

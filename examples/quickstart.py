@@ -12,7 +12,7 @@ Walks through the core API in five steps:
 Run:  python examples/quickstart.py
 """
 
-from repro import GED, Graph, IdLiteral, Pattern, VariableLiteral, make_gkey
+from repro import GED, Graph, Pattern, VariableLiteral, make_gkey
 from repro.axioms import ProofChecker, prove
 from repro.chase import chase
 from repro.reasoning import build_model, find_violations, implies, is_satisfiable

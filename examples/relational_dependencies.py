@@ -33,7 +33,9 @@ def main() -> None:
     print(f"\nFD {fd}")
     print(f"  relational check: {fd.holds_on(employees)}")
     print(f"  GED check:        {validates(graph, encoded)}")
-    assert fd.holds_on(employees) == validates(graph, encoded) == False
+    outcome = validates(graph, encoded)
+    assert fd.holds_on(employees) == outcome
+    assert outcome is False
     culprits = {
         v.assignment["t1"] for v in find_violations(graph, encoded)
     } | {v.assignment["t2"] for v in find_violations(graph, encoded)}
@@ -44,7 +46,9 @@ def main() -> None:
     print("\nCFD emp(area_code=141 -> country=uk)")
     print(f"  relational check: {cfd.holds_on(employees)}")
     print(f"  GED check:        {validates(graph, cfd.encode())}")
-    assert cfd.holds_on(employees) == validates(graph, cfd.encode()) == False
+    outcome = validates(graph, cfd.encode())
+    assert cfd.holds_on(employees) == outcome
+    assert outcome is False
 
     # -- EGD: same dept joins imply equal floors (FD as an EGD) -----------
     egd = EGD(
@@ -54,7 +58,9 @@ def main() -> None:
     print("\nEGD emp(d, f1) ∧ emp(d, f2) -> f1 = f2")
     print(f"  relational check: {egd.holds_on({'emp': employees})}")
     print(f"  GED check:        {validates(graph, egd.encode())}")
-    assert egd.holds_on({"emp": employees}) == validates(graph, egd.encode()) == False
+    outcome = validates(graph, egd.encode())
+    assert egd.holds_on({"emp": employees}) == outcome
+    assert outcome is False
 
     # -- a clean instance passes everywhere --------------------------------
     clean = Relation("emp", ["name", "dept", "floor", "country", "area_code"])

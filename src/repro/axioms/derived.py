@@ -21,7 +21,7 @@ from collections.abc import Iterable
 from repro.axioms.proof import Proof, eq_of_xy
 from repro.axioms.system import ged1, ged3, ged5, ged6
 from repro.deps.ged import GED
-from repro.deps.literals import ConstantLiteral, Literal
+from repro.deps.literals import Literal
 from repro.errors import ProofError
 
 

@@ -35,7 +35,6 @@ from repro.chase.engine import chase
 from repro.deps.ged import GED
 from repro.deps.literals import (
     FALSE,
-    ConstantLiteral,
     IdLiteral,
     Literal,
     VariableLiteral,
@@ -174,7 +173,8 @@ def _next_derivation(Y: frozenset[Literal]):
                 attrs_of.setdefault(term[1], set()).add(term[2])
     for literal in literals:
         if isinstance(literal, IdLiteral) and literal.var1 != literal.var2:
-            for attr in sorted(attrs_of.get(literal.var1, set()) | attrs_of.get(literal.var2, set())):
+            pooled = attrs_of.get(literal.var1, set()) | attrs_of.get(literal.var2, set())
+            for attr in sorted(pooled):
                 induced = VariableLiteral(literal.var1, attr, literal.var2, attr)
                 if induced not in known and induced.flipped() not in known:
                     return ("id-attr", (literal, attr))

@@ -42,7 +42,7 @@ from repro.deps.ged import GED, sigma_size
 from repro.deps.literals import FALSE, Literal
 from repro.errors import ChaseError
 from repro.graph.graph import Graph
-from repro.matching.homomorphism import Match, find_homomorphisms
+from repro.matching.homomorphism import find_homomorphisms
 
 
 @dataclass(frozen=True)
@@ -189,7 +189,9 @@ def _applicable(
                 yield ged, match, literal
 
 
-def _satisfies(eq: EquivalenceRelation, literals: Iterable[Literal], match: Mapping[str, str]) -> bool:
+def _satisfies(
+    eq: EquivalenceRelation, literals: Iterable[Literal], match: Mapping[str, str]
+) -> bool:
     return all(literal_entailed(eq, l, match) for l in literals)
 
 

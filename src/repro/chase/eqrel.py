@@ -33,7 +33,7 @@ union-find root and merged on union.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable
 
 from repro.chase.unionfind import UnionFind
 from repro.graph.graph import Graph, Value

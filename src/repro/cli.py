@@ -13,6 +13,7 @@ Operates on JSON files in the formats of :mod:`repro.graph.io` and
     python -m repro.cli cover --rules rules.json -o cover.json
     python -m repro.cli pvalidate --graph kb.json --rules rules.json --workers 4
     python -m repro.cli index --graph kb.json [--rules rules.json]
+    python -m repro.cli engine --graph kb.json --rules rules.json --workers 4
 
 Rule files contain either a single GED dictionary or a list of them.
 Exit status: 0 for "yes/clean", 1 for "no/violations", 2 for usage or
@@ -113,6 +114,7 @@ def cmd_repair(args: argparse.Namespace) -> int:
         cost_model=model,
         max_operations=args.max_operations,
         allow_backward=not args.forward_only,
+        suggest_workers=args.suggest_workers,
     )
     print(report.summary())
     if args.output:
@@ -134,6 +136,7 @@ def cmd_discover(args: argparse.Namespace) -> int:
         min_confidence=args.min_confidence,
         include_paths=args.paths,
         include_forks=args.forks,
+        workers=args.workers,
     )
     print(f"{len(rules)} rule(s) discovered")
     for rule in rules:
@@ -183,6 +186,62 @@ def cmd_pvalidate(args: argparse.Namespace) -> int:
         f"{report.total_matches()} matches, balance {report.balance():.2f}"
         f"{', indexed' if report.indexed else ''}]"
     )
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.valid else 1
+
+
+def cmd_engine(args: argparse.Namespace) -> int:
+    """`engine`: snapshot/pool stats, then engine-pooled validation.
+
+    Shows what the persistent runtime buys: the broadcast snapshot size
+    versus naively pickling the graph, the scheduler's costed work
+    queue, and — with ``--rules`` — cold-versus-warm wall clock for
+    repeated validations on the same pool.
+    """
+    import pickle
+    import time
+
+    from repro.engine import get_pool, plan_tasks
+    from repro.parallel import parallel_find_violations
+
+    graph = load_graph(args.graph)
+    pool = get_pool(graph, args.workers, ensure_index=not args.no_index)
+    naive = len(pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL))
+    compact = pool.broadcast_bytes
+    print(
+        f"snapshot: {compact} byte(s) broadcast once "
+        f"(naive per-task graph pickle: {naive} byte(s), "
+        f"{naive / compact:.1f}x larger)"
+    )
+    print(
+        f"pool: {pool.workers} worker(s), graph version {pool.version}, "
+        f"{'indexed' if pool.indexed else 'unindexed'}"
+    )
+    if not args.rules:
+        return 0
+
+    rules = load_rules(args.rules)
+    units = plan_tasks(graph, rules, pool.workers)
+    print(f"work queue ({len(units)} unit(s), largest estimated cost first):")
+    for unit in units[:10]:
+        print(f"  {unit}")
+    if len(units) > 10:
+        print(f"  ... {len(units) - 10} more")
+
+    report = None
+    for attempt in range(max(1, args.repeat)):
+        started = time.perf_counter()
+        report = parallel_find_violations(
+            graph, rules, workers=pool.workers, backend="engine"
+        )
+        wall = time.perf_counter() - started
+        label = "cold" if attempt == 0 else "warm"
+        print(
+            f"run {attempt + 1} ({label}): {wall * 1000:.1f} ms, "
+            f"{len(report.violations)} violation(s), "
+            f"{report.total_matches()} match(es)"
+        )
     for violation in report.violations:
         print(f"  {violation}")
     return 0 if report.valid else 1
@@ -259,6 +318,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="never retract attributes or delete edges/nodes",
     )
+    repair_cmd.add_argument(
+        "--suggest-workers",
+        type=int,
+        default=1,
+        help="fan per-round repair suggestion out over the engine pool",
+    )
     repair_cmd.add_argument("-o", "--output", default=None)
     repair_cmd.set_defaults(func=cmd_repair)
 
@@ -269,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
     discover_cmd.add_argument("--min-confidence", type=float, default=1.0)
     discover_cmd.add_argument("--paths", action="store_true", help="also profile 2-edge chains")
     discover_cmd.add_argument("--forks", action="store_true", help="also profile 2-edge forks")
+    discover_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="count pattern supports on the engine worker pool",
+    )
     discover_cmd.add_argument("-o", "--output", default=None)
     discover_cmd.set_defaults(func=cmd_discover)
 
@@ -282,7 +353,9 @@ def build_parser() -> argparse.ArgumentParser:
     pvalidate_cmd.add_argument("--rules", required=True)
     pvalidate_cmd.add_argument("--workers", type=int, default=2)
     pvalidate_cmd.add_argument(
-        "--backend", choices=["serial", "thread", "process"], default="serial"
+        "--backend",
+        choices=["serial", "thread", "process", "engine"],
+        default="serial",
     )
     pvalidate_cmd.add_argument(
         "--index",
@@ -297,6 +370,29 @@ def build_parser() -> argparse.ArgumentParser:
     index_cmd.add_argument("--graph", required=True)
     index_cmd.add_argument("--rules", default=None)
     index_cmd.set_defaults(func=cmd_index)
+
+    engine_cmd = sub.add_parser(
+        "engine",
+        help="persistent worker-pool runtime: snapshot/pool stats, "
+        "costed work queue, engine-pooled validation",
+    )
+    engine_cmd.add_argument("--graph", required=True)
+    engine_cmd.add_argument("--rules", default=None)
+    engine_cmd.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: one per CPU)"
+    )
+    engine_cmd.add_argument(
+        "--no-index",
+        action="store_true",
+        help="broadcast the graph without attaching an index first",
+    )
+    engine_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="validation runs on the same warm pool (default 2: cold then warm)",
+    )
+    engine_cmd.set_defaults(func=cmd_engine)
     return parser
 
 

@@ -184,5 +184,8 @@ def substitute(literal: Literal, mapping) -> Literal:
             literal.attr2,
         )
     if isinstance(literal, IdLiteral):
-        return IdLiteral(mapping.get(literal.var1, literal.var1), mapping.get(literal.var2, literal.var2))
+        return IdLiteral(
+            mapping.get(literal.var1, literal.var1),
+            mapping.get(literal.var2, literal.var2),
+        )
     return literal  # FALSE has no variables

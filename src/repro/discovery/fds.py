@@ -149,19 +149,22 @@ def discover_gfds(
     include_paths: bool = False,
     include_forks: bool = False,
     max_patterns: int | None = None,
+    workers: int | None = 1,
 ) -> list[DiscoveredGED]:
     """Mine GFDs across all candidate patterns of the graph's schema.
 
     Enumerates patterns (:func:`enumerate_candidate_patterns`), mines
     each, and concatenates — sorted by confidence, support, then rule
     text.  ``max_patterns`` caps the profiled patterns (largest support
-    first) for big schemas.
+    first) for big schemas.  ``workers`` > 1 routes the support
+    counting through the :mod:`repro.engine` pool.
     """
     candidates = enumerate_candidate_patterns(
         graph,
         min_support=min_support,
         include_paths=include_paths,
         include_forks=include_forks,
+        workers=workers,
     )
     candidates.sort(key=lambda c: -c.support)
     if max_patterns is not None:

@@ -7,6 +7,13 @@ count.  Single nodes and single edges cover the overwhelming share of
 real-world pattern shapes (the paper cites 97%+ single-triple patterns
 in SWDF); two-edge paths are available behind a flag for workloads like
 Example 1's country→capital pairs.
+
+Support counting is the profiling hot path — one full match enumeration
+per schema pattern — so it can run on the :mod:`repro.engine` worker
+pool: pass ``workers`` > 1 and the counts are computed by warm workers
+holding a broadcast copy of the graph (and its index, when attached),
+one pattern reference per task.  Counts, filtering, and output order are
+identical to the serial path.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ def enumerate_candidate_patterns(
     min_support: int = 1,
     include_paths: bool = False,
     include_forks: bool = False,
+    workers: int | None = 1,
 ) -> list[CandidatePattern]:
     """Candidate patterns from the graph's observed schema.
 
@@ -46,7 +54,9 @@ def enumerate_candidate_patterns(
       the source variable (the Example 1 capital/capital shape).
 
     Patterns below ``min_support`` matches are dropped.  Output is
-    deterministic: sorted by (shape, pattern signature).
+    deterministic: sorted by (shape, pattern signature).  With
+    ``workers`` > 1 (or ``None`` for one per CPU) the match counting
+    fans out over the engine pool; the result is unchanged.
     """
     if min_support < 1:
         raise ValueError(f"min_support must be >= 1, got {min_support}")
@@ -65,42 +75,70 @@ def enumerate_candidate_patterns(
         if support >= min_support:
             candidates.append(CandidatePattern(pattern, support, "node"))
 
+    # Counted patterns, in deterministic construction order; support is
+    # filled in below (serially, or fanned out over the engine pool).
+    counted: list[tuple[str, Pattern]] = []
+
     for source_label, edge_label, target_label in sorted(schema_triples):
-        pattern = Pattern(
-            {"x": source_label, "y": target_label},
-            [("x", edge_label, "y")],
+        counted.append(
+            (
+                "edge",
+                Pattern(
+                    {"x": source_label, "y": target_label},
+                    [("x", edge_label, "y")],
+                ),
+            )
         )
-        support = count_matches(pattern, graph)
-        if support >= min_support:
-            candidates.append(CandidatePattern(pattern, support, "edge"))
 
     if include_paths:
         for first in sorted(schema_triples):
             for second in sorted(schema_triples):
                 if first[2] != second[0]:
                     continue
-                pattern = Pattern(
-                    {"x": first[0], "y": first[2], "z": second[2]},
-                    [("x", first[1], "y"), ("y", second[1], "z")],
+                counted.append(
+                    (
+                        "path",
+                        Pattern(
+                            {"x": first[0], "y": first[2], "z": second[2]},
+                            [("x", first[1], "y"), ("y", second[1], "z")],
+                        ),
+                    )
                 )
-                support = count_matches(pattern, graph)
-                if support >= min_support:
-                    candidates.append(CandidatePattern(pattern, support, "path"))
 
     if include_forks:
         for first in sorted(schema_triples):
             for second in sorted(schema_triples):
                 if first[0] != second[0] or (first, second) > (second, first):
                     continue
-                pattern = Pattern(
-                    {"x": first[0], "y": first[2], "z": second[2]},
-                    [("x", first[1], "y"), ("x", second[1], "z")],
+                counted.append(
+                    (
+                        "fork",
+                        Pattern(
+                            {"x": first[0], "y": first[2], "z": second[2]},
+                            [("x", first[1], "y"), ("x", second[1], "z")],
+                        ),
+                    )
                 )
-                support = count_matches(pattern, graph)
-                if support >= min_support:
-                    candidates.append(CandidatePattern(pattern, support, "fork"))
+
+    supports = _count_supports(graph, [pattern for _, pattern in counted], workers)
+    for (shape, pattern), support in zip(counted, supports):
+        if support >= min_support:
+            candidates.append(CandidatePattern(pattern, support, shape))
 
     return candidates
+
+
+def _count_supports(
+    graph: Graph, patterns: list[Pattern], workers: int | None
+) -> list[int]:
+    """Match counts for ``patterns``, serially or on the engine pool."""
+    if workers == 1 or len(patterns) <= 1:
+        return [count_matches(pattern, graph) for pattern in patterns]
+    from repro.engine.pool import get_pool, resolve_workers
+
+    if resolve_workers(workers) == 1:
+        return [count_matches(pattern, graph) for pattern in patterns]
+    return get_pool(graph, workers).count_patterns(patterns)
 
 
 __all__ = ["CandidatePattern", "enumerate_candidate_patterns"]

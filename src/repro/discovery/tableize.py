@@ -79,7 +79,9 @@ class MatchTable:
             return self.rows[row][literal.var1] == self.rows[row][literal.var2]
         raise TypeError(f"unsupported literal {literal!r}")
 
-    def satisfying(self, literals: Sequence[Literal], within: Sequence[int] | None = None) -> list[int]:
+    def satisfying(
+        self, literals: Sequence[Literal], within: Sequence[int] | None = None
+    ) -> list[int]:
         """Row indexes satisfying all ``literals`` (within a row subset)."""
         pool = range(self.num_rows) if within is None else within
         return [row for row in pool if all(self.literal_holds(row, l) for l in literals)]

@@ -1,0 +1,281 @@
+"""The persistent worker-pool runtime.
+
+One :class:`EnginePool` owns a :class:`~concurrent.futures.ProcessPoolExecutor`
+whose **initializer** receives the pickled
+:class:`~repro.engine.snapshot.GraphSnapshot` exactly once per worker.
+Each worker rebuilds the graph (and, when the coordinator had one, the
+index) into a module-level slot at startup; every subsequent task then
+ships only references — a dependency, a pivot variable, shard node ids —
+and executes against the warm worker state.  This replaces the old
+per-task pickling of the whole graph with a one-time broadcast, the
+fragment-per-worker execution model the paper's parallel-validation
+story presumes.
+
+Pools are cached in a process-wide *weak* registry keyed by the graph
+object (mirroring :mod:`repro.indexing.registry`) and guarded by the
+graph's mutation version: a second validation call on the same graph
+reuses the warm workers with zero broadcast cost, while any mutation —
+or a change in worker count or index attachment — retires the stale
+pool and builds a fresh one.  Dropping the last reference to a graph
+lets both its index and its pool be collected.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import weakref
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.deps.ged import GED
+from repro.graph.graph import Graph
+from repro.indexing.registry import get_index
+from repro.patterns.pattern import Pattern
+
+from repro.engine.scheduler import TaskUnit
+from repro.engine.snapshot import GraphSnapshot, snapshot_graph
+
+# ----------------------------------------------------------------------
+# Worker-side state and task entry points (top level: importable by the
+# executor's pickler; populated once by the pool initializer).
+# ----------------------------------------------------------------------
+
+_WORKER_GRAPH: Graph | None = None
+# Per-pattern candidate pools, memoized for the worker's lifetime: the
+# worker graph never mutates (a coordinator mutation retires the whole
+# pool), so pools computed for one shard serve every later shard and
+# every later call on the same pattern.
+_WORKER_CANDIDATES: dict[Pattern, dict[str, set[str]]] = {}
+
+
+def _initialize_worker(payload: bytes) -> None:
+    """Pool initializer: rebuild graph (+ index) from the broadcast."""
+    import pickle
+
+    global _WORKER_GRAPH
+    snapshot: GraphSnapshot = pickle.loads(payload)
+    _WORKER_GRAPH = snapshot.restore()
+    _WORKER_CANDIDATES.clear()
+
+
+def _worker_graph() -> Graph:
+    if _WORKER_GRAPH is None:
+        raise RuntimeError("engine worker used before its snapshot broadcast")
+    return _WORKER_GRAPH
+
+
+def _validate_batch(batch: tuple[TaskUnit, ...]):
+    """Run a batch of (dependency, shard) units on the warm graph.
+
+    One batch is one round trip: the scheduler packs units so a call
+    dispatches a handful of balanced futures instead of one per unit.
+    Candidate pools are computed once per pattern and memoized for the
+    worker's lifetime.
+    """
+    from repro.matching.candidates import candidate_sets
+    from repro.parallel.validate import run_shard
+
+    graph = _worker_graph()
+    results = []
+    for unit in batch:
+        base = _WORKER_CANDIDATES.get(unit.ged.pattern)
+        if base is None:
+            base = candidate_sets(unit.ged.pattern, graph)
+            _WORKER_CANDIDATES[unit.ged.pattern] = base
+        results.append(
+            run_shard(
+                graph,
+                unit.ged,
+                unit.pivot,
+                unit.shard,
+                unit.shard_index,
+                base_candidates=base,
+            )
+        )
+    return results
+
+
+def _count_pattern(pattern: Pattern) -> int:
+    """Count matches of one pattern on the warm graph (discovery)."""
+    from repro.matching.homomorphism import count_matches
+
+    return count_matches(pattern, _worker_graph())
+
+
+def _suggest_unit(violation, allow_backward: bool):
+    """Suggest repair plans for one violation on the warm graph."""
+    from repro.repair.suggest import suggest_repairs
+
+    return suggest_repairs(_worker_graph(), violation, allow_backward=allow_backward)
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Validate and default a worker count.
+
+    ``None`` means "one worker per available CPU" — the default is
+    capped at ``os.cpu_count()`` so unconfigured callers never
+    oversubscribe.  Explicit counts are honored as given (more workers
+    than cores is a legitimate ask: shard granularity, or I/O-bound
+    custom tasks) but must be positive integers.
+    """
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(f"workers must be a positive integer, got {workers!r}")
+    if workers < 1:
+        raise ValueError(
+            f"workers must be a positive integer, got {workers} "
+            "(use workers=1 or backend='serial' for single-threaded runs)"
+        )
+    return workers
+
+
+class EnginePool:
+    """A warm process pool bound to one (graph, version) snapshot."""
+
+    def __init__(self, snapshot: GraphSnapshot, workers: int):
+        self.snapshot = snapshot
+        self.workers = workers
+        self.version = snapshot.version
+        self.indexed = snapshot.indexed
+        payload = snapshot.payload()  # pickle the broadcast exactly once
+        self.tasks_dispatched = 0
+        self.calls = 0
+        self.closed = False
+        self.broadcast_bytes = len(payload)
+        self._plan_cache: dict[tuple[GED, ...], list[TaskUnit]] = {}
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialize_worker,
+            initargs=(payload,),
+        )
+
+    # -- generic dispatch ----------------------------------------------
+    def _map(self, fn, argument_tuples: Sequence[tuple]) -> list:
+        if self.closed:
+            raise RuntimeError("engine pool is closed")
+        self.calls += 1
+        self.tasks_dispatched += len(argument_tuples)
+        futures = [self._executor.submit(fn, *args) for args in argument_tuples]
+        return [future.result() for future in futures]
+
+    def plan_validation(self, graph: Graph, sigma: Sequence[GED]) -> list:
+        """The scheduled work queue for validating Σ, memoized per rule
+        set: the pool pins one graph version and one worker count, so
+        an unchanged Σ reuses its plan on every warm call."""
+        from repro.engine.scheduler import plan_tasks
+
+        key = tuple(sigma)
+        units = self._plan_cache.get(key)
+        if units is None:
+            units = plan_tasks(graph, sigma, self.workers)
+            self._plan_cache[key] = units
+        return units
+
+    # -- the three workload adapters -----------------------------------
+    def validate_units(self, units: Sequence[TaskUnit]) -> list:
+        """Execute scheduled validation units, packed into at most
+        ``2 * workers`` balanced round trips; the flat result list is
+        unordered across batches (the caller merges and sorts
+        deterministically)."""
+        from repro.engine.scheduler import pack_units
+
+        batches = pack_units(units, self.workers * 2)
+        results = self._map(_validate_batch, [(batch,) for batch in batches])
+        return [shard_result for batch in results for shard_result in batch]
+
+    def count_patterns(self, patterns: Sequence[Pattern]) -> list[int]:
+        """Match counts for many patterns (discovery's support scan)."""
+        return self._map(_count_pattern, [(pattern,) for pattern in patterns])
+
+    def suggest_repairs(self, violations: Sequence, allow_backward: bool = True) -> list:
+        """Per-violation repair plans (repair's suggestion fan-out)."""
+        return self._map(_suggest_unit, [(violation, allow_backward) for violation in violations])
+
+    def close(self) -> None:
+        """Shut the workers down; the pool cannot be reused."""
+        if not self.closed:
+            self.closed = True
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnginePool(workers={self.workers}, version={self.version}, "
+            f"indexed={self.indexed}, broadcast={self.broadcast_bytes}B, "
+            f"dispatched={self.tasks_dispatched})"
+        )
+
+
+_pools: "weakref.WeakKeyDictionary[Graph, EnginePool]" = weakref.WeakKeyDictionary()
+
+
+def get_pool(graph: Graph, workers: int | None = None, *, ensure_index: bool = False) -> EnginePool:
+    """The warm pool for ``graph``, broadcasting a snapshot only when
+    no current pool matches (same mutation version, worker count, and
+    index attachment — any mismatch retires the old pool)."""
+    resolved = resolve_workers(workers)
+    if ensure_index:
+        # Attaching registers in the weak index registry only; the
+        # graph itself (and its version) is untouched.
+        from repro.indexing.registry import attach_index
+
+        if get_index(graph) is None:
+            attach_index(graph)
+    indexed = get_index(graph) is not None
+    pool = _pools.get(graph)
+    if (
+        pool is not None
+        and not pool.closed
+        and pool.version == graph.version
+        and pool.workers == resolved
+        and pool.indexed == indexed
+    ):
+        return pool
+    if pool is not None:
+        pool.close()
+    pool = EnginePool(snapshot_graph(graph), resolved)
+    _pools[graph] = pool
+    # The registry holds the graph weakly: when the graph is collected
+    # the pool entry vanishes, so close the workers right then instead
+    # of waiting for the executor's own GC-driven shutdown (mutation
+    # churn — e.g. the repair loop's per-round copies — would otherwise
+    # leave idle worker processes lingering at the GC's discretion).
+    weakref.finalize(graph, pool.close)
+    return pool
+
+
+def pool_for(graph: Graph) -> EnginePool | None:
+    """The registered pool for ``graph``, if any (stats/tests)."""
+    return _pools.get(graph)
+
+
+def release_pool(graph: Graph) -> None:
+    """Close and drop the pool for one graph, leaving others warm."""
+    pool = _pools.pop(graph, None)
+    if pool is not None:
+        pool.close()
+
+
+def shutdown_pools() -> None:
+    """Close every registered pool (tests and interpreter exit)."""
+    for pool in list(_pools.values()):
+        pool.close()
+    _pools.clear()
+
+
+atexit.register(shutdown_pools)
+
+__all__ = [
+    "EnginePool",
+    "get_pool",
+    "pool_for",
+    "release_pool",
+    "resolve_workers",
+    "shutdown_pools",
+]

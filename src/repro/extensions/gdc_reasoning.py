@@ -23,7 +23,12 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.chase.canonical import canonical_graph, canonical_graph_of_sigma
-from repro.extensions.gdc import GDC, ComparisonLiteral, VariableComparisonLiteral, gdc_literal_holds
+from repro.extensions.gdc import (
+    GDC,
+    ComparisonLiteral,
+    VariableComparisonLiteral,
+    gdc_literal_holds,
+)
 from repro.extensions.smallmodel import (
     GroundRules,
     SearchSpace,
@@ -31,7 +36,7 @@ from repro.extensions.smallmodel import (
     gdc_literal_eval,
     search_small_model,
 )
-from repro.deps.literals import FALSE, IdLiteral
+from repro.deps.literals import FALSE
 from repro.graph.graph import Graph
 from repro.matching.homomorphism import find_homomorphisms
 

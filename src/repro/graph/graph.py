@@ -261,7 +261,9 @@ class Graph:
             clone.add_edge(source, label, target)
         return clone
 
-    def disjoint_union(self, other: "Graph", prefix_self: str = "", prefix_other: str = "") -> "Graph":
+    def disjoint_union(
+        self, other: "Graph", prefix_self: str = "", prefix_other: str = ""
+    ) -> "Graph":
         """Disjoint union, renaming ids with the given prefixes.
 
         With empty prefixes the id sets must already be disjoint.

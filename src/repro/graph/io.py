@@ -1,6 +1,6 @@
-"""JSON (de)serialization for graphs.
+"""(De)serialization for graphs: JSON files and flat-array snapshots.
 
-The format is a plain dictionary so graphs can be stored in files,
+The JSON format is a plain dictionary so graphs can be stored in files,
 shipped over APIs, or embedded in experiment manifests:
 
 .. code-block:: json
@@ -9,11 +9,21 @@ shipped over APIs, or embedded in experiment manifests:
       "nodes": [{"id": "a1", "label": "album", "attrs": {"title": "Bleach"}}],
       "edges": [["a1", "primary_artist", "p1"]]
     }
+
+The flat-array format (:func:`graph_to_arrays` / :func:`graph_from_arrays`)
+is the wire representation behind :mod:`repro.engine.snapshot`: every
+string is interned once in a pool and the node/edge structure becomes a
+handful of ``array('I')`` integer columns, which pickle an order of
+magnitude cheaper than the object graph (no per-Node class payload, no
+per-edge tuple objects).  It is lossless — rebuilding yields a graph that
+is ``==`` to the original — but, unlike the JSON format, it is a Python
+pickle-time optimization, not an interchange format.
 """
 
 from __future__ import annotations
 
 import json
+from array import array
 from typing import Any
 
 from repro.errors import GraphError
@@ -50,3 +60,100 @@ def graph_to_json(g: Graph, indent: int | None = None) -> str:
 
 def graph_from_json(text: str) -> Graph:
     return graph_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Flat-array snapshot encoding (the repro.engine broadcast format)
+# ----------------------------------------------------------------------
+
+
+class _Pool:
+    """Interning pool: assigns each distinct value one integer slot.
+
+    Values are deduplicated by ``(type, value)`` so ``1``, ``1.0`` and
+    ``True`` — equal under ``==`` — keep their exact identity through a
+    roundtrip.  Unhashable values (graphs may carry them; the index
+    layer treats them as unindexable) are appended without dedup.
+    """
+
+    def __init__(self) -> None:
+        self.values: list[Any] = []
+        self._slots: dict[Any, int] = {}
+
+    def intern(self, value: Any) -> int:
+        try:
+            key = (type(value), value)
+            slot = self._slots.get(key)
+            if slot is None:
+                slot = len(self.values)
+                self._slots[key] = slot
+                self.values.append(value)
+            return slot
+        except TypeError:  # unhashable value: store without dedup
+            self.values.append(value)
+            return len(self.values) - 1
+
+
+def graph_to_arrays(g: Graph) -> dict[str, Any]:
+    """Encode ``g`` as interned pools plus flat integer columns.
+
+    Layout (all columns index into ``pool``):
+
+    * ``node_ids`` / ``node_labels`` — one entry per node, in the
+      graph's deterministic insertion order;
+    * ``attr_node`` / ``attr_name`` / ``attr_value`` — one entry per
+      attribute; ``attr_node`` indexes into ``node_ids``;
+    * ``edge_src`` / ``edge_label`` / ``edge_dst`` — one entry per edge,
+      sorted; ``edge_src``/``edge_dst`` index into ``node_ids``.
+    """
+    pool = _Pool()
+    node_ids = array("I")
+    node_labels = array("I")
+    node_slot: dict[str, int] = {}
+    attr_node = array("I")
+    attr_name = array("I")
+    attr_value = array("I")
+    for position, node in enumerate(g.nodes):
+        node_slot[node.id] = position
+        node_ids.append(pool.intern(node.id))
+        node_labels.append(pool.intern(node.label))
+        for name, value in node.attributes.items():
+            attr_node.append(position)
+            attr_name.append(pool.intern(name))
+            attr_value.append(pool.intern(value))
+    edge_src = array("I")
+    edge_label = array("I")
+    edge_dst = array("I")
+    for source, label, target in sorted(g.edges):
+        edge_src.append(node_slot[source])
+        edge_label.append(pool.intern(label))
+        edge_dst.append(node_slot[target])
+    return {
+        "pool": pool.values,
+        "node_ids": node_ids,
+        "node_labels": node_labels,
+        "attr_node": attr_node,
+        "attr_name": attr_name,
+        "attr_value": attr_value,
+        "edge_src": edge_src,
+        "edge_label": edge_label,
+        "edge_dst": edge_dst,
+    }
+
+
+def graph_from_arrays(data: dict[str, Any]) -> Graph:
+    """Rebuild a graph from :func:`graph_to_arrays` output."""
+    pool: list[Any] = data["pool"]
+    g = Graph()
+    ids: list[str] = []
+    for id_slot, label_slot in zip(data["node_ids"], data["node_labels"]):
+        node_id = pool[id_slot]
+        ids.append(node_id)
+        g.add_node(node_id, pool[label_slot])
+    for position, name_slot, value_slot in zip(
+        data["attr_node"], data["attr_name"], data["attr_value"]
+    ):
+        g.set_attribute(ids[position], pool[name_slot], pool[value_slot])
+    for src, label_slot, dst in zip(data["edge_src"], data["edge_label"], data["edge_dst"]):
+        g.add_edge(ids[src], pool[label_slot], ids[dst])
+    return g

@@ -29,7 +29,7 @@ from __future__ import annotations
 from repro.graph.graph import Graph
 from repro.indexing.pruning import CandidatePruner
 from repro.indexing.registry import get_index
-from repro.patterns.labels import WILDCARD, matches
+from repro.patterns.labels import WILDCARD
 from repro.patterns.pattern import Pattern
 
 

@@ -37,6 +37,7 @@ def find_homomorphisms(
     fixed: Mapping[str, str] | None = None,
     limit: int | None = None,
     restrict: Mapping[str, "set[str] | frozenset[str]"] | None = None,
+    candidates: Mapping[str, "set[str]"] | None = None,
 ) -> Iterator[Match]:
     """Enumerate matches of ``pattern`` in ``graph``.
 
@@ -55,6 +56,11 @@ def find_homomorphisms(
         index-aware validation layer derives them from X-literals via
         the attribute inverted index, which preserves the violation set
         exactly.
+    candidates:
+        optional precomputed :func:`~repro.matching.candidates.candidate_sets`
+        result for exactly this (pattern, graph) pair, as produced by a
+        caller that runs the matcher repeatedly on an unchanging graph
+        (the engine's warm workers).  The mapping is not mutated.
     """
     fixed = dict(fixed) if fixed else {}
     for variable, node_id in fixed.items():
@@ -63,7 +69,7 @@ def find_homomorphisms(
         if not graph.has_node(node_id):
             raise PatternError(f"fixed image {node_id!r} is not a node of the graph")
 
-    candidates = candidate_sets(pattern, graph)
+    candidates = dict(candidates) if candidates is not None else candidate_sets(pattern, graph)
     if restrict:
         for variable, pool in restrict.items():
             if not pattern.has_variable(variable):
@@ -120,7 +126,9 @@ def find_homomorphisms(
     yield from backtrack(0)
 
 
-def find_match(pattern: Pattern, graph: Graph, fixed: Mapping[str, str] | None = None) -> Match | None:
+def find_match(
+    pattern: Pattern, graph: Graph, fixed: Mapping[str, str] | None = None
+) -> Match | None:
     """The first match, or ``None`` if the pattern has no match."""
     for match in find_homomorphisms(pattern, graph, fixed=fixed, limit=1):
         return match

@@ -3,7 +3,7 @@
 ``parallel_find_violations`` distributes the work of
 :func:`repro.reasoning.validation.find_violations` across shards of the
 match space (see :mod:`repro.parallel.partition`) and merges the
-results.  Three backends:
+results.  Four backends:
 
 * ``"serial"`` — runs shards in-process, one after the other.  Zero
   overhead; the deterministic reference and the 1-worker baseline.
@@ -12,40 +12,45 @@ results.  Three backends:
   pool overhead rather than speedup; kept because it exercises the
   same code path with true concurrency (thread-safety check) and
   because backends with C-level matchers would profit.
-* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
-  Real CPU parallelism; the graph and rules are pickled to each worker
-  once per (dependency, shard) task.
+* ``"process"`` — real CPU parallelism via the
+  :mod:`repro.engine` runtime: the graph (and the coordinator's index
+  decision) is broadcast **once** as a compact snapshot when the pool
+  starts, workers rebuild graph+index, and shards stream to them by
+  reference.  The pool is torn down when the call returns.
+* ``"engine"`` — the same runtime, but the pool is kept **warm** in
+  the engine's graph-keyed registry: repeated validations of the same
+  (unmutated) graph pay the broadcast exactly once.  This is the
+  backend for serving workloads that revalidate after every batch.
 
 All backends return identical, deterministically ordered violations —
 a property the test suite asserts — because sharding by a pivot
 variable partitions the match set exactly.
 
 Index sharing: when a :mod:`repro.indexing` index is attached to the
-graph, shard planning and every in-process shard (serial and thread
-backends) consult the *same immutable* :class:`GraphIndexes` through
-the weak registry — the index is built once, never per shard.  Process
-workers unpickle a private graph copy with no registered index and
-transparently fall back to unindexed matching; either way the
-violation sets are identical because candidate pruning is purely a
-necessary condition.  ``ParallelValidationReport.indexed`` records
-whether the coordinating process had an index attached.
+graph, in-process shards (serial and thread backends) consult the
+*same immutable* :class:`GraphIndexes` through the weak registry, and
+the engine-backed backends broadcast the attachment decision so every
+worker rebuilds and consults its own copy.  Either way the violation
+sets are identical because candidate pruning is purely a necessary
+condition.  ``ParallelValidationReport.indexed`` records whether the
+shards (local or remote) ran indexed.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Sequence
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.deps.ged import GED
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
 from repro.matching.homomorphism import find_homomorphisms
-from repro.reasoning.validation import Violation, literal_holds
+from repro.reasoning.validation import Violation, literal_holds, x_literal_restrictions
 from repro.parallel.partition import plan_shards
 
-_BACKENDS = ("serial", "thread", "process")
+_BACKENDS = ("serial", "thread", "process", "engine")
 
 
 @dataclass(frozen=True)
@@ -90,27 +95,47 @@ class ParallelValidationReport:
         return (sum(works) / len(works)) / max(works)
 
 
-def _run_shard(
+def run_shard(
     graph: Graph,
     ged: GED,
     pivot: str,
     shard: tuple[str, ...],
     shard_index: int,
+    base_candidates: dict[str, set[str]] | None = None,
 ) -> tuple[list[Violation], ShardStats]:
-    """Validate one dependency on one shard (top-level: picklable)."""
+    """Validate one dependency on one shard (top-level: picklable).
+
+    This is the kernel every backend shares — in-process shards call it
+    directly, engine workers call it against their rebuilt graph.  The
+    shard is enforced by *restricting* the pivot's candidate pool to
+    the shard's ids in a single matcher invocation (candidate sets are
+    computed once per shard, not once per pivot node — pinning the
+    pivot node-by-node re-derived them from scratch every time, which
+    made sharded wall-clock quadratic in the shard size).  With an
+    index attached the pools are additionally restricted to nodes that
+    can satisfy X's constant literals (a necessary condition, so the
+    violation set is unchanged — see
+    :func:`~repro.reasoning.validation.x_literal_restrictions`).
+    ``base_candidates`` optionally supplies this pattern's precomputed
+    candidate pools (warm engine workers reuse them across shards).
+    """
     started = time.perf_counter()
+    restrict: dict[str, set[str]] = dict(x_literal_restrictions(graph, ged) or {})
+    shard_pool = set(shard)
+    restrict[pivot] = restrict[pivot] & shard_pool if pivot in restrict else shard_pool
     violations: list[Violation] = []
     matches = 0
-    for node_id in shard:
-        for match in find_homomorphisms(ged.pattern, graph, fixed={pivot: node_id}):
-            matches += 1
-            if not all(literal_holds(graph, l, match) for l in ged.X):
-                continue
-            failed = tuple(
-                l for l in sorted(ged.Y, key=str) if not literal_holds(graph, l, match)
-            )
-            if failed:
-                violations.append(Violation(ged, tuple(sorted(match.items())), failed))
+    for match in find_homomorphisms(
+        ged.pattern, graph, restrict=restrict, candidates=base_candidates
+    ):
+        matches += 1
+        if not all(literal_holds(graph, lit, match) for lit in ged.X):
+            continue
+        failed = tuple(
+            lit for lit in sorted(ged.Y, key=str) if not literal_holds(graph, lit, match)
+        )
+        if failed:
+            violations.append(Violation(ged, tuple(sorted(match.items())), failed))
     elapsed = time.perf_counter() - started
     stats = ShardStats(
         ged.name or "GED", shard_index, len(shard), matches, len(violations), elapsed
@@ -118,45 +143,81 @@ def _run_shard(
     return violations, stats
 
 
+# Backwards-compatible private alias (the engine's worker entry point
+# imports the public name; older call sites used the underscore form).
+_run_shard = run_shard
+
+
 def parallel_find_violations(
     graph: Graph,
     sigma: Sequence[GED],
-    workers: int = 2,
+    workers: int | None = None,
     backend: str = "serial",
 ) -> ParallelValidationReport:
     """Find all violations of Σ in G with sharded evaluation.
+
+    ``workers=None`` defaults to one worker per available CPU (capped
+    at ``os.cpu_count()``); explicit counts must be positive integers —
+    zero or negative counts raise :class:`ValueError`.
 
     The returned violations are sorted (by dependency name, then match)
     so every backend and worker count yields the identical report.
     """
     if backend not in _BACKENDS:
         raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    from repro.engine.pool import resolve_workers
+
+    workers = resolve_workers(workers)
     sigma = list(sigma)
     started = time.perf_counter()
 
-    tasks: list[tuple[GED, str, tuple[str, ...], int]] = []
-    for ged in sigma:
-        plan = plan_shards(ged.pattern, graph, workers)
-        for index, shard in enumerate(plan.shards):
-            tasks.append((ged, plan.pivot, shard, index))
-
+    engine_backed = backend in ("process", "engine") and workers > 1 and bool(sigma)
     results: list[tuple[list[Violation], ShardStats]] = []
-    in_process = backend != "process" or workers == 1 or not tasks
-    if backend == "serial" or workers == 1 or not tasks:
-        for ged, pivot, shard, index in tasks:
-            results.append(_run_shard(graph, ged, pivot, shard, index))
-    else:
-        executor: Executor
-        if backend == "thread":
-            executor = ThreadPoolExecutor(max_workers=workers)
+    indexed = False
+
+    if engine_backed and backend == "engine":
+        from repro.engine.pool import get_pool
+
+        pool = get_pool(graph, workers)
+        units = pool.plan_validation(graph, sigma)
+        if units:
+            results = pool.validate_units(units)
+        indexed = pool.indexed
+    elif engine_backed:
+        # "process" is one-shot *and private*: it builds its own pool
+        # (cold broadcast) and closes it, never touching — or silently
+        # reusing — a warm "engine" pool registered for this graph.
+        from repro.engine.pool import EnginePool
+        from repro.engine.scheduler import plan_tasks
+        from repro.engine.snapshot import snapshot_graph
+
+        units = plan_tasks(graph, sigma, workers)
+        if units:
+            pool = EnginePool(snapshot_graph(graph), workers)
+            try:
+                results = pool.validate_units(units)
+                indexed = pool.indexed
+            finally:
+                pool.close()
         else:
-            executor = ProcessPoolExecutor(max_workers=workers)
-        with executor:
-            futures = [
-                executor.submit(_run_shard, graph, ged, pivot, shard, index)
-                for ged, pivot, shard, index in tasks
-            ]
-            results = [future.result() for future in futures]
+            indexed = get_index(graph) is not None
+    else:
+        tasks: list[tuple[GED, str, tuple[str, ...], int]] = []
+        for ged in sigma:
+            plan = plan_shards(ged.pattern, graph, workers)
+            for index, shard in enumerate(plan.shards):
+                tasks.append((ged, plan.pivot, shard, index))
+        if backend == "thread" and workers > 1 and tasks:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(run_shard, graph, ged, pivot, shard, index)
+                    for ged, pivot, shard, index in tasks
+                ]
+                results = [future.result() for future in futures]
+        else:
+            for ged, pivot, shard, index in tasks:
+                results.append(run_shard(graph, ged, pivot, shard, index))
+        indexed = get_index(graph) is not None
 
     violations: list[Violation] = []
     stats: list[ShardStats] = []
@@ -171,17 +232,14 @@ def parallel_find_violations(
         backend,
         workers,
         time.perf_counter() - started,
-        # Only in-process shards (serial/thread) consult the shared
-        # index; process workers unpickle private graphs and fall back,
-        # so a process-pool run must not be reported as indexed.
-        indexed=in_process and get_index(graph) is not None,
+        indexed=indexed,
     )
 
 
 def parallel_validates(
     graph: Graph,
     sigma: Sequence[GED],
-    workers: int = 2,
+    workers: int | None = None,
     backend: str = "serial",
 ) -> bool:
     """G |= Σ via sharded evaluation (Theorem 6's decision problem)."""
@@ -193,4 +251,5 @@ __all__ = [
     "ShardStats",
     "parallel_find_violations",
     "parallel_validates",
+    "run_shard",
 ]

@@ -57,7 +57,9 @@ def check_duplicate(
     group = result.eq.node_class(candidate_id)
     others = sorted(group - {candidate_id})
     if others:
-        return ExpansionDecision(True, others[0], "keys identify the candidate with an existing entity")
+        return ExpansionDecision(
+            True, others[0], "keys identify the candidate with an existing entity"
+        )
     return ExpansionDecision(False, None, "no key identifies the candidate with an existing entity")
 
 

@@ -34,7 +34,7 @@ from repro.deps.ged import GED
 from repro.deps.literals import ConstantLiteral, VariableLiteral
 from repro.errors import ReductionError
 from repro.graph.graph import Graph
-from repro.patterns.labels import WILDCARD, compatible
+from repro.patterns.labels import WILDCARD
 from repro.reasoning.validation import validates
 
 #: Marker for "this attribute slot is absent".

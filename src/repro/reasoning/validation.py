@@ -31,7 +31,7 @@ from repro.deps.literals import (
 )
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
-from repro.matching.homomorphism import Match, find_homomorphisms
+from repro.matching.homomorphism import find_homomorphisms
 
 
 def literal_holds(graph: Graph, literal: Literal, match: Mapping[str, str]) -> bool:

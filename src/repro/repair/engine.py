@@ -33,7 +33,7 @@ from repro.graph.graph import Graph
 from repro.reasoning.validation import Violation, find_violations
 from repro.repair.cost import UNREPAIRABLE, CostModel
 from repro.repair.operations import RepairOperation, apply_operations
-from repro.repair.suggest import RepairPlan, suggest_repairs
+from repro.repair.suggest import RepairPlan, suggest_repairs_batch
 
 
 @dataclass
@@ -69,6 +69,7 @@ def repair(
     cost_model: CostModel | None = None,
     max_operations: int = 1000,
     allow_backward: bool = True,
+    suggest_workers: int | None = 1,
 ) -> RepairReport:
     """Greedily repair ``graph`` until it satisfies ``sigma``.
 
@@ -82,6 +83,13 @@ def repair(
         permit premise-destroying repairs.  With ``False`` the engine is
         a pure chase-like forward cleaner and may stop dirty (e.g. on
         forbidding constraints, which have no forward repair).
+    suggest_workers:
+        with > 1 (or ``None`` for one per CPU), each round's
+        per-violation suggestion pass fans out over the
+        :mod:`repro.engine` worker pool.  The repaired graph is
+        identical — suggestion is a pure read — so this is purely a
+        wall-clock lever for wide violation sets; note every applied
+        round mutates the graph and therefore re-broadcasts.
     """
     model = cost_model or CostModel()
     sigma = list(sigma)
@@ -97,7 +105,9 @@ def repair(
         if not violations:
             return RepairReport(True, current, applied, [], rounds, total_cost)
 
-        plan, cost = _cheapest_plan(current, violations, model, allow_backward)
+        plan, cost = _cheapest_plan(
+            current, violations, model, allow_backward, suggest_workers
+        )
         if plan is None:
             return RepairReport(
                 False, current, applied, violations, rounds, total_cost,
@@ -111,7 +121,7 @@ def repair(
             # the offending violation by falling back to the next
             # cheapest *novel* plan; if none, stop dirty.
             plan, cost, candidate = _cheapest_novel_plan(
-                current, violations, model, allow_backward, seen_states
+                current, violations, model, allow_backward, seen_states, suggest_workers
             )
             if plan is None:
                 return RepairReport(
@@ -136,12 +146,15 @@ def _cheapest_plan(
     violations: Sequence[Violation],
     model: CostModel,
     allow_backward: bool,
+    suggest_workers: int | None = 1,
 ) -> tuple[RepairPlan | None, float]:
     """The globally cheapest plan across all current violations."""
     best: RepairPlan | None = None
     best_cost = UNREPAIRABLE
-    for violation in violations:
-        for plan in suggest_repairs(graph, violation, allow_backward):
+    for plans in suggest_repairs_batch(
+        graph, violations, allow_backward, workers=suggest_workers
+    ):
+        for plan in plans:
             cost = model.plan_cost(plan)
             if cost < best_cost:
                 best, best_cost = plan, cost
@@ -154,11 +167,14 @@ def _cheapest_novel_plan(
     model: CostModel,
     allow_backward: bool,
     seen_states: set[int],
+    suggest_workers: int | None = 1,
 ) -> tuple[RepairPlan | None, float, Graph | None]:
     """The cheapest plan whose result is a graph not seen before."""
     candidates: list[tuple[float, int, RepairPlan]] = []
-    for violation in violations:
-        for plan in suggest_repairs(graph, violation, allow_backward):
+    for plans in suggest_repairs_batch(
+        graph, violations, allow_backward, workers=suggest_workers
+    ):
+        for plan in plans:
             cost = model.plan_cost(plan)
             if cost < UNREPAIRABLE:
                 candidates.append((cost, len(candidates), plan))

@@ -76,7 +76,11 @@ class RemoveAttribute(RepairOperation):
             raise RepairError(f"{self.node!r} has no attribute {self.attr!r} to remove")
         result = Graph()
         for node in graph.nodes:
-            attrs = {a: v for a, v in node.attributes.items() if not (node.id == self.node and a == self.attr)}
+            attrs = {
+                a: v
+                for a, v in node.attributes.items()
+                if not (node.id == self.node and a == self.attr)
+            }
             result.add_node(node.id, node.label, attrs)
         for s, l, t in graph.edges:
             result.add_edge(s, l, t)

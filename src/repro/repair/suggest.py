@@ -173,9 +173,38 @@ def _match_edges(graph: Graph, violation: Violation) -> set[tuple[str, str, str]
     return edges
 
 
+def suggest_repairs_batch(
+    graph: Graph,
+    violations: Sequence[Violation],
+    allow_backward: bool = True,
+    workers: int | None = 1,
+) -> list[list[RepairPlan]]:
+    """Candidate plans for many violations at once.
+
+    The result is positionally aligned with ``violations`` and each
+    entry equals ``suggest_repairs(graph, violation, allow_backward)``
+    exactly.  With ``workers`` > 1 (or ``None`` for one per CPU) the
+    per-violation suggestion — a pure read of the graph — fans out over
+    the :mod:`repro.engine` worker pool: each task ships only the
+    violation witness (rule, matched node ids, failed literals), the
+    graph having been broadcast once at pool start.
+    """
+    if workers != 1 and len(violations) > 1:
+        from repro.engine.pool import get_pool, resolve_workers
+
+        if resolve_workers(workers) > 1:
+            return get_pool(graph, workers).suggest_repairs(
+                violations, allow_backward=allow_backward
+            )
+    return [
+        suggest_repairs(graph, violation, allow_backward=allow_backward)
+        for violation in violations
+    ]
+
+
 def plan_preview(plans: Sequence[RepairPlan]) -> list[str]:
     """Human-readable rendering of candidate plans (CLI / examples)."""
     return [" + ".join(str(op) for op in plan) for plan in plans]
 
 
-__all__ = ["RepairPlan", "plan_preview", "suggest_repairs"]
+__all__ = ["RepairPlan", "plan_preview", "suggest_repairs", "suggest_repairs_batch"]

@@ -11,7 +11,6 @@ from repro.axioms import (
     Proof,
     ProofChecker,
     augmentation,
-    ged1,
     premise,
     prove,
     subset,

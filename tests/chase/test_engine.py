@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import paper
-from repro.chase import EquivalenceRelation, chase, eq_from_literals
+from repro.chase import chase, eq_from_literals
 from repro.deps import FALSE, ConstantLiteral, GED, IdLiteral, VariableLiteral, sigma_size
 from repro.graph import GraphBuilder, graph_to_dict, random_labeled_graph
 from repro.patterns import WILDCARD, Pattern

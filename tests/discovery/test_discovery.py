@@ -3,7 +3,7 @@
 import pytest
 
 from repro.deps.ged import GED
-from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.deps.literals import ConstantLiteral
 from repro.discovery.fds import discover_for_pattern, discover_gfds
 from repro.discovery.patterns import enumerate_candidate_patterns
 from repro.discovery.tableize import MISSING, build_match_table

@@ -1,0 +1,11 @@
+"""Engine test fixtures: never leak worker pools across tests."""
+
+import pytest
+
+from repro.engine import shutdown_pools
+
+
+@pytest.fixture(autouse=True)
+def _clean_pools():
+    yield
+    shutdown_pools()

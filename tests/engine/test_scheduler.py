@@ -1,0 +1,81 @@
+"""Scheduler: exact sharding into costed, largest-first work units."""
+
+import pytest
+
+from repro.engine import estimate_shard_cost, plan_tasks
+from repro.engine.scheduler import pack_units
+from repro.indexing import attach_index, detach_index
+from repro.matching.candidates import candidate_sets
+from repro.workloads import bounded_rule_set, validation_workload
+
+
+class TestPlanTasks:
+    def test_units_partition_the_pivot_pool(self):
+        graph = validation_workload(120, rng=3)
+        sigma = bounded_rule_set()
+        units = plan_tasks(graph, sigma, 4)
+        for ged in sigma:
+            ged_units = [u for u in units if u.ged is ged]
+            assert ged_units, "every dependency must contribute units"
+            pivot = ged_units[0].pivot
+            assert all(u.pivot == pivot for u in ged_units)
+            shards = [set(u.shard) for u in ged_units]
+            union = set().union(*shards)
+            assert sum(len(s) for s in shards) == len(union)  # disjoint
+            assert union == candidate_sets(ged.pattern, graph)[pivot]
+
+    def test_largest_cost_first_and_deterministic(self):
+        graph = validation_workload(120, rng=3)
+        sigma = bounded_rule_set()
+        units = plan_tasks(graph, sigma, 4)
+        costs = [u.est_cost for u in units]
+        assert costs == sorted(costs, reverse=True)
+        again = plan_tasks(graph, sigma, 4)
+        assert [(u.ged_position, u.shard_index, u.shard) for u in units] == [
+            (u.ged_position, u.shard_index, u.shard) for u in again
+        ]
+
+    def test_cost_estimate_uses_index_when_attached(self):
+        graph = validation_workload(80, rng=3)
+        shard = tuple(graph.node_ids[:10])
+        detach_index(graph)
+        raw = estimate_shard_cost(graph, shard)
+        attach_index(graph)
+        indexed = estimate_shard_cost(graph, shard)
+        assert raw == indexed  # same totals, different (O(1)) source
+        detach_index(graph)
+
+    def test_empty_sigma(self):
+        graph = validation_workload(40, rng=3)
+        assert plan_tasks(graph, [], 4) == []
+
+
+class TestPackUnits:
+    def test_all_units_kept_and_batch_count_bounded(self):
+        graph = validation_workload(120, rng=3)
+        units = plan_tasks(graph, bounded_rule_set(), 4)
+        batches = pack_units(units, 4)
+        assert len(batches) <= 4
+        flattened = [unit for batch in batches for unit in batch]
+        assert sorted(map(id, flattened)) == sorted(map(id, units))
+
+    def test_lpt_balances_loads(self):
+        graph = validation_workload(200, rng=8)
+        units = plan_tasks(graph, bounded_rule_set(), 8)
+        batches = pack_units(units, 4)
+        loads = [sum(u.est_cost for u in batch) for batch in batches]
+        assert loads == sorted(loads, reverse=True)  # dispatch heaviest first
+        # LPT guarantee: max load < mean + the largest single unit.
+        largest = max(u.est_cost for u in units)
+        assert max(loads) <= sum(loads) / len(loads) + largest
+
+    def test_more_batches_than_units(self):
+        graph = validation_workload(40, rng=3)
+        units = plan_tasks(graph, bounded_rule_set(), 2)
+        batches = pack_units(units, 100)
+        assert len(batches) == len(units)
+        assert all(len(batch) == 1 for batch in batches)
+
+    def test_invalid_batch_count(self):
+        with pytest.raises(ValueError):
+            pack_units([], 0)

@@ -1,0 +1,94 @@
+"""Snapshot roundtrips: lossless, compact, index-aware."""
+
+import pickle
+
+import pytest
+
+from repro.engine import snapshot_graph, snapshot_size
+from repro.graph.graph import Graph
+from repro.graph.io import graph_from_arrays, graph_to_arrays
+from repro.indexing import attach_index, detach_index, get_index
+from repro.workloads import synthetic_social_network, validation_workload
+
+
+def tricky_graph() -> Graph:
+    g = Graph()
+    g.add_node("a", "thing", count=1, flag=True, ratio=1.0, name="a")
+    g.add_node("b", "thing", count=1, name="a")  # shared values interned once
+    g.add_node("c", "other", blob=("nested", ("tuple", 3)))
+    g.add_edge("a", "rel", "b")
+    g.add_edge("b", "rel", "a")
+    g.add_edge("a", "other_rel", "c")
+    return g
+
+
+class TestArrays:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            tricky_graph,
+            lambda: validation_workload(150, rng=7),
+            lambda: synthetic_social_network(n_rings=2, rng=3)[0],
+            Graph,  # empty graph
+        ],
+    )
+    def test_roundtrip_equality(self, factory):
+        graph = factory()
+        assert graph_from_arrays(graph_to_arrays(graph)) == graph
+
+    def test_type_identity_preserved(self):
+        # 1, 1.0 and True are == but must not collapse in the pool.
+        g = tricky_graph()
+        restored = graph_from_arrays(graph_to_arrays(g))
+        assert restored.node("a").get("count") is not True
+        assert type(restored.node("a").get("count")) is int
+        assert type(restored.node("a").get("flag")) is bool
+        assert type(restored.node("a").get("ratio")) is float
+
+    def test_unhashable_attribute_values_survive(self):
+        g = Graph()
+        g.add_node("n", "thing", payload=["a", "list"])
+        restored = graph_from_arrays(graph_to_arrays(g))
+        assert restored.node("n").get("payload") == ["a", "list"]
+
+    def test_flat_encoding_is_smaller_than_object_pickle(self):
+        graph = validation_workload(400, rng=13)
+        flat = len(pickle.dumps(graph_to_arrays(graph), pickle.HIGHEST_PROTOCOL))
+        naive = len(pickle.dumps(graph, pickle.HIGHEST_PROTOCOL))
+        assert flat < naive / 2
+
+
+class TestSnapshot:
+    def test_restore_without_index(self):
+        graph = validation_workload(100, rng=1)
+        detach_index(graph)
+        snapshot = snapshot_graph(graph)
+        assert not snapshot.indexed
+        restored = snapshot.restore()
+        assert restored == graph
+        assert get_index(restored) is None
+
+    def test_restore_rebuilds_index(self):
+        graph = validation_workload(100, rng=1)
+        attach_index(graph)
+        snapshot = snapshot_graph(graph)
+        assert snapshot.indexed
+        restored = snapshot.restore()
+        assert restored == graph
+        index = get_index(restored)
+        assert index is not None and index.synced_version == restored.version
+
+    def test_ensure_index_attaches(self):
+        graph = validation_workload(60, rng=2)
+        detach_index(graph)
+        snapshot = snapshot_graph(graph, ensure_index=True)
+        assert snapshot.indexed
+        assert get_index(graph) is not None
+
+    def test_version_and_counts_recorded(self):
+        graph = validation_workload(60, rng=2)
+        snapshot = snapshot_graph(graph)
+        assert snapshot.version == graph.version
+        assert snapshot.num_nodes == graph.num_nodes
+        assert snapshot.num_edges == graph.num_edges
+        assert snapshot_size(snapshot) > 0

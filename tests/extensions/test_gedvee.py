@@ -14,7 +14,6 @@ from repro.extensions import (
     disjunctive_chase_satisfiable,
     domain_constraint_vee,
     ged_to_gedvees,
-    vee_find_violations,
     vee_implies,
     vee_satisfiable_smallmodel,
     vee_validates,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.chase.engine import chase
 from repro.deps.ged import GED
 from repro.deps.literals import ConstantLiteral, IdLiteral, VariableLiteral
 from repro.errors import DependencyError

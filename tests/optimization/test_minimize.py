@@ -3,8 +3,8 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.deps.ged import GED, make_gkey
-from repro.deps.literals import ConstantLiteral, IdLiteral, VariableLiteral
+from repro.deps.ged import GED
+from repro.deps.literals import ConstantLiteral, IdLiteral
 from repro.optimization.containment import equivalent_patterns
 from repro.optimization.minimize import core, is_core, minimize_pattern
 from repro.patterns.labels import WILDCARD

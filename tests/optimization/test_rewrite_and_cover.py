@@ -1,7 +1,7 @@
 """Tests for predicate pruning, constant propagation, and rule covers."""
 
 from repro.deps.ged import GED
-from repro.deps.literals import ConstantLiteral, VariableLiteral
+from repro.deps.literals import ConstantLiteral
 from repro.optimization.cover import compute_cover, structural_dedup
 from repro.optimization.rewrite import implied_constants, prune_condition
 from repro.patterns.pattern import Pattern

@@ -4,7 +4,6 @@ from repro import paper
 from repro.graph import GraphBuilder
 from repro.quality import (
     CandidateEntity,
-    album_keys,
     check_consistency,
     check_duplicate,
     detect_fake_accounts,

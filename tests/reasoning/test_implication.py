@@ -2,7 +2,7 @@
 
 from repro import paper
 from repro.deps import ConstantLiteral, GED, IdLiteral, VariableLiteral
-from repro.patterns import WILDCARD, Pattern
+from repro.patterns import Pattern
 from repro.reasoning import (
     check_implication,
     implies,

@@ -7,8 +7,6 @@ on the source instance.
 """
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.graph import complete_graph, cycle_graph, path_graph, random_connected_undirected_graph
 from repro.reasoning import implies, is_satisfiable, validates

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.deps.ged import GED
-from repro.deps.literals import FALSE, ConstantLiteral, IdLiteral, VariableLiteral
+from repro.deps.literals import FALSE, ConstantLiteral, IdLiteral
 from repro.graph.graph import Graph
 from repro.patterns.pattern import Pattern
 from repro.reasoning.validation import find_violations, validates
 from repro.repair.cost import CostModel
 from repro.repair.engine import repair
-from repro.repair.operations import DeleteEdge, RemoveAttribute, SetAttribute, apply_operations
+from repro.repair.operations import DeleteEdge, RemoveAttribute, apply_operations
 
 
 def creator_rule() -> GED:

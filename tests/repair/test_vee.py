@@ -1,6 +1,5 @@
 """Tests for GED∨ (disjunctive) repair."""
 
-import pytest
 
 from repro.deps.literals import ConstantLiteral, VariableLiteral
 from repro.extensions.gedvee import GEDVee

@@ -15,7 +15,7 @@ from repro.deps.ged import GED
 from repro.deps.literals import ConstantLiteral, IdLiteral, VariableLiteral
 from repro.discovery import discover_gfds
 from repro.graph.graph import Graph
-from repro.matching.homomorphism import count_matches, find_homomorphisms
+from repro.matching.homomorphism import find_homomorphisms
 from repro.optimization import compute_cover, minimize_pattern
 from repro.parallel import parallel_find_violations
 from repro.patterns.pattern import Pattern
