@@ -1,0 +1,195 @@
+"""Streaming benchmarks: ledger maintenance vs full revalidation.
+
+The streaming claim (ISSUE 3): maintaining the violation set with
+:class:`repro.streaming.ViolationLedger` — retirement re-checks confined
+to ledger entries meeting the batch, introduction scans confined to a
+pattern-radius ball around the batch's touched nodes — beats re-running
+:func:`~repro.reasoning.validation.find_violations` from scratch after
+every batch by **at least 5x per batch** on the churn workload, while
+staying byte-identical to it.
+
+:func:`run_streaming_bench` is the shared measurement kernel: the
+pytest entry points below assert the correctness half and emit wall
+clocks, and the CI perf gate (``benchmarks/perf_gate.py``) runs the
+same kernel against the thresholds committed in
+``benchmarks/baseline.json`` and writes ``BENCH_streaming.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py -q
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.indexing import attach_index  # noqa: E402
+from repro.reasoning import find_violations  # noqa: E402
+from repro.reasoning.incremental import apply_update  # noqa: E402
+from repro.streaming import (  # noqa: E402
+    ViolationLedger,
+    canonical_report,
+    violation_to_dict,
+)
+from repro.workloads import churn_stream  # noqa: E402
+
+DEFAULT_CONFIG = {
+    "nodes": 400,
+    "batches": 12,
+    "batch_size": 8,
+    "delete_fraction": 0.35,
+    "rng": 13,
+    "indexed": True,
+}
+
+
+def run_streaming_bench(
+    nodes: int = 400,
+    batches: int = 12,
+    batch_size: int = 8,
+    delete_fraction: float = 0.35,
+    rng: int = 13,
+    indexed: bool = True,
+) -> dict:
+    """Replay one churn stream twice — ledger-maintained vs full
+    revalidation per batch — and return records plus the speedup.
+
+    Both paths see identical graphs and the same index policy; the full
+    path pays ``find_violations`` on the whole graph after every batch,
+    the ledger path pays only its delta.  Reports are asserted equal
+    per batch (counts) and byte-identical at the end.
+    """
+    stream = churn_stream(
+        n_nodes=nodes,
+        batches=batches,
+        batch_size=batch_size,
+        delete_fraction=delete_fraction,
+        rng=rng,
+    )
+    ledger_graph = stream.base.copy()
+    full_graph = stream.base.copy()
+    if indexed:
+        attach_index(ledger_graph)
+        attach_index(full_graph)
+
+    ledger = ViolationLedger(ledger_graph, stream.sigma)
+    started = time.perf_counter()
+    ledger.bootstrap()
+    bootstrap_seconds = time.perf_counter() - started
+
+    records: list[dict] = []
+    ledger_total = 0.0
+    full_total = 0.0
+    for batch_index, update in enumerate(stream.updates, start=1):
+        started = time.perf_counter()
+        delta = ledger.refresh(update)
+        ledger_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        apply_update(full_graph, update)
+        full_report = find_violations(full_graph, stream.sigma)
+        full_seconds = time.perf_counter() - started
+
+        assert len(ledger.violations()) == len(full_report), (
+            f"batch {batch_index}: ledger {len(ledger.violations())} != "
+            f"full {len(full_report)}"
+        )
+        ledger_total += ledger_seconds
+        full_total += full_seconds
+        records.append(
+            {
+                "batch": batch_index,
+                "operations": update.size(),
+                "touched": delta.touched,
+                "introduced": len(delta.introduced),
+                "retired": len(delta.retired),
+                "updated": len(delta.updated),
+                "rechecked": delta.rechecked,
+                "ledger_wall_s": ledger_seconds,
+                "full_wall_s": full_seconds,
+                "violations": len(full_report),
+            }
+        )
+
+    ledger_bytes = [violation_to_dict(v) for v in ledger.violations()]
+    full_bytes = [
+        violation_to_dict(v)
+        for v in canonical_report(stream.sigma, find_violations(full_graph, stream.sigma))
+    ]
+    assert ledger_bytes == full_bytes, "ledger diverged from full revalidation"
+
+    return {
+        "config": {
+            "nodes": nodes,
+            "batches": batches,
+            "batch_size": batch_size,
+            "delete_fraction": delete_fraction,
+            "rng": rng,
+            "indexed": indexed,
+        },
+        "records": records,
+        "bootstrap_wall_s": bootstrap_seconds,
+        "ledger_wall_s": ledger_total,
+        "full_wall_s": full_total,
+        "speedup_per_batch": (full_total / ledger_total) if ledger_total else float("inf"),
+        "final_violations": len(ledger_bytes),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (run in CI's test job with --benchmark-disable)
+# ----------------------------------------------------------------------
+
+
+def test_ledger_matches_full_revalidation_per_batch():
+    """The correctness half of the streaming claim, on the gate's
+    workload shape (smaller size so the assertion-only run stays
+    quick); byte-identity is asserted inside the kernel."""
+    result = run_streaming_bench(nodes=150, batches=8, rng=13)
+    assert result["final_violations"] >= 0
+    assert len(result["records"]) == 8
+
+
+def test_ledger_beats_full_revalidation(benchmark=None):
+    """The performance half: ledger maintenance is faster per batch than
+    full revalidation on the committed workload (the CI gate enforces
+    the 5x floor; this in-suite check uses a conservative 2x so shared
+    test runners stay green)."""
+    result = run_streaming_bench(**DEFAULT_CONFIG)
+    assert result["speedup_per_batch"] > 2.0, (
+        f"ledger maintenance only {result['speedup_per_batch']:.1f}x faster "
+        f"than full revalidation"
+    )
+    _emit(result)
+
+
+def _emit(result: dict) -> None:
+    from benchmarks._emit import emit_bench
+
+    emit_bench(
+        "streaming",
+        result["records"],
+        meta={
+            "config": result["config"],
+            "bootstrap_wall_s": result["bootstrap_wall_s"],
+            "ledger_wall_s": result["ledger_wall_s"],
+            "full_wall_s": result["full_wall_s"],
+            "speedup_per_batch": result["speedup_per_batch"],
+            "final_violations": result["final_violations"],
+        },
+    )
+
+
+if __name__ == "__main__":
+    import json
+
+    outcome = run_streaming_bench(**DEFAULT_CONFIG)
+    _emit(outcome)
+    print(json.dumps({k: v for k, v in outcome.items() if k != "records"}, indent=2))

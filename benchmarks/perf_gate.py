@@ -1,13 +1,20 @@
 #!/usr/bin/env python
-"""The CI perf-regression gate for the engine runtime.
+"""The CI perf-regression gate for the engine runtime and streaming.
 
-Measures wall-clock for every validation backend over a worker sweep on
-the committed reference workload, asserts the violation reports are
-byte-identical across backends, writes the measurements as
-``BENCH_engine.json`` (the shared :mod:`benchmarks._emit` schema), and
-**fails** (exit 1) when the warm engine's speedup over the serial
-backend drops below the thresholds committed in
-``benchmarks/baseline.json``.
+Two gates, both against thresholds committed in
+``benchmarks/baseline.json``:
+
+* **engine** — wall-clock for every validation backend over a worker
+  sweep on the committed reference workload, asserting the violation
+  reports are byte-identical across backends; fails when the warm
+  engine's speedup over the serial backend drops below its floor.
+  Emits ``BENCH_engine.json``.
+* **streaming** — per-batch ledger maintenance
+  (:class:`repro.streaming.ViolationLedger`) versus full revalidation
+  on the committed churn workload (the kernel of
+  ``benchmarks/bench_streaming.py``, which also asserts byte-identity
+  of the maintained and recomputed reports); fails when the per-batch
+  speedup drops below its floor (≥ 5x).  Emits ``BENCH_streaming.json``.
 
 Run it locally exactly as CI does::
 
@@ -17,8 +24,10 @@ Run it locally exactly as CI does::
 The thresholds are deliberately conservative: they hold on a 1-core
 container (where the engine's edge comes from the one-time broadcast,
 warm-worker candidate caching, and index-equipped workers rather than
-true parallelism) and leave the multi-core CI runners ample margin.
-See benchmarks/README.md for the refresh procedure.
+true parallelism, and the ledger's from work proportional to each
+batch's neighborhood instead of |G|) and leave the multi-core CI
+runners ample margin.  See benchmarks/README.md for the refresh
+procedure.
 """
 
 from __future__ import annotations
@@ -178,10 +187,61 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"wrote {path}")
 
+    # ------------------------------------------------------------------
+    # Streaming gate: ledger maintenance vs full revalidation per batch.
+    # ------------------------------------------------------------------
+    from benchmarks.bench_streaming import run_streaming_bench
+
+    streaming_conf = baseline["streaming"]
+    streaming_workload = streaming_conf["workload"]
+    streaming_thresholds = streaming_conf["thresholds"]
+    print(
+        f"streaming workload: churn_stream(nodes={streaming_workload['nodes']}, "
+        f"batches={streaming_workload['batches']}, rng={streaming_workload['rng']})"
+    )
+    streaming = run_streaming_bench(
+        nodes=streaming_workload["nodes"],
+        batches=streaming_workload["batches"],
+        batch_size=streaming_workload["batch_size"],
+        delete_fraction=streaming_workload["delete_fraction"],
+        rng=streaming_workload["rng"],
+        indexed=streaming_workload["indexed"],
+    )
+    print(
+        f"  ledger maintenance   {streaming['ledger_wall_s'] * 1000:8.2f} ms "
+        f"over {streaming_workload['batches']} batch(es)"
+    )
+    print(f"  full revalidation    {streaming['full_wall_s'] * 1000:8.2f} ms")
+    print(
+        f"  ledger_vs_full_per_batch: {streaming['speedup_per_batch']:.2f}x "
+        f"(reports byte-identical; {streaming['final_violations']} final violation(s))"
+    )
+    streaming_path = emit_bench(
+        "streaming",
+        streaming["records"],
+        meta={
+            "workload": streaming_workload,
+            "bootstrap_wall_s": streaming["bootstrap_wall_s"],
+            "ledger_wall_s": streaming["ledger_wall_s"],
+            "full_wall_s": streaming["full_wall_s"],
+            "speedup_per_batch": streaming["speedup_per_batch"],
+            "final_violations": streaming["final_violations"],
+            "thresholds": streaming_thresholds,
+        },
+        directory=args.output_dir,
+    )
+    print(f"wrote {streaming_path}")
+
     if args.no_gate:
         return 0
 
     failures = []
+    if streaming["speedup_per_batch"] < streaming_thresholds["min_ledger_speedup_vs_full"]:
+        failures.append(
+            f"streaming ledger speedup over full revalidation "
+            f"{streaming['speedup_per_batch']:.2f}x < "
+            f"{streaming_thresholds['min_ledger_speedup_vs_full']}x"
+        )
     if speedups["engine_warm_vs_serial"] < thresholds["min_engine_warm_speedup_vs_serial"]:
         failures.append(
             f"engine warm speedup over serial "

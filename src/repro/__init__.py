@@ -38,7 +38,9 @@ paper's running examples as code) — plus the follow-on systems the
 paper motivates: :mod:`repro.repair` (violation-driven data cleaning),
 :mod:`repro.optimization` (pattern-query and rule-set optimization),
 :mod:`repro.parallel` (sharded parallel validation, the Section 9
-future-work direction), :mod:`repro.discovery` (GFD mining) and
+future-work direction), :mod:`repro.engine` (the persistent worker-pool
+runtime), :mod:`repro.streaming` (continuous violation maintenance over
+graph update streams), :mod:`repro.discovery` (GFD mining) and
 :mod:`repro.extensions.tgd` (graph TGDs).
 """
 

@@ -14,6 +14,7 @@ Operates on JSON files in the formats of :mod:`repro.graph.io` and
     python -m repro.cli pvalidate --graph kb.json --rules rules.json --workers 4
     python -m repro.cli index --graph kb.json [--rules rules.json]
     python -m repro.cli engine --graph kb.json --rules rules.json --workers 4
+    python -m repro.cli stream --log updates.jsonl --rules rules.json --index
 
 Rule files contain either a single GED dictionary or a list of them.
 Exit status: 0 for "yes/clean", 1 for "no/violations", 2 for usage or
@@ -247,6 +248,83 @@ def cmd_engine(args: argparse.Namespace) -> int:
     return 0 if report.valid else 1
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """`stream`: replay an update log, emit NDJSON violation deltas.
+
+    One JSON line per event on stdout: a ``bootstrap`` line (the full
+    validation of the base state), one ``delta`` line per batch
+    (introduced / retired / updated violations), and a closing
+    ``summary`` line.  The base graph comes from ``--graph`` or, when
+    omitted, from the log's leading checkpoint.  Exit 1 when violations
+    remain after the final batch.
+    """
+    from repro.graph.io import graph_from_arrays, scan_update_log, update_from_dict
+    from repro.streaming import ViolationLedger, violation_to_dict
+
+    rules = load_rules(args.rules)
+    # Raw scan: checkpoint graphs are only decoded when they serve as
+    # the base, and updates stream straight into the ledger — one delta
+    # line out per record in, without materializing the log.
+    records = scan_update_log(args.log)
+    base_seq = 0
+    if args.graph:
+        graph = load_graph(args.graph)
+    else:
+        first = next(records, None)
+        if first is None or first["type"] != "checkpoint":
+            print(
+                "error: no --graph given and the log does not start with a checkpoint",
+                file=sys.stderr,
+            )
+            return 2
+        graph = graph_from_arrays(first["arrays"])
+        base_seq = first["seq"]
+    if getattr(args, "index", False):
+        from repro.indexing import attach_index
+
+        attach_index(graph)
+    with ViolationLedger(
+        graph, rules, backend=args.backend, workers=args.workers
+    ) as ledger:
+        initial = ledger.bootstrap()
+        print(
+            json.dumps(
+                {
+                    "type": "bootstrap",
+                    "violations": len(initial),
+                    "rules": len(rules),
+                    "nodes": graph.num_nodes,
+                    "edges": graph.num_edges,
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        batches = 0
+        for record in records:
+            if record["type"] != "update" or record["seq"] <= base_seq:
+                continue
+            delta = ledger.refresh(update_from_dict(record["update"]))
+            batches += 1
+            payload = {"type": "delta", "log_seq": record["seq"], **delta.to_dict()}
+            print(json.dumps(payload, sort_keys=True), flush=True)
+        remaining = ledger.violations()
+        sample_size = 5 if args.limit is None else args.limit
+        print(
+            json.dumps(
+                {
+                    "type": "summary",
+                    "batches": batches,
+                    "violations": len(remaining),
+                    "sample": [violation_to_dict(v) for v in remaining[:sample_size]],
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        return 0 if not remaining else 1
+
+
 def cmd_index(args: argparse.Namespace) -> int:
     """`index`: build the repro.indexing bundle for a graph, print stats.
 
@@ -363,6 +441,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a repro.indexing index shared by all in-process shards",
     )
     pvalidate_cmd.set_defaults(func=cmd_pvalidate)
+
+    stream_cmd = sub.add_parser(
+        "stream",
+        help="replay a JSONL update log, emit NDJSON violation deltas per batch",
+    )
+    stream_cmd.add_argument("--log", required=True, help="JSONL update log (graph.io format)")
+    stream_cmd.add_argument("--rules", required=True)
+    stream_cmd.add_argument(
+        "--graph",
+        default=None,
+        help="base graph JSON (default: restore the log's leading checkpoint)",
+    )
+    stream_cmd.add_argument(
+        "--backend",
+        choices=["serial", "engine"],
+        default="serial",
+        help="delta path: in-process, or sharded over a warm engine pool",
+    )
+    stream_cmd.add_argument(
+        "--workers", type=int, default=None, help="engine pool size (default: one per CPU)"
+    )
+    stream_cmd.add_argument(
+        "--index",
+        action="store_true",
+        help="attach a repro.indexing index (maintained across every batch)",
+    )
+    stream_cmd.add_argument(
+        "--limit", type=int, default=None, help="violations sampled into the summary line"
+    )
+    stream_cmd.set_defaults(func=cmd_stream)
 
     index_cmd = sub.add_parser(
         "index", help="build graph indexes, print stats (and pruning with --rules)"

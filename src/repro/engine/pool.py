@@ -32,6 +32,7 @@ from repro.deps.ged import GED
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
 from repro.patterns.pattern import Pattern
+from repro.utils.registry import WeakIdRegistry
 
 from repro.engine.scheduler import TaskUnit
 from repro.engine.snapshot import GraphSnapshot, snapshot_graph
@@ -47,15 +48,20 @@ _WORKER_GRAPH: Graph | None = None
 # pool), so pools computed for one shard serve every later shard and
 # every later call on the same pattern.
 _WORKER_CANDIDATES: dict[Pattern, dict[str, set[str]]] = {}
+# Optional caller payload broadcast alongside the snapshot (e.g. the
+# streaming delta path's rule set) — shipped once per worker instead of
+# once per task.
+_WORKER_EXTRA = None
 
 
-def _initialize_worker(payload: bytes) -> None:
+def _initialize_worker(payload: bytes, extra_payload: bytes | None = None) -> None:
     """Pool initializer: rebuild graph (+ index) from the broadcast."""
     import pickle
 
-    global _WORKER_GRAPH
+    global _WORKER_GRAPH, _WORKER_EXTRA
     snapshot: GraphSnapshot = pickle.loads(payload)
     _WORKER_GRAPH = snapshot.restore()
+    _WORKER_EXTRA = pickle.loads(extra_payload) if extra_payload is not None else None
     _WORKER_CANDIDATES.clear()
 
 
@@ -63,6 +69,11 @@ def _worker_graph() -> Graph:
     if _WORKER_GRAPH is None:
         raise RuntimeError("engine worker used before its snapshot broadcast")
     return _WORKER_GRAPH
+
+
+def _worker_extra():
+    """The pool's broadcast extra payload (None when none was sent)."""
+    return _WORKER_EXTRA
 
 
 def _validate_batch(batch: tuple[TaskUnit, ...]):
@@ -137,23 +148,37 @@ def resolve_workers(workers: int | None) -> int:
 
 
 class EnginePool:
-    """A warm process pool bound to one (graph, version) snapshot."""
+    """A warm process pool bound to one (graph, version) snapshot.
 
-    def __init__(self, snapshot: GraphSnapshot, workers: int):
+    ``extra`` is an optional picklable payload broadcast to every worker
+    alongside the snapshot (readable worker-side via
+    :func:`_worker_extra`) — for per-pool-constant state like the
+    streaming delta path's rule set, which would otherwise be
+    re-pickled into every task.
+    """
+
+    def __init__(self, snapshot: GraphSnapshot, workers: int, extra=None):
+        import pickle
+
         self.snapshot = snapshot
         self.workers = workers
         self.version = snapshot.version
         self.indexed = snapshot.indexed
         payload = snapshot.payload()  # pickle the broadcast exactly once
+        extra_payload = (
+            pickle.dumps(extra, protocol=pickle.HIGHEST_PROTOCOL)
+            if extra is not None
+            else None
+        )
         self.tasks_dispatched = 0
         self.calls = 0
         self.closed = False
-        self.broadcast_bytes = len(payload)
+        self.broadcast_bytes = len(payload) + len(extra_payload or b"")
         self._plan_cache: dict[tuple[GED, ...], list[TaskUnit]] = {}
         self._executor = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_initialize_worker,
-            initargs=(payload,),
+            initargs=(payload, extra_payload),
         )
 
     # -- generic dispatch ----------------------------------------------
@@ -198,6 +223,17 @@ class EnginePool:
         """Per-violation repair plans (repair's suggestion fan-out)."""
         return self._map(_suggest_unit, [(violation, allow_backward) for violation in violations])
 
+    def run_tasks(self, fn, argument_tuples: Sequence[tuple]) -> list:
+        """Dispatch arbitrary top-level-function tasks to the warm workers.
+
+        ``fn`` must be picklable (a module-level function) and may reach
+        the broadcast graph via :func:`_worker_graph` — the extension
+        point custom workloads (e.g. the streaming delta path of
+        :mod:`repro.streaming.parallel`) use to ride the one-time
+        broadcast without a bespoke pool.
+        """
+        return self._map(fn, argument_tuples)
+
     def close(self) -> None:
         """Shut the workers down; the pool cannot be reused."""
         if not self.closed:
@@ -212,7 +248,9 @@ class EnginePool:
         )
 
 
-_pools: "weakref.WeakKeyDictionary[Graph, EnginePool]" = weakref.WeakKeyDictionary()
+# Identity-keyed for the same reason as repro.indexing.registry: a
+# WeakKeyDictionary probe would pay a structural Graph.__eq__ per call.
+_pools: WeakIdRegistry = WeakIdRegistry()
 
 
 def get_pool(graph: Graph, workers: int | None = None, *, ensure_index: bool = False) -> EnginePool:
@@ -240,7 +278,7 @@ def get_pool(graph: Graph, workers: int | None = None, *, ensure_index: bool = F
     if pool is not None:
         pool.close()
     pool = EnginePool(snapshot_graph(graph), resolved)
-    _pools[graph] = pool
+    _pools.set(graph, pool)
     # The registry holds the graph weakly: when the graph is collected
     # the pool entry vanishes, so close the workers right then instead
     # of waiting for the executor's own GC-driven shutdown (mutation

@@ -55,6 +55,11 @@ class Node:
             raise GraphError(f"attribute name must be a non-empty string, got {name!r}")
         self._attrs[name] = value
 
+    def _del_attr(self, name: str) -> None:
+        if name not in self._attrs:
+            raise GraphError(f"node {self.id!r} has no attribute {name!r}")
+        del self._attrs[name]
+
     @property
     def attributes(self) -> Mapping[str, Value]:
         """Read-only view of the node's attribute tuple (without ``id``)."""
@@ -142,13 +147,72 @@ class Graph:
         self.node(node_id)._set_attr(name, value)
         self._version += 1
 
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def remove_edge(self, source: str, label: str, target: str) -> Edge:
+        """Remove one edge; the edge must be present."""
+        edge = (source, label, target)
+        if edge not in self._edges:
+            raise GraphError(f"cannot remove missing edge {edge!r}")
+        self._edges.discard(edge)
+        targets = self._out[source][label]
+        targets.discard(target)
+        if not targets:
+            del self._out[source][label]
+        sources = self._in[target][label]
+        sources.discard(source)
+        if not sources:
+            del self._in[target][label]
+        self._version += 1
+        return edge
+
+    def remove_attribute(self, node_id: str, name: str) -> None:
+        """Delete one attribute from an existing node; both must exist."""
+        self.node(node_id)._del_attr(name)
+        self._version += 1
+
+    def remove_node(self, node_id: str) -> list[Edge]:
+        """Remove a node and (cascading) every incident edge.
+
+        Returns the removed incident edges — the dirty region a caller
+        maintaining derived structures (indexes, ledgers) must repair.
+        """
+        node = self.node(node_id)
+        incident = set(self.out_edges(node_id)) | set(self.in_edges(node_id))
+        for source, label, target in incident:
+            self._edges.discard((source, label, target))
+            targets = self._out[source].get(label)
+            if targets is not None:
+                targets.discard(target)
+                if not targets:
+                    del self._out[source][label]
+            sources = self._in[target].get(label)
+            if sources is not None:
+                sources.discard(source)
+                if not sources:
+                    del self._in[target][label]
+        del self._out[node_id]
+        del self._in[node_id]
+        del self._nodes[node_id]
+        members = self._by_label.get(node.label)
+        if members is not None:
+            members.discard(node_id)
+            if not members:
+                del self._by_label[node.label]
+        self._version += 1
+        return sorted(incident)
+
     @property
     def version(self) -> int:
         """Monotone mutation counter (see ``__init__``).
 
-        Any add_node / effective add_edge / set_attribute increments it;
+        Any add_node / effective add_edge / set_attribute — and any
+        remove_node / remove_edge / remove_attribute — increments it;
         :mod:`repro.indexing` uses it to detect indexes invalidated by
-        mutations that bypassed the maintenance layer.
+        mutations that bypassed the maintenance layer, and
+        :mod:`repro.engine` retires warm worker pools whose broadcast
+        snapshot no longer matches.
         """
         return self._version
 

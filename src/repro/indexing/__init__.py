@@ -11,10 +11,10 @@ backtracking matcher; this package gives those a per-graph bundle of
 
 built once (:func:`attach_index`), consulted transparently by
 :mod:`repro.matching.candidates` via the weak :mod:`registry
-<repro.indexing.registry>`, and patched in place under the
-:class:`~repro.reasoning.incremental.GraphUpdate` batches of the
-incremental-validation layer (:mod:`repro.indexing.maintenance`) —
-dirty-region work proportional to the batch, never a rebuild.
+<repro.indexing.registry>`, and patched in place under
+:class:`~repro.graph.update.GraphUpdate` batches — additions *and*
+deletions — by :mod:`repro.indexing.maintenance`: dirty-region work
+proportional to the batch and its neighborhood, never a rebuild.
 
 Pruning is strictly necessary-condition: with or without an index,
 ``candidate_sets`` / ``find_homomorphisms`` / ``find_violations``

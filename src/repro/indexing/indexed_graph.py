@@ -28,6 +28,8 @@ concurrent validation shards.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 from repro.graph.graph import Graph, Node, Value
 
 from repro.indexing.signatures import NeighborPair
@@ -137,6 +139,74 @@ class GraphIndexes:
             postings.discard(node_id)
             if not postings:
                 del self.attr_value[(attr, value)]
+
+    def remove_attr_posting(self, node_id: str, attr: str, value: Value) -> None:
+        """Drop one attribute entirely from a node (for deletions —
+        unlike :meth:`unindex_attr_value`, the has-attribute posting is
+        removed too, since the node no longer carries ``attr`` at all)."""
+        self.unindex_attr_value(node_id, attr, value)
+        postings = self.has_attr.get(attr)
+        if postings is not None:
+            postings.discard(node_id)
+            if not postings:
+                del self.has_attr[attr]
+
+    def unindex_node(self, node_id: str, attributes: Mapping[str, Value]) -> None:
+        """Purge every per-node slot and the node's attribute postings.
+
+        ``attributes`` is the node's attribute tuple captured *before*
+        the graph deletion (the index never stores it itself).  The
+        caller repairs the signatures of former neighbors separately
+        (see :meth:`refresh_adjacency`).
+        """
+        for attr, value in attributes.items():
+            self.remove_attr_posting(node_id, attr, value)
+        for slot in (
+            self.out_label_count,
+            self.in_label_count,
+            self.out_total,
+            self.in_total,
+            self.out_pairs,
+            self.in_pairs,
+            self.out_nbr_labels,
+            self.in_nbr_labels,
+            self.out_edge_labels,
+            self.in_edge_labels,
+        ):
+            slot.pop(node_id, None)
+
+    def refresh_adjacency(self, graph: Graph, node_id: str) -> None:
+        """Recompute a surviving node's degree counters and signatures
+        from the graph — O(degree).
+
+        Deletions are the one update class whose signature effect is not
+        a local patch: removing edge ``(s, ι, t)`` removes the pair
+        ``(ι, L(t))`` from ``s``'s out-signature only when no *other*
+        out-edge of ``s`` witnesses the same pair.  Rather than
+        maintaining per-pair witness counts, the maintenance layer
+        recomputes each dirty endpoint from the graph, which is exact
+        and still proportional to the update's neighborhood.
+        """
+        out_counts: dict[str, int] = {}
+        out_pairs: set[NeighborPair] = set()
+        for _, edge_label, target in graph.out_edges(node_id):
+            out_counts[edge_label] = out_counts.get(edge_label, 0) + 1
+            out_pairs.add((edge_label, graph.node(target).label))
+        in_counts: dict[str, int] = {}
+        in_pairs: set[NeighborPair] = set()
+        for source, edge_label, _ in graph.in_edges(node_id):
+            in_counts[edge_label] = in_counts.get(edge_label, 0) + 1
+            in_pairs.add((edge_label, graph.node(source).label))
+        self.out_label_count[node_id] = out_counts
+        self.in_label_count[node_id] = in_counts
+        self.out_total[node_id] = sum(out_counts.values())
+        self.in_total[node_id] = sum(in_counts.values())
+        self.out_pairs[node_id] = out_pairs
+        self.in_pairs[node_id] = in_pairs
+        self.out_nbr_labels[node_id] = {label for _, label in out_pairs}
+        self.in_nbr_labels[node_id] = {label for _, label in in_pairs}
+        self.out_edge_labels[node_id] = set(out_counts)
+        self.in_edge_labels[node_id] = set(in_counts)
 
     def index_edge(self, source: str, edge_label: str, target: str, *,
                    source_label: str, target_label: str) -> None:

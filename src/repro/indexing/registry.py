@@ -18,20 +18,22 @@ registered) and transparently fall back.
 
 from __future__ import annotations
 
-import weakref
-
 from repro.graph.graph import Graph
+from repro.utils.registry import WeakIdRegistry
 
 from repro.indexing.indexed_graph import GraphIndexes, build_indexes
 
-_indexes: "weakref.WeakKeyDictionary[Graph, GraphIndexes]" = weakref.WeakKeyDictionary()
+# Identity-keyed: a WeakKeyDictionary would resolve its per-lookup
+# weakref collision with Graph.__eq__ — a structural O(|G|) comparison
+# on every get_index probe (see repro.utils.registry).
+_indexes: WeakIdRegistry = WeakIdRegistry()
 
 
 def attach_index(graph: Graph) -> GraphIndexes:
     """Build and register an index for ``graph`` (replacing any prior,
     possibly stale, one).  Returns the fresh index."""
     index = build_indexes(graph)
-    _indexes[graph] = index
+    _indexes.set(graph, index)
     return index
 
 

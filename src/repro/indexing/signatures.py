@@ -10,9 +10,13 @@ graph edge ``(v, Î¹â€², w)`` with ``Î¹ â‰¼ Î¹â€²`` and ``L_Q(uâ€²) â‰¼ L(w)`` â€
 *necessary* condition only (several pattern edges may need distinct
 witnesses), which is exactly what candidate pruning is allowed to use.
 
-Signatures never shrink under the additive :class:`GraphUpdate` model
-(node labels are immutable, edges and attributes are only added), which
-is what makes their incremental maintenance a pure dirty-region patch.
+Under *additive* updates (node labels are immutable, edges and
+attributes only added) signatures never shrink, so maintenance is a
+pure set-insert patch.  Deletions can shrink them â€” a pair disappears
+only when its last witnessing edge does â€” so the maintenance layer
+recomputes the signatures of deletion-dirtied endpoints from the graph
+(:meth:`~repro.indexing.indexed_graph.GraphIndexes.refresh_adjacency`),
+still O(degree) work confined to the update's neighborhood.
 """
 
 from __future__ import annotations

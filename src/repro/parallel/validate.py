@@ -47,7 +47,7 @@ from repro.deps.ged import GED
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
 from repro.matching.homomorphism import find_homomorphisms
-from repro.reasoning.validation import Violation, literal_holds, x_literal_restrictions
+from repro.reasoning.validation import Violation, evaluate_match, x_literal_restrictions
 from repro.parallel.partition import plan_shards
 
 _BACKENDS = ("serial", "thread", "process", "engine")
@@ -129,11 +129,7 @@ def run_shard(
         ged.pattern, graph, restrict=restrict, candidates=base_candidates
     ):
         matches += 1
-        if not all(literal_holds(graph, lit, match) for lit in ged.X):
-            continue
-        failed = tuple(
-            lit for lit in sorted(ged.Y, key=str) if not literal_holds(graph, lit, match)
-        )
+        failed = evaluate_match(graph, ged, match)
         if failed:
             violations.append(Violation(ged, tuple(sorted(match.items())), failed))
     elapsed = time.perf_counter() - started

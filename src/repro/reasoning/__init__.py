@@ -29,6 +29,7 @@ from repro.reasoning.satisfiability import (
 )
 from repro.reasoning.validation import (
     Violation,
+    evaluate_match,
     find_violations,
     is_model,
     literal_holds,
@@ -50,6 +51,7 @@ __all__ = [
     "check_implication",
     "check_satisfiability",
     "concretize",
+    "evaluate_match",
     "find_violations",
     "implies",
     "implies_bounded",

@@ -9,13 +9,24 @@ in the image of its match (matches that existed before and avoided the
 changed elements evaluated exactly the same before the update, and the
 update cannot change their literal values).
 
-:func:`apply_update` applies a batch of node/edge/attribute additions;
-:func:`incremental_violations` then enumerates, per dependency, only
-the matches that touch the changed nodes (by pinning each pattern
-variable to each changed node in turn), deduplicates, and evaluates
-X → Y on those.  The result equals "new violations introduced by the
-update" (violations already present before may of course also touch
-changed nodes and be re-reported; callers diff against their ledger).
+:func:`apply_update` applies a validated batch of node/edge/attribute
+additions and deletions (see :mod:`repro.graph.update` for the batch
+semantics); :func:`incremental_violations` then enumerates, per
+dependency, only the matches that touch the changed nodes (by pinning
+each pattern variable to each changed node in turn), deduplicates, and
+evaluates X → Y on those.  The result equals "new violations introduced
+by the update" (violations already present before may of course also
+touch changed nodes and be re-reported; callers diff against their
+ledger).  The delta argument extends to deletions: removing an edge or
+node only destroys matches, and removing an attribute only changes
+literal values at the touched node — so every *introduced* violation
+still has a touched element in its image, and every *retired* one is
+found by re-checking exactly the ledger entries whose embedding meets
+the touched set.
+
+This one-shot helper keeps the callers-diff contract; the maintained,
+delta-emitting service built on the same argument — exact introduced
+*and* retired sets per batch — is :class:`repro.streaming.ViolationLedger`.
 
 This realizes the "practical special cases" direction of the paper's
 conclusion in the engineering sense: same semantics, work proportional
@@ -24,46 +35,31 @@ to the update's neighborhood.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.deps.ged import GED
-from repro.graph.graph import Graph, Value
+from repro.graph.graph import Graph
+from repro.graph.update import GraphUpdate
 from repro.matching.homomorphism import find_homomorphisms
-from repro.reasoning.validation import Violation, literal_holds
-
-
-@dataclass
-class GraphUpdate:
-    """A batch of additions/overwrites to apply to a graph.
-
-    * ``nodes`` — (id, label, attrs) for new nodes;
-    * ``edges`` — (source, label, target) for new edges;
-    * ``attrs`` — (node id, attribute, value) for attribute writes.
-    """
-
-    nodes: Sequence[tuple[str, str, Mapping[str, Value]]] = ()
-    edges: Sequence[tuple[str, str, str]] = ()
-    attrs: Sequence[tuple[str, str, Value]] = ()
-
-    def touched_nodes(self) -> set[str]:
-        """Every node id whose presence, attributes or incident edges
-        are affected by the update."""
-        touched = {node_id for node_id, _, _ in self.nodes}
-        touched |= {node_id for node_id, _, _ in self.attrs}
-        for source, _, target in self.edges:
-            touched.add(source)
-            touched.add(target)
-        return touched
+from repro.reasoning.validation import Violation, evaluate_match, literal_holds
 
 
 def apply_update(graph: Graph, update: GraphUpdate) -> Graph:
     """Apply the update in place (returns the same graph for chaining).
 
-    Index-aware: when a synced :mod:`repro.indexing` index is attached
-    to the graph, the batch is routed through the index maintenance
-    layer so the index is patched in place (dirty-region work
-    proportional to the batch) instead of going stale.
+    The whole batch is validated up front (see
+    :func:`repro.graph.update.validate_update`): a bad element raises
+    :class:`~repro.errors.GraphError` before anything mutates, so the
+    graph is never left half-updated.  Index-aware: when a synced
+    :mod:`repro.indexing` index is attached to the graph, the batch is
+    routed through the index maintenance layer so the index is patched
+    in place (dirty-region work proportional to the batch) instead of
+    going stale.  Deletions (``del_nodes`` / ``del_edges`` /
+    ``del_attrs``) are applied first, additions second — and either way
+    the graph's mutation counter advances, retiring any warm
+    :mod:`repro.engine` pool whose broadcast snapshot predates the
+    batch.
     """
     from repro.indexing.maintenance import apply_update_indexed
 
@@ -101,12 +97,7 @@ def incremental_violations(
                     if key in seen:
                         continue
                     seen.add(key)
-                    if not all(literal_holds(graph, l, match) for l in ged.X):
-                        continue
-                    failed = tuple(
-                        l for l in sorted(ged.Y, key=str)
-                        if not literal_holds(graph, l, match)
-                    )
+                    failed = evaluate_match(graph, ged, match)
                     if failed:
                         violations.append(
                             Violation(ged, tuple(sorted(match.items())), failed)
@@ -117,13 +108,18 @@ def incremental_violations(
 
 
 @dataclass
-class ViolationLedger:
-    """Tracks known violations across updates.
+class IncrementalLedger:
+    """Tracks known violations across updates (the one-shot helper).
 
     ``refresh`` ingests newly detected violations and reports which are
     genuinely new; violations whose matches disappeared (e.g. an
     attribute overwrite fixed them) are retired lazily by re-checking
-    their matches.
+    their matches.  For the maintained, exact-delta service — retired
+    and updated sets per batch, engine-pooled delta path, byte-identity
+    with full revalidation — use
+    :class:`repro.streaming.ViolationLedger` instead; this class keeps
+    the simpler additive-era contract for callers that only need
+    "what's new since my last refresh".
     """
 
     graph: Graph
@@ -162,3 +158,10 @@ class ViolationLedger:
             if x_holds and failed and is_homomorphism(violation.ged.pattern, self.graph, match):
                 still_valid.add(violation)
         self.known = still_valid
+
+
+#: Backwards-compatible alias — the class predates (and shares a name
+#: with) the streaming subsystem's exact-delta ledger; new code should
+#: say :class:`IncrementalLedger` or use
+#: :class:`repro.streaming.ViolationLedger`.
+ViolationLedger = IncrementalLedger

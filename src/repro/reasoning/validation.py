@@ -52,6 +52,27 @@ def literal_holds(graph: Graph, literal: Literal, match: Mapping[str, str]) -> b
     raise TypeError(f"unknown literal {literal!r}")
 
 
+def evaluate_match(
+    graph: Graph, ged: GED, match: Mapping[str, str]
+) -> tuple[Literal, ...] | None:
+    """The violation verdict for one match: the (non-empty, sorted-by-
+    ``str``) tuple of failed Y literals when h(x̄) |= X and some Y
+    literal fails, else ``None``.
+
+    Every violation-producing path — full validation, sharded shards,
+    the one-shot incremental scan, the streaming delta kernel and the
+    ledger's re-checks — funnels through this single evaluation, so the
+    byte-identity guarantees between them (same failed sets, same
+    ordering) rest on one definition.
+    """
+    if not all(literal_holds(graph, l, match) for l in ged.X):
+        return None
+    failed = tuple(
+        l for l in sorted(ged.Y, key=str) if not literal_holds(graph, l, match)
+    )
+    return failed or None
+
+
 @dataclass(frozen=True)
 class Violation:
     """A witness that G does not satisfy a dependency.
@@ -117,11 +138,7 @@ def find_violations(
     for ged in sigma:
         restrict = x_literal_restrictions(graph, ged)
         for match in find_homomorphisms(ged.pattern, graph, restrict=restrict):
-            if not all(literal_holds(graph, l, match) for l in ged.X):
-                continue
-            failed = tuple(
-                l for l in sorted(ged.Y, key=str) if not literal_holds(graph, l, match)
-            )
+            failed = evaluate_match(graph, ged, match)
             if failed:
                 violations.append(Violation(ged, tuple(sorted(match.items())), failed))
                 if limit is not None and len(violations) >= limit:

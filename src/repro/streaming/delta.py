@@ -1,0 +1,201 @@
+"""The streaming delta kernel: violations introduced by one update batch.
+
+A violation introduced by a batch must have a *touched element* in the
+image of its match: additions only create matches through the new
+elements, deletions only destroy matches or change literal values at
+the deleted element's node.  The kernel therefore pins each pattern
+variable to each touched node in turn — but unlike the one-shot
+:func:`repro.reasoning.incremental.incremental_violations`, it never
+hands the matcher whole-graph candidate pools.  Each pin searches only a
+**pattern-radius ball** around the pinned node:
+
+* pattern distances — for variables u, w in the same weakly connected
+  component of Q, any match sends their images to nodes within
+  undirected graph distance ``dist_Q(u, w)`` of each other (every
+  pattern edge maps to a graph edge), so w's pool is the ball of that
+  radius around the pinned node, filtered by ``≼`` on labels;
+* variables in *other* components of Q are unconstrained by the pin and
+  keep their label pools (computed once per dependency, not per pin);
+* with a synced :mod:`repro.indexing` index attached, a pin is
+  dropped before any search when the node's 1-hop neighborhood
+  signature cannot admit the variable's pattern edges
+  (:meth:`~repro.indexing.pruning.CandidatePruner.admissible`), and the
+  X-literal restriction pools of
+  :func:`~repro.reasoning.validation.x_literal_restrictions` shrink the
+  search further.
+
+All of these are necessary conditions, so the kernel finds exactly the
+violations whose match meets the touched set — work proportional to the
+update's neighborhood, not to |G|.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import lru_cache
+
+from repro.deps.ged import GED
+from repro.graph.graph import Graph
+from repro.indexing.registry import get_index
+from repro.matching.homomorphism import find_homomorphisms
+from repro.patterns.labels import WILDCARD, matches
+from repro.patterns.pattern import Pattern
+from repro.reasoning.validation import (
+    Violation,
+    evaluate_match,
+    x_literal_restrictions,
+)
+
+#: A found violation, tagged with its dependency's position in Σ (the
+#: ledger's key space; positions disambiguate equal rules).
+TaggedViolation = tuple[int, Violation]
+
+
+@lru_cache(maxsize=None)
+def pattern_distances(pattern: Pattern) -> dict[str, dict[str, int]]:
+    """Undirected pairwise distances between a pattern's variables.
+
+    ``result[u][w]`` is defined exactly for w in u's weakly connected
+    component (``result[u][u] == 0``).  Patterns are immutable and
+    shared across dependencies, so the table is memoized per pattern.
+    """
+    result: dict[str, dict[str, int]] = {}
+    for start in pattern.variables:
+        distances = {start: 0}
+        frontier = [start]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: list[str] = []
+            for variable in frontier:
+                neighbors = [t for _, t in pattern.out_edges(variable)] + [
+                    s for _, s in pattern.in_edges(variable)
+                ]
+                for neighbor in neighbors:
+                    if neighbor not in distances:
+                        distances[neighbor] = depth
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        result[start] = distances
+    return result
+
+
+def pattern_radius(pattern: Pattern) -> int:
+    """The largest pattern distance any pin can impose (max eccentricity)."""
+    distances = pattern_distances(pattern)
+    return max((d for row in distances.values() for d in row.values()), default=0)
+
+
+def ball_levels(graph: Graph, center: str, radius: int) -> list[set[str]]:
+    """Cumulative undirected BFS balls: ``levels[d]`` = nodes within
+    distance d of ``center`` (``levels[0] == {center}``)."""
+    within = {center}
+    levels = [set(within)]
+    frontier = {center}
+    for _ in range(radius):
+        next_frontier: set[str] = set()
+        for node_id in frontier:
+            next_frontier |= graph.successors(node_id)
+            next_frontier |= graph.predecessors(node_id)
+        next_frontier -= within
+        if not next_frontier:
+            # Ball saturated: reuse the last level for remaining radii.
+            levels.extend(set(within) for _ in range(radius - len(levels) + 1))
+            break
+        within |= next_frontier
+        levels.append(set(within))
+        frontier = next_frontier
+    return levels
+
+
+def _label_pool(graph: Graph, label: str) -> set[str]:
+    if label == WILDCARD:
+        return set(graph.node_ids)
+    return graph.nodes_with_label(label)
+
+
+def delta_violations(
+    graph: Graph,
+    sigma: Sequence[GED],
+    touched: Iterable[str],
+) -> list[TaggedViolation]:
+    """All violations of Σ (post-update) whose match meets ``touched``.
+
+    ``graph`` must already have the update applied; touched ids that no
+    longer exist (deletions) are skipped — they cannot host matches.
+    Deterministic: dependencies in Σ order, pinned nodes sorted, the
+    matcher's own enumeration order within each pin; duplicates (one
+    match meeting several touched nodes) are reported once, and the
+    per-dependency de-duplication works across calls only through the
+    ledger (each call stands alone).
+    """
+    live = sorted(node_id for node_id in set(touched) if graph.has_node(node_id))
+    if not live:
+        return []
+    index = get_index(graph)
+    pruner = None
+    if index is not None:
+        from repro.indexing.pruning import CandidatePruner
+
+        pruner = CandidatePruner(graph, index)
+
+    radius = max((pattern_radius(ged.pattern) for ged in sigma), default=0)
+    balls: dict[str, list[set[str]]] = {}
+    found: list[TaggedViolation] = []
+
+    for dep_index, ged in enumerate(sigma):
+        pattern = ged.pattern
+        restrict = x_literal_restrictions(graph, ged)
+        distances = pattern_distances(pattern)
+        # Label pools for variables in *other* components, shared by
+        # every pin of this dependency.
+        free_pools: dict[str, set[str]] = {}
+        seen: set[tuple[tuple[str, str], ...]] = set()
+        for node_id in live:
+            node_label = graph.node(node_id).label
+            for variable in pattern.variables:
+                if not matches(pattern.label_of(variable), node_label):
+                    continue
+                if pruner is not None and not pruner.admissible(pattern, variable, node_id):
+                    continue
+                levels = balls.get(node_id)
+                if levels is None:
+                    levels = balls[node_id] = ball_levels(graph, node_id, radius)
+                reachable = distances[variable]
+                pools: dict[str, set[str]] = {}
+                for other in pattern.variables:
+                    if other == variable:
+                        pools[other] = {node_id}
+                        continue
+                    label = pattern.label_of(other)
+                    distance = reachable.get(other)
+                    if distance is None:  # different component: label pool
+                        pool = free_pools.get(other)
+                        if pool is None:
+                            pool = free_pools[other] = _label_pool(graph, label)
+                        pools[other] = pool
+                    else:
+                        ball = levels[min(distance, len(levels) - 1)]
+                        pools[other] = {
+                            m for m in ball if matches(label, graph.node(m).label)
+                        }
+                for match in find_homomorphisms(
+                    pattern, graph, restrict=restrict, candidates=pools
+                ):
+                    key = tuple(sorted(match.items()))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    failed = evaluate_match(graph, ged, match)
+                    if failed:
+                        found.append((dep_index, Violation(ged, key, failed)))
+    return found
+
+
+__all__ = [
+    "TaggedViolation",
+    "ball_levels",
+    "delta_violations",
+    "pattern_distances",
+    "pattern_radius",
+]

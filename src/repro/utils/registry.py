@@ -1,0 +1,60 @@
+"""A weak registry keyed by object *identity*.
+
+:class:`weakref.WeakKeyDictionary` hashes keys with ``hash()`` but
+resolves bucket collisions — including the unavoidable one between the
+stored weakref and the fresh weakref created per lookup — with ``==``
+on the *referents*.  For :class:`~repro.graph.graph.Graph`, whose
+``__eq__`` is structural (nodes, attributes, edges), that turns every
+registry probe into an O(|G|) graph comparison: invisible on toy
+graphs, dominant on the streaming hot path where ``get_index`` runs
+per batch against production-sized graphs.
+
+:class:`WeakIdRegistry` keeps the same weak semantics — an entry
+neither keeps its graph alive nor survives it — but keys by ``id()``,
+so probes are O(1) dictionary hits on integers.  A weakref death
+callback removes the entry before the id can be reused (CPython frees
+the object only after its callbacks ran).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Iterator
+
+
+class WeakIdRegistry:
+    """``object -> value`` with weak, identity-keyed entries."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[weakref.ref, Any]] = {}
+
+    def get(self, key: object, default: Any = None) -> Any:
+        entry = self._entries.get(id(key))
+        return entry[1] if entry is not None else default
+
+    def set(self, key: object, value: Any) -> None:
+        slot = id(key)
+
+        def _cleanup(_ref: weakref.ref, slot: int = slot) -> None:
+            self._entries.pop(slot, None)
+
+        self._entries[slot] = (weakref.ref(key, _cleanup), value)
+
+    def pop(self, key: object, default: Any = None) -> Any:
+        entry = self._entries.pop(id(key), None)
+        return entry[1] if entry is not None else default
+
+    def __contains__(self, key: object) -> bool:
+        return id(key) in self._entries
+
+    def values(self) -> Iterator[Any]:
+        return iter([value for _, value in self._entries.values()])
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+__all__ = ["WeakIdRegistry"]

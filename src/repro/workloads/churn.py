@@ -1,0 +1,230 @@
+"""Churn streams: seeded insert/delete/attr-write workloads.
+
+The streaming subsystem's benchmark and property tests need *valid*
+update streams — every batch must pass
+:func:`repro.graph.update.validate_update` against the state the stream
+has reached — with a controllable mix of additions, attribute writes and
+deletions over the repository's standard workload graphs (the
+random-graph validation workload and the social network with planted
+spam rings).
+
+The generator mirrors the batch semantics exactly: each batch's
+deletions are chosen against (and applied to) a shadow state first, its
+additions against the post-deletion state second, so generated batches
+replay cleanly through every apply path.  Streams are fully determined
+by their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.deps.ged import GED
+from repro.graph.graph import Graph
+from repro.graph.update import GraphUpdate
+
+from repro.workloads.random_graphs import bounded_rule_set, validation_workload
+from repro.workloads.social import synthetic_social_network
+
+
+@dataclass
+class ChurnStream:
+    """A base graph, a rule set, and a seeded stream of update batches.
+
+    ``base`` is the state before batch 1; callers that mutate it should
+    work on a copy (``base.copy()``) if they need the original later.
+    """
+
+    base: Graph
+    sigma: list[GED]
+    updates: list[GraphUpdate] = field(default_factory=list)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.updates)
+
+    def total_operations(self) -> int:
+        return sum(update.size() for update in self.updates)
+
+
+def _spam_rule_set() -> list[GED]:
+    """A small rule set for the social churn stream (Example 1 flavor:
+    posters of keyword-sharing blogs must carry the fake flag)."""
+    from repro.deps.literals import ConstantLiteral, VariableLiteral
+    from repro.patterns.pattern import Pattern
+
+    poster = Pattern({"x": "account", "z": "blog"}, [("x", "post", "z")])
+    liker = Pattern({"x": "account", "y": "blog"}, [("x", "like", "y")])
+    return [
+        GED(
+            poster,
+            [ConstantLiteral("z", "keyword", "peculiar")],
+            [ConstantLiteral("x", "is_fake", 1)],
+            name="peculiar-posters-are-fake",
+        ),
+        GED(
+            liker,
+            [],
+            [VariableLiteral("x", "is_fake", "x", "is_fake")],
+            name="likers-carry-fake-flag",
+        ),
+    ]
+
+
+class _ChurnGenerator:
+    """Shared batch generator over a shadow copy of the evolving graph."""
+
+    def __init__(
+        self,
+        shadow: Graph,
+        rng: random.Random,
+        *,
+        node_labels: list[str],
+        edge_labels: list[str],
+        attribute_names: list[str],
+        attribute_values: list[object],
+        delete_fraction: float,
+        min_nodes: int,
+        id_prefix: str,
+    ):
+        self.shadow = shadow
+        self.rng = rng
+        self.node_labels = node_labels
+        self.edge_labels = edge_labels
+        self.attribute_names = attribute_names
+        self.attribute_values = attribute_values
+        self.delete_fraction = delete_fraction
+        self.min_nodes = min_nodes
+        self.id_prefix = id_prefix
+        self.counter = 0
+
+    def batch(self, batch_size: int) -> GraphUpdate:
+        rng, shadow = self.rng, self.shadow
+        del_nodes: list[str] = []
+        del_edges: list[tuple[str, str, str]] = []
+        del_attrs: list[tuple[str, str]] = []
+        nodes: list[tuple[str, str, dict]] = []
+        edges: list[tuple[str, str, str]] = []
+        attrs: list[tuple[str, str, object]] = []
+
+        # -- deletions against the current shadow state ----------------
+        deletions = sum(1 for _ in range(batch_size) if rng.random() < self.delete_fraction)
+        for _ in range(deletions):
+            kind = rng.choice(("edge", "attr", "node"))
+            if kind == "edge" and shadow.num_edges:
+                edge = rng.choice(sorted(shadow.edges))
+                shadow.remove_edge(*edge)
+                del_edges.append(edge)
+            elif kind == "attr":
+                carriers = [n for n in shadow.node_ids if shadow.node(n).attributes]
+                if carriers:
+                    node_id = rng.choice(carriers)
+                    attr = rng.choice(sorted(shadow.node(node_id).attributes))
+                    shadow.remove_attribute(node_id, attr)
+                    del_attrs.append((node_id, attr))
+            elif kind == "node" and shadow.num_nodes > self.min_nodes:
+                node_id = rng.choice(shadow.node_ids)
+                shadow.remove_node(node_id)
+                del_nodes.append(node_id)
+
+        # -- additions against the post-deletion state -----------------
+        additions = max(1, batch_size - deletions)
+        for _ in range(additions):
+            kind = rng.choice(("node", "edge", "attr"))
+            if kind == "node":
+                self.counter += 1
+                node_id = f"{self.id_prefix}{self.counter}"
+                label = rng.choice(self.node_labels)
+                node_attrs = {}
+                if rng.random() < 0.8:
+                    node_attrs[rng.choice(self.attribute_names)] = rng.choice(
+                        self.attribute_values
+                    )
+                shadow.add_node(node_id, label, node_attrs)
+                nodes.append((node_id, label, node_attrs))
+                if shadow.num_nodes > 1:
+                    other = rng.choice([n for n in shadow.node_ids if n != node_id])
+                    edge_label = rng.choice(self.edge_labels)
+                    source, target = (node_id, other) if rng.random() < 0.5 else (other, node_id)
+                    shadow.add_edge(source, edge_label, target)
+                    edges.append((source, edge_label, target))
+            elif kind == "edge" and shadow.num_nodes > 1:
+                source, target = rng.sample(shadow.node_ids, 2)
+                edge_label = rng.choice(self.edge_labels)
+                shadow.add_edge(source, edge_label, target)
+                edges.append((source, edge_label, target))
+            elif kind == "attr" and shadow.num_nodes:
+                node_id = rng.choice(shadow.node_ids)
+                attr = rng.choice(self.attribute_names)
+                value = rng.choice(self.attribute_values)
+                shadow.set_attribute(node_id, attr, value)
+                attrs.append((node_id, attr, value))
+
+        return GraphUpdate(nodes, edges, attrs, del_nodes, del_edges, del_attrs)
+
+
+def churn_stream(
+    n_nodes: int = 200,
+    batches: int = 20,
+    batch_size: int = 8,
+    delete_fraction: float = 0.35,
+    rng: random.Random | int | None = None,
+) -> ChurnStream:
+    """A churn stream over the random-graph validation workload.
+
+    ``delete_fraction`` is the expected share of each batch's operations
+    that are deletions (edge / attribute / node, uniformly); the rest
+    are node adds (usually wired into the graph), edge adds, and
+    attribute writes.  Rules: :func:`bounded_rule_set`.
+    """
+    seed = rng if not isinstance(rng, random.Random) else None
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng or 0)
+    base = validation_workload(n_nodes, rng=seed if seed is not None else 0)
+    generator = _ChurnGenerator(
+        base.copy(),
+        rng,
+        node_labels=["user", "item", "shop"],
+        edge_labels=["buys", "sells", "rates"],
+        attribute_names=["score", "region"],
+        attribute_values=[1, 2, 3],
+        delete_fraction=delete_fraction,
+        min_nodes=max(4, n_nodes // 4),
+        id_prefix="churn",
+    )
+    updates = [generator.batch(batch_size) for _ in range(batches)]
+    return ChurnStream(base, bounded_rule_set(), updates)
+
+
+def social_churn_stream(
+    n_rings: int = 8,
+    batches: int = 20,
+    batch_size: int = 8,
+    delete_fraction: float = 0.35,
+    rng: random.Random | int | None = None,
+) -> ChurnStream:
+    """A churn stream over the social network with planted spam rings.
+
+    Accounts appear and vanish, likes/posts are added and retracted,
+    fake flags and keywords get written and deleted — the traffic shape
+    of the paper's Example 1 (2) under continuous moderation.
+    """
+    seed_value = rng if not isinstance(rng, random.Random) else 0
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng or 0)
+    base, _truth = synthetic_social_network(n_rings=n_rings, rng=seed_value or 0)
+    generator = _ChurnGenerator(
+        base.copy(),
+        rng,
+        node_labels=["account", "blog"],
+        edge_labels=["post", "like"],
+        attribute_names=["is_fake", "keyword"],
+        attribute_values=[0, 1, "peculiar", "benign"],
+        delete_fraction=delete_fraction,
+        min_nodes=max(4, base.num_nodes // 4),
+        id_prefix="soc",
+    )
+    updates = [generator.batch(batch_size) for _ in range(batches)]
+    return ChurnStream(base, _spam_rule_set(), updates)
+
+
+__all__ = ["ChurnStream", "churn_stream", "social_churn_stream"]

@@ -22,7 +22,7 @@ from repro.indexing import (
 from repro.reasoning import find_violations
 from repro.reasoning.incremental import (
     GraphUpdate,
-    ViolationLedger,
+    IncrementalLedger,
     apply_update,
     incremental_violations,
 )
@@ -139,8 +139,8 @@ class TestIncrementalValidationEquality:
         indexed_graph = validation_workload(50, rng=seed)
         plain_graph = validation_workload(50, rng=seed)
         attach_index(indexed_graph)
-        led_indexed = ViolationLedger(indexed_graph, sigma)
-        led_plain = ViolationLedger(plain_graph, sigma)
+        led_indexed = IncrementalLedger(indexed_graph, sigma)
+        led_plain = IncrementalLedger(plain_graph, sigma)
         assert set(led_indexed.bootstrap()) == set(led_plain.bootstrap())
         for round_no in range(4):
             update = random_update(indexed_graph, rng, f"{seed}_{round_no}")

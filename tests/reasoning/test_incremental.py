@@ -12,7 +12,7 @@ from repro.patterns import Pattern
 from repro.reasoning import find_violations
 from repro.reasoning.incremental import (
     GraphUpdate,
-    ViolationLedger,
+    IncrementalLedger,
     apply_update,
     incremental_violations,
 )
@@ -120,6 +120,11 @@ class TestIncrementalViolations:
 
 
 class TestLedger:
+    def test_backwards_compatible_alias(self):
+        from repro.reasoning.incremental import ViolationLedger
+
+        assert ViolationLedger is IncrementalLedger
+
     def test_ledger_lifecycle(self):
         g = (
             GraphBuilder()
@@ -128,7 +133,7 @@ class TestLedger:
             .edge("fin", "capital", "hel")
             .build()
         )
-        ledger = ViolationLedger(g, [paper.phi2()])
+        ledger = IncrementalLedger(g, [paper.phi2()])
         assert ledger.bootstrap() == []
         # Break it.
         new = ledger.refresh(
