@@ -23,12 +23,29 @@ from __future__ import annotations
 import json
 import os
 import platform
+import time
 from pathlib import Path
 from typing import Any
 
 DEFAULT_DIR = Path(__file__).resolve().parent / "out"
 
 FORMAT_VERSION = 1
+
+
+def measure(call, repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall clock (noise-robust on shared runners).
+
+    The one timing helper the perf gate and the bench kernels share, so
+    a methodology change (warm-ups, median) reaches all of them at once.
+    """
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = call()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
 
 
 def bench_payload(
@@ -65,4 +82,4 @@ def emit_bench(
     return path
 
 
-__all__ = ["DEFAULT_DIR", "FORMAT_VERSION", "bench_payload", "emit_bench"]
+__all__ = ["DEFAULT_DIR", "FORMAT_VERSION", "bench_payload", "emit_bench", "measure"]

@@ -1,9 +1,15 @@
 #!/usr/bin/env python
-"""The CI perf-regression gate for the engine runtime and streaming.
+"""The CI perf-regression gate for the matching core, engine runtime
+and streaming.
 
-Two gates, both against thresholds committed in
+Three gates, all against thresholds committed in
 ``benchmarks/baseline.json``:
 
+* **matching** — plan-compiled validation versus the seed interpreter
+  on the committed reference workload (the kernel of
+  ``benchmarks/bench_matching.py``, which also asserts byte-identical
+  violation reports and match streams); fails when the compiled-plan
+  speedup drops below its floor (≥ 3x).  Emits ``BENCH_matching.json``.
 * **engine** — wall-clock for every validation backend over a worker
   sweep on the committed reference workload, asserting the violation
   reports are byte-identical across backends; fails when the warm
@@ -22,11 +28,14 @@ Run it locally exactly as CI does::
     python benchmarks/perf_gate.py --no-gate      # measure + emit only
 
 The thresholds are deliberately conservative: they hold on a 1-core
-container (where the engine's edge comes from the one-time broadcast,
-warm-worker candidate caching, and index-equipped workers rather than
-true parallelism, and the ledger's from work proportional to each
-batch's neighborhood instead of |G|) and leave the multi-core CI
-runners ample margin.  See benchmarks/README.md for the refresh
+container and leave the multi-core CI runners ample margin.  Since the
+plan-compiled matching core, the *serial* baseline enjoys the same
+per-pattern compilation caching warm engine workers do, so on one core
+the engine's contract is broadcast amortization (warm vs cold-process
+floor) plus a bounded-dispatch-overhead sanity floor vs serial — its
+vs-serial edge is real parallel scale-out, which a 1-core container
+cannot show.  The ledger's edge is work proportional to each batch's
+neighborhood instead of |G|.  See benchmarks/README.md for the refresh
 procedure.
 """
 
@@ -35,7 +44,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -43,21 +51,9 @@ for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
-from benchmarks._emit import emit_bench  # noqa: E402
+from benchmarks._emit import emit_bench, measure  # noqa: E402
 
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
-
-
-def measure(call, repeats: int) -> tuple[float, object]:
-    """Best-of-``repeats`` wall clock (noise-robust on shared runners)."""
-    best = None
-    result = None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        result = call()
-        elapsed = time.perf_counter() - started
-        best = elapsed if best is None else min(best, elapsed)
-    return best, result
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,6 +78,48 @@ def main(argv: list[str] | None = None) -> int:
     gate_workers = baseline["gate_workers"]
     repeats = baseline["repeats"]
     thresholds = baseline["thresholds"]
+
+    # ------------------------------------------------------------------
+    # Matching gate: plan-compiled validation vs the seed interpreter.
+    # ------------------------------------------------------------------
+    from benchmarks.bench_matching import run_matching_bench
+
+    matching_conf = baseline["matching"]
+    matching_workload = matching_conf["workload"]
+    matching_thresholds = matching_conf["thresholds"]
+    print(
+        f"matching workload: validation_workload({matching_workload['nodes']}, "
+        f"rng={matching_workload['rng']}), best of {matching_conf['repeats']}"
+    )
+    matching = run_matching_bench(
+        nodes=matching_workload["nodes"],
+        rng=matching_workload["rng"],
+        repeats=matching_conf["repeats"],
+    )
+    for record in matching["records"]:
+        print(
+            f"  {record['matcher']:<5} ({record['mode']:<9})  "
+            f"{record['wall_s'] * 1000:8.2f} ms  "
+            f"{record['violations']} violation(s)"
+        )
+    print(
+        f"  plan_vs_seed: {matching['speedup_unindexed']:.2f}x unindexed, "
+        f"{matching['speedup_indexed']:.2f}x indexed "
+        f"(streams byte-identical)"
+    )
+    matching_path = emit_bench(
+        "matching",
+        matching["records"],
+        meta={
+            "workload": matching_workload,
+            "repeats": matching_conf["repeats"],
+            "speedup_unindexed": matching["speedup_unindexed"],
+            "speedup_indexed": matching["speedup_indexed"],
+            "thresholds": matching_thresholds,
+        },
+        directory=args.output_dir,
+    )
+    print(f"wrote {matching_path}")
 
     graph = validation_workload(workload["nodes"], rng=workload["rng"])
     sigma = bounded_rule_set()
@@ -236,6 +274,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failures = []
+    if matching["speedup_unindexed"] < matching_thresholds["min_plan_speedup_vs_seed"]:
+        failures.append(
+            f"plan-compiled validation speedup over the seed interpreter "
+            f"{matching['speedup_unindexed']:.2f}x < "
+            f"{matching_thresholds['min_plan_speedup_vs_seed']}x"
+        )
     if streaming["speedup_per_batch"] < streaming_thresholds["min_ledger_speedup_vs_full"]:
         failures.append(
             f"streaming ledger speedup over full revalidation "
@@ -256,6 +300,15 @@ def main(argv: list[str] | None = None) -> int:
             f"engine warm speedup over indexed serial "
             f"{speedups['engine_warm_vs_serial_indexed']:.2f}x < "
             f"{thresholds['min_engine_warm_speedup_vs_serial_indexed']}x"
+        )
+    if (
+        speedups["engine_warm_vs_process_cold"]
+        < thresholds["min_engine_warm_speedup_vs_process_cold"]
+    ):
+        failures.append(
+            f"engine warm speedup over a cold one-shot process pool "
+            f"{speedups['engine_warm_vs_process_cold']:.2f}x < "
+            f"{thresholds['min_engine_warm_speedup_vs_process_cold']}x"
         )
     if failures:
         for failure in failures:

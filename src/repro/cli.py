@@ -13,6 +13,7 @@ Operates on JSON files in the formats of :mod:`repro.graph.io` and
     python -m repro.cli cover --rules rules.json -o cover.json
     python -m repro.cli pvalidate --graph kb.json --rules rules.json --workers 4
     python -m repro.cli index --graph kb.json [--rules rules.json]
+    python -m repro.cli explain --graph kb.json --rules rules.json --index
     python -m repro.cli engine --graph kb.json --rules rules.json --workers 4
     python -m repro.cli stream --log updates.jsonl --rules rules.json --index
 
@@ -325,6 +326,41 @@ def cmd_stream(args: argparse.Namespace) -> int:
         return 0 if not remaining else 1
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """`explain`: print each rule's compiled match plan for a graph.
+
+    Shows the plan-compiled matching core's decisions: the interned
+    graph view the plan binds to, per-variable candidate pools, the
+    cost-ordered step list (scan / extend with its edge checks and
+    self-loop checks, estimated per-frame cost), and the attr-filter
+    stage derived from the rule's X constant literals (applied through
+    the attribute inverted index at match time when an index is
+    attached).
+    """
+    from repro.deps.literals import ConstantLiteral
+    from repro.matching.plan import compile_plan
+
+    graph = load_graph(args.graph)
+    rules = load_rules(args.rules)
+    if getattr(args, "index", False):
+        from repro.indexing import attach_index
+
+        attach_index(graph)
+    for position, ged in enumerate(rules):
+        if position:
+            print()
+        print(f"== {ged.name or 'GED'} ==")
+        plan = compile_plan(graph, ged.pattern)
+        print(plan.explain())
+        filters = [l for l in ged.X if isinstance(l, ConstantLiteral)]
+        for literal in filters:
+            source = (
+                "attribute inverted index" if plan.indexed else "no index — full pools"
+            )
+            print(f"  attr-filter {literal.var}: {literal}  [{source}]")
+    return 0
+
+
 def cmd_index(args: argparse.Namespace) -> int:
     """`index`: build the repro.indexing bundle for a graph, print stats.
 
@@ -471,6 +507,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, help="violations sampled into the summary line"
     )
     stream_cmd.set_defaults(func=cmd_stream)
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="print the compiled match plan (steps, pools, costs) for each rule",
+    )
+    explain_cmd.add_argument("--graph", required=True)
+    explain_cmd.add_argument("--rules", required=True)
+    explain_cmd.add_argument(
+        "--index",
+        action="store_true",
+        help="attach a repro.indexing index before compiling (pruned pools, live attr filters)",
+    )
+    explain_cmd.set_defaults(func=cmd_explain)
 
     index_cmd = sub.add_parser(
         "index", help="build graph indexes, print stats (and pruning with --rules)"

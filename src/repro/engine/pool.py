@@ -43,11 +43,6 @@ from repro.engine.snapshot import GraphSnapshot, snapshot_graph
 # ----------------------------------------------------------------------
 
 _WORKER_GRAPH: Graph | None = None
-# Per-pattern candidate pools, memoized for the worker's lifetime: the
-# worker graph never mutates (a coordinator mutation retires the whole
-# pool), so pools computed for one shard serve every later shard and
-# every later call on the same pattern.
-_WORKER_CANDIDATES: dict[Pattern, dict[str, set[str]]] = {}
 # Optional caller payload broadcast alongside the snapshot (e.g. the
 # streaming delta path's rule set) — shipped once per worker instead of
 # once per task.
@@ -55,14 +50,21 @@ _WORKER_EXTRA = None
 
 
 def _initialize_worker(payload: bytes, extra_payload: bytes | None = None) -> None:
-    """Pool initializer: rebuild graph (+ index) from the broadcast."""
+    """Pool initializer: rebuild graph (+ index + plans) from the broadcast.
+
+    Compiled match plans memoize automatically from here on: the worker
+    graph never mutates (a coordinator mutation retires the whole
+    pool), so its :mod:`repro.matching.view` view — and every
+    :class:`~repro.matching.plan.MatchPlan` cached on it, including the
+    ones the snapshot shipped ready-made — stays warm for the worker's
+    lifetime and serves every later shard of the same pattern.
+    """
     import pickle
 
     global _WORKER_GRAPH, _WORKER_EXTRA
     snapshot: GraphSnapshot = pickle.loads(payload)
     _WORKER_GRAPH = snapshot.restore()
     _WORKER_EXTRA = pickle.loads(extra_payload) if extra_payload is not None else None
-    _WORKER_CANDIDATES.clear()
 
 
 def _worker_graph() -> Graph:
@@ -81,30 +83,18 @@ def _validate_batch(batch: tuple[TaskUnit, ...]):
 
     One batch is one round trip: the scheduler packs units so a call
     dispatches a handful of balanced futures instead of one per unit.
-    Candidate pools are computed once per pattern and memoized for the
-    worker's lifetime.
+    Match plans are compiled (or were shipped in the broadcast) once per
+    pattern and stay memoized on the worker's graph view for its
+    lifetime — the shard kernel hits the warm plan through the ordinary
+    matching API.
     """
-    from repro.matching.candidates import candidate_sets
     from repro.parallel.validate import run_shard
 
     graph = _worker_graph()
-    results = []
-    for unit in batch:
-        base = _WORKER_CANDIDATES.get(unit.ged.pattern)
-        if base is None:
-            base = candidate_sets(unit.ged.pattern, graph)
-            _WORKER_CANDIDATES[unit.ged.pattern] = base
-        results.append(
-            run_shard(
-                graph,
-                unit.ged,
-                unit.pivot,
-                unit.shard,
-                unit.shard_index,
-                base_candidates=base,
-            )
-        )
-    return results
+    return [
+        run_shard(graph, unit.ged, unit.pivot, unit.shard, unit.shard_index)
+        for unit in batch
+    ]
 
 
 def _count_pattern(pattern: Pattern) -> int:
@@ -253,10 +243,22 @@ class EnginePool:
 _pools: WeakIdRegistry = WeakIdRegistry()
 
 
-def get_pool(graph: Graph, workers: int | None = None, *, ensure_index: bool = False) -> EnginePool:
+def get_pool(
+    graph: Graph,
+    workers: int | None = None,
+    *,
+    ensure_index: bool = False,
+    patterns=None,
+) -> EnginePool:
     """The warm pool for ``graph``, broadcasting a snapshot only when
     no current pool matches (same mutation version, worker count, and
-    index attachment — any mismatch retires the old pool)."""
+    index attachment — any mismatch retires the old pool).
+
+    ``patterns`` (when a fresh pool must be built) embeds those
+    patterns' compiled candidate pools in the broadcast so workers
+    start with warm plans; a reused pool ignores it (its workers
+    compiled and memoized the plans on first use).
+    """
     resolved = resolve_workers(workers)
     if ensure_index:
         # Attaching registers in the weak index registry only; the
@@ -277,7 +279,7 @@ def get_pool(graph: Graph, workers: int | None = None, *, ensure_index: bool = F
         return pool
     if pool is not None:
         pool.close()
-    pool = EnginePool(snapshot_graph(graph), resolved)
+    pool = EnginePool(snapshot_graph(graph, patterns=patterns), resolved)
     _pools.set(graph, pool)
     # The registry holds the graph weakly: when the graph is collected
     # the pool entry vanishes, so close the workers right then instead

@@ -30,6 +30,10 @@ ID_ATTRIBUTE = "id"
 Value = Hashable
 Edge = tuple[str, str, str]
 
+#: Shared empty adjacency row (returned by the read-only row accessors
+#: for absent labels; frozen so accidental mutation fails loudly).
+_EMPTY_ROW: frozenset = frozenset()
+
 
 class Node:
     """A graph node: identity, label, and a schemaless attribute tuple."""
@@ -281,6 +285,26 @@ class Graph:
             result |= sources
         return result
 
+    def out_row(self, node_id: str, label: str) -> "set[str] | frozenset[str]":
+        """The internal successor set for one label — **read-only**.
+
+        Unlike :meth:`successors`, no copy is made; the returned set is
+        the live adjacency index and must not be mutated.  This is the
+        matching executor's per-probe row access (the seed matcher paid
+        one set copy per edge check here).
+        """
+        row = self._out.get(node_id)
+        if row is None:
+            raise GraphError(f"unknown node {node_id!r}")
+        return row.get(label, _EMPTY_ROW)
+
+    def in_row(self, node_id: str, label: str) -> "set[str] | frozenset[str]":
+        """The internal predecessor set for one label — **read-only**."""
+        row = self._in.get(node_id)
+        if row is None:
+            raise GraphError(f"unknown node {node_id!r}")
+        return row.get(label, _EMPTY_ROW)
+
     def out_edges(self, node_id: str) -> Iterator[Edge]:
         for label, targets in self._out.get(node_id, {}).items():
             for target in targets:
@@ -291,11 +315,23 @@ class Graph:
             for source in sources:
                 yield (source, label, node_id)
 
-    def out_degree(self, node_id: str) -> int:
-        return sum(len(t) for t in self._out.get(node_id, {}).values())
+    def out_degree(self, node_id: str, label: str | None = None) -> int:
+        """Out-degree; with ``label``, only edges carrying that label.
 
-    def in_degree(self, node_id: str) -> int:
-        return sum(len(s) for s in self._in.get(node_id, {}).values())
+        The per-label form answers from the adjacency index's set sizes
+        (O(1)) — degree pruning's probe, with no successor-set copy.
+        """
+        index = self._out.get(node_id, {})
+        if label is not None:
+            return len(index.get(label, ()))
+        return sum(len(t) for t in index.values())
+
+    def in_degree(self, node_id: str, label: str | None = None) -> int:
+        """In-degree; with ``label``, only edges carrying that label."""
+        index = self._in.get(node_id, {})
+        if label is not None:
+            return len(index.get(label, ()))
+        return sum(len(s) for s in index.values())
 
     @property
     def num_nodes(self) -> int:

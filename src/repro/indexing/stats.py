@@ -1,4 +1,5 @@
-"""Index statistics — what the CLI ``index`` command prints.
+"""Index statistics — what the CLI ``index`` command prints, plus the
+selectivity profile feeding the match-plan cost model.
 
 Numbers are structural (entry and posting counts), not byte sizes:
 machine-independent, and the right scale for judging whether attaching
@@ -7,7 +8,7 @@ an index to a given graph pays for itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.graph.graph import Graph
 
@@ -62,4 +63,58 @@ def index_stats(graph: Graph, index: GraphIndexes) -> IndexStats:
     )
 
 
-__all__ = ["IndexStats", "index_stats"]
+@dataclass(frozen=True)
+class MatchCostProfile:
+    """Selectivity statistics consumed by the match-plan cost model.
+
+    ``label_counts`` — nodes per node label (scan-step cardinality);
+    ``edge_label_counts`` — edges per edge label (extension fan-out
+    numerator).  Derived from the attached index's per-label degree
+    counters when one is synced, else from one pass over the graph.
+    """
+
+    nodes: int
+    edges: int
+    label_counts: dict[str, int] = field(default_factory=dict)
+    edge_label_counts: dict[str, int] = field(default_factory=dict)
+
+    def fanout(self, edge_label: str | None) -> float | None:
+        """Mean per-node out-fan of one edge label (``None`` = any).
+
+        Returns ``None`` when the graph has no nodes (no estimate).
+        """
+        if not self.nodes:
+            return None
+        edges = (
+            self.edges if edge_label is None else self.edge_label_counts.get(edge_label, 0)
+        )
+        return edges / self.nodes
+
+
+def matching_cost_profile(graph: Graph) -> MatchCostProfile:
+    """The cost-model inputs for matching ``graph``.
+
+    Prefers the synced :class:`GraphIndexes` counters (no edge scan);
+    falls back to one pass over the edge set.
+    """
+    from repro.indexing.registry import get_index
+
+    index = get_index(graph)
+    edge_counts: dict[str, int] = {}
+    if index is not None:
+        for counts in index.out_label_count.values():
+            for label, count in counts.items():
+                edge_counts[label] = edge_counts.get(label, 0) + count
+    else:
+        for _, label, _ in graph.edges:
+            edge_counts[label] = edge_counts.get(label, 0) + 1
+    label_counts = {label: len(graph.nodes_with_label(label)) for label in graph.labels}
+    return MatchCostProfile(
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        label_counts=label_counts,
+        edge_label_counts=edge_counts,
+    )
+
+
+__all__ = ["IndexStats", "MatchCostProfile", "index_stats", "matching_cost_profile"]

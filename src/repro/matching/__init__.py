@@ -1,6 +1,12 @@
-"""Pattern matching: homomorphism semantics (Section 2/3) + injective variant."""
+"""Pattern matching: homomorphism semantics (Section 2/3) + injective variant.
 
-from repro.matching.candidates import candidate_sets, variable_order
+The hot path is plan-compiled: :func:`compile_plan` turns a pattern
+into a :class:`MatchPlan` over an interned CSR :class:`GraphView`
+(cached per graph version), and :func:`find_homomorphisms` is the thin
+compatibility wrapper every consumer already speaks.
+"""
+
+from repro.matching.candidates import candidate_sets, order_for_sizes, variable_order
 from repro.matching.homomorphism import (
     Match,
     count_matches,
@@ -8,23 +14,33 @@ from repro.matching.homomorphism import (
     find_match,
     has_match,
     is_homomorphism,
+    seed_find_homomorphisms,
 )
 from repro.matching.isomorphism import (
     count_injective_matches,
     find_injective_matches,
     has_injective_match,
 )
+from repro.matching.plan import MatchPlan, compile_plan, execute_over_pools
+from repro.matching.view import GraphView, get_view
 
 __all__ = [
+    "GraphView",
     "Match",
+    "MatchPlan",
     "candidate_sets",
+    "compile_plan",
     "count_injective_matches",
     "count_matches",
+    "execute_over_pools",
     "find_homomorphisms",
     "find_injective_matches",
     "find_match",
+    "get_view",
     "has_injective_match",
     "has_match",
     "is_homomorphism",
+    "order_for_sizes",
+    "seed_find_homomorphisms",
     "variable_order",
 ]

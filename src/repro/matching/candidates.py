@@ -55,38 +55,42 @@ def candidate_sets(
 
 
 def _degree_ok(pattern: Pattern, variable: str, graph: Graph, node_id: str) -> bool:
-    """Necessary per-label degree conditions for ``variable -> node_id``."""
+    """Necessary per-label degree conditions for ``variable -> node_id``.
+
+    Per-label degrees come from :meth:`Graph.out_degree` /
+    :meth:`Graph.in_degree` label accessors — O(1) set-length probes on
+    the adjacency index, not successor-set materializations.
+    """
     for edge_label, _ in pattern.out_edges(variable):
-        required = 1
-        if edge_label == WILDCARD:
-            available = graph.out_degree(node_id)
-        else:
-            available = len(graph.successors(node_id, edge_label))
-        if available < required:
+        label = None if edge_label == WILDCARD else edge_label
+        if graph.out_degree(node_id, label) < 1:
             return False
     for edge_label, _ in pattern.in_edges(variable):
-        if edge_label == WILDCARD:
-            available = graph.in_degree(node_id)
-        else:
-            available = len(graph.predecessors(node_id, edge_label))
-        if available < 1:
+        label = None if edge_label == WILDCARD else edge_label
+        if graph.in_degree(node_id, label) < 1:
             return False
     return True
 
 
-def variable_order(pattern: Pattern, candidates: dict[str, set[str]]) -> list[str]:
-    """A search order: fewest candidates first, then highest degree.
+def order_for_sizes(pattern: Pattern, sizes: "dict[str, int]") -> list[str]:
+    """The search-order ranking from candidate-pool *cardinalities*.
 
-    Connectivity-aware refinement: after the first variable, prefer
-    variables adjacent to already-ordered ones so edge constraints prune
-    early.
+    This is the single definition both matcher generations share: the
+    seed enumerator feeds it ``len(pool)`` of its freshly computed sets,
+    the plan compiler/executor feeds it the lengths of its interned (and
+    run-time restricted) pools — so the two always rank variables, and
+    therefore emit matches, identically.
+
+    Ranking: fewest candidates first, then highest pattern degree, ties
+    by variable name; after the first variable, prefer variables
+    adjacent to already-ordered ones so edge constraints prune early.
     """
     remaining = set(pattern.variables)
     ordered: list[str] = []
     ordered_set: set[str] = set()
 
-    def cost(v: str) -> tuple[int, int]:
-        return (len(candidates[v]), -pattern.degree(v))
+    def cost(v: str) -> tuple[int, int, str]:
+        return (sizes[v], -pattern.degree(v), v)
 
     while remaining:
         adjacent = {
@@ -96,8 +100,14 @@ def variable_order(pattern: Pattern, candidates: dict[str, set[str]]) -> list[st
             or any(s in ordered_set for _, s in pattern.in_edges(v))
         }
         pool = adjacent if adjacent else remaining
-        best = min(sorted(pool), key=cost)
+        best = min(pool, key=cost)
         ordered.append(best)
         ordered_set.add(best)
         remaining.remove(best)
     return ordered
+
+
+def variable_order(pattern: Pattern, candidates: dict[str, set[str]]) -> list[str]:
+    """A search order: fewest candidates first, then highest degree
+    (see :func:`order_for_sizes` for the shared ranking)."""
+    return order_for_sizes(pattern, {v: len(candidates[v]) for v in candidates})

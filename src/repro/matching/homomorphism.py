@@ -12,10 +12,18 @@ length that injective (subgraph-isomorphism) semantics is too strict for
 GKeys; :mod:`repro.matching.isomorphism` implements the injective variant
 only to reproduce that comparison.
 
-The matcher is a classic backtracking enumerator over the candidate sets
-of :mod:`repro.matching.candidates`, expanding variables in a
-most-constrained-first order with forward edge checks.  It yields matches
-as ``dict[variable, node_id]`` in a deterministic order.
+The public entry point :func:`find_homomorphisms` is a thin
+compatibility wrapper over the plan-compiled core of
+:mod:`repro.matching.plan`: patterns are compiled once per (graph,
+version, index-attachment) into a :class:`~repro.matching.plan.MatchPlan`
+over an interned CSR :class:`~repro.matching.view.GraphView`, and every
+call executes the cached plan.  Calls that bring their own candidate
+pools (the streaming delta kernel's pattern-radius balls) run the same
+executor view-free over those pools.  Either way the yielded stream —
+``dict[variable, node_id]`` matches, deterministic order — is byte-
+identical to the historical recursive enumerator, which is preserved
+below as :func:`seed_find_homomorphisms` (the differential-test oracle
+and benchmark baseline).
 """
 
 from __future__ import annotations
@@ -59,8 +67,36 @@ def find_homomorphisms(
     candidates:
         optional precomputed :func:`~repro.matching.candidates.candidate_sets`
         result for exactly this (pattern, graph) pair, as produced by a
-        caller that runs the matcher repeatedly on an unchanging graph
-        (the engine's warm workers).  The mapping is not mutated.
+        caller that scopes the search itself (the streaming delta
+        kernel's pattern-radius balls).  The mapping is not mutated,
+        and the search runs view-free over exactly these pools.
+    """
+    from repro.matching.plan import compile_plan, execute_over_pools
+
+    if candidates is not None:
+        yield from execute_over_pools(
+            pattern, graph, candidates, fixed=fixed, restrict=restrict, limit=limit
+        )
+        return
+    plan = compile_plan(graph, pattern)
+    yield from plan.matches(fixed=fixed, restrict=restrict, limit=limit)
+
+
+def seed_find_homomorphisms(
+    pattern: Pattern,
+    graph: Graph,
+    fixed: Mapping[str, str] | None = None,
+    limit: int | None = None,
+    restrict: Mapping[str, "set[str] | frozenset[str]"] | None = None,
+    candidates: Mapping[str, "set[str]"] | None = None,
+) -> Iterator[Match]:
+    """The seed recursive enumerator (reference semantics).
+
+    Kept verbatim — one fix aside: candidate pools are sorted **once**
+    before the search instead of re-sorted on every entry into the same
+    depth across branches — as the oracle the plan executor must match
+    byte for byte, and as the baseline the matching perf gate measures
+    against.  Not on any production path.
     """
     fixed = dict(fixed) if fixed else {}
     for variable, node_id in fixed.items():
@@ -81,6 +117,9 @@ def find_homomorphisms(
         candidates[variable] = {node_id}
 
     order = variable_order(pattern, candidates)
+    # Sort each pool exactly once: the per-depth enumeration order is a
+    # property of the pool, not of the branch that reaches the depth.
+    sorted_pools = {variable: sorted(pool) for variable, pool in candidates.items()}
     assignment: Match = {}
     emitted = 0
 
@@ -115,7 +154,7 @@ def find_homomorphisms(
             yield dict(assignment)
             return
         variable = order[depth]
-        for node_id in sorted(candidates[variable]):
+        for node_id in sorted_pools[variable]:
             if consistent(variable, node_id):
                 assignment[variable] = node_id
                 yield from backtrack(depth + 1)

@@ -1,0 +1,531 @@
+"""Plan-compiled pattern matching: compile once, execute many.
+
+The seed matcher re-derived everything per call: candidate sets from
+scratch, ``sorted(candidates[variable])`` inside every backtracking
+frame, successor-set copies for every edge check.  This module splits
+that work into three reusable layers:
+
+* a **pattern program** — per variable-order step list (scan /
+  extend-forward / extend-backward / edge-check / self-loop-check),
+  memoized per ``(pattern, order)`` since patterns are immutable and
+  shared across dependencies;
+* a **:class:`MatchPlan`** — the program bound to one
+  :class:`~repro.matching.view.GraphView`: candidate pools materialized
+  once as sorted interned slot tuples (plus frozensets for C-speed
+  intersection), the default variable order chosen by the cost model,
+  and per-step cost estimates for ``explain``;
+* an **iterative executor** (:func:`_execute`) — an explicit-stack
+  enumerator whose per-depth candidates come from intersecting the
+  variable's pool with the adjacency rows of already-bound neighbors
+  (smallest operand first), instead of scanning the pool and probing
+  every edge per candidate.
+
+**Byte-identity.**  The executor yields exactly the seed matcher's
+stream: canonical interning makes ascending slot order equal ascending
+node-id order, the variable order is the same cost ranking the seed
+used (candidate cardinality, then pattern degree, then name — see
+:func:`repro.matching.candidates.order_for_sizes`), and row-membership
+is equivalent to the seed's per-candidate edge checks.  The
+differential suite (``tests/matching/test_plan_equivalence.py``)
+asserts this byte for byte, with and without an index, under ``fixed``
+/ ``restrict`` / ``limit``.
+
+**Cost model.**  Pool cardinalities come from the same index-backed
+pruner the seed consulted; extension fan-outs come from
+:func:`repro.indexing.stats.matching_cost_profile` (per-label degree
+counters when an index is attached, one edge scan otherwise).  Because
+the emitted order is part of the public contract, the cost model ranks
+variables with the seed's own key; its estimates additionally annotate
+every step for ``cli explain`` and order nothing that could change the
+stream.
+
+Runtime parameters (``fixed`` / ``restrict``) shrink candidate pools
+and therefore the order: :meth:`MatchPlan.matches` re-ranks variables
+from the *effective* pool sizes — a cheap O(k²) pass — while reusing
+the expensive artifacts (interning, CSR rows, materialized pools).
+``restrict`` is the plan vocabulary's **attr-filter** step: the
+validation layer derives those pools from X-literals via the attribute
+inverted index and the executor intersects them in before the search.
+
+:func:`execute_over_pools` is the view-free twin for callers that bring
+their own candidate pools over a *mutating* graph (the streaming delta
+kernel's pattern-radius balls): same program cache, same executor, but
+adjacency rows come straight from the graph's internal per-label sets,
+so no O(|G|) view build is paid per batch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import PatternError
+from repro.graph.graph import Graph
+from repro.indexing.registry import get_index
+from repro.indexing.stats import MatchCostProfile, matching_cost_profile
+from repro.matching.candidates import candidate_sets, order_for_sizes
+from repro.matching.view import GraphView, get_view
+from repro.patterns.labels import WILDCARD
+from repro.patterns.pattern import Pattern
+
+Match = dict[str, str]
+
+_EMPTY: tuple = ()
+
+
+# ----------------------------------------------------------------------
+# Pattern programs (graph-independent, memoized per (pattern, order))
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgeCheck:
+    """One membership probe against a bound variable's adjacency row.
+
+    The candidate for this step must lie in the ``out_dir`` row (True =
+    successors, False = predecessors) of the image bound at stack depth
+    ``depth``.  ``label=None`` is the wildcard row.  ``via`` names the
+    bound variable (explain output only).
+    """
+
+    out_dir: bool
+    label: str | None
+    depth: int
+    via: str
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One executor step: bind ``variable`` at its depth.
+
+    ``checks`` empty — a **scan** over the variable's pool;
+    ``checks`` non-empty — an **extend** (forward and/or backward): the
+    pool is intersected with every check's adjacency row.
+    ``self_loops`` lists the labels of ``(v, ι, v)`` pattern edges,
+    verified per candidate against its own successor row.
+    """
+
+    variable: str
+    checks: tuple[EdgeCheck, ...]
+    self_loops: tuple[str | None, ...]
+
+    @property
+    def kind(self) -> str:
+        return "extend" if self.checks else "scan"
+
+
+@lru_cache(maxsize=4096)
+def _steps_for(pattern: Pattern, order: tuple[str, ...]) -> tuple[PlanStep, ...]:
+    """The step list for one binding order (cached — this is the plan
+    cache the streaming delta kernel hits once per dependency, not once
+    per pinned node)."""
+    depth_of = {variable: depth for depth, variable in enumerate(order)}
+    steps: list[PlanStep] = []
+    for depth, variable in enumerate(order):
+        checks: list[EdgeCheck] = []
+        loops: list[str | None] = []
+        for label, target in pattern.out_edges(variable):
+            wire = None if label == WILDCARD else label
+            if target == variable:
+                loops.append(wire)
+            elif depth_of[target] < depth:
+                # Edge v -> t with t bound: candidate ∈ pred(image_t).
+                checks.append(EdgeCheck(False, wire, depth_of[target], target))
+        for label, source in pattern.in_edges(variable):
+            if source == variable:
+                continue  # self-loop already covered via out_edges
+            if depth_of[source] < depth:
+                # Edge s -> v with s bound: candidate ∈ succ(image_s).
+                wire = None if label == WILDCARD else label
+                checks.append(EdgeCheck(True, wire, depth_of[source], source))
+        steps.append(PlanStep(variable, tuple(checks), tuple(loops)))
+    return tuple(steps)
+
+
+# ----------------------------------------------------------------------
+# The iterative executor (shared by view mode and pool mode)
+# ----------------------------------------------------------------------
+
+
+def _execute(order, steps, pools_sorted, pools_set, row_set, to_id, limit):
+    """Enumerate matches with an explicit stack.
+
+    ``pools_sorted`` / ``pools_set`` hold each variable's effective
+    candidate pool (ascending sequence + set); ``row_set(out_dir,
+    label, image)`` returns an adjacency row as a set; ``to_id`` maps
+    executor-space images back to node-id strings.  Yields matches in
+    ascending lexicographic order of the binding order — the seed
+    matcher's exact stream.
+    """
+    k = len(order)
+    last = k - 1
+    emitted = 0
+    assign = [0] * k
+
+    def candidates_at(depth: int):
+        step = steps[depth]
+        checks = step.checks
+        if checks:
+            operands = [pools_set[step.variable]]
+            for check in checks:
+                row = row_set(check.out_dir, check.label, assign[check.depth])
+                if not row:
+                    return _EMPTY
+                operands.append(row)
+            operands.sort(key=len)
+            found = operands[0].intersection(*operands[1:])
+            if step.self_loops:
+                loops = step.self_loops
+                found = [
+                    image
+                    for image in found
+                    if all(image in row_set(True, wire, image) for wire in loops)
+                ]
+            return sorted(found)
+        pool = pools_sorted[step.variable]
+        if step.self_loops:
+            loops = step.self_loops
+            return [
+                image
+                for image in pool
+                if all(image in row_set(True, wire, image) for wire in loops)
+            ]
+        return pool
+
+    stack = [iter(candidates_at(0))]
+    while stack:
+        depth = len(stack) - 1
+        frame = stack[-1]
+        if depth == last:
+            for image in frame:
+                assign[depth] = image
+                emitted += 1
+                yield {order[d]: to_id(assign[d]) for d in range(k)}
+                if limit is not None and emitted >= limit:
+                    return
+            stack.pop()
+        else:
+            descended = False
+            for image in frame:
+                assign[depth] = image
+                below = candidates_at(depth + 1)
+                if below:
+                    stack.append(iter(below))
+                    descended = True
+                    break
+                # Fruitless descent: the seed recursed into an empty
+                # frame, returned, and *then* checked the limit — which
+                # matters for the degenerate limit<=0 case (0 >= limit
+                # stops the whole enumeration there, before any yield).
+                if limit is not None and emitted >= limit:
+                    return
+            if not descended:
+                stack.pop()
+
+
+# ----------------------------------------------------------------------
+# Compiled plans (pattern program × graph view × materialized pools)
+# ----------------------------------------------------------------------
+
+
+class MatchPlan:
+    """A pattern compiled against one graph view.
+
+    Build via :func:`compile_plan` (cached per view) — or, on engine
+    workers, via :func:`install_plan` from a broadcast payload.
+    """
+
+    __slots__ = (
+        "pattern",
+        "view",
+        "indexed",
+        "pools_sorted",
+        "pools_set",
+        "order",
+        "steps",
+        "profile",
+    )
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        view: GraphView,
+        indexed: bool,
+        pool_slots: Mapping[str, "list[int] | tuple[int, ...]"],
+        profile: MatchCostProfile,
+    ):
+        self.pattern = pattern
+        self.view = view
+        self.indexed = indexed
+        self.pools_sorted: dict[str, tuple[int, ...]] = {}
+        self.pools_set: dict[str, frozenset[int]] = {}
+        for variable in pattern.variables:
+            slots = tuple(pool_slots[variable])
+            self.pools_sorted[variable] = slots
+            self.pools_set[variable] = frozenset(slots)
+        sizes = {v: len(self.pools_sorted[v]) for v in pattern.variables}
+        self.order: tuple[str, ...] = tuple(order_for_sizes(pattern, sizes))
+        self.steps: tuple[PlanStep, ...] = _steps_for(pattern, self.order)
+        self.profile = profile
+
+    # ------------------------------------------------------------------
+    def matches(
+        self,
+        fixed: Mapping[str, str] | None = None,
+        restrict: Mapping[str, "set[str] | frozenset[str]"] | None = None,
+        limit: int | None = None,
+    ) -> Iterator[Match]:
+        """Enumerate matches; same contract and stream as the seed
+        matcher's ``fixed`` / ``restrict`` / ``limit`` parameters."""
+        pattern = self.pattern
+        view = self.view
+        fixed_slots: dict[str, int] = {}
+        if fixed:
+            for variable, node_id in fixed.items():
+                if not pattern.has_variable(variable):
+                    raise PatternError(f"fixed variable {variable!r} is not in the pattern")
+                slot = view.slot_of.get(node_id)
+                if slot is None:
+                    raise PatternError(f"fixed image {node_id!r} is not a node of the graph")
+                fixed_slots[variable] = slot
+        if not fixed_slots and not restrict:
+            order, steps = self.order, self.steps
+            pools_sorted, pools_set = self.pools_sorted, self.pools_set
+        else:
+            pools_set = dict(self.pools_set)
+            if restrict:
+                slot_of, node_of = view.slot_of, view.node_of
+                for variable, pool in restrict.items():
+                    if not pattern.has_variable(variable):
+                        raise PatternError(
+                            f"restricted variable {variable!r} is not in the pattern"
+                        )
+                    base = pools_set[variable]
+                    if len(pool) < len(base):
+                        pools_set[variable] = frozenset(
+                            slot
+                            for node_id in pool
+                            if (slot := slot_of.get(node_id)) is not None and slot in base
+                        )
+                    else:
+                        pools_set[variable] = frozenset(
+                            slot for slot in base if node_of[slot] in pool
+                        )
+            for variable, slot in fixed_slots.items():
+                if slot not in pools_set[variable]:
+                    return  # The pinned node can never host this variable.
+                pools_set[variable] = frozenset((slot,))
+            sizes = {v: len(pools_set[v]) for v in pattern.variables}
+            order = tuple(order_for_sizes(pattern, sizes))
+            steps = _steps_for(pattern, order)
+            pools_sorted = {
+                v: self.pools_sorted[v]
+                if pools_set[v] is self.pools_set[v]
+                else tuple(sorted(pools_set[v]))
+                for v in pattern.variables
+            }
+        yield from _execute(
+            order,
+            steps,
+            pools_sorted,
+            pools_set,
+            view.row_set,
+            view.node_of.__getitem__,
+            limit,
+        )
+
+    # ------------------------------------------------------------------
+    def step_cost(self, depth: int) -> float:
+        """Estimated candidates examined at one step (explain output)."""
+        step = self.steps[depth]
+        pool = len(self.pools_sorted[step.variable])
+        if not step.checks:
+            return float(pool)
+        fanouts = (self.profile.fanout(check.label) for check in step.checks)
+        return min([float(pool)] + [f for f in fanouts if f is not None])
+
+    def explain(self) -> str:
+        """A stable, human-readable rendering of the compiled plan."""
+        view = self.view
+        lines = [
+            f"match plan for Q[{', '.join(self.pattern.variables)}] — "
+            f"view: {view.num_nodes} node(s), {view.num_edges} edge(s), "
+            f"{'indexed' if self.indexed else 'unindexed'} pools"
+        ]
+        for depth, step in enumerate(self.steps):
+            pool = len(self.pools_sorted[step.variable])
+            label = self.pattern.label_of(step.variable)
+            head = (
+                f"  step {depth + 1}: {step.kind} {step.variable} "
+                f"[label {label}] — pool {pool} candidate(s)"
+            )
+            if step.checks:
+                probes = ", ".join(
+                    (
+                        f"{step.variable} -[{check.label or '_'}]-> {check.via}"
+                        if not check.out_dir
+                        else f"{check.via} -[{check.label or '_'}]-> {step.variable}"
+                    )
+                    for check in step.checks
+                )
+                head += f" ∩ {{{probes}}}"
+            if step.self_loops:
+                loops = ", ".join(wire or "_" for wire in step.self_loops)
+                head += f"; self-loop check({loops})"
+            head += f"  [est. ~{self.step_cost(depth):.1f}/frame]"
+            lines.append(head)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatchPlan({list(self.pattern.variables)!r}, order={list(self.order)!r}, "
+            f"indexed={self.indexed})"
+        )
+
+
+def compile_plan(graph: Graph, pattern: Pattern) -> MatchPlan:
+    """The compiled plan for ``(pattern, graph)`` — cached on the
+    graph's current view, keyed by index attachment, and invalidated
+    wholesale when the graph version moves (the view is replaced)."""
+    view = get_view(graph)
+    indexed = get_index(graph) is not None
+    key = (pattern, indexed)
+    plan = view.plans.get(key)
+    if plan is None:
+        pools = candidate_sets(pattern, graph)
+        slot_of = view.slot_of
+        pool_slots = {
+            variable: sorted(slot_of[node_id] for node_id in pool)
+            for variable, pool in pools.items()
+        }
+        plan = MatchPlan(pattern, view, indexed, pool_slots, _view_profile(view, graph))
+        view.plans[key] = plan
+        view.plan_compiles += 1
+    return plan
+
+
+def _view_profile(view: GraphView, graph: Graph) -> MatchCostProfile:
+    """The view's cost profile, computed once per (graph, version) —
+    not once per pattern (one full node+edge pass either way)."""
+    profile = view.cost_profile
+    if profile is None:
+        profile = view.cost_profile = matching_cost_profile(graph)
+    return profile
+
+
+def install_plan(
+    graph: Graph,
+    pattern: Pattern,
+    pool_slots: Mapping[str, "tuple[int, ...] | list[int]"],
+) -> MatchPlan | None:
+    """Install a coordinator-compiled plan from its broadcast pools.
+
+    Engine workers call this while restoring a snapshot: the slots are
+    valid verbatim because canonical interning assigns identical slots
+    to identical node sets.  Returns ``None`` (and compiles lazily on
+    first use instead) if the payload does not line up with the
+    restored graph.
+    """
+    view = get_view(graph)
+    n = view.num_nodes
+    for pool in pool_slots.values():
+        if any(slot >= n for slot in pool):
+            return None
+    indexed = get_index(graph) is not None
+    plan = MatchPlan(pattern, view, indexed, pool_slots, _view_profile(view, graph))
+    view.plans[(pattern, indexed)] = plan
+    view.plan_installs += 1
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Pool mode: caller-supplied candidates over a (possibly mutating) graph
+# ----------------------------------------------------------------------
+
+
+def _identity(value: str) -> str:
+    return value
+
+
+def _adjacency_rows(graph: Graph):
+    """A ``row_set`` provider over the graph's own adjacency indexes.
+
+    Labeled rows are the internal per-label sets (no copies); wildcard
+    rows are unions built lazily and cached for the duration of one
+    executor run.
+    """
+    any_out: dict[str, set[str]] = {}
+    any_in: dict[str, set[str]] = {}
+
+    def row_set(out_dir: bool, label: str | None, node_id: str):
+        if label is None:
+            cache = any_out if out_dir else any_in
+            row = cache.get(node_id)
+            if row is None:
+                row = graph.successors(node_id) if out_dir else graph.predecessors(node_id)
+                cache[node_id] = row
+            return row
+        return graph.out_row(node_id, label) if out_dir else graph.in_row(node_id, label)
+
+    return row_set
+
+
+def execute_over_pools(
+    pattern: Pattern,
+    graph: Graph,
+    candidates: Mapping[str, "set[str]"],
+    fixed: Mapping[str, str] | None = None,
+    restrict: Mapping[str, "set[str] | frozenset[str]"] | None = None,
+    limit: int | None = None,
+) -> Iterator[Match]:
+    """Run the plan executor over caller-supplied candidate pools.
+
+    This is the view-free path: no interning, no O(|G|) build — the
+    pattern program comes from the shared :func:`_steps_for` cache and
+    adjacency rows from the graph's own indexes.  The streaming delta
+    kernel uses it with pattern-radius ball pools so per-batch work
+    stays proportional to the update's neighborhood.
+    """
+    fixed = dict(fixed) if fixed else {}
+    for variable, node_id in fixed.items():
+        if not pattern.has_variable(variable):
+            raise PatternError(f"fixed variable {variable!r} is not in the pattern")
+        if not graph.has_node(node_id):
+            raise PatternError(f"fixed image {node_id!r} is not a node of the graph")
+    pools: dict[str, set] = {
+        variable: set(candidates[variable]) for variable in pattern.variables
+    }
+    if restrict:
+        for variable, pool in restrict.items():
+            if not pattern.has_variable(variable):
+                raise PatternError(f"restricted variable {variable!r} is not in the pattern")
+            pools[variable] = pools[variable] & pool
+    for variable, node_id in fixed.items():
+        if node_id not in pools[variable]:
+            return  # The pinned node can never host this variable.
+        pools[variable] = {node_id}
+    sizes = {variable: len(pool) for variable, pool in pools.items()}
+    order = tuple(order_for_sizes(pattern, sizes))
+    steps = _steps_for(pattern, order)
+    pools_sorted = {variable: tuple(sorted(pool)) for variable, pool in pools.items()}
+    yield from _execute(
+        order, steps, pools_sorted, pools, _adjacency_rows(graph), _identity, limit
+    )
+
+
+def program_cache_info():
+    """Hit/miss counters of the pattern-program cache (tests/stats)."""
+    return _steps_for.cache_info()
+
+
+__all__ = [
+    "EdgeCheck",
+    "Match",
+    "MatchPlan",
+    "PlanStep",
+    "compile_plan",
+    "execute_over_pools",
+    "install_plan",
+    "program_cache_info",
+]

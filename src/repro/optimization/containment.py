@@ -22,9 +22,25 @@ a match of ``q1`` has a match of ``q2``.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.chase.canonical import canonical_graph
-from repro.matching.homomorphism import find_match, has_match
+from repro.matching.plan import compile_plan
 from repro.patterns.pattern import Pattern
+
+
+@lru_cache(maxsize=256)
+def _cached_canonical(pattern: Pattern) -> object:
+    """G_Q memoized per pattern.
+
+    Containment checks run in pairwise loops (cover computation probes
+    every rule against every other); caching the canonical graph keeps
+    its interned view — and every plan compiled against it — alive in
+    the view registry, so the O(n²) probe loop pays one graph build and
+    one plan compilation per (target, probe-pattern) pair instead of
+    rebuilding both per probe.
+    """
+    return canonical_graph(pattern)
 
 
 def subsumes(q1: Pattern, q2: Pattern) -> bool:
@@ -32,9 +48,12 @@ def subsumes(q1: Pattern, q2: Pattern) -> bool:
     ``q2``, i.e. a homomorphism ``q2 → q1`` exists.
 
     Returns True exactly when matching ``q2`` in the canonical graph
-    G_{q1} succeeds.
+    G_{q1} succeeds — executed as ``q2``'s compiled plan over G_{q1}'s
+    cached view, stopping at the first witness.
     """
-    return has_match(q2, canonical_graph(q1))
+    for _ in compile_plan(_cached_canonical(q1), q2).matches(limit=1):
+        return True
+    return False
 
 
 def witness_homomorphism(q1: Pattern, q2: Pattern) -> dict[str, str] | None:
@@ -43,8 +62,9 @@ def witness_homomorphism(q1: Pattern, q2: Pattern) -> dict[str, str] | None:
     This is the ``f`` of Example 5: composing a match h of ``q1`` with
     the witness yields the induced match ``h ∘ f`` of ``q2``.
     """
-    match = find_match(q2, canonical_graph(q1))
-    return dict(match) if match is not None else None
+    for match in compile_plan(_cached_canonical(q1), q2).matches(limit=1):
+        return dict(match)
+    return None
 
 
 def contained_in(q1: Pattern, q2: Pattern) -> bool:

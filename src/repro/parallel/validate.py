@@ -101,23 +101,21 @@ def run_shard(
     pivot: str,
     shard: tuple[str, ...],
     shard_index: int,
-    base_candidates: dict[str, set[str]] | None = None,
 ) -> tuple[list[Violation], ShardStats]:
     """Validate one dependency on one shard (top-level: picklable).
 
     This is the kernel every backend shares — in-process shards call it
     directly, engine workers call it against their rebuilt graph.  The
     shard is enforced by *restricting* the pivot's candidate pool to
-    the shard's ids in a single matcher invocation (candidate sets are
-    computed once per shard, not once per pivot node — pinning the
-    pivot node-by-node re-derived them from scratch every time, which
-    made sharded wall-clock quadratic in the shard size).  With an
-    index attached the pools are additionally restricted to nodes that
-    can satisfy X's constant literals (a necessary condition, so the
+    the shard's ids in a single matcher invocation, which executes the
+    pattern's compiled :class:`~repro.matching.plan.MatchPlan` — cached
+    on the graph's view, so in-process shards and a warm worker's later
+    shards all reuse one compilation (engine workers may even start
+    with it pre-installed from the snapshot broadcast).  With an index
+    attached the pools are additionally restricted to nodes that can
+    satisfy X's constant literals (a necessary condition, so the
     violation set is unchanged — see
     :func:`~repro.reasoning.validation.x_literal_restrictions`).
-    ``base_candidates`` optionally supplies this pattern's precomputed
-    candidate pools (warm engine workers reuse them across shards).
     """
     started = time.perf_counter()
     restrict: dict[str, set[str]] = dict(x_literal_restrictions(graph, ged) or {})
@@ -125,9 +123,7 @@ def run_shard(
     restrict[pivot] = restrict[pivot] & shard_pool if pivot in restrict else shard_pool
     violations: list[Violation] = []
     matches = 0
-    for match in find_homomorphisms(
-        ged.pattern, graph, restrict=restrict, candidates=base_candidates
-    ):
+    for match in find_homomorphisms(ged.pattern, graph, restrict=restrict):
         matches += 1
         failed = evaluate_match(graph, ged, match)
         if failed:
@@ -174,7 +170,7 @@ def parallel_find_violations(
     if engine_backed and backend == "engine":
         from repro.engine.pool import get_pool
 
-        pool = get_pool(graph, workers)
+        pool = get_pool(graph, workers, patterns=[ged.pattern for ged in sigma])
         units = pool.plan_validation(graph, sigma)
         if units:
             results = pool.validate_units(units)
@@ -189,7 +185,9 @@ def parallel_find_violations(
 
         units = plan_tasks(graph, sigma, workers)
         if units:
-            pool = EnginePool(snapshot_graph(graph), workers)
+            pool = EnginePool(
+                snapshot_graph(graph, patterns=[ged.pattern for ged in sigma]), workers
+            )
             try:
                 results = pool.validate_units(units)
                 indexed = pool.indexed

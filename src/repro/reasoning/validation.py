@@ -31,7 +31,7 @@ from repro.deps.literals import (
 )
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
-from repro.matching.homomorphism import find_homomorphisms
+from repro.matching.plan import compile_plan
 
 
 def literal_holds(graph: Graph, literal: Literal, match: Mapping[str, str]) -> bool:
@@ -128,16 +128,22 @@ def find_violations(
 ) -> list[Violation]:
     """All (up to ``limit``) violations of Σ in G.
 
-    Index-aware: with a :mod:`repro.indexing` index attached the match
-    enumeration runs on pruned candidate sets and, additionally, only
-    over nodes that can satisfy X's constant literals (see
-    :func:`x_literal_restrictions`); the returned violations are
-    identical either way.
+    Plan-compiled: each dependency's pattern is compiled once per
+    (graph version, index attachment) into a
+    :class:`~repro.matching.plan.MatchPlan` — shared through the view
+    registry with every other consumer of the same pattern, so repeated
+    validations of an unmutated graph pay zero recompilation.  The
+    X-literal restriction pools of :func:`x_literal_restrictions` enter
+    the plan as its attr-filter stage.  Index-aware: with a
+    :mod:`repro.indexing` index attached the compiled candidate pools
+    are the pruner's and the attr filters actually bite; the returned
+    violations are identical either way.
     """
     violations: list[Violation] = []
     for ged in sigma:
         restrict = x_literal_restrictions(graph, ged)
-        for match in find_homomorphisms(ged.pattern, graph, restrict=restrict):
+        plan = compile_plan(graph, ged.pattern)
+        for match in plan.matches(restrict=restrict):
             failed = evaluate_match(graph, ged, match)
             if failed:
                 violations.append(Violation(ged, tuple(sorted(match.items())), failed))

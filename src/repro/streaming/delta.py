@@ -27,6 +27,14 @@ hands the matcher whole-graph candidate pools.  Each pin searches only a
 All of these are necessary conditions, so the kernel finds exactly the
 violations whose match meets the touched set — work proportional to the
 update's neighborhood, not to |G|.
+
+Each pin runs the plan executor **view-free** over its ball pools
+(:func:`~repro.matching.plan.execute_over_pools`): the compiled pattern
+program is cached per dependency (the ``_steps_for`` cache keyed by
+``(pattern, order)``, alongside the memoized :func:`pattern_distances`),
+so plan compilation is paid once per dependency, not once per pinned
+node or per batch — and, crucially, no O(|G|) graph-view build is paid
+on a graph that mutates every batch.
 """
 
 from __future__ import annotations
@@ -37,7 +45,7 @@ from functools import lru_cache
 from repro.deps.ged import GED
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
-from repro.matching.homomorphism import find_homomorphisms
+from repro.matching.plan import execute_over_pools
 from repro.patterns.labels import WILDCARD, matches
 from repro.patterns.pattern import Pattern
 from repro.reasoning.validation import (
@@ -179,8 +187,8 @@ def delta_violations(
                         pools[other] = {
                             m for m in ball if matches(label, graph.node(m).label)
                         }
-                for match in find_homomorphisms(
-                    pattern, graph, restrict=restrict, candidates=pools
+                for match in execute_over_pools(
+                    pattern, graph, pools, restrict=restrict
                 ):
                     key = tuple(sorted(match.items()))
                     if key in seen:

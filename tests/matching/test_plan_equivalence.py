@@ -1,0 +1,230 @@
+"""Differential tests: the plan executor vs the seed enumerator.
+
+The acceptance bar for the plan-compiled core is *byte-identity*: for
+every pattern, graph, and parameter combination, the new executor must
+yield the seed matcher's exact stream — same matches, same order, same
+prefixes under ``limit``.  These tests compare the two elementwise
+(lists of matches, not sets) over
+
+* hypothesis-random small graphs and patterns,
+* the random-graph validation workload and the social workload,
+* with and without a :mod:`repro.indexing` index attached, and
+* under ``fixed`` / ``restrict`` / ``limit`` / caller-supplied
+  candidate pools.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import random_labeled_graph
+from repro.indexing import attach_index, detach_index
+from repro.matching import find_homomorphisms, seed_find_homomorphisms
+from repro.matching.candidates import candidate_sets
+from repro.patterns import WILDCARD, Pattern
+from repro.reasoning.validation import (
+    Violation,
+    evaluate_match,
+    find_violations,
+    x_literal_restrictions,
+)
+from repro.workloads import (
+    bounded_rule_set,
+    synthetic_social_network,
+    validation_workload,
+)
+
+
+def streams_equal(pattern, graph, **kwargs):
+    fast = list(find_homomorphisms(pattern, graph, **kwargs))
+    slow = list(seed_find_homomorphisms(pattern, graph, **kwargs))
+    assert fast == slow  # elementwise: same matches, same order
+    return fast
+
+
+@st.composite
+def graph_pattern_params(draw):
+    """Random graph + pattern + (restrict, fixed, limit) parameters."""
+    node_labels = ["a", "b"]
+    edge_labels = ["r", "s"]
+    n = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_labeled_graph(n, 0.45, node_labels, edge_labels, rng=seed)
+    k = draw(st.integers(min_value=1, max_value=3))
+    labels = {f"x{i}": draw(st.sampled_from(node_labels + [WILDCARD])) for i in range(k)}
+    variables = list(labels)
+    edges = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        edges.append(
+            (
+                draw(st.sampled_from(variables)),
+                draw(st.sampled_from(edge_labels + [WILDCARD])),
+                draw(st.sampled_from(variables)),
+            )
+        )
+    pattern = Pattern(labels, edges)
+
+    node_ids = list(graph.node_ids)
+    restrict = None
+    if draw(st.booleans()):
+        restrict = {}
+        for variable in draw(st.sets(st.sampled_from(variables), max_size=k)):
+            restrict[variable] = set(
+                draw(st.sets(st.sampled_from(node_ids), max_size=len(node_ids)))
+            )
+    fixed = None
+    if draw(st.booleans()):
+        fixed = {draw(st.sampled_from(variables)): draw(st.sampled_from(node_ids))}
+    limit = draw(st.sampled_from([None, 0, 1, 2, 5]))
+    use_index = draw(st.booleans())
+    return graph, pattern, restrict, fixed, limit, use_index
+
+
+class TestHypothesisByteIdentity:
+    @settings(max_examples=200, deadline=None)
+    @given(graph_pattern_params())
+    def test_stream_identity(self, case):
+        graph, pattern, restrict, fixed, limit, use_index = case
+        if use_index:
+            attach_index(graph)
+        try:
+            streams_equal(
+                pattern, graph, restrict=restrict, fixed=fixed, limit=limit
+            )
+        finally:
+            detach_index(graph)
+
+    @settings(max_examples=80, deadline=None)
+    @given(graph_pattern_params())
+    def test_caller_pool_identity(self, case):
+        """Pool mode (caller candidates) matches the seed given the
+        same pools — the streaming delta kernel's configuration."""
+        graph, pattern, restrict, _fixed, limit, _ = case
+        pools = candidate_sets(pattern, graph, use_index=False)
+        fast = list(
+            find_homomorphisms(
+                pattern, graph, candidates=pools, restrict=restrict, limit=limit
+            )
+        )
+        slow = list(
+            seed_find_homomorphisms(
+                pattern, graph, candidates=pools, restrict=restrict, limit=limit
+            )
+        )
+        assert fast == slow
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph_pattern_params())
+    def test_limit_is_a_prefix(self, case):
+        graph, pattern, restrict, fixed, limit, _ = case
+        full = list(find_homomorphisms(pattern, graph, restrict=restrict, fixed=fixed))
+        if limit:  # limit=0 is no prefix (seed stops at the first branch)
+            head = list(
+                find_homomorphisms(
+                    pattern, graph, restrict=restrict, fixed=fixed, limit=limit
+                )
+            )
+            assert head == full[:limit]
+
+    def test_limit_zero_stops_at_first_fruitless_branch(self):
+        """Degenerate limit<=0: the seed checks the limit after every
+        branch, not just after yields — a fruitless first branch stops
+        the whole enumeration before anything is emitted.  Regression
+        for the executor's matching behavior."""
+        from repro.graph import GraphBuilder
+
+        graph = (
+            GraphBuilder()
+            .node("a1", "a")
+            .node("a2", "a")
+            .node("b1", "b")
+            .edge("b1", "r", "a2")
+            .edge("a2", "s", "a2")
+            .build()
+        )
+        pattern = Pattern(
+            {"v0": "a", "v1": "a", "v2": "b"},
+            [("v2", WILDCARD, "v0"), ("v0", "s", "v1")],
+        )
+        for limit in (0, -1):
+            streams_equal(pattern, graph, limit=limit)
+
+
+def _workload_patterns():
+    patterns = [ged.pattern for ged in bounded_rule_set()]
+    patterns.append(
+        Pattern(
+            {"u": "user", "i": "item", "s": "shop"},
+            [("u", "buys", "i"), ("s", "sells", "i")],
+        )
+    )
+    patterns.append(Pattern({"x": WILDCARD, "y": "item"}, [("x", WILDCARD, "y")]))
+    return patterns
+
+
+class TestWorkloadByteIdentity:
+    def test_random_graph_workload(self):
+        graph = validation_workload(150, rng=7)
+        for indexed in (False, True):
+            if indexed:
+                attach_index(graph)
+            try:
+                for pattern in _workload_patterns():
+                    matches = streams_equal(pattern, graph)
+                    assert matches  # the workload must actually exercise the search
+                    node = matches[0][pattern.variables[0]]
+                    streams_equal(pattern, graph, fixed={pattern.variables[0]: node})
+                    streams_equal(
+                        pattern,
+                        graph,
+                        restrict={pattern.variables[-1]: set(list(graph.node_ids)[::2])},
+                    )
+                    streams_equal(pattern, graph, limit=3)
+            finally:
+                detach_index(graph)
+
+    def test_social_workload(self):
+        graph, _truth = synthetic_social_network(rng=5)
+        q5ish = Pattern(
+            {"x": "account", "x2": "account", "y": "blog", "z": "blog"},
+            [("x", "like", "y"), ("x2", "like", "y"), ("x", "post", "z")],
+        )
+        for indexed in (False, True):
+            if indexed:
+                attach_index(graph)
+            try:
+                matches = streams_equal(q5ish, graph)
+                assert matches
+                streams_equal(q5ish, graph, limit=4)
+                streams_equal(
+                    q5ish, graph, restrict={"y": set(list(graph.node_ids)[::3])}
+                )
+            finally:
+                detach_index(graph)
+
+    def test_validation_equals_seed_interpreter(self):
+        """find_violations (plan-executed) == the seed interpretation,
+        with and without an index — the perf gate's correctness half."""
+        graph = validation_workload(150, rng=7)
+        sigma = bounded_rule_set()
+
+        def seed_violations():
+            found = []
+            for ged in sigma:
+                restrict = x_literal_restrictions(graph, ged)
+                for match in seed_find_homomorphisms(
+                    ged.pattern, graph, restrict=restrict
+                ):
+                    failed = evaluate_match(graph, ged, match)
+                    if failed:
+                        found.append(
+                            Violation(ged, tuple(sorted(match.items())), failed)
+                        )
+            return found
+
+        for indexed in (False, True):
+            if indexed:
+                attach_index(graph)
+            try:
+                assert find_violations(graph, sigma) == seed_violations()
+            finally:
+                detach_index(graph)
