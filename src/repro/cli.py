@@ -12,6 +12,8 @@ Operates on JSON files in the formats of :mod:`repro.graph.io` and
     python -m repro.cli discover --graph kb.json --min-support 3 -o rules.json
     python -m repro.cli cover --rules rules.json -o cover.json
     python -m repro.cli pvalidate --graph kb.json --rules rules.json --workers 4
+    python -m repro.cli pvalidate --graph kb.json --rules rules.json --backend fragment
+    python -m repro.cli partition --graph kb.json --fragments 4 --mode greedy
     python -m repro.cli index --graph kb.json [--rules rules.json]
     python -m repro.cli explain --graph kb.json --rules rules.json --index
     python -m repro.cli engine --graph kb.json --rules rules.json --workers 4
@@ -180,7 +182,11 @@ def cmd_pvalidate(args: argparse.Namespace) -> int:
 
         attach_index(graph)
     report = parallel_find_violations(
-        graph, rules, workers=args.workers, backend=args.backend
+        graph,
+        rules,
+        workers=args.workers,
+        backend=args.backend,
+        fragment_mode=getattr(args, "fragment_mode", "hash"),
     )
     print(
         f"{len(report.violations)} violation(s) "
@@ -249,6 +255,58 @@ def cmd_engine(args: argparse.Namespace) -> int:
     return 0 if report.valid else 1
 
 
+def cmd_partition(args: argparse.Namespace) -> int:
+    """`partition`: edge-cut the graph, print fragment + broadcast stats.
+
+    Shows what the fragmented core buys: per-fragment interior/border
+    sizes, the cut and replication totals, partition balance, and the
+    per-worker broadcast payloads versus the whole-graph snapshot
+    (fragment-resident workers receive only their fragment).  With
+    ``--rules``, also reports how much of each dependency's pivot work
+    is locally decidable under the ball-completeness rule.
+    """
+    from repro.engine.snapshot import snapshot_fragments, snapshot_graph, snapshot_size
+    from repro.graph.fragments import fragment_stats, partition_graph
+
+    graph = load_graph(args.graph)
+    fragmentation = partition_graph(graph, args.fragments, args.mode)
+    stats = fragment_stats(fragmentation)
+    print(
+        f"partition: {stats['k']} fragment(s), mode {stats['mode']}, "
+        f"{stats['cut_edges']} cut edge(s), {stats['replicated_nodes']} "
+        f"border replica(s), balance {stats['balance']:.2f}"
+    )
+    whole_bytes = snapshot_size(snapshot_graph(graph))
+    payload_sizes = [len(s.payload()) for s in snapshot_fragments(fragmentation)]
+    for entry, payload in zip(stats["fragments"], payload_sizes):
+        print(
+            f"  fragment {entry['fragment']}: {entry['interior']} interior + "
+            f"{entry['border']} border node(s), {entry['local_edges']} edge(s), "
+            f"{payload} byte(s) broadcast"
+        )
+    largest = max(payload_sizes, default=0)
+    print(
+        f"broadcast: whole graph {whole_bytes} byte(s) per worker; "
+        f"fragment-resident max {largest} byte(s) "
+        f"({largest / whole_bytes:.2f}x) / total {sum(payload_sizes)} byte(s)"
+    )
+    if args.rules:
+        from repro.parallel.validate import plan_fragment_pivots
+
+        rules = load_rules(args.rules)
+        print(f"ball-completeness over {len(rules)} rule(s):")
+        for ged in rules:
+            _, per_fragment, escalated = plan_fragment_pivots(graph, ged, fragmentation)
+            local = sum(len(pivots) for _, pivots in per_fragment)
+            total = local + len(escalated)
+            percent = 100.0 * local / total if total else 100.0
+            print(
+                f"  {ged.name or 'GED'}: {local}/{total} pivot(s) fragment-local "
+                f"({percent:.0f}%), {len(escalated)} escalated"
+            )
+    return 0
+
+
 def cmd_stream(args: argparse.Namespace) -> int:
     """`stream`: replay an update log, emit NDJSON violation deltas.
 
@@ -285,7 +343,11 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
         attach_index(graph)
     with ViolationLedger(
-        graph, rules, backend=args.backend, workers=args.workers
+        graph,
+        rules,
+        backend=args.backend,
+        workers=args.workers,
+        fragment_mode=getattr(args, "fragment_mode", "hash"),
     ) as ledger:
         initial = ledger.bootstrap()
         print(
@@ -468,8 +530,14 @@ def build_parser() -> argparse.ArgumentParser:
     pvalidate_cmd.add_argument("--workers", type=int, default=2)
     pvalidate_cmd.add_argument(
         "--backend",
-        choices=["serial", "thread", "process", "engine"],
+        choices=["serial", "thread", "process", "engine", "fragment"],
         default="serial",
+    )
+    pvalidate_cmd.add_argument(
+        "--fragment-mode",
+        choices=["hash", "greedy"],
+        default="hash",
+        help="partitioner for --backend fragment (workers = fragment count)",
     )
     pvalidate_cmd.add_argument(
         "--index",
@@ -477,6 +545,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a repro.indexing index shared by all in-process shards",
     )
     pvalidate_cmd.set_defaults(func=cmd_pvalidate)
+
+    partition_cmd = sub.add_parser(
+        "partition",
+        help="edge-cut the graph into fragments, print partition/broadcast stats",
+    )
+    partition_cmd.add_argument("--graph", required=True)
+    partition_cmd.add_argument(
+        "--fragments", type=int, default=4, help="fragment count (default 4)"
+    )
+    partition_cmd.add_argument(
+        "--mode",
+        choices=["hash", "greedy"],
+        default="greedy",
+        help="edge-cut partitioner (default greedy)",
+    )
+    partition_cmd.add_argument(
+        "--rules",
+        default=None,
+        help="also report per-rule fragment-local vs escalated pivot counts",
+    )
+    partition_cmd.set_defaults(func=cmd_partition)
 
     stream_cmd = sub.add_parser(
         "stream",
@@ -491,9 +580,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream_cmd.add_argument(
         "--backend",
-        choices=["serial", "engine"],
+        choices=["serial", "engine", "fragment"],
         default="serial",
-        help="delta path: in-process, or sharded over a warm engine pool",
+        help="delta path: in-process, sharded over a warm engine pool, "
+        "or routed to fragment-resident replicas",
+    )
+    stream_cmd.add_argument(
+        "--fragment-mode",
+        choices=["hash", "greedy"],
+        default="hash",
+        help="partitioner for --backend fragment (workers = fragment count)",
     )
     stream_cmd.add_argument(
         "--workers", type=int, default=None, help="engine pool size (default: one per CPU)"

@@ -31,26 +31,44 @@ reference — every engine result is byte-identical to them.
 
 from repro.engine.pool import (
     EnginePool,
+    FragmentPool,
     get_pool,
     pool_for,
     release_pool,
     resolve_workers,
     shutdown_pools,
 )
-from repro.engine.scheduler import TaskUnit, estimate_shard_cost, plan_tasks
-from repro.engine.snapshot import GraphSnapshot, snapshot_graph, snapshot_size
+from repro.engine.scheduler import (
+    FragmentUnit,
+    TaskUnit,
+    estimate_shard_cost,
+    plan_fragment_tasks,
+    plan_tasks,
+)
+from repro.engine.snapshot import (
+    FragmentSnapshot,
+    GraphSnapshot,
+    snapshot_fragments,
+    snapshot_graph,
+    snapshot_size,
+)
 
 __all__ = [
     "EnginePool",
+    "FragmentPool",
+    "FragmentSnapshot",
+    "FragmentUnit",
     "GraphSnapshot",
     "TaskUnit",
     "estimate_shard_cost",
     "get_pool",
+    "plan_fragment_tasks",
     "plan_tasks",
     "pool_for",
     "release_pool",
     "resolve_workers",
     "shutdown_pools",
+    "snapshot_fragments",
     "snapshot_graph",
     "snapshot_size",
 ]

@@ -34,8 +34,13 @@ from repro.indexing.registry import get_index
 from repro.patterns.pattern import Pattern
 from repro.utils.registry import WeakIdRegistry
 
-from repro.engine.scheduler import TaskUnit
-from repro.engine.snapshot import GraphSnapshot, snapshot_graph
+from repro.engine.scheduler import FragmentUnit, TaskUnit
+from repro.engine.snapshot import (
+    FragmentSnapshot,
+    GraphSnapshot,
+    snapshot_fragments,
+    snapshot_graph,
+)
 
 # ----------------------------------------------------------------------
 # Worker-side state and task entry points (top level: importable by the
@@ -109,6 +114,44 @@ def _suggest_unit(violation, allow_backward: bool):
     from repro.repair.suggest import suggest_repairs
 
     return suggest_repairs(_worker_graph(), violation, allow_backward=allow_backward)
+
+
+# -- fragment-resident worker state ------------------------------------
+
+_WORKER_FRAGMENT = None  # the rebuilt Fragment (one per resident worker)
+
+
+def _initialize_fragment_worker(payload: bytes) -> None:
+    """Pool initializer: rebuild *one fragment* from its broadcast.
+
+    The resident worker never sees the rest of the graph — its memory
+    and broadcast cost are O(|fragment| + border), the whole point of
+    the fragmented core.
+    """
+    import pickle
+
+    global _WORKER_FRAGMENT
+    snapshot: FragmentSnapshot = pickle.loads(payload)
+    _WORKER_FRAGMENT = snapshot.restore()
+
+
+def _worker_fragment():
+    if _WORKER_FRAGMENT is None:
+        raise RuntimeError("fragment worker used before its snapshot broadcast")
+    return _WORKER_FRAGMENT
+
+
+def _fragment_validate_batch(batch: tuple[FragmentUnit, ...]):
+    """Run one fragment's (dependency, local pivots) units on the
+    resident fragment graph — the ordinary shard kernel, local plans
+    memoized on the fragment's view for the worker's lifetime."""
+    from repro.parallel.validate import run_shard
+
+    fragment = _worker_fragment()
+    return [
+        run_shard(fragment.graph, unit.ged, unit.pivot, unit.shard, unit.fragment_index)
+        for unit in batch
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -238,6 +281,122 @@ class EnginePool:
         )
 
 
+class FragmentPool:
+    """Fragment-resident workers: one process per fragment, each
+    initialized with **only its fragment's** snapshot.
+
+    Where :class:`EnginePool` broadcasts the whole graph to every worker
+    (O(k·|G|) across the pool), a fragment pool ships each resident
+    worker its slice — O(|G| + borders) total — and routes every
+    (dependency, fragment) unit to the worker that owns the fragment.
+    Pivots the ball-completeness rule cannot certify run coordinator-
+    side against the whole graph (the escalation path), so the merged
+    report stays byte-identical to the serial backend.
+    """
+
+    def __init__(self, fragmentation, *, graph: Graph | None = None):
+        self.fragmentation = fragmentation
+        self.snapshots = snapshot_fragments(fragmentation)
+        self.payloads = [snapshot.payload() for snapshot in self.snapshots]
+        self.fragment_bytes = [len(payload) for payload in self.payloads]
+        self.broadcast_bytes = sum(self.fragment_bytes)
+        self.max_fragment_bytes = max(self.fragment_bytes, default=0)
+        self.indexed = fragmentation.indexed
+        self.tasks_dispatched = 0
+        self.escalated_pivots = 0
+        self.closed = False
+        self._graph = graph  # the coordinator's whole graph (escalation)
+        self._executors = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_initialize_fragment_worker,
+                initargs=(payload,),
+            )
+            for payload in self.payloads
+        ]
+
+    @classmethod
+    def partition(
+        cls, graph: Graph, k: int, mode: str = "hash", *, ensure_indexes: bool | None = None
+    ) -> "FragmentPool":
+        """Partition ``graph`` (via the fragmentation cache) and stand
+        up one resident worker per fragment."""
+        from repro.graph.fragments import get_fragments
+
+        fragmentation = get_fragments(graph, k, mode, ensure_indexes=ensure_indexes)
+        return cls(fragmentation, graph=graph)
+
+    def validate(self, sigma: Sequence[GED], graph: Graph | None = None) -> list:
+        """All (violations, stats) shard results for Σ.
+
+        Fragment units go to their resident workers — one round trip
+        per fragment, units cost-ordered by the fragment scheduler —
+        while the escalation residue runs in-process on the whole
+        graph.  The caller merges and sorts exactly like every other
+        backend (see ``parallel_find_violations``).
+        """
+        from repro.engine.scheduler import plan_fragment_tasks
+        from repro.parallel.validate import run_shard
+
+        if self.closed:
+            raise RuntimeError("fragment pool is closed")
+        graph = graph if graph is not None else self._graph
+        if graph is None:
+            raise ValueError("validate() needs the coordinator graph for escalation")
+        if graph.version != self.fragmentation.source_version:
+            # The resident workers hold snapshots of the partition-time
+            # graph; planning against a mutated coordinator would merge
+            # stale fragment-local matches with fresh escalations — a
+            # report that is neither pre- nor post-mutation.  The warm
+            # EnginePool registry retires on version mismatch; a bound
+            # fragment pool must refuse instead.
+            raise RuntimeError(
+                f"fragment pool is stale: graph version {graph.version} != "
+                f"partitioned version {self.fragmentation.source_version} "
+                "(repartition with FragmentPool.partition)"
+            )
+        units, residue = plan_fragment_tasks(graph, sigma, self.fragmentation)
+        per_fragment: dict[int, list[FragmentUnit]] = {}
+        for unit in units:
+            per_fragment.setdefault(unit.fragment_index, []).append(unit)
+        futures = []
+        for fragment_index, batch in sorted(per_fragment.items()):
+            self.tasks_dispatched += len(batch)
+            futures.append(
+                self._executors[fragment_index].submit(
+                    _fragment_validate_batch, tuple(batch)
+                )
+            )
+        results = [shard_result for future in futures for shard_result in future.result()]
+        k = self.fragmentation.k
+        for ged, pivot, shard in residue:
+            self.escalated_pivots += len(shard)
+            results.append(run_shard(graph, ged, pivot, shard, k))
+        return results
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            # wait=True: k tiny single-worker executors drain instantly,
+            # and a clean join avoids fd races in interpreter teardown.
+            for executor in self._executors:
+                executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "FragmentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FragmentPool(k={self.fragmentation.k}, "
+            f"broadcast={self.broadcast_bytes}B, "
+            f"max_fragment={self.max_fragment_bytes}B, "
+            f"dispatched={self.tasks_dispatched})"
+        )
+
+
 # Identity-keyed for the same reason as repro.indexing.registry: a
 # WeakKeyDictionary probe would pay a structural Graph.__eq__ per call.
 _pools: WeakIdRegistry = WeakIdRegistry()
@@ -313,6 +472,7 @@ atexit.register(shutdown_pools)
 
 __all__ = [
     "EnginePool",
+    "FragmentPool",
     "get_pool",
     "pool_for",
     "release_pool",

@@ -16,6 +16,14 @@ from repro.matching.homomorphism import (
     is_homomorphism,
     seed_find_homomorphisms,
 )
+from repro.matching.locality import (
+    ball_closes_locally,
+    ball_levels,
+    pattern_distances,
+    pattern_radius,
+    pivot_radius,
+    split_local_pivots,
+)
 from repro.matching.isomorphism import (
     count_injective_matches,
     find_injective_matches,
@@ -28,6 +36,8 @@ __all__ = [
     "GraphView",
     "Match",
     "MatchPlan",
+    "ball_closes_locally",
+    "ball_levels",
     "candidate_sets",
     "compile_plan",
     "count_injective_matches",
@@ -41,6 +51,10 @@ __all__ = [
     "has_match",
     "is_homomorphism",
     "order_for_sizes",
+    "pattern_distances",
+    "pattern_radius",
+    "pivot_radius",
     "seed_find_homomorphisms",
+    "split_local_pivots",
     "variable_order",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graph.graph import Graph
-from repro.matching.candidates import candidate_sets
+from repro.matching.plan import compile_plan
 from repro.patterns.pattern import Pattern
 
 
@@ -45,6 +45,28 @@ class ShardPlan:
         return sum(len(shard) for shard in self.shards)
 
 
+def plan_pivot(pattern: Pattern, graph: Graph) -> tuple[str, list[str]]:
+    """The sharding pivot and its full candidate pool, in ascending id
+    order — the single definition every shard planner uses (round-robin
+    shards here, ownership partitions in the fragment planner).
+
+    The pools come from the compiled MatchPlan — cached on the graph's
+    view — so repeated shard planning (the scheduler per Σ rule, the
+    fragment planner per fragment) never re-derives candidate sets.
+    Canonical interning makes ascending slot order equal ascending id
+    order, so no sort is paid.  When any variable's pool is empty the
+    pattern cannot match: the returned pool is empty and the pivot is
+    the (first) emptiest variable.
+    """
+    plan = compile_plan(graph, pattern)
+    sizes = {variable: len(plan.pools_sorted[variable]) for variable in pattern.variables}
+    if any(size == 0 for size in sizes.values()):
+        return min(pattern.variables, key=lambda v: sizes[v]), []
+    pivot = max(pattern.variables, key=lambda v: sizes[v])
+    node_of = plan.view.node_of
+    return pivot, [node_of[slot] for slot in plan.pools_sorted[pivot]]
+
+
 def plan_shards(pattern: Pattern, graph: Graph, workers: int) -> ShardPlan:
     """Split ``pattern``'s match space in ``graph`` into ≤ ``workers`` shards.
 
@@ -54,17 +76,13 @@ def plan_shards(pattern: Pattern, graph: Graph, workers: int) -> ShardPlan:
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    candidates = candidate_sets(pattern, graph)
-    # Any variable with an empty candidate set kills all matches.
-    if any(not pool for pool in candidates.values()):
-        pivot = min(candidates, key=lambda v: len(candidates[v]))
+    pivot, ordered = plan_pivot(pattern, graph)
+    if not ordered:
         return ShardPlan(pattern, pivot, ())
-    pivot = max(pattern.variables, key=lambda v: len(candidates[v]))
-    ordered = sorted(candidates[pivot])
     blocks: list[list[str]] = [[] for _ in range(min(workers, len(ordered)))]
     for index, node_id in enumerate(ordered):
         blocks[index % len(blocks)].append(node_id)
     return ShardPlan(pattern, pivot, tuple(tuple(block) for block in blocks))
 
 
-__all__ = ["ShardPlan", "plan_shards"]
+__all__ = ["ShardPlan", "plan_pivot", "plan_shards"]

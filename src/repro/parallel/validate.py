@@ -3,7 +3,7 @@
 ``parallel_find_violations`` distributes the work of
 :func:`repro.reasoning.validation.find_violations` across shards of the
 match space (see :mod:`repro.parallel.partition`) and merges the
-results.  Four backends:
+results.  Five backends:
 
 * ``"serial"`` — runs shards in-process, one after the other.  Zero
   overhead; the deterministic reference and the 1-worker baseline.
@@ -21,6 +21,14 @@ results.  Four backends:
   the engine's graph-keyed registry: repeated validations of the same
   (unmutated) graph pay the broadcast exactly once.  This is the
   backend for serving workloads that revalidate after every batch.
+* ``"fragment"`` — the data itself is partitioned: the graph is
+  edge-cut into ``workers`` fragments (:mod:`repro.graph.fragments`)
+  and each dependency runs fragment-locally wherever the
+  ball-completeness rule guarantees exactness, with cut-crossing
+  pivots escalated to one whole-graph residual pass.  In-process and
+  deterministic; :class:`repro.engine.pool.FragmentPool` is the
+  fragment-*resident* process variant whose per-worker broadcast is
+  O(|G|/k + borders) instead of O(|G|).
 
 All backends return identical, deterministically ordered violations —
 a property the test suite asserts — because sharding by a pivot
@@ -44,13 +52,15 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.deps.ged import GED
+from repro.graph.fragments import Fragmentation, get_fragments
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
 from repro.matching.homomorphism import find_homomorphisms
+from repro.matching.locality import pivot_radius, split_local_pivots
 from repro.reasoning.validation import Violation, evaluate_match, x_literal_restrictions
-from repro.parallel.partition import plan_shards
+from repro.parallel.partition import plan_pivot, plan_shards
 
-_BACKENDS = ("serial", "thread", "process", "engine")
+_BACKENDS = ("serial", "thread", "process", "engine", "fragment")
 
 
 @dataclass(frozen=True)
@@ -140,17 +150,96 @@ def run_shard(
 _run_shard = run_shard
 
 
+def plan_fragment_pivots(
+    graph: Graph, ged: GED, fragmentation: Fragmentation
+) -> tuple[str, list[tuple[int, list[str]]], list[str]]:
+    """Fragment-resident work for one dependency: the pivot variable,
+    per-fragment locally decidable pivot lists, and the escalated rest.
+
+    The pivot and its candidate pool come from the compiled
+    :class:`~repro.matching.plan.MatchPlan` (the same choice
+    :func:`~repro.parallel.partition.plan_shards` makes); ownership
+    partitions the pool exactly, and within each fragment the
+    ball-completeness rule (:func:`~repro.matching.locality.split_local_pivots`)
+    keeps only pivots whose pattern-radius ball closes inside
+    interior ∪ border — the rest ship back for a coordinator-side
+    whole-graph pass.
+    """
+    pattern = ged.pattern
+    pivot, pool = plan_pivot(pattern, graph)
+    if not pool:
+        return pivot, [], []
+    radius = pivot_radius(pattern, pivot)
+    # One pass over the pool via the owner map (not one pool scan per
+    # fragment); the pool is ascending, so buckets stay sorted.
+    by_fragment: dict[int, list[str]] = {}
+    owner = fragmentation.owner
+    for node_id in pool:
+        by_fragment.setdefault(owner[node_id], []).append(node_id)
+    per_fragment: list[tuple[int, list[str]]] = []
+    escalated: list[str] = []
+    for fragment_index in sorted(by_fragment):
+        fragment = fragmentation.fragments[fragment_index]
+        local, shipped = split_local_pivots(
+            fragment.graph, fragment.interior, by_fragment[fragment_index], radius
+        )
+        if local:
+            per_fragment.append((fragment.index, local))
+        escalated.extend(shipped)
+    return pivot, per_fragment, sorted(escalated)
+
+
+def run_fragment_validation(
+    graph: Graph,
+    sigma: Sequence[GED],
+    fragmentation: Fragmentation,
+) -> list[tuple[list[Violation], ShardStats]]:
+    """Validate Σ fragment-locally, escalating cut-crossing pivots.
+
+    Each fragment-local call is the ordinary :func:`run_shard` kernel on
+    the fragment's induced subgraph — the PR 4 plan executor unchanged,
+    compiling (and caching) one plan per (fragment, pattern).  The
+    escalation pass runs the same kernel once per dependency on the
+    whole graph, restricted to the residual pivot set; the merged
+    violations are exactly the serial backend's because ownership plus
+    the ball-completeness rule partition the match space.
+    """
+    k = fragmentation.k
+    results: list[tuple[list[Violation], ShardStats]] = []
+    for ged in sigma:
+        pivot, per_fragment, escalated = plan_fragment_pivots(graph, ged, fragmentation)
+        for fragment_index, pivots in per_fragment:
+            fragment = fragmentation.fragments[fragment_index]
+            results.append(
+                run_shard(fragment.graph, ged, pivot, tuple(pivots), fragment_index)
+            )
+        if escalated:
+            # Shard index k = "the coordinator's escalation shard".
+            results.append(run_shard(graph, ged, pivot, tuple(escalated), k))
+    return results
+
+
 def parallel_find_violations(
     graph: Graph,
     sigma: Sequence[GED],
     workers: int | None = None,
     backend: str = "serial",
+    *,
+    fragmentation: Fragmentation | None = None,
+    fragment_mode: str = "hash",
 ) -> ParallelValidationReport:
     """Find all violations of Σ in G with sharded evaluation.
 
     ``workers=None`` defaults to one worker per available CPU (capped
     at ``os.cpu_count()``); explicit counts must be positive integers —
     zero or negative counts raise :class:`ValueError`.
+
+    For the ``"fragment"`` backend ``workers`` doubles as the fragment
+    count: the graph is edge-cut partitioned (``fragment_mode`` picks
+    the partitioner; a prebuilt ``fragmentation`` overrides both) and
+    each dependency is validated fragment-locally where the
+    ball-completeness rule allows, with cut-crossing pivots escalated
+    to one whole-graph residual pass.
 
     The returned violations are sorted (by dependency name, then match)
     so every backend and worker count yields the identical report.
@@ -167,7 +256,21 @@ def parallel_find_violations(
     results: list[tuple[list[Violation], ShardStats]] = []
     indexed = False
 
-    if engine_backed and backend == "engine":
+    if backend == "fragment":
+        if fragmentation is None:
+            fragmentation = get_fragments(graph, workers, fragment_mode)
+        elif fragmentation.source_version != graph.version:
+            # Same guard FragmentPool.validate applies: fragment-local
+            # shards on a stale partition merged with escalations on the
+            # fresh graph would be neither pre- nor post-mutation.
+            raise ValueError(
+                f"fragmentation is stale: graph version {graph.version} != "
+                f"partitioned version {fragmentation.source_version} "
+                "(repartition, or drop the fragmentation= argument)"
+            )
+        results = run_fragment_validation(graph, sigma, fragmentation)
+        indexed = get_index(graph) is not None
+    elif engine_backed and backend == "engine":
         from repro.engine.pool import get_pool
 
         pool = get_pool(graph, workers, patterns=[ged.pattern for ged in sigma])
@@ -245,5 +348,7 @@ __all__ = [
     "ShardStats",
     "parallel_find_violations",
     "parallel_validates",
+    "plan_fragment_pivots",
+    "run_fragment_validation",
     "run_shard",
 ]

@@ -19,7 +19,12 @@ changing data:
 * :mod:`repro.streaming.parallel` — :class:`EngineDeltaExecutor`, which
   shards changed-node pivots over a warm :mod:`repro.engine` pool whose
   workers *replicate the update stream* (periodically re-snapshotted)
-  instead of being re-broadcast per batch.
+  instead of being re-broadcast per batch;
+* :mod:`repro.streaming.fragments` — :class:`FragmentDeltaRouter`, which
+  maintains a :class:`~repro.graph.fragments.FragmentedGraph` mirror and
+  routes each batch to its owning fragments, so the per-fragment
+  replication log carries only that fragment's slice and the introduced
+  scan runs fragment-locally (ball-completeness, with cut escalation).
 
 The surrounding plumbing lives where it layers naturally: deletion-aware
 batches and up-front validation in :mod:`repro.graph.update`, the
@@ -46,6 +51,7 @@ from repro.streaming.delta import (
     pattern_distances,
     pattern_radius,
 )
+from repro.streaming.fragments import FragmentDeltaRouter
 from repro.streaming.ledger import (
     StreamDelta,
     ViolationLedger,
@@ -56,6 +62,7 @@ from repro.streaming.parallel import EngineDeltaExecutor
 
 __all__ = [
     "EngineDeltaExecutor",
+    "FragmentDeltaRouter",
     "StreamDelta",
     "ViolationLedger",
     "ball_levels",

@@ -40,14 +40,13 @@ on a graph that mutates every batch.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from functools import lru_cache
 
 from repro.deps.ged import GED
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
+from repro.matching.locality import ball_levels, pattern_distances, pattern_radius
 from repro.matching.plan import execute_over_pools
 from repro.patterns.labels import WILDCARD, matches
-from repro.patterns.pattern import Pattern
 from repro.reasoning.validation import (
     Violation,
     evaluate_match,
@@ -57,63 +56,6 @@ from repro.reasoning.validation import (
 #: A found violation, tagged with its dependency's position in Σ (the
 #: ledger's key space; positions disambiguate equal rules).
 TaggedViolation = tuple[int, Violation]
-
-
-@lru_cache(maxsize=None)
-def pattern_distances(pattern: Pattern) -> dict[str, dict[str, int]]:
-    """Undirected pairwise distances between a pattern's variables.
-
-    ``result[u][w]`` is defined exactly for w in u's weakly connected
-    component (``result[u][u] == 0``).  Patterns are immutable and
-    shared across dependencies, so the table is memoized per pattern.
-    """
-    result: dict[str, dict[str, int]] = {}
-    for start in pattern.variables:
-        distances = {start: 0}
-        frontier = [start]
-        depth = 0
-        while frontier:
-            depth += 1
-            next_frontier: list[str] = []
-            for variable in frontier:
-                neighbors = [t for _, t in pattern.out_edges(variable)] + [
-                    s for _, s in pattern.in_edges(variable)
-                ]
-                for neighbor in neighbors:
-                    if neighbor not in distances:
-                        distances[neighbor] = depth
-                        next_frontier.append(neighbor)
-            frontier = next_frontier
-        result[start] = distances
-    return result
-
-
-def pattern_radius(pattern: Pattern) -> int:
-    """The largest pattern distance any pin can impose (max eccentricity)."""
-    distances = pattern_distances(pattern)
-    return max((d for row in distances.values() for d in row.values()), default=0)
-
-
-def ball_levels(graph: Graph, center: str, radius: int) -> list[set[str]]:
-    """Cumulative undirected BFS balls: ``levels[d]`` = nodes within
-    distance d of ``center`` (``levels[0] == {center}``)."""
-    within = {center}
-    levels = [set(within)]
-    frontier = {center}
-    for _ in range(radius):
-        next_frontier: set[str] = set()
-        for node_id in frontier:
-            next_frontier |= graph.successors(node_id)
-            next_frontier |= graph.predecessors(node_id)
-        next_frontier -= within
-        if not next_frontier:
-            # Ball saturated: reuse the last level for remaining radii.
-            levels.extend(set(within) for _ in range(radius - len(levels) + 1))
-            break
-        within |= next_frontier
-        levels.append(set(within))
-        frontier = next_frontier
-    return levels
 
 
 def _label_pool(graph: Graph, label: str) -> set[str]:

@@ -42,7 +42,7 @@ from repro.streaming.delta import delta_violations
 #: Ledger key: (position of the dependency in Σ, the match embedding).
 LedgerKey = tuple[int, tuple[tuple[str, str], ...]]
 
-_BACKENDS = ("serial", "engine")
+_BACKENDS = ("serial", "engine", "fragment")
 
 
 def violation_to_dict(violation: Violation) -> dict[str, Any]:
@@ -111,9 +111,16 @@ class ViolationLedger:
         ``"engine"`` shards its pivots over a dedicated warm
         :mod:`repro.engine` pool whose workers replicate each batch
         instead of being re-broadcast (see
-        :class:`repro.streaming.parallel.EngineDeltaExecutor`).
+        :class:`repro.streaming.parallel.EngineDeltaExecutor`);
+        ``"fragment"`` routes each batch to a fragmented mirror so the
+        per-fragment replication log carries only its slice, and runs
+        the introduced scan fragment-locally with cut escalation (see
+        :class:`repro.streaming.fragments.FragmentDeltaRouter`).
     workers:
-        pool size for the engine backend (``None`` = one per CPU).
+        pool size for the engine backend, fragment count for the
+        fragment backend (``None`` = one per CPU).
+    fragment_mode:
+        partitioner for the fragment backend (``"hash"`` / ``"greedy"``).
     """
 
     def __init__(
@@ -123,6 +130,7 @@ class ViolationLedger:
         *,
         backend: str = "serial",
         workers: int | None = None,
+        fragment_mode: str = "hash",
     ):
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -130,11 +138,13 @@ class ViolationLedger:
         self.sigma = list(sigma)
         self.backend = backend
         self.workers = workers
+        self.fragment_mode = fragment_mode
         self.seq = 0
         self._entries: dict[LedgerKey, Violation] = {}
         self._by_node: dict[str, set[LedgerKey]] = {}
         self._position = {id(ged): index for index, ged in enumerate(self.sigma)}
         self._executor = None  # created lazily on the first engine refresh
+        self._router = None  # created lazily on the first fragment refresh
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -189,6 +199,14 @@ class ViolationLedger:
             # The executor snapshots the *pre-batch* graph; every batch
             # from here on is replicated to its workers.
             self._executor = EngineDeltaExecutor(self.graph, self.sigma, self.workers)
+        if self.backend == "fragment" and self._router is None:
+            from repro.streaming.fragments import FragmentDeltaRouter
+
+            # The router partitions the *pre-batch* graph; every batch
+            # from here on is routed to its fragments as slices.
+            self._router = FragmentDeltaRouter(
+                self.graph, self.sigma, self.workers, self.fragment_mode
+            )
         from repro.reasoning.incremental import apply_update
 
         apply_update(self.graph, update)  # validates the whole batch first
@@ -213,6 +231,8 @@ class ViolationLedger:
         # -- introduce: every post-batch violation meeting the batch ---
         if self._executor is not None:
             found = self._executor.refresh(update, touched)
+        elif self._router is not None:
+            found = self._router.refresh(self.graph, update, touched)
         else:
             found = delta_violations(self.graph, self.sigma, touched)
         # Canonical (dep position, embedding) order: the serial kernel
@@ -228,10 +248,12 @@ class ViolationLedger:
         return delta
 
     def close(self) -> None:
-        """Shut down the engine executor's worker pool, if one exists."""
+        """Shut down the engine executor's worker pool, if one exists
+        (the fragment router is in-process and just dropped)."""
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        self._router = None
 
     def __enter__(self) -> "ViolationLedger":
         return self

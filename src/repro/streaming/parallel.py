@@ -29,6 +29,8 @@ determinism property tests assert it.
 
 from __future__ import annotations
 
+import itertools
+import os
 from collections.abc import Iterable, Sequence
 
 from repro.deps.ged import GED
@@ -42,13 +44,38 @@ from repro.streaming.delta import TaggedViolation, delta_violations
 # Worker side (top level: importable by the executor's pickler)
 # ----------------------------------------------------------------------
 
-#: Highest update sequence number applied to this worker's graph replica
-#: (0 = the broadcast snapshot itself).  Lives in this module so it
-#: survives across tasks within one worker process and resets with it.
-_WORKER_STREAM_SEQ = 0
+
+class _WorkerStreamState:
+    """Replica progress of one worker process, keyed by pool epoch.
+
+    ``seq`` is the highest update sequence number applied to the
+    worker's graph replica (0 = the broadcast snapshot itself), valid
+    only for the pool *epoch* that broadcast the snapshot.  A module-
+    global bare integer — the previous design — could survive into a
+    recycled or forked worker process serving a **different** pool and
+    make it "fast-forward" from a stale sequence number, silently
+    skipping batches; comparing the task's epoch first guarantees a
+    worker whose state predates the current broadcast starts from the
+    snapshot (seq 0) instead.
+    """
+
+    __slots__ = ("epoch", "seq")
+
+    def __init__(self) -> None:
+        self.epoch: tuple | None = None
+        self.seq = 0
+
+    def enter_epoch(self, epoch: tuple) -> None:
+        if self.epoch != epoch:
+            self.epoch = epoch
+            self.seq = 0
+
+
+_WORKER_STREAM = _WorkerStreamState()
 
 
 def _stream_delta_task(
+    epoch: tuple,
     pending: tuple[tuple[int, GraphUpdate], ...],
     target_seq: int,
     shard: tuple[str, ...],
@@ -58,20 +85,23 @@ def _stream_delta_task(
     The rule set rides the pool broadcast (``EnginePool``'s ``extra``
     payload), not the task: Σ is constant for the executor's lifetime,
     so it is shipped once per worker instead of once per shard task.
+    ``epoch`` identifies the broadcast this task's sequence numbers are
+    relative to (see :class:`_WorkerStreamState`).
     """
-    global _WORKER_STREAM_SEQ
     from repro.engine.pool import _worker_extra, _worker_graph
     from repro.reasoning.incremental import apply_update
 
+    state = _WORKER_STREAM
+    state.enter_epoch(epoch)
     graph = _worker_graph()
     sigma: list[GED] = _worker_extra()
     for seq, update in pending:
-        if seq > _WORKER_STREAM_SEQ:
+        if seq > state.seq:
             apply_update(graph, update)
-            _WORKER_STREAM_SEQ = seq
-    if _WORKER_STREAM_SEQ != target_seq:
+            state.seq = seq
+    if state.seq != target_seq:
         raise RuntimeError(
-            f"stream replica out of sync: worker at {_WORKER_STREAM_SEQ}, "
+            f"stream replica out of sync: worker at {state.seq}, "
             f"coordinator at {target_seq}"
         )
     return delta_violations(graph, sigma, set(shard))
@@ -80,6 +110,14 @@ def _stream_delta_task(
 # ----------------------------------------------------------------------
 # Coordinator side
 # ----------------------------------------------------------------------
+
+#: Monotone broadcast-epoch source; combined with the coordinator's pid
+#: so epochs are unique even across forked coordinators.
+_EPOCH_COUNTER = itertools.count(1)
+
+
+def _new_epoch() -> tuple:
+    return (os.getpid(), next(_EPOCH_COUNTER))
 
 
 class EngineDeltaExecutor:
@@ -131,6 +169,7 @@ class EngineDeltaExecutor:
         self._pool = EnginePool(
             snapshot_graph(self.graph), self.workers, extra=list(self.sigma)
         )
+        self._epoch = _new_epoch()
         self._snapshot_seq = self.seq
         self._log = []
 
@@ -157,7 +196,7 @@ class EngineDeltaExecutor:
         target_seq = self.seq - self._snapshot_seq
         results = self._pool.run_tasks(
             _stream_delta_task,
-            [(pending, target_seq, tuple(shard)) for shard in shards],
+            [(self._epoch, pending, target_seq, tuple(shard)) for shard in shards],
         )
         # Merge: dedup across shards (a match meeting touched nodes in
         # two shards is found by both), deterministically ordered, and

@@ -1,6 +1,7 @@
 """Synthetic workload generators (stand-ins for Yago3/DBPedia/social data)."""
 
 from repro.workloads.churn import ChurnStream, churn_stream, social_churn_stream
+from repro.workloads.clustered import clustered_workload
 from repro.workloads.kb import PlantedErrors, synthetic_knowledge_base
 from repro.workloads.random_graphs import bounded_rule_set, validation_workload
 from repro.workloads.social import SpamGroundTruth, synthetic_social_network
@@ -11,6 +12,7 @@ __all__ = [
     "SpamGroundTruth",
     "bounded_rule_set",
     "churn_stream",
+    "clustered_workload",
     "social_churn_stream",
     "synthetic_knowledge_base",
     "synthetic_social_network",

@@ -1,0 +1,126 @@
+"""Fragment-resident workers: per-fragment broadcast, routed units,
+and byte-identical merged reports."""
+
+import pytest
+
+from repro.engine import (
+    FragmentPool,
+    plan_fragment_tasks,
+    snapshot_fragments,
+    snapshot_graph,
+    snapshot_size,
+)
+from repro.graph.fragments import partition_graph
+from repro.indexing import attach_index, get_index
+from repro.parallel import parallel_find_violations
+from repro.workloads import bounded_rule_set, clustered_workload, validation_workload
+
+
+def canonical(violations):
+    """Worker GEDs are pickle copies; compare on canonical forms."""
+    return [
+        (str(v.ged), v.match, tuple(str(l) for l in v.failed))
+        for v in sorted(violations, key=lambda v: (v.ged.name or "", str(v.ged), v.match))
+    ]
+
+
+class TestFragmentSnapshots:
+    def test_roundtrip_restores_fragment(self):
+        graph = validation_workload(60, rng=3)
+        fragmentation = partition_graph(graph, 3, "greedy")
+        for snapshot, fragment in zip(
+            snapshot_fragments(fragmentation), fragmentation.fragments
+        ):
+            restored = snapshot.restore()
+            assert restored.index == fragment.index
+            assert restored.graph == fragment.graph
+            assert restored.interior == fragment.interior
+            assert restored.border_owner == fragment.border_owner
+
+    def test_indexed_fragments_rebuild_indexes(self):
+        graph = validation_workload(60, rng=3)
+        attach_index(graph)
+        from repro.graph.fragments import get_fragments
+
+        fragmentation = get_fragments(graph, 3, "greedy")
+        restored = snapshot_fragments(fragmentation)[0].restore()
+        assert get_index(restored.graph) is not None
+
+    def test_fragment_broadcast_beats_whole_graph_on_clustered_data(self):
+        graph = clustered_workload(300, n_clusters=6, rng=13)
+        whole = snapshot_size(snapshot_graph(graph))
+        fragmentation = partition_graph(graph, 4, "greedy")
+        payloads = [len(s.payload()) for s in snapshot_fragments(fragmentation)]
+        assert max(payloads) < whole  # each resident worker holds < |G|
+
+
+class TestFragmentScheduler:
+    def test_units_cover_all_local_pivots_once(self):
+        graph = validation_workload(80, rng=5)
+        sigma = bounded_rule_set()
+        fragmentation = partition_graph(graph, 3, "hash")
+        units, residue = plan_fragment_tasks(graph, sigma, fragmentation)
+        for ged in sigma:
+            unit_pivots = [
+                node_id
+                for unit in units
+                if unit.ged is ged
+                for node_id in unit.shard
+            ]
+            residue_pivots = [
+                node_id for (r_ged, _, shard) in residue if r_ged is ged for node_id in shard
+            ]
+            combined = unit_pivots + residue_pivots
+            assert len(combined) == len(set(combined))  # exactly-once
+        for unit in units:
+            fragment = fragmentation.fragments[unit.fragment_index]
+            assert set(unit.shard) <= fragment.interior
+            assert unit.est_cost >= len(unit.shard)
+
+    def test_units_ordered_largest_first_per_fragment(self):
+        graph = validation_workload(80, rng=5)
+        fragmentation = partition_graph(graph, 3, "hash")
+        units, _ = plan_fragment_tasks(graph, bounded_rule_set(), fragmentation)
+        per_fragment: dict[int, list[int]] = {}
+        for unit in units:
+            per_fragment.setdefault(unit.fragment_index, []).append(unit.est_cost)
+        for costs in per_fragment.values():
+            assert costs == sorted(costs, reverse=True)
+
+
+class TestFragmentPool:
+    @pytest.mark.parametrize("mode", ["hash", "greedy"])
+    def test_validate_matches_serial(self, mode):
+        graph = validation_workload(80, rng=13)
+        sigma = bounded_rule_set()
+        serial = parallel_find_violations(graph, sigma, workers=2, backend="serial")
+        with FragmentPool.partition(graph, 3, mode) as pool:
+            results = pool.validate(sigma)
+        merged = [v for violations, _ in results for v in violations]
+        assert canonical(merged) == canonical(serial.violations)
+
+    def test_broadcast_accounting(self):
+        graph = clustered_workload(200, n_clusters=4, rng=7)
+        with FragmentPool.partition(graph, 4, "greedy") as pool:
+            assert len(pool.fragment_bytes) == 4
+            assert pool.broadcast_bytes == sum(pool.fragment_bytes)
+            assert pool.max_fragment_bytes == max(pool.fragment_bytes)
+            assert pool.max_fragment_bytes < snapshot_size(snapshot_graph(graph))
+
+    def test_closed_pool_refuses_work(self):
+        graph = validation_workload(40, rng=1)
+        pool = FragmentPool.partition(graph, 2, "hash")
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.validate(bounded_rule_set())
+
+    def test_stale_pool_refuses_mutated_graph(self):
+        """Resident workers hold partition-time snapshots; validating a
+        mutated coordinator would merge stale local matches with fresh
+        escalations — the pool must refuse, like the engine registry
+        retires on version mismatch."""
+        graph = validation_workload(40, rng=1)
+        with FragmentPool.partition(graph, 2, "hash") as pool:
+            graph.set_attribute(graph.node_ids[0], "score", 99)
+            with pytest.raises(RuntimeError, match="stale"):
+                pool.validate(bounded_rule_set())

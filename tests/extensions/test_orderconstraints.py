@@ -111,10 +111,16 @@ class TestAgainstBruteForce:
     @given(st.integers(min_value=0, max_value=100_000))
     def test_solver_agrees_with_grid_search(self, seed):
         """On integer-expressible instances the solver and a grid search
-        agree.  Grid granularity 0.5 over [-1, 4] suffices because all
-        constants are drawn from {0, 1, 2, 3}: any satisfiable instance
-        has a solution on the half-integer grid (dense-order argument),
-        and UNSAT instances have no solution anywhere."""
+        agree.  Grid granularity 1/4 over [-1, 4] suffices because all
+        constants are drawn from {0, 1, 2, 3} and there are at most 3
+        variables: a satisfiable instance places each variable on a
+        constant or strictly between adjacent landmarks, and 3 strictly
+        ordered variables fit in one unit gap at its quarter points
+        (dense-order argument — half-integer granularity was *not*
+        enough: ``x >= 2, x != 2, x < y, y < 3`` is satisfiable, but on
+        the half grid the only admissible x is 2.5, and no half-integer
+        y lies strictly between 2.5 and 3).  UNSAT instances have no
+        solution anywhere."""
         rng = random.Random(seed)
         variables = ["x", "y", "z"][: rng.randint(1, 3)]
         constraints = []
@@ -127,7 +133,7 @@ class TestAgainstBruteForce:
                 rhs = rng.choice(variables)
             constraints.append(Constraint(lhs, op, rhs))
         solution = solve_constraints(constraints)
-        grid = [v / 2 for v in range(-2, 9)]
+        grid = [v / 4 for v in range(-4, 17)]
         expected = brute_force_satisfiable(constraints, variables, grid)
         assert (solution is not None) == expected
         if solution is not None:

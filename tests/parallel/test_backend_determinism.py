@@ -22,7 +22,7 @@ from repro.workloads import (
     validation_workload,
 )
 
-BACKENDS = ("serial", "thread", "process", "engine")
+BACKENDS = ("serial", "thread", "process", "engine", "fragment")
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,193 @@
+"""Fragment-backend byte-identity: fragment-local validation plus
+escalation returns exactly the serial report.
+
+Covers both partitioner modes, fragment counts, ±index, the random and
+social workload families, and — via a radius-2 path rule — pivots whose
+pattern ball genuinely crosses fragment cuts (the escalation path).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.deps.ged import GED
+from repro.deps.literals import VariableLiteral
+from repro.graph.fragments import PARTITION_MODES, get_fragments, partition_graph
+from repro.graph.generators import random_labeled_graph
+from repro.indexing import attach_index, detach_index
+from repro.matching.locality import pivot_radius, split_local_pivots
+from repro.parallel import parallel_find_violations
+from repro.parallel.validate import plan_fragment_pivots
+from repro.patterns.pattern import Pattern
+from repro.reasoning import find_violations
+from repro.workloads import (
+    bounded_rule_set,
+    clustered_workload,
+    synthetic_social_network,
+    validation_workload,
+)
+
+
+def radius2_rule() -> GED:
+    """A 3-node path: the pivot's ball has radius 2, so cut-adjacent
+    pivots fail ball-completeness and must escalate."""
+    chain = Pattern(
+        {"u": "user", "i": "item", "s": "shop"},
+        [("u", "buys", "i"), ("s", "sells", "i")],
+    )
+    return GED(
+        chain,
+        [],
+        [VariableLiteral("u", "region", "s", "region")],
+        name="buyer-seller-same-region",
+    )
+
+
+def reference_report(graph, sigma):
+    return sorted(
+        find_violations(graph, sigma),
+        key=lambda v: (v.ged.name or "", str(v.ged), v.match),
+    )
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    @pytest.mark.parametrize("seed", [3, 13, 99])
+    def test_random_workload(self, mode, seed):
+        graph = validation_workload(120, rng=seed)
+        detach_index(graph)
+        sigma = bounded_rule_set()
+        reference = reference_report(graph, sigma)
+        for k in (1, 2, 4):
+            report = parallel_find_violations(
+                graph, sigma, workers=k, backend="fragment", fragment_mode=mode
+            )
+            assert report.violations == reference, (mode, k)
+            assert report.backend == "fragment"
+
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    def test_random_workload_indexed(self, mode):
+        graph = validation_workload(120, rng=13)
+        attach_index(graph)
+        sigma = bounded_rule_set()
+        reference = reference_report(graph, sigma)
+        report = parallel_find_violations(
+            graph, sigma, workers=3, backend="fragment", fragment_mode=mode
+        )
+        assert report.violations == reference
+        assert report.indexed
+
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    @pytest.mark.parametrize("indexed", [False, True])
+    def test_social_workload_with_deep_pattern(self, mode, indexed):
+        graph, _ = synthetic_social_network(
+            n_rings=2, n_benign_pairs=2, n_background_accounts=6, k=2, rng=3
+        )
+        sigma = [paper.phi5(k=2, keyword="peculiar")]
+        if indexed:
+            attach_index(graph)
+        else:
+            detach_index(graph)
+        reference = reference_report(graph, sigma)
+        report = parallel_find_violations(
+            graph, sigma, workers=3, backend="fragment", fragment_mode=mode
+        )
+        assert report.violations == reference
+
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    def test_escalation_path_is_exercised_and_exact(self, mode):
+        # Clustered data: deep-in-community pivots stay local, cut-side
+        # pivots escalate — both paths run in one report.
+        graph = clustered_workload(200, n_clusters=4, rng=7)
+        detach_index(graph)
+        sigma = [radius2_rule()]
+        fragmentation = get_fragments(graph, 4, mode)
+        _, per_fragment, escalated = plan_fragment_pivots(graph, sigma[0], fragmentation)
+        assert escalated, "workload too small to cross cuts — grow it"
+        assert per_fragment, "everything escalated — ball rule too weak"
+        report = parallel_find_violations(
+            graph, sigma, workers=4, backend="fragment", fragment_mode=mode
+        )
+        assert report.violations == reference_report(graph, sigma)
+
+    def test_prebuilt_fragmentation_is_honored(self):
+        graph = clustered_workload(150, n_clusters=5, rng=3)
+        sigma = bounded_rule_set()
+        fragmentation = partition_graph(graph, 5, "greedy")
+        report = parallel_find_violations(
+            graph, sigma, workers=2, backend="fragment", fragmentation=fragmentation
+        )
+        assert report.violations == reference_report(graph, sigma)
+
+    def test_stale_prebuilt_fragmentation_rejected(self):
+        """A partition of an older graph version must be refused, not
+        silently merged with fresh escalations."""
+        graph = validation_workload(50, rng=3)
+        fragmentation = partition_graph(graph, 3, "hash")
+        graph.set_attribute(graph.node_ids[0], "score", 99)
+        with pytest.raises(ValueError, match="stale"):
+            parallel_find_violations(
+                graph,
+                bounded_rule_set(),
+                workers=3,
+                backend="fragment",
+                fragmentation=fragmentation,
+            )
+
+
+class TestPropertyDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        indexed=st.booleans(),
+        k=st.integers(min_value=1, max_value=5),
+        mode=st.sampled_from(PARTITION_MODES),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_fragment_equals_serial_on_random_graphs(self, seed, indexed, k, mode):
+        graph = random_labeled_graph(
+            12,
+            0.3,
+            node_labels=["user", "item", "shop"],
+            edge_labels=["buys", "sells"],
+            attribute_names=["score", "region"],
+            attribute_values=[1, 2],
+            rng=seed,
+        )
+        if indexed:
+            attach_index(graph)
+        sigma = bounded_rule_set() + [radius2_rule()]
+        serial = parallel_find_violations(graph, sigma, workers=k, backend="serial")
+        fragment = parallel_find_violations(
+            graph, sigma, workers=k, backend="fragment", fragment_mode=mode
+        )
+        assert fragment.violations == serial.violations
+
+
+class TestBallCompleteness:
+    def test_pivot_radius(self):
+        sigma = bounded_rule_set()
+        assert pivot_radius(sigma[0].pattern, "u") == 1
+        assert pivot_radius(sigma[2].pattern, "i") == 0
+        disconnected = Pattern({"a": "user", "b": "shop"}, [])
+        assert pivot_radius(disconnected, "a") is None
+
+    def test_disconnected_pattern_escalates_everything(self):
+        graph = validation_workload(40, rng=1)
+        fragmentation = partition_graph(graph, 2, "hash")
+        fragment = fragmentation.fragments[0]
+        pivots = sorted(fragment.interior)[:5]
+        local, escalated = split_local_pivots(
+            fragment.graph, fragment.interior, pivots, None
+        )
+        assert local == [] and escalated == pivots
+
+    def test_radius_zero_is_always_local(self):
+        graph = validation_workload(40, rng=1)
+        fragmentation = partition_graph(graph, 2, "hash")
+        fragment = fragmentation.fragments[0]
+        pivots = sorted(fragment.interior)
+        local, escalated = split_local_pivots(
+            fragment.graph, fragment.interior, pivots, 0
+        )
+        assert local == pivots and escalated == []
