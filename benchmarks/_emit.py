@@ -23,13 +23,31 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
 DEFAULT_DIR = Path(__file__).resolve().parent / "out"
 
 FORMAT_VERSION = 1
+
+
+def git_sha() -> str | None:
+    """The repo HEAD commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def measure(call, repeats: int) -> tuple[float, object]:
@@ -53,7 +71,12 @@ def bench_payload(
     records: list[dict[str, Any]],
     meta: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """The full document written for one bench."""
+    """The full document written for one bench.
+
+    ``meta`` always carries run provenance — the emitting commit, a UTC
+    timestamp, and the interpreter/machine context — so an archived
+    ``BENCH_*.json`` artifact is traceable without its CI run.
+    """
     return {
         "bench": name,
         "format": FORMAT_VERSION,
@@ -61,6 +84,8 @@ def bench_payload(
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
+            "git_sha": git_sha(),
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
             **(meta or {}),
         },
         "records": records,
@@ -82,4 +107,11 @@ def emit_bench(
     return path
 
 
-__all__ = ["DEFAULT_DIR", "FORMAT_VERSION", "bench_payload", "emit_bench", "measure"]
+__all__ = [
+    "DEFAULT_DIR",
+    "FORMAT_VERSION",
+    "bench_payload",
+    "emit_bench",
+    "git_sha",
+    "measure",
+]

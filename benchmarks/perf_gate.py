@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """The CI perf-regression gate for the matching core, engine runtime,
-streaming, and the fragmented graph core.
+streaming, the fragmented graph core, and the telemetry layer.
 
-Four gates, all against thresholds committed in
+Five gates, all against thresholds committed in
 ``benchmarks/baseline.json``:
 
 * **matching** — plan-compiled validation versus the seed interpreter
@@ -28,6 +28,12 @@ Four gates, all against thresholds committed in
   ``fragment`` validation backend must stay ≥ 1.0x the warm ``engine``
   backend on the reference workload, byte-identically.  Emits
   ``BENCH_fragments.json``.
+* **telemetry** — instrumentation overhead on serial validation of the
+  reference workload: disabled (the null-sink default) must stay within
+  5% of a back-to-back reference run, enabled within 15%, and the
+  violation reports must be byte-identical either way.  Emits
+  ``BENCH_telemetry.json`` plus the enabled run's NDJSON trace
+  (``telemetry.ndjson``, uploaded as a CI artifact).
 
 Run it locally exactly as CI does::
 
@@ -326,6 +332,96 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"wrote {fragments_path}")
 
+    # ------------------------------------------------------------------
+    # Telemetry gate: instrumentation overhead, disabled and enabled.
+    # ------------------------------------------------------------------
+    from repro import telemetry
+
+    telemetry_conf = baseline["telemetry"]
+    telemetry_repeats = telemetry_conf["repeats"]
+    telemetry_thresholds = telemetry_conf["thresholds"]
+    print(
+        f"telemetry workload: validation_workload({workload['nodes']}, "
+        f"rng={workload['rng']}), serial, best of {telemetry_repeats}"
+    )
+    detach_index(graph)
+    telemetry.disable()
+    telemetry.reset()
+    telemetry.clear_spans()
+
+    def serial_run():
+        return parallel_find_violations(graph, sigma, workers=1, backend="serial")
+
+    # Interleaved best-of sampling: one reference, one disabled, and one
+    # enabled run per round, so slow drift on a shared runner hits all
+    # three modes alike instead of skewing whichever was measured last.
+    # Reference and disabled are the same code path (the null sink is
+    # the default); their ratio is pure measurement noise, which the 5%
+    # gate bounds.
+    reference_samples: list[float] = []
+    disabled_samples: list[float] = []
+    enabled_samples: list[float] = []
+    try:
+        for _ in range(telemetry_repeats):
+            wall, reference_report = measure(serial_run, 1)
+            reference_samples.append(wall)
+            wall, disabled_report = measure(serial_run, 1)
+            disabled_samples.append(wall)
+            telemetry.enable()
+            wall, enabled_report = measure(serial_run, 1)
+            enabled_samples.append(wall)
+            telemetry.disable()
+        telemetry.enable()
+        telemetry_snapshot = telemetry.snapshot()
+        ndjson_path = Path(args.output_dir) / "telemetry.ndjson"
+        ndjson_lines = telemetry.export_ndjson(str(ndjson_path))
+    finally:
+        telemetry.disable()
+    reference_wall = min(reference_samples)
+    disabled_wall = min(disabled_samples)
+    enabled_wall = min(enabled_samples)
+    if (
+        disabled_report.violations != reference_report.violations
+        or enabled_report.violations != reference_report.violations
+    ):
+        print(
+            "FAIL: telemetry perturbed the violation report "
+            "(enabled/disabled runs must be byte-identical)",
+            file=sys.stderr,
+        )
+        return 1
+    disabled_overhead = disabled_wall / reference_wall
+    enabled_overhead = enabled_wall / reference_wall
+    print(f"  serial reference       {reference_wall * 1000:8.2f} ms")
+    print(
+        f"  telemetry disabled     {disabled_wall * 1000:8.2f} ms "
+        f"({disabled_overhead:.3f}x)"
+    )
+    print(
+        f"  telemetry enabled      {enabled_wall * 1000:8.2f} ms "
+        f"({enabled_overhead:.3f}x, "
+        f"{len(telemetry_snapshot['counters'])} counter(s) collected)"
+    )
+    print(f"wrote {ndjson_path} ({ndjson_lines} line(s))")
+    telemetry_path = emit_bench(
+        "telemetry",
+        [
+            {"mode": "reference", "wall_s": reference_wall},
+            {"mode": "disabled", "wall_s": disabled_wall, "overhead": disabled_overhead},
+            {"mode": "enabled", "wall_s": enabled_wall, "overhead": enabled_overhead},
+        ],
+        meta={
+            "workload": workload,
+            "repeats": telemetry_repeats,
+            "disabled_overhead": disabled_overhead,
+            "enabled_overhead": enabled_overhead,
+            "counters_collected": len(telemetry_snapshot["counters"]),
+            "thresholds": telemetry_thresholds,
+        },
+        directory=args.output_dir,
+    )
+    print(f"wrote {telemetry_path}")
+
     if args.no_gate:
         return 0
 
@@ -379,6 +475,18 @@ def main(argv: list[str] | None = None) -> int:
             f"engine warm speedup over a cold one-shot process pool "
             f"{speedups['engine_warm_vs_process_cold']:.2f}x < "
             f"{thresholds['min_engine_warm_speedup_vs_process_cold']}x"
+        )
+    if disabled_overhead > telemetry_thresholds["max_disabled_overhead"]:
+        failures.append(
+            f"telemetry-disabled serial validation overhead "
+            f"{disabled_overhead:.3f}x > "
+            f"{telemetry_thresholds['max_disabled_overhead']}x"
+        )
+    if enabled_overhead > telemetry_thresholds["max_enabled_overhead"]:
+        failures.append(
+            f"telemetry-enabled serial validation overhead "
+            f"{enabled_overhead:.3f}x > "
+            f"{telemetry_thresholds['max_enabled_overhead']}x"
         )
     if failures:
         for failure in failures:

@@ -18,6 +18,9 @@ Operates on JSON files in the formats of :mod:`repro.graph.io` and
     python -m repro.cli explain --graph kb.json --rules rules.json --index
     python -m repro.cli engine --graph kb.json --rules rules.json --workers 4
     python -m repro.cli stream --log updates.jsonl --rules rules.json --index
+    python -m repro.cli stats --graph kb.json --rules rules.json --backend fragment
+    python -m repro.cli pvalidate --graph kb.json --rules rules.json \
+        --backend engine --telemetry ndjson:run.ndjson
 
 Rule files contain either a single GED dictionary or a list of them.
 Exit status: 0 for "yes/clean", 1 for "no/violations", 2 for usage or
@@ -373,12 +376,16 @@ def cmd_stream(args: argparse.Namespace) -> int:
             print(json.dumps(payload, sort_keys=True), flush=True)
         remaining = ledger.violations()
         sample_size = 5 if args.limit is None else args.limit
+        transport = ledger.transport_stats()
         print(
             json.dumps(
                 {
                     "type": "summary",
                     "batches": batches,
                     "violations": len(remaining),
+                    "routed_ops": transport["routed_ops"],
+                    "full_ops": transport["full_ops"],
+                    "escalated_nodes": transport["escalated_nodes"],
                     "sample": [violation_to_dict(v) for v in remaining[:sample_size]],
                 },
                 sort_keys=True,
@@ -408,12 +415,25 @@ def cmd_explain(args: argparse.Namespace) -> int:
         from repro.indexing import attach_index
 
         attach_index(graph)
+    observed = getattr(args, "observed", False)
+    if observed:
+        # One profiled validation run populates the per-step execution
+        # counters the observed rendering annotates the plans with.
+        from repro import telemetry
+
+        was_enabled = telemetry.enabled()
+        telemetry.enable()
+        try:
+            find_violations(graph, rules)
+        finally:
+            if not was_enabled:
+                telemetry.disable()
     for position, ged in enumerate(rules):
         if position:
             print()
         print(f"== {ged.name or 'GED'} ==")
         plan = compile_plan(graph, ged.pattern)
-        print(plan.explain())
+        print(plan.explain(observed=observed))
         filters = [l for l in ged.X if isinstance(l, ConstantLiteral)]
         for literal in filters:
             source = (
@@ -450,6 +470,65 @@ def cmd_index(args: argparse.Namespace) -> int:
                 f"candidate node(s) (-{percent:.0f}%)"
             )
     return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """`stats`: one profiled validation run, then the telemetry report.
+
+    Runs :func:`~repro.parallel.parallel_find_violations` on the chosen
+    backend with telemetry enabled and renders the collected registry —
+    as the human-readable derived report (``text``), the raw snapshot
+    plus derived rates (``json``), or Prometheus text exposition format
+    (``prom``).  Exit status follows the validation (0 clean, 1 dirty),
+    so `stats` composes with pipelines exactly like `pvalidate`.
+    """
+    from repro import telemetry
+    from repro.parallel import parallel_find_violations
+
+    graph = load_graph(args.graph)
+    rules = load_rules(args.rules)
+    if getattr(args, "index", False):
+        from repro.indexing import attach_index
+
+        attach_index(graph)
+    telemetry.reset()
+    telemetry.clear_spans()
+    telemetry.enable()
+    try:
+        report = parallel_find_violations(
+            graph,
+            rules,
+            workers=args.workers,
+            backend=args.backend,
+            fragment_mode=getattr(args, "fragment_mode", "hash"),
+        )
+        snapshot = telemetry.snapshot()
+    finally:
+        telemetry.disable()
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "derived": telemetry.derived_stats(snapshot),
+                    "snapshot": snapshot,
+                    "violations": len(report.violations),
+                    "backend": report.backend,
+                    "workers": report.workers,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif args.format == "prom":
+        sys.stdout.write(telemetry.render_prometheus(snapshot))
+    else:
+        print(
+            f"stats: {len(report.violations)} violation(s) "
+            f"[{report.backend}, {report.workers} worker(s), "
+            f"{report.wall_seconds * 1000:.1f} ms]"
+        )
+        print(telemetry.format_text(snapshot))
+    return 0 if report.valid else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -615,6 +694,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach a repro.indexing index before compiling (pruned pools, live attr filters)",
     )
+    explain_cmd.add_argument(
+        "--observed",
+        action="store_true",
+        help="run one profiled validation first and annotate each step "
+        "with its observed frame/candidate/probe counts",
+    )
     explain_cmd.set_defaults(func=cmd_explain)
 
     index_cmd = sub.add_parser(
@@ -646,7 +731,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="validation runs on the same warm pool (default 2: cold then warm)",
     )
     engine_cmd.set_defaults(func=cmd_engine)
+
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="run one profiled validation, report the telemetry registry "
+        "(text, json, or Prometheus exposition)",
+    )
+    stats_cmd.add_argument("--graph", required=True)
+    stats_cmd.add_argument("--rules", required=True)
+    stats_cmd.add_argument("--workers", type=int, default=2)
+    stats_cmd.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process", "engine", "fragment"],
+        default="fragment",
+    )
+    stats_cmd.add_argument(
+        "--fragment-mode",
+        choices=["hash", "greedy"],
+        default="hash",
+        help="partitioner for --backend fragment (workers = fragment count)",
+    )
+    stats_cmd.add_argument(
+        "--index",
+        action="store_true",
+        help="attach a repro.indexing index before validating",
+    )
+    stats_cmd.add_argument(
+        "--format",
+        choices=["text", "json", "prom"],
+        default="text",
+        help="report rendering (default text)",
+    )
+    stats_cmd.set_defaults(func=cmd_stats)
+
+    # NDJSON telemetry export rides along any of the heavy run commands;
+    # main() enables the registry, wraps the run in a root span, and
+    # writes spans + the final metrics snapshot to the given path.
+    for runnable in (validate, pvalidate_cmd, stream_cmd, engine_cmd):
+        runnable.add_argument(
+            "--telemetry",
+            default=None,
+            metavar="ndjson:PATH",
+            help="collect metrics/spans during the run and export them "
+            "as NDJSON to PATH",
+        )
     return parser
+
+
+def _telemetry_path(args: argparse.Namespace) -> str | None:
+    """Parse the ``--telemetry ndjson:<path>`` spec (None when absent)."""
+    spec = getattr(args, "telemetry", None)
+    if spec is None:
+        return None
+    prefix, _, path = spec.partition(":")
+    if prefix != "ndjson" or not path:
+        raise ValueError(
+            f"--telemetry expects 'ndjson:<path>', got {spec!r}"
+        )
+    return path
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -654,7 +796,27 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        export_path = _telemetry_path(args)
+        if export_path is None:
+            return args.func(args)
+        from repro import telemetry
+
+        telemetry.reset()
+        telemetry.clear_spans()
+        telemetry.enable()
+        try:
+            with telemetry.span(f"cli.{args.command}"):
+                code = args.func(args)
+        finally:
+            # Export even when the command raised: a partial trace of a
+            # failed run is exactly when the telemetry matters most.
+            lines = telemetry.export_ndjson(export_path)
+            telemetry.disable()
+        print(
+            f"telemetry: {lines} line(s) written to {export_path}",
+            file=sys.stderr,
+        )
+        return code
     except (ReproError, OSError, json.JSONDecodeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -32,6 +32,7 @@ from repro.deps.ged import GED
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
 from repro.patterns.pattern import Pattern
+from repro.telemetry import metrics as _metrics
 from repro.utils.registry import WeakIdRegistry
 
 from repro.engine.scheduler import FragmentUnit, TaskUnit
@@ -83,7 +84,7 @@ def _worker_extra():
     return _WORKER_EXTRA
 
 
-def _validate_batch(batch: tuple[TaskUnit, ...]):
+def _validate_batch(batch: tuple[TaskUnit, ...], collect: bool = False):
     """Run a batch of (dependency, shard) units on the warm graph.
 
     One batch is one round trip: the scheduler packs units so a call
@@ -92,14 +93,26 @@ def _validate_batch(batch: tuple[TaskUnit, ...]):
     pattern and stay memoized on the worker's graph view for its
     lifetime — the shard kernel hits the warm plan through the ordinary
     matching API.
+
+    ``collect=True`` (the coordinator's telemetry is enabled) runs the
+    batch under a fresh metrics registry and returns ``(results,
+    snapshot)`` — the worker-side half of cross-process aggregation.
+    The default return shape is unchanged.
     """
     from repro.parallel.validate import run_shard
 
     graph = _worker_graph()
-    return [
-        run_shard(graph, unit.ged, unit.pivot, unit.shard, unit.shard_index)
-        for unit in batch
-    ]
+    if not collect:
+        return [
+            run_shard(graph, unit.ged, unit.pivot, unit.shard, unit.shard_index)
+            for unit in batch
+        ]
+    with _metrics.collecting() as registry:
+        results = [
+            run_shard(graph, unit.ged, unit.pivot, unit.shard, unit.shard_index)
+            for unit in batch
+        ]
+    return results, registry.snapshot()
 
 
 def _count_pattern(pattern: Pattern) -> int:
@@ -141,17 +154,39 @@ def _worker_fragment():
     return _WORKER_FRAGMENT
 
 
-def _fragment_validate_batch(batch: tuple[FragmentUnit, ...]):
+def _fragment_validate_batch(batch: tuple[FragmentUnit, ...], collect: bool = False):
     """Run one fragment's (dependency, local pivots) units on the
     resident fragment graph — the ordinary shard kernel, local plans
-    memoized on the fragment's view for the worker's lifetime."""
+    memoized on the fragment's view for the worker's lifetime.
+
+    ``collect=True`` returns ``(results, snapshot)``; the snapshot's
+    executor counters are additionally attributed to this fragment
+    (``fragment.frames_expanded.fragment<i>``) so the coordinator can
+    report per-fragment skew without knowing which worker ran what.
+    """
     from repro.parallel.validate import run_shard
 
     fragment = _worker_fragment()
-    return [
-        run_shard(fragment.graph, unit.ged, unit.pivot, unit.shard, unit.fragment_index)
-        for unit in batch
-    ]
+    if not collect:
+        return [
+            run_shard(
+                fragment.graph, unit.ged, unit.pivot, unit.shard, unit.fragment_index
+            )
+            for unit in batch
+        ]
+    with _metrics.collecting() as registry:
+        results = [
+            run_shard(
+                fragment.graph, unit.ged, unit.pivot, unit.shard, unit.fragment_index
+            )
+            for unit in batch
+        ]
+        if batch:
+            registry.incr(
+                f"fragment.frames_expanded.fragment{batch[0].fragment_index}",
+                registry.counter_value("plan.frames_expanded"),
+            )
+    return results, registry.snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -207,6 +242,9 @@ class EnginePool:
         self.calls = 0
         self.closed = False
         self.broadcast_bytes = len(payload) + len(extra_payload or b"")
+        sink = _metrics.sink()
+        sink.incr("engine.pools_built")
+        sink.incr("engine.broadcast_bytes", self.broadcast_bytes)
         self._plan_cache: dict[tuple[GED, ...], list[TaskUnit]] = {}
         self._executor = ProcessPoolExecutor(
             max_workers=workers,
@@ -245,8 +283,20 @@ class EnginePool:
         from repro.engine.scheduler import pack_units
 
         batches = pack_units(units, self.workers * 2)
-        results = self._map(_validate_batch, [(batch,) for batch in batches])
-        return [shard_result for batch in results for shard_result in batch]
+        sink = _metrics.sink()
+        if not sink.enabled:
+            results = self._map(_validate_batch, [(batch,) for batch in batches])
+            return [shard_result for batch in results for shard_result in batch]
+        loads = [sum(unit.est_cost for unit in batch) for batch in batches if batch]
+        if loads:
+            mean = sum(loads) / len(loads)
+            sink.gauge("engine.lpt_imbalance", max(loads) / mean if mean else 1.0)
+        collected = self._map(_validate_batch, [(batch, True) for batch in batches])
+        flat = []
+        for batch_results, snapshot in collected:
+            sink.merge(snapshot)
+            flat.extend(batch_results)
+        return flat
 
     def count_patterns(self, patterns: Sequence[Pattern]) -> list[int]:
         """Match counts for many patterns (discovery's support scan)."""
@@ -305,6 +355,9 @@ class FragmentPool:
         self.tasks_dispatched = 0
         self.escalated_pivots = 0
         self.closed = False
+        sink = _metrics.sink()
+        sink.incr("fragment.pools_built")
+        sink.incr("fragment.broadcast_bytes", self.broadcast_bytes)
         self._graph = graph  # the coordinator's whole graph (escalation)
         self._executors = [
             ProcessPoolExecutor(
@@ -359,19 +412,40 @@ class FragmentPool:
         per_fragment: dict[int, list[FragmentUnit]] = {}
         for unit in units:
             per_fragment.setdefault(unit.fragment_index, []).append(unit)
+        sink = _metrics.sink()
+        collect = sink.enabled
         futures = []
         for fragment_index, batch in sorted(per_fragment.items()):
             self.tasks_dispatched += len(batch)
             futures.append(
                 self._executors[fragment_index].submit(
-                    _fragment_validate_batch, tuple(batch)
+                    _fragment_validate_batch, tuple(batch), collect
                 )
             )
-        results = [shard_result for future in futures for shard_result in future.result()]
+        if collect:
+            results = []
+            for future in futures:
+                batch_results, snapshot = future.result()
+                sink.merge(snapshot)
+                results.extend(batch_results)
+            sink.incr(
+                "fragment.pivots.local", sum(len(unit.shard) for unit in units)
+            )
+        else:
+            results = [
+                shard_result for future in futures for shard_result in future.result()
+            ]
         k = self.fragmentation.k
+        frames_before = sink.counter_value("plan.frames_expanded")
         for ged, pivot, shard in residue:
             self.escalated_pivots += len(shard)
+            sink.incr("fragment.pivots.escalated", len(shard))
             results.append(run_shard(graph, ged, pivot, shard, k))
+        if collect and residue:
+            sink.incr(
+                "fragment.frames_expanded.coordinator",
+                sink.counter_value("plan.frames_expanded") - frames_before,
+            )
         return results
 
     def close(self) -> None:
@@ -427,6 +501,7 @@ def get_pool(
         if get_index(graph) is None:
             attach_index(graph)
     indexed = get_index(graph) is not None
+    sink = _metrics.sink()
     pool = _pools.get(graph)
     if (
         pool is not None
@@ -435,9 +510,19 @@ def get_pool(
         and pool.workers == resolved
         and pool.indexed == indexed
     ):
+        sink.incr("engine.pool.warm_hits")
         return pool
     if pool is not None:
+        if pool.closed:
+            sink.incr("engine.pool.invalidated.closed")
+        elif pool.version != graph.version:
+            sink.incr("engine.pool.invalidated.version")
+        elif pool.workers != resolved:
+            sink.incr("engine.pool.invalidated.workers")
+        else:
+            sink.incr("engine.pool.invalidated.index")
         pool.close()
+    sink.incr("engine.pool.cold_builds")
     pool = EnginePool(snapshot_graph(graph, patterns=patterns), resolved)
     _pools.set(graph, pool)
     # The registry holds the graph weakly: when the graph is collected

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from repro.errors import GraphError
 from repro.graph.graph import Edge, Graph, Node, Value
 from repro.graph.update import GraphUpdate, validate_update
+from repro.telemetry import metrics as _metrics
 from repro.utils.registry import WeakIdRegistry
 
 PARTITION_MODES = ("hash", "greedy")
@@ -268,7 +269,26 @@ def partition_graph(graph: Graph, k: int, mode: str = "hash") -> Fragmentation:
                     border_owner[neighbor] = owner[neighbor]
         local = graph.induced_subgraph(interior | set(border_owner))
         fragments.append(Fragment(index, local, interior, border_owner))
-    return Fragmentation(fragments, owner, mode, graph.version)
+    fragmentation = Fragmentation(fragments, owner, mode, graph.version)
+    sink = _metrics.sink()
+    if sink.enabled:
+        sink.incr("fragment.partitions_built")
+        _record_partition_quality(sink, fragmentation)
+    return fragmentation
+
+
+def _record_partition_quality(sink, fragmentation: "Fragmentation") -> None:
+    """Gauge the partition-quality signals ROADMAP item 5 triggers on:
+    border-replica share, cut edges, and interior balance."""
+    nodes = len(fragmentation.owner)
+    replicas = fragmentation.replicated_nodes()
+    sink.gauge("fragment.border_replica_share", replicas / nodes if nodes else 0.0)
+    sink.gauge("fragment.cut_edges", float(fragmentation.cut_edges()))
+    interiors = [len(fragment.interior) for fragment in fragmentation.fragments]
+    top = max(interiors, default=0)
+    sink.gauge(
+        "fragment.balance", (sum(interiors) / len(interiors)) / top if top else 1.0
+    )
 
 
 # ----------------------------------------------------------------------
@@ -716,6 +736,18 @@ class FragmentedGraph:
         for fragment_index, node_id, owner_index in routed.replicas_added:
             fragmentation.fragments[fragment_index].border_owner[node_id] = owner_index
         self._version += 1
+        sink = _metrics.sink()
+        if sink.enabled:
+            sink.incr("fragment.route.batches")
+            sink.incr("fragment.route.ops_routed", routed.total_operations())
+            sink.incr("fragment.route.ops_full", fragmentation.k * update.size())
+            sink.incr("fragment.route.replicas_added", len(routed.replicas_added))
+            sink.incr("fragment.route.replicas_removed", len(routed.replicas_removed))
+            nodes = len(fragmentation.owner)
+            sink.gauge(
+                "fragment.border_replica_share",
+                fragmentation.replicated_nodes() / nodes if nodes else 0.0,
+            )
         return routed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -758,8 +790,11 @@ def get_fragments(
         _fragmentations.set(graph, entries)
     fragmentation = entries.get((k, mode))
     if fragmentation is None or fragmentation.source_version != graph.version:
+        _metrics.sink().incr("fragment.cache.builds")
         fragmentation = partition_graph(graph, k, mode)
         entries[(k, mode)] = fragmentation
+    else:
+        _metrics.sink().incr("fragment.cache.hits")
     want_indexes = (
         get_index(graph) is not None if ensure_indexes is None else ensure_indexes
     )

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.graph.graph import Graph
 from repro.graph.update import GraphUpdate, apply_update_plain, validate_update
+from repro.telemetry import metrics as _metrics
 
 from repro.indexing.indexed_graph import GraphIndexes
 from repro.indexing.registry import get_index
@@ -160,6 +161,10 @@ class IndexMaintenance:
             report.edges_added += 1
 
         index.synced_version = graph.version
+        sink = _metrics.sink()
+        if sink.enabled:
+            sink.incr("index.maintenance_batches")
+            sink.incr("index.maintenance_ops", report.total_operations())
         return report
 
     def _rescan_unindexable(self, attr: str) -> None:

@@ -19,6 +19,7 @@ registered) and transparently fall back.
 from __future__ import annotations
 
 from repro.graph.graph import Graph
+from repro.telemetry import metrics as _metrics
 from repro.utils.registry import WeakIdRegistry
 
 from repro.indexing.indexed_graph import GraphIndexes, build_indexes
@@ -46,8 +47,13 @@ def get_index(graph: Graph) -> GraphIndexes | None:
     via :func:`has_index` and decide to :func:`attach_index` again.
     """
     index = _indexes.get(graph)
-    if index is None or index.synced_version != graph.version:
+    if index is None:
+        _metrics.sink().incr("index.misses")
         return None
+    if index.synced_version != graph.version:
+        _metrics.sink().incr("index.stale")
+        return None
+    _metrics.sink().incr("index.hits")
     return index
 
 

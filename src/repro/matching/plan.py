@@ -56,6 +56,7 @@ so no O(|G|) view build is paid per batch.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 from functools import lru_cache
@@ -68,6 +69,7 @@ from repro.matching.candidates import candidate_sets, order_for_sizes
 from repro.matching.view import GraphView, get_view
 from repro.patterns.labels import WILDCARD
 from repro.patterns.pattern import Pattern
+from repro.telemetry import metrics as _metrics
 
 Match = dict[str, str]
 
@@ -148,7 +150,63 @@ def _steps_for(pattern: Pattern, order: tuple[str, ...]) -> tuple[PlanStep, ...]
 # ----------------------------------------------------------------------
 
 
-def _execute(order, steps, pools_sorted, pools_set, row_set, to_id, limit):
+class _ExecObserver:
+    """Per-run execution accounting, created only when telemetry is on.
+
+    Accumulates locally (plain ints and one local histogram — no sink
+    traffic inside the enumeration) and flushes once per run: global
+    counters ``plan.frames_expanded`` / ``plan.candidates_produced`` /
+    ``plan.intersections``, the ``plan.frame_candidates`` size
+    histogram, and — for view-bound plans — the plan's own ``observed``
+    per-variable totals that :meth:`MatchPlan.explain` renders next to
+    its estimates.
+    """
+
+    __slots__ = ("per_var", "sizes", "target", "_counts", "_bounds")
+
+    def __init__(self, target: dict | None = None):
+        self.per_var: dict[str, list[int]] = {}
+        self.sizes = _metrics.Histogram(_metrics.DEFAULT_BOUNDS)
+        self.target = target
+        # Hot-path locals: only the bucket increment happens per frame;
+        # the histogram's sum/count are derivable from the per-variable
+        # totals and patched in at flush time.
+        self._counts = self.sizes.counts
+        self._bounds = self.sizes.bounds
+
+    def frame(self, variable: str, produced: int, probes: int) -> None:
+        entry = self.per_var.get(variable)
+        if entry is None:
+            entry = self.per_var[variable] = [0, 0, 0]
+        entry[0] += 1
+        entry[1] += produced
+        entry[2] += probes
+        self._counts[bisect_left(self._bounds, produced)] += 1
+
+    def flush(self, sink) -> None:
+        per_var = self.per_var
+        if not per_var:
+            return
+        frames = sum(entry[0] for entry in per_var.values())
+        produced = sum(e[1] for e in per_var.values())
+        sink.incr("plan.frames_expanded", frames)
+        sink.incr("plan.candidates_produced", produced)
+        sink.incr("plan.intersections", sum(e[2] for e in per_var.values()))
+        self.sizes.count = frames
+        self.sizes.sum = produced
+        sink.merge_histogram("plan.frame_candidates", self.sizes)
+        if self.target is not None:
+            for variable, entry in per_var.items():
+                totals = self.target.get(variable)
+                if totals is None:
+                    self.target[variable] = list(entry)
+                else:
+                    totals[0] += entry[0]
+                    totals[1] += entry[1]
+                    totals[2] += entry[2]
+
+
+def _execute(order, steps, pools_sorted, pools_set, row_set, to_id, limit, observer=None):
     """Enumerate matches with an explicit stack.
 
     ``pools_sorted`` / ``pools_set`` hold each variable's effective
@@ -171,6 +229,10 @@ def _execute(order, steps, pools_sorted, pools_set, row_set, to_id, limit):
             for check in checks:
                 row = row_set(check.out_dir, check.label, assign[check.depth])
                 if not row:
+                    if observer is not None:
+                        # len(operands) == adjacency rows probed so far
+                        # (the pool slot stands in for the failing row).
+                        observer.frame(step.variable, 0, len(operands))
                     return _EMPTY
                 operands.append(row)
             operands.sort(key=len)
@@ -182,15 +244,23 @@ def _execute(order, steps, pools_sorted, pools_set, row_set, to_id, limit):
                     for image in found
                     if all(image in row_set(True, wire, image) for wire in loops)
                 ]
-            return sorted(found)
+            result = sorted(found)
+            if observer is not None:
+                observer.frame(step.variable, len(result), len(checks))
+            return result
         pool = pools_sorted[step.variable]
         if step.self_loops:
             loops = step.self_loops
-            return [
+            result = [
                 image
                 for image in pool
                 if all(image in row_set(True, wire, image) for wire in loops)
             ]
+            if observer is not None:
+                observer.frame(step.variable, len(result), 0)
+            return result
+        if observer is not None:
+            observer.frame(step.variable, len(pool), 0)
         return pool
 
     stack = [iter(candidates_at(0))]
@@ -245,6 +315,7 @@ class MatchPlan:
         "order",
         "steps",
         "profile",
+        "observed",
     )
 
     def __init__(
@@ -268,6 +339,10 @@ class MatchPlan:
         self.order: tuple[str, ...] = tuple(order_for_sizes(pattern, sizes))
         self.steps: tuple[PlanStep, ...] = _steps_for(pattern, self.order)
         self.profile = profile
+        #: Observed execution totals per variable — ``[frames,
+        #: candidates, probes]`` — accumulated across telemetry-enabled
+        #: runs of this plan (``explain(observed=True)`` renders them).
+        self.observed: dict[str, list[int]] = {}
 
     # ------------------------------------------------------------------
     def matches(
@@ -325,15 +400,32 @@ class MatchPlan:
                 else tuple(sorted(pools_set[v]))
                 for v in pattern.variables
             }
-        yield from _execute(
-            order,
-            steps,
-            pools_sorted,
-            pools_set,
-            view.row_set,
-            view.node_of.__getitem__,
-            limit,
-        )
+        sink = _metrics.sink()
+        if not sink.enabled:
+            yield from _execute(
+                order,
+                steps,
+                pools_sorted,
+                pools_set,
+                view.row_set,
+                view.node_of.__getitem__,
+                limit,
+            )
+            return
+        observer = _ExecObserver(self.observed)
+        try:
+            yield from _execute(
+                order,
+                steps,
+                pools_sorted,
+                pools_set,
+                view.row_set,
+                view.node_of.__getitem__,
+                limit,
+                observer,
+            )
+        finally:
+            observer.flush(_metrics.sink())
 
     # ------------------------------------------------------------------
     def step_cost(self, depth: int) -> float:
@@ -345,8 +437,16 @@ class MatchPlan:
         fanouts = (self.profile.fanout(check.label) for check in step.checks)
         return min([float(pool)] + [f for f in fanouts if f is not None])
 
-    def explain(self) -> str:
-        """A stable, human-readable rendering of the compiled plan."""
+    def explain(self, observed: bool = False) -> str:
+        """A stable, human-readable rendering of the compiled plan.
+
+        With ``observed=True``, each step additionally shows the actual
+        execution totals telemetry-enabled runs accumulated — frames
+        expanded, candidates produced (and the per-frame mean, directly
+        comparable to the ``est. ~X/frame`` estimate), and adjacency
+        rows probed.  The default rendering is byte-identical to what it
+        was before observation existed.
+        """
         view = self.view
         lines = [
             f"match plan for Q[{', '.join(self.pattern.variables)}] — "
@@ -374,7 +474,22 @@ class MatchPlan:
                 loops = ", ".join(wire or "_" for wire in step.self_loops)
                 head += f"; self-loop check({loops})"
             head += f"  [est. ~{self.step_cost(depth):.1f}/frame]"
+            if observed:
+                totals = self.observed.get(step.variable)
+                if totals is None:
+                    head += "  [obs. not executed]"
+                else:
+                    frames, produced, probed = totals
+                    mean = produced / frames if frames else 0.0
+                    head += (
+                        f"  [obs. {frames} frame(s), ~{mean:.1f}/frame, "
+                        f"{probed} row probe(s)]"
+                    )
             lines.append(head)
+        if observed and not self.observed:
+            lines.append(
+                "  (no observed execution — run with telemetry enabled first)"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -402,6 +517,9 @@ def compile_plan(graph: Graph, pattern: Pattern) -> MatchPlan:
         plan = MatchPlan(pattern, view, indexed, pool_slots, _view_profile(view, graph))
         view.plans[key] = plan
         view.plan_compiles += 1
+        _metrics.sink().incr("plan.compiles")
+    else:
+        _metrics.sink().incr("plan.cache_hits")
     return plan
 
 
@@ -436,6 +554,7 @@ def install_plan(
     plan = MatchPlan(pattern, view, indexed, pool_slots, _view_profile(view, graph))
     view.plans[(pattern, indexed)] = plan
     view.plan_installs += 1
+    _metrics.sink().incr("plan.installs")
     return plan
 
 
@@ -509,9 +628,26 @@ def execute_over_pools(
     order = tuple(order_for_sizes(pattern, sizes))
     steps = _steps_for(pattern, order)
     pools_sorted = {variable: tuple(sorted(pool)) for variable, pool in pools.items()}
-    yield from _execute(
-        order, steps, pools_sorted, pools, _adjacency_rows(graph), _identity, limit
-    )
+    sink = _metrics.sink()
+    if not sink.enabled:
+        yield from _execute(
+            order, steps, pools_sorted, pools, _adjacency_rows(graph), _identity, limit
+        )
+        return
+    observer = _ExecObserver()
+    try:
+        yield from _execute(
+            order,
+            steps,
+            pools_sorted,
+            pools,
+            _adjacency_rows(graph),
+            _identity,
+            limit,
+            observer,
+        )
+    finally:
+        observer.flush(_metrics.sink())
 
 
 def program_cache_info():

@@ -58,6 +58,8 @@ from repro.indexing.registry import get_index
 from repro.matching.homomorphism import find_homomorphisms
 from repro.matching.locality import pivot_radius, split_local_pivots
 from repro.reasoning.validation import Violation, evaluate_match, x_literal_restrictions
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.spans import span
 from repro.parallel.partition import plan_pivot, plan_shards
 
 _BACKENDS = ("serial", "thread", "process", "engine", "fragment")
@@ -205,17 +207,32 @@ def run_fragment_validation(
     the ball-completeness rule partition the match space.
     """
     k = fragmentation.k
+    sink = _metrics.sink()
     results: list[tuple[list[Violation], ShardStats]] = []
     for ged in sigma:
         pivot, per_fragment, escalated = plan_fragment_pivots(graph, ged, fragmentation)
         for fragment_index, pivots in per_fragment:
             fragment = fragmentation.fragments[fragment_index]
+            sink.incr("fragment.pivots.local", len(pivots))
+            frames_before = sink.counter_value("plan.frames_expanded")
             results.append(
                 run_shard(fragment.graph, ged, pivot, tuple(pivots), fragment_index)
             )
+            if sink.enabled:
+                sink.incr(
+                    f"fragment.frames_expanded.fragment{fragment_index}",
+                    sink.counter_value("plan.frames_expanded") - frames_before,
+                )
         if escalated:
+            sink.incr("fragment.pivots.escalated", len(escalated))
+            frames_before = sink.counter_value("plan.frames_expanded")
             # Shard index k = "the coordinator's escalation shard".
             results.append(run_shard(graph, ged, pivot, tuple(escalated), k))
+            if sink.enabled:
+                sink.incr(
+                    "fragment.frames_expanded.coordinator",
+                    sink.counter_value("plan.frames_expanded") - frames_before,
+                )
     return results
 
 
@@ -252,6 +269,26 @@ def parallel_find_violations(
     sigma = list(sigma)
     started = time.perf_counter()
 
+    with span("pvalidate", backend=backend, workers=workers, rules=len(sigma)):
+        report = _dispatch_backend(graph, sigma, workers, backend, fragmentation, fragment_mode)
+    report.wall_seconds = time.perf_counter() - started
+    sink = _metrics.sink()
+    if sink.enabled:
+        sink.incr("validate.runs")
+        sink.observe(
+            "validate.wall_seconds", report.wall_seconds, _metrics.SECONDS_BOUNDS
+        )
+    return report
+
+
+def _dispatch_backend(
+    graph: Graph,
+    sigma: list[GED],
+    workers: int,
+    backend: str,
+    fragmentation: Fragmentation | None,
+    fragment_mode: str,
+) -> ParallelValidationReport:
     engine_backed = backend in ("process", "engine") and workers > 1 and bool(sigma)
     results: list[tuple[list[Violation], ShardStats]] = []
     indexed = False
@@ -328,7 +365,7 @@ def parallel_find_violations(
         stats,
         backend,
         workers,
-        time.perf_counter() - started,
+        0.0,  # stamped by the caller (wall includes the merge)
         indexed=indexed,
     )
 

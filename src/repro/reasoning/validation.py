@@ -32,6 +32,7 @@ from repro.deps.literals import (
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
 from repro.matching.plan import compile_plan
+from repro.telemetry.spans import span
 
 
 def literal_holds(graph: Graph, literal: Literal, match: Mapping[str, str]) -> bool:
@@ -140,15 +141,18 @@ def find_violations(
     violations are identical either way.
     """
     violations: list[Violation] = []
-    for ged in sigma:
-        restrict = x_literal_restrictions(graph, ged)
-        plan = compile_plan(graph, ged.pattern)
-        for match in plan.matches(restrict=restrict):
-            failed = evaluate_match(graph, ged, match)
-            if failed:
-                violations.append(Violation(ged, tuple(sorted(match.items())), failed))
-                if limit is not None and len(violations) >= limit:
-                    return violations
+    for position, ged in enumerate(sigma):
+        with span("validate.dep", dep=ged.name or f"#{position}"):
+            restrict = x_literal_restrictions(graph, ged)
+            plan = compile_plan(graph, ged.pattern)
+            for match in plan.matches(restrict=restrict):
+                failed = evaluate_match(graph, ged, match)
+                if failed:
+                    violations.append(
+                        Violation(ged, tuple(sorted(match.items())), failed)
+                    )
+                    if limit is not None and len(violations) >= limit:
+                        return violations
     return violations
 
 

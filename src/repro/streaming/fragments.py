@@ -36,6 +36,7 @@ from repro.graph.graph import Graph
 from repro.graph.update import GraphUpdate
 from repro.indexing.registry import get_index
 from repro.matching.locality import ball_closes_locally, pattern_radius, pivot_radius
+from repro.telemetry import metrics as _metrics
 
 from repro.streaming.delta import TaggedViolation, delta_violations
 
@@ -111,6 +112,9 @@ class FragmentDeltaRouter:
             else:
                 escalated.append(node_id)
         self.escalated_nodes += len(escalated)
+        sink = _metrics.sink()
+        sink.incr("stream.pivots.local", len(live) - len(escalated))
+        sink.incr("stream.pivots.escalated", len(escalated))
 
         found: list[TaggedViolation] = []
 

@@ -36,6 +36,7 @@ from repro.graph.graph import Graph
 from repro.graph.update import GraphUpdate
 from repro.matching.homomorphism import is_homomorphism
 from repro.reasoning.validation import Violation, evaluate_match, find_violations
+from repro.telemetry import metrics as _metrics
 
 from repro.streaming.delta import delta_violations
 
@@ -245,6 +246,17 @@ class ViolationLedger:
                 delta.introduced.append(violation)
 
         delta.wall_seconds = time.perf_counter() - started
+        sink = _metrics.sink()
+        if sink.enabled:
+            sink.incr("stream.batches")
+            sink.incr("stream.introduced", len(delta.introduced))
+            sink.incr("stream.retired", len(delta.retired))
+            sink.incr("stream.updated", len(delta.updated))
+            sink.incr("stream.rechecked", delta.rechecked)
+            sink.incr("stream.touched", delta.touched)
+            sink.observe(
+                "stream.batch_seconds", delta.wall_seconds, _metrics.SECONDS_BOUNDS
+            )
         return delta
 
     def close(self) -> None:
@@ -269,6 +281,21 @@ class ViolationLedger:
         then embedding) — comparable byte-for-byte to a canonically
         ordered from-scratch report."""
         return [self._entries[key] for key in sorted(self._entries)]
+
+    def transport_stats(self) -> dict[str, int]:
+        """Routing/escalation totals over the ledger's lifetime.
+
+        Non-zero only on the fragment backend (the router computes
+        them); other backends report zeros so the CLI summary line has a
+        stable shape.
+        """
+        if self._router is not None:
+            return {
+                "routed_ops": self._router.ops_routed,
+                "full_ops": self._router.ops_full,
+                "escalated_nodes": self._router.escalated_nodes,
+            }
+        return {"routed_ops": 0, "full_ops": 0, "escalated_nodes": 0}
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -79,17 +79,21 @@ def _stream_delta_task(
     pending: tuple[tuple[int, GraphUpdate], ...],
     target_seq: int,
     shard: tuple[str, ...],
-) -> list[TaggedViolation]:
+    collect: bool = False,
+):
     """Fast-forward the worker replica, then run the kernel on a shard.
 
     The rule set rides the pool broadcast (``EnginePool``'s ``extra``
     payload), not the task: Σ is constant for the executor's lifetime,
     so it is shipped once per worker instead of once per shard task.
     ``epoch`` identifies the broadcast this task's sequence numbers are
-    relative to (see :class:`_WorkerStreamState`).
+    relative to (see :class:`_WorkerStreamState`).  ``collect=True``
+    (coordinator telemetry enabled) additionally returns ``(results,
+    snapshot)`` with the shard's metrics for coordinator-side merging.
     """
     from repro.engine.pool import _worker_extra, _worker_graph
     from repro.reasoning.incremental import apply_update
+    from repro.telemetry import metrics as _metrics
 
     state = _WORKER_STREAM
     state.enter_epoch(epoch)
@@ -104,7 +108,11 @@ def _stream_delta_task(
             f"stream replica out of sync: worker at {state.seq}, "
             f"coordinator at {target_seq}"
         )
-    return delta_violations(graph, sigma, set(shard))
+    if not collect:
+        return delta_violations(graph, sigma, set(shard))
+    with _metrics.collecting() as registry:
+        results = delta_violations(graph, sigma, set(shard))
+    return results, registry.snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -194,10 +202,23 @@ class EngineDeltaExecutor:
             (seq - self._snapshot_seq, update) for seq, update in self._log
         )
         target_seq = self.seq - self._snapshot_seq
+        from repro.telemetry import metrics as _metrics
+
+        sink = _metrics.sink()
+        collect = sink.enabled
         results = self._pool.run_tasks(
             _stream_delta_task,
-            [(self._epoch, pending, target_seq, tuple(shard)) for shard in shards],
+            [
+                (self._epoch, pending, target_seq, tuple(shard), collect)
+                for shard in shards
+            ],
         )
+        if collect:
+            unwrapped = []
+            for shard_result, snapshot in results:
+                sink.merge(snapshot)
+                unwrapped.append(shard_result)
+            results = unwrapped
         # Merge: dedup across shards (a match meeting touched nodes in
         # two shards is found by both), deterministically ordered, and
         # re-anchored on the coordinator's own GED instances (workers

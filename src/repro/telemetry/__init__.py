@@ -1,0 +1,74 @@
+"""repro.telemetry — metrics, spans, and plan-execution profiling.
+
+The observability substrate of the layered runtime (docs/telemetry.md):
+
+* :mod:`repro.telemetry.metrics` — the process-local
+  :class:`MetricsRegistry` (counters / gauges / fixed-bucket
+  histograms) behind a swap-in :func:`sink`; disabled (the default) it
+  is the no-op :data:`NULL` sink, so instrumentation costs one global
+  read per event and the violation streams stay byte-identical.
+* :mod:`repro.telemetry.spans` — nested timed sections with NDJSON
+  export (``--telemetry ndjson:<path>`` on the CLI).
+* cross-process aggregation — engine/fragment workers run tasks under
+  :func:`collecting` and piggyback plain-dict snapshots on task
+  results; the coordinator folds them in with :func:`merge_snapshot`.
+* :mod:`repro.telemetry.prometheus` — text-exposition formatting for
+  the future push-API server (format only, no HTTP).
+* :mod:`repro.telemetry.report` — derived headline stats (escalated-
+  pivot share, warm-pool hit rate, border-replica share) and the
+  ``cli stats`` text dump.
+
+Stdlib-only by design: every other ``repro`` layer imports this one,
+so it imports none of them.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_BOUNDS,
+    SECONDS_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    NULL,
+    collecting,
+    disable,
+    enable,
+    enabled,
+    merge_snapshot,
+    registry,
+    reset,
+    sink,
+    snapshot,
+)
+from repro.telemetry.prometheus import render_prometheus
+from repro.telemetry.report import derived_stats, format_text
+from repro.telemetry.spans import (
+    Span,
+    clear_spans,
+    drain_spans,
+    export_ndjson,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "SECONDS_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL",
+    "Span",
+    "clear_spans",
+    "collecting",
+    "derived_stats",
+    "disable",
+    "drain_spans",
+    "enable",
+    "enabled",
+    "export_ndjson",
+    "format_text",
+    "merge_snapshot",
+    "registry",
+    "render_prometheus",
+    "reset",
+    "sink",
+    "snapshot",
+    "span",
+]

@@ -1,0 +1,69 @@
+"""Prometheus text-exposition rendering of a metrics snapshot.
+
+Format only — no HTTP server.  The future push-API server (ROADMAP
+item 2) mounts :func:`render_prometheus` on a ``/metrics`` route; until
+then ``cli stats --format prom`` prints it.
+
+Mapping: metric names are dot-namespaced internally
+(``engine.pool.warm_hits``); exposition names replace every
+non-``[a-zA-Z0-9_]`` character with ``_`` and take a ``repro_`` prefix
+(``repro_engine_pool_warm_hits``).  Counters render as ``counter``,
+gauges as ``gauge``, histograms as the conventional cumulative
+``_bucket{le="..."}`` / ``_sum`` / ``_count`` triple.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+_PREFIX = "repro_"
+
+
+def _name(raw: str) -> str:
+    sanitized = _SANITIZE.sub("_", raw)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return _PREFIX + sanitized
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    if bound == int(bound):
+        return str(int(bound)) + ".0"
+    return repr(bound)
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render one snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for raw in sorted(snapshot.get("counters", {})):
+        name = _name(raw)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(snapshot['counters'][raw])}")
+    for raw in sorted(snapshot.get("gauges", {})):
+        name = _name(raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(snapshot['gauges'][raw])}")
+    for raw in sorted(snapshot.get("histograms", {})):
+        payload = snapshot["histograms"][raw]
+        name = _name(raw)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += count
+            lines.append(f'{name}_bucket{{le="{_format_bound(bound)}"}} {cumulative}')
+        cumulative += payload["counts"][-1]
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {_format_value(payload['sum'])}")
+        lines.append(f"{name}_count {payload['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = ["render_prometheus"]

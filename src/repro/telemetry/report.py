@@ -1,0 +1,131 @@
+"""Human-facing views of a metrics snapshot: derived stats and text.
+
+:func:`derived_stats` computes the headline ratios the raw counters
+imply — escalated-pivot share, warm-pool hit rate, border-replica
+share, per-fragment frames expanded — the numbers ``cli stats`` leads
+with and ROADMAP item 5 (adaptive repartitioning) will trigger on.
+:func:`format_text` renders the derived block plus the full snapshot as
+an aligned text dump.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_FRAGMENT_FRAMES_PREFIX = "fragment.frames_expanded."
+
+
+def derived_stats(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """Headline ratios derived from raw counters/gauges.
+
+    Missing inputs yield ``None`` (rendered as ``n/a``) rather than
+    zero, so "never measured" is distinguishable from "measured zero".
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+
+    local = counters.get("fragment.pivots.local", 0)
+    escalated = counters.get("fragment.pivots.escalated", 0)
+    pivots = local + escalated
+    escalated_share = (escalated / pivots) if pivots else None
+
+    warm = counters.get("engine.pool.warm_hits", 0)
+    builds = counters.get("engine.pool.cold_builds", 0)
+    lookups = warm + builds
+    warm_rate = (warm / lookups) if lookups else None
+
+    per_fragment = {
+        name[len(_FRAGMENT_FRAMES_PREFIX) :]: value
+        for name, value in counters.items()
+        if name.startswith(_FRAGMENT_FRAMES_PREFIX)
+    }
+
+    index_hits = counters.get("index.hits", 0)
+    index_misses = counters.get("index.misses", 0) + counters.get("index.stale", 0)
+    index_lookups = index_hits + index_misses
+    index_rate = (index_hits / index_lookups) if index_lookups else None
+
+    routed = counters.get("fragment.route.ops_routed", 0)
+    full = counters.get("fragment.route.ops_full", 0)
+    routing_saved = (1.0 - routed / full) if full else None
+
+    return {
+        "escalated_pivot_share": escalated_share,
+        "warm_pool_hit_rate": warm_rate,
+        "border_replica_share": gauges.get("fragment.border_replica_share"),
+        "per_fragment_frames_expanded": per_fragment,
+        "frames_expanded": counters.get("plan.frames_expanded", 0),
+        "index_hit_rate": index_rate,
+        "routing_ops_saved": routing_saved,
+        "lpt_imbalance": gauges.get("engine.lpt_imbalance"),
+    }
+
+
+def _ratio(value: float | None) -> str:
+    if value is None:
+        return "n/a"
+    return f"{value:.1%}"
+
+
+def _number(value: float | None) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float) and value != int(value):
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def format_text(snapshot: dict[str, Any]) -> str:
+    """Render the derived block plus the raw snapshot as text."""
+    derived = derived_stats(snapshot)
+    lines = ["== derived =="]
+    lines.append(f"escalated-pivot share:   {_ratio(derived['escalated_pivot_share'])}")
+    lines.append(f"warm-pool hit rate:      {_ratio(derived['warm_pool_hit_rate'])}")
+    lines.append(f"border-replica share:    {_ratio(derived['border_replica_share'])}")
+    lines.append(f"index hit rate:          {_ratio(derived['index_hit_rate'])}")
+    lines.append(f"routing ops saved:       {_ratio(derived['routing_ops_saved'])}")
+    lines.append(f"LPT imbalance:           {_number(derived['lpt_imbalance'])}")
+    lines.append(f"frames expanded (total): {_number(derived['frames_expanded'])}")
+    lines.append("per-fragment frames expanded:")
+    per_fragment = derived["per_fragment_frames_expanded"]
+    if per_fragment:
+        for key in sorted(per_fragment):
+            lines.append(f"  {key}: {_number(per_fragment[key])}")
+    else:
+        lines.append("  n/a")
+
+    counters = snapshot.get("counters", {})
+    lines.append("")
+    lines.append("== counters ==")
+    if counters:
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"{name.ljust(width)}  {_number(counters[name])}")
+    else:
+        lines.append("(none)")
+
+    gauges = snapshot.get("gauges", {})
+    lines.append("")
+    lines.append("== gauges ==")
+    if gauges:
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"{name.ljust(width)}  {_number(gauges[name])}")
+    else:
+        lines.append("(none)")
+
+    histograms = snapshot.get("histograms", {})
+    lines.append("")
+    lines.append("== histograms ==")
+    if histograms:
+        for name in sorted(histograms):
+            payload = histograms[name]
+            count = payload["count"]
+            mean = payload["sum"] / count if count else 0.0
+            lines.append(f"{name}: count={count} sum={payload['sum']:.4g} mean={mean:.4g}")
+    else:
+        lines.append("(none)")
+    return "\n".join(lines)
+
+
+__all__ = ["derived_stats", "format_text"]

@@ -1,0 +1,163 @@
+"""Lightweight spans: nested timed sections with NDJSON export.
+
+``span("validate", dep="phi2")`` is a context manager.  When telemetry
+is disabled it returns a shared null span — no allocation, no clock
+read.  When enabled it records a start timestamp, pushes itself on a
+thread-local stack (so nested spans know their parent), and on exit
+appends one finished-span record to a bounded in-process buffer.
+
+Records are plain dicts::
+
+    {"type": "span", "name": "validate", "span_id": 3, "parent_id": 1,
+     "ts": 1754550000.123, "duration_s": 0.0042, "attrs": {"dep": "phi2"}}
+
+:func:`export_ndjson` writes the buffered spans one JSON object per
+line, followed by a final ``{"type": "metrics", "snapshot": ...}`` line
+carrying the persistent registry's snapshot — one file tells the whole
+story of a run (the ``--telemetry ndjson:<path>`` CLI flag ends there).
+
+Span ids are process-local monotone integers; parent/child nesting is
+per thread.  Worker processes do not ship spans home (metrics snapshots
+piggyback on task results instead — spans are a coordinator-side
+narration, metrics are the cross-process truth).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import Any, TextIO
+
+from repro.telemetry import metrics as _metrics
+
+#: Finished spans kept in memory; beyond this, spans are dropped and
+#: counted (the ``telemetry.spans_dropped`` counter).
+MAX_SPANS = 10_000
+
+_FINISHED: list[dict[str, Any]] = []
+_IDS = itertools.count(1)
+_LOCAL = threading.local()
+_LOCK = threading.Lock()
+
+
+def _stack() -> list[int]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+class _NullSpan:
+    """The disabled span: enter/exit do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; created only when telemetry is enabled."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "ts", "_start")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.ts = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = next(_IDS)
+        stack.append(self.span_id)
+        self.ts = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = _stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        record: dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self.ts,
+            "duration_s": duration,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if exc_type is not None:
+            record["error"] = True
+        with _LOCK:
+            if len(_FINISHED) < MAX_SPANS:
+                _FINISHED.append(record)
+            else:
+                _metrics.sink().incr("telemetry.spans_dropped")
+        return False
+
+
+def span(name: str, **attrs: Any) -> Span | _NullSpan:
+    """A timed section.  Null (and allocation-free) when disabled."""
+    if not _metrics._SINK.enabled:
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def drain_spans() -> list[dict[str, Any]]:
+    """Return and clear the finished-span buffer."""
+    with _LOCK:
+        finished = list(_FINISHED)
+        _FINISHED.clear()
+    return finished
+
+
+def clear_spans() -> None:
+    with _LOCK:
+        _FINISHED.clear()
+
+
+def export_ndjson(target: str | TextIO) -> int:
+    """Write buffered spans plus a final metrics line as NDJSON.
+
+    Returns the number of lines written.  The span buffer is drained;
+    the metrics registry is left intact (callers may still render it).
+    """
+    finished = drain_spans()
+    lines = [json.dumps(record, sort_keys=True) for record in finished]
+    lines.append(
+        json.dumps(
+            {"type": "metrics", "snapshot": _metrics.snapshot()}, sort_keys=True
+        )
+    )
+    payload = "\n".join(lines) + "\n"
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        target.write(payload)
+    return len(lines)
+
+
+__all__ = [
+    "MAX_SPANS",
+    "Span",
+    "clear_spans",
+    "drain_spans",
+    "export_ndjson",
+    "span",
+]

@@ -1,0 +1,165 @@
+"""The metrics core: registry semantics, the null sink, merging."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry import metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    metrics.disable()
+    metrics.reset()
+    yield
+    metrics.disable()
+    metrics.reset()
+
+
+class TestHistogram:
+    def test_le_bounds_are_inclusive(self):
+        h = metrics.Histogram((1, 2, 4))
+        for value in (0, 1, 2, 3, 4, 5):
+            h.observe(value)
+        # 0 and 1 -> le=1; 2 -> le=2; 3 and 4 -> le=4; 5 -> +Inf
+        assert h.counts == [2, 1, 2, 1]
+        assert h.count == 6
+        assert h.sum == 15
+
+    def test_to_dict_round_trip_is_plain_and_pickleable(self):
+        h = metrics.Histogram((1, 2))
+        h.observe(1)
+        payload = h.to_dict()
+        assert payload == {"bounds": [1, 2], "counts": [1, 0, 0], "sum": 1.0, "count": 1}
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+    def test_merge_adds_elementwise(self):
+        a = metrics.Histogram((1, 2))
+        b = metrics.Histogram((1, 2))
+        a.observe(0)
+        b.observe(3)
+        b.observe(2)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        a2 = metrics.Histogram((1, 2))
+        a2.observe(0)
+        a2.merge(b.to_dict())  # dict form (worker snapshot) merges too
+        assert a2.counts == [1, 1, 1]
+
+    def test_merge_rejects_bound_mismatch(self):
+        a = metrics.Histogram((1, 2))
+        b = metrics.Histogram((1, 2, 4))
+        with pytest.raises(ValueError, match="bound mismatch"):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = metrics.MetricsRegistry()
+        reg.incr("a")
+        reg.incr("a", 4)
+        reg.gauge("g", 1.5)
+        reg.gauge("g", 2.5)
+        reg.observe("h", 3, bounds=(1, 2, 4))
+        assert reg.counter_value("a") == 5
+        assert reg.counter_value("missing") == 0
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 5}
+        assert snap["gauges"] == {"g": 2.5}
+        assert snap["histograms"]["h"]["counts"] == [0, 0, 1, 0]
+
+    def test_merge_semantics(self):
+        coordinator = metrics.MetricsRegistry()
+        coordinator.incr("c", 1)
+        coordinator.gauge("g", 1.0)
+        coordinator.observe("h", 1, bounds=(1, 2))
+        worker = metrics.MetricsRegistry()
+        worker.incr("c", 2)
+        worker.incr("other", 7)
+        worker.gauge("g", 9.0)
+        worker.observe("h", 2, bounds=(1, 2))
+        coordinator.merge(worker.snapshot())
+        assert coordinator.counter_value("c") == 3  # counters sum
+        assert coordinator.counter_value("other") == 7
+        assert coordinator.gauges["g"] == 9.0  # last writer wins
+        assert coordinator.histograms["h"].counts == [1, 1, 0]  # buckets add
+
+    def test_merge_is_order_independent_for_counters(self):
+        snaps = []
+        for value in (1, 10, 100):
+            reg = metrics.MetricsRegistry()
+            reg.incr("c", value)
+            reg.observe("h", value, bounds=(1, 2))
+            snaps.append(reg.snapshot())
+        forward = metrics.MetricsRegistry()
+        backward = metrics.MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_snapshot_is_pickleable(self):
+        reg = metrics.MetricsRegistry()
+        reg.incr("a")
+        reg.observe("h", 1)
+        snap = reg.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+class TestModuleState:
+    def test_disabled_by_default_and_null_sink_is_inert(self):
+        assert not metrics.enabled()
+        sink = metrics.sink()
+        assert sink is metrics.NULL
+        sink.incr("x")
+        sink.gauge("g", 1)
+        sink.observe("h", 1)
+        sink.merge({"counters": {"x": 5}})
+        assert sink.counter_value("x") == 0
+        assert sink.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_enable_routes_to_persistent_registry(self):
+        metrics.enable()
+        try:
+            assert metrics.enabled()
+            metrics.sink().incr("x")
+            assert metrics.snapshot()["counters"] == {"x": 1}
+        finally:
+            metrics.disable()
+        # disabled again: writes vanish, the registry keeps its state
+        metrics.sink().incr("x")
+        assert metrics.snapshot()["counters"] == {"x": 1}
+        metrics.reset()
+        assert metrics.snapshot()["counters"] == {}
+
+    def test_merge_snapshot_targets_active_sink(self):
+        metrics.merge_snapshot({"counters": {"x": 3}})  # disabled: dropped
+        assert metrics.snapshot()["counters"] == {}
+        metrics.enable()
+        try:
+            metrics.merge_snapshot({"counters": {"x": 3}})
+        finally:
+            metrics.disable()
+        assert metrics.snapshot()["counters"] == {"x": 3}
+
+    def test_collecting_swaps_in_a_fresh_registry_and_restores(self):
+        metrics.enable()
+        try:
+            metrics.sink().incr("outer")
+            with metrics.collecting() as fresh:
+                metrics.sink().incr("inner")
+                assert metrics.sink() is fresh
+            assert fresh.counter_value("inner") == 1
+            assert fresh.counter_value("outer") == 0
+            assert metrics.sink() is metrics.registry()
+            assert metrics.snapshot()["counters"] == {"outer": 1}
+        finally:
+            metrics.disable()
+
+    def test_collecting_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with metrics.collecting():
+                raise RuntimeError("boom")
+        assert metrics.sink() is metrics.NULL

@@ -1,0 +1,85 @@
+"""Spans: null when disabled, nested when enabled, NDJSON export."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import metrics, spans
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    metrics.disable()
+    metrics.reset()
+    spans.clear_spans()
+    yield
+    metrics.disable()
+    metrics.reset()
+    spans.clear_spans()
+
+
+class TestSpanLifecycle:
+    def test_disabled_returns_shared_null_span(self):
+        a = spans.span("x")
+        b = spans.span("y", attr=1)
+        assert a is b  # one shared object, nothing allocated or recorded
+        with a:
+            pass
+        assert spans.drain_spans() == []
+
+    def test_enabled_records_nesting_and_attrs(self):
+        metrics.enable()
+        with spans.span("outer", backend="serial"):
+            with spans.span("inner"):
+                pass
+        inner, outer = spans.drain_spans()
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert outer["attrs"] == {"backend": "serial"}
+        assert "attrs" not in inner
+        assert inner["duration_s"] >= 0.0
+
+    def test_error_inside_span_is_flagged_and_not_swallowed(self):
+        metrics.enable()
+        with pytest.raises(RuntimeError):
+            with spans.span("failing"):
+                raise RuntimeError("boom")
+        (record,) = spans.drain_spans()
+        assert record["error"] is True
+
+    def test_buffer_is_bounded(self, monkeypatch):
+        metrics.enable()
+        monkeypatch.setattr(spans, "MAX_SPANS", 2)
+        for _ in range(4):
+            with spans.span("s"):
+                pass
+        assert len(spans.drain_spans()) == 2
+        assert metrics.snapshot()["counters"]["telemetry.spans_dropped"] == 2
+
+
+class TestExport:
+    def test_export_ndjson_spans_then_metrics_line(self):
+        metrics.enable()
+        metrics.sink().incr("c", 3)
+        with spans.span("run"):
+            pass
+        buffer = io.StringIO()
+        lines_written = spans.export_ndjson(buffer)
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert lines_written == len(lines) == 2
+        assert lines[0]["type"] == "span" and lines[0]["name"] == "run"
+        assert lines[-1]["type"] == "metrics"
+        assert lines[-1]["snapshot"]["counters"] == {"c": 3}
+        # the span buffer drained; the registry did not
+        assert spans.drain_spans() == []
+        assert metrics.snapshot()["counters"] == {"c": 3}
+
+    def test_export_to_path(self, tmp_path):
+        metrics.enable()
+        with spans.span("run"):
+            pass
+        target = tmp_path / "trace.ndjson"
+        assert spans.export_ndjson(str(target)) == 2
+        assert len(target.read_text().splitlines()) == 2
