@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """The CI perf-regression gate for the matching core, engine runtime,
-streaming, the fragmented graph core, and the telemetry layer.
+streaming, the fragmented graph core, the telemetry layer, and the
+push server.
 
-Five gates, all against thresholds committed in
+Six gates, all against thresholds committed in
 ``benchmarks/baseline.json``:
 
 * **matching** — plan-compiled validation versus the seed interpreter
@@ -34,6 +35,13 @@ Five gates, all against thresholds committed in
   violation reports must be byte-identical either way.  Emits
   ``BENCH_telemetry.json`` plus the enabled run's NDJSON trace
   (``telemetry.ndjson``, uploaded as a CI artifact).
+* **serve** — the violation-subscription push server (the kernel of
+  ``benchmarks/bench_serve.py``): one server sustaining the committed
+  load shape (50 subscribers, 20 update batches/s for 30 s) with every
+  subscriber's delta stream gap-free and resync-free, a p99
+  end-to-end push latency ≤ 250 ms, and per-batch delta maintenance
+  ≥ 5x cheaper than per-subscriber full revalidation.  Emits
+  ``BENCH_serve.json``.
 
 Run it locally exactly as CI does::
 
@@ -422,6 +430,57 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"wrote {telemetry_path}")
 
+    # ------------------------------------------------------------------
+    # Serve gate: push-server load — latency tail, stream integrity,
+    # and delta push vs per-subscriber full revalidation.
+    # ------------------------------------------------------------------
+    from benchmarks.bench_serve import run_serve_bench
+
+    serve_conf = baseline["serve"]
+    serve_workload = serve_conf["workload"]
+    serve_thresholds = serve_conf["thresholds"]
+    print(
+        f"serve workload: {serve_workload['subscribers']} subscriber(s), "
+        f"{serve_workload['updates_per_s']} update(s)/s for "
+        f"{serve_workload['duration_s']:.0f} s over churn_stream"
+        f"(nodes={serve_workload['nodes']}, rng={serve_workload['rng']})"
+    )
+    serve = run_serve_bench(
+        subscribers=serve_workload["subscribers"],
+        updates_per_s=serve_workload["updates_per_s"],
+        duration_s=serve_workload["duration_s"],
+        nodes=serve_workload["nodes"],
+        batch_size=serve_workload["batch_size"],
+        rng=serve_workload["rng"],
+    )
+    print(
+        f"  applied {serve['batches']} batch(es) at "
+        f"{serve['achieved_updates_per_s']:.2f}/s — "
+        f"{serve['gaps']} gap(s), {serve['resyncs']} resync(s)"
+    )
+    print(
+        f"  push latency p50/p95/p99: "
+        f"{serve['push_p50_s'] * 1000:.2f} / "
+        f"{serve['push_p95_s'] * 1000:.2f} / "
+        f"{serve['push_p99_s'] * 1000:.2f} ms"
+    )
+    print(f"  delta_vs_full_per_batch: {serve['delta_vs_full']:.2f}x")
+    serve_path = emit_bench(
+        "serve",
+        serve["records"],
+        meta={
+            "config": serve["config"],
+            "push_p50_s": serve["push_p50_s"],
+            "push_p95_s": serve["push_p95_s"],
+            "push_p99_s": serve["push_p99_s"],
+            "delta_vs_full": serve["delta_vs_full"],
+            "achieved_updates_per_s": serve["achieved_updates_per_s"],
+            "thresholds": serve_thresholds,
+        },
+        directory=args.output_dir,
+    )
+    print(f"wrote {serve_path}")
+
     if args.no_gate:
         return 0
 
@@ -487,6 +546,23 @@ def main(argv: list[str] | None = None) -> int:
             f"telemetry-enabled serial validation overhead "
             f"{enabled_overhead:.3f}x > "
             f"{telemetry_thresholds['max_enabled_overhead']}x"
+        )
+    if serve["gaps"] or serve["resyncs"]:
+        failures.append(
+            f"serve streams not clean under the committed load: "
+            f"{serve['gaps']} gap(s), {serve['resyncs']} resync(s) "
+            f"(every subscriber must see every delta in order)"
+        )
+    if serve["push_p99_s"] > serve_thresholds["max_p99_push_s"]:
+        failures.append(
+            f"serve p99 push latency {serve['push_p99_s'] * 1000:.2f} ms > "
+            f"{serve_thresholds['max_p99_push_s'] * 1000:.0f} ms"
+        )
+    if serve["delta_vs_full"] < serve_thresholds["min_delta_vs_full"]:
+        failures.append(
+            f"serve delta push advantage over per-subscriber full "
+            f"revalidation {serve['delta_vs_full']:.2f}x < "
+            f"{serve_thresholds['min_delta_vs_full']}x"
         )
     if failures:
         for failure in failures:

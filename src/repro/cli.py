@@ -18,6 +18,8 @@ Operates on JSON files in the formats of :mod:`repro.graph.io` and
     python -m repro.cli explain --graph kb.json --rules rules.json --index
     python -m repro.cli engine --graph kb.json --rules rules.json --workers 4
     python -m repro.cli stream --log updates.jsonl --rules rules.json --index
+    python -m repro.cli serve --log updates.jsonl --rules rules.json --graph kb.json
+    python -m repro.cli subscribe --port 4200 --label city --rule one-capital
     python -m repro.cli stats --graph kb.json --rules rules.json --backend fragment
     python -m repro.cli pvalidate --graph kb.json --rules rules.json \
         --backend engine --telemetry ndjson:run.ndjson
@@ -395,6 +397,119 @@ def cmd_stream(args: argparse.Namespace) -> int:
         return 0 if not remaining else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """`serve`: run the violation-subscription push server.
+
+    Serves one (log, Σ) pair over TCP (``docs/serve-protocol.md``): an
+    existing log is replayed and seq numbering continues; a fresh log
+    needs ``--graph`` for the base state.  The first stdout line is a
+    ``listening`` NDJSON record carrying the bound address (port 0
+    picks an ephemeral port — scripts read it from there); on shutdown
+    a ``served`` record summarizes the run.  ``--max-batches`` bounds
+    the run for smoke tests and demos; otherwise serve until SIGINT.
+    """
+    import asyncio
+
+    from repro.serve import ViolationServer
+
+    rules = load_rules(args.rules)
+    base_graph = load_graph(args.graph) if args.graph else None
+
+    async def serve() -> dict:
+        server = ViolationServer.from_log(
+            args.log,
+            rules,
+            base_graph=base_graph,
+            backend=args.backend,
+            workers=args.workers,
+            fragment_mode=getattr(args, "fragment_mode", "hash"),
+            checkpoint_every=args.checkpoint_every,
+            queue_size=args.queue_size,
+            host=args.host,
+            port=args.port,
+        )
+        await server.start()
+        print(
+            json.dumps(
+                {
+                    "type": "listening",
+                    "host": args.host,
+                    "port": server.port,
+                    "seq": server.seq,
+                    "epoch": server.epoch,
+                    "rules": len(rules),
+                    "violations": len(server.ledger),
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        try:
+            await server.run(max_batches=args.max_batches)
+        finally:
+            if not server._stopped.is_set():
+                await server.stop()
+        return server.stats()
+
+    try:
+        stats = asyncio.run(serve())
+    except KeyboardInterrupt:
+        return 0
+    print(json.dumps({"type": "served", **stats}, sort_keys=True), flush=True)
+    return 0
+
+
+def cmd_subscribe(args: argparse.Namespace) -> int:
+    """`subscribe`: attach to a running server, print pushed events.
+
+    One NDJSON line per received frame (hello, bootstrap, then deltas /
+    resyncs), so the stream composes with `jq` and friends.  The filter
+    flags map onto the wire filter: ``--rule`` (name or Σ position),
+    ``--node``, ``--label`` — repeatable, OR within a flag, AND across
+    flags.  ``--max-events`` exits after that many pushed events
+    (bootstrap included); otherwise read until the server says bye.
+    """
+    import asyncio
+
+    from repro.serve import LINE_DELIMITED, ServeClient
+
+    filter_payload: dict = {}
+    if args.rule:
+        filter_payload["rules"] = [
+            int(entry) if entry.lstrip("-").isdigit() else entry for entry in args.rule
+        ]
+    if args.node:
+        filter_payload["nodes"] = args.node
+    if args.label:
+        filter_payload["labels"] = args.label
+
+    async def consume() -> int:
+        framing = LINE_DELIMITED if args.lines else "length"
+        client = await ServeClient.connect(args.host, args.port, framing=framing)
+        try:
+            bootstrap = await client.subscribe(filter_payload or None)
+            print(json.dumps(client.hello, sort_keys=True), flush=True)
+            print(json.dumps(bootstrap, sort_keys=True), flush=True)
+            events = 1
+            while args.max_events is None or events < args.max_events:
+                event = await client.next_event()
+                print(json.dumps(event, sort_keys=True), flush=True)
+                if event.get("type") == "bye":
+                    break
+                events += 1
+        finally:
+            await client.close()
+        return 0
+
+    try:
+        return asyncio.run(consume())
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     """`explain`: print each rule's compiled match plan for a graph.
 
@@ -683,6 +798,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream_cmd.set_defaults(func=cmd_stream)
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the violation-subscription push server over a durable update log",
+    )
+    serve_cmd.add_argument(
+        "--log", required=True, help="JSONL update log (replayed when it exists)"
+    )
+    serve_cmd.add_argument("--rules", required=True)
+    serve_cmd.add_argument(
+        "--graph",
+        default=None,
+        help="base graph JSON, required when the log does not exist yet",
+    )
+    serve_cmd.add_argument(
+        "--backend",
+        choices=["serial", "engine", "fragment"],
+        default="serial",
+        help="ledger delta path (same choices as `stream`)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None, help="pool size / fragment count"
+    )
+    serve_cmd.add_argument(
+        "--fragment-mode",
+        choices=["hash", "greedy"],
+        default="hash",
+        help="partitioner for --backend fragment",
+    )
+    serve_cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="write a log checkpoint every k batches (recovery stays O(tail))",
+    )
+    serve_cmd.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        help="per-subscriber outbound queue bound before drop-oldest + resync",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port (default)"
+    )
+    serve_cmd.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="stop after this many applied batches (bounded smoke mode)",
+    )
+    serve_cmd.set_defaults(func=cmd_serve)
+
+    subscribe_cmd = sub.add_parser(
+        "subscribe",
+        help="attach to a running serve instance, print pushed events as NDJSON",
+    )
+    subscribe_cmd.add_argument("--host", default="127.0.0.1")
+    subscribe_cmd.add_argument("--port", type=int, required=True)
+    subscribe_cmd.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        help="filter: rule name or Σ position (repeatable)",
+    )
+    subscribe_cmd.add_argument(
+        "--node", action="append", default=None, help="filter: node id (repeatable)"
+    )
+    subscribe_cmd.add_argument(
+        "--label", action="append", default=None, help="filter: node label (repeatable)"
+    )
+    subscribe_cmd.add_argument(
+        "--lines",
+        action="store_true",
+        help="speak the line-delimited framing instead of length-prefixed",
+    )
+    subscribe_cmd.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        help="exit after this many pushed events (bootstrap counts as one)",
+    )
+    subscribe_cmd.set_defaults(func=cmd_subscribe)
+
     explain_cmd = sub.add_parser(
         "explain",
         help="print the compiled match plan (steps, pools, costs) for each rule",
@@ -767,7 +965,7 @@ def build_parser() -> argparse.ArgumentParser:
     # NDJSON telemetry export rides along any of the heavy run commands;
     # main() enables the registry, wraps the run in a root span, and
     # writes spans + the final metrics snapshot to the given path.
-    for runnable in (validate, pvalidate_cmd, stream_cmd, engine_cmd):
+    for runnable in (validate, pvalidate_cmd, stream_cmd, engine_cmd, serve_cmd):
         runnable.add_argument(
             "--telemetry",
             default=None,

@@ -3,7 +3,7 @@
 The persistent index layer behind the matching hot path.  Every
 workload in this reproduction (validation, discovery, repair, chase,
 parallel validation) funnels through candidate-set computation and the
-backtracking matcher; this package gives those a per-graph bundle of
+plan-compiled matcher; this package gives those a per-graph bundle of
 
 * an attribute-value inverted index,
 * per-label out/in degree counters, and

@@ -10,16 +10,17 @@ embarrassingly parallel once the match space is sharded:
   variable into k disjoint shards; the matches of a pattern are exactly
   the disjoint union over shards of matches with the pivot pinned into
   the shard, so sharded validation is **exact**, not approximate;
-* :mod:`repro.parallel.validate` runs the shards on a worker pool
-  (threads or processes) or serially (the deterministic reference used
-  by tests and by the speedup benchmark's 1-worker baseline), merges
-  violations deterministically, and reports per-shard work counters so
-  the benchmark can separate algorithmic balance from pool overhead.
+* :mod:`repro.parallel.validate` runs the shards on one of five
+  backends — ``serial`` (the deterministic reference), ``thread``,
+  ``process`` (a one-shot pool), ``engine`` (the warm persistent pool
+  of :mod:`repro.engine`), or ``fragment`` (fragment-resident workers
+  over a :mod:`repro.graph.fragments` partition) — merges violations
+  deterministically, and reports per-shard work counters so the
+  benchmark can separate algorithmic balance from pool overhead.
 
-This realizes the "speedup with the increase of processors" claim at
-laptop scale: the benchmark measures work-per-shard flattening as
-workers grow, with the usual caveat that Python processes pay a
-serialization cost for shipping the graph.
+Every backend returns the identical report (asserted by
+``tests/parallel/test_backend_determinism.py``); the perf gate holds
+the warm engine's speedups on the committed reference workload.
 """
 
 from repro.parallel.partition import ShardPlan, plan_shards

@@ -1,0 +1,138 @@
+"""Server-side subscription filters over violation streams.
+
+A subscriber attaches with an optional filter narrowing which violations
+it wants pushed.  Three predicates, combined with AND (an omitted or
+empty predicate matches everything):
+
+* ``rules`` — dependency selectors: rule names (strings) or Σ positions
+  (integers).  A violation matches when its dependency's name or
+  position is in the set.
+* ``nodes`` — node ids.  A violation matches when any node of its match
+  embedding is in the set.
+* ``labels`` — node labels.  A violation matches when any matched
+  pattern variable's label is in the set; a :data:`~repro.patterns.WILDCARD`
+  variable is resolved against the live graph (and skipped when its
+  node has since been deleted, which keeps evaluation deterministic for
+  retired violations).
+
+Filters are evaluated **server-side**, once per (subscriber, violation):
+the subscriber receives every delta frame (so sequence numbers stay
+gap-free, see ``docs/serve-protocol.md``), but each frame carries only
+its matching violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.graph.graph import Graph
+from repro.patterns import WILDCARD
+from repro.reasoning.validation import Violation
+from repro.serve.protocol import ProtocolError
+
+_FILTER_FIELDS = ("rules", "nodes", "labels")
+
+
+@dataclass(frozen=True)
+class SubscriptionFilter:
+    """One subscriber's violation predicate (see the module docstring)."""
+
+    rule_names: frozenset[str] = frozenset()
+    rule_positions: frozenset[int] = frozenset()
+    nodes: frozenset[str] = frozenset()
+    labels: frozenset[str] = frozenset()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any] | None) -> "SubscriptionFilter":
+        """Build a filter from a ``subscribe`` frame's ``filter`` field.
+
+        ``None`` or ``{}`` is the match-all filter.  Unknown fields and
+        ill-typed entries raise :class:`~repro.serve.protocol.ProtocolError`
+        (surfaced to the client as a ``bad-filter`` error frame).
+        """
+        if data is None:
+            return cls()
+        if not isinstance(data, dict):
+            raise ProtocolError(f"filter must be a JSON object, got {type(data).__name__}")
+        unknown = sorted(set(data) - set(_FILTER_FIELDS))
+        if unknown:
+            raise ProtocolError(f"unknown filter field(s): {', '.join(unknown)}")
+        rule_names: set[str] = set()
+        rule_positions: set[int] = set()
+        for entry in _string_or_int_list(data, "rules"):
+            if isinstance(entry, bool):
+                raise ProtocolError(f"filter rules entry must be a name or position, got {entry!r}")
+            if isinstance(entry, int):
+                rule_positions.add(entry)
+            else:
+                rule_names.add(entry)
+        nodes = frozenset(_string_list(data, "nodes"))
+        labels = frozenset(_string_list(data, "labels"))
+        return cls(frozenset(rule_names), frozenset(rule_positions), nodes, labels)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The frame representation (empty predicates omitted)."""
+        payload: dict[str, Any] = {}
+        rules = sorted(self.rule_names) + sorted(self.rule_positions)
+        if rules:
+            payload["rules"] = rules
+        if self.nodes:
+            payload["nodes"] = sorted(self.nodes)
+        if self.labels:
+            payload["labels"] = sorted(self.labels)
+        return payload
+
+    @property
+    def is_all(self) -> bool:
+        """True for the match-everything filter (no predicates set)."""
+        return not (self.rule_names or self.rule_positions or self.nodes or self.labels)
+
+    def matches(self, position: int, violation: Violation, graph: Graph) -> bool:
+        """Does one violation pass this filter?
+
+        ``position`` is the dependency's index in the server's Σ;
+        ``graph`` is consulted only to resolve wildcard variable labels.
+        """
+        if self.rule_names or self.rule_positions:
+            name = violation.ged.name
+            if position not in self.rule_positions and (
+                name is None or name not in self.rule_names
+            ):
+                return False
+        if self.nodes and not any(node in self.nodes for _, node in violation.match):
+            return False
+        if self.labels:
+            pattern = violation.ged.pattern
+            for variable, node in violation.match:
+                label = pattern.label_of(variable)
+                if label == WILDCARD:
+                    if not graph.has_node(node):
+                        continue
+                    label = graph.node(node).label
+                if label in self.labels:
+                    break
+            else:
+                return False
+        return True
+
+
+def _string_list(data: dict[str, Any], field: str) -> list[str]:
+    """A filter field as a list of strings (missing = empty)."""
+    entries = data.get(field, [])
+    if not isinstance(entries, list) or not all(isinstance(e, str) for e in entries):
+        raise ProtocolError(f"filter {field} must be a list of strings")
+    return entries
+
+
+def _string_or_int_list(data: dict[str, Any], field: str) -> list[str | int]:
+    """A filter field as a list of strings or integers (missing = empty)."""
+    entries = data.get(field, [])
+    if not isinstance(entries, list) or not all(
+        isinstance(e, (str, int)) for e in entries
+    ):
+        raise ProtocolError(f"filter {field} must be a list of rule names or positions")
+    return entries
+
+
+__all__ = ["SubscriptionFilter"]

@@ -1,0 +1,221 @@
+"""The wire codec for the violation-subscription push protocol.
+
+Frames are JSON objects with a mandatory ``type`` field, serialized in
+one canonical byte encoding (:func:`encode_payload`: compact separators,
+sorted keys, UTF-8) and shipped in one of two framings:
+
+* **length-prefixed** (the default) — a 4-byte big-endian unsigned
+  payload length followed by the payload.  Payloads are capped at
+  :data:`MAX_FRAME_BYTES` (16 MiB − 1), so the first byte of every
+  length prefix is ``0x00``.
+* **line-delimited** — the payload followed by ``b"\\n"``, for
+  ``nc``-style debugging.  Canonical payloads never contain newlines.
+
+The two framings are distinguishable from the first byte of a
+connection (``0x00`` versus ``{`` = ``0x7B``); the server uses
+:func:`detect_framing` to adopt whichever the client speaks.
+
+Every frame type, field, and guarantee is specified in
+``docs/serve-protocol.md``; the fenced JSON examples there are
+round-tripped through this module by ``tests/serve/test_protocol_doc.py``
+so the document cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Wire protocol version, carried by every ``hello`` frame.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame's payload (16 MiB − 1).  Keeping the cap under
+#: 2**24 guarantees the first length-prefix byte is 0x00, which is what
+#: makes the two framings distinguishable from the first byte.
+MAX_FRAME_BYTES = 2**24 - 1
+
+#: Every frame type the protocol defines, by direction.
+SERVER_FRAME_TYPES = ("hello", "bootstrap", "delta", "resync", "ack", "error", "bye")
+CLIENT_FRAME_TYPES = ("subscribe", "update", "bye")
+FRAME_TYPES = tuple(dict.fromkeys(SERVER_FRAME_TYPES + CLIENT_FRAME_TYPES))
+
+#: The two framing modes.
+LENGTH_PREFIXED = "length"
+LINE_DELIMITED = "lines"
+FRAMINGS = (LENGTH_PREFIXED, LINE_DELIMITED)
+
+
+class ProtocolError(ReproError):
+    """A malformed frame, oversized payload, or unknown frame type."""
+
+
+def encode_payload(frame: dict[str, Any]) -> bytes:
+    """Canonical frame bytes: compact, key-sorted JSON, UTF-8 encoded.
+
+    The canonical encoding is what the conformance test pins down: a
+    frame decodes and re-encodes byte-identically, regardless of the
+    key order its producer used.
+    """
+    if not isinstance(frame, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(frame).__name__}")
+    frame_type = frame.get("type")
+    if frame_type not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {frame_type!r}")
+    try:
+        payload = json.dumps(frame, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not JSON-representable: {exc}") from None
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return payload
+
+
+def decode_payload(data: bytes) -> dict[str, Any]:
+    """Parse and validate one frame payload (the inverse of
+    :func:`encode_payload`, modulo key order)."""
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    try:
+        frame = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(frame).__name__}")
+    if frame.get("type") not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {frame.get('type')!r}")
+    return frame
+
+
+def encode_frame(frame: dict[str, Any], framing: str = LENGTH_PREFIXED) -> bytes:
+    """One frame as wire bytes in the given framing."""
+    payload = encode_payload(frame)
+    if framing == LENGTH_PREFIXED:
+        return len(payload).to_bytes(4, "big") + payload
+    if framing == LINE_DELIMITED:
+        return payload + b"\n"
+    raise ProtocolError(f"framing must be one of {FRAMINGS}, got {framing!r}")
+
+
+def decode_frames(data: bytes, framing: str = LENGTH_PREFIXED) -> list[dict[str, Any]]:
+    """Decode a byte string holding zero or more complete frames.
+
+    A convenience for tests and offline tooling; trailing partial
+    frames raise :class:`ProtocolError` (the stream readers below are
+    what handles incremental arrival).
+    """
+    frames: list[dict[str, Any]] = []
+    if framing == LINE_DELIMITED:
+        if data and not data.endswith(b"\n"):
+            raise ProtocolError("trailing bytes after the last line-delimited frame")
+        for line in data.splitlines():
+            if line:
+                frames.append(decode_payload(line))
+        return frames
+    if framing != LENGTH_PREFIXED:
+        raise ProtocolError(f"framing must be one of {FRAMINGS}, got {framing!r}")
+    offset = 0
+    while offset < len(data):
+        if offset + 4 > len(data):
+            raise ProtocolError("truncated length prefix")
+        length = int.from_bytes(data[offset : offset + 4], "big")
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"length prefix {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )
+        offset += 4
+        if offset + length > len(data):
+            raise ProtocolError("truncated frame payload")
+        frames.append(decode_payload(data[offset : offset + length]))
+        offset += length
+    return frames
+
+
+async def detect_framing(reader: asyncio.StreamReader) -> str:
+    """Peek the first byte of a connection to pick its framing.
+
+    ``0x00`` (the guaranteed first length-prefix byte) selects
+    length-prefixed mode; ``{`` selects line-delimited mode.  EOF before
+    the first byte or any other first byte is a protocol error.
+    """
+    first = await reader.readexactly(1)
+    # Push the byte back in place: readers below consume whole frames.
+    reader._buffer[0:0] = first  # type: ignore[attr-defined]
+    if first == b"\x00":
+        return LENGTH_PREFIXED
+    if first == b"{":
+        return LINE_DELIMITED
+    raise ProtocolError(
+        f"cannot detect framing from first byte {first!r} "
+        "(expected 0x00 for length-prefixed or '{' for line-delimited)"
+    )
+
+
+async def read_frame(reader: asyncio.StreamReader, framing: str) -> dict[str, Any] | None:
+    """Read one frame from a stream; ``None`` at a clean EOF between
+    frames.  Truncation mid-frame raises :class:`ProtocolError`."""
+    if framing == LENGTH_PREFIXED:
+        try:
+            prefix = await reader.readexactly(4)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise ProtocolError("connection closed mid length prefix") from None
+        length = int.from_bytes(prefix, "big")
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"length prefix {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("connection closed mid frame payload") from None
+        return decode_payload(payload)
+    if framing != LINE_DELIMITED:
+        raise ProtocolError(f"framing must be one of {FRAMINGS}, got {framing!r}")
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial.strip():
+            return None
+        raise ProtocolError("connection closed mid line-delimited frame") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("line-delimited frame exceeds the stream limit") from None
+    line = line.strip()
+    if not line:
+        return None
+    return decode_payload(line)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, frame: dict[str, Any], framing: str
+) -> None:
+    """Encode one frame, write it, and drain the transport."""
+    writer.write(encode_frame(frame, framing))
+    await writer.drain()
+
+
+__all__ = [
+    "CLIENT_FRAME_TYPES",
+    "FRAMINGS",
+    "FRAME_TYPES",
+    "LENGTH_PREFIXED",
+    "LINE_DELIMITED",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SERVER_FRAME_TYPES",
+    "decode_frames",
+    "decode_payload",
+    "detect_framing",
+    "encode_frame",
+    "encode_payload",
+    "read_frame",
+    "write_frame",
+]

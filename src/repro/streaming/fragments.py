@@ -119,6 +119,7 @@ class FragmentDeltaRouter:
         found: list[TaggedViolation] = []
 
         def remap(results: list[TaggedViolation], positions: list[int]) -> None:
+            """Translate a kernel's fragment-local rule indexes back to Σ."""
             for local_index, violation in results:
                 position = positions[local_index]
                 # Re-anchor on the coordinator's own GED instance (the

@@ -81,6 +81,8 @@ class StreamDelta:
     wall_seconds: float = 0.0
 
     def is_empty(self) -> bool:
+        """True when the batch changed no violation entry (the counters
+        may still be non-zero: embeddings rechecked, nothing moved)."""
         return not (self.introduced or self.retired or self.updated)
 
     def to_dict(self) -> dict[str, Any]:
@@ -282,6 +284,17 @@ class ViolationLedger:
         ordered from-scratch report."""
         return [self._entries[key] for key in sorted(self._entries)]
 
+    def entries(self) -> list[tuple[int, Violation]]:
+        """The current violation set as ``(Σ position, violation)``
+        pairs in canonical order — what consumers that need the
+        dependency's position (the serve layer's filters) iterate."""
+        return [(key[0], self._entries[key]) for key in sorted(self._entries)]
+
+    def position_of(self, ged: GED) -> int:
+        """The Σ position of one of this ledger's own GED instances
+        (violations reference Σ's instances by identity)."""
+        return self._position[id(ged)]
+
     def transport_stats(self) -> dict[str, int]:
         """Routing/escalation totals over the ledger's lifetime.
 
@@ -302,6 +315,7 @@ class ViolationLedger:
 
     @property
     def clean(self) -> bool:
+        """True when the maintained graph currently satisfies Σ."""
         return not self._entries
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

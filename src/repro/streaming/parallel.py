@@ -66,6 +66,7 @@ class _WorkerStreamState:
         self.seq = 0
 
     def enter_epoch(self, epoch: tuple) -> None:
+        """Reset the replica cursor when the stream identity changes."""
         if self.epoch != epoch:
             self.epoch = epoch
             self.seq = 0
@@ -234,6 +235,7 @@ class EngineDeltaExecutor:
         return [(key[0], merged[key]) for key in sorted(merged)]
 
     def close(self) -> None:
+        """Release the engine pool (idempotent)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None

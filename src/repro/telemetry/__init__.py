@@ -39,7 +39,7 @@ from repro.telemetry.metrics import (
     snapshot,
 )
 from repro.telemetry.prometheus import render_prometheus
-from repro.telemetry.report import derived_stats, format_text
+from repro.telemetry.report import derived_stats, format_text, histogram_quantile
 from repro.telemetry.spans import (
     Span,
     clear_spans,
@@ -64,6 +64,7 @@ __all__ = [
     "enabled",
     "export_ndjson",
     "format_text",
+    "histogram_quantile",
     "merge_snapshot",
     "registry",
     "render_prometheus",

@@ -75,12 +75,13 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
-        # Prometheus ``le`` semantics: a bucket's bound is inclusive.
+        """Record one observation (inclusive Prometheus ``le`` bounds)."""
         self.counts[bisect_left(self.bounds, value)] += 1
         self.sum += value
         self.count += 1
 
     def to_dict(self) -> dict[str, Any]:
+        """A plain-dict, pickle/JSON-friendly copy."""
         return {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
@@ -89,6 +90,7 @@ class Histogram:
         }
 
     def merge(self, other: "Histogram | dict[str, Any]") -> None:
+        """Add another histogram's buckets in (bounds must agree)."""
         if isinstance(other, Histogram):
             bounds, counts = other.bounds, other.counts
             total, n = other.sum, other.count
@@ -127,15 +129,18 @@ class MetricsRegistry:
 
     # -- writes --------------------------------------------------------
     def incr(self, name: str, value: int | float = 1) -> None:
+        """Add ``value`` to a counter (created at 0)."""
         counters = self.counters
         counters[name] = counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
+        """Set a gauge (last write wins)."""
         self.gauges[name] = value
 
     def observe(
         self, name: str, value: float, bounds: Sequence[float] = DEFAULT_BOUNDS
     ) -> None:
+        """Record one observation in a histogram (created on first use)."""
         histogram = self.histograms.get(name)
         if histogram is None:
             histogram = self.histograms[name] = Histogram(bounds)
@@ -150,6 +155,7 @@ class MetricsRegistry:
 
     # -- reads ---------------------------------------------------------
     def counter_value(self, name: str) -> int | float:
+        """The counter's current value (0 when never incremented)."""
         return self.counters.get(name, 0)
 
     def snapshot(self) -> dict[str, Any]:
@@ -183,6 +189,7 @@ class MetricsRegistry:
             histogram.merge(payload)
 
     def clear(self) -> None:
+        """Drop every counter, gauge, and histogram."""
         self.counters.clear()
         self.gauges.clear()
         self.histograms.clear()
@@ -245,6 +252,7 @@ def sink() -> MetricsRegistry | _NullSink:
 
 
 def enabled() -> bool:
+    """True while instrumentation routes into the real registry."""
     return _SINK.enabled
 
 

@@ -15,6 +15,31 @@ from typing import Any
 _FRAGMENT_FRAMES_PREFIX = "fragment.frames_expanded."
 
 
+def histogram_quantile(histogram: dict[str, Any] | None, q: float) -> float | None:
+    """A Prometheus-style quantile estimate from bucket counts.
+
+    Linear interpolation within the bucket that crosses rank ``q``;
+    ``None`` for a missing or empty histogram.  Values beyond the last
+    bound are clamped to it (the +Inf bucket has no width to
+    interpolate over), so tail quantiles are conservative lower bounds.
+    """
+    if not histogram or not histogram.get("count"):
+        return None
+    bounds = histogram["bounds"]
+    counts = histogram["counts"]
+    rank = q * histogram["count"]
+    cumulative = 0
+    for position, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= rank and bucket_count:
+            if position >= len(bounds):
+                return float(bounds[-1])
+            lower = bounds[position - 1] if position else 0.0
+            fraction = (rank - (cumulative - bucket_count)) / bucket_count
+            return lower + (bounds[position] - lower) * fraction
+    return float(bounds[-1])
+
+
 def derived_stats(snapshot: dict[str, Any]) -> dict[str, Any]:
     """Headline ratios derived from raw counters/gauges.
 
@@ -23,6 +48,7 @@ def derived_stats(snapshot: dict[str, Any]) -> dict[str, Any]:
     """
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
 
     local = counters.get("fragment.pivots.local", 0)
     escalated = counters.get("fragment.pivots.escalated", 0)
@@ -49,6 +75,12 @@ def derived_stats(snapshot: dict[str, Any]) -> dict[str, Any]:
     full = counters.get("fragment.route.ops_full", 0)
     routing_saved = (1.0 - routed / full) if full else None
 
+    filter_hits = counters.get("serve.filter.hits", 0)
+    filter_misses = counters.get("serve.filter.misses", 0)
+    filter_checks = filter_hits + filter_misses
+    filter_hit_rate = (filter_hits / filter_checks) if filter_checks else None
+    push = histograms.get("serve.push_seconds")
+
     return {
         "escalated_pivot_share": escalated_share,
         "warm_pool_hit_rate": warm_rate,
@@ -58,6 +90,12 @@ def derived_stats(snapshot: dict[str, Any]) -> dict[str, Any]:
         "index_hit_rate": index_rate,
         "routing_ops_saved": routing_saved,
         "lpt_imbalance": gauges.get("engine.lpt_imbalance"),
+        "push_p50_seconds": histogram_quantile(push, 0.50),
+        "push_p99_seconds": histogram_quantile(push, 0.99),
+        "serve_filter_hit_rate": filter_hit_rate,
+        "serve_queue_depth_p99": histogram_quantile(
+            histograms.get("serve.queue_depth"), 0.99
+        ),
     }
 
 
@@ -65,6 +103,12 @@ def _ratio(value: float | None) -> str:
     if value is None:
         return "n/a"
     return f"{value:.1%}"
+
+
+def _seconds(value: float | None) -> str:
+    if value is None:
+        return "n/a"
+    return f"{value * 1000:.2f}ms"
 
 
 def _number(value: float | None) -> str:
@@ -86,6 +130,9 @@ def format_text(snapshot: dict[str, Any]) -> str:
     lines.append(f"routing ops saved:       {_ratio(derived['routing_ops_saved'])}")
     lines.append(f"LPT imbalance:           {_number(derived['lpt_imbalance'])}")
     lines.append(f"frames expanded (total): {_number(derived['frames_expanded'])}")
+    lines.append(f"push latency p50/p99:    {_seconds(derived['push_p50_seconds'])} / {_seconds(derived['push_p99_seconds'])}")
+    lines.append(f"serve filter hit rate:   {_ratio(derived['serve_filter_hit_rate'])}")
+    lines.append(f"serve queue depth p99:   {_number(derived['serve_queue_depth_p99'])}")
     lines.append("per-fragment frames expanded:")
     per_fragment = derived["per_fragment_frames_expanded"]
     if per_fragment:
@@ -128,4 +175,4 @@ def format_text(snapshot: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["derived_stats", "format_text"]
+__all__ = ["derived_stats", "format_text", "histogram_quantile"]

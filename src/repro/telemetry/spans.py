@@ -127,6 +127,7 @@ def drain_spans() -> list[dict[str, Any]]:
 
 
 def clear_spans() -> None:
+    """Drop the finished-span buffer without returning it."""
     with _LOCK:
         _FINISHED.clear()
 

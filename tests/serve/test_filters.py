@@ -1,0 +1,213 @@
+"""Subscription filters: parsing, predicate semantics, and the
+server-side filtered fan-out (every subscriber still gets every seq —
+filtering narrows frames, never skips them)."""
+
+import asyncio
+
+import pytest
+
+from repro.deps import GED, ConstantLiteral
+from repro.graph import GraphBuilder
+from repro.graph.update import GraphUpdate
+from repro.patterns import WILDCARD, Pattern
+from repro.serve import ProtocolError, ServeClient, SubscriptionFilter, ViolationServer
+
+
+def demo_graph():
+    return (
+        GraphBuilder()
+        .node("c1", "city", {"pop": 1})
+        .node("c2", "city", {"pop": 2})
+        .node("p1", "person", {"age": 0})
+        .node("p2", "person", {"age": 0})
+        .edge("p1", "lives_in", "c1")
+        .edge("p2", "lives_in", "c2")
+        .build()
+    )
+
+
+def demo_sigma():
+    """Two named rules: one over (person, city) pairs, one wildcard."""
+    residents = GED(
+        Pattern({"p": "person", "c": "city"}, [("p", "lives_in", "c")]),
+        [],
+        [ConstantLiteral("p", "age", 30)],
+        name="resident-age",
+    )
+    anything = GED(
+        Pattern({"x": WILDCARD}, []),
+        [],
+        [ConstantLiteral("x", "checked", 1)],
+        name="everything-checked",
+    )
+    return [residents, anything]
+
+
+class TestParsing:
+    def test_none_and_empty_are_match_all(self):
+        assert SubscriptionFilter.from_dict(None).is_all
+        assert SubscriptionFilter.from_dict({}).is_all
+
+    def test_rules_split_names_from_positions(self):
+        flt = SubscriptionFilter.from_dict({"rules": ["resident-age", 1]})
+        assert flt.rule_names == {"resident-age"}
+        assert flt.rule_positions == {1}
+
+    def test_roundtrip_through_to_dict(self):
+        payload = {"labels": ["city"], "nodes": ["c1", "c2"], "rules": ["r", 0]}
+        assert SubscriptionFilter.from_dict(payload).to_dict() == payload
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "city",  # not an object
+            {"labls": ["city"]},  # unknown field
+            {"nodes": "c1"},  # not a list
+            {"labels": [1]},  # wrong element type
+            {"rules": [True]},  # bool is not a position
+            {"rules": [{"name": "x"}]},  # wrong element type
+        ],
+    )
+    def test_malformed_filters_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            SubscriptionFilter.from_dict(bad)
+
+
+class TestPredicates:
+    def setup_method(self):
+        self.graph = demo_graph()
+        self.sigma = demo_sigma()
+        from repro.reasoning import find_violations
+
+        report = find_violations(self.graph, self.sigma)
+        self.by_rule = {}
+        for violation in report:
+            self.by_rule.setdefault(violation.ged.name, []).append(violation)
+
+    def match(self, flt, violation):
+        position = self.sigma.index(violation.ged)
+        return SubscriptionFilter.from_dict(flt).matches(
+            position, violation, self.graph
+        )
+
+    def test_rule_name_and_position(self):
+        v = self.by_rule["resident-age"][0]
+        assert self.match({"rules": ["resident-age"]}, v)
+        assert self.match({"rules": [0]}, v)
+        assert not self.match({"rules": ["everything-checked"]}, v)
+        assert not self.match({"rules": [1]}, v)
+
+    def test_nodes_match_any_embedding_node(self):
+        v = next(
+            v for v in self.by_rule["resident-age"] if ("c", "c1") in v.match
+        )
+        assert self.match({"nodes": ["c1"]}, v)
+        assert self.match({"nodes": ["p1", "unrelated"]}, v)
+        assert not self.match({"nodes": ["c2"]}, v)
+
+    def test_labels_match_declared_variable_labels(self):
+        v = self.by_rule["resident-age"][0]
+        assert self.match({"labels": ["city"]}, v)
+        assert self.match({"labels": ["person"]}, v)
+        assert not self.match({"labels": ["shop"]}, v)
+
+    def test_wildcard_labels_resolve_against_live_graph(self):
+        v = next(
+            v for v in self.by_rule["everything-checked"] if ("x", "c1") in v.match
+        )
+        assert self.match({"labels": ["city"]}, v)
+        assert not self.match({"labels": ["person"]}, v)
+        # Deleting the node makes the wildcard unresolvable: no label match.
+        self.graph.remove_node("c1")
+        assert not self.match({"labels": ["city"]}, v)
+
+    def test_predicates_combine_with_and(self):
+        v = next(
+            v for v in self.by_rule["resident-age"] if ("c", "c1") in v.match
+        )
+        assert self.match({"rules": ["resident-age"], "nodes": ["c1"]}, v)
+        assert not self.match({"rules": ["resident-age"], "nodes": ["c2"]}, v)
+
+
+class TestFilteredFanOut:
+    def test_each_subscriber_sees_its_slice_with_full_seq_stream(self):
+        graph = demo_graph()
+        sigma = demo_sigma()
+
+        async def scenario():
+            async with ViolationServer(graph, sigma) as server:
+                rule_sub = await ServeClient.connect("127.0.0.1", server.port)
+                node_sub = await ServeClient.connect("127.0.0.1", server.port)
+                label_sub = await ServeClient.connect("127.0.0.1", server.port)
+                pub = await ServeClient.connect("127.0.0.1", server.port)
+
+                rule_boot = await rule_sub.subscribe({"rules": ["resident-age"]})
+                node_boot = await node_sub.subscribe({"nodes": ["c9"]})
+                label_boot = await label_sub.subscribe({"labels": ["person"]})
+
+                assert {v["rule"] for v in rule_boot["violations"]} == {"resident-age"}
+                assert node_boot["violations"] == []  # c9 does not exist yet
+                assert len(label_boot["violations"]) == 4  # 2 residents + 2 wildcard
+
+                # A new city violating both rules, in c9.
+                await pub.send_update(
+                    GraphUpdate(
+                        nodes=[("c9", "city", {})],
+                        edges=[("p1", "lives_in", "c9")],
+                    )
+                )
+                rule_delta = await rule_sub.next_event(timeout=5)
+                node_delta = await node_sub.next_event(timeout=5)
+                label_delta = await label_sub.next_event(timeout=5)
+
+                # Same seq for everyone — filtering never skips frames.
+                assert rule_delta["seq"] == node_delta["seq"] == label_delta["seq"] == 1
+                assert {v["rule"] for v in rule_delta["introduced"]} == {"resident-age"}
+                assert all(
+                    ["c", "c9"] in v["match"] or ["x", "c9"] in v["match"]
+                    for v in node_delta["introduced"]
+                )
+                assert len(node_delta["introduced"]) == 2
+                # person-labeled variables: only the resident rule's pair.
+                assert {v["rule"] for v in label_delta["introduced"]} == {"resident-age"}
+
+                for client in (rule_sub, node_sub, label_sub, pub):
+                    await client.close()
+
+        asyncio.run(scenario())
+
+    def test_bad_filter_is_nonfatal_and_keeps_old_subscription(self):
+        graph = demo_graph()
+        sigma = demo_sigma()
+
+        async def scenario():
+            async with ViolationServer(graph, sigma) as server:
+                client = await ServeClient.connect("127.0.0.1", server.port)
+                await client.subscribe({"rules": ["resident-age"]})
+                with pytest.raises(ProtocolError, match="unknown filter field"):
+                    await client.subscribe({"nope": []})
+                # Still subscribed with the old filter.
+                await client.send_update(GraphUpdate(nodes=[("c3", "city", {})]))
+                delta = await client.next_event(timeout=5)
+                assert delta["type"] == "delta" and delta["seq"] == 1
+                await client.close()
+
+        asyncio.run(scenario())
+
+    def test_resubscribe_replaces_filter_and_rebootstraps(self):
+        graph = demo_graph()
+        sigma = demo_sigma()
+
+        async def scenario():
+            async with ViolationServer(graph, sigma) as server:
+                client = await ServeClient.connect("127.0.0.1", server.port)
+                first = await client.subscribe({"rules": ["resident-age"]})
+                assert {v["rule"] for v in first["violations"]} == {"resident-age"}
+                second = await client.subscribe({"rules": ["everything-checked"]})
+                assert {v["rule"] for v in second["violations"]} == {
+                    "everything-checked"
+                }
+                assert server.subscriber_count == 1  # replaced, not duplicated
+                await client.close()
+
+        asyncio.run(scenario())

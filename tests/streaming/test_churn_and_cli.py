@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.deps.io import ged_to_dict
+from repro.deps.io import ged_from_dict, ged_to_dict
 from repro.graph.io import UpdateLogWriter, graph_to_json
 from repro.graph.update import validate_update
 from repro.reasoning import find_violations
@@ -104,6 +104,25 @@ class TestStreamCLI:
         )
         lines = self.parse_ndjson(capsys)
         assert lines[-1]["sample"] == []
+
+    def test_summary_matches_replay_and_documented_shape(self, stream_files, capsys):
+        """The summary line agrees with `replay_update_log` on the final
+        state and carries the transport counters docs/update-log.md §2.3
+        documents (zeros off the fragment backend)."""
+        from repro.graph.io import replay_update_log
+
+        _, rules_path, log_path, final = stream_files
+        main(["stream", "--log", str(log_path), "--rules", str(rules_path)])
+        summary = self.parse_ndjson(capsys)[-1]
+        replayed = replay_update_log(log_path)
+        rules = [ged_from_dict(d) for d in json.loads(rules_path.read_text())]
+        assert summary["violations"] == len(find_violations(replayed.graph, rules))
+        assert summary["violations"] == final
+        assert summary["batches"] == replayed.last_seq
+        assert (
+            summary["routed_ops"] == summary["full_ops"]
+            == summary["escalated_nodes"] == 0
+        )
 
     def test_missing_checkpoint_without_graph_is_usage_error(self, tmp_path, capsys):
         stream = churn_stream(n_nodes=30, batches=2, rng=1)

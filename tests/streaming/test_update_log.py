@@ -109,6 +109,80 @@ class TestLogReplay:
         assert records[0].graph == stream.base
 
 
+class TestCheckpointResumeWithDeletions:
+    """Resume-after-checkpoint must survive deletion-heavy batches.
+
+    A checkpoint captures post-batch state stamped with that batch's
+    seq (docs/update-log.md §1.2); a writer fed pre-batch graphs would
+    replay the checkpoint batch's deletions against a state that never
+    saw them.  These logs delete nodes, edges, and attributes around
+    every checkpoint boundary, then assert checkpointed resume, full
+    from-base replay, and the live graph all agree.
+    """
+
+    def deletion_heavy_log(self, tmp_path, checkpoint_every):
+        from repro.graph import GraphBuilder
+
+        base = (
+            GraphBuilder()
+            .node("a", "L", {"x": 1})
+            .node("b", "L", {"x": 2})
+            .node("c", "L", {"x": 3})
+            .edge("a", "r", "b")
+            .edge("b", "r", "c")
+            .build()
+        )
+        updates = [
+            GraphUpdate(
+                del_edges=[("a", "r", "b")],
+                nodes=[("d", "L", {})],
+                edges=[("c", "r", "d")],
+            ),
+            GraphUpdate(del_nodes=["b"], attrs=[("a", "x", 9)]),
+            GraphUpdate(
+                del_attrs=[("a", "x")],
+                del_nodes=["d"],
+                nodes=[("e", "L", {"x": 1})],
+                edges=[("a", "r", "e")],
+            ),
+            GraphUpdate(del_edges=[("a", "r", "e")], del_nodes=["e"]),
+        ]
+        live = base.copy()
+        path = tmp_path / "deletions.jsonl"
+        with UpdateLogWriter(path, checkpoint_every=checkpoint_every) as writer:
+            writer.write_base(base)
+            for update in updates:
+                apply_update(live, update)
+                writer.append(update, live)
+        return base, live, path
+
+    @pytest.mark.parametrize("checkpoint_every", [1, 2, 3])
+    def test_checkpointed_resume_equals_full_replay(self, tmp_path, checkpoint_every):
+        base, live, path = self.deletion_heavy_log(tmp_path, checkpoint_every)
+        resumed = replay_update_log(path)
+        full = replay_update_log(path, base.copy(), use_checkpoints=False)
+        assert resumed.graph == live
+        assert full.graph == live
+        assert resumed.resumed_from == (4 // checkpoint_every) * checkpoint_every
+        assert full.applied == 4
+
+    def test_churn_checkpoints_with_deletions(self, tmp_path):
+        stream = churn_stream(n_nodes=60, batches=10, delete_fraction=0.5, rng=8)
+        assert any(u.del_nodes or u.del_edges or u.del_attrs for u in stream.updates)
+        live = stream.base.copy()
+        path = tmp_path / "churn.jsonl"
+        with UpdateLogWriter(path, checkpoint_every=3) as writer:
+            writer.write_base(stream.base)
+            for update in stream.updates:
+                apply_update(live, update)
+                writer.append(update, live)
+        assert replay_update_log(path).graph == live
+        assert (
+            replay_update_log(path, stream.base.copy(), use_checkpoints=False).graph
+            == live
+        )
+
+
 class TestLogFormat:
     def test_records_carry_format_stamp(self, tmp_path):
         path = tmp_path / "log.jsonl"
