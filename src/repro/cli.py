@@ -23,6 +23,7 @@ Operates on JSON files in the formats of :mod:`repro.graph.io` and
     python -m repro.cli stats --graph kb.json --rules rules.json --backend fragment
     python -m repro.cli pvalidate --graph kb.json --rules rules.json \
         --backend engine --telemetry ndjson:run.ndjson
+    python -m repro.cli trace run.ndjson
 
 Rule files contain either a single GED dictionary or a list of them.
 Exit status: 0 for "yes/clean", 1 for "no/violations", 2 for usage or
@@ -646,6 +647,52 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0 if report.valid else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """`trace`: render an exported telemetry NDJSON file as span trees.
+
+    Reads the file a ``--telemetry ndjson:<path>`` run wrote (the serve
+    flush path appends per batch, so a killed server's partial file
+    renders fine), assembles one causal tree per trace id from the span
+    records' ``trace_id``/``ref``/``parent_ref`` links, and prints each
+    as an indented tree with per-span durations, cross-process markers,
+    self-time attribution, and any slow-plan captures.  Exit 1 when the
+    file holds no traced spans.
+    """
+    from repro import telemetry
+
+    records = []
+    with open(args.file, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    slow_plans = [r for r in records if r.get("type") == "slow_plan"]
+    forests = telemetry.assemble_traces(records)
+    if args.trace_id:
+        forests = {
+            trace_id: roots
+            for trace_id, roots in forests.items()
+            if trace_id.startswith(args.trace_id)
+        }
+    if not forests:
+        wanted = f" matching {args.trace_id!r}" if args.trace_id else ""
+        print(f"no traced spans{wanted} in {args.file}", file=sys.stderr)
+        return 1
+    # Oldest trace first: root start time orders the batches as applied.
+    ordered = sorted(
+        forests.items(),
+        key=lambda item: min(
+            (root.record.get("ts", 0.0) for root in item[1]), default=0.0
+        ),
+    )
+    for position, (trace_id, roots) in enumerate(ordered):
+        if position:
+            print()
+        plans = [p for p in slow_plans if p.get("trace_id") == trace_id]
+        print(telemetry.format_trace(trace_id, roots, slow_plans=plans))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse CLI definition (one sub-command per pipeline stage)."""
     parser = argparse.ArgumentParser(
@@ -962,9 +1009,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_cmd.set_defaults(func=cmd_stats)
 
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="render an exported telemetry NDJSON file as causal span trees",
+    )
+    trace_cmd.add_argument("file", help="NDJSON file a --telemetry run wrote")
+    trace_cmd.add_argument(
+        "--trace-id",
+        default=None,
+        help="render only traces whose id starts with this prefix",
+    )
+    trace_cmd.set_defaults(func=cmd_trace)
+
     # NDJSON telemetry export rides along any of the heavy run commands;
-    # main() enables the registry, wraps the run in a root span, and
-    # writes spans + the final metrics snapshot to the given path.
+    # main() enables the registry, wraps the run in a traced root span,
+    # and appends spans incrementally to the given path (the serve loop
+    # flushes per batch), closing with the final metrics snapshot.
     for runnable in (validate, pvalidate_cmd, stream_cmd, engine_cmd, serve_cmd):
         runnable.add_argument(
             "--telemetry",
@@ -972,6 +1032,15 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="ndjson:PATH",
             help="collect metrics/spans during the run and export them "
             "as NDJSON to PATH",
+        )
+        runnable.add_argument(
+            "--slow-plan-ms",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="capture MatchPlan.explain(observed=True) for any "
+            "validation shard slower than MS milliseconds "
+            "(exported with --telemetry; env: REPRO_SLOW_PLAN_MS)",
         )
     return parser
 
@@ -995,20 +1064,33 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         export_path = _telemetry_path(args)
+        slow_ms = getattr(args, "slow_plan_ms", None)
         if export_path is None:
+            if slow_ms is not None:
+                from repro import telemetry
+
+                telemetry.set_slow_plan_threshold(slow_ms / 1000.0)
             return args.func(args)
         from repro import telemetry
 
         telemetry.reset()
         telemetry.clear_spans()
+        telemetry.clear_slow_plans()
+        if slow_ms is not None:
+            telemetry.set_slow_plan_threshold(slow_ms / 1000.0)
         telemetry.enable()
+        # Incremental export: the file is open for the whole run and the
+        # serve loop flushes after every batch, so a killed process still
+        # leaves every completed batch's trace on disk.  close_export
+        # appends whatever remains plus the final metrics snapshot — a
+        # partial trace of a failed run is exactly when it matters most.
+        telemetry.open_export(export_path)
         try:
-            with telemetry.span(f"cli.{args.command}"):
-                code = args.func(args)
+            with telemetry.tracing(telemetry.start_trace()):
+                with telemetry.span(f"cli.{args.command}"):
+                    code = args.func(args)
         finally:
-            # Export even when the command raised: a partial trace of a
-            # failed run is exactly when the telemetry matters most.
-            lines = telemetry.export_ndjson(export_path)
+            lines = telemetry.close_export()
             telemetry.disable()
         print(
             f"telemetry: {lines} line(s) written to {export_path}",

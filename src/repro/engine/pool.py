@@ -33,6 +33,8 @@ from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
 from repro.patterns.pattern import Pattern
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import spans as _spans
+from repro.telemetry import trace as _trace
 from repro.utils.registry import WeakIdRegistry
 
 from repro.engine.scheduler import FragmentUnit, TaskUnit
@@ -84,7 +86,9 @@ def _worker_extra():
     return _WORKER_EXTRA
 
 
-def _validate_batch(batch: tuple[TaskUnit, ...], collect: bool = False):
+def _validate_batch(
+    batch: tuple[TaskUnit, ...], collect: bool = False, trace=None
+):
     """Run a batch of (dependency, shard) units on the warm graph.
 
     One batch is one round trip: the scheduler packs units so a call
@@ -97,7 +101,10 @@ def _validate_batch(batch: tuple[TaskUnit, ...], collect: bool = False):
     ``collect=True`` (the coordinator's telemetry is enabled) runs the
     batch under a fresh metrics registry and returns ``(results,
     snapshot)`` — the worker-side half of cross-process aggregation.
-    The default return shape is unchanged.
+    ``trace`` (a :class:`~repro.telemetry.trace.TraceContext`) runs the
+    batch under the coordinator's trace so worker spans land in its
+    causal tree; they ride home inside the snapshot.  The default
+    return shape is unchanged.
     """
     from repro.parallel.validate import run_shard
 
@@ -108,11 +115,12 @@ def _validate_batch(batch: tuple[TaskUnit, ...], collect: bool = False):
             for unit in batch
         ]
     with _metrics.collecting() as registry:
-        results = [
-            run_shard(graph, unit.ged, unit.pivot, unit.shard, unit.shard_index)
-            for unit in batch
-        ]
-    return results, registry.snapshot()
+        with _trace.tracing(trace), _spans.span("engine.batch", units=len(batch)):
+            results = [
+                run_shard(graph, unit.ged, unit.pivot, unit.shard, unit.shard_index)
+                for unit in batch
+            ]
+    return results, _spans.collected_snapshot(registry)
 
 
 def _count_pattern(pattern: Pattern) -> int:
@@ -154,7 +162,9 @@ def _worker_fragment():
     return _WORKER_FRAGMENT
 
 
-def _fragment_validate_batch(batch: tuple[FragmentUnit, ...], collect: bool = False):
+def _fragment_validate_batch(
+    batch: tuple[FragmentUnit, ...], collect: bool = False, trace=None
+):
     """Run one fragment's (dependency, local pivots) units on the
     resident fragment graph — the ordinary shard kernel, local plans
     memoized on the fragment's view for the worker's lifetime.
@@ -163,6 +173,8 @@ def _fragment_validate_batch(batch: tuple[FragmentUnit, ...], collect: bool = Fa
     executor counters are additionally attributed to this fragment
     (``fragment.frames_expanded.fragment<i>``) so the coordinator can
     report per-fragment skew without knowing which worker ran what.
+    ``trace`` threads the coordinator's trace context through, exactly
+    as in :func:`_validate_batch`.
     """
     from repro.parallel.validate import run_shard
 
@@ -174,19 +186,24 @@ def _fragment_validate_batch(batch: tuple[FragmentUnit, ...], collect: bool = Fa
             )
             for unit in batch
         ]
+    fragment_index = batch[0].fragment_index if batch else -1
     with _metrics.collecting() as registry:
-        results = [
-            run_shard(
-                fragment.graph, unit.ged, unit.pivot, unit.shard, unit.fragment_index
-            )
-            for unit in batch
-        ]
+        with (
+            _trace.tracing(trace),
+            _spans.span("fragment.batch", fragment=fragment_index, units=len(batch)),
+        ):
+            results = [
+                run_shard(
+                    fragment.graph, unit.ged, unit.pivot, unit.shard, unit.fragment_index
+                )
+                for unit in batch
+            ]
         if batch:
             registry.incr(
-                f"fragment.frames_expanded.fragment{batch[0].fragment_index}",
+                f"fragment.frames_expanded.fragment{fragment_index}",
                 registry.counter_value("plan.frames_expanded"),
             )
-    return results, registry.snapshot()
+    return results, _spans.collected_snapshot(registry)
 
 
 # ----------------------------------------------------------------------
@@ -291,10 +308,12 @@ class EnginePool:
         if loads:
             mean = sum(loads) / len(loads)
             sink.gauge("engine.lpt_imbalance", max(loads) / mean if mean else 1.0)
-        collected = self._map(_validate_batch, [(batch, True) for batch in batches])
+        ctx = _trace.propagation_context()
+        collected = self._map(_validate_batch, [(batch, True, ctx) for batch in batches])
         flat = []
         for batch_results, snapshot in collected:
             sink.merge(snapshot)
+            _spans.absorb_remote(snapshot)
             flat.extend(batch_results)
         return flat
 
@@ -414,12 +433,13 @@ class FragmentPool:
             per_fragment.setdefault(unit.fragment_index, []).append(unit)
         sink = _metrics.sink()
         collect = sink.enabled
+        ctx = _trace.propagation_context() if collect else None
         futures = []
         for fragment_index, batch in sorted(per_fragment.items()):
             self.tasks_dispatched += len(batch)
             futures.append(
                 self._executors[fragment_index].submit(
-                    _fragment_validate_batch, tuple(batch), collect
+                    _fragment_validate_batch, tuple(batch), collect, ctx
                 )
             )
         if collect:
@@ -427,6 +447,7 @@ class FragmentPool:
             for future in futures:
                 batch_results, snapshot = future.result()
                 sink.merge(snapshot)
+                _spans.absorb_remote(snapshot)
                 results.extend(batch_results)
             sink.incr(
                 "fragment.pivots.local", sum(len(unit.shard) for unit in units)

@@ -59,6 +59,7 @@ from repro.matching.homomorphism import find_homomorphisms
 from repro.matching.locality import pivot_radius, split_local_pivots
 from repro.reasoning.validation import Violation, evaluate_match, x_literal_restrictions
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import slowlog as _slowlog
 from repro.telemetry.spans import span
 from repro.parallel.partition import plan_pivot, plan_shards
 
@@ -128,6 +129,14 @@ def run_shard(
     satisfy X's constant literals (a necessary condition, so the
     violation set is unchanged — see
     :func:`~repro.reasoning.validation.x_literal_restrictions`).
+
+    With telemetry enabled and a slow-plan threshold configured
+    (:mod:`repro.telemetry.slowlog`), a shard that exceeds the
+    threshold captures the executed plan's
+    ``MatchPlan.explain(observed=True)`` into the slow-plan ring
+    buffer — the plan is view-cached, so re-compiling to explain it is
+    a lookup, and the observed frame counts are the ones this very
+    workload accumulated.
     """
     started = time.perf_counter()
     restrict: dict[str, set[str]] = dict(x_literal_restrictions(graph, ged) or {})
@@ -141,6 +150,24 @@ def run_shard(
         if failed:
             violations.append(Violation(ged, tuple(sorted(match.items())), failed))
     elapsed = time.perf_counter() - started
+    if _metrics.sink().enabled:
+        threshold = _slowlog.slow_plan_threshold()
+        if threshold is not None and elapsed >= threshold:
+            from repro.matching.plan import compile_plan
+
+            # The plan is cached on the graph's view — this is a lookup,
+            # not a re-compilation — and its observed totals are the
+            # ones this shard's execution just accumulated.
+            plan = compile_plan(graph, ged.pattern)
+            _slowlog.record_slow_plan(
+                ged.name or "GED",
+                elapsed,
+                plan.explain(observed=True),
+                pivot=pivot,
+                shard_index=shard_index,
+                shard_nodes=len(shard),
+                matches=matches,
+            )
     stats = ShardStats(
         ged.name or "GED", shard_index, len(shard), matches, len(violations), elapsed
     )

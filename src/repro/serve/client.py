@@ -23,12 +23,14 @@ from typing import Any, AsyncIterator
 
 from repro.graph.io import update_to_dict
 from repro.graph.update import GraphUpdate
+from repro.telemetry import trace as _trace
 
 from repro.serve.filters import SubscriptionFilter
 from repro.serve.protocol import (
     LENGTH_PREFIXED,
     MAX_FRAME_BYTES,
     ProtocolError,
+    attach_trace,
     read_frame,
     write_frame,
 )
@@ -142,12 +144,28 @@ class ServeClient:
             raise ProtocolError(f"expected bootstrap, got {event.get('type')!r}")
         return event
 
-    async def send_update(self, update: "GraphUpdate | dict[str, Any]") -> dict[str, Any]:
+    async def send_update(
+        self,
+        update: "GraphUpdate | dict[str, Any]",
+        *,
+        trace: "_trace.TraceContext | None" = None,
+    ) -> dict[str, Any]:
         """Submit one batch; returns the ``ack`` frame, or raises
-        :class:`~repro.serve.protocol.ProtocolError` on rejection."""
+        :class:`~repro.serve.protocol.ProtocolError` on rejection.
+
+        ``trace`` attaches a trace context to the frame's optional
+        ``trace`` field; when omitted, the client's active trace (if
+        telemetry is enabled and a :func:`repro.telemetry.trace.tracing`
+        block is open) propagates automatically, so the server-side
+        batch tree hangs off the caller's span.  The ``ack`` echoes the
+        batch's ``trace_id``.
+        """
         if isinstance(update, GraphUpdate):
             update = update_to_dict(update)
-        response = await self._request({"type": "update", "update": update})
+        if trace is None:
+            trace = _trace.propagation_context()
+        frame = attach_trace({"type": "update", "update": update}, trace)
+        response = await self._request(frame)
         if response["type"] == "error":
             raise ProtocolError(response.get("message", "update rejected"))
         return response

@@ -28,9 +28,14 @@ import json
 from typing import Any
 
 from repro.errors import ReproError
+from repro.telemetry.trace import TraceContext
 
 #: Wire protocol version, carried by every ``hello`` frame.
 PROTOCOL_VERSION = 1
+
+#: Optional trace-context field on ``update`` frames (spec §8: adding
+#: an optional field is compatible evolution — old peers ignore it).
+TRACE_FIELD = "trace"
 
 #: Hard cap on one frame's payload (16 MiB − 1).  Keeping the cap under
 #: 2**24 guarantees the first length-prefix byte is 0x00, which is what
@@ -137,6 +142,26 @@ def decode_frames(data: bytes, framing: str = LENGTH_PREFIXED) -> list[dict[str,
     return frames
 
 
+def attach_trace(frame: dict[str, Any], ctx: TraceContext | None) -> dict[str, Any]:
+    """Attach a trace context to a frame as the optional ``trace`` field.
+
+    Mutates and returns ``frame``; a ``None`` context leaves the frame
+    untouched, so callers thread an optional context without branching.
+    """
+    if ctx is not None:
+        frame[TRACE_FIELD] = ctx.to_dict()
+    return frame
+
+
+def extract_trace(frame: dict[str, Any]) -> TraceContext | None:
+    """Read a frame's optional trace field, tolerant of junk.
+
+    A malformed trace payload — an old client echoing bytes it does not
+    understand — decodes to ``None`` rather than failing the frame.
+    """
+    return TraceContext.from_dict(frame.get(TRACE_FIELD))
+
+
 async def detect_framing(reader: asyncio.StreamReader) -> str:
     """Peek the first byte of a connection to pick its framing.
 
@@ -211,11 +236,14 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "SERVER_FRAME_TYPES",
+    "TRACE_FIELD",
+    "attach_trace",
     "decode_frames",
     "decode_payload",
     "detect_framing",
     "encode_frame",
     "encode_payload",
+    "extract_trace",
     "read_frame",
     "write_frame",
 ]

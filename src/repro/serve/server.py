@@ -28,11 +28,25 @@ fresh bootstrap, and suppresses any stale queued deltas at or below the
 new bootstrap's ``seq`` — the client never sees a gap or a duplicate,
 only an explicit re-base.  The full wire contract lives in
 ``docs/serve-protocol.md``.
+
+The same listener doubles as the live ops surface (spec §9): a
+connection whose first byte is an HTTP method letter is answered as a
+one-shot HTTP/1.1 exchange — ``GET /healthz`` (liveness JSON) or
+``GET /metrics`` (the Prometheus exposition) — and closed.  Protocol
+clients are unaffected: their first byte is ``0x00`` or ``{``.
+
+With telemetry enabled every applied batch runs under a
+:class:`~repro.telemetry.trace.TraceContext` — adopted from the update
+frame's optional ``trace`` field when the client sent one, freshly
+minted otherwise — so the batch's validate / log-append / ledger
+refresh / worker shards / push deliveries assemble into one causal
+tree (docs/telemetry.md).
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from collections.abc import Sequence
 from pathlib import Path
@@ -45,6 +59,10 @@ from repro.graph.io import UpdateLogWriter, replay_update_log, update_from_dict
 from repro.graph.update import GraphUpdate, validate_update
 from repro.streaming.ledger import StreamDelta, ViolationLedger, violation_to_dict
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import spans as _spans
+from repro.telemetry import trace as _trace
+from repro.telemetry.prometheus import render_prometheus
+from repro.telemetry.report import histogram_quantile
 
 from repro.serve.filters import SubscriptionFilter
 from repro.serve.protocol import (
@@ -52,9 +70,14 @@ from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     detect_framing,
+    extract_trace,
     read_frame,
     write_frame,
 )
+
+#: First bytes that select the HTTP ops surface instead of the wire
+#: protocol (GET / HEAD — all the surface serves).
+_HTTP_FIRST_BYTES = b"GH"
 
 #: Default bound on one subscriber's outbound queue (frames).
 DEFAULT_QUEUE_SIZE = 256
@@ -68,10 +91,16 @@ class _Subscriber:
     """One subscribed connection: a filter, a bounded outbound queue,
     and the writer task that drains it.
 
-    The queue holds ``(kind, enqueued_at, frame)`` items; ``kind`` is a
-    delta/bootstrap frame, a resync marker, or the close sentinel.  All
-    enqueueing is non-blocking (the apply path must never await a slow
-    consumer); the writer task owns every actual socket write.
+    The queue holds ``(kind, enqueued_at, frame, trace)`` items;
+    ``kind`` is a delta/bootstrap frame, a resync marker, or the close
+    sentinel, and ``trace`` is the batch's
+    :class:`~repro.telemetry.trace.TraceContext` (``None`` for frames
+    outside a batch).  All enqueueing is non-blocking (the apply path
+    must never await a slow consumer); the writer task owns every
+    actual socket write and records one ``serve.push`` span per traced
+    delivery — post-hoc via :func:`repro.telemetry.spans.record_span`,
+    because holding a thread-local trace across an ``await`` would
+    leak it into unrelated asyncio tasks.
     """
 
     def __init__(
@@ -96,13 +125,15 @@ class _Subscriber:
         if self.task is None:
             self.task = asyncio.get_running_loop().create_task(self._drain())
 
-    def enqueue_frame(self, frame: dict[str, Any]) -> None:
+    def enqueue_frame(
+        self, frame: dict[str, Any], trace: "_trace.TraceContext | None" = None
+    ) -> None:
         """Queue one frame, applying the overflow policy on a full queue."""
-        self._put((_FRAME, time.perf_counter(), frame))
+        self._put((_FRAME, time.perf_counter(), frame, trace))
 
     def enqueue_close(self) -> None:
         """Queue the close sentinel (drains ahead of it, then ``bye``)."""
-        self._put((_CLOSE, time.perf_counter(), None))
+        self._put((_CLOSE, time.perf_counter(), None, None))
 
     def _put(self, item: tuple) -> None:
         if not self.alive:
@@ -125,17 +156,17 @@ class _Subscriber:
         dropped = 0
         while True:
             try:
-                kind, _, _ = self.queue.get_nowait()
+                kind, _, _, _ = self.queue.get_nowait()
             except asyncio.QueueEmpty:
                 break
             if kind == _FRAME:
                 dropped += 1
             elif kind == _CLOSE:
                 # Never lose a close: put it back behind the marker.
-                item = (_CLOSE, time.perf_counter(), None)
+                item = (_CLOSE, time.perf_counter(), None, None)
         self.dropped += dropped
         self.server._count("serve.frames_dropped", dropped)
-        self.queue.put_nowait((_RESYNC, time.perf_counter(), None))
+        self.queue.put_nowait((_RESYNC, time.perf_counter(), None, None))
         if item[0] != _RESYNC:
             self.queue.put_nowait(item)
 
@@ -143,7 +174,7 @@ class _Subscriber:
         """The writer task: one socket write at a time, in queue order."""
         try:
             while True:
-                kind, enqueued_at, frame = await self.queue.get()
+                kind, enqueued_at, frame, trace = await self.queue.get()
                 if kind == _CLOSE:
                     await self._send({"type": "bye", "reason": "shutdown"})
                     break
@@ -155,14 +186,21 @@ class _Subscriber:
                 if frame.get("type") == "bootstrap":
                     self.last_bootstrap_seq = frame["seq"]
                 await self._send(frame)
+                elapsed = time.perf_counter() - enqueued_at
                 sink = _metrics.sink()
                 if sink.enabled:
                     sink.observe(
-                        "serve.push_seconds",
-                        time.perf_counter() - enqueued_at,
-                        _metrics.SECONDS_BOUNDS,
+                        "serve.push_seconds", elapsed, _metrics.SECONDS_BOUNDS
                     )
-                self.server._push_samples.append(time.perf_counter() - enqueued_at)
+                    if trace is not None:
+                        _spans.record_span(
+                            "serve.push",
+                            elapsed,
+                            trace=trace,
+                            frame=frame.get("type"),
+                            seq=frame.get("seq"),
+                        )
+                self.server._push_samples.append(elapsed)
         except (ConnectionError, asyncio.CancelledError, OSError):
             pass
         finally:
@@ -364,10 +402,20 @@ class ViolationServer:
     # Connection handling
     # ------------------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-        """One connection: detect framing, greet, then serve frames."""
+        """One connection: detect framing, greet, then serve frames.
+
+        A first byte of ``G``/``H`` (GET/HEAD) diverts the connection
+        to the one-shot HTTP ops surface before framing detection —
+        :func:`detect_framing` rejects anything but ``0x00``/``{``.
+        """
         self._count("serve.connections")
         subscriber: _Subscriber | None = None
         try:
+            first = await reader.readexactly(1)
+            reader._buffer[0:0] = first  # type: ignore[attr-defined]
+            if first in _HTTP_FIRST_BYTES:
+                await self._handle_http(reader, writer)
+                return
             framing = await detect_framing(reader)
             await write_frame(writer, self._hello_frame(), framing)
             while True:
@@ -450,7 +498,13 @@ class ViolationServer:
     async def _on_update(
         self, frame: dict[str, Any], writer: asyncio.StreamWriter, framing: str
     ) -> None:
-        """Decode, validate, log, apply, fan out, acknowledge."""
+        """Decode, validate, log, apply, fan out, acknowledge.
+
+        With telemetry enabled the batch is traced: the context rides
+        in from the frame's optional ``trace`` field (a traced client),
+        or is minted here — either way the ack echoes the trace id so
+        the publisher can find its batch in the export.
+        """
         try:
             update = update_from_dict(frame.get("update"))
         except (GraphError, TypeError, ValueError) as exc:
@@ -461,9 +515,14 @@ class ViolationServer:
                 framing,
             )
             return
+        ctx: _trace.TraceContext | None = None
+        if _metrics.sink().enabled:
+            ctx = extract_trace(frame)
+            if ctx is None:
+                ctx = _trace.start_trace()
         async with self._apply_lock:
             try:
-                delta = self._apply(update)
+                delta = self._apply(update, ctx)
             except ReproError as exc:
                 self._count("serve.updates_rejected")
                 await write_frame(
@@ -472,57 +531,154 @@ class ViolationServer:
                     framing,
                 )
                 return
-        await write_frame(
-            writer,
-            {
-                "type": "ack",
-                "seq": delta.seq,
-                "introduced": len(delta.introduced),
-                "retired": len(delta.retired),
-                "updated": len(delta.updated),
-            },
-            framing,
-        )
+        ack = {
+            "type": "ack",
+            "seq": delta.seq,
+            "introduced": len(delta.introduced),
+            "retired": len(delta.retired),
+            "updated": len(delta.updated),
+        }
+        if ctx is not None:
+            ack["trace_id"] = ctx.trace_id
+        await write_frame(writer, ack, framing)
         if self._max_batches is not None and self._batches_applied >= self._max_batches:
             await self.stop()
 
     # ------------------------------------------------------------------
     # The coordinator: apply one batch, fan the delta out
     # ------------------------------------------------------------------
-    def _apply(self, update: GraphUpdate) -> StreamDelta:
+    def _apply(
+        self, update: GraphUpdate, ctx: "_trace.TraceContext | None" = None
+    ) -> StreamDelta:
         """Validate, append to the durable log, refresh the ledger, and
         enqueue the per-subscriber filtered delta frames.
 
         Synchronous by design: no await between validation and fan-out,
         so subscribe/bootstrap handling can never observe a half-applied
-        batch.  Runs under the apply lock (batches are strictly serial).
+        batch — which also makes it safe to run under ``tracing(ctx)``
+        (the thread-local trace cannot leak across a task switch).
+        Runs under the apply lock (batches are strictly serial).  With
+        an export open, buffered trace records are flushed to disk
+        after every batch.
         """
         started = time.perf_counter()
-        # Validate against the live graph *before* touching the log: a
-        # rejected batch must leave no durable trace.
-        validate_update(self.graph, update)
-        if self._log_writer is not None:
-            # No graph here: the batch is not applied yet, and a periodic
-            # checkpoint must capture post-batch state (written below).
-            self._log_writer.append(update)
-        delta = self.ledger.refresh(update)
-        if (
-            self._log_writer is not None
-            and self._log_writer.checkpoint_every
-            and delta.seq % self._log_writer.checkpoint_every == 0
-        ):
-            self._log_writer.checkpoint(self.graph)
-        self._batches_applied += 1
-        self._count("serve.updates")
-        for subscriber in list(self._subscribers):
-            subscriber.enqueue_frame(self._delta_frame(delta, subscriber.filter))
-            self._count("serve.deltas_pushed")
+        with _trace.tracing(ctx):
+            with _spans.span("serve.batch", size=update.size()):
+                with _spans.span("serve.validate"):
+                    # Validate against the live graph *before* touching the
+                    # log: a rejected batch must leave no durable trace.
+                    validate_update(self.graph, update)
+                if self._log_writer is not None:
+                    with _spans.span("serve.log_append"):
+                        # No graph here: the batch is not applied yet, and a
+                        # periodic checkpoint must capture post-batch state
+                        # (written below).
+                        self._log_writer.append(update)
+                delta = self.ledger.refresh(update)
+                if (
+                    self._log_writer is not None
+                    and self._log_writer.checkpoint_every
+                    and delta.seq % self._log_writer.checkpoint_every == 0
+                ):
+                    self._log_writer.checkpoint(self.graph)
+                self._batches_applied += 1
+                self._count("serve.updates")
+                push_ctx = _trace.propagation_context()
+                for subscriber in list(self._subscribers):
+                    subscriber.enqueue_frame(
+                        self._delta_frame(delta, subscriber.filter), push_ctx
+                    )
+                    self._count("serve.deltas_pushed")
         elapsed = time.perf_counter() - started
         self._apply_seconds += elapsed
         sink = _metrics.sink()
         if sink.enabled:
             sink.observe("serve.apply_seconds", elapsed, _metrics.SECONDS_BOUNDS)
+        _spans.flush_export()
         return delta
+
+    # ------------------------------------------------------------------
+    # The HTTP ops surface: /healthz and /metrics on the same listener
+    # ------------------------------------------------------------------
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one HTTP/1.1 request and let the caller close.
+
+        Deliberately minimal (stdlib readers, two routes, always
+        ``Connection: close``): this is a scrape/liveness surface, not
+        a web server.  The caller's ``finally`` closes the writer.
+        """
+        try:
+            request = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            asyncio.LimitOverrunError,
+        ):
+            return
+        request_line = request.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        parts = request_line.split()
+        method = parts[0] if parts else ""
+        path = (parts[1] if len(parts) > 1 else "/").split("?", 1)[0]
+        self._count("serve.http_requests")
+        if path == "/healthz":
+            body = (
+                json.dumps(self._healthz_payload(), sort_keys=True) + "\n"
+            ).encode("utf-8")
+            status, content_type = "200 OK", "application/json"
+        elif path == "/metrics":
+            body = render_prometheus(self._scrape_snapshot()).encode("utf-8")
+            status, content_type = "200 OK", "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = b'{"error":"not found"}\n'
+            status, content_type = "404 Not Found", "application/json"
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head if method == "HEAD" else head + body)
+        await writer.drain()
+
+    def _healthz_payload(self) -> dict[str, Any]:
+        """The ``/healthz`` body: liveness plus the headline gauges."""
+        histograms = _metrics.snapshot().get("histograms", {})
+        return {
+            "status": "ok",
+            "seq": self.seq,
+            "epoch": self.epoch,
+            "backend": self.ledger.backend,
+            "subscribers": len(self._subscribers),
+            "violations": len(self.ledger),
+            "batches_applied": self._batches_applied,
+            "queue_depth_p99": histogram_quantile(
+                histograms.get("serve.queue_depth"), 0.99
+            ),
+            "telemetry": _metrics.enabled(),
+        }
+
+    def _scrape_snapshot(self) -> dict[str, Any]:
+        """The snapshot ``/metrics`` renders.
+
+        The telemetry registry, with the server's always-on counters
+        folded in by max() — when telemetry is enabled the registry
+        mirrors them already (``_count`` writes both), so taking the
+        larger value avoids double counting while keeping the scrape
+        meaningful with telemetry off.
+        """
+        snapshot = _metrics.snapshot()
+        counters = snapshot["counters"]
+        for name, value in self._counters.items():
+            if counters.get(name, 0) < value:
+                counters[name] = value
+        gauges = snapshot["gauges"]
+        gauges["serve.seq"] = self.seq
+        gauges["serve.epoch"] = self.epoch
+        gauges.setdefault("serve.subscribers", len(self._subscribers))
+        return snapshot
 
     # ------------------------------------------------------------------
     # Frame builders

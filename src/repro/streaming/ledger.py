@@ -37,6 +37,7 @@ from repro.graph.update import GraphUpdate
 from repro.matching.homomorphism import is_homomorphism
 from repro.reasoning.validation import Violation, evaluate_match, find_violations
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import spans as _spans
 
 from repro.streaming.delta import delta_violations
 
@@ -221,23 +222,25 @@ class ViolationLedger:
         for node_id in touched:
             affected |= self._by_node.get(node_id, set())
         delta.rechecked = len(affected)
-        for key in sorted(affected):
-            old = self._entries[key]
-            current = self._evaluate(key)
-            if current is None:
-                self._remove(key)
-                delta.retired.append(old)
-            elif current.failed != old.failed:
-                self._entries[key] = current
-                delta.updated.append(current)
+        with _spans.span("stream.retire_check", affected=len(affected)):
+            for key in sorted(affected):
+                old = self._entries[key]
+                current = self._evaluate(key)
+                if current is None:
+                    self._remove(key)
+                    delta.retired.append(old)
+                elif current.failed != old.failed:
+                    self._entries[key] = current
+                    delta.updated.append(current)
 
         # -- introduce: every post-batch violation meeting the batch ---
-        if self._executor is not None:
-            found = self._executor.refresh(update, touched)
-        elif self._router is not None:
-            found = self._router.refresh(self.graph, update, touched)
-        else:
-            found = delta_violations(self.graph, self.sigma, touched)
+        with _spans.span("stream.introduce", backend=self.backend):
+            if self._executor is not None:
+                found = self._executor.refresh(update, touched)
+            elif self._router is not None:
+                found = self._router.refresh(self.graph, update, touched)
+            else:
+                found = delta_violations(self.graph, self.sigma, touched)
         # Canonical (dep position, embedding) order: the serial kernel
         # yields pin-enumeration order and the engine merge is sorted —
         # sorting here makes the emitted delta backend-independent.

@@ -81,6 +81,7 @@ def _stream_delta_task(
     target_seq: int,
     shard: tuple[str, ...],
     collect: bool = False,
+    trace=None,
 ):
     """Fast-forward the worker replica, then run the kernel on a shard.
 
@@ -90,11 +91,16 @@ def _stream_delta_task(
     ``epoch`` identifies the broadcast this task's sequence numbers are
     relative to (see :class:`_WorkerStreamState`).  ``collect=True``
     (coordinator telemetry enabled) additionally returns ``(results,
-    snapshot)`` with the shard's metrics for coordinator-side merging.
+    snapshot)`` with the shard's metrics for coordinator-side merging;
+    ``trace`` (a :class:`~repro.telemetry.trace.TraceContext`) puts the
+    shard's ``stream.shard`` span — and any slow-plan captures — into
+    the coordinator's causal tree, shipped home inside the snapshot.
     """
     from repro.engine.pool import _worker_extra, _worker_graph
     from repro.reasoning.incremental import apply_update
     from repro.telemetry import metrics as _metrics
+    from repro.telemetry import spans as _spans
+    from repro.telemetry import trace as _trace
 
     state = _WORKER_STREAM
     state.enter_epoch(epoch)
@@ -112,8 +118,9 @@ def _stream_delta_task(
     if not collect:
         return delta_violations(graph, sigma, set(shard))
     with _metrics.collecting() as registry:
-        results = delta_violations(graph, sigma, set(shard))
-    return results, registry.snapshot()
+        with _trace.tracing(trace), _spans.span("stream.shard", nodes=len(shard)):
+            results = delta_violations(graph, sigma, set(shard))
+    return results, _spans.collected_snapshot(registry)
 
 
 # ----------------------------------------------------------------------
@@ -204,13 +211,16 @@ class EngineDeltaExecutor:
         )
         target_seq = self.seq - self._snapshot_seq
         from repro.telemetry import metrics as _metrics
+        from repro.telemetry import spans as _spans
+        from repro.telemetry import trace as _trace
 
         sink = _metrics.sink()
         collect = sink.enabled
+        ctx = _trace.propagation_context() if collect else None
         results = self._pool.run_tasks(
             _stream_delta_task,
             [
-                (self._epoch, pending, target_seq, tuple(shard), collect)
+                (self._epoch, pending, target_seq, tuple(shard), collect, ctx)
                 for shard in shards
             ],
         )
@@ -218,6 +228,7 @@ class EngineDeltaExecutor:
             unwrapped = []
             for shard_result, snapshot in results:
                 sink.merge(snapshot)
+                _spans.absorb_remote(snapshot)
                 unwrapped.append(shard_result)
             results = unwrapped
         # Merge: dedup across shards (a match meeting touched nodes in

@@ -1,13 +1,16 @@
 """Prometheus text-exposition rendering of a metrics snapshot.
 
-Format only — no HTTP server.  The future push-API server (ROADMAP
-item 2) mounts :func:`render_prometheus` on a ``/metrics`` route; until
-then ``cli stats --format prom`` prints it.
+Format only — no HTTP server here.  The serve layer mounts
+:func:`render_prometheus` on its ``/metrics`` route
+(docs/serve-protocol.md §9); ``cli stats --format prom`` prints the
+same exposition offline.
 
 Mapping: metric names are dot-namespaced internally
 (``engine.pool.warm_hits``); exposition names replace every
 non-``[a-zA-Z0-9_]`` character with ``_`` and take a ``repro_`` prefix
-(``repro_engine_pool_warm_hits``).  Counters render as ``counter``,
+(``repro_engine_pool_warm_hits``).  Each family gets a ``# HELP`` line
+carrying the raw dotted name (the key into docs/telemetry.md's
+catalog) and a ``# TYPE`` line.  Counters render as ``counter``,
 gauges as ``gauge``, histograms as the conventional cumulative
 ``_bucket{le="..."}`` / ``_sum`` / ``_count`` triple.
 """
@@ -40,20 +43,29 @@ def _format_bound(bound: float) -> str:
     return repr(bound)
 
 
+def _help_text(raw: str) -> str:
+    # HELP text may not contain newlines or stray backslashes; raw
+    # metric names are dot/word-only today, but sanitize anyway.
+    return raw.replace("\\", "\\\\").replace("\n", " ")
+
+
 def render_prometheus(snapshot: dict[str, Any]) -> str:
     """Render one snapshot in the Prometheus text exposition format."""
     lines: list[str] = []
     for raw in sorted(snapshot.get("counters", {})):
         name = _name(raw)
+        lines.append(f"# HELP {name} repro metric {_help_text(raw)}")
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name} {_format_value(snapshot['counters'][raw])}")
     for raw in sorted(snapshot.get("gauges", {})):
         name = _name(raw)
+        lines.append(f"# HELP {name} repro metric {_help_text(raw)}")
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_format_value(snapshot['gauges'][raw])}")
     for raw in sorted(snapshot.get("histograms", {})):
         payload = snapshot["histograms"][raw]
         name = _name(raw)
+        lines.append(f"# HELP {name} repro metric {_help_text(raw)}")
         lines.append(f"# TYPE {name} histogram")
         cumulative = 0
         for bound, count in zip(payload["bounds"], payload["counts"]):

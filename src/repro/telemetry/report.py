@@ -5,12 +5,17 @@ imply — escalated-pivot share, warm-pool hit rate, border-replica
 share, per-fragment frames expanded — the numbers ``cli stats`` leads
 with and ROADMAP item 5 (adaptive repartitioning) will trigger on.
 :func:`format_text` renders the derived block plus the full snapshot as
-an aligned text dump.
+an aligned text dump.  :func:`format_trace` renders one assembled trace
+(see :func:`repro.telemetry.trace.assemble_traces`) as an indented tree
+with per-span durations and a self-time attribution — the ``cli trace``
+view of "where did this batch's milliseconds go".
 """
 
 from __future__ import annotations
 
 from typing import Any
+
+from repro.telemetry.trace import TraceNode, ref_process
 
 _FRAGMENT_FRAMES_PREFIX = "fragment.frames_expanded."
 
@@ -175,4 +180,61 @@ def format_text(snapshot: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["derived_stats", "format_text", "histogram_quantile"]
+def _attrs_inline(record: dict[str, Any]) -> str:
+    attrs = record.get("attrs")
+    if not attrs:
+        return ""
+    rendered = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    return f"  [{rendered}]"
+
+
+def format_trace(
+    trace_id: str,
+    roots: list[TraceNode],
+    *,
+    slow_plans: list[dict[str, Any]] | None = None,
+) -> str:
+    """Render one assembled trace as an indented tree plus attribution.
+
+    Each line shows the span's duration and its share of the trace
+    total; spans recorded in a different process than the trace root
+    are marked with their process tag — the boundary crossings at a
+    glance.  The trailing "where the milliseconds went" block
+    aggregates *self time* (duration minus direct children) by span
+    name, which is the honest answer to "what was actually slow": a
+    parent that merely waits on children attributes nothing to itself.
+    """
+    total = sum(root.duration_s for root in roots)
+    root_proc = ref_process(roots[0].ref) if roots and roots[0].ref else ""
+    lines = [f"trace {trace_id}  ({total * 1000:.2f}ms, {len(roots)} root(s))"]
+    self_by_name: dict[str, float] = {}
+    for root in roots:
+        for depth, node in root.walk():
+            share = f"{node.duration_s / total:5.1%}" if total else "    -"
+            proc = ref_process(node.ref) if node.ref else ""
+            marker = f"  @{proc}" if proc and proc != root_proc else ""
+            error = "  !error" if node.record.get("error") else ""
+            lines.append(
+                f"  {'  ' * depth}{node.name}  {node.duration_s * 1000:.2f}ms"
+                f"  {share}{marker}{error}{_attrs_inline(node.record)}"
+            )
+            self_by_name[node.name] = self_by_name.get(node.name, 0.0) + node.self_seconds()
+    lines.append("")
+    lines.append("where the milliseconds went (self time):")
+    ranked = sorted(self_by_name.items(), key=lambda item: -item[1])
+    for name, seconds in ranked[:8]:
+        share = f"{seconds / total:5.1%}" if total else "    -"
+        lines.append(f"  {name:<24} {seconds * 1000:8.2f}ms  {share}")
+    for record in slow_plans or []:
+        lines.append("")
+        lines.append(
+            f"slow plan: {record.get('name', '?')}  "
+            f"{float(record.get('seconds', 0.0)) * 1000:.2f}ms"
+        )
+        explain = record.get("explain")
+        if explain:
+            lines.extend(f"  {line}" for line in str(explain).splitlines())
+    return "\n".join(lines)
+
+
+__all__ = ["derived_stats", "format_text", "format_trace", "histogram_quantile"]

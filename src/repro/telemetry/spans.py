@@ -11,35 +11,112 @@ Records are plain dicts::
     {"type": "span", "name": "validate", "span_id": 3, "parent_id": 1,
      "ts": 1754550000.123, "duration_s": 0.0042, "attrs": {"dep": "phi2"}}
 
-:func:`export_ndjson` writes the buffered spans one JSON object per
-line, followed by a final ``{"type": "metrics", "snapshot": ...}`` line
-carrying the persistent registry's snapshot — one file tells the whole
-story of a run (the ``--telemetry ndjson:<path>`` CLI flag ends there).
+When a :mod:`repro.telemetry.trace` context is active the record
+additionally carries ``trace_id``, ``ref`` (the span's globally unique
+``"<proc>:<id>"`` name), and ``parent_ref`` — the links
+:func:`repro.telemetry.trace.assemble_traces` rebuilds causal trees
+from.  Span ids stay process-local monotone integers; parent/child
+nesting is per thread.
 
-Span ids are process-local monotone integers; parent/child nesting is
-per thread.  Worker processes do not ship spans home (metrics snapshots
-piggyback on task results instead — spans are a coordinator-side
-narration, metrics are the cross-process truth).
+Worker processes ship their spans home piggybacked on the
+``collect=True`` metrics snapshot (under a ``"spans"`` key the metrics
+merge ignores); the coordinator folds them in with
+:func:`absorb_remote`.
+
+Export is NDJSON, two ways:
+
+* :func:`export_ndjson` — one-shot: buffered spans, then slow-plan
+  records, then a final ``{"type": "metrics", "snapshot": ...}`` line.
+* :func:`open_export` / :func:`flush_export` / :func:`close_export` —
+  incremental: the serve loop flushes after every batch, so a killed
+  server still leaves usable traces on disk; close appends the final
+  metrics line.
+
+The buffer bound is configurable — ``REPRO_MAX_SPANS`` in the
+environment or :func:`set_max_spans` at runtime; overflow increments
+``telemetry.spans_dropped`` and never raises.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
 import time
 from typing import Any, TextIO
 
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import slowlog as _slowlog
+from repro.telemetry import trace as _trace
+
+#: Built-in finished-span buffer bound.
+DEFAULT_MAX_SPANS = 10_000
+
+
+def _capacity_from_env() -> int:
+    raw = os.environ.get("REPRO_MAX_SPANS")
+    if not raw:
+        return DEFAULT_MAX_SPANS
+    try:
+        capacity = int(raw)
+    except ValueError:
+        return DEFAULT_MAX_SPANS
+    return capacity if capacity >= 1 else DEFAULT_MAX_SPANS
 
 #: Finished spans kept in memory; beyond this, spans are dropped and
-#: counted (the ``telemetry.spans_dropped`` counter).
-MAX_SPANS = 10_000
+#: counted (the ``telemetry.spans_dropped`` counter).  Seeded from the
+#: ``REPRO_MAX_SPANS`` environment variable; adjust at runtime with
+#: :func:`set_max_spans`.
+MAX_SPANS = _capacity_from_env()
 
 _FINISHED: list[dict[str, Any]] = []
 _IDS = itertools.count(1)
 _LOCAL = threading.local()
 _LOCK = threading.Lock()
+
+_EXPORT: TextIO | None = None
+_EXPORT_LINES = 0
+_EXPORT_LOCK = threading.Lock()
+
+
+def _after_fork() -> None:
+    """Reset span state in a forked child (pool workers fork lazily).
+
+    A forked worker inherits the coordinator's finished-span buffer;
+    left alone, ``collected_snapshot`` would ship those inherited spans
+    home and the coordinator would absorb duplicates of its own
+    records.  The child also must not keep the parent's export handle
+    (two processes appending to one file interleave mid-line) or its
+    possibly-held locks.
+    """
+    global _LOCK, _EXPORT, _EXPORT_LINES, _EXPORT_LOCK, _LOCAL
+    _LOCK = threading.Lock()
+    _EXPORT_LOCK = threading.Lock()
+    _LOCAL = threading.local()
+    _FINISHED.clear()
+    _EXPORT = None
+    _EXPORT_LINES = 0
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_after_fork)
+
+
+def max_spans() -> int:
+    """The active finished-span buffer bound."""
+    return MAX_SPANS
+
+
+def set_max_spans(capacity: int | None) -> None:
+    """Set the buffer bound (``None`` restores the env/default value)."""
+    global MAX_SPANS
+    if capacity is None:
+        MAX_SPANS = _capacity_from_env()
+        return
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    MAX_SPANS = capacity
 
 
 def _stack() -> list[int]:
@@ -47,6 +124,14 @@ def _stack() -> list[int]:
     if stack is None:
         stack = _LOCAL.stack = []
     return stack
+
+
+def _append(record: dict[str, Any]) -> None:
+    with _LOCK:
+        if len(_FINISHED) < MAX_SPANS:
+            _FINISHED.append(record)
+        else:
+            _metrics.sink().incr("telemetry.spans_dropped")
 
 
 class _NullSpan:
@@ -67,7 +152,7 @@ _NULL_SPAN = _NullSpan()
 class Span:
     """One live span; created only when telemetry is enabled."""
 
-    __slots__ = ("name", "attrs", "span_id", "parent_id", "ts", "_start")
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "ts", "_start", "_trace")
 
     def __init__(self, name: str, attrs: dict[str, Any]):
         self.name = name
@@ -76,12 +161,14 @@ class Span:
         self.parent_id: int | None = None
         self.ts = 0.0
         self._start = 0.0
+        self._trace: tuple[str, str, str | None] | None = None
 
     def __enter__(self) -> "Span":
         stack = _stack()
         self.parent_id = stack[-1] if stack else None
         self.span_id = next(_IDS)
         stack.append(self.span_id)
+        self._trace = _trace.enter_span(self.span_id)
         self.ts = time.time()
         self._start = time.perf_counter()
         return self
@@ -99,15 +186,18 @@ class Span:
             "ts": self.ts,
             "duration_s": duration,
         }
+        if self._trace is not None:
+            trace_id, ref, parent_ref = self._trace
+            record["trace_id"] = trace_id
+            record["ref"] = ref
+            if parent_ref is not None:
+                record["parent_ref"] = parent_ref
+            _trace.exit_span(ref)
         if self.attrs:
             record["attrs"] = self.attrs
         if exc_type is not None:
             record["error"] = True
-        with _LOCK:
-            if len(_FINISHED) < MAX_SPANS:
-                _FINISHED.append(record)
-            else:
-                _metrics.sink().incr("telemetry.spans_dropped")
+        _append(record)
         return False
 
 
@@ -116,6 +206,87 @@ def span(name: str, **attrs: Any) -> Span | _NullSpan:
     if not _metrics._SINK.enabled:
         return _NULL_SPAN
     return Span(name, attrs)
+
+
+def record_span(
+    name: str,
+    duration_s: float,
+    *,
+    trace: "_trace.TraceContext | None" = None,
+    ts: float | None = None,
+    **attrs: Any,
+) -> None:
+    """Record an already-measured span directly (no context manager).
+
+    The asyncio-safe path: ``with tracing(ctx): await ...`` would leak
+    the thread-local context across task switches, so event-loop code
+    (push delivery) measures explicitly and records post-hoc with the
+    context it carried.  The span hangs off ``trace.parent_ref``.
+    No-op when telemetry is disabled.
+    """
+    if not _metrics._SINK.enabled:
+        return
+    record: dict[str, Any] = {
+        "type": "span",
+        "name": name,
+        "span_id": next(_IDS),
+        "parent_id": None,
+        "ts": time.time() if ts is None else ts,
+        "duration_s": duration_s,
+    }
+    if trace is not None:
+        record["trace_id"] = trace.trace_id
+        record["ref"] = _trace.make_ref(record["span_id"])
+        if trace.parent_ref is not None:
+            record["parent_ref"] = trace.parent_ref
+    if attrs:
+        record["attrs"] = attrs
+    _append(record)
+
+
+def absorb_spans(records: Any) -> None:
+    """Fold finished-span records from elsewhere into the buffer.
+
+    Respects the buffer bound (overflow counts
+    ``telemetry.spans_dropped``); records keep their original ids and
+    refs — trace assembly relies on refs, which are globally unique.
+    """
+    if not records:
+        return
+    with _LOCK:
+        for record in records:
+            if len(_FINISHED) < MAX_SPANS:
+                _FINISHED.append(record)
+            else:
+                _metrics.sink().incr("telemetry.spans_dropped")
+
+
+def absorb_remote(snapshot: dict[str, Any]) -> None:
+    """Take a worker's piggybacked spans and slow plans off a snapshot.
+
+    The metrics merge (:meth:`MetricsRegistry.merge`) ignores the extra
+    ``"spans"`` / ``"slow_plans"`` keys; coordinators call this next to
+    ``sink.merge(snapshot)`` to land the worker's trace records too.
+    """
+    absorb_spans(snapshot.get("spans"))
+    _slowlog.absorb_slow_plans(snapshot.get("slow_plans"))
+
+
+def collected_snapshot(registry: "_metrics.MetricsRegistry") -> dict[str, Any]:
+    """The worker-side half: a snapshot with spans/slow plans aboard.
+
+    Called at the end of a ``collecting()`` block; drains this
+    process's span and slow-plan buffers into extra snapshot keys for
+    :func:`absorb_remote` on the coordinator.
+    """
+    snapshot = registry.snapshot()
+    worker_spans = drain_spans()
+    if worker_spans:
+        snapshot["spans"] = worker_spans
+    slow = _slowlog.drain_slow_plans()
+    if slow:
+        snapshot["slow_plans"] = slow
+    return snapshot
 
 
 def drain_spans() -> list[dict[str, Any]]:
@@ -135,11 +306,12 @@ def clear_spans() -> None:
 def export_ndjson(target: str | TextIO) -> int:
     """Write buffered spans plus a final metrics line as NDJSON.
 
-    Returns the number of lines written.  The span buffer is drained;
-    the metrics registry is left intact (callers may still render it).
+    Returns the number of lines written.  The span and slow-plan
+    buffers are drained; the metrics registry is left intact (callers
+    may still render it).
     """
-    finished = drain_spans()
-    lines = [json.dumps(record, sort_keys=True) for record in finished]
+    records = drain_spans() + _slowlog.drain_slow_plans()
+    lines = [json.dumps(record, sort_keys=True) for record in records]
     lines.append(
         json.dumps(
             {"type": "metrics", "snapshot": _metrics.snapshot()}, sort_keys=True
@@ -154,11 +326,82 @@ def export_ndjson(target: str | TextIO) -> int:
     return len(lines)
 
 
+def open_export(path: str) -> None:
+    """Start an incremental NDJSON export (truncates ``path``).
+
+    Subsequent :func:`flush_export` calls append drained records and
+    flush to disk, so a killed process still leaves usable traces;
+    :func:`close_export` appends the final metrics line.
+    """
+    global _EXPORT, _EXPORT_LINES
+    with _EXPORT_LOCK:
+        if _EXPORT is not None:
+            _EXPORT.close()
+        _EXPORT = open(path, "w", encoding="utf-8")
+        _EXPORT_LINES = 0
+
+
+def flush_export() -> int:
+    """Append buffered spans/slow plans to the open export and flush.
+
+    Returns the number of lines appended; cheap no-op (one global
+    read) when no export is open.
+    """
+    global _EXPORT_LINES
+    if _EXPORT is None:
+        return 0
+    with _EXPORT_LOCK:
+        if _EXPORT is None:
+            return 0
+        records = drain_spans() + _slowlog.drain_slow_plans()
+        if not records:
+            return 0
+        for record in records:
+            _EXPORT.write(json.dumps(record, sort_keys=True) + "\n")
+        _EXPORT.flush()
+        _EXPORT_LINES += len(records)
+    return len(records)
+
+
+def close_export() -> int:
+    """Flush, append the final metrics line, and close the export.
+
+    Returns the total number of lines the export received over its
+    lifetime (0 when none was open).
+    """
+    global _EXPORT, _EXPORT_LINES
+    flush_export()
+    with _EXPORT_LOCK:
+        if _EXPORT is None:
+            return 0
+        _EXPORT.write(
+            json.dumps(
+                {"type": "metrics", "snapshot": _metrics.snapshot()}, sort_keys=True
+            )
+            + "\n"
+        )
+        _EXPORT.close()
+        _EXPORT = None
+        total = _EXPORT_LINES + 1
+        _EXPORT_LINES = 0
+    return total
+
+
 __all__ = [
+    "DEFAULT_MAX_SPANS",
     "MAX_SPANS",
     "Span",
+    "absorb_remote",
+    "absorb_spans",
     "clear_spans",
+    "close_export",
+    "collected_snapshot",
     "drain_spans",
     "export_ndjson",
+    "flush_export",
+    "max_spans",
+    "open_export",
+    "record_span",
+    "set_max_spans",
     "span",
 ]

@@ -1,0 +1,277 @@
+"""Trace-context propagation: one causal tree per update batch.
+
+PR 6's spans are thread-local narration — the moment work crosses a
+pool initializer or the serve wire the parent/child chain breaks.  This
+module carries the missing link: a :class:`TraceContext` small enough
+to ride anywhere (two strings; pickle- and JSON-friendly) that names
+
+* the **trace** — one id per root unit of work (an update batch at the
+  serve boundary, a CLI invocation, a test), and
+* the **parent span ref** — a globally unique name for the span that
+  caused the work, ``"<process-tag>:<span-id>"``.
+
+Span ids stay process-local monotone integers (the PR 6 contract);
+global uniqueness comes from the process tag, minted once per process
+from the pid plus random bits so forked pool workers and remote clients
+never collide.
+
+Propagation is explicit and cheap:
+
+* :func:`start_trace` mints a root context (no parent).
+* :func:`tracing` installs a context on the current thread; while it is
+  active, every :func:`repro.telemetry.spans.span` records ``trace_id``
+  / ``ref`` / ``parent_ref`` next to its local ids.
+* :func:`propagation_context` derives the context to hand to a worker
+  task or a wire frame: same trace, parent = the innermost open span.
+* :func:`assemble_traces` rebuilds the causal trees from exported span
+  records, wherever they were recorded.
+
+Worker-side spans ship home piggybacked on the ``collect=True`` metrics
+snapshot (see :func:`repro.telemetry.spans.absorb_remote`); wire frames
+carry the context as an optional ``"trace"`` field (serve protocol §8:
+optional fields are compatible evolution).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Process tag: pid plus random bits (the random bits disambiguate pid
+#: reuse across hosts/runs).  Forked pool workers inherit the parent's
+#: module state — including this tag — so it is re-minted in the child
+#: via ``os.register_at_fork``; without that, a forked worker's span
+#: refs could collide with the coordinator's inside one trace.
+_PROC_TAG = f"{os.getpid():x}-{uuid.uuid4().hex[:6]}"
+
+
+def _remint_proc_tag() -> None:
+    global _PROC_TAG
+    _PROC_TAG = f"{os.getpid():x}-{uuid.uuid4().hex[:6]}"
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_remint_proc_tag)
+
+
+def process_tag() -> str:
+    """This process's span-ref prefix (``"<pid-hex>-<random>"``)."""
+    return _PROC_TAG
+
+
+def make_ref(span_id: int) -> str:
+    """The globally unique ref of a local span id."""
+    return f"{_PROC_TAG}:{span_id}"
+
+
+def ref_process(ref: str) -> str:
+    """The process tag a span ref was minted in."""
+    return ref.rsplit(":", 1)[0]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What crosses a boundary: the trace id and the causing span's ref.
+
+    Frozen, two plain strings — safe to pickle into worker task
+    payloads and to embed in canonical-JSON wire frames.
+    """
+
+    trace_id: str
+    parent_ref: str | None = None
+
+    def to_dict(self) -> dict[str, str]:
+        """The wire/JSON form (``parent_ref`` omitted when absent)."""
+        payload = {"trace_id": self.trace_id}
+        if self.parent_ref is not None:
+            payload["parent_ref"] = self.parent_ref
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "TraceContext | None":
+        """Parse a wire payload; tolerant — junk decodes to ``None``.
+
+        A malformed trace field from an old or foreign client must
+        never fail the update that carries it.
+        """
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        parent = payload.get("parent_ref")
+        if parent is not None and not isinstance(parent, str):
+            parent = None
+        return cls(trace_id, parent)
+
+
+_STATE = threading.local()
+
+
+def _refs() -> list[str]:
+    refs = getattr(_STATE, "refs", None)
+    if refs is None:
+        refs = _STATE.refs = []
+    return refs
+
+
+def start_trace() -> TraceContext:
+    """Mint a fresh root context (new trace id, no parent)."""
+    return TraceContext(uuid.uuid4().hex[:16])
+
+
+def current_trace() -> TraceContext | None:
+    """The context installed on this thread, if any."""
+    return getattr(_STATE, "ctx", None)
+
+
+@contextmanager
+def tracing(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Install ``ctx`` on the current thread for the ``with`` body.
+
+    ``tracing(None)`` is a no-op — callers thread an optional context
+    through without branching.  Do **not** hold a trace across an
+    ``await``: the thread-local would leak into unrelated asyncio
+    tasks.  Record post-hoc with
+    :func:`repro.telemetry.spans.record_span` instead.
+    """
+    if ctx is None:
+        yield None
+        return
+    previous = getattr(_STATE, "ctx", None)
+    previous_refs = getattr(_STATE, "refs", None)
+    _STATE.ctx = ctx
+    _STATE.refs = []
+    try:
+        yield ctx
+    finally:
+        _STATE.ctx = previous
+        _STATE.refs = previous_refs if previous_refs is not None else []
+
+
+def enter_span(span_id: int) -> tuple[str, str, str | None] | None:
+    """Called by a starting span: claim a ref under the active trace.
+
+    Returns ``(trace_id, ref, parent_ref)`` and pushes the ref on the
+    thread's open-ref stack, or ``None`` when no trace is active.
+    """
+    ctx = getattr(_STATE, "ctx", None)
+    if ctx is None:
+        return None
+    refs = _refs()
+    parent = refs[-1] if refs else ctx.parent_ref
+    ref = make_ref(span_id)
+    refs.append(ref)
+    return (ctx.trace_id, ref, parent)
+
+
+def exit_span(ref: str) -> None:
+    """Called by a finishing span: pop its ref off the open stack."""
+    refs = getattr(_STATE, "refs", None)
+    if refs and refs[-1] == ref:
+        refs.pop()
+
+
+def propagation_context() -> TraceContext | None:
+    """The context to ship across the next boundary.
+
+    Same trace as the active context; the parent is the innermost open
+    span on this thread (so the remote subtree hangs off the span that
+    dispatched it), falling back to the context's own parent.
+    """
+    ctx = getattr(_STATE, "ctx", None)
+    if ctx is None:
+        return None
+    refs = getattr(_STATE, "refs", None)
+    parent = refs[-1] if refs else ctx.parent_ref
+    return TraceContext(ctx.trace_id, parent)
+
+
+@dataclass
+class TraceNode:
+    """One span record plus its children, sorted by start time."""
+
+    record: dict[str, Any]
+    children: list["TraceNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """The span's name."""
+        return self.record.get("name", "?")
+
+    @property
+    def ref(self) -> str:
+        """The span's globally unique ref."""
+        return self.record.get("ref", "")
+
+    @property
+    def duration_s(self) -> float:
+        """The span's wall duration in seconds."""
+        return float(self.record.get("duration_s", 0.0))
+
+    def self_seconds(self) -> float:
+        """Duration not covered by direct children (clamped at 0)."""
+        return max(0.0, self.duration_s - sum(c.duration_s for c in self.children))
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "TraceNode"]]:
+        """Depth-first ``(depth, node)`` pairs, children in start order."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+def assemble_traces(records: Iterable[dict[str, Any]]) -> dict[str, list[TraceNode]]:
+    """Rebuild causal trees from exported span records.
+
+    Takes any iterable of NDJSON records (non-span and untraced records
+    are skipped) and returns ``{trace_id: [roots]}``.  A span whose
+    ``parent_ref`` is absent — or refers to a span missing from the
+    export (dropped by the ring buffer, or a worker that died) — becomes
+    a root of its trace rather than disappearing: partial traces stay
+    diagnosable.
+    """
+    by_trace: dict[str, dict[str, TraceNode]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        trace_id = record.get("trace_id")
+        ref = record.get("ref")
+        if not trace_id or not ref:
+            continue
+        by_trace.setdefault(trace_id, {})[ref] = TraceNode(record)
+    forests: dict[str, list[TraceNode]] = {}
+    for trace_id, nodes in by_trace.items():
+        roots: list[TraceNode] = []
+        for node in nodes.values():
+            parent_ref = node.record.get("parent_ref")
+            parent = nodes.get(parent_ref) if parent_ref else None
+            if parent is None or parent is node:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in nodes.values():
+            node.children.sort(key=lambda n: n.record.get("ts", 0.0))
+        roots.sort(key=lambda n: n.record.get("ts", 0.0))
+        forests[trace_id] = roots
+    return forests
+
+
+__all__ = [
+    "TraceContext",
+    "TraceNode",
+    "assemble_traces",
+    "current_trace",
+    "enter_span",
+    "exit_span",
+    "make_ref",
+    "process_tag",
+    "propagation_context",
+    "ref_process",
+    "start_trace",
+    "tracing",
+]

@@ -214,9 +214,27 @@ class TestErrorPaths:
         async def scenario():
             async with ViolationServer(graph, stream.sigma) as server:
                 reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
-                writer.write(b"GET / HTTP/1.1\r\n\r\n")
+                writer.write(b"XYZZY\n")
                 await writer.drain()
                 assert await reader.read() == b""  # server hung up, silently
+                writer.close()
+
+        run(scenario())
+
+    def test_unknown_http_path_gets_404_then_close(self):
+        # GET/HEAD first bytes now select the ops surface (spec §9);
+        # unknown paths answer 404 and the connection closes.
+        stream = stream_fixture()
+        graph = stream.base.copy()
+
+        async def scenario():
+            async with ViolationServer(graph, stream.sigma) as server:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                writer.write(b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+                await writer.drain()
+                response = await reader.read()
+                assert response.startswith(b"HTTP/1.1 404")
+                assert b"Connection: close" in response
                 writer.close()
 
         run(scenario())

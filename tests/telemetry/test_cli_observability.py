@@ -177,3 +177,68 @@ class TestObservedExplain:
         graph_path, rules_path = kb_files
         main(["explain", "--graph", str(graph_path), "--rules", str(rules_path)])
         assert "[obs. " not in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def _export(self, kb_files, tmp_path):
+        """A real --telemetry export to render (engine pool = worker spans)."""
+        graph_path, rules_path = kb_files
+        target = tmp_path / "run.ndjson"
+        main(
+            ["pvalidate", "--graph", str(graph_path), "--rules", str(rules_path),
+             "--backend", "engine", "--workers", "2",
+             "--telemetry", f"ndjson:{target}"]
+        )
+        return target
+
+    def test_renders_indented_tree_with_attribution(self, kb_files, tmp_path, capsys):
+        target = self._export(kb_files, tmp_path)
+        capsys.readouterr()
+        code = main(["trace", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("trace ")
+        assert "cli.pvalidate" in out
+        # indentation shows causality; shares and ms on every line
+        assert "    pvalidate" in out
+        assert "ms" in out and "%" in out
+        assert "where the milliseconds went (self time):" in out
+        # the pool workers' spans landed in the same tree, marked with
+        # their foreign process tag
+        assert "engine.batch" in out
+        assert "  @" in out
+
+    def test_trace_id_prefix_filter(self, kb_files, tmp_path, capsys):
+        target = self._export(kb_files, tmp_path)
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        trace_id = next(r["trace_id"] for r in records if "trace_id" in r)
+        capsys.readouterr()
+        assert main(["trace", str(target), "--trace-id", trace_id[:6]]) == 0
+        assert trace_id in capsys.readouterr().out
+
+        assert main(["trace", str(target), "--trace-id", "zzzzzz"]) == 1
+        assert "no traced spans" in capsys.readouterr().err
+
+    def test_untraced_export_exits_1(self, tmp_path, capsys):
+        target = tmp_path / "empty.ndjson"
+        target.write_text(json.dumps({"type": "metrics", "snapshot": {}}) + "\n")
+        assert main(["trace", str(target)]) == 1
+        assert "no traced spans" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["trace", "/nonexistent/run.ndjson"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_slow_plans_render_inside_their_trace(self, kb_files, tmp_path, capsys):
+        graph_path, rules_path = kb_files
+        target = tmp_path / "slow.ndjson"
+        main(
+            ["pvalidate", "--graph", str(graph_path), "--rules", str(rules_path),
+             "--backend", "serial", "--slow-plan-ms", "0",
+             "--telemetry", f"ndjson:{target}"]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "slow plan:" in out
+        assert "match plan" in out  # the captured explain text, indented

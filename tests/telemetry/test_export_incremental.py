@@ -1,0 +1,97 @@
+"""Incremental NDJSON export: per-batch flush leaves usable traces."""
+
+import json
+
+import pytest
+
+from repro.telemetry import metrics, slowlog, spans
+
+
+@pytest.fixture(autouse=True)
+def _clean_export():
+    metrics.disable()
+    metrics.reset()
+    spans.clear_spans()
+    slowlog.clear_slow_plans()
+    yield
+    spans.close_export()  # never leak an open handle across tests
+    metrics.disable()
+    metrics.reset()
+    spans.clear_spans()
+    slowlog.clear_slow_plans()
+
+
+def _lines(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+
+class TestIncrementalExport:
+    def test_flush_appends_per_batch_and_close_adds_metrics(self, tmp_path):
+        metrics.enable()
+        path = tmp_path / "run.ndjson"
+        spans.open_export(str(path))
+
+        with spans.span("batch-1"):
+            pass
+        assert spans.flush_export() == 1
+        # The file is already usable mid-run — this is the property a
+        # killed server depends on.
+        assert [r["name"] for r in _lines(path)] == ["batch-1"]
+
+        with spans.span("batch-2"):
+            pass
+        assert spans.flush_export() == 1
+        total = spans.close_export()
+        records = _lines(path)
+        assert total == 3
+        assert [r.get("name") for r in records[:2]] == ["batch-1", "batch-2"]
+        assert records[-1]["type"] == "metrics"
+
+    def test_flush_without_open_export_is_a_noop(self):
+        metrics.enable()
+        with spans.span("x"):
+            pass
+        assert spans.flush_export() == 0
+        # the span stays buffered for a later one-shot export
+        assert len(spans.drain_spans()) == 1
+
+    def test_close_without_open_export_returns_zero(self):
+        assert spans.close_export() == 0
+
+    def test_flush_carries_slow_plans_too(self, tmp_path):
+        metrics.enable()
+        path = tmp_path / "run.ndjson"
+        spans.open_export(str(path))
+        slowlog.record_slow_plan("ged", 0.02, "explain text")
+        assert spans.flush_export() == 1
+        spans.close_export()
+        types = [r["type"] for r in _lines(path)]
+        assert types == ["slow_plan", "metrics"]
+
+    def test_reopen_truncates(self, tmp_path):
+        metrics.enable()
+        path = tmp_path / "run.ndjson"
+        spans.open_export(str(path))
+        with spans.span("old"):
+            pass
+        spans.flush_export()
+        spans.close_export()
+
+        spans.open_export(str(path))
+        with spans.span("new"):
+            pass
+        spans.flush_export()
+        spans.close_export()
+        names = [r.get("name") for r in _lines(path) if r["type"] == "span"]
+        assert names == ["new"]
+
+    def test_one_shot_export_still_works(self, tmp_path):
+        # PR 6's export_ndjson contract: spans then one metrics line.
+        metrics.enable()
+        with spans.span("only"):
+            pass
+        path = tmp_path / "oneshot.ndjson"
+        assert spans.export_ndjson(str(path)) == 2
+        records = _lines(path)
+        assert records[0]["name"] == "only"
+        assert records[1]["type"] == "metrics"

@@ -1,0 +1,82 @@
+"""Span buffer capacity: env/runtime configurable, overflow never raises."""
+
+import pytest
+
+from repro.telemetry import metrics, spans
+
+
+@pytest.fixture(autouse=True)
+def _clean_spans():
+    metrics.disable()
+    metrics.reset()
+    spans.clear_spans()
+    spans.set_max_spans(None)
+    yield
+    metrics.disable()
+    metrics.reset()
+    spans.clear_spans()
+    spans.set_max_spans(None)
+
+
+class TestCapacityConfiguration:
+    def test_default(self):
+        assert spans.max_spans() == spans.DEFAULT_MAX_SPANS
+
+    def test_runtime_setter_and_reset(self):
+        spans.set_max_spans(3)
+        assert spans.max_spans() == 3
+        spans.set_max_spans(None)
+        assert spans.max_spans() == spans.DEFAULT_MAX_SPANS
+
+    def test_env_variable_seeds_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_SPANS", "123")
+        spans.set_max_spans(None)  # re-read the environment
+        assert spans.max_spans() == 123
+
+    def test_junk_env_falls_back_to_default(self, monkeypatch):
+        for junk in ("abc", "0", "-5", ""):
+            monkeypatch.setenv("REPRO_MAX_SPANS", junk)
+            spans.set_max_spans(None)
+            assert spans.max_spans() == spans.DEFAULT_MAX_SPANS
+
+    def test_setter_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            spans.set_max_spans(0)
+
+
+class TestOverflow:
+    def test_overflow_counts_drops_and_never_raises(self):
+        metrics.enable()
+        spans.set_max_spans(2)
+        for index in range(5):
+            with spans.span(f"s{index}"):
+                pass
+        kept = spans.drain_spans()
+        assert [r["name"] for r in kept] == ["s0", "s1"]
+        counters = metrics.snapshot()["counters"]
+        assert counters["telemetry.spans_dropped"] == 3
+
+    def test_record_span_respects_the_bound(self):
+        metrics.enable()
+        spans.set_max_spans(1)
+        spans.record_span("a", 0.001)
+        spans.record_span("b", 0.001)
+        assert [r["name"] for r in spans.drain_spans()] == ["a"]
+        assert metrics.snapshot()["counters"]["telemetry.spans_dropped"] == 1
+
+    def test_absorb_spans_respects_the_bound(self):
+        metrics.enable()
+        spans.set_max_spans(2)
+        spans.absorb_spans([{"type": "span", "name": f"w{i}"} for i in range(4)])
+        assert len(spans.drain_spans()) == 2
+        assert metrics.snapshot()["counters"]["telemetry.spans_dropped"] == 2
+
+    def test_drain_frees_capacity(self):
+        metrics.enable()
+        spans.set_max_spans(1)
+        with spans.span("first"):
+            pass
+        assert len(spans.drain_spans()) == 1
+        with spans.span("second"):
+            pass
+        assert [r["name"] for r in spans.drain_spans()] == ["second"]

@@ -1,0 +1,234 @@
+"""Trace contexts: propagation, assembly, and the rendered tree."""
+
+import json
+
+import pytest
+
+from repro.telemetry import metrics, spans, trace
+from repro.telemetry.report import format_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    metrics.disable()
+    metrics.reset()
+    spans.clear_spans()
+    yield
+    metrics.disable()
+    metrics.reset()
+    spans.clear_spans()
+
+
+class TestTraceContext:
+    def test_round_trips_through_dict(self):
+        ctx = trace.TraceContext("abc123", "dead-beef:7")
+        assert trace.TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_parent_ref_omitted_when_absent(self):
+        assert trace.TraceContext("abc123").to_dict() == {"trace_id": "abc123"}
+
+    def test_junk_payloads_decode_to_none(self):
+        # A malformed trace field from a foreign client must never
+        # fail the update frame that carries it.
+        for junk in (None, 42, "str", [], {}, {"trace_id": ""}, {"trace_id": 9}):
+            assert trace.TraceContext.from_dict(junk) is None
+
+    def test_non_string_parent_ref_is_dropped_not_fatal(self):
+        ctx = trace.TraceContext.from_dict({"trace_id": "t", "parent_ref": 3})
+        assert ctx == trace.TraceContext("t", None)
+
+    def test_context_is_picklable(self):
+        import pickle
+
+        ctx = trace.TraceContext("t1", "p:1")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+
+class TestPropagation:
+    def test_no_active_trace_means_no_refs_on_spans(self):
+        metrics.enable()
+        with spans.span("plain"):
+            pass
+        (record,) = spans.drain_spans()
+        assert "trace_id" not in record and "ref" not in record
+
+    def test_spans_under_tracing_carry_linked_refs(self):
+        metrics.enable()
+        ctx = trace.start_trace()
+        with trace.tracing(ctx):
+            with spans.span("outer"):
+                with spans.span("inner"):
+                    pass
+        inner, outer = spans.drain_spans()
+        assert outer["trace_id"] == inner["trace_id"] == ctx.trace_id
+        assert inner["parent_ref"] == outer["ref"]
+        assert outer["ref"].startswith(trace.process_tag() + ":")
+        assert "parent_ref" not in outer  # root context has no parent
+
+    def test_propagation_context_points_at_innermost_open_span(self):
+        metrics.enable()
+        with trace.tracing(trace.start_trace()):
+            with spans.span("dispatcher") as dispatcher:
+                shipped = trace.propagation_context()
+        assert shipped.parent_ref == trace.make_ref(dispatcher.span_id)
+
+    def test_propagation_context_none_outside_a_trace(self):
+        assert trace.propagation_context() is None
+
+    def test_tracing_none_is_a_noop(self):
+        with trace.tracing(None) as installed:
+            assert installed is None
+            assert trace.current_trace() is None
+
+    def test_tracing_restores_previous_context(self):
+        first = trace.start_trace()
+        second = trace.start_trace()
+        with trace.tracing(first):
+            with trace.tracing(second):
+                assert trace.current_trace() is second
+            assert trace.current_trace() is first
+        assert trace.current_trace() is None
+
+    def test_record_span_hangs_off_shipped_context(self):
+        metrics.enable()
+        ctx = trace.TraceContext("t1", "remote:5")
+        spans.record_span("serve.push", 0.002, trace=ctx, frame="delta")
+        (record,) = spans.drain_spans()
+        assert record["trace_id"] == "t1"
+        assert record["parent_ref"] == "remote:5"
+        assert record["attrs"] == {"frame": "delta"}
+
+    def test_remint_changes_process_tag(self):
+        # Forked pool workers re-mint via os.register_at_fork; the ref
+        # prefix must change or worker refs could collide with the
+        # coordinator's inside one trace.
+        before = trace.process_tag()
+        trace._remint_proc_tag()
+        after = trace.process_tag()
+        assert before != after
+        assert trace.ref_process(trace.make_ref(9)) == after
+
+
+class TestAssembly:
+    def _span(self, name, ref, parent_ref=None, trace_id="t1", ts=0.0, dur=0.001):
+        record = {
+            "type": "span",
+            "name": name,
+            "span_id": 1,
+            "parent_id": None,
+            "ref": ref,
+            "trace_id": trace_id,
+            "ts": ts,
+            "duration_s": dur,
+        }
+        if parent_ref is not None:
+            record["parent_ref"] = parent_ref
+        return record
+
+    def test_rebuilds_cross_process_tree(self):
+        records = [
+            self._span("serve.batch", "aa:1", ts=1.0, dur=0.01),
+            self._span("serve.validate", "aa:2", "aa:1", ts=1.001),
+            self._span("stream.shard", "bb:1", "aa:1", ts=1.002),
+        ]
+        forests = trace.assemble_traces(records)
+        (root,) = forests["t1"]
+        assert root.name == "serve.batch"
+        assert [child.name for child in root.children] == [
+            "serve.validate",
+            "stream.shard",
+        ]
+
+    def test_orphan_parent_ref_becomes_root_not_lost(self):
+        # The parent was dropped by the ring buffer or its process
+        # died: the child must stay diagnosable.
+        forests = trace.assemble_traces(
+            [self._span("stream.shard", "bb:1", "gone:9")]
+        )
+        assert [r.name for r in forests["t1"]] == ["stream.shard"]
+
+    def test_untraced_and_non_span_records_are_skipped(self):
+        forests = trace.assemble_traces(
+            [
+                {"type": "metrics", "snapshot": {}},
+                {"type": "span", "name": "local", "ts": 0.0},
+                {"type": "slow_plan", "name": "x", "trace_id": "t1"},
+            ]
+        )
+        assert forests == {}
+
+    def test_self_seconds_subtracts_direct_children(self):
+        records = [
+            self._span("parent", "aa:1", ts=1.0, dur=0.010),
+            self._span("child", "aa:2", "aa:1", ts=1.001, dur=0.004),
+        ]
+        (root,) = trace.assemble_traces(records)["t1"]
+        assert root.self_seconds() == pytest.approx(0.006)
+
+
+class TestFormatTrace:
+    def test_marks_foreign_process_and_attributes_self_time(self):
+        records = [
+            {
+                "type": "span", "name": "serve.batch", "ref": "aa:1",
+                "trace_id": "t1", "ts": 1.0, "duration_s": 0.01,
+                "attrs": {"size": 2},
+            },
+            {
+                "type": "span", "name": "stream.shard", "ref": "bb:1",
+                "parent_ref": "aa:1", "trace_id": "t1", "ts": 1.001,
+                "duration_s": 0.004,
+            },
+        ]
+        (roots,) = trace.assemble_traces(records).values()
+        text = format_trace("t1", roots)
+        assert "trace t1" in text
+        assert "serve.batch" in text and "[size=2]" in text
+        assert "@bb" in text  # the cross-process marker
+        assert "where the milliseconds went" in text
+
+    def test_includes_slow_plan_blocks(self):
+        records = [
+            {
+                "type": "span", "name": "serve.batch", "ref": "aa:1",
+                "trace_id": "t1", "ts": 1.0, "duration_s": 0.01,
+            }
+        ]
+        (roots,) = trace.assemble_traces(records).values()
+        plan = {
+            "type": "slow_plan", "name": "resident-age", "seconds": 0.005,
+            "explain": "step 1: scan c", "trace_id": "t1",
+        }
+        text = format_trace("t1", roots, slow_plans=[plan])
+        assert "slow plan: resident-age" in text
+        assert "step 1: scan c" in text
+
+
+class TestWorkerPiggyback:
+    def test_collected_snapshot_ships_spans_and_coordinator_absorbs(self):
+        metrics.enable()
+        ctx = trace.TraceContext("t1", "coord:3")
+        with metrics.collecting() as registry:
+            with trace.tracing(ctx), spans.span("engine.batch", units=2):
+                metrics.sink().incr("plan.compiles")
+        snapshot = spans.collected_snapshot(registry)
+        assert [r["name"] for r in snapshot["spans"]] == ["engine.batch"]
+        assert snapshot["spans"][0]["parent_ref"] == "coord:3"
+
+        # The coordinator side: merge ignores the extra key, absorb
+        # lands the spans in the local buffer.
+        metrics.sink().merge(snapshot)
+        spans.absorb_remote(snapshot)
+        assert metrics.snapshot()["counters"]["plan.compiles"] == 1
+        assert [r["name"] for r in spans.drain_spans()] == ["engine.batch"]
+
+    def test_worker_snapshot_round_trips_through_json(self):
+        # The piggyback channel must survive pickling and the NDJSON
+        # export path without loss.
+        metrics.enable()
+        with metrics.collecting() as registry:
+            with trace.tracing(trace.TraceContext("t1")), spans.span("w"):
+                pass
+        snapshot = spans.collected_snapshot(registry)
+        restored = json.loads(json.dumps(snapshot))
+        assert restored["spans"][0]["trace_id"] == "t1"
