@@ -14,8 +14,7 @@ consume a single schema::
 Records are bench-specific dictionaries (wall-clock seconds, work
 counters, backend/worker labels); ``meta`` carries the machine context
 needed to interpret them.  Files land in ``benchmarks/out/`` by default
-(git-ignored scratch output; CI uploads them as artifacts) — the perf
-gate redirects its own file to the workspace root.
+(git-ignored scratch output; CI uploads them as artifacts).
 """
 
 from __future__ import annotations

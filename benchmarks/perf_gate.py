@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""The CI perf-regression gate for the matching core, engine runtime,
-streaming, the fragmented graph core, the telemetry layer, and the
-push server.
+"""The CI perf-regression gate for the matching core, the Σ-DAG,
+engine runtime, streaming, the fragmented graph core, the telemetry
+layer, and the push server.
 
-Six gates, all against thresholds committed in
+Seven gates, all against thresholds committed in
 ``benchmarks/baseline.json``:
 
 * **matching** — plan-compiled validation versus the seed interpreter
@@ -11,6 +11,13 @@ Six gates, all against thresholds committed in
   ``benchmarks/bench_matching.py``, which also asserts byte-identical
   violation reports and match streams); fails when the compiled-plan
   speedup drops below its floor (≥ 3x).  Emits ``BENCH_matching.json``.
+* **sigma** — the shared Σ-DAG (:mod:`repro.matching.sigma_dag`)
+  versus per-rule plans on the committed Σ-overlapping workload (the
+  kernel of ``benchmarks/bench_discovery.py``, which also asserts
+  byte-identical violation reports and match counts); fails when
+  either the multi-rule validation speedup or the discovery
+  support-counting speedup drops below its floor (both ≥ 2x).  Emits
+  ``BENCH_discovery.json``.
 * **engine** — wall-clock for every validation backend over a worker
   sweep on the committed reference workload, asserting the violation
   reports are byte-identical across backends; fails when the warm
@@ -83,8 +90,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output-dir",
         type=Path,
-        default=Path.cwd(),
-        help="where BENCH_engine.json lands (default: current directory)",
+        default=Path(__file__).resolve().parent / "out",
+        help="where the BENCH_*.json files land (default: benchmarks/out)",
     )
     parser.add_argument("--no-gate", action="store_true", help="measure and emit, never fail")
     args = parser.parse_args(argv)
@@ -141,6 +148,54 @@ def main(argv: list[str] | None = None) -> int:
         directory=args.output_dir,
     )
     print(f"wrote {matching_path}")
+
+    # ------------------------------------------------------------------
+    # Sigma gate: the shared Σ-DAG vs per-rule plans, both consumers.
+    # ------------------------------------------------------------------
+    from benchmarks.bench_discovery import run_sigma_bench
+
+    sigma_conf = baseline["sigma"]
+    sigma_workload = sigma_conf["workload"]
+    sigma_thresholds = sigma_conf["thresholds"]
+    print(
+        f"sigma workload: overlapping_workload({sigma_workload['nodes']}, "
+        f"rng={sigma_workload['rng']}) + overlapping_rule_set"
+        f"({sigma_workload['variants']}), best of {sigma_conf['repeats']}"
+    )
+    sigma_bench = run_sigma_bench(
+        nodes=sigma_workload["nodes"],
+        rng=sigma_workload["rng"],
+        variants=sigma_workload["variants"],
+        repeats=sigma_conf["repeats"],
+    )
+    for record in sigma_bench["records"]:
+        detail = (
+            f"{record['rules']} rule(s), {record['violations']} violation(s)"
+            if record["section"] == "validation"
+            else f"{record['patterns']} pattern(s), {record['total_matches']} match(es)"
+        )
+        print(
+            f"  {record['section']:<10} {record['executor']:<9}  "
+            f"{record['wall_s'] * 1000:8.2f} ms  {detail}"
+        )
+    print(
+        f"  sigma_vs_per_rule: {sigma_bench['speedup_validation']:.2f}x validation, "
+        f"{sigma_bench['speedup_discovery']:.2f}x discovery "
+        f"(reports and counts byte-identical)"
+    )
+    sigma_path = emit_bench(
+        "discovery",
+        sigma_bench["records"],
+        meta={
+            "config": sigma_bench["config"],
+            "dag_shape": sigma_bench["dag_shape"],
+            "speedup_validation": sigma_bench["speedup_validation"],
+            "speedup_discovery": sigma_bench["speedup_discovery"],
+            "thresholds": sigma_thresholds,
+        },
+        directory=args.output_dir,
+    )
+    print(f"wrote {sigma_path}")
 
     graph = validation_workload(workload["nodes"], rng=workload["rng"])
     sigma = bounded_rule_set()
@@ -504,6 +559,18 @@ def main(argv: list[str] | None = None) -> int:
             f"plan-compiled validation speedup over the seed interpreter "
             f"{matching['speedup_unindexed']:.2f}x < "
             f"{matching_thresholds['min_plan_speedup_vs_seed']}x"
+        )
+    if sigma_bench["speedup_validation"] < sigma_thresholds["min_sigma_speedup_validation"]:
+        failures.append(
+            f"Σ-DAG multi-rule validation speedup over per-rule plans "
+            f"{sigma_bench['speedup_validation']:.2f}x < "
+            f"{sigma_thresholds['min_sigma_speedup_validation']}x"
+        )
+    if sigma_bench["speedup_discovery"] < sigma_thresholds["min_sigma_speedup_discovery"]:
+        failures.append(
+            f"Σ-DAG discovery support-counting speedup over per-pattern "
+            f"counting {sigma_bench['speedup_discovery']:.2f}x < "
+            f"{sigma_thresholds['min_sigma_speedup_discovery']}x"
         )
     if streaming["speedup_per_batch"] < streaming_thresholds["min_ledger_speedup_vs_full"]:
         failures.append(

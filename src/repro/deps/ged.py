@@ -112,7 +112,12 @@ class GED:
         return self.pattern == other.pattern and self.X == other.X and self.Y == other.Y
 
     def __hash__(self) -> int:
-        return hash((self.pattern, self.X, self.Y))
+        # Memoized like Pattern.__hash__: dependencies are immutable
+        # and hashed per candidate match on validation hot paths.
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = self._hash = hash((self.pattern, self.X, self.Y))
+        return cached
 
     def __str__(self) -> str:
         x = " ∧ ".join(sorted(str(l) for l in self.X)) or "∅"

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graph.graph import Graph
-from repro.matching.homomorphism import count_matches
+from repro.matching.sigma_dag import count_sigma
 from repro.patterns.pattern import Pattern
 
 
@@ -131,13 +131,21 @@ def enumerate_candidate_patterns(
 def _count_supports(
     graph: Graph, patterns: list[Pattern], workers: int | None
 ) -> list[int]:
-    """Match counts for ``patterns``, serially or on the engine pool."""
+    """Match counts for ``patterns``, serially or on the engine pool.
+
+    Each candidate generation counts as **one Σ-DAG pass**
+    (:func:`~repro.matching.sigma_dag.count_sigma`): near-identical
+    candidates (the edge patterns inside every path/fork family) share
+    their scan/extend prefixes and the final level counts by pool size
+    without materializing matches.  The engine path dispatches the same
+    Σ pass in contiguous chunks, one per worker.
+    """
     if workers == 1 or len(patterns) <= 1:
-        return [count_matches(pattern, graph) for pattern in patterns]
+        return count_sigma(graph, patterns)
     from repro.engine.pool import get_pool, resolve_workers
 
     if resolve_workers(workers) == 1:
-        return [count_matches(pattern, graph) for pattern in patterns]
+        return count_sigma(graph, patterns)
     return get_pool(graph, workers).count_patterns(patterns)
 
 

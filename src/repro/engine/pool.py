@@ -130,6 +130,18 @@ def _count_pattern(pattern: Pattern) -> int:
     return count_matches(pattern, _worker_graph())
 
 
+def _count_sigma_chunk(patterns: tuple[Pattern, ...]) -> list[int]:
+    """Count a contiguous chunk of patterns as one Σ-DAG pass.
+
+    The chunk shares scan/extend prefixes inside the worker exactly like
+    the serial discovery path; the coordinator flattens chunk results in
+    dispatch order, so the combined list equals per-pattern counting.
+    """
+    from repro.matching.sigma_dag import count_sigma
+
+    return count_sigma(_worker_graph(), list(patterns))
+
+
 def _suggest_unit(violation, allow_backward: bool):
     """Suggest repair plans for one violation on the warm graph."""
     from repro.repair.suggest import suggest_repairs
@@ -318,8 +330,29 @@ class EnginePool:
         return flat
 
     def count_patterns(self, patterns: Sequence[Pattern]) -> list[int]:
-        """Match counts for many patterns (discovery's support scan)."""
-        return self._map(_count_pattern, [(pattern,) for pattern in patterns])
+        """Match counts for many patterns (discovery's support scan).
+
+        Patterns are dispatched in contiguous chunks — at most
+        ``2 * workers`` — and each chunk runs worker-side as one Σ-DAG
+        pass, so schema siblings that landed in the same chunk share
+        their enumeration prefixes instead of compiling ``len(chunk)``
+        independent plans.  Flattening in dispatch order keeps the
+        result order identical to per-pattern counting.
+        """
+        patterns = list(patterns)
+        if not patterns:
+            return []
+        chunks = max(1, min(len(patterns), self.workers * 2))
+        size, extra = divmod(len(patterns), chunks)
+        slices: list[tuple[Pattern, ...]] = []
+        start = 0
+        for chunk_index in range(chunks):
+            stop = start + size + (1 if chunk_index < extra else 0)
+            if stop > start:
+                slices.append(tuple(patterns[start:stop]))
+            start = stop
+        results = self._map(_count_sigma_chunk, [(chunk,) for chunk in slices])
+        return [count for chunk_counts in results for count in chunk_counts]
 
     def suggest_repairs(self, violations: Sequence, allow_backward: bool = True) -> list:
         """Per-violation repair plans (repair's suggestion fan-out)."""

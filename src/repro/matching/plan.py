@@ -345,14 +345,20 @@ class MatchPlan:
         self.observed: dict[str, list[int]] = {}
 
     # ------------------------------------------------------------------
-    def matches(
+    def prepare(
         self,
         fixed: Mapping[str, str] | None = None,
         restrict: Mapping[str, "set[str] | frozenset[str]"] | None = None,
-        limit: int | None = None,
-    ) -> Iterator[Match]:
-        """Enumerate matches; same contract and stream as the seed
-        matcher's ``fixed`` / ``restrict`` / ``limit`` parameters."""
+    ) -> "tuple[tuple[str, ...], tuple[PlanStep, ...], dict, dict] | None":
+        """The effective execution state for one run.
+
+        Applies ``fixed`` / ``restrict`` exactly as :meth:`matches`
+        (slot translation, re-ranking from effective pool sizes) and
+        returns ``(order, steps, pools_sorted, pools_set)`` — or
+        ``None`` when a pinned image cannot host its variable, i.e. the
+        stream is empty.  Shared by :meth:`matches` and the Σ-DAG
+        executor so both run from byte-identical state.
+        """
         pattern = self.pattern
         view = self.view
         fixed_slots: dict[str, int] = {}
@@ -365,41 +371,54 @@ class MatchPlan:
                     raise PatternError(f"fixed image {node_id!r} is not a node of the graph")
                 fixed_slots[variable] = slot
         if not fixed_slots and not restrict:
-            order, steps = self.order, self.steps
-            pools_sorted, pools_set = self.pools_sorted, self.pools_set
-        else:
-            pools_set = dict(self.pools_set)
-            if restrict:
-                slot_of, node_of = view.slot_of, view.node_of
-                for variable, pool in restrict.items():
-                    if not pattern.has_variable(variable):
-                        raise PatternError(
-                            f"restricted variable {variable!r} is not in the pattern"
-                        )
-                    base = pools_set[variable]
-                    if len(pool) < len(base):
-                        pools_set[variable] = frozenset(
-                            slot
-                            for node_id in pool
-                            if (slot := slot_of.get(node_id)) is not None and slot in base
-                        )
-                    else:
-                        pools_set[variable] = frozenset(
-                            slot for slot in base if node_of[slot] in pool
-                        )
-            for variable, slot in fixed_slots.items():
-                if slot not in pools_set[variable]:
-                    return  # The pinned node can never host this variable.
-                pools_set[variable] = frozenset((slot,))
-            sizes = {v: len(pools_set[v]) for v in pattern.variables}
-            order = tuple(order_for_sizes(pattern, sizes))
-            steps = _steps_for(pattern, order)
-            pools_sorted = {
-                v: self.pools_sorted[v]
-                if pools_set[v] is self.pools_set[v]
-                else tuple(sorted(pools_set[v]))
-                for v in pattern.variables
-            }
+            return self.order, self.steps, self.pools_sorted, self.pools_set
+        pools_set = dict(self.pools_set)
+        if restrict:
+            slot_of, node_of = view.slot_of, view.node_of
+            for variable, pool in restrict.items():
+                if not pattern.has_variable(variable):
+                    raise PatternError(
+                        f"restricted variable {variable!r} is not in the pattern"
+                    )
+                base = pools_set[variable]
+                if len(pool) < len(base):
+                    pools_set[variable] = frozenset(
+                        slot
+                        for node_id in pool
+                        if (slot := slot_of.get(node_id)) is not None and slot in base
+                    )
+                else:
+                    pools_set[variable] = frozenset(
+                        slot for slot in base if node_of[slot] in pool
+                    )
+        for variable, slot in fixed_slots.items():
+            if slot not in pools_set[variable]:
+                return None  # The pinned node can never host this variable.
+            pools_set[variable] = frozenset((slot,))
+        sizes = {v: len(pools_set[v]) for v in pattern.variables}
+        order = tuple(order_for_sizes(pattern, sizes))
+        steps = _steps_for(pattern, order)
+        pools_sorted = {
+            v: self.pools_sorted[v]
+            if pools_set[v] is self.pools_set[v]
+            else tuple(sorted(pools_set[v]))
+            for v in pattern.variables
+        }
+        return order, steps, pools_sorted, pools_set
+
+    def matches(
+        self,
+        fixed: Mapping[str, str] | None = None,
+        restrict: Mapping[str, "set[str] | frozenset[str]"] | None = None,
+        limit: int | None = None,
+    ) -> Iterator[Match]:
+        """Enumerate matches; same contract and stream as the seed
+        matcher's ``fixed`` / ``restrict`` / ``limit`` parameters."""
+        view = self.view
+        prepared = self.prepare(fixed, restrict)
+        if prepared is None:
+            return
+        order, steps, pools_sorted, pools_set = prepared
         sink = _metrics.sink()
         if not sink.enabled:
             yield from _execute(

@@ -1,0 +1,744 @@
+"""Σ-DAG compilation: compile the dependency *set* once, share pattern
+prefixes across every rule.
+
+Dependency sets are not independent rules: real Σ share subpatterns —
+the same shape-and-label skeleton with different attribute literals —
+yet a per-rule :class:`~repro.matching.plan.MatchPlan` re-enumerates
+the shared scan/extend prefix once per rule.  This module merges the
+compiled plans of a pattern set into one **shared plan DAG**:
+
+* each pattern's cost-ordered step prefix (scan / extend / edge-check /
+  self-loop — attr-filters excluded, they are per-rule) is
+  canonicalized and merged into a **trie of shared interior nodes**
+  over the interned :class:`~repro.matching.view.GraphView` slots.  Two
+  steps merge iff their effective candidate pool (a frozenset of
+  slots), their canonicalized edge-check set, and their self-loop set
+  are all equal — which, by induction along the trie path, guarantees
+  the shared node computes the *identical* candidate list every merged
+  rule would have computed on its own;
+* per-rule work hangs off the shared spine as **leaves**: a leaf marks
+  the depth where its pattern's variables are fully bound, carrying the
+  pattern's own binding order and runtime ``limit``.  Attr-filter
+  pools (``restrict``) enter through
+  :meth:`~repro.matching.plan.MatchPlan.prepare` exactly as they do for
+  a solo run, so a restricted rule simply diverges from the shared
+  spine at the first depth where its pools differ — sharing happens
+  precisely where it is sound, never where it is not;
+* the **executor** walks the DAG with the same explicit-stack,
+  smallest-operand-first intersection machinery as
+  :func:`~repro.matching.plan._execute`, expanding every shared frame
+  once and emitting each leaf's match stream **byte-identical** to the
+  leaf's standalone ``MatchPlan.matches`` run (the differential suite
+  ``tests/matching/test_sigma_dag.py`` asserts this across backends,
+  ±index, under ``fixed`` / ``restrict`` / ``limit``).
+
+Compiled DAGs live beside the per-pattern plans in the view's weak
+id-keyed registry (:func:`compile_sigma` is cached per (deduped pattern
+tuple, index attachment) and invalidated wholesale when the graph
+version moves).  Engine workers get the same DAG for free: the
+broadcast snapshot already ships every pattern's compiled pools through
+the ``install_plan`` channel, and restoring workers re-link them into
+the worker-side Σ-DAG without recomputing candidate sets.
+
+When do per-rule plans still win?  When rules share no prefix (every
+root is private, the trie is a forest of chains — the DAG degenerates
+to the per-rule plans plus bookkeeping) and when a caller wants a
+bounded scan of a *single* rule (``validates`` stops at the first
+violation; batching other rules' work into that walk would do strictly
+more work than the solo plan).  Both paths keep using ``compile_plan``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import PatternError
+from repro.graph.graph import Graph
+from repro.indexing.registry import get_index
+from repro.matching.plan import Match, MatchPlan, compile_plan
+from repro.matching.view import GraphView, get_view
+from repro.patterns.pattern import Pattern
+from repro.telemetry import metrics as _metrics
+
+_EMPTY: tuple = ()
+
+
+@dataclass(frozen=True)
+class SigmaQuery:
+    """One per-rule request against a compiled :class:`SigmaDag`.
+
+    ``pattern`` must be one of the DAG's compiled patterns; ``fixed`` /
+    ``restrict`` / ``limit`` carry the same per-run semantics as
+    :meth:`~repro.matching.plan.MatchPlan.matches`.
+    """
+
+    pattern: Pattern
+    fixed: Mapping[str, str] | None = None
+    restrict: Mapping[str, "set[str] | frozenset[str]"] | None = None
+    limit: int | None = None
+
+
+class _Node:
+    """One shared trie node: a (pool, checks, self-loops) step merged
+    across every rule whose prepared prefix reaches it."""
+
+    __slots__ = (
+        "idx",
+        "depth",
+        "variable",
+        "pool_sorted",
+        "pool_set",
+        "checks",
+        "self_loops",
+        "children",
+        "child_index",
+        "completions",
+        "leaf_ids",
+    )
+
+    def __init__(self, idx, depth, variable, pool_sorted, pool_set, checks, loops):
+        self.idx = idx
+        self.depth = depth
+        self.variable = variable  # representative name (first merged rule)
+        self.pool_sorted = pool_sorted
+        self.pool_set = pool_set
+        self.checks = checks  # canonical ((out_dir, label, depth), ...)
+        self.self_loops = loops
+        self.children: list[_Node] = []
+        self.child_index: dict = {}
+        #: binding order -> leaf ids completing here (insertion-ordered).
+        self.completions: dict[tuple[str, ...], list[int]] = {}
+        #: every leaf whose spine passes through (or ends at) this node.
+        self.leaf_ids: list[int] = []
+
+
+class _Trie:
+    """One built trie: shared nodes plus per-leaf spine paths."""
+
+    __slots__ = ("roots", "nodes", "leaf_paths", "live")
+
+    def __init__(self, roots, nodes, leaf_paths, live):
+        self.roots = roots
+        self.nodes = nodes
+        self.leaf_paths = leaf_paths
+        self.live = live  # leaf ids actually inserted (prepare() non-None)
+
+
+def _canon_checks(checks) -> tuple:
+    """Edge checks in canonical order (set semantics: the executor
+    intersects all rows, so reordering cannot change the stream)."""
+    keyed = sorted(
+        (check.out_dir, check.label is None, check.label or "", check.depth)
+        for check in checks
+    )
+    return tuple(
+        (out_dir, None if is_none else label, depth)
+        for out_dir, is_none, label, depth in keyed
+    )
+
+
+def _canon_loops(loops) -> tuple:
+    return tuple(sorted(loops, key=lambda wire: (wire is None, wire or "")))
+
+
+def _build_trie(prepared: "Sequence[tuple | None]") -> _Trie:
+    """Merge prepared per-rule prefixes into a trie of shared nodes.
+
+    ``prepared[i]`` is leaf *i*'s ``MatchPlan.prepare`` result (or
+    ``None`` for a statically-empty stream, which is simply left out).
+    """
+    roots: list[_Node] = []
+    root_index: dict = {}
+    nodes: list[_Node] = []
+    leaf_paths: list[tuple[int, ...]] = []
+    live: list[int] = []
+    for leaf_id, prep in enumerate(prepared):
+        if prep is None:
+            leaf_paths.append(())
+            continue
+        order, steps, pools_sorted, pools_set = prep
+        level_index, level_list = root_index, roots
+        node = None
+        path: list[int] = []
+        for depth, step in enumerate(steps):
+            variable = step.variable
+            key = (
+                pools_set[variable],
+                _canon_checks(step.checks),
+                _canon_loops(step.self_loops),
+            )
+            node = level_index.get(key)
+            if node is None:
+                node = _Node(
+                    len(nodes),
+                    depth,
+                    variable,
+                    tuple(pools_sorted[variable]),
+                    key[0],
+                    key[1],
+                    key[2],
+                )
+                nodes.append(node)
+                level_index[key] = node
+                level_list.append(node)
+            node.leaf_ids.append(leaf_id)
+            path.append(node.idx)
+            level_index, level_list = node.child_index, node.children
+        bucket = node.completions.get(order)
+        if bucket is None:
+            node.completions[order] = [leaf_id]
+        else:
+            bucket.append(leaf_id)
+        leaf_paths.append(tuple(path))
+        live.append(leaf_id)
+    return _Trie(roots, nodes, leaf_paths, live)
+
+
+class _SigmaObserver:
+    """Per-run DAG execution accounting (created only when telemetry is
+    on, same zero-overhead discipline as the plan executor's observer).
+
+    ``frames saved`` counts, for every expanded shared frame, the
+    rules that did *not* have to expand it themselves: a frame at a
+    node merged across *m* rules stands in for ``m`` per-rule frames
+    but was expanded once, saving ``m - 1``.
+    """
+
+    __slots__ = ("frames", "produced", "probes", "saved", "per_node")
+
+    def __init__(self):
+        self.frames = 0
+        self.produced = 0
+        self.probes = 0
+        self.saved = 0
+        self.per_node: dict[int, list[int]] = {}
+
+    def frame(self, node: _Node, produced: int, probes: int) -> None:
+        self.frames += 1
+        self.produced += produced
+        self.probes += probes
+        self.saved += len(node.leaf_ids) - 1
+        entry = self.per_node.get(node.idx)
+        if entry is None:
+            self.per_node[node.idx] = [1, produced, probes]
+        else:
+            entry[0] += 1
+            entry[1] += produced
+            entry[2] += probes
+
+    def flush(self, sink, target: "dict[int, list[int]] | None") -> None:
+        if not self.frames:
+            return
+        sink.incr("matching.sigma.frames_expanded", self.frames)
+        sink.incr("matching.sigma.frames_saved", self.saved)
+        sink.incr("matching.sigma.candidates_produced", self.produced)
+        sink.incr("matching.sigma.intersections", self.probes)
+        if target is not None:
+            for idx, entry in self.per_node.items():
+                totals = target.get(idx)
+                if totals is None:
+                    target[idx] = list(entry)
+                else:
+                    totals[0] += entry[0]
+                    totals[1] += entry[1]
+                    totals[2] += entry[2]
+
+
+class SigmaDag:
+    """A pattern set compiled against one graph view as a shared trie.
+
+    Build via :func:`compile_sigma` (cached on the view).  ``patterns``
+    is the deduplicated tuple; every executor entry point addresses
+    rules by *query* (:class:`SigmaQuery`) or, for the common
+    whole-set case, by pattern position.
+    """
+
+    __slots__ = (
+        "view",
+        "indexed",
+        "patterns",
+        "plans",
+        "_pattern_index",
+        "_default",
+        "observed",
+    )
+
+    def __init__(
+        self,
+        view: GraphView,
+        indexed: bool,
+        patterns: tuple[Pattern, ...],
+        plans: tuple[MatchPlan, ...],
+    ):
+        self.view = view
+        self.indexed = indexed
+        self.patterns = patterns
+        self.plans = plans
+        self._pattern_index = {pattern: i for i, pattern in enumerate(patterns)}
+        self._default: _Trie | None = None
+        #: Observed execution totals per default-trie node idx —
+        #: ``[frames, candidates, probes]`` — accumulated across
+        #: telemetry-enabled whole-set runs (``explain(observed=True)``).
+        self.observed: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _default_trie(self) -> _Trie:
+        """The whole-set trie (no fixed/restrict): built once, reused by
+        every unparameterized execution and by ``counts``."""
+        trie = self._default
+        if trie is None:
+            trie = self._default = _build_trie(
+                [plan.prepare() for plan in self.plans]
+            )
+        return trie
+
+    def _queries(self, queries) -> list[SigmaQuery]:
+        if queries is None:
+            return [SigmaQuery(pattern) for pattern in self.patterns]
+        out = []
+        for query in queries:
+            if query.pattern not in self._pattern_index:
+                raise PatternError(
+                    "query pattern is not compiled into this Σ-DAG"
+                )
+            out.append(query)
+        return out
+
+    # ------------------------------------------------------------------
+    def iter_matches(self, queries=None) -> Iterator[tuple[int, Match]]:
+        """Enumerate ``(query_index, match)`` pairs down the shared trie.
+
+        Each query's match subsequence is byte-identical to its solo
+        ``plan.matches(fixed=..., restrict=..., limit=...)`` stream.
+        Emitted dicts may be shared between queries whose binding
+        orders coincide — treat them as read-only (every in-repo
+        consumer does; they copy into sorted item tuples).
+        """
+        queries = self._queries(queries)
+        default = all(
+            q.fixed is None and q.restrict is None for q in queries
+        ) and [q.pattern for q in queries] == list(self.patterns)
+        if default:
+            trie = self._default_trie()
+        else:
+            trie = _build_trie(
+                [
+                    self.plans[self._pattern_index[q.pattern]].prepare(
+                        q.fixed, q.restrict
+                    )
+                    for q in queries
+                ]
+            )
+        limits = [q.limit for q in queries]
+        sink = _metrics.sink()
+        sink.incr("matching.sigma.executions")
+        sink.incr("matching.sigma.leaves", len(trie.live))
+        sink.incr("matching.sigma.spines", len(trie.roots))
+        if not sink.enabled:
+            yield from self._walk(trie, limits, None)
+            return
+        observer = _SigmaObserver()
+        try:
+            yield from self._walk(trie, limits, observer)
+        finally:
+            observer.flush(
+                _metrics.sink(),
+                self.observed if trie is self._default else None,
+            )
+
+    def execute(self, queries=None) -> list[list[Match]]:
+        """All match streams, one list per query (whole set by default)."""
+        queries = self._queries(queries)
+        streams: list[list[Match]] = [[] for _ in queries]
+        for index, match in self.iter_matches(queries):
+            streams[index].append(match)
+        return streams
+
+    # ------------------------------------------------------------------
+    def _walk(self, trie: _Trie, limits, observer) -> Iterator[tuple[int, Match]]:
+        """The shared-frame enumerator (explicit stack, smallest operand
+        first — the plan executor's machinery, one frame per *node*
+        instead of one per rule)."""
+        view = self.view
+        row_set = view.row_set
+        to_id = view.node_of.__getitem__
+        leaf_paths = trie.leaf_paths
+        num_leaves = len(leaf_paths)
+        emitted = [0] * num_leaves
+        done = [False] * num_leaves
+        active = [len(node.leaf_ids) for node in trie.nodes]
+        remaining = len(trie.live)
+        if not remaining:
+            return
+        max_depth = max(node.depth for node in trie.nodes) + 1
+        assign = [0] * max_depth
+
+        def finish(leaf_id: int) -> int:
+            done[leaf_id] = True
+            for idx in leaf_paths[leaf_id]:
+                active[idx] -= 1
+            return remaining - 1
+
+        def compute(node: _Node):
+            checks = node.checks
+            if checks:
+                operands = [node.pool_set]
+                for out_dir, label, depth in checks:
+                    row = row_set(out_dir, label, assign[depth])
+                    if not row:
+                        if observer is not None:
+                            observer.frame(node, 0, len(operands))
+                        return _EMPTY
+                    operands.append(row)
+                operands.sort(key=len)
+                found = operands[0].intersection(*operands[1:])
+                if node.self_loops:
+                    loops = node.self_loops
+                    found = [
+                        image
+                        for image in found
+                        if all(image in row_set(True, wire, image) for wire in loops)
+                    ]
+                result = sorted(found)
+                if observer is not None:
+                    observer.frame(node, len(result), len(checks))
+                return result
+            pool = node.pool_sorted
+            if node.self_loops:
+                loops = node.self_loops
+                result = [
+                    image
+                    for image in pool
+                    if all(image in row_set(True, wire, image) for wire in loops)
+                ]
+                if observer is not None:
+                    observer.frame(node, len(result), 0)
+                return result
+            if observer is not None:
+                observer.frame(node, len(pool), 0)
+            return pool
+
+        for root in trie.roots:
+            if remaining == 0:
+                return
+            if active[root.idx] == 0:
+                continue
+            images = compute(root)
+            if not images:
+                # Root-level empty computation: the solo executor ends
+                # without a limit check, so no finish-marking here.
+                continue
+            # Frame: [node, images, image_pos, child_pos]; child_pos ==
+            # len(children) requests binding of the next image.
+            stack = [[root, images, 0, len(root.children)]]
+            while stack:
+                frame = stack[-1]
+                node = frame[0]
+                children = node.children
+                child_pos = frame[3]
+                if child_pos < len(children):
+                    frame[3] = child_pos + 1
+                    child = children[child_pos]
+                    if active[child.idx] == 0:
+                        continue
+                    below = compute(child)
+                    if below:
+                        stack.append([child, below, 0, len(child.children)])
+                        continue
+                    # Fruitless descent: the solo executor recursed into
+                    # an empty frame, returned, and *then* checked the
+                    # limit — reproduce that for every rule whose spine
+                    # runs through the empty child (degenerate limit<=0
+                    # stops such a rule here, before any yield).
+                    for leaf_id in child.leaf_ids:
+                        if not done[leaf_id]:
+                            lim = limits[leaf_id]
+                            if lim is not None and emitted[leaf_id] >= lim:
+                                remaining = finish(leaf_id)
+                    if remaining == 0:
+                        return
+                    continue
+                images_here = frame[1]
+                if frame[2] >= len(images_here) or active[node.idx] == 0:
+                    stack.pop()
+                    continue
+                image = images_here[frame[2]]
+                frame[2] += 1
+                frame[3] = 0
+                assign[node.depth] = image
+                bound = node.depth + 1
+                for order, leaf_ids in node.completions.items():
+                    match = None
+                    for leaf_id in leaf_ids:
+                        if done[leaf_id]:
+                            continue
+                        if match is None:
+                            match = {order[d]: to_id(assign[d]) for d in range(bound)}
+                        emitted[leaf_id] += 1
+                        yield leaf_id, match
+                        lim = limits[leaf_id]
+                        if lim is not None and emitted[leaf_id] >= lim:
+                            remaining = finish(leaf_id)
+                if remaining == 0:
+                    return
+
+    # ------------------------------------------------------------------
+    def counts(self) -> list[int]:
+        """Match counts per pattern, one whole-set walk.
+
+        Counting skips match materialization entirely: a trie node with
+        no children completes every rule that reaches it, so the walk
+        adds ``len(candidates)`` per completing rule instead of
+        iterating images — the dominant cost of count-driven consumers
+        (discovery support counting) at the deepest shared level.
+        """
+        trie = self._default_trie()
+        result = [0] * len(self.patterns)
+        sink = _metrics.sink()
+        sink.incr("matching.sigma.executions")
+        sink.incr("matching.sigma.leaves", len(trie.live))
+        sink.incr("matching.sigma.spines", len(trie.roots))
+        observer = _SigmaObserver() if sink.enabled else None
+        try:
+            self._count_into(trie, result, observer)
+        finally:
+            if observer is not None:
+                observer.flush(_metrics.sink(), self.observed)
+        return result
+
+    def _count_into(self, trie: _Trie, result: list[int], observer) -> None:
+        view = self.view
+        row_set = view.row_set
+        max_depth = max((node.depth for node in trie.nodes), default=0) + 1
+        assign = [0] * max_depth
+
+        def compute(node: _Node):
+            checks = node.checks
+            if checks:
+                operands = [node.pool_set]
+                for out_dir, label, depth in checks:
+                    row = row_set(out_dir, label, assign[depth])
+                    if not row:
+                        if observer is not None:
+                            observer.frame(node, 0, len(operands))
+                        return _EMPTY
+                    operands.append(row)
+                operands.sort(key=len)
+                found = operands[0].intersection(*operands[1:])
+                if node.self_loops:
+                    loops = node.self_loops
+                    found = [
+                        image
+                        for image in found
+                        if all(image in row_set(True, wire, image) for wire in loops)
+                    ]
+                result_list = sorted(found)
+                if observer is not None:
+                    observer.frame(node, len(result_list), len(checks))
+                return result_list
+            pool = node.pool_sorted
+            if node.self_loops:
+                loops = node.self_loops
+                result_list = [
+                    image
+                    for image in pool
+                    if all(image in row_set(True, wire, image) for wire in loops)
+                ]
+                if observer is not None:
+                    observer.frame(node, len(result_list), 0)
+                return result_list
+            if observer is not None:
+                observer.frame(node, len(pool), 0)
+            return pool
+
+        def tally(node: _Node, count: int) -> None:
+            for leaf_ids in node.completions.values():
+                for leaf_id in leaf_ids:
+                    result[leaf_id] += count
+
+        for root in trie.roots:
+            images = compute(root)
+            if not images:
+                continue
+            if not root.children:
+                tally(root, len(images))
+                continue
+            stack = [[root, images, 0, len(root.children)]]
+            while stack:
+                frame = stack[-1]
+                node = frame[0]
+                children = node.children
+                child_pos = frame[3]
+                if child_pos < len(children):
+                    frame[3] = child_pos + 1
+                    child = children[child_pos]
+                    below = compute(child)
+                    if not below:
+                        continue
+                    if child.children:
+                        stack.append([child, below, 0, len(child.children)])
+                    else:
+                        # Leaf level: every rule reaching this node
+                        # completes here — count without iterating.
+                        tally(child, len(below))
+                    continue
+                if frame[2] >= len(frame[1]):
+                    stack.pop()
+                    continue
+                assign[node.depth] = frame[1][frame[2]]
+                frame[2] += 1
+                frame[3] = 0
+                if node.completions:
+                    tally(node, 1)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Static shape of the whole-set trie (tests / explain / CLI)."""
+        trie = self._default_trie()
+        per_rule_steps = sum(
+            len(self.plans[leaf_id].steps) for leaf_id in trie.live
+        )
+        shared = sum(1 for node in trie.nodes if len(node.leaf_ids) > 1)
+        return {
+            "patterns": len(self.patterns),
+            "nodes": len(trie.nodes),
+            "roots": len(trie.roots),
+            "leaves": len(trie.live),
+            "shared_nodes": shared,
+            "per_rule_steps": per_rule_steps,
+            "steps_saved": per_rule_steps - len(trie.nodes),
+        }
+
+    def explain(self, observed: bool = False) -> str:
+        """A stable rendering of the shared spine with per-leaf
+        attribution.
+
+        Shared interior nodes print once with their sharing multiplicity
+        (``shared by k rule(s)``); each rule's completion point prints a
+        leaf line.  With ``observed=True``, nodes additionally show the
+        frames/candidates telemetry-enabled whole-set runs accumulated,
+        and each leaf shows how many expanded frames on its spine were
+        reused from other rules rather than re-expanded.
+        """
+        trie = self._default_trie()
+        shape = self.stats()
+        view = self.view
+        lines = [
+            f"Σ-DAG for {shape['patterns']} pattern(s) — "
+            f"view: {view.num_nodes} node(s), {view.num_edges} edge(s), "
+            f"{'indexed' if self.indexed else 'unindexed'} pools",
+            f"shared spine: {shape['nodes']} node(s) for "
+            f"{shape['per_rule_steps']} per-rule step(s) "
+            f"({shape['steps_saved']} saved), {shape['roots']} root(s), "
+            f"{shape['shared_nodes']} shared node(s)",
+        ]
+
+        def render(node: _Node, indent: str) -> None:
+            kind = "extend" if node.checks else "scan"
+            head = (
+                f"{indent}{kind} {node.variable} — pool "
+                f"{len(node.pool_sorted)} candidate(s)"
+            )
+            if node.checks:
+                head += f" ∩ {len(node.checks)} row check(s)"
+            if node.self_loops:
+                head += f"; self-loop check({len(node.self_loops)})"
+            if len(node.leaf_ids) > 1:
+                head += f"  [shared by {len(node.leaf_ids)} rule(s)]"
+            if observed:
+                totals = self.observed.get(node.idx)
+                if totals is None:
+                    head += "  [obs. not executed]"
+                else:
+                    frames, produced, probes = totals
+                    mean = produced / frames if frames else 0.0
+                    head += (
+                        f"  [obs. {frames} frame(s), ~{mean:.1f}/frame, "
+                        f"{probes} row probe(s)]"
+                    )
+            lines.append(head)
+            for order, leaf_ids in node.completions.items():
+                for leaf_id in leaf_ids:
+                    leaf_line = (
+                        f"{indent}  leaf #{leaf_id + 1}: "
+                        f"Q[{', '.join(order)}]"
+                    )
+                    if observed:
+                        reused = sum(
+                            self.observed.get(idx, (0,))[0]
+                            for idx in trie.leaf_paths[leaf_id]
+                            if len(trie.nodes[idx].leaf_ids) > 1
+                        )
+                        leaf_line += f"  [obs. {reused} shared frame(s) on spine]"
+                    lines.append(leaf_line)
+            for child in node.children:
+                render(child, indent + "  ")
+
+        for root in trie.roots:
+            render(root, "  ")
+        if observed and not self.observed:
+            lines.append(
+                "  (no observed execution — run with telemetry enabled first)"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SigmaDag({len(self.patterns)} pattern(s), indexed={self.indexed})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry entry points (cached beside compile_plan on the view)
+# ----------------------------------------------------------------------
+
+
+def compile_sigma(graph: Graph, patterns: Iterable[Pattern]) -> SigmaDag:
+    """The Σ-DAG for a pattern set — cached on the graph's current view,
+    keyed by (deduplicated pattern tuple, index attachment), and
+    invalidated wholesale when the graph version moves.
+
+    Per-pattern plans come from :func:`compile_plan`, so the DAG shares
+    (and warms) the same plan cache every other consumer uses —
+    including engine workers, whose plans arrive pre-compiled through
+    the snapshot broadcast.
+    """
+    view = get_view(graph)
+    indexed = get_index(graph) is not None
+    deduped = tuple(dict.fromkeys(patterns))
+    key = (deduped, indexed)
+    dag = view.sigma_dags.get(key)
+    if dag is None:
+        plans = tuple(compile_plan(graph, pattern) for pattern in deduped)
+        dag = SigmaDag(view, indexed, deduped, plans)
+        view.sigma_dags[key] = dag
+        view.sigma_compiles += 1
+        _metrics.sink().incr("matching.sigma.compiles")
+    else:
+        _metrics.sink().incr("matching.sigma.cache_hits")
+    return dag
+
+
+def count_sigma(graph: Graph, patterns: "Sequence[Pattern]") -> list[int]:
+    """Match counts for a pattern sequence as one Σ-DAG pass.
+
+    Returns counts in *input* order (duplicates allowed — they share
+    one leaf).  Equal, pattern for pattern, to
+    ``[count_matches(p, graph) for p in patterns]``.
+    """
+    patterns = list(patterns)
+    if not patterns:
+        return []
+    dag = compile_sigma(graph, patterns)
+    per_leaf = dag.counts()
+    index = dag._pattern_index
+    return [per_leaf[index[pattern]] for pattern in patterns]
+
+
+__all__ = [
+    "SigmaDag",
+    "SigmaQuery",
+    "compile_sigma",
+    "count_sigma",
+]

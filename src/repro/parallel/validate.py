@@ -179,6 +179,79 @@ def run_shard(
 _run_shard = run_shard
 
 
+def _run_sigma_batch(
+    graph: Graph, sigma: "list[GED]"
+) -> list[tuple[list[Violation], ShardStats]]:
+    """The 1-worker serial kernel as one Σ-DAG pass.
+
+    Semantically identical to running :func:`run_shard` once per rule
+    over its full (single-shard) pivot pool: at one shard the pivot
+    restriction is the rule's whole candidate pool, so the effective
+    pools — and therefore the match stream — equal the X-restricted
+    solo run the shared DAG reproduces leaf for leaf.  Accounting
+    differences: every rule's ``ShardStats.seconds`` is the *batch's*
+    shared wall clock (shared frames cannot be attributed to one rule),
+    and the slow-plan hook does not fire (no per-rule elapsed exists).
+    Rules whose pattern cannot match keep getting no stats row, exactly
+    like the zero-shard plans they replace.
+    """
+    from repro.matching.sigma_dag import SigmaQuery, compile_sigma
+
+    started = time.perf_counter()
+    dag = compile_sigma(graph, [ged.pattern for ged in sigma])
+    # Rules grouped by (pattern, restriction) share one query — and,
+    # when no restriction applies, the DAG's cached whole-set trie.
+    group_index: dict = {}
+    queries: list[SigmaQuery] = []
+    members: list[list[int]] = []
+    for position, ged in enumerate(sigma):
+        restrict = x_literal_restrictions(graph, ged)
+        key = (
+            ged.pattern,
+            None
+            if restrict is None
+            else frozenset((var, frozenset(pool)) for var, pool in restrict.items()),
+        )
+        group = group_index.get(key)
+        if group is None:
+            group = group_index[key] = len(queries)
+            queries.append(SigmaQuery(ged.pattern, restrict=restrict))
+            members.append([])
+        members[group].append(position)
+    buckets: list[list[Violation]] = [[] for _ in sigma]
+    match_counts = [0] * len(sigma)
+    for group, match in dag.iter_matches(queries):
+        items = None
+        for position in members[group]:
+            match_counts[position] += 1
+            ged = sigma[position]
+            failed = evaluate_match(graph, ged, match)
+            if failed:
+                if items is None:
+                    items = tuple(sorted(match.items()))
+                buckets[position].append(Violation(ged, items, failed))
+    elapsed = time.perf_counter() - started
+    results: list[tuple[list[Violation], ShardStats]] = []
+    for position, ged in enumerate(sigma):
+        _, pool = plan_pivot(ged.pattern, graph)
+        if not pool:
+            continue
+        results.append(
+            (
+                buckets[position],
+                ShardStats(
+                    ged.name or "GED",
+                    0,
+                    len(pool),
+                    match_counts[position],
+                    len(buckets[position]),
+                    elapsed,
+                ),
+            )
+        )
+    return results
+
+
 def plan_fragment_pivots(
     graph: Graph, ged: GED, fragmentation: Fragmentation
 ) -> tuple[str, list[tuple[int, list[str]]], list[str]]:
@@ -362,6 +435,13 @@ def _dispatch_backend(
                 pool.close()
         else:
             indexed = get_index(graph) is not None
+    elif backend == "serial" and workers == 1 and len(sigma) > 1:
+        # One worker, many rules: there is nothing to shard, so the
+        # whole Σ runs as a single shared-prefix DAG pass instead of
+        # one plan execution per rule (identical violations; each
+        # rule's ShardStats carries the batch's shared wall clock).
+        results = _run_sigma_batch(graph, sigma)
+        indexed = get_index(graph) is not None
     else:
         tasks: list[tuple[GED, str, tuple[str, ...], int]] = []
         for ged in sigma:

@@ -207,7 +207,15 @@ class Pattern:
         )
 
     def __hash__(self) -> int:
-        return hash((tuple(sorted(self._labels.items())), frozenset(self._edges), self._variables))
+        # Memoized: patterns are immutable and every cache in the
+        # matching stack (plan registries, Σ-DAG grouping, step caches)
+        # keys on them, often once per enumerated match.
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = self._hash = hash(
+                (tuple(sorted(self._labels.items())), frozenset(self._edges), self._variables)
+            )
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Pattern({list(self._variables)!r}, edges={len(self._edges)})"

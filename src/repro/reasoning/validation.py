@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.deps.ged import GED
 from repro.deps.literals import (
@@ -32,6 +33,7 @@ from repro.deps.literals import (
 from repro.graph.graph import Graph
 from repro.indexing.registry import get_index
 from repro.matching.plan import compile_plan
+from repro.matching.sigma_dag import SigmaQuery, compile_sigma
 from repro.telemetry.spans import span
 
 
@@ -66,12 +68,18 @@ def evaluate_match(
     byte-identity guarantees between them (same failed sets, same
     ordering) rest on one definition.
     """
-    if not all(literal_holds(graph, l, match) for l in ged.X):
+    if ged.X and not all(literal_holds(graph, l, match) for l in ged.X):
         return None
-    failed = tuple(
-        l for l in sorted(ged.Y, key=str) if not literal_holds(graph, l, match)
-    )
-    return failed or None
+    failed = [l for l in _sorted_y(ged) if not literal_holds(graph, l, match)]
+    return tuple(failed) if failed else None
+
+
+@lru_cache(maxsize=4096)
+def _sorted_y(ged: GED) -> tuple[Literal, ...]:
+    """Y in report order, computed once per dependency: the sort is
+    per-rule-constant, and ``evaluate_match`` runs once per candidate
+    match — re-sorting there dominated dense-match validations."""
+    return tuple(sorted(ged.Y, key=str))
 
 
 @dataclass(frozen=True)
@@ -139,7 +147,19 @@ def find_violations(
     :mod:`repro.indexing` index attached the compiled candidate pools
     are the pruner's and the attr filters actually bite; the returned
     violations are identical either way.
+
+    Multi-rule full scans (``limit is None``, more than one dependency)
+    run as **one Σ-DAG pass** (:func:`~repro.matching.sigma_dag.compile_sigma`):
+    shared pattern prefixes across Σ are enumerated once and each
+    emitted match is evaluated against its own rule's literals.  The
+    per-dependency violation lists — and their concatenation order —
+    are byte-identical to the per-rule loop.  Limited scans keep the
+    per-rule loop: ``validates`` stops at the first violation, and a
+    whole-Σ walk would do strictly more work than the solo plan.
     """
+    sigma = list(sigma)
+    if limit is None and len(sigma) > 1:
+        return _sigma_find_violations(graph, sigma)
     violations: list[Violation] = []
     for position, ged in enumerate(sigma):
         with span("validate.dep", dep=ged.name or f"#{position}"):
@@ -154,6 +174,52 @@ def find_violations(
                     if limit is not None and len(violations) >= limit:
                         return violations
     return violations
+
+
+def _sigma_find_violations(graph: Graph, sigma: "list[GED]") -> list[Violation]:
+    """The Σ-batched full scan: one shared-DAG walk, per-rule buckets.
+
+    Rules are grouped by (pattern, restriction): literal variants over
+    one skeleton share a *single* query — the DAG enumerates their
+    common stream once and each emitted match is evaluated against
+    every rule in the group.  (With no index attached every restriction
+    is ``None``, so the query set collapses to the DAG's deduplicated
+    pattern tuple and the walk reuses the cached whole-set trie.)
+    Matches arrive interleaved across groups, so violations are
+    bucketed per rule and concatenated in Σ order — the exact output of
+    the per-rule loop, because each rule's match subsequence is its
+    solo stream.
+    """
+    dag = compile_sigma(graph, [ged.pattern for ged in sigma])
+    group_index: dict = {}
+    queries: list[SigmaQuery] = []
+    members: list[list[int]] = []  # query position -> rule positions
+    for position, ged in enumerate(sigma):
+        restrict = x_literal_restrictions(graph, ged)
+        key = (
+            ged.pattern,
+            None
+            if restrict is None
+            else frozenset((var, frozenset(pool)) for var, pool in restrict.items()),
+        )
+        group = group_index.get(key)
+        if group is None:
+            group = group_index[key] = len(queries)
+            queries.append(SigmaQuery(ged.pattern, restrict=restrict))
+            members.append([])
+        members[group].append(position)
+    buckets: list[list[Violation]] = [[] for _ in sigma]
+    with span("validate.sigma", rules=len(sigma)):
+        for group, match in dag.iter_matches(queries):
+            items = None
+            for position in members[group]:
+                ged = sigma[position]
+                failed = evaluate_match(graph, ged, match)
+                if failed:
+                    if items is None:
+                        items = tuple(sorted(match.items()))
+                    buckets[position].append(Violation(ged, items, failed))
+    return [violation for bucket in buckets for violation in bucket]
 
 
 def validates(graph: Graph, sigma: Iterable[GED], **_ignored) -> bool:

@@ -35,6 +35,17 @@ program is cached per dependency (the ``_steps_for`` cache keyed by
 so plan compilation is paid once per dependency, not once per pinned
 node or per batch — and, crucially, no O(|G|) graph-view build is paid
 on a graph that mutates every batch.
+
+Σ-sharing rides the same observation as :mod:`repro.matching.sigma_dag`:
+rule sets are families of literal variants over few distinct skeletons,
+so within one batch the *pin streams* — the matches of (pattern,
+pinned variable, pinned node) under a given restriction — repeat
+across dependencies verbatim.  The kernel memoizes each stream the
+first time it is enumerated and replays it for every later dependency
+sharing the skeleton, skipping the ball construction and the plan walk
+entirely (``matching.sigma.stream_reuse`` counts the replays).
+Per-dependency de-duplication applies after replay, so reported
+violations are untouched.
 """
 
 from __future__ import annotations
@@ -52,6 +63,7 @@ from repro.reasoning.validation import (
     evaluate_match,
     x_literal_restrictions,
 )
+from repro.telemetry import metrics as _metrics
 
 #: A found violation, tagged with its dependency's position in Σ (the
 #: ledger's key space; positions disambiguate equal rules).
@@ -62,6 +74,13 @@ def _label_pool(graph: Graph, label: str) -> set[str]:
     if label == WILDCARD:
         return set(graph.node_ids)
     return graph.nodes_with_label(label)
+
+
+def _restrict_token(restrict: dict[str, set[str]] | None):
+    """A hashable identity for a restriction mapping (stream memo key)."""
+    if restrict is None:
+        return None
+    return frozenset((var, frozenset(pool)) for var, pool in restrict.items())
 
 
 def delta_violations(
@@ -91,11 +110,18 @@ def delta_violations(
 
     radius = max((pattern_radius(ged.pattern) for ged in sigma), default=0)
     balls: dict[str, list[set[str]]] = {}
+    # Pin streams memoized across dependencies: two rules sharing a
+    # skeleton (and restriction) enumerate identical matches per pin,
+    # so the second one replays the first's stream instead of
+    # rebuilding ball pools and re-running the plan.
+    streams: dict[tuple, list[tuple[tuple[str, str], ...]]] = {}
+    sink = _metrics.sink()
     found: list[TaggedViolation] = []
 
     for dep_index, ged in enumerate(sigma):
         pattern = ged.pattern
         restrict = x_literal_restrictions(graph, ged)
+        restrict_token = _restrict_token(restrict)
         distances = pattern_distances(pattern)
         # Label pools for variables in *other* components, shared by
         # every pin of this dependency.
@@ -108,35 +134,43 @@ def delta_violations(
                     continue
                 if pruner is not None and not pruner.admissible(pattern, variable, node_id):
                     continue
-                levels = balls.get(node_id)
-                if levels is None:
-                    levels = balls[node_id] = ball_levels(graph, node_id, radius)
-                reachable = distances[variable]
-                pools: dict[str, set[str]] = {}
-                for other in pattern.variables:
-                    if other == variable:
-                        pools[other] = {node_id}
-                        continue
-                    label = pattern.label_of(other)
-                    distance = reachable.get(other)
-                    if distance is None:  # different component: label pool
-                        pool = free_pools.get(other)
-                        if pool is None:
-                            pool = free_pools[other] = _label_pool(graph, label)
-                        pools[other] = pool
-                    else:
-                        ball = levels[min(distance, len(levels) - 1)]
-                        pools[other] = {
-                            m for m in ball if matches(label, graph.node(m).label)
-                        }
-                for match in execute_over_pools(
-                    pattern, graph, pools, restrict=restrict
-                ):
-                    key = tuple(sorted(match.items()))
+                stream_key = (pattern, variable, node_id, restrict_token)
+                stream = streams.get(stream_key)
+                if stream is None:
+                    levels = balls.get(node_id)
+                    if levels is None:
+                        levels = balls[node_id] = ball_levels(graph, node_id, radius)
+                    reachable = distances[variable]
+                    pools: dict[str, set[str]] = {}
+                    for other in pattern.variables:
+                        if other == variable:
+                            pools[other] = {node_id}
+                            continue
+                        label = pattern.label_of(other)
+                        distance = reachable.get(other)
+                        if distance is None:  # different component: label pool
+                            pool = free_pools.get(other)
+                            if pool is None:
+                                pool = free_pools[other] = _label_pool(graph, label)
+                            pools[other] = pool
+                        else:
+                            ball = levels[min(distance, len(levels) - 1)]
+                            pools[other] = {
+                                m for m in ball if matches(label, graph.node(m).label)
+                            }
+                    stream = streams[stream_key] = [
+                        tuple(sorted(match.items()))
+                        for match in execute_over_pools(
+                            pattern, graph, pools, restrict=restrict
+                        )
+                    ]
+                else:
+                    sink.incr("matching.sigma.stream_reuse")
+                for key in stream:
                     if key in seen:
                         continue
                     seen.add(key)
-                    failed = evaluate_match(graph, ged, match)
+                    failed = evaluate_match(graph, ged, dict(key))
                     if failed:
                         found.append((dep_index, Violation(ged, key, failed)))
     return found

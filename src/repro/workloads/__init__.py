@@ -3,6 +3,7 @@
 from repro.workloads.churn import ChurnStream, churn_stream, social_churn_stream
 from repro.workloads.clustered import clustered_workload
 from repro.workloads.kb import PlantedErrors, synthetic_knowledge_base
+from repro.workloads.overlapping import overlapping_rule_set, overlapping_workload
 from repro.workloads.random_graphs import bounded_rule_set, validation_workload
 from repro.workloads.social import SpamGroundTruth, synthetic_social_network
 
@@ -13,6 +14,8 @@ __all__ = [
     "bounded_rule_set",
     "churn_stream",
     "clustered_workload",
+    "overlapping_rule_set",
+    "overlapping_workload",
     "social_churn_stream",
     "synthetic_knowledge_base",
     "synthetic_social_network",
